@@ -1,0 +1,100 @@
+// Regenerates the Section 4.2 / Fig. 4.1 pre-processing statistics on the
+// full synthetic panel:
+//
+//   * the raw -> cleaned tag-universe reduction (the thesis reports
+//     350,000 -> 60,000 on the real data),
+//   * the per-library removal fractions,
+//   * the effect of the minimum-tolerance knob,
+//   * normalization to the standard 300,000-tag depth,
+//   * survival of the planted biology.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "sage/cleaning.h"
+#include "sage/generator.h"
+
+int main() {
+  using namespace gea;
+
+  sage::GeneratorConfig config;
+  config.seed = 42;  // the full nine-tissue panel
+  sage::SyntheticSage synth = sage::SyntheticSageGenerator(config).Generate();
+
+  std::printf("== Section 4.2: pre-processing and data cleaning ==\n\n");
+  std::printf("raw panel: %zu libraries, %zu distinct tags\n",
+              synth.dataset.NumLibraries(), synth.dataset.UniverseSize());
+
+  double min_total = 1e18;
+  double max_total = 0.0;
+  for (const sage::SageLibrary& lib : synth.dataset.libraries()) {
+    min_total = std::min(min_total, lib.TotalTagCount());
+    max_total = std::max(max_total, lib.TotalTagCount());
+  }
+  std::printf("per-library depth: %.0f - %.0f total tags (thesis: 1,000 - "
+              "32,000)\n\n",
+              min_total, max_total);
+
+  // The tolerance sweep: the thesis uses 1 (remove tags whose level is 0
+  // or 1 everywhere).
+  std::printf("%-12s %-14s %-14s %-12s %-22s\n", "tolerance", "tags before",
+              "tags after", "reduction", "per-library removal");
+  for (double tolerance : {1.0, 2.0, 3.0}) {
+    sage::SageDataSet data = synth.dataset;  // fresh copy per tolerance
+    sage::CleaningStats stats = sage::RemoveErrorTags(data, tolerance);
+    std::printf("%-12.0f %-14zu %-14zu %-11.1fx %4.1f%% - %4.1f%% (avg "
+                "%4.1f%%)\n",
+                tolerance, stats.tags_before, stats.tags_after,
+                static_cast<double>(stats.tags_before) /
+                    static_cast<double>(stats.tags_after),
+                100.0 * stats.MinRemovedFraction(),
+                100.0 * stats.MaxRemovedFraction(),
+                100.0 * stats.AvgRemovedFraction());
+  }
+  std::printf("\n(the thesis reports a 350,000 -> 60,000 reduction at "
+              "tolerance 1;\nthe synthetic error singletons rarely repeat "
+              "across libraries, so\nthe reduction here is even sharper — "
+              "same mechanism, same shape)\n\n");
+
+  // Timing of the full pipeline.
+  sage::SageDataSet data = synth.dataset;
+  Stopwatch watch;
+  sage::CleaningStats stats = sage::CleanAndNormalize(data);
+  double elapsed = watch.ElapsedSeconds();
+  std::printf("CleanAndNormalize on the full panel: %.3f s (%s)\n\n",
+              elapsed, stats.ToString().c_str());
+
+  // Normalization check.
+  double lo = 1e18;
+  double hi = 0.0;
+  for (const sage::SageLibrary& lib : data.libraries()) {
+    lo = std::min(lo, lib.TotalTagCount());
+    hi = std::max(hi, lib.TotalTagCount());
+  }
+  std::printf("after normalization every library totals %.0f - %.0f tags "
+              "(target %.0f)\n\n",
+              lo, hi, sage::kStandardDepth);
+
+  // Survival of planted biology.
+  std::vector<sage::TagId> universe = data.TagUniverse();
+  auto survival = [&universe](const std::vector<sage::TagId>& tags) {
+    size_t kept = 0;
+    for (sage::TagId tag : tags) {
+      if (std::binary_search(universe.begin(), universe.end(), tag)) ++kept;
+    }
+    return std::pair<size_t, size_t>(kept, tags.size());
+  };
+  auto [hk, hk_total] = survival(synth.truth.housekeeping);
+  auto [up, up_total] = survival(synth.truth.shared_cancer_up);
+  auto [down, down_total] = survival(synth.truth.shared_cancer_down);
+  std::printf("planted biology surviving the cleaning:\n");
+  std::printf("  housekeeping tags      %zu / %zu\n", hk, hk_total);
+  std::printf("  shared cancer-up tags  %zu / %zu\n", up, up_total);
+  std::printf("  shared cancer-down     %zu / %zu\n", down, down_total);
+  std::printf("\n(\"for clustering analysis to achieve its potential, "
+              "proper filtering\nof the data is necessary\" — Section "
+              "2.3.3)\n");
+  return 0;
+}

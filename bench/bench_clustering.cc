@@ -1,0 +1,179 @@
+// Reproduces the clustering claims the thesis builds on (Sections 2.3.1-
+// 2.3.3): hierarchical clustering, k-means and OPTICS group SAGE
+// libraries by tissue type (and by neoplastic state within a tissue), and
+// pre-processing ("cleaning") improves the clusters markedly — the
+// observation of Ng, Sander and Sleumer [NSS01] that motivates Section
+// 4.2.
+//
+// For each algorithm the harness reports cluster purity and the adjusted
+// Rand index against the true tissue-type labels, on the raw data and on
+// the cleaned+normalized data.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/text_plot.h"
+
+#include "cluster/fascicles.h"
+#include "cluster/hierarchical.h"
+#include "cluster/kmeans.h"
+#include "cluster/metrics.h"
+#include "cluster/optics.h"
+#include "sage/cleaning.h"
+#include "sage/generator.h"
+#include "sage/matrix.h"
+
+namespace {
+
+using namespace gea;
+
+template <typename T>
+T CheckResult(Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+struct LabeledPoints {
+  std::vector<std::vector<double>> points;   // one per library
+  std::vector<int> tissue_labels;            // tissue type ordinal
+  std::vector<int> state_labels;             // tissue x neoplastic state
+};
+
+LabeledPoints ToPoints(const sage::SageDataSet& data) {
+  sage::ExpressionMatrix matrix = sage::ExpressionMatrix::FromDataSet(data);
+  LabeledPoints out;
+  for (size_t col = 0; col < matrix.NumLibraries(); ++col) {
+    out.points.push_back(matrix.LibraryColumn(col));
+    const sage::LibraryMeta& lib = matrix.library(col);
+    out.tissue_labels.push_back(static_cast<int>(lib.tissue));
+    out.state_labels.push_back(
+        static_cast<int>(lib.tissue) * 2 +
+        (lib.state == sage::NeoplasticState::kCancer ? 1 : 0));
+  }
+  return out;
+}
+
+struct Scores {
+  double purity = 0.0;
+  double ari = 0.0;
+};
+
+Scores Score(const std::vector<int>& assignment,
+             const std::vector<int>& truth) {
+  Scores s;
+  s.purity = CheckResult(cluster::Purity(assignment, truth));
+  s.ari = CheckResult(cluster::AdjustedRandIndex(assignment, truth));
+  return s;
+}
+
+void Report(const char* name, const Scores& raw, const Scores& clean) {
+  std::printf("  %-24s %8.3f %8.3f   %8.3f %8.3f\n", name, raw.purity,
+              raw.ari, clean.purity, clean.ari);
+}
+
+std::vector<int> RunKMeans(const LabeledPoints& data, int k,
+                           uint64_t seed) {
+  cluster::KMeansParams params;
+  params.k = k;
+  params.seed = seed;
+  return CheckResult(cluster::KMeans(data.points, params)).assignments;
+}
+
+std::vector<int> RunHierarchical(const LabeledPoints& data, size_t k) {
+  cluster::Dendrogram dendro = CheckResult(cluster::HierarchicalCluster(
+      data.points, cluster::DistanceKind::kPearson,
+      cluster::Linkage::kAverage));
+  return CheckResult(dendro.Cut(k));
+}
+
+std::vector<int> RunOptics(const LabeledPoints& data) {
+  cluster::OpticsParams params;
+  params.epsilon = 1.0;  // Pearson distance scale: [0, 2]
+  params.min_pts = 3;
+  params.distance = cluster::DistanceKind::kPearson;
+  cluster::OpticsResult result =
+      CheckResult(cluster::Optics(data.points, params));
+  // Extraction threshold below the between-tissue correlation floor
+  // (libraries share the housekeeping profile, so even unrelated tissues
+  // correlate at Pearson distance ~0.35-0.4).
+  return result.ExtractClusters(0.3);
+}
+
+}  // namespace
+
+int main() {
+  sage::GeneratorConfig config;
+  config.seed = 42;  // the full nine-tissue panel (108 libraries)
+  sage::SyntheticSage synth = sage::SyntheticSageGenerator(config).Generate();
+
+  LabeledPoints raw = ToPoints(synth.dataset);
+
+  sage::SageDataSet cleaned_data = synth.dataset;
+  sage::CleanAndNormalize(cleaned_data);
+  LabeledPoints clean = ToPoints(cleaned_data);
+
+  const int kTissues = sage::kNumTissueTypes;
+  std::printf("== Clustering SAGE libraries by tissue type ==\n");
+  std::printf("(%zu libraries; raw: %zu dims, cleaned: %zu dims)\n\n",
+              raw.points.size(), raw.points[0].size(),
+              clean.points[0].size());
+  std::printf("  %-24s %17s   %17s\n", "", "--- raw ---", "-- cleaned --");
+  std::printf("  %-24s %8s %8s   %8s %8s\n", "algorithm", "purity", "ARI",
+              "purity", "ARI");
+
+  Report("k-means (k=9)",
+         Score(RunKMeans(raw, kTissues, 7), raw.tissue_labels),
+         Score(RunKMeans(clean, kTissues, 7), clean.tissue_labels));
+  Report("hierarchical avg/Pearson",
+         Score(RunHierarchical(raw, static_cast<size_t>(kTissues)),
+               raw.tissue_labels),
+         Score(RunHierarchical(clean, static_cast<size_t>(kTissues)),
+               clean.tissue_labels));
+  Report("OPTICS (Pearson)", Score(RunOptics(raw), raw.tissue_labels),
+         Score(RunOptics(clean), clean.tissue_labels));
+
+  std::printf("\n== Clustering by tissue type x neoplastic state ==\n\n");
+  std::printf("  %-24s %8s %8s   %8s %8s\n", "algorithm", "purity", "ARI",
+              "purity", "ARI");
+  Report("k-means (k=18)",
+         Score(RunKMeans(raw, kTissues * 2, 7), raw.state_labels),
+         Score(RunKMeans(clean, kTissues * 2, 7), clean.state_labels));
+  Report("hierarchical avg/Pearson",
+         Score(RunHierarchical(raw, static_cast<size_t>(kTissues) * 2),
+               raw.state_labels),
+         Score(RunHierarchical(clean, static_cast<size_t>(kTissues) * 2),
+               clean.state_labels));
+
+  std::printf(
+      "\nExpected shape (Sections 2.3.2-2.3.3): clusters recover tissue\n"
+      "types and neoplastic states, and the cleaned data clusters at\n"
+      "least as well as the raw data ([NSS01]: \"the clusters found in\n"
+      "the 'cleaned' data are significantly improved\").\n");
+
+  // The [NSS01] reachability view: OPTICS orders the cleaned libraries so
+  // tissue-type clusters appear as valleys separated by reachability
+  // peaks.
+  cluster::OpticsParams params;
+  params.epsilon = 1.0;
+  params.min_pts = 3;
+  params.distance = cluster::DistanceKind::kPearson;
+  cluster::OpticsResult optics =
+      CheckResult(cluster::Optics(clean.points, params));
+  std::printf("\nOPTICS reachability over the cleaned panel (first 36 in "
+              "cluster order;\npeaks = cluster boundaries):\n");
+  std::vector<TextBar> bars;
+  for (size_t i = 0; i < optics.ordering.size() && bars.size() < 36; ++i) {
+    size_t idx = optics.ordering[i];
+    double r = optics.reachability[idx];
+    bars.push_back(
+        {sage::TissueTypeName(
+             static_cast<sage::TissueType>(clean.tissue_labels[idx])),
+         r == cluster::OpticsResult::kUnreachable ? 1.0 : r, ""});
+  }
+  std::printf("%s", RenderBarChart(bars, 44).c_str());
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Micro-benchmarks for the Fascicles miner, checking the complexity claim
+// of Section 3.3.1: "in the case of fascicles, the complexity is linear
+// with respect to the number of libraries and the number of compact
+// tags". The sweeps below scale libraries and tags independently; with
+// --benchmark_enable_random_interleaving the reported times should grow
+// roughly linearly along each sweep.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cluster/fascicles.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace gea;
+
+// A matrix with planted block structure: `rows` libraries over `cols`
+// tags, where rows agree tightly within two planted groups.
+std::vector<double> PlantedMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> data(rows * cols);
+  std::vector<double> group_a(cols);
+  std::vector<double> group_b(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    group_a[c] = rng.UniformDouble(0.0, 100.0);
+    group_b[c] = rng.UniformDouble(0.0, 100.0);
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    const std::vector<double>& base = (r % 2 == 0) ? group_a : group_b;
+    for (size_t c = 0; c < cols; ++c) {
+      data[r * cols + c] = base[c] + rng.Normal(0.0, 1.5);
+    }
+  }
+  return data;
+}
+
+void BM_GreedyMine_Libraries(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const size_t cols = 512;
+  std::vector<double> data = PlantedMatrix(rows, cols, 99);
+  cluster::FascicleMiner miner(data.data(), rows, cols);
+  cluster::FascicleParams params;
+  params.min_compact_tags = cols / 2;
+  params.tolerances.assign(cols, 8.0);
+  params.min_size = 3;
+  params.batch_size = 6;
+  for (auto _ : state) {
+    auto result = miner.Mine(params);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_GreedyMine_Libraries)->RangeMultiplier(2)->Range(8, 64)
+    ->Complexity(benchmark::oN);
+
+void BM_GreedyMine_Tags(benchmark::State& state) {
+  const size_t rows = 16;
+  const size_t cols = static_cast<size_t>(state.range(0));
+  std::vector<double> data = PlantedMatrix(rows, cols, 99);
+  cluster::FascicleMiner miner(data.data(), rows, cols);
+  cluster::FascicleParams params;
+  params.min_compact_tags = cols / 2;
+  params.tolerances.assign(cols, 8.0);
+  params.min_size = 3;
+  params.batch_size = 6;
+  for (auto _ : state) {
+    auto result = miner.Mine(params);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<int64_t>(cols));
+}
+BENCHMARK(BM_GreedyMine_Tags)->RangeMultiplier(2)->Range(128, 2048)
+    ->Complexity(benchmark::oN);
+
+void BM_ExactMine(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const size_t cols = 64;
+  std::vector<double> data = PlantedMatrix(rows, cols, 7);
+  cluster::FascicleMiner miner(data.data(), rows, cols);
+  cluster::FascicleParams params;
+  params.min_compact_tags = cols * 3 / 4;  // strict: keeps the lattice small
+  params.tolerances.assign(cols, 6.0);
+  params.min_size = 3;
+  params.algorithm = cluster::FascicleParams::Algorithm::kExact;
+  for (auto _ : state) {
+    auto result = miner.Mine(params);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ExactMine)->DenseRange(8, 16, 4);
+
+void BM_CompactCount(benchmark::State& state) {
+  const size_t rows = 32;
+  const size_t cols = static_cast<size_t>(state.range(0));
+  std::vector<double> data = PlantedMatrix(rows, cols, 3);
+  cluster::FascicleMiner miner(data.data(), rows, cols);
+  std::vector<double> tol(cols, 8.0);
+  std::vector<size_t> members = {0, 2, 4, 6, 8, 10};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(miner.CountCompactColumns(members, tol));
+  }
+  state.SetComplexityN(static_cast<int64_t>(cols));
+}
+BENCHMARK(BM_CompactCount)->RangeMultiplier(4)->Range(256, 16384)
+    ->Complexity(benchmark::oN);
+
+void BM_ToleranceMetadata(benchmark::State& state) {
+  const size_t rows = 32;
+  const size_t cols = static_cast<size_t>(state.range(0));
+  std::vector<double> data = PlantedMatrix(rows, cols, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster::TolerancesFromWidthPercent(data.data(), rows, cols, 10.0));
+  }
+}
+BENCHMARK(BM_ToleranceMetadata)->RangeMultiplier(4)->Range(256, 16384);
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Micro-benchmarks for the GEA algebraic operators, covering the
+// remaining complexity statements of Section 3.3.1:
+//   * aggregate() is one pass over the libraries (linear in cells),
+//   * GAP creation is linear in the number of tags,
+//   * populate() with vs without indexes,
+//   * the set operations and top-gap extraction.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/enum_table.h"
+#include "core/gap.h"
+#include "core/gap_ops.h"
+#include "core/index_advisor.h"
+#include "core/operators.h"
+#include "core/populate.h"
+#include "sage/generator.h"
+
+namespace {
+
+using namespace gea;
+
+// Shared substrate: a deterministic two-tissue panel, raw (large tag
+// universe). Built once.
+const sage::SyntheticSage& Synth() {
+  static const sage::SyntheticSage* synth = [] {
+    sage::GeneratorConfig config;
+    config.seed = 2024;
+    config.panels = sage::SyntheticSageGenerator::SmallPanels();
+    return new sage::SyntheticSage(
+        sage::SyntheticSageGenerator(config).Generate());
+  }();
+  return *synth;
+}
+
+core::EnumTable EnumWithTags(size_t num_tags) {
+  std::vector<sage::TagId> universe = Synth().dataset.TagUniverse();
+  if (universe.size() > num_tags) universe.resize(num_tags);
+  return core::EnumTable::FromDataSet("bench", Synth().dataset, universe);
+}
+
+void BM_Aggregate(benchmark::State& state) {
+  core::EnumTable table = EnumWithTags(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Aggregate(table, "sumy"));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Aggregate)->RangeMultiplier(4)->Range(1000, 16000)
+    ->Complexity(benchmark::oN);
+
+void BM_Diff(benchmark::State& state) {
+  core::EnumTable table = EnumWithTags(static_cast<size_t>(state.range(0)));
+  core::EnumTable cancer = table.FilterLibraries(
+      "cancer", [](const sage::LibraryMeta& lib) {
+        return lib.state == sage::NeoplasticState::kCancer;
+      });
+  core::EnumTable normal = table.FilterLibraries(
+      "normal", [](const sage::LibraryMeta& lib) {
+        return lib.state == sage::NeoplasticState::kNormal;
+      });
+  core::SumyTable sumy1 = std::move(core::Aggregate(cancer, "s1")).value();
+  core::SumyTable sumy2 = std::move(core::Aggregate(normal, "s2")).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Diff(sumy1, sumy2, "gap"));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Diff)->RangeMultiplier(4)->Range(1000, 16000)
+    ->Complexity(benchmark::oN);
+
+void BM_PopulateSequential(benchmark::State& state) {
+  core::EnumTable table = EnumWithTags(static_cast<size_t>(state.range(0)));
+  core::EnumTable cancer = table.FilterLibraries(
+      "cancer", [](const sage::LibraryMeta& lib) {
+        return lib.state == sage::NeoplasticState::kCancer;
+      });
+  core::SumyTable sumy = std::move(core::Aggregate(cancer, "s")).value();
+  core::PopulateEngine engine(table);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Populate(sumy, "out"));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PopulateSequential)->RangeMultiplier(4)->Range(1000, 16000)
+    ->Complexity(benchmark::oN);
+
+void BM_PopulateIndexed(benchmark::State& state) {
+  core::EnumTable table = EnumWithTags(static_cast<size_t>(state.range(0)));
+  core::EnumTable cancer = table.FilterLibraries(
+      "cancer", [](const sage::LibraryMeta& lib) {
+        return lib.state == sage::NeoplasticState::kCancer;
+      });
+  core::SumyTable sumy = std::move(core::Aggregate(cancer, "s")).value();
+  core::PopulateEngine engine(table);
+  // Indexes on the top-32 entropy tags (the Section 3.3.2 heuristic).
+  std::vector<sage::TagId> index_tags = core::TopEntropyTags(table, 32);
+  if (!engine.BuildIndexes(index_tags).ok()) state.SkipWithError("index");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Populate(sumy, "out"));
+  }
+}
+BENCHMARK(BM_PopulateIndexed)->RangeMultiplier(4)->Range(1000, 16000);
+
+void BM_TopGap(benchmark::State& state) {
+  core::EnumTable table = EnumWithTags(8000);
+  core::EnumTable cancer = table.FilterLibraries(
+      "cancer", [](const sage::LibraryMeta& lib) {
+        return lib.state == sage::NeoplasticState::kCancer;
+      });
+  core::EnumTable normal = table.FilterLibraries(
+      "normal", [](const sage::LibraryMeta& lib) {
+        return lib.state == sage::NeoplasticState::kNormal;
+      });
+  core::SumyTable s1 = std::move(core::Aggregate(cancer, "s1")).value();
+  core::SumyTable s2 = std::move(core::Aggregate(normal, "s2")).value();
+  core::GapTable gap = std::move(core::Diff(s1, s2, "gap")).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::TopGap(
+        gap, static_cast<size_t>(state.range(0)),
+        core::TopGapMode::kLargestMagnitude, "top"));
+  }
+}
+BENCHMARK(BM_TopGap)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_GapSetOps(benchmark::State& state) {
+  core::EnumTable table = EnumWithTags(8000);
+  core::EnumTable brain = table.FilterLibraries(
+      "brain", [](const sage::LibraryMeta& lib) {
+        return lib.tissue == sage::TissueType::kBrain;
+      });
+  core::EnumTable breast = table.FilterLibraries(
+      "breast", [](const sage::LibraryMeta& lib) {
+        return lib.tissue == sage::TissueType::kBreast;
+      });
+  core::SumyTable s1 = std::move(core::Aggregate(brain, "s1")).value();
+  core::SumyTable s2 = std::move(core::Aggregate(breast, "s2")).value();
+  core::GapTable g1 = std::move(core::Diff(s1, s2, "g1")).value();
+  core::GapTable g2 = std::move(core::Diff(s2, s1, "g2")).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::GapIntersect(g1, g2, "i"));
+    benchmark::DoNotOptimize(core::GapMinus(g1, g2, "m"));
+    benchmark::DoNotOptimize(core::GapUnion(g1, g2, "u"));
+  }
+}
+BENCHMARK(BM_GapSetOps);
+
+void BM_EntropyIndexSelection(benchmark::State& state) {
+  core::EnumTable table = EnumWithTags(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::TopEntropyTags(table, 32));
+  }
+}
+BENCHMARK(BM_EntropyIndexSelection)->Arg(4000)->Arg(16000);
+
+void BM_RequiredIndexCount(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::RequiredIndexCount(60000, 25000, state.range(0), 0.999));
+  }
+}
+BENCHMARK(BM_RequiredIndexCount)->Arg(1)->Arg(10);
+
+}  // namespace

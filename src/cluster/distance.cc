@@ -1,0 +1,85 @@
+#include "cluster/distance.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gea::cluster {
+
+const char* DistanceKindName(DistanceKind kind) {
+  switch (kind) {
+    case DistanceKind::kEuclidean:
+      return "euclidean";
+    case DistanceKind::kPearson:
+      return "pearson";
+  }
+  return "?";
+}
+
+double EuclideanDistance(std::span<const double> a,
+                         std::span<const double> b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double PearsonCorrelation(std::span<const double> a,
+                          std::span<const double> b) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double n = static_cast<double>(a.size());
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= n;
+  mean_b /= n;
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double da = a[i] - mean_a;
+    double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double PearsonDistance(std::span<const double> a, std::span<const double> b) {
+  return 1.0 - PearsonCorrelation(a, b);
+}
+
+double Distance(DistanceKind kind, std::span<const double> a,
+                std::span<const double> b) {
+  switch (kind) {
+    case DistanceKind::kEuclidean:
+      return EuclideanDistance(a, b);
+    case DistanceKind::kPearson:
+      return PearsonDistance(a, b);
+  }
+  return 0.0;
+}
+
+std::vector<double> DistanceMatrix(
+    DistanceKind kind, const std::vector<std::vector<double>>& points) {
+  size_t n = points.size();
+  std::vector<double> matrix(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double d = Distance(kind, points[i], points[j]);
+      matrix[i * n + j] = d;
+      matrix[j * n + i] = d;
+    }
+  }
+  return matrix;
+}
+
+}  // namespace gea::cluster

@@ -1,0 +1,43 @@
+#ifndef GEA_CLUSTER_DISTANCE_H_
+#define GEA_CLUSTER_DISTANCE_H_
+
+#include <span>
+#include <vector>
+
+namespace gea::cluster {
+
+/// Distance functions used by the clustering algorithms GEA hosts
+/// (Section 2.3.1). The gene-expression literature the thesis surveys
+/// (Eisen et al., Alon et al., Ng et al.) uses the correlation coefficient
+/// as the distance measure; Euclidean distance is the conventional
+/// alternative.
+enum class DistanceKind {
+  kEuclidean = 0,
+  kPearson,  // 1 - Pearson correlation coefficient, in [0, 2]
+};
+
+const char* DistanceKindName(DistanceKind kind);
+
+/// Euclidean (L2) distance. Requires equal lengths.
+double EuclideanDistance(std::span<const double> a, std::span<const double> b);
+
+/// Pearson correlation coefficient in [-1, 1]; returns 0 when either
+/// vector has zero variance.
+double PearsonCorrelation(std::span<const double> a,
+                          std::span<const double> b);
+
+/// 1 - Pearson correlation, so identical profiles are at distance 0 and
+/// anti-correlated profiles at distance 2.
+double PearsonDistance(std::span<const double> a, std::span<const double> b);
+
+/// Dispatches on `kind`.
+double Distance(DistanceKind kind, std::span<const double> a,
+                std::span<const double> b);
+
+/// Full symmetric pairwise distance matrix of `points` (row-major n×n).
+std::vector<double> DistanceMatrix(
+    DistanceKind kind, const std::vector<std::vector<double>>& points);
+
+}  // namespace gea::cluster
+
+#endif  // GEA_CLUSTER_DISTANCE_H_

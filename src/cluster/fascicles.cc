@@ -1,0 +1,403 @@
+#include "cluster/fascicles.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace gea::cluster {
+
+namespace {
+
+/// Working state of one candidate row set: members plus per-column value
+/// ranges, so extending by one row is O(cols).
+struct Candidate {
+  std::vector<size_t> members;      // sorted
+  std::vector<double> col_min;
+  std::vector<double> col_max;
+  size_t compact_count = 0;
+
+  static Candidate Singleton(const FascicleMiner& miner, size_t row) {
+    Candidate c;
+    c.members = {row};
+    c.col_min.resize(miner.cols());
+    c.col_max.resize(miner.cols());
+    for (size_t col = 0; col < miner.cols(); ++col) {
+      double v = miner.At(row, col);
+      c.col_min[col] = v;
+      c.col_max[col] = v;
+    }
+    c.compact_count = miner.cols();
+    return c;
+  }
+
+  /// Candidate state after adding `row`; `tol` recomputes compactness.
+  Candidate Extended(const FascicleMiner& miner, size_t row,
+                     const std::vector<double>& tol) const {
+    Candidate c;
+    c.members = members;
+    c.members.insert(
+        std::lower_bound(c.members.begin(), c.members.end(), row), row);
+    c.col_min.resize(col_min.size());
+    c.col_max.resize(col_max.size());
+    c.compact_count = 0;
+    for (size_t col = 0; col < col_min.size(); ++col) {
+      double v = miner.At(row, col);
+      c.col_min[col] = std::min(col_min[col], v);
+      c.col_max[col] = std::max(col_max[col], v);
+      if (c.col_max[col] - c.col_min[col] <= tol[col]) ++c.compact_count;
+    }
+    return c;
+  }
+
+  /// Compact count if `row` were added, without materializing the state.
+  size_t CompactCountWith(const FascicleMiner& miner, size_t row,
+                          const std::vector<double>& tol) const {
+    size_t count = 0;
+    for (size_t col = 0; col < col_min.size(); ++col) {
+      double v = miner.At(row, col);
+      double lo = std::min(col_min[col], v);
+      double hi = std::max(col_max[col], v);
+      if (hi - lo <= tol[col]) ++count;
+    }
+    return count;
+  }
+
+  /// Adds `row` to this candidate in place (no allocation beyond the
+  /// member insertion).
+  void AddRowInPlace(const FascicleMiner& miner, size_t row,
+                     const std::vector<double>& tol) {
+    members.insert(
+        std::lower_bound(members.begin(), members.end(), row), row);
+    compact_count = 0;
+    for (size_t col = 0; col < col_min.size(); ++col) {
+      double v = miner.At(row, col);
+      col_min[col] = std::min(col_min[col], v);
+      col_max[col] = std::max(col_max[col], v);
+      if (col_max[col] - col_min[col] <= tol[col]) ++compact_count;
+    }
+  }
+
+  Fascicle ToFascicle(const std::vector<double>& tol) const {
+    Fascicle f;
+    f.members = members;
+    for (size_t col = 0; col < col_min.size(); ++col) {
+      if (col_max[col] - col_min[col] <= tol[col]) {
+        f.compact_columns.push_back(col);
+        f.compact_ranges.emplace_back(col_min[col], col_max[col]);
+      }
+    }
+    return f;
+  }
+};
+
+Status ValidateParams(const FascicleMiner& miner,
+                      const FascicleParams& params) {
+  if (params.tolerances.size() != miner.cols()) {
+    return Status::InvalidArgument(
+        "tolerance vector has " + std::to_string(params.tolerances.size()) +
+        " entries, matrix has " + std::to_string(miner.cols()) + " columns");
+  }
+  if (params.min_compact_tags > miner.cols()) {
+    return Status::InvalidArgument(
+        "min_compact_tags exceeds the number of columns");
+  }
+  if (params.min_size == 0) {
+    return Status::InvalidArgument("min_size must be >= 1");
+  }
+  if (params.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  for (double t : params.tolerances) {
+    if (t < 0.0) {
+      return Status::InvalidArgument("tolerances must be non-negative");
+    }
+  }
+  return Status::OK();
+}
+
+/// Removes fascicles whose member set is a subset of another's; sorts the
+/// survivors largest first.
+std::vector<Fascicle> KeepMaximal(std::vector<Fascicle> fascicles) {
+  std::sort(fascicles.begin(), fascicles.end(),
+            [](const Fascicle& a, const Fascicle& b) {
+              if (a.members.size() != b.members.size()) {
+                return a.members.size() > b.members.size();
+              }
+              if (a.compact_columns.size() != b.compact_columns.size()) {
+                return a.compact_columns.size() > b.compact_columns.size();
+              }
+              return a.members < b.members;
+            });
+  std::vector<Fascicle> out;
+  for (Fascicle& f : fascicles) {
+    bool subsumed = false;
+    for (const Fascicle& kept : out) {
+      if (std::includes(kept.members.begin(), kept.members.end(),
+                        f.members.begin(), f.members.end())) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Fascicle::ToString() const {
+  std::string out = "fascicle{members=[";
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(members[i]);
+  }
+  out += "], compact=" + std::to_string(compact_columns.size()) + "}";
+  return out;
+}
+
+size_t FascicleMiner::CountCompactColumns(
+    const std::vector<size_t>& members,
+    const std::vector<double>& tolerances) const {
+  if (members.empty()) return 0;
+  size_t count = 0;
+  for (size_t col = 0; col < cols_; ++col) {
+    double lo = At(members[0], col);
+    double hi = lo;
+    for (size_t m = 1; m < members.size(); ++m) {
+      double v = At(members[m], col);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo <= tolerances[col]) ++count;
+  }
+  return count;
+}
+
+bool FascicleMiner::Verify(const Fascicle& fascicle,
+                           const std::vector<double>& tolerances) const {
+  if (fascicle.members.empty()) return false;
+  if (fascicle.compact_columns.size() != fascicle.compact_ranges.size()) {
+    return false;
+  }
+  size_t listed = 0;
+  for (size_t col = 0; col < cols_; ++col) {
+    double lo = At(fascicle.members[0], col);
+    double hi = lo;
+    for (size_t m = 1; m < fascicle.members.size(); ++m) {
+      double v = At(fascicle.members[m], col);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    bool compact = hi - lo <= tolerances[col];
+    bool is_listed =
+        listed < fascicle.compact_columns.size() &&
+        fascicle.compact_columns[listed] == col;
+    if (compact != is_listed) return false;
+    if (is_listed) {
+      if (fascicle.compact_ranges[listed].first != lo ||
+          fascicle.compact_ranges[listed].second != hi) {
+        return false;
+      }
+      ++listed;
+    }
+  }
+  return listed == fascicle.compact_columns.size();
+}
+
+Result<std::vector<Fascicle>> FascicleMiner::Mine(
+    const FascicleParams& params) const {
+  GEA_RETURN_IF_ERROR(ValidateParams(*this, params));
+  switch (params.algorithm) {
+    case FascicleParams::Algorithm::kExact:
+      return MineExact(params);
+    case FascicleParams::Algorithm::kGreedy:
+      return MineGreedy(params);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+Result<std::vector<Fascicle>> FascicleMiner::MineExact(
+    const FascicleParams& params) const {
+  const std::vector<double>& tol = params.tolerances;
+
+  // Level-wise lattice walk over row sets. Compactness is anti-monotone in
+  // the member set (adding a row can only widen column ranges), so every
+  // qualifying L+1-set extends a qualifying L-set; extending only by rows
+  // greater than the current maximum enumerates each set exactly once.
+  std::vector<Candidate> frontier;
+  for (size_t row = 0; row < rows_; ++row) {
+    frontier.push_back(Candidate::Singleton(*this, row));
+  }
+
+  std::vector<Candidate> qualifying;  // all sets with >= k compact columns
+  while (!frontier.empty()) {
+    std::vector<Candidate> next;
+    for (const Candidate& c : frontier) {
+      bool extended = false;
+      for (size_t row = c.members.back() + 1; row < rows_; ++row) {
+        Candidate e = c.Extended(*this, row, tol);
+        if (e.compact_count >= params.min_compact_tags) {
+          next.push_back(std::move(e));
+          extended = true;
+          if (next.size() + qualifying.size() > params.max_candidates) {
+            return Status::FailedPrecondition(
+                "exact fascicle search exceeded max_candidates (" +
+                std::to_string(params.max_candidates) +
+                "); use the greedy algorithm or tighten tolerances");
+          }
+        }
+      }
+      (void)extended;
+      if (c.members.size() >= params.min_size) {
+        qualifying.push_back(c);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // A qualifying set is maximal when no single-row extension qualifies
+  // (including extensions by rows below its minimum, which the
+  // enumeration order skipped).
+  std::vector<Fascicle> maximal;
+  for (const Candidate& c : qualifying) {
+    bool is_maximal = true;
+    for (size_t row = 0; row < rows_ && is_maximal; ++row) {
+      if (std::binary_search(c.members.begin(), c.members.end(), row)) {
+        continue;
+      }
+      if (c.CompactCountWith(*this, row, tol) >= params.min_compact_tags) {
+        is_maximal = false;
+      }
+    }
+    if (is_maximal) maximal.push_back(c.ToFascicle(tol));
+  }
+  return KeepMaximal(std::move(maximal));
+}
+
+Result<std::vector<Fascicle>> FascicleMiner::MineGreedy(
+    const FascicleParams& params) const {
+  const std::vector<double>& tol = params.tolerances;
+
+  // Phase 1 (batched candidate growth): every row seeds one candidate,
+  // and each arriving row is absorbed *in place* by every live candidate
+  // it keeps at k compact columns. This makes one pass linear in the
+  // number of rows per candidate and keeps the live set at most one
+  // candidate per seed row. At batch boundaries candidates subsumed by a
+  // larger candidate are pruned, and the live set is capped.
+  std::vector<Candidate> live;
+
+  auto prune = [&]() {
+    std::sort(live.begin(), live.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.members.size() != b.members.size()) {
+                  return a.members.size() > b.members.size();
+                }
+                return a.compact_count > b.compact_count;
+              });
+    std::vector<Candidate> kept;
+    for (Candidate& c : live) {
+      bool subsumed = false;
+      for (const Candidate& k : kept) {
+        if (std::includes(k.members.begin(), k.members.end(),
+                          c.members.begin(), c.members.end())) {
+          subsumed = true;
+          break;
+        }
+      }
+      if (!subsumed) kept.push_back(std::move(c));
+      if (kept.size() >= params.max_candidates) break;
+    }
+    live = std::move(kept);
+  };
+
+  size_t row = 0;
+  while (row < rows_) {
+    size_t batch_end = std::min(rows_, row + params.batch_size);
+    for (; row < batch_end; ++row) {
+      for (Candidate& c : live) {
+        if (std::binary_search(c.members.begin(), c.members.end(), row)) {
+          continue;
+        }
+        if (c.CompactCountWith(*this, row, tol) >= params.min_compact_tags) {
+          c.AddRowInPlace(*this, row, tol);
+        }
+      }
+      live.push_back(Candidate::Singleton(*this, row));
+    }
+    prune();
+  }
+
+  // Phase 2: close each qualifying candidate under single-row extension
+  // so reported fascicles are locally maximal, then drop subsets.
+  //
+  // Candidates are processed largest first, and a candidate already
+  // contained in a previously computed closure is skipped — its own
+  // closure would almost always retrace the same set, and skipping keeps
+  // this phase near-linear in practice.
+  std::sort(live.begin(), live.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.members.size() != b.members.size()) {
+                return a.members.size() > b.members.size();
+              }
+              return a.compact_count > b.compact_count;
+            });
+  std::vector<std::vector<size_t>> closures;
+  std::vector<Fascicle> results;
+  for (Candidate& c : live) {
+    if (c.compact_count < params.min_compact_tags) continue;
+    bool subsumed = false;
+    for (const std::vector<size_t>& closure : closures) {
+      if (std::includes(closure.begin(), closure.end(), c.members.begin(),
+                        c.members.end())) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (subsumed) continue;
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (size_t r = 0; r < rows_; ++r) {
+        if (std::binary_search(c.members.begin(), c.members.end(), r)) {
+          continue;
+        }
+        if (c.CompactCountWith(*this, r, tol) >= params.min_compact_tags) {
+          c.AddRowInPlace(*this, r, tol);
+          grew = true;
+        }
+      }
+    }
+    closures.push_back(c.members);
+    if (c.members.size() >= params.min_size) {
+      results.push_back(c.ToFascicle(tol));
+    }
+  }
+
+  // Deduplicate identical member sets produced by different growth paths.
+  std::set<std::vector<size_t>> emitted;
+  std::vector<Fascicle> unique;
+  for (Fascicle& f : results) {
+    if (emitted.insert(f.members).second) unique.push_back(std::move(f));
+  }
+  return KeepMaximal(std::move(unique));
+}
+
+std::vector<double> TolerancesFromWidthPercent(const double* data,
+                                               size_t rows, size_t cols,
+                                               double percent) {
+  std::vector<double> tol(cols, 0.0);
+  if (rows == 0) return tol;
+  for (size_t col = 0; col < cols; ++col) {
+    double lo = data[col];
+    double hi = data[col];
+    for (size_t row = 1; row < rows; ++row) {
+      double v = data[row * cols + col];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    tol[col] = (hi - lo) * percent / 100.0;
+  }
+  return tol;
+}
+
+}  // namespace gea::cluster

@@ -1,0 +1,113 @@
+#ifndef GEA_CLUSTER_FASCICLES_H_
+#define GEA_CLUSTER_FASCICLES_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gea::cluster {
+
+/// The Fascicles algorithm (Jagadish, Madar, Ng, VLDB 1999), the clustering
+/// method Section 2.5 builds GEA around.
+///
+/// Input: a rows-by-columns matrix (rows = SAGE libraries, columns = tags)
+/// and a tolerance vector `t`. A column is *compact* for a set of rows when
+/// the spread (max - min) of its values over those rows is at most the
+/// column's tolerance. A *fascicle* is a set of at least `min_size` rows
+/// with at least `k` compact columns (Section 2.5.1).
+
+/// Mining parameters — the six inputs of the thesis's Fig. 4.6 window.
+struct FascicleParams {
+  /// k: minimum number of compact columns ("No. of Compact Attribute").
+  size_t min_compact_tags = 1;
+
+  /// Per-column compactness tolerances (the "metadata" of Fig. 4.5). Must
+  /// have exactly one entry per matrix column.
+  std::vector<double> tolerances;
+
+  /// Minimum number of rows for a fascicle to be reported ("Minimum
+  /// Size"; the thesis uses 3).
+  size_t min_size = 3;
+
+  /// Phase-1 chunk: how many rows the miner ingests at a time ("Batch
+  /// Size"; the thesis uses 6). Affects only the greedy algorithm.
+  size_t batch_size = 6;
+
+  enum class Algorithm {
+    /// Exhaustive level-wise lattice search returning every maximal
+    /// fascicle. Exponential in the worst case; guarded by
+    /// `max_candidates`.
+    kExact,
+    /// The batched candidate-growth heuristic; linear in the number of
+    /// rows and compact columns per pass (Section 3.3.1).
+    kGreedy,
+  };
+  Algorithm algorithm = Algorithm::kGreedy;
+
+  /// Exact algorithm: abort with FailedPrecondition when the candidate
+  /// frontier exceeds this. Greedy algorithm: live-candidate cap.
+  size_t max_candidates = 20000;
+};
+
+/// One mined fascicle.
+struct Fascicle {
+  /// Row indices of the member libraries, ascending.
+  std::vector<size_t> members;
+  /// Column indices of the compact tags, ascending.
+  std::vector<size_t> compact_columns;
+  /// [min, max] of each compact column over the members, aligned with
+  /// `compact_columns`.
+  std::vector<std::pair<double, double>> compact_ranges;
+
+  std::string ToString() const;
+};
+
+/// Mines fascicles from a row-major `rows` x `cols` matrix.
+class FascicleMiner {
+ public:
+  /// `data` must stay alive for the miner's lifetime.
+  FascicleMiner(const double* data, size_t rows, size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  double At(size_t row, size_t col) const { return data_[row * cols_ + col]; }
+
+  /// Runs the mining algorithm selected in `params`. Fascicles are
+  /// returned largest-membership first; within equal size, more compact
+  /// columns first.
+  Result<std::vector<Fascicle>> Mine(const FascicleParams& params) const;
+
+  /// Number of columns compact over `members` under `tolerances` — the
+  /// invariant checker used by tests.
+  size_t CountCompactColumns(const std::vector<size_t>& members,
+                             const std::vector<double>& tolerances) const;
+
+  /// True when `fascicle` is internally consistent: every listed compact
+  /// column really is compact with the listed range, and no unlisted
+  /// column is compact.
+  bool Verify(const Fascicle& fascicle,
+              const std::vector<double>& tolerances) const;
+
+ private:
+  Result<std::vector<Fascicle>> MineExact(const FascicleParams& params) const;
+  Result<std::vector<Fascicle>> MineGreedy(const FascicleParams& params) const;
+
+  const double* data_;
+  size_t rows_;
+  size_t cols_;
+};
+
+/// Builds the Fig. 4.5 "metadata": per-column tolerance = `percent`% of
+/// the column's value width (max - min over all rows). Columns with zero
+/// width get tolerance 0 (they are compact in any row set).
+std::vector<double> TolerancesFromWidthPercent(const double* data,
+                                               size_t rows, size_t cols,
+                                               double percent);
+
+}  // namespace gea::cluster
+
+#endif  // GEA_CLUSTER_FASCICLES_H_

@@ -1,0 +1,176 @@
+#include "cluster/hierarchical.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+namespace gea::cluster {
+
+const char* LinkageName(Linkage linkage) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return "single";
+    case Linkage::kComplete:
+      return "complete";
+    case Linkage::kAverage:
+      return "average";
+  }
+  return "?";
+}
+
+Result<std::vector<int>> Dendrogram::Cut(size_t k) const {
+  if (k < 1 || k > num_points) {
+    return Status::InvalidArgument("cut requires 1 <= k <= num_points");
+  }
+  // Union-find over the first (n - k) merges.
+  size_t total_nodes = 2 * num_points - 1;
+  std::vector<size_t> parent(total_nodes);
+  std::iota(parent.begin(), parent.end(), size_t{0});
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  size_t merges_to_apply = num_points - k;
+  for (size_t m = 0; m < merges_to_apply; ++m) {
+    const DendrogramMerge& merge = merges[m];
+    parent[find(merge.left)] = merge.id;
+    parent[find(merge.right)] = merge.id;
+  }
+  std::vector<int> labels(num_points, -1);
+  std::vector<int> label_of_root(total_nodes, -1);
+  int next_label = 0;
+  for (size_t i = 0; i < num_points; ++i) {
+    size_t root = find(i);
+    if (label_of_root[root] < 0) label_of_root[root] = next_label++;
+    labels[i] = label_of_root[root];
+  }
+  return labels;
+}
+
+Result<std::string> Dendrogram::ToNewick(
+    const std::vector<std::string>& labels) const {
+  if (!labels.empty() && labels.size() != num_points) {
+    return Status::InvalidArgument(
+        "label count does not match the number of points");
+  }
+  if (num_points == 0) {
+    return Status::InvalidArgument("empty dendrogram");
+  }
+  auto leaf_name = [&](size_t i) {
+    return labels.empty() ? "p" + std::to_string(i) : labels[i];
+  };
+  if (num_points == 1) {
+    return leaf_name(0) + ";";
+  }
+  // height_of[node] = merge height at which the node was created (leaves
+  // sit at height 0); branch length = parent height - child height.
+  size_t total_nodes = 2 * num_points - 1;
+  std::vector<double> height_of(total_nodes, 0.0);
+  for (const DendrogramMerge& m : merges) height_of[m.id] = m.height;
+
+  std::function<std::string(size_t, double)> render =
+      [&](size_t node, double parent_height) -> std::string {
+    double branch = parent_height - height_of[node];
+    std::string length = ":" + std::to_string(branch);
+    if (node < num_points) {
+      return leaf_name(node) + length;
+    }
+    const DendrogramMerge& m = merges[node - num_points];
+    return "(" + render(m.left, m.height) + "," +
+           render(m.right, m.height) + ")" + length;
+  };
+  const DendrogramMerge& root = merges.back();
+  return "(" + render(root.left, root.height) + "," +
+         render(root.right, root.height) + ");";
+}
+
+Result<Dendrogram> HierarchicalCluster(
+    const std::vector<std::vector<double>>& points, DistanceKind kind,
+    Linkage linkage) {
+  const size_t n = points.size();
+  if (n == 0) {
+    return Status::InvalidArgument("need at least one point");
+  }
+  Dendrogram dendro;
+  dendro.num_points = n;
+  if (n == 1) return dendro;
+
+  // Active cluster list; each holds its node id and member leaf ids.
+  struct Cluster {
+    size_t node_id;
+    std::vector<size_t> members;
+  };
+  std::vector<Cluster> active;
+  active.reserve(n);
+  for (size_t i = 0; i < n; ++i) active.push_back({i, {i}});
+
+  std::vector<double> dist = DistanceMatrix(kind, points);
+  auto leaf_dist = [&](size_t a, size_t b) { return dist[a * n + b]; };
+
+  auto cluster_distance = [&](const Cluster& a, const Cluster& b) {
+    double best = linkage == Linkage::kSingle
+                      ? std::numeric_limits<double>::max()
+                      : std::numeric_limits<double>::lowest();
+    double sum = 0.0;
+    for (size_t x : a.members) {
+      for (size_t y : b.members) {
+        double d = leaf_dist(x, y);
+        sum += d;
+        if (linkage == Linkage::kSingle) {
+          best = std::min(best, d);
+        } else {
+          best = std::max(best, d);
+        }
+      }
+    }
+    switch (linkage) {
+      case Linkage::kSingle:
+      case Linkage::kComplete:
+        return best;
+      case Linkage::kAverage:
+        return sum / static_cast<double>(a.members.size() *
+                                         b.members.size());
+    }
+    return best;
+  };
+
+  size_t next_node = n;
+  while (active.size() > 1) {
+    size_t best_i = 0;
+    size_t best_j = 1;
+    double best_d = std::numeric_limits<double>::max();
+    for (size_t i = 0; i < active.size(); ++i) {
+      for (size_t j = i + 1; j < active.size(); ++j) {
+        double d = cluster_distance(active[i], active[j]);
+        if (d < best_d) {
+          best_d = d;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    DendrogramMerge merge;
+    merge.id = next_node++;
+    merge.left = active[best_i].node_id;
+    merge.right = active[best_j].node_id;
+    merge.height = best_d;
+    dendro.merges.push_back(merge);
+
+    Cluster merged;
+    merged.node_id = merge.id;
+    merged.members = active[best_i].members;
+    merged.members.insert(merged.members.end(),
+                          active[best_j].members.begin(),
+                          active[best_j].members.end());
+    active.erase(active.begin() + static_cast<ptrdiff_t>(best_j));
+    active.erase(active.begin() + static_cast<ptrdiff_t>(best_i));
+    active.push_back(std::move(merged));
+  }
+  return dendro;
+}
+
+}  // namespace gea::cluster

@@ -1,0 +1,58 @@
+#ifndef GEA_CLUSTER_HIERARCHICAL_H_
+#define GEA_CLUSTER_HIERARCHICAL_H_
+
+#include <vector>
+
+#include "cluster/distance.h"
+#include "common/result.h"
+
+namespace gea::cluster {
+
+/// One agglomeration step of the dendrogram: clusters `left` and `right`
+/// merged at `height` into node id `id`. Leaf nodes are 0..n-1; internal
+/// nodes are n..2n-2 in merge order.
+struct DendrogramMerge {
+  size_t id = 0;
+  size_t left = 0;
+  size_t right = 0;
+  double height = 0.0;
+};
+
+/// Result of hierarchical agglomerative clustering.
+struct Dendrogram {
+  size_t num_points = 0;
+  std::vector<DendrogramMerge> merges;  // n-1 merges, ascending height
+
+  /// Flat clustering with exactly `k` clusters obtained by undoing the
+  /// last k-1 merges. Returns one label in [0,k) per point. Requires
+  /// 1 <= k <= num_points.
+  Result<std::vector<int>> Cut(size_t k) const;
+
+  /// Serializes the tree in Newick format — the interchange format for
+  /// the Eisen-style cluster trees of Section 2.3.2. `labels` names the
+  /// leaves (empty = "p<i>"); branch lengths carry the merge heights.
+  /// Example for three points: "((p0:0.5,p1:0.5):1.2,p2:1.7);".
+  Result<std::string> ToNewick(
+      const std::vector<std::string>& labels = {}) const;
+};
+
+/// Linkage criteria. The thesis's reference method (Eisen et al.) is
+/// pairwise average linkage.
+enum class Linkage {
+  kSingle = 0,
+  kComplete,
+  kAverage,
+};
+
+const char* LinkageName(Linkage linkage);
+
+/// Agglomerative clustering of `points` under `kind` distance and
+/// `linkage` (the "bottom-up" family of Section 2.3.1). O(n^3), intended
+/// for the library-count scales of SAGE analysis (~100 points).
+Result<Dendrogram> HierarchicalCluster(
+    const std::vector<std::vector<double>>& points, DistanceKind kind,
+    Linkage linkage);
+
+}  // namespace gea::cluster
+
+#endif  // GEA_CLUSTER_HIERARCHICAL_H_

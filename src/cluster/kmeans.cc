@@ -1,0 +1,125 @@
+#include "cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "cluster/distance.h"
+#include "common/rng.h"
+
+namespace gea::cluster {
+
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            const KMeansParams& params) {
+  if (params.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (points.empty() || static_cast<size_t>(params.k) > points.size()) {
+    return Status::InvalidArgument(
+        "k must not exceed the number of points");
+  }
+  const size_t n = points.size();
+  const size_t dim = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("points must share one dimension");
+    }
+  }
+
+  Rng rng(params.seed);
+  KMeansResult result;
+
+  // k-means++ seeding.
+  result.centroids.push_back(
+      points[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1))]);
+  std::vector<double> min_sq(n, std::numeric_limits<double>::max());
+  while (result.centroids.size() < static_cast<size_t>(params.k)) {
+    for (size_t i = 0; i < n; ++i) {
+      double d = SquaredDistance(points[i], result.centroids.back());
+      if (d < min_sq[i]) min_sq[i] = d;
+    }
+    double total = 0.0;
+    for (double d : min_sq) total += d;
+    size_t chosen = 0;
+    if (total > 0.0) {
+      double draw = rng.UniformDouble(0.0, total);
+      double cumulative = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        cumulative += min_sq[i];
+        if (draw < cumulative) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    }
+    result.centroids.push_back(points[chosen]);
+  }
+
+  result.assignments.assign(n, -1);
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (int c = 0; c < params.k; ++c) {
+        double d =
+            SquaredDistance(points[i], result.centroids[static_cast<size_t>(c)]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.assignments[i] != best) {
+        result.assignments[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Update step.
+    std::vector<std::vector<double>> sums(
+        static_cast<size_t>(params.k), std::vector<double>(dim, 0.0));
+    std::vector<size_t> counts(static_cast<size_t>(params.k), 0);
+    for (size_t i = 0; i < n; ++i) {
+      size_t c = static_cast<size_t>(result.assignments[i]);
+      ++counts[c];
+      for (size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    }
+    for (int c = 0; c < params.k; ++c) {
+      size_t cc = static_cast<size_t>(c);
+      if (counts[cc] == 0) continue;  // empty cluster keeps its centroid
+      for (size_t d = 0; d < dim; ++d) {
+        result.centroids[cc][d] =
+            sums[cc][d] / static_cast<double>(counts[cc]);
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.inertia += SquaredDistance(
+        points[i],
+        result.centroids[static_cast<size_t>(result.assignments[i])]);
+  }
+  return result;
+}
+
+}  // namespace gea::cluster

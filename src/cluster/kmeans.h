@@ -1,0 +1,37 @@
+#ifndef GEA_CLUSTER_KMEANS_H_
+#define GEA_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gea::cluster {
+
+/// Parameters for Lloyd's k-means with k-means++ seeding — one of the
+/// "top-down" methods the thesis surveys (Section 2.3.1, [BFR98]) and a
+/// baseline GEA can host as an alternative mine() operator.
+struct KMeansParams {
+  int k = 2;
+  int max_iterations = 100;
+  uint64_t seed = 1;
+};
+
+struct KMeansResult {
+  /// points.size() entries in [0, k).
+  std::vector<int> assignments;
+  /// k centroids.
+  std::vector<std::vector<double>> centroids;
+  /// Sum of squared distances from points to their centroids.
+  double inertia = 0.0;
+  int iterations = 0;
+};
+
+/// Runs k-means on `points` (all the same dimension). Fails when k < 1 or
+/// k > points.size().
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            const KMeansParams& params);
+
+}  // namespace gea::cluster
+
+#endif  // GEA_CLUSTER_KMEANS_H_

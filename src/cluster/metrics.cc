@@ -1,0 +1,89 @@
+#include "cluster/metrics.h"
+
+#include <map>
+
+namespace gea::cluster {
+
+namespace {
+
+Status CheckLengths(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("label vectors differ in length");
+  }
+  if (a.empty()) {
+    return Status::InvalidArgument("label vectors must be non-empty");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> Purity(const std::vector<int>& assignments,
+                      const std::vector<int>& truth) {
+  GEA_RETURN_IF_ERROR(CheckLengths(assignments, truth));
+  // Contingency counts; noise points become unique singleton clusters.
+  std::map<int, std::map<int, size_t>> cluster_label_counts;
+  int next_noise_cluster = -2;
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    int cluster = assignments[i];
+    if (cluster < 0) cluster = next_noise_cluster--;
+    cluster_label_counts[cluster][truth[i]]++;
+  }
+  size_t correct = 0;
+  for (const auto& [cluster, counts] : cluster_label_counts) {
+    size_t best = 0;
+    for (const auto& [label, count] : counts) best = std::max(best, count);
+    correct += best;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(assignments.size());
+}
+
+Result<double> RandIndex(const std::vector<int>& a,
+                         const std::vector<int>& b) {
+  GEA_RETURN_IF_ERROR(CheckLengths(a, b));
+  size_t n = a.size();
+  if (n < 2) return 1.0;
+  size_t agreements = 0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      bool same_a = a[i] == a[j];
+      bool same_b = b[i] == b[j];
+      if (same_a == same_b) ++agreements;
+      ++pairs;
+    }
+  }
+  return static_cast<double>(agreements) / static_cast<double>(pairs);
+}
+
+Result<double> AdjustedRandIndex(const std::vector<int>& a,
+                                 const std::vector<int>& b) {
+  GEA_RETURN_IF_ERROR(CheckLengths(a, b));
+  // Contingency table.
+  std::map<int, std::map<int, double>> table;
+  std::map<int, double> row_sums;
+  std::map<int, double> col_sums;
+  double n = static_cast<double>(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    table[a[i]][b[i]] += 1.0;
+    row_sums[a[i]] += 1.0;
+    col_sums[b[i]] += 1.0;
+  }
+  auto choose2 = [](double x) { return x * (x - 1.0) / 2.0; };
+  double sum_cells = 0.0;
+  for (const auto& [r, cols] : table) {
+    for (const auto& [c, count] : cols) sum_cells += choose2(count);
+  }
+  double sum_rows = 0.0;
+  for (const auto& [r, count] : row_sums) sum_rows += choose2(count);
+  double sum_cols = 0.0;
+  for (const auto& [c, count] : col_sums) sum_cols += choose2(count);
+  double total_pairs = choose2(n);
+  double expected = sum_rows * sum_cols / total_pairs;
+  double max_index = (sum_rows + sum_cols) / 2.0;
+  if (max_index == expected) return 1.0;
+  return (sum_cells - expected) / (max_index - expected);
+}
+
+}  // namespace gea::cluster

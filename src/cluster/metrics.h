@@ -1,0 +1,33 @@
+#ifndef GEA_CLUSTER_METRICS_H_
+#define GEA_CLUSTER_METRICS_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace gea::cluster {
+
+/// External cluster-quality measures used by the clustering benchmarks to
+/// quantify the thesis's qualitative claims (clusters group libraries by
+/// tissue type and neoplastic state; cleaning improves clusters —
+/// Section 2.3.3).
+
+/// Purity: each cluster votes for its majority true label; purity is the
+/// fraction of points whose cluster voted for their label. Noise points
+/// (label < 0 in `assignments`) count as singleton clusters of their own.
+/// Requires equal lengths; in [0, 1].
+Result<double> Purity(const std::vector<int>& assignments,
+                      const std::vector<int>& truth);
+
+/// Rand index: fraction of point pairs on which the two clusterings agree
+/// (same-same or different-different). In [0, 1].
+Result<double> RandIndex(const std::vector<int>& a,
+                         const std::vector<int>& b);
+
+/// Adjusted Rand index (chance-corrected); 1 = identical, ~0 = random.
+Result<double> AdjustedRandIndex(const std::vector<int>& a,
+                                 const std::vector<int>& b);
+
+}  // namespace gea::cluster
+
+#endif  // GEA_CLUSTER_METRICS_H_

@@ -1,0 +1,107 @@
+#include "cluster/optics.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace gea::cluster {
+
+std::vector<int> OpticsResult::ExtractClusters(double eps_prime) const {
+  std::vector<int> labels(reachability.size(), -1);
+  int current = -1;
+  for (size_t idx : ordering) {
+    double r = reachability[idx];
+    if (r == kUnreachable || r > eps_prime) {
+      double core = core_distance[idx];
+      if (core != kUnreachable && core <= eps_prime) {
+        ++current;  // start a new cluster at this core point
+        labels[idx] = current;
+      } else {
+        labels[idx] = -1;  // noise
+      }
+    } else {
+      labels[idx] = current;
+    }
+  }
+  return labels;
+}
+
+Result<OpticsResult> Optics(const std::vector<std::vector<double>>& points,
+                            const OpticsParams& params) {
+  if (params.min_pts < 1) {
+    return Status::InvalidArgument("min_pts must be >= 1");
+  }
+  if (params.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be > 0");
+  }
+  const size_t n = points.size();
+  OpticsResult result;
+  result.reachability.assign(n, OpticsResult::kUnreachable);
+  result.core_distance.assign(n, OpticsResult::kUnreachable);
+  if (n == 0) return result;
+
+  std::vector<double> dist = DistanceMatrix(params.distance, points);
+  auto d = [&](size_t a, size_t b) { return dist[a * n + b]; };
+
+  // Core distance: distance to the min_pts-th neighbor (counting the
+  // point itself), defined when the epsilon-neighborhood is big enough.
+  std::vector<std::vector<size_t>> neighbors(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (d(i, j) <= params.epsilon) neighbors[i].push_back(j);
+    }
+    if (neighbors[i].size() >= static_cast<size_t>(params.min_pts)) {
+      std::vector<double> ds;
+      ds.reserve(neighbors[i].size());
+      for (size_t j : neighbors[i]) ds.push_back(d(i, j));
+      std::nth_element(ds.begin(),
+                       ds.begin() + (params.min_pts - 1), ds.end());
+      result.core_distance[i] = ds[static_cast<size_t>(params.min_pts - 1)];
+    }
+  }
+
+  std::vector<bool> processed(n, false);
+  for (size_t start = 0; start < n; ++start) {
+    if (processed[start]) continue;
+    // Expand from `start` using a naive priority queue (seed list).
+    processed[start] = true;
+    result.ordering.push_back(start);
+    if (result.core_distance[start] == OpticsResult::kUnreachable) continue;
+
+    std::vector<size_t> seeds;
+    auto update_seeds = [&](size_t center) {
+      double core = result.core_distance[center];
+      if (core == OpticsResult::kUnreachable) return;
+      for (size_t nb : neighbors[center]) {
+        if (processed[nb]) continue;
+        double new_reach = std::max(core, d(center, nb));
+        double old = result.reachability[nb];
+        if (old == OpticsResult::kUnreachable) {
+          result.reachability[nb] = new_reach;
+          seeds.push_back(nb);
+        } else if (new_reach < old) {
+          result.reachability[nb] = new_reach;
+        }
+      }
+    };
+    update_seeds(start);
+    while (!seeds.empty()) {
+      // Pop the unprocessed seed with the smallest reachability.
+      size_t best_pos = 0;
+      for (size_t s = 1; s < seeds.size(); ++s) {
+        if (result.reachability[seeds[s]] <
+            result.reachability[seeds[best_pos]]) {
+          best_pos = s;
+        }
+      }
+      size_t next = seeds[best_pos];
+      seeds.erase(seeds.begin() + static_cast<ptrdiff_t>(best_pos));
+      if (processed[next]) continue;
+      processed[next] = true;
+      result.ordering.push_back(next);
+      update_seeds(next);
+    }
+  }
+  return result;
+}
+
+}  // namespace gea::cluster

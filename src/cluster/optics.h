@@ -1,0 +1,48 @@
+#ifndef GEA_CLUSTER_OPTICS_H_
+#define GEA_CLUSTER_OPTICS_H_
+
+#include <vector>
+
+#include "cluster/distance.h"
+#include "common/result.h"
+
+namespace gea::cluster {
+
+/// Parameters of OPTICS (Ankerst et al., SIGMOD 1999) — the hierarchical
+/// density-based algorithm Ng, Sander and Sleumer applied to the SAGE data
+/// (Section 2.3.3, [NSS01]).
+struct OpticsParams {
+  /// Generating distance: neighborhoods are balls of this radius.
+  double epsilon = 1.0;
+  /// Minimum neighborhood size for a core point.
+  int min_pts = 3;
+  DistanceKind distance = DistanceKind::kPearson;
+};
+
+/// OPTICS output: the cluster ordering with per-point reachability
+/// distances (infinite reachability is represented by `kUnreachable`).
+struct OpticsResult {
+  static constexpr double kUnreachable = -1.0;
+
+  /// Point indices in OPTICS visiting order.
+  std::vector<size_t> ordering;
+  /// reachability[i] is the reachability distance of point i
+  /// (kUnreachable where undefined).
+  std::vector<double> reachability;
+  /// core_distance[i] (kUnreachable where undefined).
+  std::vector<double> core_distance;
+
+  /// DBSCAN-equivalent flat clustering at threshold `eps_prime` <=
+  /// epsilon: walks the ordering, starting a new cluster whenever
+  /// reachability exceeds the threshold at a core point. Noise points get
+  /// label -1.
+  std::vector<int> ExtractClusters(double eps_prime) const;
+};
+
+/// Runs OPTICS over `points`.
+Result<OpticsResult> Optics(const std::vector<std::vector<double>>& points,
+                            const OpticsParams& params);
+
+}  // namespace gea::cluster
+
+#endif  // GEA_CLUSTER_OPTICS_H_

@@ -1,0 +1,145 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace gea {
+
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+std::string QuoteField(std::string_view field) {
+  if (!NeedsQuoting(field)) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<CsvDocument> ParseCsv(std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field.empty() && !field_started) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          field += c;
+        }
+        break;
+      case ',':
+        end_field();
+        field_started = false;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_record();
+        break;
+      default:
+        field += c;
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("CSV ends inside a quoted field");
+  }
+  // Final record without a trailing newline.
+  if (!field.empty() || field_started || !record.empty()) {
+    end_record();
+  }
+
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV has no header record");
+  }
+  CsvDocument doc;
+  doc.header = std::move(records.front());
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (records[i].size() != doc.header.size()) {
+      return Status::InvalidArgument(
+          "CSV record " + std::to_string(i) + " has " +
+          std::to_string(records[i].size()) + " fields, expected " +
+          std::to_string(doc.header.size()));
+    }
+    doc.rows.push_back(std::move(records[i]));
+  }
+  return doc;
+}
+
+std::string WriteCsv(const CsvDocument& doc) {
+  std::string out;
+  auto append_record = [&out](const std::vector<std::string>& record) {
+    for (size_t i = 0; i < record.size(); ++i) {
+      if (i > 0) out += ',';
+      out += QuoteField(record[i]);
+    }
+    out += '\n';
+  };
+  append_record(doc.header);
+  for (const auto& row : doc.rows) append_record(row);
+  return out;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open file for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open file for writing: " + path);
+  }
+  out << WriteCsv(doc);
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace gea

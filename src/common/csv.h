@@ -1,0 +1,36 @@
+#ifndef GEA_COMMON_CSV_H_
+#define GEA_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace gea {
+
+/// A parsed CSV document: `header` plus `rows`, every row having
+/// header.size() fields.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses RFC-4180-style CSV text (quoted fields with embedded commas,
+/// doubled quotes, and newlines are supported). The first record is the
+/// header; every subsequent record must have the same field count.
+Result<CsvDocument> ParseCsv(std::string_view text);
+
+/// Serializes a document back to CSV text, quoting fields that need it.
+std::string WriteCsv(const CsvDocument& doc);
+
+/// Reads and parses a CSV file from disk.
+Result<CsvDocument> ReadCsvFile(const std::string& path);
+
+/// Writes a document to disk, overwriting any existing file.
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc);
+
+}  // namespace gea
+
+#endif  // GEA_COMMON_CSV_H_

@@ -1,0 +1,81 @@
+#ifndef GEA_COMMON_RESULT_H_
+#define GEA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace gea {
+
+/// Either a value of type `T` or a non-OK `Status` explaining why the value
+/// could not be produced (the StatusOr idiom). Example:
+///
+///   Result<TagId> id = EncodeTag("AAAAAAAAAC");
+///   if (!id.ok()) return id.status();
+///   Use(id.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs a failed result. `status` must be non-OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when this result failed.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace gea
+
+#define GEA_MACRO_CONCAT_INNER(a, b) a##b
+#define GEA_MACRO_CONCAT(a, b) GEA_MACRO_CONCAT_INNER(a, b)
+
+#define GEA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) {                                \
+    return tmp.status();                          \
+  }                                               \
+  lhs = std::move(tmp).value()
+
+/// Evaluates `expr` (a Result<T>), propagating a failure to the caller and
+/// otherwise binding the value to `lhs`.
+#define GEA_ASSIGN_OR_RETURN(lhs, expr) \
+  GEA_ASSIGN_OR_RETURN_IMPL(            \
+      GEA_MACRO_CONCAT(gea_result_macro_, __LINE__), lhs, expr)
+
+#endif  // GEA_COMMON_RESULT_H_

@@ -1,0 +1,52 @@
+#ifndef GEA_COMMON_RNG_H_
+#define GEA_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace gea {
+
+/// Deterministic pseudo-random source used by all synthetic-data generators
+/// and randomized algorithms, so every experiment in this repository is
+/// reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard-normal draw scaled to mean/stddev.
+  double Normal(double mean, double stddev);
+
+  /// Poisson draw with the given mean (mean > 0).
+  int64_t Poisson(double mean);
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace gea
+
+#endif  // GEA_COMMON_RNG_H_

@@ -1,0 +1,109 @@
+#ifndef GEA_COMMON_STATUS_H_
+#define GEA_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace gea {
+
+/// Outcome of a fallible operation, modeled after the error-status idiom
+/// common in storage engines (e.g. RocksDB's `Status`).
+///
+/// GEA does not use C++ exceptions; every fallible public API returns a
+/// `Status` (or a `Result<T>`, see result.h). A default-constructed Status
+/// is OK. Example:
+///
+///   Status s = catalog.CreateTable(table);
+///   if (!s.ok()) return s;
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,   // redundancy check of Section 4.4.5.2
+  kPermissionDenied,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kIoError,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+
+  /// Renders as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace gea
+
+/// Propagates a non-OK status to the caller. Usable only in functions that
+/// return Status.
+#define GEA_RETURN_IF_ERROR(expr)               \
+  do {                                          \
+    ::gea::Status gea_status_macro_s = (expr);  \
+    if (!gea_status_macro_s.ok()) {             \
+      return gea_status_macro_s;                \
+    }                                           \
+  } while (false)
+
+#endif  // GEA_COMMON_STATUS_H_

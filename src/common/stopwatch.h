@@ -1,0 +1,30 @@
+#ifndef GEA_COMMON_STOPWATCH_H_
+#define GEA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace gea {
+
+/// Wall-clock stopwatch used by the benchmark harnesses that regenerate the
+/// paper's timing tables (e.g. Table 3.2).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gea
+
+#endif  // GEA_COMMON_STOPWATCH_H_

@@ -1,0 +1,69 @@
+#include "common/text_plot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace gea {
+
+std::string RenderBarChart(const std::vector<TextBar>& bars, size_t width) {
+  if (bars.empty()) return "";
+  size_t label_width = 0;
+  double max_abs = 0.0;
+  bool any_negative = false;
+  for (const TextBar& bar : bars) {
+    label_width = std::max(label_width, bar.label.size());
+    max_abs = std::max(max_abs, std::abs(bar.value));
+    any_negative = any_negative || bar.value < 0.0;
+  }
+  if (max_abs == 0.0) max_abs = 1.0;
+
+  std::string out;
+  for (const TextBar& bar : bars) {
+    size_t len = static_cast<size_t>(
+        std::lround(std::abs(bar.value) / max_abs * static_cast<double>(width)));
+    out += PadRight(bar.label, label_width + 2);
+    if (any_negative) {
+      // Two-sided: negatives grow leftwards from the axis.
+      if (bar.value < 0.0) {
+        out += PadLeft(std::string(len, '#'), width);
+        out += '|';
+        out.append(width, ' ');
+      } else {
+        out.append(width, ' ');
+        out += '|';
+        out += PadRight(std::string(len, '#'), width);
+      }
+    } else {
+      out += std::string(len, '#');
+    }
+    out += ' ';
+    out += FormatDouble(bar.value, 1);
+    if (!bar.marker.empty()) {
+      out += "  [";
+      out += bar.marker;
+      out += ']';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RenderValueTable(
+    const std::vector<std::pair<std::string, double>>& rows,
+    int value_digits) {
+  size_t label_width = 0;
+  for (const auto& [label, value] : rows) {
+    label_width = std::max(label_width, label.size());
+  }
+  std::string out;
+  for (const auto& [label, value] : rows) {
+    out += PadRight(label, label_width + 2);
+    out += FormatDouble(value, value_digits);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gea

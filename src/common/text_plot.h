@@ -1,0 +1,33 @@
+#ifndef GEA_COMMON_TEXT_PLOT_H_
+#define GEA_COMMON_TEXT_PLOT_H_
+
+#include <string>
+#include <vector>
+
+namespace gea {
+
+/// One bar of a text bar chart.
+struct TextBar {
+  std::string label;
+  double value = 0.0;
+  /// Optional group marker rendered after the bar (the thesis's figures
+  /// distinguish cancer-in-fascicle / cancer-outside / normal series).
+  std::string marker;
+};
+
+/// Renders a horizontal ASCII bar chart, the stand-in for the thesis's
+/// figure plots (Figs. 4.2, 4.3, 4.10, 4.11). Values are scaled so the
+/// largest bar spans `width` characters; negative values render to the
+/// left of the axis. Labels are right-padded to align the bars.
+std::string RenderBarChart(const std::vector<TextBar>& bars,
+                           size_t width = 50);
+
+/// Renders a two-column table of (label, value) pairs with aligned
+/// columns, used by the report harnesses.
+std::string RenderValueTable(
+    const std::vector<std::pair<std::string, double>>& rows,
+    int value_digits = 1);
+
+}  // namespace gea
+
+#endif  // GEA_COMMON_TEXT_PLOT_H_

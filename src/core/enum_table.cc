@@ -1,0 +1,143 @@
+#include "core/enum_table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gea::core {
+
+EnumTable EnumTable::FromDataSet(std::string name,
+                                 const sage::SageDataSet& dataset) {
+  return FromDataSet(std::move(name), dataset, dataset.TagUniverse());
+}
+
+EnumTable EnumTable::FromDataSet(std::string name,
+                                 const sage::SageDataSet& dataset,
+                                 std::vector<sage::TagId> tags) {
+  std::vector<sage::LibraryMeta> libs;
+  libs.reserve(dataset.NumLibraries());
+  for (const sage::SageLibrary& lib : dataset.libraries()) {
+    libs.push_back(
+        {lib.id(), lib.name(), lib.tissue(), lib.state(), lib.source()});
+  }
+  std::vector<double> values(libs.size() * tags.size(), 0.0);
+  for (size_t row = 0; row < dataset.NumLibraries(); ++row) {
+    const sage::SageLibrary& lib = dataset.library(row);
+    size_t col = 0;
+    for (const sage::SageLibrary::Entry& e : lib.entries()) {
+      while (col < tags.size() && tags[col] < e.tag) ++col;
+      if (col == tags.size()) break;
+      if (tags[col] == e.tag) {
+        values[row * tags.size() + col] = e.count;
+      }
+    }
+  }
+  return EnumTable(std::move(name), std::move(libs), std::move(tags),
+                   std::move(values));
+}
+
+Result<EnumTable> EnumTable::FromRows(std::string name,
+                                      std::vector<sage::LibraryMeta> libraries,
+                                      std::vector<sage::TagId> tags,
+                                      std::vector<double> values) {
+  if (!std::is_sorted(tags.begin(), tags.end()) ||
+      std::adjacent_find(tags.begin(), tags.end()) != tags.end()) {
+    return Status::InvalidArgument(
+        "tags must be strictly ascending in ENUM table " + name);
+  }
+  if (values.size() != libraries.size() * tags.size()) {
+    return Status::InvalidArgument(
+        "value buffer has " + std::to_string(values.size()) +
+        " entries, expected " +
+        std::to_string(libraries.size() * tags.size()));
+  }
+  return EnumTable(std::move(name), std::move(libraries), std::move(tags),
+                   std::move(values));
+}
+
+std::optional<size_t> EnumTable::FindTagColumn(sage::TagId tag) const {
+  auto it = std::lower_bound(tags_.begin(), tags_.end(), tag);
+  if (it == tags_.end() || *it != tag) return std::nullopt;
+  return static_cast<size_t>(it - tags_.begin());
+}
+
+std::optional<size_t> EnumTable::FindLibraryRow(int library_id) const {
+  for (size_t row = 0; row < libraries_.size(); ++row) {
+    if (libraries_[row].id == library_id) return row;
+  }
+  return std::nullopt;
+}
+
+EnumTable EnumTable::FilterLibraries(
+    const std::string& out_name,
+    const std::function<bool(const sage::LibraryMeta&)>& pred) const {
+  std::vector<sage::LibraryMeta> libs;
+  std::vector<double> values;
+  for (size_t row = 0; row < libraries_.size(); ++row) {
+    if (!pred(libraries_[row])) continue;
+    libs.push_back(libraries_[row]);
+    std::span<const double> src = LibraryRow(row);
+    values.insert(values.end(), src.begin(), src.end());
+  }
+  return EnumTable(out_name, std::move(libs), tags_, std::move(values));
+}
+
+EnumTable EnumTable::MinusLibraries(const std::string& out_name,
+                                    const EnumTable& other) const {
+  std::unordered_set<int> excluded;
+  for (const sage::LibraryMeta& lib : other.libraries_) {
+    excluded.insert(lib.id);
+  }
+  return FilterLibraries(out_name, [&](const sage::LibraryMeta& lib) {
+    return excluded.count(lib.id) == 0;
+  });
+}
+
+Result<EnumTable> EnumTable::RestrictTags(
+    const std::string& out_name, std::vector<sage::TagId> tags) const {
+  if (!std::is_sorted(tags.begin(), tags.end()) ||
+      std::adjacent_find(tags.begin(), tags.end()) != tags.end()) {
+    return Status::InvalidArgument(
+        "RestrictTags requires strictly ascending tags");
+  }
+  std::vector<std::optional<size_t>> cols;
+  cols.reserve(tags.size());
+  for (sage::TagId tag : tags) {
+    cols.push_back(FindTagColumn(tag));
+  }
+  std::vector<double> values;
+  values.reserve(libraries_.size() * cols.size());
+  for (size_t row = 0; row < libraries_.size(); ++row) {
+    for (const std::optional<size_t>& col : cols) {
+      values.push_back(col.has_value() ? ValueAt(row, *col) : 0.0);
+    }
+  }
+  return EnumTable(out_name, libraries_, std::move(tags), std::move(values));
+}
+
+EnumTable EnumTable::SelectLibraries(const std::string& out_name,
+                                     const std::vector<int>& ids) const {
+  std::unordered_set<int> wanted(ids.begin(), ids.end());
+  return FilterLibraries(out_name, [&](const sage::LibraryMeta& lib) {
+    return wanted.count(lib.id) > 0;
+  });
+}
+
+rel::Table EnumTable::ToRelTable() const {
+  std::vector<rel::ColumnDef> defs = {{"TagName", rel::ValueType::kString},
+                                      {"TagNo", rel::ValueType::kInt}};
+  for (const sage::LibraryMeta& lib : libraries_) {
+    defs.push_back({lib.name, rel::ValueType::kDouble});
+  }
+  rel::Table table(name_, rel::Schema(std::move(defs)));
+  for (size_t col = 0; col < tags_.size(); ++col) {
+    rel::Row row = {rel::Value::String(sage::DecodeTag(tags_[col])),
+                    rel::Value::Int(static_cast<int64_t>(tags_[col]))};
+    for (size_t lib = 0; lib < libraries_.size(); ++lib) {
+      row.push_back(rel::Value::Double(ValueAt(lib, col)));
+    }
+    table.AppendRowUnchecked(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace gea::core

@@ -1,0 +1,105 @@
+#include "core/gap.h"
+
+#include <algorithm>
+
+namespace gea::core {
+
+Result<GapTable> GapTable::Create(std::string name,
+                                  std::vector<std::string> gap_columns,
+                                  std::vector<GapEntry> entries) {
+  if (gap_columns.empty()) {
+    return Status::InvalidArgument("GAP table needs at least one gap column");
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const GapEntry& a, const GapEntry& b) { return a.tag < b.tag; });
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].gaps.size() != gap_columns.size()) {
+      return Status::InvalidArgument(
+          "GAP entry for " + sage::TagLabel(entries[i].tag) + " has " +
+          std::to_string(entries[i].gaps.size()) + " values, table has " +
+          std::to_string(gap_columns.size()) + " gap columns");
+    }
+    if (i > 0 && entries[i].tag == entries[i - 1].tag) {
+      return Status::InvalidArgument("duplicate GAP tag: " +
+                                     sage::TagLabel(entries[i].tag));
+    }
+  }
+  GapTable table;
+  table.name_ = std::move(name);
+  table.gap_columns_ = std::move(gap_columns);
+  table.entries_ = std::move(entries);
+  return table;
+}
+
+std::optional<GapEntry> GapTable::Find(sage::TagId tag) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), tag,
+      [](const GapEntry& e, sage::TagId t) { return e.tag < t; });
+  if (it == entries_.end() || it->tag != tag) return std::nullopt;
+  return *it;
+}
+
+std::optional<double> GapTable::Gap(sage::TagId tag, size_t col) const {
+  std::optional<GapEntry> entry = Find(tag);
+  if (!entry.has_value() || col >= entry->gaps.size()) return std::nullopt;
+  return entry->gaps[col];
+}
+
+rel::Table GapTable::ToRelTable() const {
+  std::vector<rel::ColumnDef> defs = {{"TagName", rel::ValueType::kString},
+                                      {"TagNo", rel::ValueType::kInt}};
+  for (const std::string& col : gap_columns_) {
+    defs.push_back({col, rel::ValueType::kDouble});
+  }
+  rel::Table table(name_, rel::Schema(std::move(defs)));
+  for (const GapEntry& e : entries_) {
+    rel::Row row = {rel::Value::String(sage::DecodeTag(e.tag)),
+                    rel::Value::Int(static_cast<int64_t>(e.tag))};
+    for (const std::optional<double>& g : e.gaps) {
+      row.push_back(g.has_value() ? rel::Value::Double(*g)
+                                  : rel::Value::Null());
+    }
+    table.AppendRowUnchecked(std::move(row));
+  }
+  return table;
+}
+
+Result<GapTable> Diff(const SumyTable& sumy1, const SumyTable& sumy2,
+                      const std::string& out_name,
+                      const std::string& gap_column) {
+  std::vector<GapEntry> entries;
+  // Merge over the two sorted entry lists; GAP rows exist only for the
+  // common tags (Fig. 3.5: the resultant table consists of the tags
+  // common to both SUMY tables).
+  size_t i = 0;
+  size_t j = 0;
+  while (i < sumy1.NumTags() && j < sumy2.NumTags()) {
+    const SumyEntry& a = sumy1.entry(i);
+    const SumyEntry& b = sumy2.entry(j);
+    if (a.tag < b.tag) {
+      ++i;
+      continue;
+    }
+    if (b.tag < a.tag) {
+      ++j;
+      continue;
+    }
+    const bool first_is_higher = a.mean >= b.mean;
+    const SumyEntry& hi = first_is_higher ? a : b;
+    const SumyEntry& lo = first_is_higher ? b : a;
+    double magnitude = (hi.mean - hi.stddev) - (lo.mean + lo.stddev);
+    GapEntry entry;
+    entry.tag = a.tag;
+    if (magnitude <= 0.0) {
+      entry.gaps.push_back(std::nullopt);  // the bands overlap
+    } else {
+      entry.gaps.push_back(first_is_higher ? magnitude : -magnitude);
+    }
+    entries.push_back(std::move(entry));
+    ++i;
+    ++j;
+  }
+  return GapTable::Create(out_name, {gap_column}, std::move(entries));
+}
+
+}  // namespace gea::core

@@ -1,0 +1,81 @@
+#ifndef GEA_CORE_GAP_H_
+#define GEA_CORE_GAP_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/sumy.h"
+#include "rel/table.h"
+#include "sage/tag_codec.h"
+
+namespace gea::core {
+
+/// One row of a GAP table: a tag with one gap value per gap column. A gap
+/// value is null when the two clusters' µ±σ bands overlap (Fig. 3.4).
+struct GapEntry {
+  sage::TagId tag = 0;
+  std::vector<std::optional<double>> gaps;  // one per gap column
+};
+
+/// A GAP table (Fig. 3.3b): summarizes the per-tag difference between two
+/// SUMY tables. Fresh diff() output has a single gap column; the
+/// intersect/union comparison operators produce two (Fig. 3.6d).
+class GapTable {
+ public:
+  GapTable() = default;
+
+  /// Builds from entries; sorts by tag, rejects duplicates and rows whose
+  /// gap count differs from the column count. Requires >= 1 column.
+  static Result<GapTable> Create(std::string name,
+                                 std::vector<std::string> gap_columns,
+                                 std::vector<GapEntry> entries);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t NumColumns() const { return gap_columns_.size(); }
+  const std::vector<std::string>& gap_columns() const { return gap_columns_; }
+
+  size_t NumTags() const { return entries_.size(); }
+  const GapEntry& entry(size_t i) const { return entries_[i]; }
+  const std::vector<GapEntry>& entries() const { return entries_; }
+
+  /// Entry for `tag`, or nullopt.
+  std::optional<GapEntry> Find(sage::TagId tag) const;
+
+  /// Gap value of `tag` in column `col` (nullopt if the tag is absent or
+  /// the gap is null).
+  std::optional<double> Gap(sage::TagId tag, size_t col = 0) const;
+
+  /// Relational rendering: TagName, TagNo, then one double column per gap
+  /// column (null gaps become SQL NULL) — the GapTable schema of
+  /// Appendix IV (table 10).
+  rel::Table ToRelTable() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> gap_columns_;
+  std::vector<GapEntry> entries_;  // sorted by tag
+};
+
+/// The diff() operator (Section 3.2.2): GAP = diff(SUMY1, SUMY2).
+///
+/// For each tag common to both SUMY tables, with `hi` the operand of
+/// higher mean and `lo` the other:
+///
+///   gap magnitude = (µ_hi − σ_hi) − (µ_lo + σ_lo)
+///
+/// A non-positive magnitude means the µ±σ bands overlap and the gap is
+/// null. Otherwise the gap carries the magnitude with a **positive** sign
+/// when `sumy1` has the higher mean and **negative** when `sumy1` has the
+/// lower mean (the worked Fig. 3.5 example: Tag1 → −1, Tag3 → null,
+/// Tag4 → +2).
+Result<GapTable> Diff(const SumyTable& sumy1, const SumyTable& sumy2,
+                      const std::string& out_name,
+                      const std::string& gap_column = "Gap");
+
+}  // namespace gea::core
+
+#endif  // GEA_CORE_GAP_H_

@@ -1,0 +1,147 @@
+#include "core/gap_compare.h"
+
+#include "core/gap_ops.h"
+
+namespace gea::core {
+
+const char* GapCompareKindName(GapCompareKind kind) {
+  switch (kind) {
+    case GapCompareKind::kUnion:
+      return "union";
+    case GapCompareKind::kIntersect:
+      return "intersect";
+    case GapCompareKind::kDifference:
+      return "difference";
+  }
+  return "?";
+}
+
+Result<GapTable> CompareGaps(const GapTable& gap_a, const GapTable& gap_b,
+                             GapCompareKind kind,
+                             const std::string& out_name) {
+  if (gap_a.NumColumns() != 1 || gap_b.NumColumns() != 1) {
+    return Status::InvalidArgument(
+        "gap comparison expects single-column GAP tables");
+  }
+  // Rename columns so the combined table reads GapA / GapB.
+  GEA_ASSIGN_OR_RETURN(GapTable a, ProjectGap(gap_a, gap_a.gap_columns(),
+                                              gap_a.name()));
+  GEA_ASSIGN_OR_RETURN(GapTable b, ProjectGap(gap_b, gap_b.gap_columns(),
+                                              gap_b.name()));
+  std::vector<GapEntry> a_entries = a.entries();
+  GEA_ASSIGN_OR_RETURN(GapTable named_a,
+                       GapTable::Create(a.name(), {"GapA"},
+                                        std::move(a_entries)));
+  std::vector<GapEntry> b_entries = b.entries();
+  GEA_ASSIGN_OR_RETURN(GapTable named_b,
+                       GapTable::Create(b.name(), {"GapB"},
+                                        std::move(b_entries)));
+  switch (kind) {
+    case GapCompareKind::kUnion:
+      return GapUnion(named_a, named_b, out_name);
+    case GapCompareKind::kIntersect:
+      return GapIntersect(named_a, named_b, out_name);
+    case GapCompareKind::kDifference:
+      return GapMinus(named_a, named_b, out_name);
+  }
+  return Status::InvalidArgument("unknown comparison kind");
+}
+
+const char* GapCompareQueryDescription(GapCompareQuery query) {
+  switch (query) {
+    case GapCompareQuery::kHigherInAInBoth:
+      return "tags always have higher expression values in SUMYa in both "
+             "GAP tables";
+    case GapCompareQuery::kLowerInAInBoth:
+      return "tags always have lower expression values in SUMYa in both "
+             "GAP tables";
+    case GapCompareQuery::kHigherInBInBoth:
+      return "tags always have higher expression values in SUMYb in both "
+             "GAP tables";
+    case GapCompareQuery::kLowerInBInBoth:
+      return "tags always have lower expression values in SUMYb in both "
+             "GAP tables";
+    case GapCompareQuery::kNonNullInBoth:
+      return "all tags have non-null gap values in both GAP tables";
+    case GapCompareQuery::kHigherInAOfAOnly:
+      return "tags have higher expression in SUMYa of GAPa, not in SUMYa "
+             "of GAPb";
+    case GapCompareQuery::kLowerInAOfAOnly:
+      return "tags have lower expression in SUMYa of GAPa, not in SUMYa "
+             "of GAPb";
+    case GapCompareQuery::kHigherInBOfAOnly:
+      return "tags have higher expression in SUMYb of GAPa, not in SUMYb "
+             "of GAPb";
+    case GapCompareQuery::kLowerInBOfAOnly:
+      return "tags have lower expression in SUMYb of GAPa, not in SUMYb "
+             "of GAPb";
+    case GapCompareQuery::kHigherInAOfBOnly:
+      return "tags have higher expression in SUMYa of GAPb, not in SUMYa "
+             "of GAPa";
+    case GapCompareQuery::kLowerInAOfBOnly:
+      return "tags have lower expression in SUMYa of GAPb, not in SUMYa "
+             "of GAPa";
+    case GapCompareQuery::kHigherInBOfBOnly:
+      return "tags have higher expression in SUMYb of GAPb, not in SUMYb "
+             "of GAPa";
+    case GapCompareQuery::kLowerInBOfBOnly:
+      return "tags have lower expression in SUMYb of GAPb, not in SUMYb "
+             "of GAPa";
+  }
+  return "?";
+}
+
+namespace {
+
+bool Positive(const std::optional<double>& g) {
+  return g.has_value() && *g > 0.0;
+}
+bool Negative(const std::optional<double>& g) {
+  return g.has_value() && *g < 0.0;
+}
+
+}  // namespace
+
+Result<GapTable> ApplyGapQuery(const GapTable& compared,
+                               GapCompareQuery query,
+                               const std::string& out_name) {
+  const bool single_column = compared.NumColumns() < 2;
+  if (single_column && query > GapCompareQuery::kNonNullInBoth) {
+    return Status::FailedPrecondition(
+        "queries 6-13 require a two-column compared GAP table (union or "
+        "intersect output); got " +
+        std::to_string(compared.NumColumns()) + " column(s)");
+  }
+  auto pred = [query, single_column](const GapEntry& e) {
+    // On a difference output there is only GapA; queries 1-5 degenerate
+    // to their GapA condition (the Fig. 4.14 usage).
+    const std::optional<double>& a = e.gaps[0];
+    const std::optional<double>& b = single_column ? e.gaps[0] : e.gaps[1];
+    switch (query) {
+      case GapCompareQuery::kHigherInAInBoth:
+      case GapCompareQuery::kLowerInBInBoth:
+        return Positive(a) && Positive(b);
+      case GapCompareQuery::kLowerInAInBoth:
+      case GapCompareQuery::kHigherInBInBoth:
+        return Negative(a) && Negative(b);
+      case GapCompareQuery::kNonNullInBoth:
+        return a.has_value() && b.has_value();
+      case GapCompareQuery::kHigherInAOfAOnly:
+      case GapCompareQuery::kLowerInBOfAOnly:
+        return Positive(a) && !Positive(b);
+      case GapCompareQuery::kLowerInAOfAOnly:
+      case GapCompareQuery::kHigherInBOfAOnly:
+        return Negative(a) && !Negative(b);
+      case GapCompareQuery::kHigherInAOfBOnly:
+      case GapCompareQuery::kLowerInBOfBOnly:
+        return Positive(b) && !Positive(a);
+      case GapCompareQuery::kLowerInAOfBOnly:
+      case GapCompareQuery::kHigherInBOfBOnly:
+        return Negative(b) && !Negative(a);
+    }
+    return false;
+  };
+  return SelectGap(compared, pred, out_name);
+}
+
+}  // namespace gea::core

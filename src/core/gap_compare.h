@@ -1,0 +1,67 @@
+#ifndef GEA_CORE_GAP_COMPARE_H_
+#define GEA_CORE_GAP_COMPARE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/gap.h"
+
+namespace gea::core {
+
+/// The GAP-comparison facility of Fig. 4.13: combine two single-column
+/// GAP tables (each a diff(SUMYa, SUMYb) for its own tissue type) and run
+/// one of thirteen canned queries over the combined table.
+
+/// How the two GAP tables are combined ("Compare" radio buttons).
+enum class GapCompareKind {
+  kUnion = 0,
+  kIntersect,
+  kDifference,
+};
+
+const char* GapCompareKindName(GapCompareKind kind);
+
+/// Combines `gap_a` and `gap_b` per `kind`. Union/intersect produce a
+/// two-column table (columns "GapA", "GapB"); difference produces a's
+/// single column. Requires both inputs to be single-column.
+Result<GapTable> CompareGaps(const GapTable& gap_a, const GapTable& gap_b,
+                             GapCompareKind kind,
+                             const std::string& out_name);
+
+/// The thirteen queries of Section 4.3.3. In a GAP = diff(SUMYa, SUMYb),
+/// a positive gap means the tag is expressed higher in SUMYa and a
+/// negative gap higher in SUMYb. "Not" conditions mean the stated
+/// condition fails in the other GAP table (null or opposite sign).
+/// Queries 1–5 apply to all three comparison kinds; queries 6–13 only to
+/// union and intersection (a difference output has no GapB column).
+enum class GapCompareQuery {
+  kHigherInAInBoth = 1,   // 1: gapA > 0 and gapB > 0
+  kLowerInAInBoth,        // 2: gapA < 0 and gapB < 0
+  kHigherInBInBoth,       // 3: higher in SUMYb in both = lower in SUMYa
+  kLowerInBInBoth,        // 4: lower in SUMYb in both = higher in SUMYa
+  kNonNullInBoth,         // 5: both gaps non-null
+  kHigherInAOfAOnly,      // 6: gapA > 0, not (gapB > 0)
+  kLowerInAOfAOnly,       // 7: gapA < 0, not (gapB < 0)
+  kHigherInBOfAOnly,      // 8: gapA < 0, not (gapB < 0)
+  kLowerInBOfAOnly,       // 9: gapA > 0, not (gapB > 0)
+  kHigherInAOfBOnly,      // 10: gapB > 0, not (gapA > 0)
+  kLowerInAOfBOnly,       // 11: gapB < 0, not (gapA < 0)
+  kHigherInBOfBOnly,      // 12: gapB < 0, not (gapA < 0)
+  kLowerInBOfBOnly,       // 13: gapB > 0, not (gapA > 0)
+};
+
+const char* GapCompareQueryDescription(GapCompareQuery query);
+
+/// Applies `query` to a compared table. On a two-column table (union /
+/// intersect output) all thirteen queries apply. On a single-column table
+/// (difference output) only queries 1-5 apply — evaluated on the lone
+/// GapA column, which is how Fig. 4.14 runs query 2 over a difference —
+/// and queries 6-13 fail with FailedPrecondition (the thesis's
+/// restriction).
+Result<GapTable> ApplyGapQuery(const GapTable& compared,
+                               GapCompareQuery query,
+                               const std::string& out_name);
+
+}  // namespace gea::core
+
+#endif  // GEA_CORE_GAP_COMPARE_H_

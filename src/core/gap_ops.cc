@@ -1,0 +1,216 @@
+#include "core/gap_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace gea::core {
+
+Result<GapTable> SelectGap(const GapTable& input,
+                           const std::function<bool(const GapEntry&)>& pred,
+                           const std::string& out_name) {
+  std::vector<GapEntry> entries;
+  for (const GapEntry& e : input.entries()) {
+    if (pred(e)) entries.push_back(e);
+  }
+  return GapTable::Create(out_name, input.gap_columns(), std::move(entries));
+}
+
+Result<GapTable> SelectNonNullGaps(const GapTable& input,
+                                   const std::string& out_name) {
+  return SelectGap(
+      input, [](const GapEntry& e) { return e.gaps[0].has_value(); },
+      out_name);
+}
+
+Result<GapTable> SelectPositiveGaps(const GapTable& input,
+                                    const std::string& out_name) {
+  return SelectGap(
+      input,
+      [](const GapEntry& e) { return e.gaps[0].has_value() && *e.gaps[0] > 0; },
+      out_name);
+}
+
+Result<GapTable> SelectNegativeGaps(const GapTable& input,
+                                    const std::string& out_name) {
+  return SelectGap(
+      input,
+      [](const GapEntry& e) { return e.gaps[0].has_value() && *e.gaps[0] < 0; },
+      out_name);
+}
+
+Result<GapTable> ProjectGap(const GapTable& input,
+                            const std::vector<std::string>& gap_columns,
+                            const std::string& out_name) {
+  std::vector<size_t> indices;
+  for (const std::string& name : gap_columns) {
+    auto it = std::find(input.gap_columns().begin(),
+                        input.gap_columns().end(), name);
+    if (it == input.gap_columns().end()) {
+      return Status::NotFound("no such gap column: " + name);
+    }
+    indices.push_back(
+        static_cast<size_t>(it - input.gap_columns().begin()));
+  }
+  std::vector<GapEntry> entries;
+  entries.reserve(input.NumTags());
+  for (const GapEntry& e : input.entries()) {
+    GapEntry projected;
+    projected.tag = e.tag;
+    for (size_t idx : indices) projected.gaps.push_back(e.gaps[idx]);
+    entries.push_back(std::move(projected));
+  }
+  return GapTable::Create(out_name, gap_columns, std::move(entries));
+}
+
+Result<GapTable> GapMinus(const GapTable& a, const GapTable& b,
+                          const std::string& out_name) {
+  std::vector<GapEntry> entries;
+  for (const GapEntry& e : a.entries()) {
+    if (!b.Find(e.tag).has_value()) entries.push_back(e);
+  }
+  return GapTable::Create(out_name, a.gap_columns(), std::move(entries));
+}
+
+namespace {
+
+/// Output columns for intersect/union: a's columns then b's, with "_1"/
+/// "_2" suffixes on name clashes (so intersecting two fresh diff outputs
+/// yields "Gap_1", "Gap_2" like Fig. 3.6d's Gap1/Gap2).
+std::vector<std::string> CombineColumns(const GapTable& a,
+                                        const GapTable& b) {
+  std::vector<std::string> columns;
+  for (const std::string& col : a.gap_columns()) {
+    bool clash = std::find(b.gap_columns().begin(), b.gap_columns().end(),
+                           col) != b.gap_columns().end();
+    columns.push_back(clash ? col + "_1" : col);
+  }
+  for (const std::string& col : b.gap_columns()) {
+    bool clash = std::find(a.gap_columns().begin(), a.gap_columns().end(),
+                           col) != a.gap_columns().end();
+    columns.push_back(clash ? col + "_2" : col);
+  }
+  return columns;
+}
+
+}  // namespace
+
+Result<GapTable> GapIntersect(const GapTable& a, const GapTable& b,
+                              const std::string& out_name) {
+  std::vector<GapEntry> entries;
+  for (const GapEntry& ea : a.entries()) {
+    std::optional<GapEntry> eb = b.Find(ea.tag);
+    if (!eb.has_value()) continue;
+    GapEntry merged;
+    merged.tag = ea.tag;
+    merged.gaps = ea.gaps;
+    merged.gaps.insert(merged.gaps.end(), eb->gaps.begin(), eb->gaps.end());
+    entries.push_back(std::move(merged));
+  }
+  return GapTable::Create(out_name, CombineColumns(a, b),
+                          std::move(entries));
+}
+
+Result<GapTable> GapUnion(const GapTable& a, const GapTable& b,
+                          const std::string& out_name) {
+  std::vector<GapEntry> entries;
+  for (const GapEntry& ea : a.entries()) {
+    GapEntry merged;
+    merged.tag = ea.tag;
+    merged.gaps = ea.gaps;
+    std::optional<GapEntry> eb = b.Find(ea.tag);
+    if (eb.has_value()) {
+      merged.gaps.insert(merged.gaps.end(), eb->gaps.begin(),
+                         eb->gaps.end());
+    } else {
+      merged.gaps.resize(merged.gaps.size() + b.NumColumns(), std::nullopt);
+    }
+    entries.push_back(std::move(merged));
+  }
+  for (const GapEntry& eb : b.entries()) {
+    if (a.Find(eb.tag).has_value()) continue;
+    GapEntry merged;
+    merged.tag = eb.tag;
+    merged.gaps.resize(a.NumColumns(), std::nullopt);
+    merged.gaps.insert(merged.gaps.end(), eb.gaps.begin(), eb.gaps.end());
+    entries.push_back(std::move(merged));
+  }
+  return GapTable::Create(out_name, CombineColumns(a, b),
+                          std::move(entries));
+}
+
+const char* TopGapModeName(TopGapMode mode) {
+  switch (mode) {
+    case TopGapMode::kLargestMagnitude:
+      return "largest_magnitude";
+    case TopGapMode::kHighest:
+      return "highest";
+    case TopGapMode::kLowest:
+      return "lowest";
+  }
+  return "?";
+}
+
+Result<GapTable> TopGap(const GapTable& input, size_t x, TopGapMode mode,
+                        const std::string& out_name) {
+  if (x == 0) {
+    return Status::InvalidArgument("top-x requires x >= 1");
+  }
+  std::vector<GapEntry> non_null;
+  for (const GapEntry& e : input.entries()) {
+    if (e.gaps[0].has_value()) non_null.push_back(e);
+  }
+  auto key = [mode](const GapEntry& e) {
+    double g = *e.gaps[0];
+    switch (mode) {
+      case TopGapMode::kLargestMagnitude:
+        return std::abs(g);
+      case TopGapMode::kHighest:
+        return g;
+      case TopGapMode::kLowest:
+        return -g;
+    }
+    return g;
+  };
+  std::stable_sort(non_null.begin(), non_null.end(),
+                   [&](const GapEntry& a, const GapEntry& b) {
+                     return key(a) > key(b);
+                   });
+  if (non_null.size() > x) non_null.resize(x);
+  return GapTable::Create(out_name, input.gap_columns(),
+                          std::move(non_null));
+}
+
+std::vector<std::string> RenderGapList(const GapTable& table,
+                                       size_t max_entries) {
+  // Preserve the table's own order when it is a top-gap table; GapTable
+  // stores entries sorted by tag, so re-rank by first column magnitude
+  // for a display that matches the thesis windows.
+  std::vector<const GapEntry*> ordered;
+  ordered.reserve(table.NumTags());
+  for (const GapEntry& e : table.entries()) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const GapEntry* a, const GapEntry* b) {
+                     double ka = a->gaps[0].has_value()
+                                     ? std::abs(*a->gaps[0])
+                                     : -1.0;
+                     double kb = b->gaps[0].has_value()
+                                     ? std::abs(*b->gaps[0])
+                                     : -1.0;
+                     return ka > kb;
+                   });
+  std::vector<std::string> out;
+  for (const GapEntry* e : ordered) {
+    if (out.size() >= max_entries) break;
+    std::string line = sage::TagLabel(e->tag);
+    for (const std::optional<double>& g : e->gaps) {
+      line += "_";
+      line += g.has_value() ? FormatDouble(*g, 2) : "NULL";
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+}  // namespace gea::core

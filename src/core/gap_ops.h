@@ -1,0 +1,78 @@
+#ifndef GEA_CORE_GAP_OPS_H_
+#define GEA_CORE_GAP_OPS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/gap.h"
+
+namespace gea::core {
+
+/// Intensional-world operations on GAP tables (Sections 3.2.3 and 4.4.3).
+
+/// Selection with an arbitrary predicate (e.g. "keep tags with negative
+/// gap values", the Case 3 building block).
+Result<GapTable> SelectGap(const GapTable& input,
+                           const std::function<bool(const GapEntry&)>& pred,
+                           const std::string& out_name);
+
+/// Keeps only entries whose first gap column is non-null.
+Result<GapTable> SelectNonNullGaps(const GapTable& input,
+                                   const std::string& out_name);
+
+/// Keeps entries whose first gap column is non-null and positive /
+/// negative.
+Result<GapTable> SelectPositiveGaps(const GapTable& input,
+                                    const std::string& out_name);
+Result<GapTable> SelectNegativeGaps(const GapTable& input,
+                                    const std::string& out_name);
+
+/// Projection: keeps the named gap columns, in order (Section 3.2.3's
+/// "standard projection operator to remove unwanted columns").
+Result<GapTable> ProjectGap(const GapTable& input,
+                            const std::vector<std::string>& gap_columns,
+                            const std::string& out_name);
+
+/// Set minus at the level of tags (Fig. 3.6c): tags of `a` missing from
+/// `b`, with a's gap columns.
+Result<GapTable> GapMinus(const GapTable& a, const GapTable& b,
+                          const std::string& out_name);
+
+/// Set intersection (Fig. 3.6d): the common tags; the output carries a's
+/// gap columns followed by b's (renamed "<name>_1"/"<name>_2" on clash).
+Result<GapTable> GapIntersect(const GapTable& a, const GapTable& b,
+                              const std::string& out_name);
+
+/// Set union, defined like intersection (Section 3.2.3): all tags from
+/// either operand, with a's columns then b's; a tag absent from one
+/// operand carries nulls in that operand's columns.
+Result<GapTable> GapUnion(const GapTable& a, const GapTable& b,
+                          const std::string& out_name);
+
+/// Ranking criterion for top-gap extraction (Section 4.4.3).
+enum class TopGapMode {
+  /// Largest |gap| first — what the Fig. 4.9 "Top Gap Values" list shows.
+  kLargestMagnitude = 0,
+  /// Most positive first.
+  kHighest,
+  /// Most negative first.
+  kLowest,
+};
+
+const char* TopGapModeName(TopGapMode mode);
+
+/// The top-x non-null gaps of the first gap column under `mode`
+/// ("Calculate Top Gap Table", Fig. 4.19). The thesis's convention names
+/// the output "<gap name>_<x>".
+Result<GapTable> TopGap(const GapTable& input, size_t x, TopGapMode mode,
+                        const std::string& out_name);
+
+/// Formats entries like the thesis's windows: "TAGNAME_(id)_value[_value2]".
+std::vector<std::string> RenderGapList(const GapTable& table,
+                                       size_t max_entries = 20);
+
+}  // namespace gea::core
+
+#endif  // GEA_CORE_GAP_OPS_H_

@@ -1,0 +1,101 @@
+#include "core/index_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gea::core {
+
+namespace {
+
+// log C(p, w) via lgamma.
+double LogChoose(int64_t p, int64_t w) {
+  return std::lgamma(static_cast<double>(p) + 1.0) -
+         std::lgamma(static_cast<double>(w) + 1.0) -
+         std::lgamma(static_cast<double>(p - w) + 1.0);
+}
+
+}  // namespace
+
+double ProbExactlyWIndexHits(int64_t n, int64_t p, int64_t m, int64_t w) {
+  if (w < 0 || w > p) return 0.0;
+  if (m <= 0) return w == 0 ? 1.0 : 0.0;
+  if (m >= n) return w == p ? 1.0 : 0.0;
+  double q = static_cast<double>(m) / static_cast<double>(n);
+  double log_prob = LogChoose(p, w) + static_cast<double>(w) * std::log(q) +
+                    static_cast<double>(p - w) * std::log1p(-q);
+  return std::exp(log_prob);
+}
+
+double ProbAtLeastWIndexHits(int64_t n, int64_t p, int64_t m, int64_t w) {
+  double miss = 0.0;
+  for (int64_t i = 0; i < w; ++i) {
+    miss += ProbExactlyWIndexHits(n, p, m, i);
+  }
+  return 1.0 - miss;
+}
+
+Result<int64_t> RequiredIndexCount(int64_t n, int64_t p, int64_t w,
+                                   double probability) {
+  if (n <= 0 || p <= 0 || p > n) {
+    return Status::InvalidArgument("need 0 < p <= n");
+  }
+  if (w < 1 || w > p) {
+    return Status::InvalidArgument("need 1 <= w <= p");
+  }
+  if (probability <= 0.0 || probability >= 1.0) {
+    return Status::InvalidArgument("probability must be in (0, 1)");
+  }
+  for (int64_t m = 1; m <= n; ++m) {
+    if (ProbAtLeastWIndexHits(n, p, m, w) >= probability) return m;
+  }
+  return Status::Internal("no m <= n reaches the requested probability");
+}
+
+double TagEntropy(const EnumTable& table, size_t column, int num_buckets) {
+  const size_t n = table.NumLibraries();
+  if (n == 0 || num_buckets < 2) return 0.0;
+  double lo = table.ValueAt(0, column);
+  double hi = lo;
+  for (size_t row = 1; row < n; ++row) {
+    double v = table.ValueAt(row, column);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= lo) return 0.0;
+  std::vector<size_t> counts(static_cast<size_t>(num_buckets), 0);
+  for (size_t row = 0; row < n; ++row) {
+    double v = table.ValueAt(row, column);
+    int bucket = static_cast<int>((v - lo) / (hi - lo) *
+                                  static_cast<double>(num_buckets));
+    bucket = std::clamp(bucket, 0, num_buckets - 1);
+    ++counts[static_cast<size_t>(bucket)];
+  }
+  double entropy = 0.0;
+  for (size_t count : counts) {
+    if (count == 0) continue;
+    double prob = static_cast<double>(count) / static_cast<double>(n);
+    entropy -= prob * std::log2(prob);
+  }
+  return entropy;
+}
+
+std::vector<sage::TagId> TopEntropyTags(const EnumTable& table, size_t m,
+                                        int num_buckets) {
+  std::vector<std::pair<double, sage::TagId>> scored;
+  scored.reserve(table.NumTags());
+  for (size_t col = 0; col < table.NumTags(); ++col) {
+    scored.emplace_back(TagEntropy(table, col, num_buckets), table.tag(col));
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  std::vector<sage::TagId> out;
+  size_t take = std::min(m, scored.size());
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+}  // namespace gea::core

@@ -1,0 +1,48 @@
+#ifndef GEA_CORE_INDEX_ADVISOR_H_
+#define GEA_CORE_INDEX_ADVISOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/enum_table.h"
+#include "sage/tag_codec.h"
+
+namespace gea::core {
+
+/// The index-selection analysis of Section 3.3.2, which decides how many
+/// indexes to build (m) and which tags to index (the top-m by entropy).
+
+/// Probability that, of the `p` tags included in a SUMY table drawn
+/// uniformly from `n` total tags, exactly `w` carry one of the `m`
+/// indexes:
+///
+///   P(exactly w) = C(p, w) (m/n)^w (1 - m/n)^(p-w)
+///
+/// Computed in log space so p = 25,000 poses no overflow problem.
+double ProbExactlyWIndexHits(int64_t n, int64_t p, int64_t m, int64_t w);
+
+/// P(at least w hits) = 1 - sum_{i<w} P(exactly i).
+double ProbAtLeastWIndexHits(int64_t n, int64_t p, int64_t m, int64_t w);
+
+/// The smallest m guaranteeing P(at least `w` hits) >= `probability`
+/// (the thesis fixes 0.999). With n = 60,000 and p = 25,000 this
+/// reproduces Table 3.1: w = 1..10 -> m = 17, 23, 27, 32, 36, 40, 44, 48,
+/// 51, 55.
+Result<int64_t> RequiredIndexCount(int64_t n, int64_t p, int64_t w,
+                                   double probability = 0.999);
+
+/// Shannon entropy (bits) of one tag column of `table`, computed over a
+/// `num_buckets`-bucket equal-width histogram of its values. Constant
+/// columns have entropy 0.
+double TagEntropy(const EnumTable& table, size_t column, int num_buckets = 16);
+
+/// The heuristic of Section 3.3.2: the `m` tags with the highest entropy
+/// ("highest variation"), ties broken by tag id for determinism. Returns
+/// at most NumTags() entries.
+std::vector<sage::TagId> TopEntropyTags(const EnumTable& table, size_t m,
+                                        int num_buckets = 16);
+
+}  // namespace gea::core
+
+#endif  // GEA_CORE_INDEX_ADVISOR_H_

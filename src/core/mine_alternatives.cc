@@ -1,0 +1,76 @@
+#include "core/mine_alternatives.h"
+
+#include "cluster/hierarchical.h"
+#include "cluster/kmeans.h"
+#include "core/operators.h"
+
+namespace gea::core {
+
+namespace {
+
+/// Materializes assignment labels into per-cluster ENUM + SUMY pairs.
+Result<std::vector<MinedCluster>> Materialize(
+    const EnumTable& input, const std::vector<int>& assignments,
+    const std::string& out_prefix) {
+  int max_label = -1;
+  for (int label : assignments) max_label = std::max(max_label, label);
+
+  std::vector<MinedCluster> out;
+  for (int label = 0; label <= max_label; ++label) {
+    std::vector<size_t> members;
+    std::vector<int> member_ids;
+    for (size_t row = 0; row < assignments.size(); ++row) {
+      if (assignments[row] == label) {
+        members.push_back(row);
+        member_ids.push_back(input.library(row).id);
+      }
+    }
+    if (members.empty()) continue;
+    const std::string name =
+        out_prefix + "_" + std::to_string(out.size() + 1);
+    EnumTable cluster_enum =
+        input.SelectLibraries(name + "_ENUM", member_ids);
+    GEA_ASSIGN_OR_RETURN(SumyTable sumy,
+                         Aggregate(cluster_enum, name + "_SUMY"));
+    out.emplace_back(std::move(members), std::move(sumy),
+                     std::move(cluster_enum));
+  }
+  return out;
+}
+
+/// The library rows as points for the clustering substrate.
+std::vector<std::vector<double>> LibraryPoints(const EnumTable& input) {
+  std::vector<std::vector<double>> points;
+  points.reserve(input.NumLibraries());
+  for (size_t row = 0; row < input.NumLibraries(); ++row) {
+    std::span<const double> values = input.LibraryRow(row);
+    points.emplace_back(values.begin(), values.end());
+  }
+  return points;
+}
+
+}  // namespace
+
+Result<std::vector<MinedCluster>> MineKMeans(const EnumTable& input, int k,
+                                             uint64_t seed,
+                                             const std::string& out_prefix) {
+  cluster::KMeansParams params;
+  params.k = k;
+  params.seed = seed;
+  GEA_ASSIGN_OR_RETURN(cluster::KMeansResult result,
+                       cluster::KMeans(LibraryPoints(input), params));
+  return Materialize(input, result.assignments, out_prefix);
+}
+
+Result<std::vector<MinedCluster>> MineHierarchical(
+    const EnumTable& input, size_t k, cluster::DistanceKind distance,
+    const std::string& out_prefix) {
+  GEA_ASSIGN_OR_RETURN(
+      cluster::Dendrogram dendro,
+      cluster::HierarchicalCluster(LibraryPoints(input), distance,
+                                   cluster::Linkage::kAverage));
+  GEA_ASSIGN_OR_RETURN(std::vector<int> assignments, dendro.Cut(k));
+  return Materialize(input, assignments, out_prefix);
+}
+
+}  // namespace gea::core

@@ -1,0 +1,53 @@
+#ifndef GEA_CORE_MINE_ALTERNATIVES_H_
+#define GEA_CORE_MINE_ALTERNATIVES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/distance.h"
+#include "common/result.h"
+#include "core/enum_table.h"
+#include "core/sumy.h"
+
+namespace gea::core {
+
+/// Alternative mine() back ends. Section 2.6 stresses that the GEA model
+/// is not tied to fascicles: "the mining operation can be something other
+/// than fascicle production. Examples include other clustering
+/// operations." These adapters run k-means or hierarchical clustering
+/// over an ENUM table's libraries and materialize every cluster in both
+/// worlds, exactly like the fascicle-based Mine():
+///
+///   * the member ENUM table over all of the input's tags, and
+///   * its SUMY table (aggregate() of the members).
+///
+/// Unlike fascicles these methods have no notion of compact tags, so the
+/// SUMY covers every tag — the selection operators of Section 3.2.3 can
+/// then narrow it.
+struct MinedCluster {
+  /// Row indices of the input ENUM's member libraries.
+  std::vector<size_t> members;
+  SumyTable sumy;
+  EnumTable enum_table;
+
+  MinedCluster(std::vector<size_t> m, SumyTable s, EnumTable e)
+      : members(std::move(m)), sumy(std::move(s)),
+        enum_table(std::move(e)) {}
+};
+
+/// mine() via k-means over the library rows (Euclidean on expression
+/// levels). Produces exactly `k` clusters named "<out_prefix>_1" ..
+/// "<out_prefix>_k" (clusters left empty by k-means are skipped).
+Result<std::vector<MinedCluster>> MineKMeans(const EnumTable& input, int k,
+                                             uint64_t seed,
+                                             const std::string& out_prefix);
+
+/// mine() via hierarchical agglomerative clustering cut at `k` clusters.
+Result<std::vector<MinedCluster>> MineHierarchical(
+    const EnumTable& input, size_t k, cluster::DistanceKind distance,
+    const std::string& out_prefix);
+
+}  // namespace gea::core
+
+#endif  // GEA_CORE_MINE_ALTERNATIVES_H_

@@ -1,0 +1,135 @@
+#include "core/operators.h"
+
+#include <cmath>
+
+namespace gea::core {
+
+Result<SumyTable> Aggregate(const EnumTable& input,
+                            const std::string& out_name) {
+  if (input.NumLibraries() == 0) {
+    return Status::InvalidArgument(
+        "cannot aggregate an ENUM table with no libraries: " + input.name());
+  }
+  std::vector<SumyEntry> entries;
+  entries.reserve(input.NumTags());
+  const double n = static_cast<double>(input.NumLibraries());
+  for (size_t col = 0; col < input.NumTags(); ++col) {
+    SumyEntry e;
+    e.tag = input.tag(col);
+    double lo = input.ValueAt(0, col);
+    double hi = lo;
+    double sum = 0.0;
+    double sum_squares = 0.0;
+    for (size_t row = 0; row < input.NumLibraries(); ++row) {
+      double v = input.ValueAt(row, col);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      sum += v;
+      sum_squares += v * v;
+    }
+    e.min = lo;
+    e.max = hi;
+    e.mean = sum / n;
+    e.stddev = std::sqrt(std::max(0.0, sum_squares / n - e.mean * e.mean));
+    entries.push_back(e);
+  }
+  return SumyTable::Create(out_name, std::move(entries));
+}
+
+const char* PurityPropertyName(PurityProperty property) {
+  switch (property) {
+    case PurityProperty::kCancer:
+      return "cancer";
+    case PurityProperty::kNormal:
+      return "normal";
+    case PurityProperty::kBulkTissue:
+      return "bulk_tissue";
+    case PurityProperty::kCellLine:
+      return "cell_line";
+  }
+  return "?";
+}
+
+namespace {
+
+bool HasProperty(const sage::LibraryMeta& lib, PurityProperty property) {
+  switch (property) {
+    case PurityProperty::kCancer:
+      return lib.state == sage::NeoplasticState::kCancer;
+    case PurityProperty::kNormal:
+      return lib.state == sage::NeoplasticState::kNormal;
+    case PurityProperty::kBulkTissue:
+      return lib.source == sage::TissueSource::kBulkTissue;
+    case PurityProperty::kCellLine:
+      return lib.source == sage::TissueSource::kCellLine;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsPure(const EnumTable& cluster, PurityProperty property) {
+  if (cluster.NumLibraries() == 0) return false;
+  for (const sage::LibraryMeta& lib : cluster.libraries()) {
+    if (!HasProperty(lib, property)) return false;
+  }
+  return true;
+}
+
+std::vector<PurityProperty> PureProperties(const EnumTable& cluster) {
+  std::vector<PurityProperty> out;
+  for (PurityProperty p :
+       {PurityProperty::kCancer, PurityProperty::kNormal,
+        PurityProperty::kBulkTissue, PurityProperty::kCellLine}) {
+    if (IsPure(cluster, p)) out.push_back(p);
+  }
+  return out;
+}
+
+Result<std::vector<MinedFascicle>> Mine(const EnumTable& input,
+                                        const cluster::FascicleParams& params,
+                                        const std::string& out_prefix) {
+  cluster::FascicleMiner miner(input.values().data(), input.NumLibraries(),
+                               input.NumTags());
+  GEA_ASSIGN_OR_RETURN(std::vector<cluster::Fascicle> fascicles,
+                       miner.Mine(params));
+  std::vector<MinedFascicle> out;
+  out.reserve(fascicles.size());
+  for (size_t f = 0; f < fascicles.size(); ++f) {
+    cluster::Fascicle& fascicle = fascicles[f];
+    const std::string name =
+        out_prefix + "_" + std::to_string(f + 1);
+
+    // Member ENUM over the compact tags.
+    std::vector<int> member_ids;
+    member_ids.reserve(fascicle.members.size());
+    for (size_t row : fascicle.members) {
+      member_ids.push_back(input.library(row).id);
+    }
+    std::vector<sage::TagId> compact_tags;
+    compact_tags.reserve(fascicle.compact_columns.size());
+    for (size_t col : fascicle.compact_columns) {
+      compact_tags.push_back(input.tag(col));
+    }
+    GEA_ASSIGN_OR_RETURN(
+        EnumTable full_members,
+        input.SelectLibraries(name + "_members_full", member_ids)
+            .RestrictTags(name + "_ENUM", compact_tags));
+
+    // SUMY over the members (the thesis's macro operation, Section 4.1).
+    GEA_ASSIGN_OR_RETURN(SumyTable sumy,
+                         Aggregate(full_members, name + "_SUMY"));
+
+    out.emplace_back(std::move(fascicle), std::move(sumy),
+                     std::move(full_members));
+  }
+  return out;
+}
+
+std::vector<double> MakeToleranceMetadata(const EnumTable& input,
+                                          double percent) {
+  return cluster::TolerancesFromWidthPercent(
+      input.values().data(), input.NumLibraries(), input.NumTags(), percent);
+}
+
+}  // namespace gea::core

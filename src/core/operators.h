@@ -1,0 +1,70 @@
+#ifndef GEA_CORE_OPERATORS_H_
+#define GEA_CORE_OPERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/fascicles.h"
+#include "common/result.h"
+#include "core/enum_table.h"
+#include "core/sumy.h"
+
+namespace gea::core {
+
+/// The inter-world operators of Fig. 3.1: mine(), aggregate() and (in
+/// populate.h) populate().
+
+/// aggregate(): converts a cluster from its extensional/ENUM form to its
+/// intensional/SUMY form, computing range, mean and population standard
+/// deviation per tag in one pass over the libraries (Section 3.3.1 item 2).
+Result<SumyTable> Aggregate(const EnumTable& input,
+                            const std::string& out_name);
+
+/// Purity properties of Fig. 4.7/4.8: a fascicle may be checked against
+/// any one of the four.
+enum class PurityProperty {
+  kCancer = 0,
+  kNormal,
+  kBulkTissue,
+  kCellLine,
+};
+
+const char* PurityPropertyName(PurityProperty property);
+
+/// True when every library in `cluster` has `property` (Section 4.3.1.2:
+/// "the libraries in the fascicle consist of only one property").
+bool IsPure(const EnumTable& cluster, PurityProperty property);
+
+/// All properties for which `cluster` is pure (possibly several: a pure
+/// cancer fascicle may also be pure bulk tissue).
+std::vector<PurityProperty> PureProperties(const EnumTable& cluster);
+
+/// Result of mining one fascicle: the macro operation of Section 4.1
+/// creates the SUMY table and the member ENUM table together.
+struct MinedFascicle {
+  cluster::Fascicle fascicle;
+  /// SUMY over the fascicle's compact tags, aggregated over its members.
+  SumyTable sumy;
+  /// ENUM of the member libraries restricted to the compact tags.
+  EnumTable members;
+
+  MinedFascicle(cluster::Fascicle f, SumyTable s, EnumTable m)
+      : fascicle(std::move(f)), sumy(std::move(s)), members(std::move(m)) {}
+};
+
+/// mine(): runs the Fascicles algorithm on `input` and materializes each
+/// fascicle in both worlds. Result tables are named
+/// "<out_prefix>_1", "<out_prefix>_2", ... in mining order, matching the
+/// thesis's naming (e.g. brain35k_1 .. brain35k_4, Fig. 4.7).
+Result<std::vector<MinedFascicle>> Mine(
+    const EnumTable& input, const cluster::FascicleParams& params,
+    const std::string& out_prefix);
+
+/// Builds the Fig. 4.5 tolerance metadata for `input`: per-tag tolerance
+/// = `percent`% of the tag's value width over the input libraries.
+std::vector<double> MakeToleranceMetadata(const EnumTable& input,
+                                          double percent);
+
+}  // namespace gea::core
+
+#endif  // GEA_CORE_OPERATORS_H_

@@ -1,0 +1,165 @@
+#include "core/populate.h"
+
+#include <algorithm>
+
+namespace gea::core {
+
+void PopulateEngine::TagIndex::Lookup(double lo, double hi,
+                                      std::vector<size_t>* out) const {
+  auto begin = std::lower_bound(
+      entries.begin(), entries.end(), lo,
+      [](const std::pair<double, size_t>& e, double v) { return e.first < v; });
+  for (auto it = begin; it != entries.end() && it->first <= hi; ++it) {
+    out->push_back(it->second);
+  }
+}
+
+size_t PopulateEngine::TagIndex::Count(double lo, double hi) const {
+  auto begin = std::lower_bound(
+      entries.begin(), entries.end(), lo,
+      [](const std::pair<double, size_t>& e, double v) { return e.first < v; });
+  auto end = std::upper_bound(
+      entries.begin(), entries.end(), hi,
+      [](double v, const std::pair<double, size_t>& e) { return v < e.first; });
+  return end > begin ? static_cast<size_t>(end - begin) : 0;
+}
+
+Status PopulateEngine::BuildIndexes(const std::vector<sage::TagId>& tags) {
+  std::map<sage::TagId, TagIndex> built;
+  for (sage::TagId tag : tags) {
+    std::optional<size_t> col = base_->FindTagColumn(tag);
+    if (!col.has_value()) {
+      return Status::NotFound("cannot index tag absent from base table: " +
+                              sage::TagLabel(tag));
+    }
+    TagIndex index;
+    index.column = *col;
+    index.entries.reserve(base_->NumLibraries());
+    for (size_t row = 0; row < base_->NumLibraries(); ++row) {
+      index.entries.emplace_back(base_->ValueAt(row, *col), row);
+    }
+    std::sort(index.entries.begin(), index.entries.end());
+    built.emplace(tag, std::move(index));
+  }
+  indexes_ = std::move(built);
+  return Status::OK();
+}
+
+Result<EnumTable> PopulateEngine::Populate(const SumyTable& sumy,
+                                           const std::string& out_name,
+                                           Stats* stats,
+                                           ScanMode mode) const {
+  Stats local;
+  local.conditions = sumy.NumTags();
+
+  // Partition the conditions into indexed and unindexed; estimate
+  // selectivity of the indexed ones so the intersection starts with the
+  // most selective index.
+  struct IndexedCondition {
+    const TagIndex* index;
+    double lo;
+    double hi;
+    size_t estimated;
+  };
+  std::vector<IndexedCondition> indexed;
+  struct ScanCondition {
+    // Column in the base table, or nullopt when the SUMY tag is absent
+    // from the base (the condition then tests the implicit level 0).
+    std::optional<size_t> column;
+    double lo;
+    double hi;
+  };
+  std::vector<ScanCondition> scans;
+  scans.reserve(sumy.NumTags());
+
+  // Resolve every SUMY tag to its base column in one merge pass (both
+  // sides are sorted by tag); with p in the tens of thousands this beats
+  // per-tag binary searches.
+  std::vector<std::optional<size_t>> sumy_columns(sumy.NumTags());
+  {
+    const std::vector<sage::TagId>& base_tags = base_->tags();
+    size_t col = 0;
+    for (size_t i = 0; i < sumy.NumTags(); ++i) {
+      sage::TagId tag = sumy.entry(i).tag;
+      while (col < base_tags.size() && base_tags[col] < tag) ++col;
+      if (col < base_tags.size() && base_tags[col] == tag) {
+        sumy_columns[i] = col;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < sumy.NumTags(); ++i) {
+    const SumyEntry& e = sumy.entry(i);
+    auto it = indexes_.empty() ? indexes_.end() : indexes_.find(e.tag);
+    if (it != indexes_.end()) {
+      indexed.push_back({&it->second, e.min, e.max,
+                         it->second.Count(e.min, e.max)});
+    } else {
+      scans.push_back({sumy_columns[i], e.min, e.max});
+    }
+  }
+  local.index_hits = indexed.size();
+  std::sort(indexed.begin(), indexed.end(),
+            [](const IndexedCondition& a, const IndexedCondition& b) {
+              return a.estimated < b.estimated;
+            });
+
+  // Candidate set: intersection of the indexed conditions' row sets, or
+  // all rows when no index applies (sequential scan).
+  std::vector<size_t> candidates;
+  if (indexed.empty()) {
+    candidates.resize(base_->NumLibraries());
+    for (size_t r = 0; r < candidates.size(); ++r) candidates[r] = r;
+  } else {
+    indexed.front().index->Lookup(indexed.front().lo, indexed.front().hi,
+                                  &candidates);
+    std::sort(candidates.begin(), candidates.end());
+    for (size_t c = 1; c < indexed.size() && !candidates.empty(); ++c) {
+      std::vector<size_t> hits;
+      indexed[c].index->Lookup(indexed[c].lo, indexed[c].hi, &hits);
+      std::sort(hits.begin(), hits.end());
+      std::vector<size_t> merged;
+      std::set_intersection(candidates.begin(), candidates.end(),
+                            hits.begin(), hits.end(),
+                            std::back_inserter(merged));
+      candidates = std::move(merged);
+    }
+  }
+  local.candidates_after_index = candidates.size();
+
+  // Verify the remaining (unindexed) conditions on each candidate.
+  std::vector<size_t> qualifying;
+  for (size_t row : candidates) {
+    bool ok = true;
+    for (const ScanCondition& cond : scans) {
+      ++local.values_checked;
+      double v = cond.column.has_value() ? base_->ValueAt(row, *cond.column)
+                                         : 0.0;
+      if (v < cond.lo || v > cond.hi) {
+        ok = false;
+        if (mode == ScanMode::kEarlyExit) break;
+      }
+    }
+    if (ok) qualifying.push_back(row);
+  }
+
+  // Materialize the result ENUM over the SUMY's tags.
+  std::vector<sage::TagId> out_tags;
+  out_tags.reserve(sumy.NumTags());
+  for (const SumyEntry& e : sumy.entries()) out_tags.push_back(e.tag);
+  std::vector<sage::LibraryMeta> out_libs;
+  std::vector<double> out_values;
+  out_libs.reserve(qualifying.size());
+  out_values.reserve(qualifying.size() * out_tags.size());
+  for (size_t row : qualifying) {
+    out_libs.push_back(base_->library(row));
+    for (const std::optional<size_t>& col : sumy_columns) {
+      out_values.push_back(col.has_value() ? base_->ValueAt(row, *col) : 0.0);
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return EnumTable::FromRows(out_name, std::move(out_libs),
+                             std::move(out_tags), std::move(out_values));
+}
+
+}  // namespace gea::core

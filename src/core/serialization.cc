@@ -1,0 +1,214 @@
+#include "core/serialization.h"
+
+#include <algorithm>
+
+namespace gea::core {
+
+namespace {
+
+Result<size_t> RequireColumn(const rel::Table& table,
+                             const std::string& name,
+                             rel::ValueType type) {
+  GEA_ASSIGN_OR_RETURN(size_t idx, table.schema().ColumnIndex(name));
+  if (table.schema().column(idx).type != type) {
+    return Status::InvalidArgument(
+        "column '" + name + "' of table " + table.name() + " has type " +
+        rel::ValueTypeName(table.schema().column(idx).type) + ", expected " +
+        rel::ValueTypeName(type));
+  }
+  return idx;
+}
+
+Result<double> NumericCell(const rel::Value& v, const char* what) {
+  if (v.is_null() || !v.IsNumeric()) {
+    return Status::InvalidArgument(std::string("non-numeric ") + what);
+  }
+  return v.AsNumeric();
+}
+
+}  // namespace
+
+Result<SumyTable> SumyFromRelTable(const rel::Table& table,
+                                   const std::string& name) {
+  GEA_ASSIGN_OR_RETURN(size_t tagno,
+                       RequireColumn(table, "TagNo", rel::ValueType::kInt));
+  GEA_ASSIGN_OR_RETURN(size_t min_col,
+                       RequireColumn(table, "Min", rel::ValueType::kDouble));
+  GEA_ASSIGN_OR_RETURN(size_t max_col,
+                       RequireColumn(table, "Max", rel::ValueType::kDouble));
+  GEA_ASSIGN_OR_RETURN(
+      size_t avg_col,
+      RequireColumn(table, "Average", rel::ValueType::kDouble));
+  GEA_ASSIGN_OR_RETURN(
+      size_t dev_col,
+      RequireColumn(table, "StdDev", rel::ValueType::kDouble));
+
+  std::vector<SumyEntry> entries;
+  entries.reserve(table.NumRows());
+  for (const rel::Row& row : table.rows()) {
+    SumyEntry e;
+    if (row[tagno].is_null()) {
+      return Status::InvalidArgument("null TagNo in SUMY table");
+    }
+    int64_t tag = row[tagno].AsInt();
+    if (tag < 0 || tag >= static_cast<int64_t>(sage::kNumPossibleTags)) {
+      return Status::InvalidArgument("TagNo out of range: " +
+                                     std::to_string(tag));
+    }
+    e.tag = static_cast<sage::TagId>(tag);
+    GEA_ASSIGN_OR_RETURN(e.min, NumericCell(row[min_col], "Min"));
+    GEA_ASSIGN_OR_RETURN(e.max, NumericCell(row[max_col], "Max"));
+    GEA_ASSIGN_OR_RETURN(e.mean, NumericCell(row[avg_col], "Average"));
+    GEA_ASSIGN_OR_RETURN(e.stddev, NumericCell(row[dev_col], "StdDev"));
+    entries.push_back(e);
+  }
+  return SumyTable::Create(name, std::move(entries));
+}
+
+Result<GapTable> GapFromRelTable(const rel::Table& table,
+                                 const std::string& name) {
+  GEA_ASSIGN_OR_RETURN(size_t tagno,
+                       RequireColumn(table, "TagNo", rel::ValueType::kInt));
+  // Gap columns: every double column other than the two fixed ones.
+  std::vector<size_t> gap_cols;
+  std::vector<std::string> gap_names;
+  for (size_t c = 0; c < table.schema().NumColumns(); ++c) {
+    const rel::ColumnDef& def = table.schema().column(c);
+    if (def.name == "TagName" || def.name == "TagNo") continue;
+    if (def.type != rel::ValueType::kDouble) {
+      return Status::InvalidArgument("unexpected non-double column in GAP "
+                                     "table: " +
+                                     def.name);
+    }
+    gap_cols.push_back(c);
+    gap_names.push_back(def.name);
+  }
+  if (gap_cols.empty()) {
+    return Status::InvalidArgument("GAP table has no gap columns");
+  }
+
+  std::vector<GapEntry> entries;
+  entries.reserve(table.NumRows());
+  for (const rel::Row& row : table.rows()) {
+    GapEntry e;
+    if (row[tagno].is_null()) {
+      return Status::InvalidArgument("null TagNo in GAP table");
+    }
+    int64_t tag = row[tagno].AsInt();
+    if (tag < 0 || tag >= static_cast<int64_t>(sage::kNumPossibleTags)) {
+      return Status::InvalidArgument("TagNo out of range: " +
+                                     std::to_string(tag));
+    }
+    e.tag = static_cast<sage::TagId>(tag);
+    for (size_t c : gap_cols) {
+      if (row[c].is_null()) {
+        e.gaps.push_back(std::nullopt);
+      } else {
+        e.gaps.push_back(row[c].AsNumeric());
+      }
+    }
+    entries.push_back(std::move(e));
+  }
+  return GapTable::Create(name, std::move(gap_names), std::move(entries));
+}
+
+rel::Table EnumLibrariesToRelTable(const EnumTable& table,
+                                   const std::string& out_name) {
+  rel::Schema schema({{"Lib_ID", rel::ValueType::kInt},
+                      {"Lib_Name", rel::ValueType::kString},
+                      {"Type", rel::ValueType::kString},
+                      {"CAN_NOR", rel::ValueType::kString},
+                      {"BT_CL", rel::ValueType::kString}});
+  rel::Table out(out_name, schema);
+  for (const sage::LibraryMeta& lib : table.libraries()) {
+    out.AppendRowUnchecked(
+        {rel::Value::Int(lib.id), rel::Value::String(lib.name),
+         rel::Value::String(sage::TissueTypeName(lib.tissue)),
+         rel::Value::String(sage::NeoplasticStateName(lib.state)),
+         rel::Value::String(sage::TissueSourceName(lib.source))});
+  }
+  return out;
+}
+
+Result<EnumTable> EnumFromRelTables(const rel::Table& data,
+                                    const rel::Table& libraries,
+                                    const std::string& name) {
+  GEA_ASSIGN_OR_RETURN(size_t tagno,
+                       RequireColumn(data, "TagNo", rel::ValueType::kInt));
+  GEA_ASSIGN_OR_RETURN(size_t id_col,
+                       RequireColumn(libraries, "Lib_ID",
+                                     rel::ValueType::kInt));
+  GEA_ASSIGN_OR_RETURN(size_t name_col,
+                       RequireColumn(libraries, "Lib_Name",
+                                     rel::ValueType::kString));
+  GEA_ASSIGN_OR_RETURN(size_t type_col,
+                       RequireColumn(libraries, "Type",
+                                     rel::ValueType::kString));
+  GEA_ASSIGN_OR_RETURN(size_t state_col,
+                       RequireColumn(libraries, "CAN_NOR",
+                                     rel::ValueType::kString));
+  GEA_ASSIGN_OR_RETURN(size_t source_col,
+                       RequireColumn(libraries, "BT_CL",
+                                     rel::ValueType::kString));
+
+  // Rebuild the library metadata and locate each library's data column.
+  std::vector<sage::LibraryMeta> metas;
+  std::vector<size_t> data_cols;
+  for (const rel::Row& row : libraries.rows()) {
+    sage::LibraryMeta meta;
+    meta.id = static_cast<int>(row[id_col].AsInt());
+    meta.name = row[name_col].AsString();
+    GEA_ASSIGN_OR_RETURN(meta.tissue,
+                         sage::ParseTissueType(row[type_col].AsString()));
+    const std::string& state = row[state_col].AsString();
+    if (state == "cancer") {
+      meta.state = sage::NeoplasticState::kCancer;
+    } else if (state == "normal") {
+      meta.state = sage::NeoplasticState::kNormal;
+    } else {
+      return Status::InvalidArgument("bad CAN_NOR value: " + state);
+    }
+    const std::string& source = row[source_col].AsString();
+    if (source == "bulk_tissue") {
+      meta.source = sage::TissueSource::kBulkTissue;
+    } else if (source == "cell_line") {
+      meta.source = sage::TissueSource::kCellLine;
+    } else {
+      return Status::InvalidArgument("bad BT_CL value: " + source);
+    }
+    GEA_ASSIGN_OR_RETURN(size_t col, data.schema().ColumnIndex(meta.name));
+    metas.push_back(std::move(meta));
+    data_cols.push_back(col);
+  }
+
+  // Tags must come out sorted; the rotated export writes them sorted, but
+  // sort defensively by building (tag, row-index) pairs.
+  std::vector<std::pair<sage::TagId, size_t>> tag_rows;
+  tag_rows.reserve(data.NumRows());
+  for (size_t r = 0; r < data.NumRows(); ++r) {
+    int64_t tag = data.row(r)[tagno].AsInt();
+    if (tag < 0 || tag >= static_cast<int64_t>(sage::kNumPossibleTags)) {
+      return Status::InvalidArgument("TagNo out of range: " +
+                                     std::to_string(tag));
+    }
+    tag_rows.emplace_back(static_cast<sage::TagId>(tag), r);
+  }
+  std::sort(tag_rows.begin(), tag_rows.end());
+
+  std::vector<sage::TagId> tags;
+  tags.reserve(tag_rows.size());
+  for (const auto& [tag, r] : tag_rows) tags.push_back(tag);
+
+  std::vector<double> values(metas.size() * tags.size(), 0.0);
+  for (size_t t = 0; t < tag_rows.size(); ++t) {
+    const rel::Row& row = data.row(tag_rows[t].second);
+    for (size_t lib = 0; lib < metas.size(); ++lib) {
+      const rel::Value& v = row[data_cols[lib]];
+      values[lib * tags.size() + t] = v.is_null() ? 0.0 : v.AsNumeric();
+    }
+  }
+  return EnumTable::FromRows(name, std::move(metas), std::move(tags),
+                             std::move(values));
+}
+
+}  // namespace gea::core

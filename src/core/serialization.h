@@ -1,0 +1,47 @@
+#ifndef GEA_CORE_SERIALIZATION_H_
+#define GEA_CORE_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/enum_table.h"
+#include "core/gap.h"
+#include "core/sumy.h"
+#include "rel/table.h"
+
+namespace gea::core {
+
+/// Round-trips between the GEA structures and their relational renderings
+/// (Appendix IV schemas), completing the persistence story: a SUMY / GAP /
+/// ENUM table can be exported with ToRelTable(), stored as typed CSV via
+/// rel::SaveTable, and rebuilt from disk with the readers below.
+
+/// Inverse of SumyTable::ToRelTable(). Expects columns TagName:string,
+/// TagNo:int, Min:double, Max:double, Average:double, StdDev:double.
+Result<SumyTable> SumyFromRelTable(const rel::Table& table,
+                                   const std::string& name);
+
+/// Inverse of GapTable::ToRelTable(). Expects TagName:string, TagNo:int,
+/// then one double column per gap column (any number >= 1); SQL NULLs
+/// become null gaps.
+Result<GapTable> GapFromRelTable(const rel::Table& table,
+                                 const std::string& name);
+
+/// Library-attribute side table for an ENUM export (same schema as
+/// sage::BuildLibraryInfoTable, minus the aggregate columns):
+///   Lib_ID:int, Lib_Name:string, Type:string, CAN_NOR:string,
+///   BT_CL:string.
+rel::Table EnumLibrariesToRelTable(const EnumTable& table,
+                                   const std::string& out_name);
+
+/// Inverse of EnumTable::ToRelTable() + EnumLibrariesToRelTable():
+/// rebuilds the ENUM from the rotated data table (TagName, TagNo, one
+/// double column per library) and the library-attribute table. Library
+/// columns are matched by name.
+Result<EnumTable> EnumFromRelTables(const rel::Table& data,
+                                    const rel::Table& libraries,
+                                    const std::string& name);
+
+}  // namespace gea::core
+
+#endif  // GEA_CORE_SERIALIZATION_H_

@@ -1,0 +1,56 @@
+#include "core/sumy.h"
+
+#include <algorithm>
+
+namespace gea::core {
+
+Result<SumyTable> SumyTable::Create(std::string name,
+                                    std::vector<SumyEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const SumyEntry& a, const SumyEntry& b) {
+              return a.tag < b.tag;
+            });
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].min > entries[i].max) {
+      return Status::InvalidArgument(
+          "SUMY entry for " + sage::TagLabel(entries[i].tag) +
+          " has min > max");
+    }
+    if (i > 0 && entries[i].tag == entries[i - 1].tag) {
+      return Status::InvalidArgument("duplicate SUMY tag: " +
+                                     sage::TagLabel(entries[i].tag));
+    }
+  }
+  SumyTable table(std::move(name));
+  table.entries_ = std::move(entries);
+  return table;
+}
+
+std::optional<SumyEntry> SumyTable::Find(sage::TagId tag) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), tag,
+      [](const SumyEntry& e, sage::TagId t) { return e.tag < t; });
+  if (it == entries_.end() || it->tag != tag) return std::nullopt;
+  return *it;
+}
+
+rel::Table SumyTable::ToRelTable() const {
+  rel::Schema schema({{"TagName", rel::ValueType::kString},
+                      {"TagNo", rel::ValueType::kInt},
+                      {"Min", rel::ValueType::kDouble},
+                      {"Max", rel::ValueType::kDouble},
+                      {"Average", rel::ValueType::kDouble},
+                      {"StdDev", rel::ValueType::kDouble}});
+  rel::Table table(name_, schema);
+  for (const SumyEntry& e : entries_) {
+    table.AppendRowUnchecked({rel::Value::String(sage::DecodeTag(e.tag)),
+                              rel::Value::Int(static_cast<int64_t>(e.tag)),
+                              rel::Value::Double(e.min),
+                              rel::Value::Double(e.max),
+                              rel::Value::Double(e.mean),
+                              rel::Value::Double(e.stddev)});
+  }
+  return table;
+}
+
+}  // namespace gea::core

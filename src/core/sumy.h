@@ -1,0 +1,64 @@
+#ifndef GEA_CORE_SUMY_H_
+#define GEA_CORE_SUMY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "interval/interval.h"
+#include "rel/table.h"
+#include "sage/tag_codec.h"
+
+namespace gea::core {
+
+/// One row of a SUMY table: a compact tag with its range, mean and
+/// standard deviation over the cluster's libraries (Fig. 3.3a).
+struct SumyEntry {
+  sage::TagId tag = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+
+  interval::Interval Range() const { return {min, max}; }
+};
+
+/// A cluster in the **intensional world** (Section 3.1.2): the cluster's
+/// definition as the set of compact tags with their value ranges and
+/// aggregates. A library belongs to the cluster iff its value falls within
+/// [min, max] for every row — which is what populate() evaluates.
+class SumyTable {
+ public:
+  SumyTable() = default;
+  explicit SumyTable(std::string name) : name_(std::move(name)) {}
+
+  /// Builds from entries; sorts by tag and rejects duplicates or rows
+  /// with min > max.
+  static Result<SumyTable> Create(std::string name,
+                                  std::vector<SumyEntry> entries);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t NumTags() const { return entries_.size(); }
+  const SumyEntry& entry(size_t i) const { return entries_[i]; }
+  const std::vector<SumyEntry>& entries() const { return entries_; }
+
+  /// Entry for `tag`, or nullopt.
+  std::optional<SumyEntry> Find(sage::TagId tag) const;
+
+  bool Contains(sage::TagId tag) const { return Find(tag).has_value(); }
+
+  /// Relational rendering (TagName, TagNo, Min, Max, Average, StdDev) —
+  /// the SummaryTable schema of Appendix IV (table 17).
+  rel::Table ToRelTable() const;
+
+ private:
+  std::string name_;
+  std::vector<SumyEntry> entries_;  // sorted by tag
+};
+
+}  // namespace gea::core
+
+#endif  // GEA_CORE_SUMY_H_

@@ -1,0 +1,122 @@
+#include "core/sumy_ops.h"
+
+#include <algorithm>
+
+namespace gea::core {
+
+Result<SumyTable> SelectSumy(const SumyTable& input,
+                             const std::function<bool(const SumyEntry&)>& pred,
+                             const std::string& out_name) {
+  std::vector<SumyEntry> entries;
+  for (const SumyEntry& e : input.entries()) {
+    if (pred(e)) entries.push_back(e);
+  }
+  return SumyTable::Create(out_name, std::move(entries));
+}
+
+Result<SumyTable> SelectSumyByRange(const SumyTable& input,
+                                    interval::AllenRelation relation,
+                                    const interval::Interval& query,
+                                    const std::string& out_name) {
+  return SelectSumy(
+      input,
+      [&](const SumyEntry& e) {
+        return interval::Holds(relation, e.Range(), query);
+      },
+      out_name);
+}
+
+Result<SumyTable> SumyMinus(const SumyTable& a, const SumyTable& b,
+                            const std::string& out_name) {
+  std::vector<SumyEntry> entries;
+  for (const SumyEntry& e : a.entries()) {
+    if (!b.Contains(e.tag)) entries.push_back(e);
+  }
+  return SumyTable::Create(out_name, std::move(entries));
+}
+
+Result<SumyTable> SumyIntersect(const SumyTable& a, const SumyTable& b,
+                                const std::string& out_name) {
+  std::vector<SumyEntry> entries;
+  for (const SumyEntry& e : a.entries()) {
+    if (b.Contains(e.tag)) entries.push_back(e);
+  }
+  return SumyTable::Create(out_name, std::move(entries));
+}
+
+Result<SumyTable> SumyUnion(const SumyTable& a, const SumyTable& b,
+                            const std::string& out_name) {
+  std::vector<SumyEntry> entries = a.entries();
+  for (const SumyEntry& e : b.entries()) {
+    if (!a.Contains(e.tag)) entries.push_back(e);
+  }
+  return SumyTable::Create(out_name, std::move(entries));
+}
+
+std::string RangeSearchHit::Render() const {
+  switch (outcome) {
+    case Outcome::kNotExist:
+      return "NE";
+    case Outcome::kNoMatch:
+      return "NO";
+    case Outcome::kMatch:
+      return range.ToString();
+  }
+  return "?";
+}
+
+std::vector<RangeSearchHit> RangeSearch(
+    const std::vector<const SumyTable*>& tables, sage::TagId first_tag,
+    sage::TagId last_tag, interval::AllenRelation relation,
+    const interval::Interval& query) {
+  std::vector<RangeSearchHit> out;
+  if (first_tag > last_tag) std::swap(first_tag, last_tag);
+  // Collect the tags in range from any table (reporting NE per table for
+  // the others), so the report has one line per (tag, table) pair like
+  // Fig. 4.16.
+  std::vector<sage::TagId> tags;
+  for (const SumyTable* table : tables) {
+    for (const SumyEntry& e : table->entries()) {
+      if (e.tag >= first_tag && e.tag <= last_tag) tags.push_back(e.tag);
+    }
+  }
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+
+  for (sage::TagId tag : tags) {
+    for (const SumyTable* table : tables) {
+      RangeSearchHit hit;
+      hit.tag = tag;
+      hit.table_name = table->name();
+      std::optional<SumyEntry> entry = table->Find(tag);
+      if (!entry.has_value()) {
+        hit.outcome = RangeSearchHit::Outcome::kNotExist;
+      } else if (interval::Holds(relation, entry->Range(), query)) {
+        hit.outcome = RangeSearchHit::Outcome::kMatch;
+        hit.range = entry->Range();
+      } else {
+        hit.outcome = RangeSearchHit::Outcome::kNoMatch;
+      }
+      out.push_back(std::move(hit));
+    }
+  }
+  return out;
+}
+
+std::vector<RangeSearchHit> RangeSearchAny(const SumyTable& table,
+                                           interval::AllenRelation relation,
+                                           const interval::Interval& query) {
+  std::vector<RangeSearchHit> out;
+  for (const SumyEntry& e : table.entries()) {
+    if (!interval::Holds(relation, e.Range(), query)) continue;
+    RangeSearchHit hit;
+    hit.tag = e.tag;
+    hit.table_name = table.name();
+    hit.outcome = RangeSearchHit::Outcome::kMatch;
+    hit.range = e.Range();
+    out.push_back(std::move(hit));
+  }
+  return out;
+}
+
+}  // namespace gea::core

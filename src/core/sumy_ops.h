@@ -1,0 +1,72 @@
+#ifndef GEA_CORE_SUMY_OPS_H_
+#define GEA_CORE_SUMY_OPS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/sumy.h"
+#include "interval/interval.h"
+
+namespace gea::core {
+
+/// Intensional-world operations on SUMY tables (Sections 3.2.3 and 4.4.1).
+
+/// Selection over SUMY rows with an arbitrary predicate.
+Result<SumyTable> SelectSumy(const SumyTable& input,
+                             const std::function<bool(const SumyEntry&)>& pred,
+                             const std::string& out_name);
+
+/// Range selection via Allen's algebra: keeps the tags whose [min, max]
+/// range stands in `relation` to `query` (the Fig. 4.17 "determine all
+/// tags whose ranges overlap [5, 700]" operation).
+Result<SumyTable> SelectSumyByRange(const SumyTable& input,
+                                    interval::AllenRelation relation,
+                                    const interval::Interval& query,
+                                    const std::string& out_name);
+
+/// Set operations at the level of tags (Section 3.2.3). For tags present
+/// in both operands the first operand's aggregates win (the intent is tag
+/// manipulation; re-aggregate from an ENUM table for fresh statistics).
+Result<SumyTable> SumyMinus(const SumyTable& a, const SumyTable& b,
+                            const std::string& out_name);
+Result<SumyTable> SumyIntersect(const SumyTable& a, const SumyTable& b,
+                                const std::string& out_name);
+Result<SumyTable> SumyUnion(const SumyTable& a, const SumyTable& b,
+                            const std::string& out_name);
+
+/// One line of the Fig. 4.16 range-arithmetic report for a (tag, SUMY
+/// table) pair.
+struct RangeSearchHit {
+  sage::TagId tag = 0;
+  std::string table_name;
+  enum class Outcome {
+    kNotExist,   // "NE": the tag is absent from the SUMY table
+    kNoMatch,    // "NO": present, but the relation does not hold
+    kMatch,      // the relation holds; `range` carries [min, max]
+  };
+  Outcome outcome = Outcome::kNotExist;
+  interval::Interval range{0.0, 0.0};
+
+  /// "NE", "NO", or "[lo, hi]".
+  std::string Render() const;
+};
+
+/// The multi-table range search of Section 4.4.1: for each tag in
+/// [first_tag, last_tag] and each SUMY table, reports NE / NO / the range
+/// (Fig. 4.16). Pass first_tag == last_tag for a single-tag search.
+std::vector<RangeSearchHit> RangeSearch(
+    const std::vector<const SumyTable*>& tables, sage::TagId first_tag,
+    sage::TagId last_tag, interval::AllenRelation relation,
+    const interval::Interval& query);
+
+/// The "Any" mode of Fig. 4.17: every tag of `table` whose range stands
+/// in `relation` to `query`, as match hits only.
+std::vector<RangeSearchHit> RangeSearchAny(const SumyTable& table,
+                                           interval::AllenRelation relation,
+                                           const interval::Interval& query);
+
+}  // namespace gea::core
+
+#endif  // GEA_CORE_SUMY_OPS_H_

@@ -1,0 +1,237 @@
+#include "interval/interval.h"
+
+#include <algorithm>
+
+namespace gea::interval {
+
+Result<Interval> Interval::Make(double lo, double hi) {
+  if (!(lo <= hi)) {
+    return Status::InvalidArgument("interval requires lo <= hi, got [" +
+                                   std::to_string(lo) + ", " +
+                                   std::to_string(hi) + "]");
+  }
+  return Interval{lo, hi};
+}
+
+std::string Interval::ToString() const {
+  auto fmt = [](double x) {
+    if (x == static_cast<int64_t>(x)) {
+      return std::to_string(static_cast<int64_t>(x));
+    }
+    return std::to_string(x);
+  };
+  return "[" + fmt(lo) + ", " + fmt(hi) + "]";
+}
+
+const char* AllenRelationName(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore:
+      return "before";
+    case AllenRelation::kAfter:
+      return "after";
+    case AllenRelation::kMeets:
+      return "meets";
+    case AllenRelation::kMetBy:
+      return "met-by";
+    case AllenRelation::kOverlaps:
+      return "overlaps";
+    case AllenRelation::kOverlappedBy:
+      return "overlapped-by";
+    case AllenRelation::kDuring:
+      return "during";
+    case AllenRelation::kIncludes:
+      return "includes";
+    case AllenRelation::kStarts:
+      return "starts";
+    case AllenRelation::kStartedBy:
+      return "started-by";
+    case AllenRelation::kFinishes:
+      return "finishes";
+    case AllenRelation::kFinishedBy:
+      return "finished-by";
+    case AllenRelation::kEquals:
+      return "equals";
+  }
+  return "?";
+}
+
+const char* AllenRelationSymbol(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore:
+      return "b";
+    case AllenRelation::kAfter:
+      return "bi";
+    case AllenRelation::kMeets:
+      return "m";
+    case AllenRelation::kMetBy:
+      return "mi";
+    case AllenRelation::kOverlaps:
+      return "o";
+    case AllenRelation::kOverlappedBy:
+      return "oi";
+    case AllenRelation::kDuring:
+      return "d";
+    case AllenRelation::kIncludes:
+      return "di";
+    case AllenRelation::kStarts:
+      return "s";
+    case AllenRelation::kStartedBy:
+      return "si";
+    case AllenRelation::kFinishes:
+      return "f";
+    case AllenRelation::kFinishedBy:
+      return "fi";
+    case AllenRelation::kEquals:
+      return "e";
+  }
+  return "?";
+}
+
+Result<AllenRelation> ParseAllenRelation(const std::string& text) {
+  for (AllenRelation r : AllAllenRelations()) {
+    if (text == AllenRelationName(r) || text == AllenRelationSymbol(r)) {
+      return r;
+    }
+  }
+  return Status::InvalidArgument("unknown Allen relation: " + text);
+}
+
+AllenRelation Inverse(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore:
+      return AllenRelation::kAfter;
+    case AllenRelation::kAfter:
+      return AllenRelation::kBefore;
+    case AllenRelation::kMeets:
+      return AllenRelation::kMetBy;
+    case AllenRelation::kMetBy:
+      return AllenRelation::kMeets;
+    case AllenRelation::kOverlaps:
+      return AllenRelation::kOverlappedBy;
+    case AllenRelation::kOverlappedBy:
+      return AllenRelation::kOverlaps;
+    case AllenRelation::kDuring:
+      return AllenRelation::kIncludes;
+    case AllenRelation::kIncludes:
+      return AllenRelation::kDuring;
+    case AllenRelation::kStarts:
+      return AllenRelation::kStartedBy;
+    case AllenRelation::kStartedBy:
+      return AllenRelation::kStarts;
+    case AllenRelation::kFinishes:
+      return AllenRelation::kFinishedBy;
+    case AllenRelation::kFinishedBy:
+      return AllenRelation::kFinishes;
+    case AllenRelation::kEquals:
+      return AllenRelation::kEquals;
+  }
+  return AllenRelation::kEquals;
+}
+
+AllenRelation Relate(const Interval& a, const Interval& b) {
+  if (a.lo == b.lo && a.hi == b.hi) return AllenRelation::kEquals;
+  if (a.hi < b.lo) return AllenRelation::kBefore;
+  if (b.hi < a.lo) return AllenRelation::kAfter;
+  if (a.hi == b.lo) return AllenRelation::kMeets;
+  if (b.hi == a.lo) return AllenRelation::kMetBy;
+  if (a.lo == b.lo) {
+    return a.hi < b.hi ? AllenRelation::kStarts : AllenRelation::kStartedBy;
+  }
+  if (a.hi == b.hi) {
+    return a.lo > b.lo ? AllenRelation::kFinishes
+                       : AllenRelation::kFinishedBy;
+  }
+  if (a.lo > b.lo && a.hi < b.hi) return AllenRelation::kDuring;
+  if (b.lo > a.lo && b.hi < a.hi) return AllenRelation::kIncludes;
+  // Proper overlap: starts differ, ends differ, intervals intersect.
+  return a.lo < b.lo ? AllenRelation::kOverlaps
+                     : AllenRelation::kOverlappedBy;
+}
+
+bool Holds(AllenRelation r, const Interval& a, const Interval& b) {
+  return Relate(a, b) == r;
+}
+
+bool Intersects(const Interval& a, const Interval& b) {
+  return a.lo <= b.hi && b.lo <= a.hi;
+}
+
+std::optional<Interval> Intersection(const Interval& a, const Interval& b) {
+  if (!Intersects(a, b)) return std::nullopt;
+  return Interval{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+std::vector<AllenRelation> AllAllenRelations() {
+  std::vector<AllenRelation> out;
+  out.reserve(kNumAllenRelations);
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    out.push_back(static_cast<AllenRelation>(i));
+  }
+  return out;
+}
+
+namespace {
+
+/// The full composition table, built once by enumeration.
+///
+/// Only the qualitative order of the six endpoints matters, so fixing
+/// b = [5, 10] and ranging a and c over every proper interval with
+/// endpoints on the grid 0..15 realizes every possible configuration:
+/// the grid leaves enough distinct slots below 5 (five), strictly between
+/// 5 and 10 (four), and above 10 (five) to place all four remaining
+/// endpoints in any order, plus the two shared values 5 and 10.
+struct CompositionTable {
+  // witnessed[r1][r2] is the sorted set of possible r3.
+  std::vector<AllenRelation> entries[kNumAllenRelations][kNumAllenRelations];
+
+  CompositionTable() {
+    bool seen[kNumAllenRelations][kNumAllenRelations][kNumAllenRelations] =
+        {};
+    const Interval b{5, 10};
+    std::vector<Interval> grid;
+    for (int lo = 0; lo <= 15; ++lo) {
+      for (int hi = lo + 1; hi <= 15; ++hi) {
+        grid.push_back({static_cast<double>(lo), static_cast<double>(hi)});
+      }
+    }
+    for (const Interval& a : grid) {
+      AllenRelation r1 = Relate(a, b);
+      for (const Interval& c : grid) {
+        AllenRelation r2 = Relate(b, c);
+        AllenRelation r3 = Relate(a, c);
+        seen[static_cast<int>(r1)][static_cast<int>(r2)]
+            [static_cast<int>(r3)] = true;
+      }
+    }
+    for (int r1 = 0; r1 < kNumAllenRelations; ++r1) {
+      for (int r2 = 0; r2 < kNumAllenRelations; ++r2) {
+        for (int r3 = 0; r3 < kNumAllenRelations; ++r3) {
+          if (seen[r1][r2][r3]) {
+            entries[r1][r2].push_back(static_cast<AllenRelation>(r3));
+          }
+        }
+      }
+    }
+  }
+};
+
+const CompositionTable& GetCompositionTable() {
+  static const CompositionTable* table = new CompositionTable();
+  return *table;
+}
+
+}  // namespace
+
+const std::vector<AllenRelation>& Compose(AllenRelation r1,
+                                          AllenRelation r2) {
+  return GetCompositionTable()
+      .entries[static_cast<int>(r1)][static_cast<int>(r2)];
+}
+
+bool CompositionAdmits(AllenRelation r1, AllenRelation r2,
+                       AllenRelation r3) {
+  const std::vector<AllenRelation>& possible = Compose(r1, r2);
+  return std::find(possible.begin(), possible.end(), r3) != possible.end();
+}
+
+}  // namespace gea::interval

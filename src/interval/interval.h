@@ -1,0 +1,99 @@
+#ifndef GEA_INTERVAL_INTERVAL_H_
+#define GEA_INTERVAL_INTERVAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gea::interval {
+
+/// A closed interval [lo, hi] over doubles. SUMY range columns (Section
+/// 3.1.2) are intervals of expression levels, and the range-arithmetic
+/// feature of Section 4.4.1 queries them with Allen's interval algebra.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  /// Validated constructor: requires lo <= hi.
+  static Result<Interval> Make(double lo, double hi);
+
+  double Width() const { return hi - lo; }
+  bool Contains(double x) const { return lo <= x && x <= hi; }
+
+  bool operator==(const Interval& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+
+  /// "[lo, hi]"
+  std::string ToString() const;
+};
+
+/// Allen's thirteen basic interval relations (Allen 1983/1984), as listed
+/// in the thesis's Table 4.1. `kBefore` means A strictly precedes B, etc.
+/// For every ordered pair of intervals exactly one basic relation holds.
+enum class AllenRelation {
+  kBefore = 0,       // b   : A ends strictly before B starts
+  kAfter,            // bi  : A starts strictly after B ends
+  kMeets,            // m   : A.hi == B.lo, no further overlap
+  kMetBy,            // mi  : B meets A
+  kOverlaps,         // o   : A starts first, they overlap, A ends inside B
+  kOverlappedBy,     // oi  : B overlaps A
+  kDuring,           // d   : A strictly inside B
+  kIncludes,         // di  : B strictly inside A (a.k.a. "contains")
+  kStarts,           // s   : same start, A ends first
+  kStartedBy,        // si  : same start, B ends first
+  kFinishes,         // f   : same end, A starts later
+  kFinishedBy,       // fi  : same end, B starts later
+  kEquals,           // e   : identical
+};
+
+/// Number of basic relations.
+inline constexpr int kNumAllenRelations = 13;
+
+/// Long name ("overlaps") and Table 4.1 symbol ("o").
+const char* AllenRelationName(AllenRelation r);
+const char* AllenRelationSymbol(AllenRelation r);
+
+/// Parses either the long name or the symbol.
+Result<AllenRelation> ParseAllenRelation(const std::string& text);
+
+/// The inverse relation (A r B  <=>  B inverse(r) A).
+AllenRelation Inverse(AllenRelation r);
+
+/// The unique basic relation holding between `a` and `b`.
+AllenRelation Relate(const Interval& a, const Interval& b);
+
+/// True when relation `r` holds between `a` and `b`.
+bool Holds(AllenRelation r, const Interval& a, const Interval& b);
+
+/// True when `a` and `b` share at least one point — the disjunction
+/// {o, oi, s, si, f, fi, d, di, e, m, mi}. This is the "overlap" predicate
+/// GEA's gap definition (Fig. 3.4) and the range search (Fig. 4.16) use.
+bool Intersects(const Interval& a, const Interval& b);
+
+/// Intersection of `a` and `b`, or nullopt when disjoint.
+std::optional<Interval> Intersection(const Interval& a, const Interval& b);
+
+/// All thirteen relations in enum order (useful for sweeps).
+std::vector<AllenRelation> AllAllenRelations();
+
+/// Allen's composition: the set of basic relations r3 for which intervals
+/// a, b, c with (a r1 b) and (b r2 c) can stand in (a r3 c). This is the
+/// machinery behind the "possibly indefinite relationships" Allen's
+/// algebra expresses (Section 4.4.1). Defined over proper intervals
+/// (lo < hi); returned in enum order. The full 13x13 table is computed
+/// once by exhaustive enumeration and cached.
+const std::vector<AllenRelation>& Compose(AllenRelation r1,
+                                          AllenRelation r2);
+
+/// True when `r3` is a possible relation between a and c given a r1 b and
+/// b r2 c.
+bool CompositionAdmits(AllenRelation r1, AllenRelation r2,
+                       AllenRelation r3);
+
+}  // namespace gea::interval
+
+#endif  // GEA_INTERVAL_INTERVAL_H_

@@ -1,0 +1,59 @@
+#include "meta/annotate.h"
+
+#include "meta/eadb.h"
+
+namespace gea::meta {
+
+Result<rel::Table> AnnotateGapTable(const core::GapTable& gap,
+                                    const AnnotationDatabase& db,
+                                    const std::string& out_name) {
+  if (gap.NumColumns() < 1) {
+    return Status::InvalidArgument("GAP table has no gap columns");
+  }
+  EadbSearch search(db);
+  rel::Table out(out_name,
+                 rel::Schema({{"TagName", rel::ValueType::kString},
+                              {"TagNo", rel::ValueType::kInt},
+                              {"Gap", rel::ValueType::kDouble},
+                              {"Gene", rel::ValueType::kString},
+                              {"Protein", rel::ValueType::kString},
+                              {"Family", rel::ValueType::kString},
+                              {"Pathway", rel::ValueType::kString},
+                              {"Publications", rel::ValueType::kInt}}));
+  for (const core::GapEntry& e : gap.entries()) {
+    rel::Row row = {rel::Value::String(sage::DecodeTag(e.tag)),
+                    rel::Value::Int(static_cast<int64_t>(e.tag)),
+                    e.gaps[0].has_value() ? rel::Value::Double(*e.gaps[0])
+                                          : rel::Value::Null()};
+    Result<std::string> gene = search.TagToGene(e.tag);
+    if (!gene.ok()) {
+      row.push_back(rel::Value::Null());  // Gene
+      row.push_back(rel::Value::Null());  // Protein
+      row.push_back(rel::Value::Null());  // Family
+      row.push_back(rel::Value::Null());  // Pathway
+      row.push_back(rel::Value::Int(0));  // Publications
+      out.AppendRowUnchecked(std::move(row));
+      continue;
+    }
+    row.push_back(rel::Value::String(*gene));
+    Result<ProteinRecord> protein = search.GeneToProtein(*gene);
+    if (protein.ok()) {
+      row.push_back(rel::Value::String(protein->protein));
+      Result<std::string> family = search.ProteinToFamily(protein->protein);
+      row.push_back(family.ok() ? rel::Value::String(*family)
+                                : rel::Value::Null());
+    } else {
+      row.push_back(rel::Value::Null());
+      row.push_back(rel::Value::Null());
+    }
+    std::vector<std::string> pathways = search.GeneToPathways(*gene);
+    row.push_back(pathways.empty() ? rel::Value::Null()
+                                   : rel::Value::String(pathways.front()));
+    row.push_back(rel::Value::Int(static_cast<int64_t>(
+        search.GeneToPublications(*gene).size())));
+    out.AppendRowUnchecked(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace gea::meta

@@ -1,0 +1,30 @@
+#ifndef GEA_META_ANNOTATE_H_
+#define GEA_META_ANNOTATE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/gap.h"
+#include "meta/annotation.h"
+#include "rel/table.h"
+
+namespace gea::meta {
+
+/// Annotates a GAP (or top-gap) table with the integrated genomic
+/// databases — the end-to-end "candidate tag to biological meaning" step
+/// the thesis's Section 5.2 sketches. For every tag in `gap` the report
+/// carries its gene (via UNIGENE), protein and family (via SWISSPROT and
+/// PFAM), one KEGG pathway, and the publication count; unmapped tags get
+/// NULLs. Output schema:
+///
+///   TagName:string, TagNo:int, Gap:double, Gene:string, Protein:string,
+///   Family:string, Pathway:string, Publications:int
+///
+/// Only the first gap column of `gap` is reported.
+Result<rel::Table> AnnotateGapTable(const core::GapTable& gap,
+                                    const AnnotationDatabase& db,
+                                    const std::string& out_name);
+
+}  // namespace gea::meta
+
+#endif  // GEA_META_ANNOTATE_H_

@@ -1,0 +1,186 @@
+#include "meta/annotation.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "rel/ops.h"
+
+namespace gea::meta {
+
+namespace {
+
+constexpr const char* kFamilies[] = {
+    "globin",     "kinase",     "tubulin",  "ribosomal protein",
+    "protease",   "receptor",   "channel",  "transcription factor",
+    "heat shock", "cytokine",
+};
+
+constexpr const char* kPathways[] = {
+    "glycolysis",
+    "citrate cycle",
+    "oxidative phosphorylation",
+    "cell cycle",
+    "apoptosis",
+    "MAPK signaling",
+    "p53 signaling",
+    "DNA replication",
+};
+
+constexpr const char* kDiseases[] = {
+    "glioblastoma",        "breast carcinoma", "colorectal cancer",
+    "renal cell carcinoma", "ovarian cancer",  "pancreatic cancer",
+    "prostate cancer",      "melanoma",        "hypertension",
+};
+
+constexpr const char* kJournals[] = {
+    "Science", "Nature", "Cell", "PNAS", "Genome Research",
+};
+
+constexpr char kAminoAcids[] = "ACDEFGHIKLMNPQRSTVWY";
+
+std::string RandomProteinSequence(Rng& rng) {
+  int length = static_cast<int>(rng.UniformInt(80, 240));
+  std::string seq;
+  seq.reserve(static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    seq += kAminoAcids[rng.UniformInt(0, 19)];
+  }
+  return seq;
+}
+
+}  // namespace
+
+AnnotationDatabase AnnotationDatabase::Generate(
+    const std::vector<sage::TagId>& tags, const AnnotationConfig& config) {
+  Rng rng(config.seed);
+
+  rel::Table unigene("Unigene",
+                     rel::Schema({{"Tag", rel::ValueType::kString},
+                                  {"TagNo", rel::ValueType::kInt},
+                                  {"Gene", rel::ValueType::kString}}));
+  rel::Table swissprot("Swissprot",
+                       rel::Schema({{"Gene", rel::ValueType::kString},
+                                    {"Protein", rel::ValueType::kString},
+                                    {"Sequence", rel::ValueType::kString}}));
+  rel::Table pfam("Pfam",
+                  rel::Schema({{"Protein", rel::ValueType::kString},
+                               {"Family", rel::ValueType::kString},
+                               {"Function", rel::ValueType::kString}}));
+  rel::Table kegg("Kegg", rel::Schema({{"Gene", rel::ValueType::kString},
+                                       {"Pathway", rel::ValueType::kString}}));
+  rel::Table omim("Omim",
+                  rel::Schema({{"Gene", rel::ValueType::kString},
+                               {"Disease", rel::ValueType::kString},
+                               {"Chromosome", rel::ValueType::kInt}}));
+  rel::Table pubmed("Pubmed",
+                    rel::Schema({{"Gene", rel::ValueType::kString},
+                                 {"Title", rel::ValueType::kString},
+                                 {"Journal", rel::ValueType::kString},
+                                 {"Year", rel::ValueType::kInt}}));
+
+  // Assign tags to genes: pinned first, then random grouping.
+  std::vector<std::pair<sage::TagId, std::string>> tag_gene;
+  std::vector<std::string> genes;
+  for (const auto& [tag, gene] : config.pinned_genes) {
+    tag_gene.emplace_back(tag, gene);
+    genes.push_back(gene);
+  }
+  int gene_serial = 0;
+  size_t tags_in_current_gene = 0;
+  size_t current_quota = 0;
+  std::string current_gene;
+  for (sage::TagId tag : tags) {
+    if (config.pinned_genes.count(tag) > 0) continue;
+    if (!rng.Bernoulli(config.mapped_fraction)) continue;  // unmapped tag
+    if (tags_in_current_gene >= current_quota) {
+      current_gene = "GENE_" + std::to_string(++gene_serial);
+      genes.push_back(current_gene);
+      tags_in_current_gene = 0;
+      current_quota = std::max<size_t>(
+          1, static_cast<size_t>(
+                 std::lround(rng.Normal(config.tags_per_gene, 0.8))));
+    }
+    tag_gene.emplace_back(tag, current_gene);
+    ++tags_in_current_gene;
+  }
+  std::sort(tag_gene.begin(), tag_gene.end());
+  for (const auto& [tag, gene] : tag_gene) {
+    unigene.AppendRowUnchecked(
+        {rel::Value::String(sage::DecodeTag(tag)),
+         rel::Value::Int(static_cast<int64_t>(tag)),
+         rel::Value::String(gene)});
+  }
+
+  std::sort(genes.begin(), genes.end());
+  genes.erase(std::unique(genes.begin(), genes.end()), genes.end());
+  for (const std::string& gene : genes) {
+    std::string protein = gene + " protein";
+    swissprot.AppendRowUnchecked(
+        {rel::Value::String(gene), rel::Value::String(protein),
+         rel::Value::String(RandomProteinSequence(rng))});
+    const char* family = kFamilies[rng.UniformInt(0, 9)];
+    pfam.AppendRowUnchecked(
+        {rel::Value::String(protein), rel::Value::String(family),
+         rel::Value::String(std::string("member of the ") + family +
+                            " family")});
+    kegg.AppendRowUnchecked(
+        {rel::Value::String(gene),
+         rel::Value::String(kPathways[rng.UniformInt(0, 7)])});
+    if (rng.Bernoulli(0.4)) {
+      omim.AppendRowUnchecked(
+          {rel::Value::String(gene),
+           rel::Value::String(kDiseases[rng.UniformInt(0, 8)]),
+           rel::Value::Int(rng.UniformInt(1, 22))});
+    }
+    int pubs = static_cast<int>(
+        rng.UniformInt(config.min_publications, config.max_publications));
+    for (int p = 0; p < pubs; ++p) {
+      pubmed.AppendRowUnchecked(
+          {rel::Value::String(gene),
+           rel::Value::String("Expression and function of " + gene +
+                              " (study " + std::to_string(p + 1) + ")"),
+           rel::Value::String(kJournals[rng.UniformInt(0, 4)]),
+           rel::Value::Int(rng.UniformInt(1995, 2001))});
+    }
+  }
+
+  return AnnotationDatabase(std::move(unigene), std::move(swissprot),
+                            std::move(pfam), std::move(kegg),
+                            std::move(omim), std::move(pubmed));
+}
+
+std::vector<std::string> AnnotationDatabase::GeneNames() const {
+  std::vector<std::string> genes;
+  size_t gene_col = *unigene_.schema().FindColumn("Gene");
+  for (const rel::Row& row : unigene_.rows()) {
+    genes.push_back(row[gene_col].AsString());
+  }
+  std::sort(genes.begin(), genes.end());
+  genes.erase(std::unique(genes.begin(), genes.end()), genes.end());
+  return genes;
+}
+
+Result<rel::Table> GeneRelFromTagRel(const rel::Table& tag_rel,
+                                     const rel::Table& unigene,
+                                     const std::string& out_name) {
+  GEA_ASSIGN_OR_RETURN(
+      rel::Table joined,
+      rel::HashJoin(tag_rel, unigene, "TagNo", "TagNo", out_name + "_join"));
+  GEA_ASSIGN_OR_RETURN(rel::Table genes,
+                       rel::Project(joined, {"Gene"}, out_name));
+  return rel::Distinct(genes, out_name);
+}
+
+Result<rel::Table> ProtRelFromGeneRel(const rel::Table& gene_rel,
+                                      const rel::Table& swissprot,
+                                      const std::string& out_name) {
+  GEA_ASSIGN_OR_RETURN(
+      rel::Table joined,
+      rel::HashJoin(gene_rel, swissprot, "Gene", "Gene", out_name + "_join"));
+  GEA_ASSIGN_OR_RETURN(
+      rel::Table sequences,
+      rel::Project(joined, {"Protein", "Sequence"}, out_name));
+  return rel::Distinct(sequences, out_name);
+}
+
+}  // namespace gea::meta

@@ -1,0 +1,100 @@
+#ifndef GEA_META_ANNOTATION_H_
+#define GEA_META_ANNOTATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/table.h"
+#include "sage/tag_codec.h"
+
+namespace gea::meta {
+
+/// The auxiliary genomic databases of Section 5.2 as synthetic relational
+/// tables. The real UNIGENE / SWISSPROT / PFAM / KEGG / OMIM / PUBMED
+/// dumps are not available offline; these generators build internally
+/// consistent relations over the same schemas so that every join pipeline
+/// the thesis describes runs unchanged.
+///
+/// Schemas:
+///   Unigene  (Tag:string, TagNo:int, Gene:string)        tag -> gene
+///   SwissProt(Gene:string, Protein:string, Sequence:string)
+///   Pfam     (Protein:string, Family:string, Function:string)
+///   Kegg     (Gene:string, Pathway:string)
+///   Omim     (Gene:string, Disease:string, Chromosome:int)
+///   Pubmed   (Gene:string, Title:string, Journal:string, Year:int)
+struct AnnotationConfig {
+  uint64_t seed = 7;
+
+  /// Fraction of the supplied tags that map to a known gene ("a tag
+  /// corresponds to one gene at the most, but there are tags with no
+  /// known corresponding genes", Section 2.2.3).
+  double mapped_fraction = 0.7;
+
+  /// Average number of tags per gene (a gene can have several tags).
+  double tags_per_gene = 1.5;
+
+  /// Publications per gene range.
+  int min_publications = 0;
+  int max_publications = 4;
+
+  /// Explicit tag -> gene-name pins, applied before random assignment.
+  /// Used to plant the thesis's named genes (aldolase C, alpha tubulin,
+  /// ribosomal protein L12, ...) on chosen tags.
+  std::map<sage::TagId, std::string> pinned_genes;
+};
+
+/// The generated database bundle.
+class AnnotationDatabase {
+ public:
+  /// Builds annotations covering `tags`.
+  static AnnotationDatabase Generate(const std::vector<sage::TagId>& tags,
+                                     const AnnotationConfig& config);
+
+  const rel::Table& unigene() const { return unigene_; }
+  const rel::Table& swissprot() const { return swissprot_; }
+  const rel::Table& pfam() const { return pfam_; }
+  const rel::Table& kegg() const { return kegg_; }
+  const rel::Table& omim() const { return omim_; }
+  const rel::Table& pubmed() const { return pubmed_; }
+
+  /// All gene names present in Unigene, sorted.
+  std::vector<std::string> GeneNames() const;
+
+ private:
+  AnnotationDatabase(rel::Table unigene, rel::Table swissprot,
+                     rel::Table pfam, rel::Table kegg, rel::Table omim,
+                     rel::Table pubmed)
+      : unigene_(std::move(unigene)),
+        swissprot_(std::move(swissprot)),
+        pfam_(std::move(pfam)),
+        kegg_(std::move(kegg)),
+        omim_(std::move(omim)),
+        pubmed_(std::move(pubmed)) {}
+
+  rel::Table unigene_;
+  rel::Table swissprot_;
+  rel::Table pfam_;
+  rel::Table kegg_;
+  rel::Table omim_;
+  rel::Table pubmed_;
+};
+
+/// The Section 5.2.1 pipeline: GeneRel = pi_gene sigma (TagRel |x|
+/// Unigene). `tag_rel` must carry a TagNo:int column (every SUMY / GAP /
+/// top-gap relational rendering does).
+Result<rel::Table> GeneRelFromTagRel(const rel::Table& tag_rel,
+                                     const rel::Table& unigene,
+                                     const std::string& out_name);
+
+/// The Section 5.2.2 pipeline: ProtRel = pi_sequence sigma (GeneRel |x|
+/// Swissprot). `gene_rel` must carry a Gene:string column.
+Result<rel::Table> ProtRelFromGeneRel(const rel::Table& gene_rel,
+                                      const rel::Table& swissprot,
+                                      const std::string& out_name);
+
+}  // namespace gea::meta
+
+#endif  // GEA_META_ANNOTATION_H_

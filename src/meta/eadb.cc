@@ -1,0 +1,119 @@
+#include "meta/eadb.h"
+
+namespace gea::meta {
+
+Result<std::string> EadbSearch::TagToGene(sage::TagId tag) const {
+  const rel::Table& unigene = db_->unigene();
+  size_t tagno_col = *unigene.schema().FindColumn("TagNo");
+  size_t gene_col = *unigene.schema().FindColumn("Gene");
+  for (const rel::Row& row : unigene.rows()) {
+    if (row[tagno_col].AsInt() == static_cast<int64_t>(tag)) {
+      return row[gene_col].AsString();
+    }
+  }
+  return Status::NotFound("no gene is known for tag " + sage::TagLabel(tag));
+}
+
+std::vector<sage::TagId> EadbSearch::GeneToTags(
+    const std::string& gene) const {
+  const rel::Table& unigene = db_->unigene();
+  size_t tagno_col = *unigene.schema().FindColumn("TagNo");
+  size_t gene_col = *unigene.schema().FindColumn("Gene");
+  std::vector<sage::TagId> out;
+  for (const rel::Row& row : unigene.rows()) {
+    if (row[gene_col].AsString() == gene) {
+      out.push_back(static_cast<sage::TagId>(row[tagno_col].AsInt()));
+    }
+  }
+  return out;
+}
+
+Result<ProteinRecord> EadbSearch::GeneToProtein(
+    const std::string& gene) const {
+  const rel::Table& swissprot = db_->swissprot();
+  size_t gene_col = *swissprot.schema().FindColumn("Gene");
+  size_t protein_col = *swissprot.schema().FindColumn("Protein");
+  size_t seq_col = *swissprot.schema().FindColumn("Sequence");
+  for (const rel::Row& row : swissprot.rows()) {
+    if (row[gene_col].AsString() == gene) {
+      return ProteinRecord{row[protein_col].AsString(),
+                           row[seq_col].AsString()};
+    }
+  }
+  return Status::NotFound("no protein is known for gene " + gene);
+}
+
+std::vector<Publication> EadbSearch::GeneToPublications(
+    const std::string& gene) const {
+  const rel::Table& pubmed = db_->pubmed();
+  size_t gene_col = *pubmed.schema().FindColumn("Gene");
+  size_t title_col = *pubmed.schema().FindColumn("Title");
+  size_t journal_col = *pubmed.schema().FindColumn("Journal");
+  size_t year_col = *pubmed.schema().FindColumn("Year");
+  std::vector<Publication> out;
+  for (const rel::Row& row : pubmed.rows()) {
+    if (row[gene_col].AsString() == gene) {
+      out.push_back({row[title_col].AsString(), row[journal_col].AsString(),
+                     static_cast<int>(row[year_col].AsInt())});
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> EadbSearch::GeneToPathways(
+    const std::string& gene) const {
+  const rel::Table& kegg = db_->kegg();
+  size_t gene_col = *kegg.schema().FindColumn("Gene");
+  size_t pathway_col = *kegg.schema().FindColumn("Pathway");
+  std::vector<std::string> out;
+  for (const rel::Row& row : kegg.rows()) {
+    if (row[gene_col].AsString() == gene) {
+      out.push_back(row[pathway_col].AsString());
+    }
+  }
+  return out;
+}
+
+Result<std::string> EadbSearch::ProteinToFamily(
+    const std::string& protein) const {
+  const rel::Table& pfam = db_->pfam();
+  size_t protein_col = *pfam.schema().FindColumn("Protein");
+  size_t family_col = *pfam.schema().FindColumn("Family");
+  for (const rel::Row& row : pfam.rows()) {
+    if (row[protein_col].AsString() == protein) {
+      return row[family_col].AsString();
+    }
+  }
+  return Status::NotFound("no family is known for protein " + protein);
+}
+
+std::vector<std::string> EadbSearch::GeneToDiseases(
+    const std::string& gene) const {
+  const rel::Table& omim = db_->omim();
+  size_t gene_col = *omim.schema().FindColumn("Gene");
+  size_t disease_col = *omim.schema().FindColumn("Disease");
+  std::vector<std::string> out;
+  for (const rel::Row& row : omim.rows()) {
+    if (row[gene_col].AsString() == gene) {
+      out.push_back(row[disease_col].AsString());
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> EadbSearch::GenesForDisease(
+    const std::string& disease, int chromosome) const {
+  const rel::Table& omim = db_->omim();
+  size_t gene_col = *omim.schema().FindColumn("Gene");
+  size_t disease_col = *omim.schema().FindColumn("Disease");
+  size_t chrom_col = *omim.schema().FindColumn("Chromosome");
+  std::vector<std::string> out;
+  for (const rel::Row& row : omim.rows()) {
+    if (row[disease_col].AsString() != disease) continue;
+    if (chromosome != 0 && row[chrom_col].AsInt() != chromosome) continue;
+    out.push_back(row[gene_col].AsString());
+  }
+  return out;
+}
+
+}  // namespace gea::meta

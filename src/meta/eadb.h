@@ -1,0 +1,68 @@
+#ifndef GEA_META_EADB_H_
+#define GEA_META_EADB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "meta/annotation.h"
+#include "sage/tag_codec.h"
+
+namespace gea::meta {
+
+/// A protein record returned by the gene -> protein mapper.
+struct ProteinRecord {
+  std::string protein;
+  std::string sequence;
+};
+
+/// One publication returned by the gene -> publications mapper.
+struct Publication {
+  std::string title;
+  std::string journal;
+  int year = 0;
+};
+
+/// The Expression Analysis Database search facade of Section 4.4.4.1 /
+/// Fig. 4.22: tag-to-gene, gene-to-protein-sequence, and
+/// gene-to-publications lookups, plus the pathway / family / disease
+/// searches of Sections 5.2.3-5.2.6. All lookups run over an
+/// AnnotationDatabase, which must outlive the search object.
+class EadbSearch {
+ public:
+  explicit EadbSearch(const AnnotationDatabase& db) : db_(&db) {}
+
+  /// The tag-to-gene mapper. NotFound for unmapped tags.
+  Result<std::string> TagToGene(sage::TagId tag) const;
+
+  /// Every tag mapping to `gene` (the gene-to-tag mapper mentioned in
+  /// Section 2.3.3).
+  std::vector<sage::TagId> GeneToTags(const std::string& gene) const;
+
+  /// The gene-to-protein-sequence mapper.
+  Result<ProteinRecord> GeneToProtein(const std::string& gene) const;
+
+  /// Publications studying `gene` (possibly empty).
+  std::vector<Publication> GeneToPublications(const std::string& gene) const;
+
+  /// KEGG pathways `gene` participates in (Section 5.2.4).
+  std::vector<std::string> GeneToPathways(const std::string& gene) const;
+
+  /// PFAM family of `protein` (Section 5.2.3).
+  Result<std::string> ProteinToFamily(const std::string& protein) const;
+
+  /// OMIM diseases linked to `gene` (Section 5.2.6).
+  std::vector<std::string> GeneToDiseases(const std::string& gene) const;
+
+  /// The OMIM-style question of Section 5.2.6: genes related to `disease`
+  /// restricted to `chromosome` (pass 0 for any chromosome).
+  std::vector<std::string> GenesForDisease(const std::string& disease,
+                                           int chromosome = 0) const;
+
+ private:
+  const AnnotationDatabase* db_;
+};
+
+}  // namespace gea::meta
+
+#endif  // GEA_META_EADB_H_

@@ -1,0 +1,60 @@
+#include "rel/catalog.h"
+
+namespace gea::rel {
+
+Status Catalog::CreateTable(Table table, bool replace) {
+  const std::string name = table.name();
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  auto it = tables_.find(name);
+  if (it != tables_.end()) {
+    if (!replace) {
+      return Status::AlreadyExists("a table already exists: " + name);
+    }
+    it->second = std::make_unique<Table>(std::move(table));
+    return Status::OK();
+  }
+  tables_.emplace(name, std::make_unique<Table>(std::move(table)));
+  return Status::OK();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+Result<Table*> Catalog::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return it->second.get();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+void Catalog::Initialize() { tables_.clear(); }
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace gea::rel

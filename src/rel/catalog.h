@@ -1,0 +1,57 @@
+#ifndef GEA_REL_CATALOG_H_
+#define GEA_REL_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/table.h"
+
+namespace gea::rel {
+
+/// The table registry of the analysis database. Mirrors the roles the
+/// thesis assigns to its DBMS catalog: it owns every named relation (the
+/// SAGE base tables, tissue-type ENUM tables, SUMY/GAP/top-gap tables, the
+/// auxiliary metadata relations) and implements the redundancy check of
+/// Section 4.4.5.2: creating a table that already exists fails with
+/// AlreadyExists unless `replace` is requested.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Registers `table` under its own name. Fails with AlreadyExists when a
+  /// table of that name exists and `replace` is false (the caller is
+  /// expected to surface this to the user as the Figure 4.28 dialog).
+  Status CreateTable(Table table, bool replace = false);
+
+  bool HasTable(const std::string& name) const;
+
+  /// Borrowed pointer, valid until the table is dropped or replaced.
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<Table*> GetMutableTable(const std::string& name);
+
+  Status DropTable(const std::string& name);
+
+  /// Drops every table: the "initialize database" operation of
+  /// Appendix III.2.1.
+  void Initialize();
+
+  /// Names of all registered tables, sorted.
+  std::vector<std::string> TableNames() const;
+
+  size_t NumTables() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace gea::rel
+
+#endif  // GEA_REL_CATALOG_H_

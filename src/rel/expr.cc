@@ -1,0 +1,263 @@
+#include "rel/expr.h"
+
+namespace gea::rel {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ApplyOp(CompareOp op, int cmp) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+class ComparePredicate : public Predicate {
+ public:
+  ComparePredicate(std::string column, CompareOp op, Value literal)
+      : column_(std::move(column)), op_(op), literal_(std::move(literal)) {}
+
+  Status Bind(const Schema& schema) override {
+    GEA_ASSIGN_OR_RETURN(index_, schema.ColumnIndex(column_));
+    return Status::OK();
+  }
+
+  bool EvalBound(const Row& row) const override {
+    const Value& v = row[index_];
+    if (v.is_null() || literal_.is_null()) return false;
+    return ApplyOp(op_, v.Compare(literal_));
+  }
+
+  std::string ToString() const override {
+    return column_ + " " + CompareOpName(op_) + " " + literal_.ToString();
+  }
+
+ private:
+  std::string column_;
+  CompareOp op_;
+  Value literal_;
+  size_t index_ = 0;
+};
+
+class CompareColumnsPredicate : public Predicate {
+ public:
+  CompareColumnsPredicate(std::string lhs, CompareOp op, std::string rhs)
+      : lhs_(std::move(lhs)), op_(op), rhs_(std::move(rhs)) {}
+
+  Status Bind(const Schema& schema) override {
+    GEA_ASSIGN_OR_RETURN(lhs_index_, schema.ColumnIndex(lhs_));
+    GEA_ASSIGN_OR_RETURN(rhs_index_, schema.ColumnIndex(rhs_));
+    return Status::OK();
+  }
+
+  bool EvalBound(const Row& row) const override {
+    const Value& a = row[lhs_index_];
+    const Value& b = row[rhs_index_];
+    if (a.is_null() || b.is_null()) return false;
+    return ApplyOp(op_, a.Compare(b));
+  }
+
+  std::string ToString() const override {
+    return lhs_ + " " + CompareOpName(op_) + " " + rhs_;
+  }
+
+ private:
+  std::string lhs_;
+  CompareOp op_;
+  std::string rhs_;
+  size_t lhs_index_ = 0;
+  size_t rhs_index_ = 0;
+};
+
+class IsNullPredicate : public Predicate {
+ public:
+  IsNullPredicate(std::string column, bool negate)
+      : column_(std::move(column)), negate_(negate) {}
+
+  Status Bind(const Schema& schema) override {
+    GEA_ASSIGN_OR_RETURN(index_, schema.ColumnIndex(column_));
+    return Status::OK();
+  }
+
+  bool EvalBound(const Row& row) const override {
+    return row[index_].is_null() != negate_;
+  }
+
+  std::string ToString() const override {
+    return column_ + (negate_ ? " IS NOT NULL" : " IS NULL");
+  }
+
+ private:
+  std::string column_;
+  bool negate_;
+  size_t index_ = 0;
+};
+
+class BetweenPredicate : public Predicate {
+ public:
+  BetweenPredicate(std::string column, Value lo, Value hi)
+      : column_(std::move(column)), lo_(std::move(lo)), hi_(std::move(hi)) {}
+
+  Status Bind(const Schema& schema) override {
+    GEA_ASSIGN_OR_RETURN(index_, schema.ColumnIndex(column_));
+    return Status::OK();
+  }
+
+  bool EvalBound(const Row& row) const override {
+    const Value& v = row[index_];
+    if (v.is_null()) return false;
+    return v.Compare(lo_) >= 0 && v.Compare(hi_) <= 0;
+  }
+
+  std::string ToString() const override {
+    return column_ + " BETWEEN " + lo_.ToString() + " AND " + hi_.ToString();
+  }
+
+ private:
+  std::string column_;
+  Value lo_;
+  Value hi_;
+  size_t index_ = 0;
+};
+
+class AndPredicate : public Predicate {
+ public:
+  explicit AndPredicate(std::vector<PredicatePtr> children)
+      : children_(std::move(children)) {}
+
+  Status Bind(const Schema& schema) override {
+    for (auto& child : children_) GEA_RETURN_IF_ERROR(child->Bind(schema));
+    return Status::OK();
+  }
+
+  bool EvalBound(const Row& row) const override {
+    for (const auto& child : children_) {
+      if (!child->EvalBound(row)) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const override { return Combine(" AND "); }
+
+ protected:
+  std::string Combine(const std::string& sep) const {
+    std::string out = "(";
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) out += sep;
+      out += children_[i]->ToString();
+    }
+    out += ")";
+    return out;
+  }
+
+  std::vector<PredicatePtr> children_;
+};
+
+class OrPredicate : public AndPredicate {
+ public:
+  explicit OrPredicate(std::vector<PredicatePtr> children)
+      : AndPredicate(std::move(children)) {}
+
+  bool EvalBound(const Row& row) const override {
+    for (const auto& child : children_) {
+      if (child->EvalBound(row)) return true;
+    }
+    return false;
+  }
+
+  std::string ToString() const override { return Combine(" OR "); }
+};
+
+class NotPredicate : public Predicate {
+ public:
+  explicit NotPredicate(PredicatePtr child) : child_(std::move(child)) {}
+
+  Status Bind(const Schema& schema) override { return child_->Bind(schema); }
+
+  bool EvalBound(const Row& row) const override {
+    return !child_->EvalBound(row);
+  }
+
+  std::string ToString() const override {
+    return "NOT " + child_->ToString();
+  }
+
+ private:
+  PredicatePtr child_;
+};
+
+class TruePredicate : public Predicate {
+ public:
+  Status Bind(const Schema&) override { return Status::OK(); }
+  bool EvalBound(const Row&) const override { return true; }
+  std::string ToString() const override { return "TRUE"; }
+};
+
+}  // namespace
+
+PredicatePtr Compare(std::string column, CompareOp op, Value literal) {
+  return std::make_unique<ComparePredicate>(std::move(column), op,
+                                            std::move(literal));
+}
+
+PredicatePtr CompareColumns(std::string lhs, CompareOp op, std::string rhs) {
+  return std::make_unique<CompareColumnsPredicate>(std::move(lhs), op,
+                                                   std::move(rhs));
+}
+
+PredicatePtr IsNull(std::string column) {
+  return std::make_unique<IsNullPredicate>(std::move(column), false);
+}
+
+PredicatePtr IsNotNull(std::string column) {
+  return std::make_unique<IsNullPredicate>(std::move(column), true);
+}
+
+PredicatePtr Between(std::string column, Value lo, Value hi) {
+  return std::make_unique<BetweenPredicate>(std::move(column), std::move(lo),
+                                            std::move(hi));
+}
+
+PredicatePtr And(std::vector<PredicatePtr> children) {
+  return std::make_unique<AndPredicate>(std::move(children));
+}
+
+PredicatePtr Or(std::vector<PredicatePtr> children) {
+  return std::make_unique<OrPredicate>(std::move(children));
+}
+
+PredicatePtr Not(PredicatePtr child) {
+  return std::make_unique<NotPredicate>(std::move(child));
+}
+
+PredicatePtr True() { return std::make_unique<TruePredicate>(); }
+
+}  // namespace gea::rel

@@ -1,0 +1,68 @@
+#include "rel/index.h"
+
+#include <algorithm>
+
+namespace gea::rel {
+
+Result<SortedIndex> SortedIndex::Build(const Table& table,
+                                       const std::string& column) {
+  GEA_ASSIGN_OR_RETURN(size_t idx, table.schema().ColumnIndex(column));
+  std::vector<Entry> entries;
+  entries.reserve(table.NumRows());
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    const Value& v = table.row(r)[idx];
+    if (v.is_null()) continue;
+    entries.push_back({v, r});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.value.Compare(b.value) < 0;
+                   });
+  return SortedIndex(column, std::move(entries));
+}
+
+size_t SortedIndex::LowerBound(const Value& v) const {
+  size_t lo = 0;
+  size_t hi = entries_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (entries_[mid].value.Compare(v) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t SortedIndex::UpperBound(const Value& v) const {
+  size_t lo = 0;
+  size_t hi = entries_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (entries_[mid].value.Compare(v) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<size_t> SortedIndex::RangeLookup(const Value& lo,
+                                             const Value& hi) const {
+  std::vector<size_t> out;
+  size_t begin = LowerBound(lo);
+  size_t end = UpperBound(hi);
+  out.reserve(end > begin ? end - begin : 0);
+  for (size_t i = begin; i < end; ++i) out.push_back(entries_[i].row_id);
+  return out;
+}
+
+size_t SortedIndex::RangeCount(const Value& lo, const Value& hi) const {
+  size_t begin = LowerBound(lo);
+  size_t end = UpperBound(hi);
+  return end > begin ? end - begin : 0;
+}
+
+}  // namespace gea::rel

@@ -1,0 +1,57 @@
+#ifndef GEA_REL_INDEX_H_
+#define GEA_REL_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/table.h"
+
+namespace gea::rel {
+
+/// A sorted secondary index over one column of a table: the host-DBMS
+/// facility that Section 3.3.2 exploits to accelerate populate()'s huge
+/// conjunctive range queries.
+///
+/// The index materializes (value, row id) pairs sorted by value; range
+/// lookups are two binary searches. The index does not track table
+/// mutations — rebuild after the table changes.
+class SortedIndex {
+ public:
+  /// Builds an index over `column` of `table`. NULL cells are excluded.
+  static Result<SortedIndex> Build(const Table& table,
+                                   const std::string& column);
+
+  const std::string& column() const { return column_; }
+
+  /// Row ids whose value v satisfies lo <= v <= hi, in ascending value
+  /// order.
+  std::vector<size_t> RangeLookup(const Value& lo, const Value& hi) const;
+
+  /// Number of rows in [lo, hi] without materializing them — used by the
+  /// populate planner to pick the most selective index first.
+  size_t RangeCount(const Value& lo, const Value& hi) const;
+
+  size_t NumEntries() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Value value;
+    size_t row_id;
+  };
+
+  SortedIndex(std::string column, std::vector<Entry> entries)
+      : column_(std::move(column)), entries_(std::move(entries)) {}
+
+  // Index of the first entry with value >= v.
+  size_t LowerBound(const Value& v) const;
+  // Index of the first entry with value > v.
+  size_t UpperBound(const Value& v) const;
+
+  std::string column_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace gea::rel
+
+#endif  // GEA_REL_INDEX_H_

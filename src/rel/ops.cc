@@ -1,0 +1,364 @@
+#include "rel/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+namespace gea::rel {
+
+Result<Table> Select(const Table& input, const PredicatePtr& pred,
+                     const std::string& output_name) {
+  GEA_RETURN_IF_ERROR(pred->Bind(input.schema()));
+  Table out(output_name, input.schema());
+  for (const Row& row : input.rows()) {
+    if (pred->EvalBound(row)) out.AppendRowUnchecked(row);
+  }
+  return out;
+}
+
+Result<Table> Project(const Table& input,
+                      const std::vector<std::string>& columns,
+                      const std::string& output_name) {
+  std::vector<size_t> indices;
+  std::vector<ColumnDef> defs;
+  for (const std::string& name : columns) {
+    GEA_ASSIGN_OR_RETURN(size_t idx, input.schema().ColumnIndex(name));
+    indices.push_back(idx);
+    defs.push_back(input.schema().column(idx));
+  }
+  GEA_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(defs)));
+  Table out(output_name, std::move(schema));
+  for (const Row& row : input.rows()) {
+    Row projected;
+    projected.reserve(indices.size());
+    for (size_t idx : indices) projected.push_back(row[idx]);
+    out.AppendRowUnchecked(std::move(projected));
+  }
+  return out;
+}
+
+namespace {
+
+// Lexicographic row comparison via Value::Compare.
+int CompareRows(const Row& a, const Row& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    int cmp = a[i].Compare(b[i]);
+    if (cmp != 0) return cmp;
+  }
+  return 0;
+}
+
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const {
+    return CompareRows(a, b) < 0;
+  }
+};
+
+}  // namespace
+
+Result<Table> Distinct(const Table& input, const std::string& output_name) {
+  std::map<Row, bool, RowLess> seen;
+  Table out(output_name, input.schema());
+  for (const Row& row : input.rows()) {
+    if (seen.emplace(row, true).second) out.AppendRowUnchecked(row);
+  }
+  return out;
+}
+
+Result<Table> RenameColumn(const Table& input, const std::string& from,
+                           const std::string& to,
+                           const std::string& output_name) {
+  GEA_ASSIGN_OR_RETURN(size_t idx, input.schema().ColumnIndex(from));
+  std::vector<ColumnDef> defs = input.schema().columns();
+  defs[idx].name = to;
+  GEA_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(defs)));
+  Table out(output_name, std::move(schema));
+  for (const Row& row : input.rows()) out.AppendRowUnchecked(row);
+  return out;
+}
+
+Result<Table> Sort(const Table& input, const std::vector<SortKey>& keys,
+                   const std::string& output_name) {
+  std::vector<std::pair<size_t, bool>> bound;  // column index, ascending
+  for (const SortKey& key : keys) {
+    GEA_ASSIGN_OR_RETURN(size_t idx, input.schema().ColumnIndex(key.column));
+    bound.emplace_back(idx, key.ascending);
+  }
+  std::vector<size_t> order(input.NumRows());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (const auto& [idx, ascending] : bound) {
+      int cmp = input.row(a)[idx].Compare(input.row(b)[idx]);
+      if (cmp != 0) return ascending ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  });
+  Table out(output_name, input.schema());
+  for (size_t i : order) out.AppendRowUnchecked(input.row(i));
+  return out;
+}
+
+Result<Table> Limit(const Table& input, size_t n,
+                    const std::string& output_name) {
+  Table out(output_name, input.schema());
+  for (size_t i = 0; i < std::min(n, input.NumRows()); ++i) {
+    out.AppendRowUnchecked(input.row(i));
+  }
+  return out;
+}
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& left_key,
+                       const std::string& right_key,
+                       const std::string& output_name) {
+  GEA_ASSIGN_OR_RETURN(size_t lidx, left.schema().ColumnIndex(left_key));
+  GEA_ASSIGN_OR_RETURN(size_t ridx, right.schema().ColumnIndex(right_key));
+
+  std::vector<ColumnDef> defs = left.schema().columns();
+  std::vector<size_t> right_cols;
+  for (size_t c = 0; c < right.schema().NumColumns(); ++c) {
+    if (c == ridx) continue;
+    ColumnDef def = right.schema().column(c);
+    if (left.schema().FindColumn(def.name).has_value()) {
+      def.name = "r_" + def.name;
+    }
+    defs.push_back(def);
+    right_cols.push_back(c);
+  }
+  GEA_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(defs)));
+  Table out(output_name, std::move(schema));
+
+  // Build side: right table keyed by the textual form of the key. Values
+  // hash via ToString; Compare-based equality is rechecked on probe.
+  std::unordered_multimap<std::string, size_t> build;
+  build.reserve(right.NumRows());
+  for (size_t r = 0; r < right.NumRows(); ++r) {
+    const Value& key = right.row(r)[ridx];
+    if (key.is_null()) continue;  // NULL never joins
+    build.emplace(key.ToString(), r);
+  }
+  for (const Row& lrow : left.rows()) {
+    const Value& key = lrow[lidx];
+    if (key.is_null()) continue;
+    auto [begin, end] = build.equal_range(key.ToString());
+    for (auto it = begin; it != end; ++it) {
+      const Row& rrow = right.row(it->second);
+      if (rrow[ridx].Compare(key) != 0) continue;
+      Row joined = lrow;
+      for (size_t c : right_cols) joined.push_back(rrow[c]);
+      out.AppendRowUnchecked(std::move(joined));
+    }
+  }
+  return out;
+}
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount:
+      return "count";
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kAvg:
+      return "avg";
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kMax:
+      return "max";
+    case AggFn::kStdDev:
+      return "stddev";
+  }
+  return "?";
+}
+
+namespace {
+
+// Streaming accumulator for one aggregate column.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  Value min = Value::Null();
+  Value max = Value::Null();
+
+  void Add(const Value& v) {
+    ++count;
+    if (v.is_null()) return;
+    if (v.IsNumeric()) {
+      double x = v.AsNumeric();
+      sum += x;
+      sum_squares += x * x;
+    }
+    if (min.is_null() || v.Compare(min) < 0) min = v;
+    if (max.is_null() || v.Compare(max) > 0) max = v;
+  }
+
+  Value Finish(AggFn fn, int64_t non_null) const {
+    switch (fn) {
+      case AggFn::kCount:
+        return Value::Int(count);
+      case AggFn::kSum:
+        return non_null == 0 ? Value::Null() : Value::Double(sum);
+      case AggFn::kAvg:
+        return non_null == 0 ? Value::Null()
+                             : Value::Double(sum / static_cast<double>(non_null));
+      case AggFn::kMin:
+        return min;
+      case AggFn::kMax:
+        return max;
+      case AggFn::kStdDev: {
+        if (non_null == 0) return Value::Null();
+        double n = static_cast<double>(non_null);
+        double mean = sum / n;
+        double variance = sum_squares / n - mean * mean;
+        return Value::Double(std::sqrt(std::max(0.0, variance)));
+      }
+    }
+    return Value::Null();
+  }
+};
+
+}  // namespace
+
+Result<Table> GroupAggregate(const Table& input,
+                             const std::vector<std::string>& group_columns,
+                             const std::vector<AggSpec>& aggs,
+                             const std::string& output_name) {
+  std::vector<size_t> group_idx;
+  std::vector<ColumnDef> defs;
+  for (const std::string& name : group_columns) {
+    GEA_ASSIGN_OR_RETURN(size_t idx, input.schema().ColumnIndex(name));
+    group_idx.push_back(idx);
+    defs.push_back(input.schema().column(idx));
+  }
+  std::vector<size_t> agg_idx;
+  for (const AggSpec& spec : aggs) {
+    size_t idx = 0;
+    if (spec.fn != AggFn::kCount) {
+      GEA_ASSIGN_OR_RETURN(idx, input.schema().ColumnIndex(spec.column));
+      const ValueType type = input.schema().column(idx).type;
+      const bool numeric_fn = spec.fn == AggFn::kSum ||
+                              spec.fn == AggFn::kAvg ||
+                              spec.fn == AggFn::kStdDev;
+      if (numeric_fn && type == ValueType::kString) {
+        return Status::InvalidArgument(
+            std::string(AggFnName(spec.fn)) +
+            " requires a numeric column, got string column '" + spec.column +
+            "'");
+      }
+    }
+    agg_idx.push_back(idx);
+    ValueType out_type = ValueType::kDouble;
+    if (spec.fn == AggFn::kCount) {
+      out_type = ValueType::kInt;
+    } else if (spec.fn == AggFn::kMin || spec.fn == AggFn::kMax) {
+      out_type = input.schema().column(idx).type;
+    }
+    defs.push_back({spec.output_name, out_type});
+  }
+  GEA_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(defs)));
+  Table out(output_name, std::move(schema));
+
+  // Group rows, preserving first-seen order.
+  std::map<Row, size_t, RowLess> group_of;
+  std::vector<Row> group_keys;
+  std::vector<std::vector<AggState>> states;
+  std::vector<std::vector<int64_t>> non_null_counts;
+
+  for (const Row& row : input.rows()) {
+    Row key;
+    key.reserve(group_idx.size());
+    for (size_t idx : group_idx) key.push_back(row[idx]);
+    auto [it, inserted] = group_of.emplace(std::move(key), group_keys.size());
+    if (inserted) {
+      group_keys.push_back(it->first);
+      states.emplace_back(aggs.size());
+      non_null_counts.emplace_back(aggs.size(), 0);
+    }
+    size_t g = it->second;
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const Value& v =
+          aggs[a].fn == AggFn::kCount ? Value::Null() : row[agg_idx[a]];
+      if (aggs[a].fn == AggFn::kCount) {
+        states[g][a].count++;
+      } else {
+        states[g][a].Add(v);
+        if (!v.is_null()) non_null_counts[g][a]++;
+      }
+    }
+  }
+
+  // With no group columns, emit a single row even for empty input.
+  if (group_columns.empty() && group_keys.empty()) {
+    group_keys.emplace_back();
+    states.emplace_back(aggs.size());
+    non_null_counts.emplace_back(aggs.size(), 0);
+  }
+
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    Row row = group_keys[g];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      row.push_back(states[g][a].Finish(aggs[a].fn, non_null_counts[g][a]));
+    }
+    out.AppendRowUnchecked(std::move(row));
+  }
+  return out;
+}
+
+namespace {
+
+Status CheckSameSchema(const Table& a, const Table& b) {
+  if (!(a.schema() == b.schema())) {
+    return Status::InvalidArgument(
+        "set operation requires identical schemas: (" +
+        a.schema().ToString() + ") vs (" + b.schema().ToString() + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Table> Union(const Table& a, const Table& b,
+                    const std::string& output_name) {
+  GEA_RETURN_IF_ERROR(CheckSameSchema(a, b));
+  std::map<Row, bool, RowLess> seen;
+  Table out(output_name, a.schema());
+  for (const Table* t : {&a, &b}) {
+    for (const Row& row : t->rows()) {
+      if (seen.emplace(row, true).second) out.AppendRowUnchecked(row);
+    }
+  }
+  return out;
+}
+
+Result<Table> Intersect(const Table& a, const Table& b,
+                        const std::string& output_name) {
+  GEA_RETURN_IF_ERROR(CheckSameSchema(a, b));
+  std::map<Row, bool, RowLess> in_b;
+  for (const Row& row : b.rows()) in_b.emplace(row, true);
+  std::map<Row, bool, RowLess> emitted;
+  Table out(output_name, a.schema());
+  for (const Row& row : a.rows()) {
+    if (in_b.count(row) > 0 && emitted.emplace(row, true).second) {
+      out.AppendRowUnchecked(row);
+    }
+  }
+  return out;
+}
+
+Result<Table> Minus(const Table& a, const Table& b,
+                    const std::string& output_name) {
+  GEA_RETURN_IF_ERROR(CheckSameSchema(a, b));
+  std::map<Row, bool, RowLess> in_b;
+  for (const Row& row : b.rows()) in_b.emplace(row, true);
+  std::map<Row, bool, RowLess> emitted;
+  Table out(output_name, a.schema());
+  for (const Row& row : a.rows()) {
+    if (in_b.count(row) == 0 && emitted.emplace(row, true).second) {
+      out.AppendRowUnchecked(row);
+    }
+  }
+  return out;
+}
+
+}  // namespace gea::rel

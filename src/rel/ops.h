@@ -1,0 +1,95 @@
+#ifndef GEA_REL_OPS_H_
+#define GEA_REL_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/expr.h"
+#include "rel/table.h"
+
+namespace gea::rel {
+
+/// Relational algebra extended with aggregation and sorting — exactly the
+/// algebra the paper assigns to the extensional world (Section 3.2.4).
+/// All operators are pure: they take input tables by const reference and
+/// return freshly materialized tables.
+
+/// σ: rows of `input` satisfying `pred`.
+Result<Table> Select(const Table& input, const PredicatePtr& pred,
+                     const std::string& output_name);
+
+/// π: the named columns, in the given order. Duplicate rows are kept
+/// (bag semantics); use Distinct for set semantics.
+Result<Table> Project(const Table& input,
+                      const std::vector<std::string>& columns,
+                      const std::string& output_name);
+
+/// Removes duplicate rows.
+Result<Table> Distinct(const Table& input, const std::string& output_name);
+
+/// Renames a column.
+Result<Table> RenameColumn(const Table& input, const std::string& from,
+                           const std::string& to,
+                           const std::string& output_name);
+
+/// One sort key: column plus direction.
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+/// ORDER BY: stable multi-key sort.
+Result<Table> Sort(const Table& input, const std::vector<SortKey>& keys,
+                   const std::string& output_name);
+
+/// First `n` rows.
+Result<Table> Limit(const Table& input, size_t n,
+                    const std::string& output_name);
+
+/// Equi-join of `left` and `right` on left.`left_key` = right.`right_key`
+/// (hash join). Output columns: all of left's, then all of right's except
+/// `right_key`; clashing names from the right get a "r_" prefix.
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& left_key,
+                       const std::string& right_key,
+                       const std::string& output_name);
+
+/// Aggregation functions supported by GroupAggregate.
+enum class AggFn {
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kStdDev,  // population standard deviation, as used by SUMY tables
+};
+
+const char* AggFnName(AggFn fn);
+
+/// One aggregate output column.
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  std::string column;       // ignored for kCount
+  std::string output_name;  // name of the output column
+};
+
+/// GROUP BY `group_columns` computing `aggs`. With empty `group_columns`
+/// produces exactly one row over the whole input (NULLs are skipped inside
+/// aggregates; COUNT counts rows). Group order is first-seen order.
+Result<Table> GroupAggregate(const Table& input,
+                             const std::vector<std::string>& group_columns,
+                             const std::vector<AggSpec>& aggs,
+                             const std::string& output_name);
+
+/// Set operators (set semantics; schemas must be equal).
+Result<Table> Union(const Table& a, const Table& b,
+                    const std::string& output_name);
+Result<Table> Intersect(const Table& a, const Table& b,
+                        const std::string& output_name);
+Result<Table> Minus(const Table& a, const Table& b,
+                    const std::string& output_name);
+
+}  // namespace gea::rel
+
+#endif  // GEA_REL_OPS_H_

@@ -1,0 +1,46 @@
+#include "rel/schema.h"
+
+#include <unordered_set>
+
+namespace gea::rel {
+
+Result<Schema> Schema::Create(std::vector<ColumnDef> columns) {
+  std::unordered_set<std::string> seen;
+  for (const ColumnDef& col : columns) {
+    if (col.name.empty()) {
+      return Status::InvalidArgument("column names must be non-empty");
+    }
+    if (!seen.insert(col.name).second) {
+      return Status::InvalidArgument("duplicate column name: " + col.name);
+    }
+  }
+  return Schema(std::move(columns));
+}
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  std::optional<size_t> idx = FindColumn(name);
+  if (!idx.has_value()) {
+    return Status::NotFound("no such column: " + name);
+  }
+  return *idx;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ':';
+    out += ValueTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace gea::rel

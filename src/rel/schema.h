@@ -1,0 +1,56 @@
+#ifndef GEA_REL_SCHEMA_H_
+#define GEA_REL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/value.h"
+
+namespace gea::rel {
+
+/// A named, typed column of a relation.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+
+  bool operator==(const ColumnDef& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered list of columns. Column names are unique within a schema.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Builds a schema, failing on duplicate column names.
+  static Result<Schema> Create(std::vector<ColumnDef> columns);
+
+  size_t NumColumns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of column `name`, or nullopt.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  /// Index of column `name`, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+  /// "name:type, name:type, ..."
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace gea::rel
+
+#endif  // GEA_REL_SCHEMA_H_

@@ -1,0 +1,500 @@
+#include "rel/sql.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "rel/expr.h"
+#include "rel/ops.h"
+
+namespace gea::rel {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------
+
+enum class TokenKind {
+  kIdentifier,  // bare or double-quoted
+  kNumber,
+  kString,      // single-quoted
+  kSymbol,      // one of , * = != <> < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // keyword/identifier text, literal value, or symbol
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view sql) : sql_(sql) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= sql_.size()) break;
+      char c = sql_[pos_];
+      if (c == '\'') {
+        GEA_ASSIGN_OR_RETURN(Token t, QuotedString());
+        out.push_back(std::move(t));
+      } else if (c == '"') {
+        GEA_ASSIGN_OR_RETURN(Token t, QuotedIdentifier());
+        out.push_back(std::move(t));
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+                 c == '+' || c == '.') {
+        out.push_back(Number());
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(Identifier());
+      } else {
+        GEA_ASSIGN_OR_RETURN(Token t, Symbol());
+        out.push_back(std::move(t));
+      }
+    }
+    out.push_back({TokenKind::kEnd, ""});
+    return out;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < sql_.size() &&
+           std::isspace(static_cast<unsigned char>(sql_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Result<Token> QuotedString() {
+    ++pos_;  // opening quote
+    std::string value;
+    while (pos_ < sql_.size()) {
+      char c = sql_[pos_++];
+      if (c == '\'') {
+        if (pos_ < sql_.size() && sql_[pos_] == '\'') {
+          value += '\'';  // '' escapes a quote
+          ++pos_;
+        } else {
+          return Token{TokenKind::kString, std::move(value)};
+        }
+      } else {
+        value += c;
+      }
+    }
+    return Status::InvalidArgument("unterminated string literal");
+  }
+
+  Result<Token> QuotedIdentifier() {
+    ++pos_;
+    std::string value;
+    while (pos_ < sql_.size()) {
+      char c = sql_[pos_++];
+      if (c == '"') return Token{TokenKind::kIdentifier, std::move(value)};
+      value += c;
+    }
+    return Status::InvalidArgument("unterminated quoted identifier");
+  }
+
+  Token Number() {
+    size_t start = pos_;
+    if (sql_[pos_] == '-' || sql_[pos_] == '+') ++pos_;
+    while (pos_ < sql_.size() &&
+           (std::isdigit(static_cast<unsigned char>(sql_[pos_])) ||
+            sql_[pos_] == '.' || sql_[pos_] == 'e' || sql_[pos_] == 'E' ||
+            ((sql_[pos_] == '-' || sql_[pos_] == '+') &&
+             (sql_[pos_ - 1] == 'e' || sql_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    return {TokenKind::kNumber, std::string(sql_.substr(start, pos_ - start))};
+  }
+
+  Token Identifier() {
+    size_t start = pos_;
+    while (pos_ < sql_.size() &&
+           (std::isalnum(static_cast<unsigned char>(sql_[pos_])) ||
+            sql_[pos_] == '_')) {
+      ++pos_;
+    }
+    return {TokenKind::kIdentifier,
+            std::string(sql_.substr(start, pos_ - start))};
+  }
+
+  Result<Token> Symbol() {
+    char c = sql_[pos_];
+    ++pos_;
+    switch (c) {
+      case ',':
+      case '*':
+      case '=':
+      case '(':
+      case ')':
+        return Token{TokenKind::kSymbol, std::string(1, c)};
+      case '!':
+        if (pos_ < sql_.size() && sql_[pos_] == '=') {
+          ++pos_;
+          return Token{TokenKind::kSymbol, "!="};
+        }
+        return Status::InvalidArgument("stray '!'");
+      case '<':
+        if (pos_ < sql_.size() && sql_[pos_] == '=') {
+          ++pos_;
+          return Token{TokenKind::kSymbol, "<="};
+        }
+        if (pos_ < sql_.size() && sql_[pos_] == '>') {
+          ++pos_;
+          return Token{TokenKind::kSymbol, "!="};  // <> is !=
+        }
+        return Token{TokenKind::kSymbol, "<"};
+      case '>':
+        if (pos_ < sql_.size() && sql_[pos_] == '=') {
+          ++pos_;
+          return Token{TokenKind::kSymbol, ">="};
+        }
+        return Token{TokenKind::kSymbol, ">"};
+      default:
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "'");
+    }
+  }
+
+  std::string_view sql_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Parser / executor
+// ---------------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(const Catalog& catalog, std::vector<Token> tokens)
+      : catalog_(catalog), tokens_(std::move(tokens)) {}
+
+  // One SELECT-list entry: a plain column, or an aggregate call.
+  struct SelectItem {
+    bool is_aggregate = false;
+    AggFn fn = AggFn::kCount;
+    std::string column;       // aggregate argument or the plain column
+    std::string output_name;  // rendered name or the AS alias
+  };
+
+  Result<Table> Run() {
+    GEA_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    bool star = false;
+    std::vector<SelectItem> items;
+    bool any_aggregate = false;
+    if (PeekSymbol("*")) {
+      Advance();
+      star = true;
+    } else {
+      while (true) {
+        GEA_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+        any_aggregate = any_aggregate || item.is_aggregate;
+        items.push_back(std::move(item));
+        if (!PeekSymbol(",")) break;
+        Advance();
+      }
+    }
+    GEA_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    GEA_ASSIGN_OR_RETURN(std::string table_name, ExpectIdentifier());
+    GEA_ASSIGN_OR_RETURN(const Table* table, catalog_.GetTable(table_name));
+
+    // WHERE
+    std::vector<PredicatePtr> conditions;
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      while (true) {
+        GEA_ASSIGN_OR_RETURN(PredicatePtr cond, Condition());
+        conditions.push_back(std::move(cond));
+        if (!PeekKeyword("AND")) break;
+        Advance();
+      }
+    }
+
+    // GROUP BY
+    std::vector<std::string> group_columns;
+    bool has_group_by = false;
+    if (PeekKeyword("GROUP")) {
+      Advance();
+      GEA_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      has_group_by = true;
+      while (true) {
+        GEA_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        group_columns.push_back(std::move(col));
+        if (!PeekSymbol(",")) break;
+        Advance();
+      }
+    }
+
+    // ORDER BY
+    std::vector<SortKey> sort_keys;
+    if (PeekKeyword("ORDER")) {
+      Advance();
+      GEA_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        SortKey key;
+        GEA_ASSIGN_OR_RETURN(key.column, ExpectIdentifier());
+        if (PeekKeyword("ASC")) {
+          Advance();
+        } else if (PeekKeyword("DESC")) {
+          Advance();
+          key.ascending = false;
+        }
+        sort_keys.push_back(std::move(key));
+        if (!PeekSymbol(",")) break;
+        Advance();
+      }
+    }
+
+    // LIMIT
+    std::optional<size_t> limit;
+    if (PeekKeyword("LIMIT")) {
+      Advance();
+      if (tokens_[pos_].kind != TokenKind::kNumber) {
+        return Status::InvalidArgument("LIMIT expects a number");
+      }
+      long long n = std::atoll(tokens_[pos_].text.c_str());
+      if (n < 0) return Status::InvalidArgument("LIMIT must be >= 0");
+      limit = static_cast<size_t>(n);
+      Advance();
+    }
+
+    if (tokens_[pos_].kind != TokenKind::kEnd) {
+      return Status::InvalidArgument("unexpected trailing input: " +
+                                     tokens_[pos_].text);
+    }
+
+    // Semantic checks for aggregation.
+    const bool aggregated = any_aggregate || has_group_by;
+    if (aggregated) {
+      if (star) {
+        return Status::InvalidArgument(
+            "SELECT * cannot be combined with GROUP BY / aggregates");
+      }
+      for (const SelectItem& item : items) {
+        if (item.is_aggregate) continue;
+        if (std::find(group_columns.begin(), group_columns.end(),
+                      item.column) == group_columns.end()) {
+          return Status::InvalidArgument(
+              "column '" + item.column +
+              "' must appear in GROUP BY or inside an aggregate");
+        }
+      }
+    }
+
+    // Execute: WHERE -> (GROUP BY + aggregates) -> ORDER BY -> LIMIT ->
+    // projection.
+    Table result = *table;
+    if (!conditions.empty()) {
+      PredicatePtr pred = conditions.size() == 1
+                              ? std::move(conditions.front())
+                              : And(std::move(conditions));
+      GEA_ASSIGN_OR_RETURN(result, Select(result, pred, "query"));
+    }
+    if (aggregated) {
+      std::vector<AggSpec> aggs;
+      for (const SelectItem& item : items) {
+        if (!item.is_aggregate) continue;
+        aggs.push_back({item.fn, item.column, item.output_name});
+      }
+      GEA_ASSIGN_OR_RETURN(
+          result, GroupAggregate(result, group_columns, aggs, "query"));
+    }
+    if (!sort_keys.empty()) {
+      GEA_ASSIGN_OR_RETURN(result, Sort(result, sort_keys, "query"));
+    }
+    if (limit.has_value()) {
+      GEA_ASSIGN_OR_RETURN(result, Limit(result, *limit, "query"));
+    }
+    if (!star) {
+      // Project to the select list's order and names.
+      std::vector<std::string> names;
+      for (const SelectItem& item : items) {
+        names.push_back(item.is_aggregate ? item.output_name : item.column);
+      }
+      GEA_ASSIGN_OR_RETURN(result, Project(result, names, "query"));
+    }
+    result.set_name("query");
+    return result;
+  }
+
+ private:
+  void Advance() { ++pos_; }
+
+  bool PeekKeyword(const std::string& keyword) const {
+    return tokens_[pos_].kind == TokenKind::kIdentifier &&
+           ToLower(tokens_[pos_].text) == ToLower(keyword);
+  }
+
+  bool PeekSymbol(const std::string& symbol) const {
+    return tokens_[pos_].kind == TokenKind::kSymbol &&
+           tokens_[pos_].text == symbol;
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!PeekKeyword(keyword)) {
+      return Status::InvalidArgument("expected " + keyword + ", got '" +
+                                     tokens_[pos_].text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    GEA_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier());
+    const std::string upper = [&first] {
+      std::string u = first;
+      for (char& c : u) {
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+      return u;
+    }();
+    bool known_aggregate = true;
+    if (upper == "COUNT") {
+      item.fn = AggFn::kCount;
+    } else if (upper == "SUM") {
+      item.fn = AggFn::kSum;
+    } else if (upper == "AVG") {
+      item.fn = AggFn::kAvg;
+    } else if (upper == "MIN") {
+      item.fn = AggFn::kMin;
+    } else if (upper == "MAX") {
+      item.fn = AggFn::kMax;
+    } else if (upper == "STDDEV") {
+      item.fn = AggFn::kStdDev;
+    } else {
+      known_aggregate = false;
+    }
+    if (known_aggregate && PeekSymbol("(")) {
+      Advance();
+      item.is_aggregate = true;
+      if (item.fn == AggFn::kCount && PeekSymbol("*")) {
+        Advance();
+        item.output_name = "count";
+      } else {
+        GEA_ASSIGN_OR_RETURN(item.column, ExpectIdentifier());
+        item.output_name = std::string(AggFnName(item.fn)) + "_" +
+                           item.column;
+      }
+      if (!PeekSymbol(")")) {
+        return Status::InvalidArgument("expected ')' after aggregate");
+      }
+      Advance();
+    } else {
+      item.column = std::move(first);
+      item.output_name = item.column;
+    }
+    if (PeekKeyword("AS")) {
+      Advance();
+      GEA_ASSIGN_OR_RETURN(item.output_name, ExpectIdentifier());
+      if (!item.is_aggregate) {
+        return Status::InvalidArgument(
+            "AS aliases are supported on aggregates only");
+      }
+    }
+    return item;
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (tokens_[pos_].kind != TokenKind::kIdentifier) {
+      return Status::InvalidArgument("expected an identifier, got '" +
+                                     tokens_[pos_].text + "'");
+    }
+    std::string text = tokens_[pos_].text;
+    Advance();
+    return text;
+  }
+
+  Result<Value> Literal() {
+    const Token& t = tokens_[pos_];
+    switch (t.kind) {
+      case TokenKind::kNumber: {
+        Advance();
+        // Integral unless it carries a point or exponent.
+        if (t.text.find_first_of(".eE") == std::string::npos) {
+          return Value::Int(std::atoll(t.text.c_str()));
+        }
+        return Value::Double(std::strtod(t.text.c_str(), nullptr));
+      }
+      case TokenKind::kString: {
+        Advance();
+        return Value::String(t.text);
+      }
+      case TokenKind::kIdentifier:
+        if (ToLower(t.text) == "null") {
+          Advance();
+          return Value::Null();
+        }
+        [[fallthrough]];
+      default:
+        return Status::InvalidArgument("expected a literal, got '" + t.text +
+                                       "'");
+    }
+  }
+
+  Result<PredicatePtr> Condition() {
+    GEA_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+    // IS [NOT] NULL
+    if (PeekKeyword("IS")) {
+      Advance();
+      bool negated = false;
+      if (PeekKeyword("NOT")) {
+        Advance();
+        negated = true;
+      }
+      if (!PeekKeyword("NULL")) {
+        return Status::InvalidArgument("expected NULL after IS [NOT]");
+      }
+      Advance();
+      return negated ? IsNotNull(column) : IsNull(column);
+    }
+    // BETWEEN lo AND hi
+    if (PeekKeyword("BETWEEN")) {
+      Advance();
+      GEA_ASSIGN_OR_RETURN(Value lo, Literal());
+      GEA_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      GEA_ASSIGN_OR_RETURN(Value hi, Literal());
+      return Between(column, std::move(lo), std::move(hi));
+    }
+    // column <op> literal
+    if (tokens_[pos_].kind != TokenKind::kSymbol) {
+      return Status::InvalidArgument("expected a comparison operator");
+    }
+    const std::string op = tokens_[pos_].text;
+    Advance();
+    GEA_ASSIGN_OR_RETURN(Value literal, Literal());
+    CompareOp compare;
+    if (op == "=") {
+      compare = CompareOp::kEq;
+    } else if (op == "!=") {
+      compare = CompareOp::kNe;
+    } else if (op == "<") {
+      compare = CompareOp::kLt;
+    } else if (op == "<=") {
+      compare = CompareOp::kLe;
+    } else if (op == ">") {
+      compare = CompareOp::kGt;
+    } else if (op == ">=") {
+      compare = CompareOp::kGe;
+    } else {
+      return Status::InvalidArgument("unknown operator: " + op);
+    }
+    return Compare(column, compare, std::move(literal));
+  }
+
+  const Catalog& catalog_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Table> ExecuteQuery(const Catalog& catalog, const std::string& sql) {
+  GEA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenizer(sql).Run());
+  return Parser(catalog, std::move(tokens)).Run();
+}
+
+}  // namespace gea::rel

@@ -1,0 +1,45 @@
+#ifndef GEA_REL_SQL_H_
+#define GEA_REL_SQL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "rel/catalog.h"
+#include "rel/table.h"
+
+namespace gea::rel {
+
+/// A small SQL-style query interface over the catalog — the stand-in for
+/// the SQL the thesis issues to DB2 through JDBC. Supported grammar:
+///
+///   SELECT <select_item [, select_item ...] | *>
+///   FROM <table>
+///   [WHERE <condition> [AND <condition>] ...]
+///   [GROUP BY <column> [, <column>] ...]
+///   [ORDER BY <column> [ASC|DESC] [, <column> [ASC|DESC]] ...]
+///   [LIMIT <n>]
+///
+///   select_item :=
+///       <column>
+///     | COUNT(*) | SUM(col) | AVG(col) | MIN(col) | MAX(col) | STDDEV(col)
+///       [AS <name>]
+///
+///   condition :=
+///       <column> <op> <literal>      op in { =, !=, <>, <, <=, >, >= }
+///     | <column> BETWEEN <literal> AND <literal>
+///     | <column> IS NULL
+///     | <column> IS NOT NULL
+///
+/// Literals are integers, doubles, single-quoted strings ('' escapes a
+/// quote) or NULL. Keywords are case-insensitive; identifiers are
+/// case-sensitive and may be double-quoted to include spaces. WHERE
+/// conditions combine with AND only (the conjunctive selections GEA
+/// issues). Aggregate select items require either a GROUP BY clause or an
+/// all-aggregate select list (a global aggregate); plain columns in an
+/// aggregated query must appear in GROUP BY. The result is a fresh
+/// materialized table named "query".
+Result<Table> ExecuteQuery(const Catalog& catalog, const std::string& sql);
+
+}  // namespace gea::rel
+
+#endif  // GEA_REL_SQL_H_

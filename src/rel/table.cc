@@ -1,0 +1,69 @@
+#include "rel/table.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace gea::rel {
+
+Status Table::AppendRow(Row row) {
+  if (row.size() != schema_.NumColumns()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, table '" + name_ +
+        "' has " + std::to_string(schema_.NumColumns()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].type() != schema_.column(i).type) {
+      return Status::InvalidArgument(
+          "type mismatch in column '" + schema_.column(i).name +
+          "': expected " + ValueTypeName(schema_.column(i).type) + ", got " +
+          ValueTypeName(row[i].type()));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<Value> Table::Get(size_t row, const std::string& column) const {
+  if (row >= rows_.size()) {
+    return Status::OutOfRange("row index " + std::to_string(row) +
+                              " out of range");
+  }
+  GEA_ASSIGN_OR_RETURN(size_t col, schema_.ColumnIndex(column));
+  return rows_[row][col];
+}
+
+std::string Table::ToText(size_t max_rows) const {
+  std::vector<size_t> widths(schema_.NumColumns());
+  std::vector<std::vector<std::string>> cells;
+  size_t shown = std::min(max_rows, rows_.size());
+  for (size_t c = 0; c < schema_.NumColumns(); ++c) {
+    widths[c] = schema_.column(c).name.size();
+  }
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row_text;
+    for (size_t c = 0; c < schema_.NumColumns(); ++c) {
+      row_text.push_back(rows_[r][c].ToString());
+      widths[c] = std::max(widths[c], row_text.back().size());
+    }
+    cells.push_back(std::move(row_text));
+  }
+  std::string out = name_ + " (" + std::to_string(rows_.size()) + " rows)\n";
+  for (size_t c = 0; c < schema_.NumColumns(); ++c) {
+    out += PadRight(schema_.column(c).name, widths[c] + 2);
+  }
+  out += '\n';
+  for (const auto& row_text : cells) {
+    for (size_t c = 0; c < row_text.size(); ++c) {
+      out += PadRight(row_text[c], widths[c] + 2);
+    }
+    out += '\n';
+  }
+  if (shown < rows_.size()) {
+    out += "... (" + std::to_string(rows_.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace gea::rel

@@ -1,0 +1,63 @@
+#ifndef GEA_REL_TABLE_H_
+#define GEA_REL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rel/schema.h"
+#include "rel/value.h"
+
+namespace gea::rel {
+
+/// A row is one value per schema column.
+using Row = std::vector<Value>;
+
+/// An in-memory relation: a name, a schema, and a bag of rows.
+///
+/// This is the extensional world's storage substrate (Section 3.1.1): ENUM
+/// tables, library metadata, and the auxiliary genomic databases are all
+/// instances of this class. Row order is insertion order; operators that
+/// need set semantics (union/minus/intersect) deduplicate explicitly.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const Schema& schema() const { return schema_; }
+
+  size_t NumRows() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends `row`, checking arity and per-column types (NULL is accepted
+  /// in any column).
+  Status AppendRow(Row row);
+
+  /// Appends without validation; caller guarantees the row is well-formed.
+  void AppendRowUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Cell accessor with no bounds checking.
+  const Value& At(size_t row, size_t col) const { return rows_[row][col]; }
+
+  /// Cell accessor by column name.
+  Result<Value> Get(size_t row, const std::string& column) const;
+
+  void Clear() { rows_.clear(); }
+
+  /// Renders a fixed-width textual view of the first `max_rows` rows,
+  /// suitable for reports and examples.
+  std::string ToText(size_t max_rows = 20) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace gea::rel
+
+#endif  // GEA_REL_TABLE_H_

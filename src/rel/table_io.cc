@@ -1,0 +1,69 @@
+#include "rel/table_io.h"
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace gea::rel {
+
+std::string TableToCsv(const Table& table) {
+  CsvDocument doc;
+  for (const ColumnDef& col : table.schema().columns()) {
+    doc.header.push_back(col.name + ":" + ValueTypeName(col.type));
+  }
+  for (const Row& row : table.rows()) {
+    std::vector<std::string> record;
+    record.reserve(row.size());
+    for (const Value& v : row) record.push_back(v.ToString());
+    doc.rows.push_back(std::move(record));
+  }
+  return WriteCsv(doc);
+}
+
+Result<Table> TableFromCsv(const std::string& name,
+                           const std::string& text) {
+  GEA_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(text));
+  std::vector<ColumnDef> defs;
+  for (const std::string& field : doc.header) {
+    std::vector<std::string> parts = Split(field, ':');
+    if (parts.size() != 2) {
+      return Status::InvalidArgument("header field not 'name:type': " +
+                                     field);
+    }
+    GEA_ASSIGN_OR_RETURN(ValueType type, ParseValueType(parts[1]));
+    defs.push_back({parts[0], type});
+  }
+  GEA_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(defs)));
+  Table table(name, schema);
+  for (const auto& record : doc.rows) {
+    Row row;
+    row.reserve(record.size());
+    for (size_t c = 0; c < record.size(); ++c) {
+      GEA_ASSIGN_OR_RETURN(Value v,
+                           Value::Parse(record[c], schema.column(c).type));
+      row.push_back(std::move(v));
+    }
+    GEA_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+Status SaveTable(const Table& table, const std::string& path) {
+  CsvDocument doc;
+  for (const ColumnDef& col : table.schema().columns()) {
+    doc.header.push_back(col.name + ":" + ValueTypeName(col.type));
+  }
+  for (const Row& row : table.rows()) {
+    std::vector<std::string> record;
+    record.reserve(row.size());
+    for (const Value& v : row) record.push_back(v.ToString());
+    doc.rows.push_back(std::move(record));
+  }
+  return WriteCsvFile(path, doc);
+}
+
+Result<Table> LoadTable(const std::string& name, const std::string& path) {
+  GEA_ASSIGN_OR_RETURN(CsvDocument doc, ReadCsvFile(path));
+  return TableFromCsv(name, WriteCsv(doc));
+}
+
+}  // namespace gea::rel

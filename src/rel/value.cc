@@ -1,0 +1,149 @@
+#include "rel/value.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace gea::rel {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+Result<ValueType> ParseValueType(const std::string& name) {
+  if (name == "int") return ValueType::kInt;
+  if (name == "double") return ValueType::kDouble;
+  if (name == "string") return ValueType::kString;
+  if (name == "null") return ValueType::kNull;
+  return Status::InvalidArgument("unknown value type: " + name);
+}
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt;
+    case 2:
+      return ValueType::kDouble;
+    default:
+      return ValueType::kString;
+  }
+}
+
+double Value::AsNumeric() const {
+  if (type() == ValueType::kInt) return static_cast<double>(AsInt());
+  return AsDouble();
+}
+
+namespace {
+
+// Rank used to order values of incomparable types: NULL < numbers < strings.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 1;
+    case ValueType::kString:
+      return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int rank_a = TypeRank(type());
+  int rank_b = TypeRank(other.type());
+  if (rank_a != rank_b) return rank_a < rank_b ? -1 : 1;
+  switch (rank_a) {
+    case 0:
+      return 0;  // NULL == NULL (deterministic sorting convention)
+    case 1: {
+      // Compare ints exactly when both are ints, else numerically.
+      if (type() == ValueType::kInt && other.type() == ValueType::kInt) {
+        int64_t a = AsInt();
+        int64_t b = other.AsInt();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      double a = AsNumeric();
+      double b = other.AsNumeric();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    default: {
+      const std::string& a = AsString();
+      const std::string& b = other.AsString();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      // Shortest round-trippable-ish rendering with stable formatting.
+      std::string s = FormatDouble(AsDouble(), 6);
+      // Trim trailing zeros but keep one digit after the point.
+      size_t dot = s.find('.');
+      if (dot != std::string::npos) {
+        size_t last = s.find_last_not_of('0');
+        if (last == dot) last = dot + 1;
+        s.erase(last + 1);
+      }
+      return s;
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "";
+}
+
+Result<Value> Value::Parse(const std::string& text, ValueType type) {
+  // "NULL" always parses as NULL (so a string cell containing the literal
+  // word NULL does not round-trip — documented limitation). The empty
+  // string is NULL for numeric types but a legitimate empty string value.
+  if (text == "NULL" || (text.empty() && type != ValueType::kString)) {
+    return Value::Null();
+  }
+  switch (type) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt: {
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("cannot parse int: " + text);
+      }
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("cannot parse double: " + text);
+      }
+      return Value::Double(v);
+    }
+    case ValueType::kString:
+      return Value::String(text);
+  }
+  return Status::InvalidArgument("bad value type");
+}
+
+}  // namespace gea::rel

@@ -1,0 +1,85 @@
+#ifndef GEA_REL_VALUE_H_
+#define GEA_REL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace gea::rel {
+
+/// The column types supported by the relational substrate. These are the
+/// types GEA needs from its host DBMS: integers for counts and identifiers,
+/// doubles for normalized expression levels and aggregates, strings for
+/// names, plus SQL-style NULL (used for the null gap values of Section
+/// 3.2.2).
+enum class ValueType {
+  kNull = 0,
+  kInt,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeName(ValueType type);
+
+/// Parses "int" / "double" / "string" / "null".
+Result<ValueType> ParseValueType(const std::string& name);
+
+/// A single cell: NULL, int64, double, or string.
+///
+/// Ordering and equality follow SQL-ish conventions with one deviation kept
+/// for determinism: NULL compares equal to NULL and sorts before every
+/// non-null value; ints and doubles compare numerically with each other.
+/// Comparing a number to a string is an ordering by type tag (numbers sort
+/// before strings) so sorting mixed columns is total and deterministic.
+class Value {
+ public:
+  /// Constructs NULL.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Accessors require the matching type.
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: ints widen to double. Requires a numeric type.
+  double AsNumeric() const;
+  bool IsNumeric() const {
+    ValueType t = type();
+    return t == ValueType::kInt || t == ValueType::kDouble;
+  }
+
+  /// Three-way comparison; see the class comment for NULL and cross-type
+  /// rules. Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Renders the value for CSV/reports; NULL renders as "NULL".
+  std::string ToString() const;
+
+  /// Parses `text` as `type` ("NULL" or empty parses to NULL for any type).
+  static Result<Value> Parse(const std::string& text, ValueType type);
+
+ private:
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+}  // namespace gea::rel
+
+#endif  // GEA_REL_VALUE_H_

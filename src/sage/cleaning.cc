@@ -1,0 +1,91 @@
+#include "sage/cleaning.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace gea::sage {
+
+double CleaningStats::MinRemovedFraction() const {
+  if (per_library_removed_fraction.empty()) return 0.0;
+  return *std::min_element(per_library_removed_fraction.begin(),
+                           per_library_removed_fraction.end());
+}
+
+double CleaningStats::MaxRemovedFraction() const {
+  if (per_library_removed_fraction.empty()) return 0.0;
+  return *std::max_element(per_library_removed_fraction.begin(),
+                           per_library_removed_fraction.end());
+}
+
+double CleaningStats::AvgRemovedFraction() const {
+  if (per_library_removed_fraction.empty()) return 0.0;
+  double sum = 0.0;
+  for (double f : per_library_removed_fraction) sum += f;
+  return sum / static_cast<double>(per_library_removed_fraction.size());
+}
+
+std::string CleaningStats::ToString() const {
+  return "tags: " + std::to_string(tags_before) + " -> " +
+         std::to_string(tags_after) + " (removed " +
+         std::to_string(tags_removed) + "); per-library removal " +
+         FormatDouble(100.0 * MinRemovedFraction(), 1) + "%-" +
+         FormatDouble(100.0 * MaxRemovedFraction(), 1) + "% (avg " +
+         FormatDouble(100.0 * AvgRemovedFraction(), 1) + "%)";
+}
+
+CleaningStats RemoveErrorTags(SageDataSet& dataset, double min_tolerance) {
+  // Max count of each tag over all libraries; a tag survives iff its max
+  // exceeds the tolerance somewhere.
+  std::unordered_map<TagId, double> max_count;
+  for (const SageLibrary& lib : dataset.libraries()) {
+    for (const SageLibrary::Entry& e : lib.entries()) {
+      auto [it, inserted] = max_count.emplace(e.tag, e.count);
+      if (!inserted && e.count > it->second) it->second = e.count;
+    }
+  }
+
+  CleaningStats stats;
+  stats.tags_before = max_count.size();
+
+  for (size_t i = 0; i < dataset.NumLibraries(); ++i) {
+    SageLibrary& lib = dataset.mutable_library(i);
+    size_t before = lib.UniqueTagCount();
+    std::vector<TagId> to_remove;
+    for (const SageLibrary::Entry& e : lib.entries()) {
+      if (max_count.at(e.tag) <= min_tolerance) to_remove.push_back(e.tag);
+    }
+    for (TagId tag : to_remove) lib.Erase(tag);
+    stats.per_library_removed_fraction.push_back(
+        before == 0 ? 0.0
+                    : static_cast<double>(to_remove.size()) /
+                          static_cast<double>(before));
+  }
+
+  size_t removed = 0;
+  for (const auto& [tag, max] : max_count) {
+    if (max <= min_tolerance) ++removed;
+  }
+  stats.tags_removed = removed;
+  stats.tags_after = stats.tags_before - removed;
+  return stats;
+}
+
+void NormalizeToDepth(SageDataSet& dataset, double target_depth) {
+  for (size_t i = 0; i < dataset.NumLibraries(); ++i) {
+    SageLibrary& lib = dataset.mutable_library(i);
+    double total = lib.TotalTagCount();
+    if (total <= 0.0) continue;
+    lib.Scale(target_depth / total);
+  }
+}
+
+CleaningStats CleanAndNormalize(SageDataSet& dataset, double min_tolerance,
+                                double target_depth) {
+  CleaningStats stats = RemoveErrorTags(dataset, min_tolerance);
+  NormalizeToDepth(dataset, target_depth);
+  return stats;
+}
+
+}  // namespace gea::sage

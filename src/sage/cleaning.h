@@ -1,0 +1,51 @@
+#ifndef GEA_SAGE_CLEANING_H_
+#define GEA_SAGE_CLEANING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sage/dataset.h"
+
+namespace gea::sage {
+
+/// Statistics of one error-removal pass (Section 4.2 / Fig. 4.1).
+struct CleaningStats {
+  size_t tags_before = 0;
+  size_t tags_after = 0;
+  size_t tags_removed = 0;
+  /// Fraction of each library's unique tags that were removed, in library
+  /// order (the thesis reports 5 %–15 %).
+  std::vector<double> per_library_removed_fraction;
+
+  double MinRemovedFraction() const;
+  double MaxRemovedFraction() const;
+  double AvgRemovedFraction() const;
+
+  std::string ToString() const;
+};
+
+/// Removes the sequencing-error tags: every tag whose count is less than
+/// or equal to `min_tolerance` in *all* libraries is dropped from every
+/// library. Tags with frequency 1 in some libraries but higher elsewhere
+/// are kept (Section 4.2). Mutates `dataset` and returns the statistics.
+CleaningStats RemoveErrorTags(SageDataSet& dataset, double min_tolerance = 1.0);
+
+/// The per-cell mRNA count the thesis normalizes to (Section 4.2).
+inline constexpr double kStandardDepth = 300000.0;
+
+/// Scales every library so its total tag count equals `target_depth`
+/// ("all libraries are scaled up to this amount"; absent tags remain
+/// zero). Libraries with zero total are left untouched.
+void NormalizeToDepth(SageDataSet& dataset,
+                      double target_depth = kStandardDepth);
+
+/// The full Fig. 4.1 pipeline: error removal followed by normalization.
+CleaningStats CleanAndNormalize(SageDataSet& dataset,
+                                double min_tolerance = 1.0,
+                                double target_depth = kStandardDepth);
+
+}  // namespace gea::sage
+
+#endif  // GEA_SAGE_CLEANING_H_

@@ -1,0 +1,282 @@
+#include "sage/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace gea::sage {
+
+namespace {
+
+/// Relative abundance of one structured tag in a library class.
+struct TagProfile {
+  TagId tag;
+  double abundance;  // relative weight before per-library noise
+};
+
+/// Draws `n` distinct TagIds not yet in `used`.
+std::vector<TagId> DrawDistinctTags(int n, Rng& rng,
+                                    std::unordered_set<TagId>& used) {
+  std::vector<TagId> out;
+  out.reserve(static_cast<size_t>(n));
+  while (out.size() < static_cast<size_t>(n)) {
+    TagId candidate = static_cast<TagId>(
+        rng.UniformInt(0, static_cast<int64_t>(kNumPossibleTags) - 1));
+    if (used.insert(candidate).second) out.push_back(candidate);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double LogNormal(Rng& rng, double median, double sigma) {
+  return median * std::exp(rng.Normal(0.0, sigma));
+}
+
+}  // namespace
+
+SyntheticSageGenerator::SyntheticSageGenerator(GeneratorConfig config)
+    : config_(std::move(config)) {
+  if (config_.panels.empty()) {
+    config_.panels = DefaultPanels();
+  }
+}
+
+std::vector<TissuePanel> SyntheticSageGenerator::DefaultPanels() {
+  std::vector<TissuePanel> panels;
+  for (TissueType t : AllTissueTypes()) {
+    TissuePanel panel;
+    panel.tissue = t;
+    panels.push_back(panel);
+  }
+  return panels;
+}
+
+std::vector<TissuePanel> SyntheticSageGenerator::SmallPanels() {
+  TissuePanel brain;
+  brain.tissue = TissueType::kBrain;
+  TissuePanel breast;
+  breast.tissue = TissueType::kBreast;
+  return {brain, breast};
+}
+
+SyntheticSage SyntheticSageGenerator::Generate() {
+  Rng rng(config_.seed);
+  SyntheticSage out;
+  std::unordered_set<TagId> used_tags;
+
+  // ---- Plant the structured tag pools and their base abundances. ----
+  GroundTruth& truth = out.truth;
+  truth.housekeeping =
+      DrawDistinctTags(config_.num_housekeeping_tags, rng, used_tags);
+
+  // Global per-tag abundance medians, shared across libraries so that
+  // libraries of the same class agree on expression levels (what makes
+  // compact tags compact).
+  std::map<TagId, double> housekeeping_abundance;
+  for (TagId tag : truth.housekeeping) {
+    housekeeping_abundance[tag] = LogNormal(rng, 40.0, 0.7);
+  }
+
+  // Pan-tissue cancer signatures: the same regulation in every tissue.
+  truth.shared_cancer_up =
+      DrawDistinctTags(config_.num_shared_cancer_up_tags, rng, used_tags);
+  truth.shared_cancer_down =
+      DrawDistinctTags(config_.num_shared_cancer_down_tags, rng, used_tags);
+  std::map<TagId, double> shared_up_in_cancer;
+  std::map<TagId, double> shared_up_in_normal;
+  std::map<TagId, double> shared_down_in_cancer;
+  std::map<TagId, double> shared_down_in_normal;
+  for (TagId tag : truth.shared_cancer_up) {
+    // High abundance keeps sampling (Poisson) noise small enough that a
+    // decent share of these stay compact within the core subtype, so the
+    // Case 3 "always higher in cancer" query has matches to find.
+    shared_up_in_cancer[tag] = LogNormal(rng, 300.0, 0.4);
+    shared_up_in_normal[tag] = LogNormal(rng, 60.0, 0.4);
+  }
+  for (TagId tag : truth.shared_cancer_down) {
+    shared_down_in_cancer[tag] = LogNormal(rng, 0.5, 0.5);
+    shared_down_in_normal[tag] = LogNormal(rng, 30.0, 0.4);
+  }
+
+  struct TissueProfiles {
+    std::map<TagId, double> baseline;
+    std::map<TagId, double> signature;
+    std::map<TagId, double> cancer_up_in_cancer;
+    std::map<TagId, double> cancer_up_in_normal;
+    std::map<TagId, double> cancer_down_in_cancer;
+    std::map<TagId, double> cancer_down_in_normal;
+  };
+  std::map<TissueType, TissueProfiles> profiles;
+
+  for (const TissuePanel& panel : config_.panels) {
+    TissueType tissue = panel.tissue;
+    truth.baseline[tissue] =
+        DrawDistinctTags(config_.num_baseline_tags_per_tissue, rng, used_tags);
+    truth.signature[tissue] = DrawDistinctTags(
+        config_.num_signature_tags_per_tissue, rng, used_tags);
+    truth.cancer_up[tissue] = DrawDistinctTags(
+        config_.num_cancer_up_tags_per_tissue, rng, used_tags);
+    truth.cancer_down[tissue] = DrawDistinctTags(
+        config_.num_cancer_down_tags_per_tissue, rng, used_tags);
+
+    TissueProfiles& prof = profiles[tissue];
+    for (TagId tag : truth.baseline[tissue]) {
+      prof.baseline[tag] = LogNormal(rng, 6.0, 1.0);
+    }
+    for (TagId tag : truth.signature[tissue]) {
+      prof.signature[tag] = LogNormal(rng, 60.0, 0.5);
+    }
+    for (TagId tag : truth.cancer_up[tissue]) {
+      // High in cancer (Fig. 4.2's Ribosomal Protein L12 shape), modest in
+      // normal.
+      prof.cancer_up_in_cancer[tag] = LogNormal(rng, 160.0, 0.4);
+      prof.cancer_up_in_normal[tag] = LogNormal(rng, 40.0, 0.4);
+    }
+    for (TagId tag : truth.cancer_down[tissue]) {
+      // Silenced in cancer (Fig. 4.3's Alpha Tubulin shape), expressed in
+      // normal.
+      prof.cancer_down_in_cancer[tag] = LogNormal(rng, 0.5, 0.5);
+      prof.cancer_down_in_normal[tag] = LogNormal(rng, 30.0, 0.4);
+    }
+  }
+
+  // ---- Generate libraries. ----
+  int next_id = 1;
+  for (const TissuePanel& panel : config_.panels) {
+    TissueType tissue = panel.tissue;
+    const TissueProfiles& prof = profiles[tissue];
+
+    // Decide the core cancer subtype membership up front.
+    int num_cancer = panel.num_cancer_bulk + panel.num_cancer_cell_line;
+    int num_core = static_cast<int>(
+        std::lround(config_.cancer_core_fraction * num_cancer));
+    num_core = std::clamp(num_core, std::min(1, num_cancer), num_cancer);
+
+    struct PendingLibrary {
+      NeoplasticState state;
+      TissueSource source;
+    };
+    std::vector<PendingLibrary> pending;
+    for (int i = 0; i < panel.num_cancer_bulk; ++i) {
+      pending.push_back({NeoplasticState::kCancer, TissueSource::kBulkTissue});
+    }
+    for (int i = 0; i < panel.num_cancer_cell_line; ++i) {
+      pending.push_back({NeoplasticState::kCancer, TissueSource::kCellLine});
+    }
+    for (int i = 0; i < panel.num_normal_bulk; ++i) {
+      pending.push_back({NeoplasticState::kNormal, TissueSource::kBulkTissue});
+    }
+    for (int i = 0; i < panel.num_normal_cell_line; ++i) {
+      pending.push_back({NeoplasticState::kNormal, TissueSource::kCellLine});
+    }
+
+    int cancer_seen = 0;
+    int serial = 0;
+    for (const PendingLibrary& spec : pending) {
+      ++serial;
+      bool is_cancer = spec.state == NeoplasticState::kCancer;
+      bool is_core = false;
+      if (is_cancer) {
+        is_core = cancer_seen < num_core;
+        ++cancer_seen;
+      }
+
+      std::string name = std::string("SAGE_") + TissueTypeName(tissue) + "_" +
+                         NeoplasticStateName(spec.state) + "_" +
+                         (spec.source == TissueSource::kCellLine ? "CL" : "B") +
+                         std::to_string(serial);
+      SageLibrary lib(next_id, name, tissue, spec.state, spec.source);
+      if (is_core) {
+        truth.core_cancer_library_ids[tissue].push_back(next_id);
+      }
+      ++next_id;
+
+      double noise = is_cancer ? (is_core ? config_.core_cancer_noise
+                                          : config_.outlier_cancer_noise)
+                               : config_.normal_noise;
+
+      // Assemble this library's expression profile.
+      std::vector<TagProfile> expressed;
+      auto add_group = [&](const std::map<TagId, double>& group,
+                           double keep_prob) {
+        for (const auto& [tag, abundance] : group) {
+          if (keep_prob < 1.0 && !rng.Bernoulli(keep_prob)) continue;
+          double level = abundance * std::max(0.0, rng.Normal(1.0, noise));
+          if (level <= 0.0) continue;
+          expressed.push_back({tag, level});
+        }
+      };
+      add_group(housekeeping_abundance, 1.0);
+      add_group(prof.baseline, config_.baseline_expression_fraction);
+      add_group(prof.signature, 1.0);
+      if (is_cancer) {
+        add_group(prof.cancer_up_in_cancer, 1.0);
+        add_group(prof.cancer_down_in_cancer, 1.0);
+        add_group(shared_up_in_cancer, 1.0);
+        add_group(shared_down_in_cancer, 1.0);
+      } else {
+        add_group(prof.cancer_up_in_normal, 1.0);
+        add_group(prof.cancer_down_in_normal, 1.0);
+        add_group(shared_up_in_normal, 1.0);
+        add_group(shared_down_in_normal, 1.0);
+      }
+      // Outlier cancer libraries deviate from the core sub-type (Case 2):
+      // they drop a chunk of the up-regulated signature and re-express a
+      // fraction of the silenced tags at near-normal levels.
+      if (is_cancer && !is_core) {
+        for (TagProfile& tp : expressed) {
+          if (prof.cancer_up_in_cancer.count(tp.tag) > 0 &&
+              rng.Bernoulli(0.4)) {
+            tp.abundance *= rng.UniformDouble(0.05, 0.3);
+          }
+          bool is_down_tag = prof.cancer_down_in_cancer.count(tp.tag) > 0 ||
+                             shared_down_in_cancer.count(tp.tag) > 0;
+          if (is_down_tag &&
+              rng.Bernoulli(config_.outlier_reexpress_fraction)) {
+            auto it = prof.cancer_down_in_normal.find(tp.tag);
+            double normal_level = it != prof.cancer_down_in_normal.end()
+                                      ? it->second
+                                      : shared_down_in_normal.at(tp.tag);
+            tp.abundance =
+                normal_level * std::max(0.1, rng.Normal(1.0, noise));
+          }
+        }
+      }
+
+      // Sample counts at the drawn sequencing depth.
+      int depth = static_cast<int>(
+          rng.UniformInt(config_.min_depth, config_.max_depth));
+      int error_count =
+          static_cast<int>(std::lround(config_.error_rate * depth));
+      int signal_count = depth - error_count;
+
+      double total_abundance = 0.0;
+      for (const TagProfile& tp : expressed) total_abundance += tp.abundance;
+      for (const TagProfile& tp : expressed) {
+        double mean =
+            tp.abundance / total_abundance * static_cast<double>(signal_count);
+        if (mean <= 0.0) continue;
+        int64_t count = rng.Poisson(mean);
+        if (count > 0) {
+          lib.AddCount(tp.tag, static_cast<double>(count));
+        }
+      }
+
+      // Sequencing-error singletons: random tags, frequency 1 each. They
+      // avoid the structured pools so cleaning statistics are meaningful.
+      for (int e = 0; e < error_count; ++e) {
+        TagId tag;
+        do {
+          tag = static_cast<TagId>(
+              rng.UniformInt(0, static_cast<int64_t>(kNumPossibleTags) - 1));
+        } while (used_tags.count(tag) > 0);
+        lib.AddCount(tag, 1.0);
+      }
+
+      out.dataset.AddLibrary(std::move(lib));
+    }
+  }
+  return out;
+}
+
+}  // namespace gea::sage

@@ -1,0 +1,136 @@
+#ifndef GEA_SAGE_GENERATOR_H_
+#define GEA_SAGE_GENERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "sage/dataset.h"
+#include "sage/library.h"
+#include "sage/tag_codec.h"
+
+namespace gea::sage {
+
+/// Library counts for one tissue type in the synthetic panel.
+struct TissuePanel {
+  TissueType tissue = TissueType::kBrain;
+  int num_cancer_bulk = 6;
+  int num_cancer_cell_line = 2;
+  int num_normal_bulk = 3;
+  int num_normal_cell_line = 1;
+
+  int TotalLibraries() const {
+    return num_cancer_bulk + num_cancer_cell_line + num_normal_bulk +
+           num_normal_cell_line;
+  }
+};
+
+/// Configuration of the synthetic SAGE data set. The defaults are tuned to
+/// match the statistics the thesis states about the real NCBI SAGE data
+/// (Sections 2.2.3 and 4.2): ~100 libraries across the tissue panel,
+/// per-library depth between roughly 1,000 and 32,000 tags, ~10 % of each
+/// library's tag count consisting of sequencing-error singletons, and the
+/// large majority of unique tags appearing with frequency 1.
+struct GeneratorConfig {
+  uint64_t seed = 42;
+
+  /// Tissue panels; empty means the full 9-tissue default panel
+  /// (12 libraries each, 108 total).
+  std::vector<TissuePanel> panels;
+
+  /// "Housekeeping genes expressed in all cells" (Section 2.1).
+  int num_housekeeping_tags = 300;
+
+  /// Tags expressed at ordinary levels within one tissue type.
+  int num_baseline_tags_per_tissue = 800;
+
+  /// Fraction of the tissue baseline pool each library expresses.
+  double baseline_expression_fraction = 0.6;
+
+  /// Highly expressed tissue-identity tags (both states).
+  int num_signature_tags_per_tissue = 120;
+
+  /// Cancer-regulated tags per tissue: up = high in cancer, low in normal;
+  /// down = silenced in cancer, expressed in normal. These drive the
+  /// positive/negative gaps of Figures 4.2 and 4.3.
+  int num_cancer_up_tags_per_tissue = 60;
+  int num_cancer_down_tags_per_tissue = 60;
+
+  /// Pan-tissue cancer-regulated tags, expressed in every tissue type and
+  /// regulated the same way in all of them. These are the genes Case 3
+  /// (Section 4.3.3) screens for: always higher / always lower in
+  /// cancerous libraries regardless of tissue.
+  int num_shared_cancer_up_tags = 30;
+  int num_shared_cancer_down_tags = 30;
+
+  /// Fraction of each tissue's cancer libraries forming the tight "core
+  /// subtype" that fascicle mining should recover; the remainder are
+  /// perturbed (the cancer-outside-the-fascicle libraries of Case 2).
+  double cancer_core_fraction = 0.7;
+
+  /// Fraction of the cancer-silenced (down) tags that each *outlier*
+  /// cancer library re-expresses at near-normal levels — the sub-type
+  /// structure Case 2 hints at ("different sub-types of brain cancer").
+  /// This is what keeps outliers outside the fascicle at sufficiently
+  /// demanding compact-tag counts.
+  double outlier_reexpress_fraction = 0.35;
+
+  /// Per-library sequencing depth (total tag count) range.
+  int min_depth = 8000;
+  int max_depth = 32000;
+
+  /// Fraction of each library's total count contributed by sequencing-
+  /// error tags, each appearing with frequency 1 (Section 4.2 estimates
+  /// 10 %).
+  double error_rate = 0.10;
+
+  /// Relative expression noise (coefficient of variation) by group.
+  double core_cancer_noise = 0.08;
+  double outlier_cancer_noise = 0.40;
+  double normal_noise = 0.20;
+};
+
+/// Which structured tags were planted where — used by tests and benches to
+/// check that the pipeline recovers the planted biology.
+struct GroundTruth {
+  std::vector<TagId> housekeeping;
+  std::map<TissueType, std::vector<TagId>> baseline;
+  std::map<TissueType, std::vector<TagId>> signature;
+  std::map<TissueType, std::vector<TagId>> cancer_up;
+  std::map<TissueType, std::vector<TagId>> cancer_down;
+  /// Regulated identically in every tissue (the Case 3 targets).
+  std::vector<TagId> shared_cancer_up;
+  std::vector<TagId> shared_cancer_down;
+  /// Library ids of the core cancer subtype per tissue.
+  std::map<TissueType, std::vector<int>> core_cancer_library_ids;
+};
+
+/// Output of one generation run.
+struct SyntheticSage {
+  SageDataSet dataset;
+  GroundTruth truth;
+};
+
+/// Generates a deterministic synthetic SAGE data set per `config`.
+class SyntheticSageGenerator {
+ public:
+  explicit SyntheticSageGenerator(GeneratorConfig config);
+
+  /// Runs the generator. Repeated calls with the same config produce the
+  /// same data.
+  SyntheticSage Generate();
+
+  /// The default full panel: all nine tissue types.
+  static std::vector<TissuePanel> DefaultPanels();
+
+  /// A small two-tissue panel (brain + breast) for fast tests.
+  static std::vector<TissuePanel> SmallPanels();
+
+ private:
+  GeneratorConfig config_;
+};
+
+}  // namespace gea::sage
+
+#endif  // GEA_SAGE_GENERATOR_H_

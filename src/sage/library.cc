@@ -1,0 +1,131 @@
+#include "sage/library.h"
+
+#include <algorithm>
+
+namespace gea::sage {
+
+const char* TissueTypeName(TissueType type) {
+  switch (type) {
+    case TissueType::kBrain:
+      return "brain";
+    case TissueType::kBreast:
+      return "breast";
+    case TissueType::kColon:
+      return "colon";
+    case TissueType::kKidney:
+      return "kidney";
+    case TissueType::kOvary:
+      return "ovary";
+    case TissueType::kPancreas:
+      return "pancreas";
+    case TissueType::kProstate:
+      return "prostate";
+    case TissueType::kSkin:
+      return "skin";
+    case TissueType::kVascular:
+      return "vascular";
+  }
+  return "?";
+}
+
+Result<TissueType> ParseTissueType(const std::string& name) {
+  for (TissueType t : AllTissueTypes()) {
+    if (name == TissueTypeName(t)) return t;
+  }
+  return Status::InvalidArgument("unknown tissue type: " + name);
+}
+
+std::vector<TissueType> AllTissueTypes() {
+  std::vector<TissueType> out;
+  out.reserve(kNumTissueTypes);
+  for (int i = 0; i < kNumTissueTypes; ++i) {
+    out.push_back(static_cast<TissueType>(i));
+  }
+  return out;
+}
+
+const char* NeoplasticStateName(NeoplasticState state) {
+  switch (state) {
+    case NeoplasticState::kNormal:
+      return "normal";
+    case NeoplasticState::kCancer:
+      return "cancer";
+  }
+  return "?";
+}
+
+const char* TissueSourceName(TissueSource source) {
+  switch (source) {
+    case TissueSource::kBulkTissue:
+      return "bulk_tissue";
+    case TissueSource::kCellLine:
+      return "cell_line";
+  }
+  return "?";
+}
+
+size_t SageLibrary::LowerBound(TagId tag) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), tag,
+      [](const Entry& e, TagId t) { return e.tag < t; });
+  return static_cast<size_t>(it - entries_.begin());
+}
+
+double SageLibrary::Count(TagId tag) const {
+  size_t pos = LowerBound(tag);
+  if (pos < entries_.size() && entries_[pos].tag == tag) {
+    return entries_[pos].count;
+  }
+  return 0.0;
+}
+
+void SageLibrary::SetCount(TagId tag, double count) {
+  size_t pos = LowerBound(tag);
+  bool present = pos < entries_.size() && entries_[pos].tag == tag;
+  if (count == 0.0) {
+    if (present) {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(pos));
+    }
+    return;
+  }
+  if (present) {
+    entries_[pos].count = count;
+  } else {
+    entries_.insert(entries_.begin() + static_cast<ptrdiff_t>(pos),
+                    {tag, count});
+  }
+}
+
+void SageLibrary::AddCount(TagId tag, double delta) {
+  size_t pos = LowerBound(tag);
+  if (pos < entries_.size() && entries_[pos].tag == tag) {
+    entries_[pos].count += delta;
+    if (entries_[pos].count == 0.0) {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(pos));
+    }
+  } else if (delta != 0.0) {
+    entries_.insert(entries_.begin() + static_cast<ptrdiff_t>(pos),
+                    {tag, delta});
+  }
+}
+
+bool SageLibrary::Erase(TagId tag) {
+  size_t pos = LowerBound(tag);
+  if (pos < entries_.size() && entries_[pos].tag == tag) {
+    entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(pos));
+    return true;
+  }
+  return false;
+}
+
+double SageLibrary::TotalTagCount() const {
+  double total = 0.0;
+  for (const Entry& e : entries_) total += e.count;
+  return total;
+}
+
+void SageLibrary::Scale(double factor) {
+  for (Entry& e : entries_) e.count *= factor;
+}
+
+}  // namespace gea::sage

@@ -1,0 +1,59 @@
+#include "sage/matrix.h"
+
+#include <algorithm>
+
+namespace gea::sage {
+
+ExpressionMatrix ExpressionMatrix::FromDataSet(const SageDataSet& dataset) {
+  return FromDataSet(dataset, dataset.TagUniverse());
+}
+
+ExpressionMatrix ExpressionMatrix::FromDataSet(const SageDataSet& dataset,
+                                               std::vector<TagId> tags) {
+  std::vector<LibraryMeta> libs;
+  libs.reserve(dataset.NumLibraries());
+  for (const SageLibrary& lib : dataset.libraries()) {
+    libs.push_back({lib.id(), lib.name(), lib.tissue(), lib.state(),
+                    lib.source()});
+  }
+  std::vector<double> values(tags.size() * libs.size(), 0.0);
+  for (size_t col = 0; col < dataset.NumLibraries(); ++col) {
+    const SageLibrary& lib = dataset.library(col);
+    // Both entry lists and `tags` are sorted: merge instead of per-tag
+    // binary search.
+    size_t row = 0;
+    for (const SageLibrary::Entry& e : lib.entries()) {
+      while (row < tags.size() && tags[row] < e.tag) ++row;
+      if (row == tags.size()) break;
+      if (tags[row] == e.tag) {
+        values[row * libs.size() + col] = e.count;
+      }
+    }
+  }
+  return ExpressionMatrix(std::move(tags), std::move(libs),
+                          std::move(values));
+}
+
+std::vector<double> ExpressionMatrix::LibraryColumn(size_t col) const {
+  std::vector<double> out(tags_.size());
+  for (size_t row = 0; row < tags_.size(); ++row) {
+    out[row] = ValueAt(row, col);
+  }
+  return out;
+}
+
+std::optional<size_t> ExpressionMatrix::FindTagRow(TagId tag) const {
+  auto it = std::lower_bound(tags_.begin(), tags_.end(), tag);
+  if (it == tags_.end() || *it != tag) return std::nullopt;
+  return static_cast<size_t>(it - tags_.begin());
+}
+
+std::optional<size_t> ExpressionMatrix::FindLibraryColumn(
+    int library_id) const {
+  for (size_t col = 0; col < libraries_.size(); ++col) {
+    if (libraries_[col].id == library_id) return col;
+  }
+  return std::nullopt;
+}
+
+}  // namespace gea::sage

@@ -1,0 +1,88 @@
+#ifndef GEA_SAGE_MATRIX_H_
+#define GEA_SAGE_MATRIX_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sage/dataset.h"
+#include "sage/library.h"
+#include "sage/tag_codec.h"
+
+namespace gea::sage {
+
+/// Descriptive attributes of one matrix column (one library).
+struct LibraryMeta {
+  int id = 0;
+  std::string name;
+  TissueType tissue = TissueType::kBrain;
+  NeoplasticState state = NeoplasticState::kNormal;
+  TissueSource source = TissueSource::kBulkTissue;
+};
+
+/// The dense libraries-by-tags matrix in the **rotated physical layout** of
+/// Section 4.6.1: a DBMS cannot hold 60,000 columns, so conceptually tags
+/// are columns but physically tags are stored as rows and libraries as
+/// columns. A tag row is contiguous in memory; accessing a library column
+/// strides by the number of libraries.
+///
+/// Absent tags hold 0.0 — the thesis's convention ("genes that do not
+/// exist will remain as zero", Section 4.2).
+class ExpressionMatrix {
+ public:
+  /// Builds the matrix over all tags in `dataset` (its tag universe).
+  static ExpressionMatrix FromDataSet(const SageDataSet& dataset);
+
+  /// Builds the matrix restricted to `tags` (must be sorted ascending).
+  static ExpressionMatrix FromDataSet(const SageDataSet& dataset,
+                                      std::vector<TagId> tags);
+
+  size_t NumTags() const { return tags_.size(); }
+  size_t NumLibraries() const { return libraries_.size(); }
+
+  TagId tag(size_t row) const { return tags_[row]; }
+  const std::vector<TagId>& tags() const { return tags_; }
+  const LibraryMeta& library(size_t col) const { return libraries_[col]; }
+  const std::vector<LibraryMeta>& libraries() const { return libraries_; }
+
+  /// Expression level of tag row `row` in library column `col`.
+  double ValueAt(size_t row, size_t col) const {
+    return values_[row * libraries_.size() + col];
+  }
+  void SetValue(size_t row, size_t col, double v) {
+    values_[row * libraries_.size() + col] = v;
+  }
+
+  /// Contiguous view of one tag's values across all libraries — the
+  /// physical row of Fig. 4.30(b).
+  std::span<const double> TagRow(size_t row) const {
+    return {values_.data() + row * libraries_.size(), libraries_.size()};
+  }
+
+  /// Copy of one library's values across all tags — the conceptual row of
+  /// Fig. 4.30(a).
+  std::vector<double> LibraryColumn(size_t col) const;
+
+  /// Row index of `tag`, or nullopt.
+  std::optional<size_t> FindTagRow(TagId tag) const;
+
+  /// Column index of the library with `id`, or nullopt.
+  std::optional<size_t> FindLibraryColumn(int library_id) const;
+
+ private:
+  ExpressionMatrix(std::vector<TagId> tags, std::vector<LibraryMeta> libs,
+                   std::vector<double> values)
+      : tags_(std::move(tags)),
+        libraries_(std::move(libs)),
+        values_(std::move(values)) {}
+
+  std::vector<TagId> tags_;            // sorted ascending
+  std::vector<LibraryMeta> libraries_;
+  std::vector<double> values_;         // tags × libraries, row-major
+};
+
+}  // namespace gea::sage
+
+#endif  // GEA_SAGE_MATRIX_H_

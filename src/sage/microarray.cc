@@ -1,0 +1,86 @@
+#include "sage/microarray.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "sage/cleaning.h"
+
+namespace gea::sage {
+
+namespace {
+
+void CoverGroup(const std::vector<TagId>& group, double coverage, Rng& rng,
+                std::vector<TagId>* probes) {
+  for (TagId tag : group) {
+    if (rng.Bernoulli(coverage)) probes->push_back(tag);
+  }
+}
+
+}  // namespace
+
+MicroarrayChip DesignChip(const GroundTruth& truth,
+                          const MicroarrayConfig& config) {
+  Rng rng(config.seed);
+  MicroarrayChip chip;
+  CoverGroup(truth.housekeeping, config.housekeeping_coverage, rng,
+             &chip.probes);
+  for (const auto& [tissue, tags] : truth.signature) {
+    CoverGroup(tags, config.signature_coverage, rng, &chip.probes);
+  }
+  for (const auto& [tissue, tags] : truth.baseline) {
+    CoverGroup(tags, config.baseline_coverage, rng, &chip.probes);
+  }
+  for (const auto& [tissue, tags] : truth.cancer_up) {
+    CoverGroup(tags, config.cancer_tag_coverage, rng, &chip.probes);
+  }
+  for (const auto& [tissue, tags] : truth.cancer_down) {
+    CoverGroup(tags, config.cancer_tag_coverage, rng, &chip.probes);
+  }
+  CoverGroup(truth.shared_cancer_up, config.cancer_tag_coverage, rng,
+             &chip.probes);
+  CoverGroup(truth.shared_cancer_down, config.cancer_tag_coverage, rng,
+             &chip.probes);
+  std::sort(chip.probes.begin(), chip.probes.end());
+  chip.probes.erase(std::unique(chip.probes.begin(), chip.probes.end()),
+                    chip.probes.end());
+  return chip;
+}
+
+Result<SageDataSet> MeasureMicroarray(const SageDataSet& cohort,
+                                      const MicroarrayChip& chip,
+                                      const MicroarrayConfig& config) {
+  if (chip.probes.empty()) {
+    return Status::InvalidArgument("the chip carries no probes");
+  }
+  if (config.noise_sigma < 0.0 || config.gain <= 0.0) {
+    return Status::InvalidArgument("bad measurement model parameters");
+  }
+  Rng rng(config.seed + 1);
+  SageDataSet out;
+  for (const SageLibrary& lib : cohort.libraries()) {
+    SageLibrary measured(lib.id(), lib.name() + "_chip", lib.tissue(),
+                         lib.state(), lib.source());
+    // Normalize each sample to a common scale before measurement, like
+    // the two-channel normalization of real chips; this removes the
+    // sequencing-depth artifact SAGE normalization handles separately.
+    double total = lib.TotalTagCount();
+    if (total <= 0.0) {
+      out.AddLibrary(std::move(measured));
+      continue;
+    }
+    double scale = kStandardDepth / total;
+    for (TagId probe : chip.probes) {
+      double level = lib.Count(probe) * scale;
+      double noise = std::exp(rng.Normal(0.0, config.noise_sigma));
+      double intensity =
+          config.gain * level * noise + config.background;
+      if (intensity < config.detection_floor) continue;
+      measured.SetCount(probe, intensity);
+    }
+    out.AddLibrary(std::move(measured));
+  }
+  return out;
+}
+
+}  // namespace gea::sage

@@ -1,0 +1,77 @@
+#include "sage/stats.h"
+
+#include "sage/tag_codec.h"
+
+namespace gea::sage {
+
+rel::Table BuildLibraryInfoTable(const SageDataSet& dataset,
+                                 const std::string& table_name) {
+  rel::Schema schema({{"Lib_ID", rel::ValueType::kInt},
+                      {"Lib_Name", rel::ValueType::kString},
+                      {"Type", rel::ValueType::kString},
+                      {"CAN_NOR", rel::ValueType::kString},
+                      {"BT_CL", rel::ValueType::kString},
+                      {"Tag", rel::ValueType::kDouble},
+                      {"Utag", rel::ValueType::kInt}});
+  rel::Table table(table_name, schema);
+  for (const SageLibrary& lib : dataset.libraries()) {
+    table.AppendRowUnchecked(
+        {rel::Value::Int(lib.id()), rel::Value::String(lib.name()),
+         rel::Value::String(TissueTypeName(lib.tissue())),
+         rel::Value::String(NeoplasticStateName(lib.state())),
+         rel::Value::String(TissueSourceName(lib.source())),
+         rel::Value::Double(lib.TotalTagCount()),
+         rel::Value::Int(static_cast<int64_t>(lib.UniqueTagCount()))});
+  }
+  return table;
+}
+
+rel::Table BuildTissueTypeTable(const SageDataSet& dataset,
+                                const std::string& table_name) {
+  rel::Schema schema({{"Type", rel::ValueType::kString},
+                      {"Lib_ID", rel::ValueType::kInt},
+                      {"LibOrder", rel::ValueType::kInt}});
+  rel::Table table(table_name, schema);
+  for (TissueType tissue : AllTissueTypes()) {
+    int64_t order = 0;
+    for (const SageLibrary& lib : dataset.libraries()) {
+      if (lib.tissue() != tissue) continue;
+      table.AppendRowUnchecked(
+          {rel::Value::String(TissueTypeName(tissue)),
+           rel::Value::Int(lib.id()), rel::Value::Int(order++)});
+    }
+  }
+  return table;
+}
+
+rel::Table BuildTagsTable(const SageDataSet& dataset,
+                          const std::string& table_name) {
+  std::vector<rel::ColumnDef> defs = {{"TagName", rel::ValueType::kString},
+                                      {"TagNo", rel::ValueType::kInt}};
+  for (const SageLibrary& lib : dataset.libraries()) {
+    defs.push_back({lib.name(), rel::ValueType::kDouble});
+  }
+  rel::Table table(table_name, rel::Schema(std::move(defs)));
+  for (TagId tag : dataset.TagUniverse()) {
+    rel::Row row = {rel::Value::String(DecodeTag(tag)),
+                    rel::Value::Int(static_cast<int64_t>(tag))};
+    for (const SageLibrary& lib : dataset.libraries()) {
+      row.push_back(rel::Value::Double(lib.Count(tag)));
+    }
+    table.AppendRowUnchecked(std::move(row));
+  }
+  return table;
+}
+
+rel::Table BuildSageInfoTable(const SageDataSet& dataset,
+                              const std::string& table_name) {
+  rel::Schema schema({{"Totag", rel::ValueType::kInt},
+                      {"ToLib", rel::ValueType::kInt}});
+  rel::Table table(table_name, schema);
+  table.AppendRowUnchecked(
+      {rel::Value::Int(static_cast<int64_t>(dataset.UniverseSize())),
+       rel::Value::Int(static_cast<int64_t>(dataset.NumLibraries()))});
+  return table;
+}
+
+}  // namespace gea::sage

@@ -1,0 +1,41 @@
+#ifndef GEA_SAGE_STATS_H_
+#define GEA_SAGE_STATS_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "rel/table.h"
+#include "sage/dataset.h"
+
+namespace gea::sage {
+
+/// Builders for the relational views of the SAGE data described in
+/// Appendix IV — the bridge from the SAGE domain objects to the
+/// extensional world.
+
+/// The `Libraries` relation (Appendix IV, table 13):
+///   Lib_ID:int, Lib_Name:string, Type:string, CAN_NOR:string,
+///   BT_CL:string, Tag:double (total tags), Utag:int (unique tags).
+rel::Table BuildLibraryInfoTable(const SageDataSet& dataset,
+                                 const std::string& table_name = "Libraries");
+
+/// The `Typeinfo` relation (Appendix IV, table 24): Type:string,
+/// Lib_ID:int, LibOrder:int — which libraries belong to each tissue type
+/// and their order.
+rel::Table BuildTissueTypeTable(const SageDataSet& dataset,
+                                const std::string& table_name = "Typeinfo");
+
+/// The rotated `TAGS` relation (Appendix IV, table 19 / Fig. 4.30b):
+/// TagName:string, TagNo:int, then one double column per library named by
+/// the library. This is the physical storage view of Section 4.6.1.
+rel::Table BuildTagsTable(const SageDataSet& dataset,
+                          const std::string& table_name = "TAGS");
+
+/// The `Sageinfo` relation (Appendix IV, table 14): Totag:int (number of
+/// distinct tags), ToLib:int (number of libraries).
+rel::Table BuildSageInfoTable(const SageDataSet& dataset,
+                              const std::string& table_name = "Sageinfo");
+
+}  // namespace gea::sage
+
+#endif  // GEA_SAGE_STATS_H_

@@ -1,0 +1,66 @@
+#include "sage/tag_codec.h"
+
+namespace gea::sage {
+
+namespace {
+
+// Returns 0..3 for A/C/G/T, -1 otherwise.
+int BaseCode(char c) {
+  switch (c) {
+    case 'A':
+      return 0;
+    case 'C':
+      return 1;
+    case 'G':
+      return 2;
+    case 'T':
+      return 3;
+    default:
+      return -1;
+  }
+}
+
+constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+
+}  // namespace
+
+Result<TagId> EncodeTag(std::string_view tag) {
+  if (tag.size() != static_cast<size_t>(kTagLength)) {
+    return Status::InvalidArgument("tag must have exactly " +
+                                   std::to_string(kTagLength) +
+                                   " bases: " + std::string(tag));
+  }
+  TagId id = 0;
+  for (char c : tag) {
+    int code = BaseCode(c);
+    if (code < 0) {
+      return Status::InvalidArgument("tag contains a non-ACGT base: " +
+                                     std::string(tag));
+    }
+    id = (id << 2) | static_cast<TagId>(code);
+  }
+  return id;
+}
+
+std::string DecodeTag(TagId id) {
+  std::string out(kTagLength, 'A');
+  for (int i = kTagLength - 1; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kBases[id & 3u];
+    id >>= 2;
+  }
+  return out;
+}
+
+bool IsValidTagString(std::string_view tag) {
+  if (tag.size() != static_cast<size_t>(kTagLength)) return false;
+  for (char c : tag) {
+    if (BaseCode(c) < 0) return false;
+  }
+  return true;
+}
+
+std::string TagLabel(TagId id) {
+  return DecodeTag(id) + "_(" + std::to_string(id) + ")";
+}
+
+}  // namespace gea::sage

@@ -1,0 +1,42 @@
+#ifndef GEA_SAGE_TAG_CODEC_H_
+#define GEA_SAGE_TAG_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace gea::sage {
+
+/// A SAGE tag is a nucleotide sequence of exactly 10 base pairs over the
+/// alphabet {A, C, G, T} (Section 2.2.3). Two bits per base pack a tag
+/// into 20 bits; the packed value doubles as the thesis's "tag number"
+/// (the parenthesized id shown in windows like Fig. 4.9, e.g.
+/// "GAGGGAGTTT_(29994)").
+using TagId = uint32_t;
+
+/// Tag length in base pairs.
+inline constexpr int kTagLength = 10;
+
+/// Number of distinct possible tags: 4^10.
+inline constexpr TagId kNumPossibleTags = 1u << (2 * kTagLength);
+
+/// Packs a 10-character ACGT string into a TagId. A < C < G < T per base,
+/// most-significant base first, so lexicographic string order equals
+/// numeric TagId order.
+Result<TagId> EncodeTag(std::string_view tag);
+
+/// Unpacks a TagId back to its 10-character string. Requires
+/// id < kNumPossibleTags.
+std::string DecodeTag(TagId id);
+
+/// True when `tag` is a well-formed 10-bp ACGT sequence.
+bool IsValidTagString(std::string_view tag);
+
+/// The "TAGNAME_(id)" rendering used throughout the thesis's screenshots.
+std::string TagLabel(TagId id);
+
+}  // namespace gea::sage
+
+#endif  // GEA_SAGE_TAG_CODEC_H_

@@ -1,0 +1,764 @@
+#include "workbench/session.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "core/serialization.h"
+#include "rel/sql.h"
+#include "rel/table_io.h"
+#include "sage/io.h"
+#include "sage/stats.h"
+
+namespace gea::workbench {
+
+AnalysisSession::AnalysisSession(const std::string& admin_name,
+                                 const std::string& admin_password)
+    : users_(admin_name, admin_password) {
+  configuration_["db_path"] = "gea.db";
+  configuration_["library_directory"] = "SageLibrary";
+}
+
+// ---- Authentication ----
+
+Status AnalysisSession::Login(const std::string& name,
+                              const std::string& password,
+                              AccessLevel level) {
+  GEA_ASSIGN_OR_RETURN(AccessLevel granted,
+                       users_.Authenticate(name, password, level));
+  current_user_ = name;
+  current_level_ = granted;
+  return Status::OK();
+}
+
+void AnalysisSession::Logout() { current_user_.reset(); }
+
+Result<std::string> AnalysisSession::CurrentUser() const {
+  if (!current_user_.has_value()) {
+    return Status::FailedPrecondition("no user is logged in");
+  }
+  return *current_user_;
+}
+
+Status AnalysisSession::RequireLogin() const {
+  if (!current_user_.has_value()) {
+    return Status::PermissionDenied("please log in first");
+  }
+  return Status::OK();
+}
+
+Status AnalysisSession::RequireAdmin() const {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+  if (current_level_ != AccessLevel::kAdministrator) {
+    return Status::PermissionDenied(
+        "this operation requires administrator access");
+  }
+  return Status::OK();
+}
+
+// ---- Administration ----
+
+Status AnalysisSession::AddUser(const std::string& name,
+                                const std::string& password,
+                                AccessLevel level) {
+  GEA_RETURN_IF_ERROR(RequireAdmin());
+  return users_.AddUser(name, password, level);
+}
+
+Status AnalysisSession::DeleteUser(const std::string& name) {
+  GEA_RETURN_IF_ERROR(RequireAdmin());
+  return users_.DeleteUser(name);
+}
+
+Status AnalysisSession::ModifyUser(const std::string& name,
+                                   const std::string& new_password,
+                                   AccessLevel new_level) {
+  GEA_RETURN_IF_ERROR(RequireAdmin());
+  return users_.ModifyUser(name, new_password, new_level);
+}
+
+// ---- Configuration ----
+
+Status AnalysisSession::SetConfiguration(const std::string& key,
+                                         const std::string& value) {
+  GEA_RETURN_IF_ERROR(RequireAdmin());
+  configuration_[key] = value;
+  return Status::OK();
+}
+
+Result<std::string> AnalysisSession::GetConfiguration(
+    const std::string& key) const {
+  auto it = configuration_.find(key);
+  if (it == configuration_.end()) {
+    return Status::NotFound("no such configuration key: " + key);
+  }
+  return it->second;
+}
+
+// ---- Data management ----
+
+Status AnalysisSession::InstallDataSet(sage::SageDataSet dataset) {
+  dataset_ = std::move(dataset);
+  GEA_RETURN_IF_ERROR(relations_.CreateTable(
+      sage::BuildLibraryInfoTable(*dataset_), /*replace=*/true));
+  GEA_RETURN_IF_ERROR(relations_.CreateTable(
+      sage::BuildTissueTypeTable(*dataset_), /*replace=*/true));
+  GEA_RETURN_IF_ERROR(relations_.CreateTable(
+      sage::BuildSageInfoTable(*dataset_), /*replace=*/true));
+  return Status::OK();
+}
+
+Status AnalysisSession::LoadDataSet(sage::SageDataSet dataset) {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_RETURN_IF_ERROR(InstallDataSet(std::move(dataset)));
+  RecordLineage("SAGE", lineage::NodeKind::kDataSet, "load",
+                {{"libraries", std::to_string(dataset_->NumLibraries())}},
+                {});
+  return Status::OK();
+}
+
+Status AnalysisSession::InitializeDatabase() {
+  GEA_RETURN_IF_ERROR(RequireAdmin());
+  relations_.Initialize();
+  enums_.clear();
+  sumys_.clear();
+  gaps_.clear();
+  metadata_.clear();
+  dataset_.reset();
+  lineage_ = lineage::LineageGraph();
+  return Status::OK();
+}
+
+Result<const sage::SageDataSet*> AnalysisSession::DataSet() const {
+  if (!dataset_.has_value()) {
+    return Status::FailedPrecondition("no SAGE data set is loaded");
+  }
+  return &*dataset_;
+}
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Status EnsureDirectory(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return Status::IoError("cannot create directory: " + path);
+  }
+  return Status::OK();
+}
+
+/// Table names double as file names; refuse path-breaking characters.
+Status CheckFileSafe(const std::string& name) {
+  if (name.find('/') != std::string::npos ||
+      name.find('\\') != std::string::npos || name.empty() ||
+      name[0] == '.') {
+    return Status::InvalidArgument("table name is not file-safe: " + name);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AnalysisSession::SaveDatabase(const std::string& directory) const {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_RETURN_IF_ERROR(EnsureDirectory(directory));
+
+  if (dataset_.has_value()) {
+    GEA_RETURN_IF_ERROR(sage::SaveDataSet(*dataset_, directory + "/sage"));
+  }
+
+  // Manifest: every derived object with its kind.
+  rel::Table manifest("Manifest",
+                      rel::Schema({{"Name", rel::ValueType::kString},
+                                   {"Kind", rel::ValueType::kString}}));
+
+  GEA_RETURN_IF_ERROR(EnsureDirectory(directory + "/enums"));
+  for (const auto& [name, table] : enums_) {
+    GEA_RETURN_IF_ERROR(CheckFileSafe(name));
+    GEA_RETURN_IF_ERROR(rel::SaveTable(
+        table.ToRelTable(), directory + "/enums/" + name + ".csv"));
+    GEA_RETURN_IF_ERROR(rel::SaveTable(
+        core::EnumLibrariesToRelTable(table, name + "_libs"),
+        directory + "/enums/" + name + ".libs.csv"));
+    manifest.AppendRowUnchecked(
+        {rel::Value::String(name), rel::Value::String("enum")});
+  }
+  GEA_RETURN_IF_ERROR(EnsureDirectory(directory + "/sumys"));
+  for (const auto& [name, table] : sumys_) {
+    GEA_RETURN_IF_ERROR(CheckFileSafe(name));
+    GEA_RETURN_IF_ERROR(rel::SaveTable(
+        table.ToRelTable(), directory + "/sumys/" + name + ".csv"));
+    manifest.AppendRowUnchecked(
+        {rel::Value::String(name), rel::Value::String("sumy")});
+  }
+  GEA_RETURN_IF_ERROR(EnsureDirectory(directory + "/gaps"));
+  for (const auto& [name, table] : gaps_) {
+    GEA_RETURN_IF_ERROR(CheckFileSafe(name));
+    GEA_RETURN_IF_ERROR(rel::SaveTable(
+        table.ToRelTable(), directory + "/gaps/" + name + ".csv"));
+    manifest.AppendRowUnchecked(
+        {rel::Value::String(name), rel::Value::String("gap")});
+  }
+
+  // Tolerance metadata vectors.
+  GEA_RETURN_IF_ERROR(EnsureDirectory(directory + "/metadata"));
+  for (const auto& [name, tolerances] : metadata_) {
+    GEA_RETURN_IF_ERROR(CheckFileSafe(name));
+    rel::Table table(name,
+                     rel::Schema({{"Index", rel::ValueType::kInt},
+                                  {"Tolerance", rel::ValueType::kDouble}}));
+    for (size_t i = 0; i < tolerances.size(); ++i) {
+      table.AppendRowUnchecked({rel::Value::Int(static_cast<int64_t>(i)),
+                                rel::Value::Double(tolerances[i])});
+    }
+    GEA_RETURN_IF_ERROR(
+        rel::SaveTable(table, directory + "/metadata/" + name + ".csv"));
+  }
+
+  // Operation history.
+  lineage::LineageGraph::RelExport history = lineage_.Export();
+  GEA_RETURN_IF_ERROR(
+      rel::SaveTable(history.nodes, directory + "/lineage_nodes.csv"));
+  GEA_RETURN_IF_ERROR(
+      rel::SaveTable(history.params, directory + "/lineage_params.csv"));
+  GEA_RETURN_IF_ERROR(
+      rel::SaveTable(history.edges, directory + "/lineage_edges.csv"));
+
+  return rel::SaveTable(manifest, directory + "/manifest.csv");
+}
+
+Status AnalysisSession::LoadDatabase(const std::string& directory) {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+
+  // Stage everything before touching the session so a bad file leaves the
+  // current state intact.
+  std::optional<sage::SageDataSet> dataset;
+  if (fs::exists(directory + "/sage/sageName.txt")) {
+    GEA_ASSIGN_OR_RETURN(sage::SageDataSet loaded,
+                         sage::LoadDataSet(directory + "/sage"));
+    dataset = std::move(loaded);
+  }
+
+  GEA_ASSIGN_OR_RETURN(
+      rel::Table manifest,
+      rel::LoadTable("Manifest", directory + "/manifest.csv"));
+  std::map<std::string, core::EnumTable> enums;
+  std::map<std::string, core::SumyTable> sumys;
+  std::map<std::string, core::GapTable> gaps;
+  for (const rel::Row& row : manifest.rows()) {
+    const std::string& name = row[0].AsString();
+    const std::string& kind = row[1].AsString();
+    GEA_RETURN_IF_ERROR(CheckFileSafe(name));
+    if (kind == "enum") {
+      GEA_ASSIGN_OR_RETURN(
+          rel::Table data,
+          rel::LoadTable(name, directory + "/enums/" + name + ".csv"));
+      GEA_ASSIGN_OR_RETURN(
+          rel::Table libs,
+          rel::LoadTable(name + "_libs",
+                         directory + "/enums/" + name + ".libs.csv"));
+      GEA_ASSIGN_OR_RETURN(core::EnumTable table,
+                           core::EnumFromRelTables(data, libs, name));
+      enums.emplace(name, std::move(table));
+    } else if (kind == "sumy") {
+      GEA_ASSIGN_OR_RETURN(
+          rel::Table data,
+          rel::LoadTable(name, directory + "/sumys/" + name + ".csv"));
+      GEA_ASSIGN_OR_RETURN(core::SumyTable table,
+                           core::SumyFromRelTable(data, name));
+      sumys.emplace(name, std::move(table));
+    } else if (kind == "gap") {
+      GEA_ASSIGN_OR_RETURN(
+          rel::Table data,
+          rel::LoadTable(name, directory + "/gaps/" + name + ".csv"));
+      GEA_ASSIGN_OR_RETURN(core::GapTable table,
+                           core::GapFromRelTable(data, name));
+      gaps.emplace(name, std::move(table));
+    } else {
+      return Status::InvalidArgument("unknown manifest kind: " + kind);
+    }
+  }
+
+  std::map<std::string, std::vector<double>> metadata;
+  if (fs::exists(directory + "/metadata")) {
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(directory + "/metadata")) {
+      if (entry.path().extension() != ".csv") continue;
+      std::string name = entry.path().stem().string();
+      GEA_ASSIGN_OR_RETURN(rel::Table table,
+                           rel::LoadTable(name, entry.path().string()));
+      std::vector<double> tolerances(table.NumRows(), 0.0);
+      for (const rel::Row& row : table.rows()) {
+        size_t index = static_cast<size_t>(row[0].AsInt());
+        if (index >= tolerances.size()) {
+          return Status::InvalidArgument("bad metadata index in " + name);
+        }
+        tolerances[index] = row[1].AsDouble();
+      }
+      metadata.emplace(std::move(name), std::move(tolerances));
+    }
+  }
+
+  GEA_ASSIGN_OR_RETURN(
+      rel::Table lnodes,
+      rel::LoadTable("LineageNodes", directory + "/lineage_nodes.csv"));
+  GEA_ASSIGN_OR_RETURN(
+      rel::Table lparams,
+      rel::LoadTable("LineageParams", directory + "/lineage_params.csv"));
+  GEA_ASSIGN_OR_RETURN(
+      rel::Table ledges,
+      rel::LoadTable("LineageEdges", directory + "/lineage_edges.csv"));
+  GEA_ASSIGN_OR_RETURN(lineage::LineageGraph history,
+                       lineage::LineageGraph::Import(lnodes, lparams,
+                                                     ledges));
+
+  // Commit. The imported history already holds the SAGE root node, so
+  // the data set is installed without re-recording lineage.
+  enums_ = std::move(enums);
+  sumys_ = std::move(sumys);
+  gaps_ = std::move(gaps);
+  metadata_ = std::move(metadata);
+  lineage_ = std::move(history);
+  relations_.Initialize();
+  dataset_.reset();
+  if (dataset.has_value()) {
+    GEA_RETURN_IF_ERROR(InstallDataSet(std::move(*dataset)));
+  }
+  return Status::OK();
+}
+
+// ---- Shared namespace plumbing ----
+
+Status AnalysisSession::CheckNameFree(const std::string& name, bool replace) {
+  bool taken = enums_.count(name) > 0 || sumys_.count(name) > 0 ||
+               gaps_.count(name) > 0;
+  if (taken && !replace) {
+    return Status::AlreadyExists("a table already exists: " + name);
+  }
+  if (taken) DropObject(name);
+  return Status::OK();
+}
+
+void AnalysisSession::DropObject(const std::string& name) {
+  enums_.erase(name);
+  sumys_.erase(name);
+  gaps_.erase(name);
+}
+
+void AnalysisSession::RecordLineage(
+    const std::string& name, lineage::NodeKind kind,
+    const std::string& operation,
+    std::map<std::string, std::string> parameters,
+    const std::vector<std::string>& parent_names) {
+  std::vector<lineage::LineageGraph::NodeId> parents;
+  for (const std::string& parent : parent_names) {
+    Result<lineage::LineageGraph::NodeId> id = lineage_.FindByName(parent);
+    if (id.ok()) parents.push_back(*id);
+  }
+  // After a replace, the old node may still exist; cascade-drop it first
+  // so the lineage mirrors the catalog.
+  Result<lineage::LineageGraph::NodeId> existing = lineage_.FindByName(name);
+  if (existing.ok()) {
+    (void)lineage_.DeleteCascade(*existing);
+  }
+  (void)lineage_.AddNode(name, kind, operation, std::move(parameters),
+                         parents);
+}
+
+// ---- Data sets ----
+
+Status AnalysisSession::CreateTissueDataSet(sage::TissueType tissue,
+                                            bool replace) {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_ASSIGN_OR_RETURN(const sage::SageDataSet* data, DataSet());
+  const std::string name = sage::TissueTypeName(tissue);
+  GEA_RETURN_IF_ERROR(CheckNameFree(name, replace));
+  sage::SageDataSet slice = data->FilterByTissue(tissue);
+  if (slice.NumLibraries() == 0) {
+    return Status::NotFound(std::string("no libraries of tissue type ") +
+                            sage::TissueTypeName(tissue));
+  }
+  enums_.emplace(name, core::EnumTable::FromDataSet(name, slice));
+  RecordLineage(name, lineage::NodeKind::kDataSet, "tissue_dataset",
+                {{"tissue", name}}, {"SAGE"});
+  return Status::OK();
+}
+
+Status AnalysisSession::CreateCustomDataSet(const std::string& name,
+                                            const std::vector<int>& ids,
+                                            bool replace) {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_ASSIGN_OR_RETURN(const sage::SageDataSet* data, DataSet());
+  GEA_RETURN_IF_ERROR(CheckNameFree(name, replace));
+  GEA_ASSIGN_OR_RETURN(sage::SageDataSet slice, data->SelectByIds(ids));
+  enums_.emplace(name, core::EnumTable::FromDataSet(name, slice));
+  RecordLineage(name, lineage::NodeKind::kDataSet, "custom_dataset",
+                {{"libraries", std::to_string(ids.size())}}, {"SAGE"});
+  return Status::OK();
+}
+
+Result<const core::EnumTable*> AnalysisSession::GetEnum(
+    const std::string& name) const {
+  auto it = enums_.find(name);
+  if (it == enums_.end()) {
+    return Status::NotFound("no such ENUM table: " + name);
+  }
+  return &it->second;
+}
+
+Result<const core::SumyTable*> AnalysisSession::GetSumy(
+    const std::string& name) const {
+  auto it = sumys_.find(name);
+  if (it == sumys_.end()) {
+    return Status::NotFound("no such SUMY table: " + name);
+  }
+  return &it->second;
+}
+
+Result<const core::GapTable*> AnalysisSession::GetGap(
+    const std::string& name) const {
+  auto it = gaps_.find(name);
+  if (it == gaps_.end()) {
+    return Status::NotFound("no such GAP table: " + name);
+  }
+  return &it->second;
+}
+
+// ---- Metadata + fascicles ----
+
+Status AnalysisSession::GenerateMetadata(const std::string& dataset_name,
+                                         double percent,
+                                         const std::string& meta_name,
+                                         bool replace) {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+  if (percent < 0.0 || percent > 100.0) {
+    return Status::InvalidArgument("percent must be in [0, 100]");
+  }
+  if (metadata_.count(meta_name) > 0 && !replace) {
+    return Status::AlreadyExists("metadata already exists: " + meta_name);
+  }
+  GEA_ASSIGN_OR_RETURN(const core::EnumTable* input, GetEnum(dataset_name));
+  metadata_[meta_name] = core::MakeToleranceMetadata(*input, percent);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> AnalysisSession::CalculateFascicles(
+    const std::string& dataset_name, const std::string& meta_name,
+    size_t min_compact_tags, size_t batch_size, size_t min_size,
+    const std::string& out_prefix,
+    cluster::FascicleParams::Algorithm algorithm) {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_ASSIGN_OR_RETURN(const core::EnumTable* input, GetEnum(dataset_name));
+  auto meta_it = metadata_.find(meta_name);
+  if (meta_it == metadata_.end()) {
+    return Status::NotFound("no such metadata: " + meta_name);
+  }
+  cluster::FascicleParams params;
+  params.min_compact_tags = min_compact_tags;
+  params.tolerances = meta_it->second;
+  params.batch_size = batch_size;
+  params.min_size = min_size;
+  params.algorithm = algorithm;
+
+  GEA_ASSIGN_OR_RETURN(std::vector<core::MinedFascicle> mined,
+                       core::Mine(*input, params, out_prefix));
+  std::vector<std::string> names;
+  for (core::MinedFascicle& m : mined) {
+    const std::string name =
+        out_prefix + "_" + std::to_string(names.size() + 1);
+    GEA_RETURN_IF_ERROR(CheckNameFree(name, /*replace=*/false));
+    GEA_RETURN_IF_ERROR(CheckNameFree(name + "_SUMY", /*replace=*/false));
+    m.members.set_name(name);
+    m.sumy.set_name(name + "_SUMY");
+    std::map<std::string, std::string> op_params = {
+        {"compact_attributes", std::to_string(min_compact_tags)},
+        {"metadata", meta_name},
+        {"batch_size", std::to_string(batch_size)},
+        {"min_size", std::to_string(min_size)},
+        {"members", std::to_string(m.fascicle.members.size())},
+    };
+    enums_.emplace(name, std::move(m.members));
+    sumys_.emplace(name + "_SUMY", std::move(m.sumy));
+    RecordLineage(name, lineage::NodeKind::kFascicle, "fascicles",
+                  op_params, {dataset_name});
+    RecordLineage(name + "_SUMY", lineage::NodeKind::kSumy, "aggregate",
+                  {}, {name});
+    names.push_back(name);
+  }
+  return names;
+}
+
+Result<std::vector<core::PurityProperty>> AnalysisSession::CheckPurity(
+    const std::string& enum_name) const {
+  GEA_ASSIGN_OR_RETURN(const core::EnumTable* table, GetEnum(enum_name));
+  return core::PureProperties(*table);
+}
+
+Result<AnalysisSession::ControlGroups> AnalysisSession::FormControlGroups(
+    const std::string& dataset_name, const std::string& fascicle_enum) {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_ASSIGN_OR_RETURN(const core::EnumTable* dataset, GetEnum(dataset_name));
+  GEA_ASSIGN_OR_RETURN(const core::EnumTable* fascicle,
+                       GetEnum(fascicle_enum));
+
+  const bool pure_cancer = core::IsPure(*fascicle,
+                                        core::PurityProperty::kCancer);
+  const bool pure_normal = core::IsPure(*fascicle,
+                                        core::PurityProperty::kNormal);
+  if (!pure_cancer && !pure_normal) {
+    return Status::FailedPrecondition(
+        "the fascicle " + fascicle_enum +
+        " is NOT pure; only pure fascicles can be further analyzed");
+  }
+  const sage::NeoplasticState fas_state = pure_cancer
+                                              ? sage::NeoplasticState::kCancer
+                                              : sage::NeoplasticState::kNormal;
+  const sage::NeoplasticState opp_state = pure_cancer
+                                              ? sage::NeoplasticState::kNormal
+                                              : sage::NeoplasticState::kCancer;
+
+  ControlGroups names;
+  names.fascicle_sumy = fascicle_enum + "_SUMY";
+  const std::string state_tag = pure_cancer ? "Can" : "Nor";
+  const std::string opposite_tag = pure_cancer ? "Normal" : "Cancer";
+  names.not_in_fas_enum = fascicle_enum + state_tag + "NotInFas_ENUM";
+  names.not_in_fas_sumy = fascicle_enum + state_tag + "NotInFasTbl";
+  names.opposite_enum = fascicle_enum + opposite_tag + "_ENUM";
+  names.opposite_sumy = fascicle_enum + opposite_tag + "Table";
+  for (const std::string& name :
+       {names.not_in_fas_enum, names.not_in_fas_sumy, names.opposite_enum,
+        names.opposite_sumy}) {
+    GEA_RETURN_IF_ERROR(CheckNameFree(name, /*replace=*/false));
+  }
+
+  // Restrict the data set to the fascicle's compact tags, then carve out
+  // the two control groups (Section 4.3.1 steps 4-5).
+  GEA_ASSIGN_OR_RETURN(
+      core::EnumTable compact_view,
+      dataset->RestrictTags(dataset_name + "_compact_view",
+                            fascicle->tags()));
+  core::EnumTable not_in_fas =
+      compact_view
+          .FilterLibraries(names.not_in_fas_enum,
+                           [&](const sage::LibraryMeta& lib) {
+                             return lib.state == fas_state;
+                           })
+          .MinusLibraries(names.not_in_fas_enum, *fascicle);
+  core::EnumTable opposite = compact_view.FilterLibraries(
+      names.opposite_enum,
+      [&](const sage::LibraryMeta& lib) { return lib.state == opp_state; });
+
+  GEA_ASSIGN_OR_RETURN(core::SumyTable not_in_fas_sumy,
+                       core::Aggregate(not_in_fas, names.not_in_fas_sumy));
+  GEA_ASSIGN_OR_RETURN(core::SumyTable opposite_sumy,
+                       core::Aggregate(opposite, names.opposite_sumy));
+
+  enums_.emplace(names.not_in_fas_enum, std::move(not_in_fas));
+  enums_.emplace(names.opposite_enum, std::move(opposite));
+  sumys_.emplace(names.not_in_fas_sumy, std::move(not_in_fas_sumy));
+  sumys_.emplace(names.opposite_sumy, std::move(opposite_sumy));
+
+  RecordLineage(names.not_in_fas_enum, lineage::NodeKind::kEnum,
+                "control_group", {{"state", state_tag}},
+                {dataset_name, fascicle_enum});
+  RecordLineage(names.not_in_fas_sumy, lineage::NodeKind::kSumy, "aggregate",
+                {}, {names.not_in_fas_enum});
+  RecordLineage(names.opposite_enum, lineage::NodeKind::kEnum,
+                "control_group", {{"state", opposite_tag}},
+                {dataset_name, fascicle_enum});
+  RecordLineage(names.opposite_sumy, lineage::NodeKind::kSumy, "aggregate",
+                {}, {names.opposite_enum});
+  return names;
+}
+
+// ---- GAP operations ----
+
+Status AnalysisSession::CreateGap(const std::string& sumy1_name,
+                                  const std::string& sumy2_name,
+                                  const std::string& gap_name, bool replace) {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_ASSIGN_OR_RETURN(const core::SumyTable* sumy1, GetSumy(sumy1_name));
+  GEA_ASSIGN_OR_RETURN(const core::SumyTable* sumy2, GetSumy(sumy2_name));
+  GEA_RETURN_IF_ERROR(CheckNameFree(gap_name, replace));
+  GEA_ASSIGN_OR_RETURN(core::GapTable gap,
+                       core::Diff(*sumy1, *sumy2, gap_name));
+  gaps_.emplace(gap_name, std::move(gap));
+  RecordLineage(gap_name, lineage::NodeKind::kGap, "diff",
+                {{"sumy1", sumy1_name}, {"sumy2", sumy2_name}},
+                {sumy1_name, sumy2_name});
+  return Status::OK();
+}
+
+Result<std::string> AnalysisSession::CalculateTopGap(
+    const std::string& gap_name, size_t x, core::TopGapMode mode) {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_ASSIGN_OR_RETURN(const core::GapTable* gap, GetGap(gap_name));
+  const std::string out_name = gap_name + "_" + std::to_string(x);
+  GEA_RETURN_IF_ERROR(CheckNameFree(out_name, /*replace=*/true));
+  GEA_ASSIGN_OR_RETURN(core::GapTable top,
+                       core::TopGap(*gap, x, mode, out_name));
+  gaps_.emplace(out_name, std::move(top));
+  RecordLineage(out_name, lineage::NodeKind::kTopGap, "top_gap",
+                {{"x", std::to_string(x)}, {"mode", TopGapModeName(mode)}},
+                {gap_name});
+  return out_name;
+}
+
+Status AnalysisSession::CompareGapTables(const std::string& gap_a,
+                                         const std::string& gap_b,
+                                         core::GapCompareKind kind,
+                                         const std::string& out_name,
+                                         bool replace) {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_ASSIGN_OR_RETURN(const core::GapTable* a, GetGap(gap_a));
+  GEA_ASSIGN_OR_RETURN(const core::GapTable* b, GetGap(gap_b));
+  GEA_RETURN_IF_ERROR(CheckNameFree(out_name, replace));
+  GEA_ASSIGN_OR_RETURN(core::GapTable compared,
+                       core::CompareGaps(*a, *b, kind, out_name));
+  gaps_.emplace(out_name, std::move(compared));
+  RecordLineage(out_name, lineage::NodeKind::kCompareGap,
+                core::GapCompareKindName(kind), {}, {gap_a, gap_b});
+  return Status::OK();
+}
+
+Status AnalysisSession::RunGapQuery(const std::string& compared_name,
+                                    core::GapCompareQuery query,
+                                    const std::string& out_name,
+                                    bool replace) {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_ASSIGN_OR_RETURN(const core::GapTable* compared,
+                       GetGap(compared_name));
+  GEA_RETURN_IF_ERROR(CheckNameFree(out_name, replace));
+  GEA_ASSIGN_OR_RETURN(core::GapTable result,
+                       core::ApplyGapQuery(*compared, query, out_name));
+  gaps_.emplace(out_name, std::move(result));
+  RecordLineage(out_name, lineage::NodeKind::kGap, "gap_query",
+                {{"query", core::GapCompareQueryDescription(query)}},
+                {compared_name});
+  return Status::OK();
+}
+
+// ---- Search operations ----
+
+Result<sage::LibraryMeta> AnalysisSession::SearchLibrary(int id) const {
+  GEA_ASSIGN_OR_RETURN(const sage::SageDataSet* data, DataSet());
+  GEA_ASSIGN_OR_RETURN(const sage::SageLibrary* lib, data->FindById(id));
+  return sage::LibraryMeta{lib->id(), lib->name(), lib->tissue(),
+                           lib->state(), lib->source()};
+}
+
+Result<sage::LibraryMeta> AnalysisSession::SearchLibrary(
+    const std::string& name) const {
+  GEA_ASSIGN_OR_RETURN(const sage::SageDataSet* data, DataSet());
+  GEA_ASSIGN_OR_RETURN(const sage::SageLibrary* lib, data->FindByName(name));
+  return sage::LibraryMeta{lib->id(), lib->name(), lib->tissue(),
+                           lib->state(), lib->source()};
+}
+
+Result<std::vector<std::string>> AnalysisSession::LibrariesOfTissue(
+    sage::TissueType tissue) const {
+  GEA_ASSIGN_OR_RETURN(const sage::SageDataSet* data, DataSet());
+  std::vector<std::string> names;
+  for (const sage::SageLibrary& lib : data->libraries()) {
+    if (lib.tissue() == tissue) names.push_back(lib.name());
+  }
+  return names;
+}
+
+Result<std::vector<AnalysisSession::TagFrequencyRow>>
+AnalysisSession::TagFrequency(
+    sage::TagId first_tag, sage::TagId last_tag,
+    const std::vector<std::string>& library_names) const {
+  GEA_ASSIGN_OR_RETURN(const sage::SageDataSet* data, DataSet());
+  if (first_tag > last_tag) std::swap(first_tag, last_tag);
+  std::vector<const sage::SageLibrary*> libs;
+  for (const std::string& name : library_names) {
+    GEA_ASSIGN_OR_RETURN(const sage::SageLibrary* lib,
+                         data->FindByName(name));
+    libs.push_back(lib);
+  }
+  // Tags in range appearing in at least one of the selected libraries.
+  std::vector<sage::TagId> tags;
+  for (const sage::SageLibrary* lib : libs) {
+    for (const sage::SageLibrary::Entry& e : lib->entries()) {
+      if (e.tag >= first_tag && e.tag <= last_tag) tags.push_back(e.tag);
+    }
+  }
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+
+  std::vector<TagFrequencyRow> rows;
+  rows.reserve(tags.size());
+  for (sage::TagId tag : tags) {
+    TagFrequencyRow row;
+    row.tag = tag;
+    for (const sage::SageLibrary* lib : libs) {
+      row.values.push_back(lib->Count(tag));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<std::string>> AnalysisSession::SearchLibrariesByTagRange(
+    sage::TagId tag, double lo, double hi) const {
+  GEA_ASSIGN_OR_RETURN(const sage::SageDataSet* data, DataSet());
+  if (lo > hi) std::swap(lo, hi);
+  std::vector<std::string> names;
+  for (const sage::SageLibrary& lib : data->libraries()) {
+    double v = lib.Count(tag);
+    if (v >= lo && v <= hi) names.push_back(lib.name());
+  }
+  return names;
+}
+
+Result<rel::Table> AnalysisSession::Query(const std::string& sql) const {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+  return rel::ExecuteQuery(relations_, sql);
+}
+
+Result<std::vector<core::RangeSearchHit>> AnalysisSession::RangeSearchSumys(
+    const std::vector<std::string>& sumy_names, sage::TagId first_tag,
+    sage::TagId last_tag, interval::AllenRelation relation,
+    const interval::Interval& query) const {
+  std::vector<const core::SumyTable*> tables;
+  tables.reserve(sumy_names.size());
+  for (const std::string& name : sumy_names) {
+    GEA_ASSIGN_OR_RETURN(const core::SumyTable* table, GetSumy(name));
+    tables.push_back(table);
+  }
+  return core::RangeSearch(tables, first_tag, last_tag, relation, query);
+}
+
+// ---- Lineage ----
+
+Status AnalysisSession::CommentOn(const std::string& table_name,
+                                  const std::string& comment) {
+  GEA_ASSIGN_OR_RETURN(lineage::LineageGraph::NodeId id,
+                       lineage_.FindByName(table_name));
+  return lineage_.SetComment(id, comment);
+}
+
+Status AnalysisSession::DeleteTable(const std::string& table_name,
+                                    bool cascade) {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_ASSIGN_OR_RETURN(lineage::LineageGraph::NodeId id,
+                       lineage_.FindByName(table_name));
+  auto drop = [this](const std::string& name) { DropObject(name); };
+  if (cascade) {
+    return lineage_.DeleteCascade(id, drop);
+  }
+  return lineage_.DeleteContents(id, drop);
+}
+
+std::vector<std::string> AnalysisSession::TableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, table] : enums_) names.push_back(name);
+  for (const auto& [name, table] : sumys_) names.push_back(name);
+  for (const auto& [name, table] : gaps_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace gea::workbench

@@ -1,0 +1,255 @@
+#ifndef GEA_WORKBENCH_SESSION_H_
+#define GEA_WORKBENCH_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/fascicles.h"
+#include "common/result.h"
+#include "core/enum_table.h"
+#include "core/gap.h"
+#include "core/gap_compare.h"
+#include "core/gap_ops.h"
+#include "core/operators.h"
+#include "core/sumy.h"
+#include "core/sumy_ops.h"
+#include "interval/interval.h"
+#include "lineage/lineage.h"
+#include "rel/catalog.h"
+#include "sage/dataset.h"
+#include "workbench/users.h"
+
+namespace gea::workbench {
+
+/// The analysis workbench: the session-level facade tying together the
+/// pieces the thesis's GUI exposes — authentication (Appendix III.1),
+/// data management (III.2), administration (III.3), configuration (III.4),
+/// the data-set / metadata / fascicle / GAP pipeline of Chapter 4, the
+/// search facilities of Section 4.4.4, the lineage feature of Section
+/// 4.4.2, and the redundancy checks of Section 4.4.5.2.
+///
+/// All derived tables (ENUM / SUMY / GAP) live in one shared name space,
+/// like tables in the thesis's DB2 database; creating a name that exists
+/// fails with AlreadyExists unless `replace` is passed.
+class AnalysisSession {
+ public:
+  /// Bootstraps the session with one administrator account.
+  AnalysisSession(const std::string& admin_name,
+                  const std::string& admin_password);
+
+  // ---- Authentication (Appendix III.1) ----
+
+  /// Name, password and claimed access level must all match.
+  Status Login(const std::string& name, const std::string& password,
+               AccessLevel level);
+  void Logout();
+  bool IsLoggedIn() const { return current_user_.has_value(); }
+  Result<std::string> CurrentUser() const;
+
+  // ---- Administration (Appendix III.3; administrators only) ----
+
+  Status AddUser(const std::string& name, const std::string& password,
+                 AccessLevel level);
+  Status DeleteUser(const std::string& name);
+  Status ModifyUser(const std::string& name, const std::string& new_password,
+                    AccessLevel new_level);
+
+  // ---- Configuration (Appendix III.4; administrators only) ----
+
+  Status SetConfiguration(const std::string& key, const std::string& value);
+  Result<std::string> GetConfiguration(const std::string& key) const;
+
+  // ---- Data management (Appendix III.2) ----
+
+  /// Loads the (cleaned) SAGE data set, creating the Libraries, Typeinfo
+  /// and Sageinfo relations and the lineage root.
+  Status LoadDataSet(sage::SageDataSet dataset);
+
+  /// Drops every derived table and relation (administrators only) — the
+  /// "initialize database" operation.
+  Status InitializeDatabase();
+
+  Result<const sage::SageDataSet*> DataSet() const;
+
+  /// Persists the whole analysis database — the SAGE libraries, every
+  /// derived ENUM/SUMY/GAP table, the tolerance metadata, and the
+  /// operation history — into `directory` (created if needed).
+  Status SaveDatabase(const std::string& directory) const;
+
+  /// Replaces the session's analysis state with a database previously
+  /// written by SaveDatabase. Users and configuration are unaffected.
+  Status LoadDatabase(const std::string& directory);
+
+  // ---- Data sets (Figs. 4.4 and 4.15) ----
+
+  /// System-defined tissue data set, named after the tissue type.
+  Status CreateTissueDataSet(sage::TissueType tissue, bool replace = false);
+
+  /// User-defined tissue type from explicit library ids.
+  Status CreateCustomDataSet(const std::string& name,
+                             const std::vector<int>& library_ids,
+                             bool replace = false);
+
+  Result<const core::EnumTable*> GetEnum(const std::string& name) const;
+  Result<const core::SumyTable*> GetSumy(const std::string& name) const;
+  Result<const core::GapTable*> GetGap(const std::string& name) const;
+
+  // ---- Metadata + fascicles (Figs. 4.5-4.8) ----
+
+  /// Generates the tolerance metadata for `dataset_name`: per-tag
+  /// tolerance = `percent`% of the tag's value width.
+  Status GenerateMetadata(const std::string& dataset_name, double percent,
+                          const std::string& meta_name,
+                          bool replace = false);
+
+  /// Runs the Fascicles algorithm; stores, per fascicle i, the member
+  /// ENUM table "<out_prefix>_i" and its SUMY "<out_prefix>_i_SUMY".
+  /// Returns the fascicle ENUM names in mining order.
+  Result<std::vector<std::string>> CalculateFascicles(
+      const std::string& dataset_name, const std::string& meta_name,
+      size_t min_compact_tags, size_t batch_size, size_t min_size,
+      const std::string& out_prefix,
+      cluster::FascicleParams::Algorithm algorithm =
+          cluster::FascicleParams::Algorithm::kGreedy);
+
+  /// The Fig. 4.8 purity check of a fascicle ENUM table.
+  Result<std::vector<core::PurityProperty>> CheckPurity(
+      const std::string& enum_name) const;
+
+  /// Names of the tables FormControlGroups creates.
+  struct ControlGroups {
+    std::string fascicle_sumy;      // e.g. brain35k_4CancerFasTbl
+    std::string not_in_fas_enum;    // same-state libraries outside
+    std::string not_in_fas_sumy;    //   the fascicle (ENUM2 / SUMY2)
+    std::string opposite_enum;      // opposite-state libraries
+    std::string opposite_sumy;      //   (ENUM3 / SUMY3)
+  };
+
+  /// The "Form SUM" macro of Figs. 4.7-4.8 (Section 4.3.1 steps 4-5):
+  /// requires the fascicle to be pure cancer or pure normal; builds the
+  /// two control groups over the fascicle's compact tags and aggregates
+  /// them. Fails with FailedPrecondition on non-pure fascicles ("the
+  /// analysis of this fascicle is terminated").
+  Result<ControlGroups> FormControlGroups(const std::string& dataset_name,
+                                          const std::string& fascicle_enum);
+
+  // ---- GAP operations (Figs. 4.9, 4.12, 4.13, 4.19) ----
+
+  /// GAP = diff(sumy1, sumy2), stored under `gap_name`.
+  Status CreateGap(const std::string& sumy1_name,
+                   const std::string& sumy2_name, const std::string& gap_name,
+                   bool replace = false);
+
+  /// Stores the top-x table under "<gap_name>_<x>" and returns that name.
+  Result<std::string> CalculateTopGap(
+      const std::string& gap_name, size_t x,
+      core::TopGapMode mode = core::TopGapMode::kLargestMagnitude);
+
+  /// Combines two GAP tables (Fig. 4.13); result is a stored GAP table.
+  Status CompareGapTables(const std::string& gap_a,
+                          const std::string& gap_b,
+                          core::GapCompareKind kind,
+                          const std::string& out_name, bool replace = false);
+
+  /// Runs one of the 13 queries on a stored compared table; stores the
+  /// result under `out_name`.
+  Status RunGapQuery(const std::string& compared_name,
+                     core::GapCompareQuery query,
+                     const std::string& out_name, bool replace = false);
+
+  // ---- Search operations (Section 4.4.4.2) ----
+
+  /// Library information by id or name (Fig. 4.23).
+  Result<sage::LibraryMeta> SearchLibrary(int id) const;
+  Result<sage::LibraryMeta> SearchLibrary(const std::string& name) const;
+
+  /// Names of the libraries of one tissue type (Fig. 4.24).
+  Result<std::vector<std::string>> LibrariesOfTissue(
+      sage::TissueType tissue) const;
+
+  /// One row of the tag-frequency report (Figs. 4.25/4.26).
+  struct TagFrequencyRow {
+    sage::TagId tag = 0;
+    std::vector<double> values;  // aligned with the queried library names
+  };
+
+  /// Expression values of every tag in [first_tag, last_tag] across the
+  /// named libraries; pass first == last for a single tag.
+  Result<std::vector<TagFrequencyRow>> TagFrequency(
+      sage::TagId first_tag, sage::TagId last_tag,
+      const std::vector<std::string>& library_names) const;
+
+  /// The "range search for library" of Section 4.4.4.2: names of the
+  /// libraries whose expression level for `tag` lies in [lo, hi].
+  Result<std::vector<std::string>> SearchLibrariesByTagRange(
+      sage::TagId tag, double lo, double hi) const;
+
+  /// Runs a SQL-style query against the auxiliary relations (Libraries,
+  /// Typeinfo, Sageinfo) — the ad-hoc querying the thesis performs over
+  /// its DB2 tables. See rel/sql.h for the supported grammar.
+  Result<rel::Table> Query(const std::string& sql) const;
+
+  /// The Fig. 4.16 range-arithmetic search over stored SUMY tables: for
+  /// every tag in [first_tag, last_tag] and every named table, reports
+  /// NE / NO / the actual range under `relation` vs `query`.
+  Result<std::vector<core::RangeSearchHit>> RangeSearchSumys(
+      const std::vector<std::string>& sumy_names, sage::TagId first_tag,
+      sage::TagId last_tag, interval::AllenRelation relation,
+      const interval::Interval& query) const;
+
+  // ---- Lineage (Section 4.4.2) ----
+
+  const lineage::LineageGraph& Lineage() const { return lineage_; }
+
+  /// Attaches a user comment to the lineage node of `table_name`.
+  Status CommentOn(const std::string& table_name, const std::string& comment);
+
+  /// Deletes a derived table. `cascade` removes everything derived from
+  /// it as well; otherwise only the contents are dropped and the lineage
+  /// metadata survives for regeneration.
+  Status DeleteTable(const std::string& table_name, bool cascade);
+
+  /// All stored table names (ENUM + SUMY + GAP), sorted.
+  std::vector<std::string> TableNames() const;
+
+  /// Auxiliary relations (Libraries, Typeinfo, Sageinfo).
+  const rel::Catalog& Relations() const { return relations_; }
+
+ private:
+  Status RequireLogin() const;
+  Status RequireAdmin() const;
+  /// Sets the data set and rebuilds the auxiliary relations without
+  /// touching the lineage graph.
+  Status InstallDataSet(sage::SageDataSet dataset);
+  /// The Section 4.4.5.2 redundancy check over the shared namespace.
+  Status CheckNameFree(const std::string& name, bool replace);
+  /// Removes `name` from whichever registry holds it.
+  void DropObject(const std::string& name);
+  /// Registers a lineage node, ignoring duplicate-name errors after
+  /// replace-drops.
+  void RecordLineage(const std::string& name, lineage::NodeKind kind,
+                     const std::string& operation,
+                     std::map<std::string, std::string> parameters,
+                     const std::vector<std::string>& parent_names);
+
+  UserDatabase users_;
+  std::optional<std::string> current_user_;
+  AccessLevel current_level_ = AccessLevel::kUser;
+  std::map<std::string, std::string> configuration_;
+
+  std::optional<sage::SageDataSet> dataset_;
+  rel::Catalog relations_;
+  lineage::LineageGraph lineage_;
+
+  std::map<std::string, core::EnumTable> enums_;
+  std::map<std::string, core::SumyTable> sumys_;
+  std::map<std::string, core::GapTable> gaps_;
+  std::map<std::string, std::vector<double>> metadata_;  // tolerance vectors
+};
+
+}  // namespace gea::workbench
+
+#endif  // GEA_WORKBENCH_SESSION_H_

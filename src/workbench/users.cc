@@ -1,0 +1,127 @@
+#include "workbench/users.h"
+
+namespace gea::workbench {
+
+const char* AccessLevelName(AccessLevel level) {
+  switch (level) {
+    case AccessLevel::kUser:
+      return "user";
+    case AccessLevel::kAdministrator:
+      return "administrator";
+  }
+  return "?";
+}
+
+uint64_t UserDatabase::HashPassword(const std::string& password,
+                                    uint64_t salt) {
+  // FNV-1a seeded with the salt; adequate for an offline toolkit store.
+  uint64_t hash = 14695981039346656037ull ^ salt;
+  for (char c : password) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+UserDatabase::UserDatabase(const std::string& admin_name,
+                           const std::string& admin_password) {
+  Account admin;
+  admin.salt = next_salt_++;
+  admin.password_hash = HashPassword(admin_password, admin.salt);
+  admin.level = AccessLevel::kAdministrator;
+  accounts_.emplace(admin_name, admin);
+}
+
+Status UserDatabase::AddUser(const std::string& name,
+                             const std::string& password,
+                             AccessLevel level) {
+  if (name.empty()) {
+    return Status::InvalidArgument("user name must be non-empty");
+  }
+  if (accounts_.count(name) > 0) {
+    return Status::AlreadyExists("user already exists: " + name);
+  }
+  Account account;
+  account.salt = next_salt_++;
+  account.password_hash = HashPassword(password, account.salt);
+  account.level = level;
+  accounts_.emplace(name, account);
+  return Status::OK();
+}
+
+Status UserDatabase::DeleteUser(const std::string& name) {
+  auto it = accounts_.find(name);
+  if (it == accounts_.end()) {
+    return Status::NotFound("no such user: " + name);
+  }
+  if (it->second.level == AccessLevel::kAdministrator) {
+    size_t admins = 0;
+    for (const auto& [n, account] : accounts_) {
+      if (account.level == AccessLevel::kAdministrator) ++admins;
+    }
+    if (admins <= 1) {
+      return Status::FailedPrecondition(
+          "cannot delete the last administrator account");
+    }
+  }
+  accounts_.erase(it);
+  return Status::OK();
+}
+
+Status UserDatabase::ModifyUser(const std::string& name,
+                                const std::string& new_password,
+                                AccessLevel new_level) {
+  auto it = accounts_.find(name);
+  if (it == accounts_.end()) {
+    return Status::NotFound("no such user: " + name);
+  }
+  if (it->second.level == AccessLevel::kAdministrator &&
+      new_level != AccessLevel::kAdministrator) {
+    size_t admins = 0;
+    for (const auto& [n, account] : accounts_) {
+      if (account.level == AccessLevel::kAdministrator) ++admins;
+    }
+    if (admins <= 1) {
+      return Status::FailedPrecondition(
+          "cannot demote the last administrator account");
+    }
+  }
+  it->second.salt = next_salt_++;
+  it->second.password_hash = HashPassword(new_password, it->second.salt);
+  it->second.level = new_level;
+  return Status::OK();
+}
+
+Result<AccessLevel> UserDatabase::Authenticate(
+    const std::string& name, const std::string& password,
+    AccessLevel claimed_level) const {
+  auto it = accounts_.find(name);
+  if (it == accounts_.end() ||
+      it->second.password_hash != HashPassword(password, it->second.salt) ||
+      it->second.level != claimed_level) {
+    return Status::PermissionDenied(
+        "login failed; please check your PASSWORD and TYPE");
+  }
+  return it->second.level;
+}
+
+bool UserDatabase::HasUser(const std::string& name) const {
+  return accounts_.count(name) > 0;
+}
+
+Result<AccessLevel> UserDatabase::GetLevel(const std::string& name) const {
+  auto it = accounts_.find(name);
+  if (it == accounts_.end()) {
+    return Status::NotFound("no such user: " + name);
+  }
+  return it->second.level;
+}
+
+std::vector<std::string> UserDatabase::UserNames() const {
+  std::vector<std::string> names;
+  names.reserve(accounts_.size());
+  for (const auto& [name, account] : accounts_) names.push_back(name);
+  return names;
+}
+
+}  // namespace gea::workbench

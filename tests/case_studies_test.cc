@@ -1,0 +1,422 @@
+// End-to-end integration tests reproducing the *shape* of the thesis's
+// Chapter 4 case studies on the synthetic SAGE data:
+//   Case 1 (4.3.1): cancerous brain in fascicle vs normal brain.
+//   Case 2 (4.3.2): cancerous brain inside vs outside the fascicle.
+//   Case 3 (4.3.3): genes always lower in cancer across tissue types.
+//   Case 4 (4.3.4): genes unique to one type of cancer.
+//   Case 5 (4.3.5): verification in the extensional world.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/gap_compare.h"
+#include "core/gap_ops.h"
+#include "sage/cleaning.h"
+#include "sage/generator.h"
+#include "workbench/session.h"
+
+namespace gea {
+namespace {
+
+using core::GapCompareKind;
+using core::GapCompareQuery;
+using core::GapTable;
+using sage::TagId;
+using workbench::AccessLevel;
+using workbench::AnalysisSession;
+
+constexpr double kMetaPercent = 25.0;
+constexpr size_t kMinCompact = 150;
+
+// One shared pipeline for the whole suite: generate, clean, mine both
+// tissue types, and form the control groups + GAP tables of Cases 1-3.
+class CaseStudies : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sage::GeneratorConfig config;
+    config.seed = 42;
+    config.panels = sage::SyntheticSageGenerator::SmallPanels();
+    synth_ = new sage::SyntheticSage(
+        sage::SyntheticSageGenerator(config).Generate());
+    sage::CleanAndNormalize(synth_->dataset);
+
+    session_ = new AnalysisSession("admin", "secret");
+    ASSERT_TRUE(
+        session_->Login("admin", "secret", AccessLevel::kAdministrator)
+            .ok());
+    ASSERT_TRUE(session_->LoadDataSet(synth_->dataset).ok());
+
+    for (sage::TissueType tissue :
+         {sage::TissueType::kBrain, sage::TissueType::kBreast}) {
+      const std::string name = sage::TissueTypeName(tissue);
+      ASSERT_TRUE(session_->CreateTissueDataSet(tissue).ok());
+      ASSERT_TRUE(
+          session_->GenerateMetadata(name, kMetaPercent, name + ".meta")
+              .ok());
+      Result<std::vector<std::string>> fascicles =
+          session_->CalculateFascicles(name, name + ".meta", kMinCompact,
+                                       /*batch_size=*/6, /*min_size=*/3,
+                                       name + "25k");
+      ASSERT_TRUE(fascicles.ok()) << fascicles.status().ToString();
+      ASSERT_FALSE(fascicles->empty());
+
+      // Pick the largest pure-cancer fascicle (the thesis's purity check,
+      // Fig. 4.8). Fascicles come back largest first.
+      std::string chosen;
+      for (const std::string& fas : *fascicles) {
+        Result<std::vector<core::PurityProperty>> purity =
+            session_->CheckPurity(fas);
+        ASSERT_TRUE(purity.ok());
+        if (std::find(purity->begin(), purity->end(),
+                      core::PurityProperty::kCancer) != purity->end()) {
+          chosen = fas;
+          break;
+        }
+      }
+      ASSERT_FALSE(chosen.empty()) << "no pure cancer fascicle in " << name;
+      fascicle_[tissue] = chosen;
+
+      Result<AnalysisSession::ControlGroups> groups =
+          session_->FormControlGroups(name, chosen);
+      ASSERT_TRUE(groups.ok()) << groups.status().ToString();
+      groups_[tissue] = *groups;
+
+      // GAP1 = diff(cancer-in-fascicle, normal); GAP2 = diff(cancer-in-
+      // fascicle, cancer-not-in-fascicle).
+      ASSERT_TRUE(session_
+                      ->CreateGap(groups->fascicle_sumy,
+                                  groups->opposite_sumy,
+                                  name + "_canvsnor_gap")
+                      .ok());
+      ASSERT_TRUE(session_
+                      ->CreateGap(groups->fascicle_sumy,
+                                  groups->not_in_fas_sumy,
+                                  name + "_canvscnif_gap")
+                      .ok());
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete session_;
+    session_ = nullptr;
+    delete synth_;
+    synth_ = nullptr;
+  }
+
+  static bool Contains(const std::vector<TagId>& sorted, TagId tag) {
+    return std::binary_search(sorted.begin(), sorted.end(), tag);
+  }
+
+  static sage::SyntheticSage* synth_;
+  static AnalysisSession* session_;
+  static std::map<sage::TissueType, std::string> fascicle_;
+  static std::map<sage::TissueType, AnalysisSession::ControlGroups> groups_;
+};
+
+sage::SyntheticSage* CaseStudies::synth_ = nullptr;
+AnalysisSession* CaseStudies::session_ = nullptr;
+std::map<sage::TissueType, std::string> CaseStudies::fascicle_;
+std::map<sage::TissueType, AnalysisSession::ControlGroups>
+    CaseStudies::groups_;
+
+// ---- Case 1 ----
+
+TEST_F(CaseStudies, Case1FascicleIsTheCoreCancerSubtype) {
+  Result<const core::EnumTable*> fas =
+      session_->GetEnum(fascicle_[sage::TissueType::kBrain]);
+  ASSERT_TRUE(fas.ok());
+  // Pure cancer...
+  EXPECT_TRUE(core::IsPure(**fas, core::PurityProperty::kCancer));
+  // ...and it recovers the planted core subtype exactly.
+  std::set<int> members;
+  for (const sage::LibraryMeta& lib : (*fas)->libraries()) {
+    members.insert(lib.id);
+  }
+  const auto& core_ids =
+      synth_->truth.core_cancer_library_ids.at(sage::TissueType::kBrain);
+  EXPECT_EQ(members, std::set<int>(core_ids.begin(), core_ids.end()));
+}
+
+TEST_F(CaseStudies, Case1PositiveGapsAreUpRegulatedTags) {
+  // Fig. 4.2's shape: tags with positive gaps are expressed higher in the
+  // cancer fascicle than in normal tissue — the planted up-regulated
+  // tags; negative gaps are the silenced tags (Fig. 4.3).
+  Result<const GapTable*> gap = session_->GetGap("brain_canvsnor_gap");
+  ASSERT_TRUE(gap.ok());
+
+  std::set<TagId> up(synth_->truth.cancer_up.at(sage::TissueType::kBrain)
+                         .begin(),
+                     synth_->truth.cancer_up.at(sage::TissueType::kBrain)
+                         .end());
+  up.insert(synth_->truth.shared_cancer_up.begin(),
+            synth_->truth.shared_cancer_up.end());
+  std::set<TagId> down(
+      synth_->truth.cancer_down.at(sage::TissueType::kBrain).begin(),
+      synth_->truth.cancer_down.at(sage::TissueType::kBrain).end());
+  down.insert(synth_->truth.shared_cancer_down.begin(),
+              synth_->truth.shared_cancer_down.end());
+
+  size_t up_positive = 0;
+  size_t up_total = 0;
+  size_t down_negative = 0;
+  size_t down_total = 0;
+  for (const core::GapEntry& e : (*gap)->entries()) {
+    if (!e.gaps[0].has_value()) continue;
+    if (up.count(e.tag) > 0) {
+      ++up_total;
+      if (*e.gaps[0] > 0) ++up_positive;
+    } else if (down.count(e.tag) > 0) {
+      ++down_total;
+      if (*e.gaps[0] < 0) ++down_negative;
+    }
+  }
+  ASSERT_GT(up_total, 0u);
+  ASSERT_GT(down_total, 10u);
+  // A stray tag can invert when its lognormal abundance draws cross;
+  // the overwhelming majority must carry the planted sign.
+  EXPECT_GE(up_positive * 10, up_total * 9);
+  EXPECT_EQ(down_negative, down_total);
+}
+
+TEST_F(CaseStudies, Case1TopGapsAreDominatedByPlantedBiology) {
+  Result<std::string> top_name =
+      session_->CalculateTopGap("brain_canvsnor_gap", 10);
+  ASSERT_TRUE(top_name.ok());
+  Result<const GapTable*> top = session_->GetGap(*top_name);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ((*top)->NumTags(), 10u);
+
+  std::set<TagId> planted;
+  auto insert_all = [&planted](const std::vector<TagId>& tags) {
+    planted.insert(tags.begin(), tags.end());
+  };
+  insert_all(synth_->truth.cancer_up.at(sage::TissueType::kBrain));
+  insert_all(synth_->truth.cancer_down.at(sage::TissueType::kBrain));
+  insert_all(synth_->truth.shared_cancer_up);
+  insert_all(synth_->truth.shared_cancer_down);
+  insert_all(synth_->truth.signature.at(sage::TissueType::kBrain));
+  insert_all(synth_->truth.housekeeping);
+  insert_all(synth_->truth.baseline.at(sage::TissueType::kBrain));
+
+  size_t regulated = 0;
+  for (const core::GapEntry& e : (*top)->entries()) {
+    if (planted.count(e.tag) > 0) ++regulated;
+  }
+  // Every top-gap tag must be real biology, not sequencing noise.
+  EXPECT_EQ(regulated, (*top)->NumTags());
+}
+
+// ---- Case 2 ----
+
+TEST_F(CaseStudies, Case2InsideVsOutsideGapsAreSmallerThanVsNormal) {
+  // Section 4.3.2: "the GAP values found between the cancerous tissue
+  // inside of the fascicle and normal tissue are often larger than the
+  // GAP values found between the cancerous tissue inside and outside of
+  // the fascicle."
+  Result<const GapTable*> vs_normal =
+      session_->GetGap("brain_canvsnor_gap");
+  Result<const GapTable*> vs_outside =
+      session_->GetGap("brain_canvscnif_gap");
+  ASSERT_TRUE(vs_normal.ok());
+  ASSERT_TRUE(vs_outside.ok());
+
+  double sum_normal = 0.0;
+  size_t n_normal = 0;
+  for (const core::GapEntry& e : (*vs_normal)->entries()) {
+    if (e.gaps[0].has_value()) {
+      sum_normal += std::abs(*e.gaps[0]);
+      ++n_normal;
+    }
+  }
+  double sum_outside = 0.0;
+  size_t n_outside = 0;
+  for (const core::GapEntry& e : (*vs_outside)->entries()) {
+    if (e.gaps[0].has_value()) {
+      sum_outside += std::abs(*e.gaps[0]);
+      ++n_outside;
+    }
+  }
+  ASSERT_GT(n_normal, 0u);
+  ASSERT_GT(n_outside, 0u);
+  EXPECT_GT(sum_normal / static_cast<double>(n_normal),
+            sum_outside / static_cast<double>(n_outside));
+}
+
+TEST_F(CaseStudies, Case2ControlGroupsPartitionTheCancerLibraries) {
+  const AnalysisSession::ControlGroups& groups =
+      groups_[sage::TissueType::kBrain];
+  Result<const core::EnumTable*> fas =
+      session_->GetEnum(fascicle_[sage::TissueType::kBrain]);
+  Result<const core::EnumTable*> outside =
+      session_->GetEnum(groups.not_in_fas_enum);
+  Result<const core::EnumTable*> normals =
+      session_->GetEnum(groups.opposite_enum);
+  ASSERT_TRUE(fas.ok());
+  ASSERT_TRUE(outside.ok());
+  ASSERT_TRUE(normals.ok());
+  // 8 brain cancer libraries split into fascicle + outside; 4 normals.
+  EXPECT_EQ((*fas)->NumLibraries() + (*outside)->NumLibraries(), 8u);
+  EXPECT_GT((*outside)->NumLibraries(), 0u);
+  EXPECT_EQ((*normals)->NumLibraries(), 4u);
+  // No overlap between inside and outside.
+  for (const sage::LibraryMeta& lib : (*outside)->libraries()) {
+    EXPECT_FALSE((*fas)->FindLibraryRow(lib.id).has_value());
+  }
+  // The control groups live on the fascicle's compact tags.
+  EXPECT_EQ((*outside)->tags(), (*fas)->tags());
+  EXPECT_EQ((*normals)->tags(), (*fas)->tags());
+}
+
+// ---- Case 3 ----
+
+TEST_F(CaseStudies, Case3IntersectionFindsPanTissueSilencedGenes) {
+  ASSERT_TRUE(session_
+                  ->CompareGapTables("brain_canvsnor_gap",
+                                     "breast_canvsnor_gap",
+                                     GapCompareKind::kIntersect,
+                                     "brainBreastIntersect1")
+                  .ok());
+  ASSERT_TRUE(session_
+                  ->RunGapQuery("brainBreastIntersect1",
+                                GapCompareQuery::kLowerInAInBoth,
+                                "alwaysLowerInCancer")
+                  .ok());
+  Result<const GapTable*> result = session_->GetGap("alwaysLowerInCancer");
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT((*result)->NumTags(), 0u);
+
+  std::set<TagId> shared_down(synth_->truth.shared_cancer_down.begin(),
+                              synth_->truth.shared_cancer_down.end());
+  size_t recovered = 0;
+  for (const core::GapEntry& e : (*result)->entries()) {
+    // Everything the query returns must be a pan-tissue silenced gene.
+    EXPECT_TRUE(shared_down.count(e.tag) > 0)
+        << sage::TagLabel(e.tag) << " is not a planted shared-down tag";
+    if (shared_down.count(e.tag) > 0) ++recovered;
+  }
+  // And a substantial part of the planted set is recovered.
+  EXPECT_GE(recovered, shared_down.size() / 3);
+}
+
+TEST_F(CaseStudies, Case3Query1FindsPanTissueUpRegulatedGenes) {
+  ASSERT_TRUE(session_
+                  ->RunGapQuery("brainBreastIntersect1",
+                                GapCompareQuery::kHigherInAInBoth,
+                                "alwaysHigherInCancer")
+                  .ok());
+  Result<const GapTable*> result = session_->GetGap("alwaysHigherInCancer");
+  ASSERT_TRUE(result.ok());
+  std::set<TagId> shared_up(synth_->truth.shared_cancer_up.begin(),
+                            synth_->truth.shared_cancer_up.end());
+  for (const core::GapEntry& e : (*result)->entries()) {
+    EXPECT_TRUE(shared_up.count(e.tag) > 0) << sage::TagLabel(e.tag);
+  }
+}
+
+// ---- Case 4 ----
+
+TEST_F(CaseStudies, Case4DifferenceFindsBrainUniqueGenes) {
+  ASSERT_TRUE(session_
+                  ->CompareGapTables("brain_canvsnor_gap",
+                                     "breast_canvsnor_gap",
+                                     GapCompareKind::kDifference,
+                                     "brainBreastDiff1")
+                  .ok());
+  ASSERT_TRUE(session_
+                  ->RunGapQuery("brainBreastDiff1",
+                                GapCompareQuery::kLowerInAInBoth,
+                                "brainOnlyLower")
+                  .ok());
+  Result<const GapTable*> result = session_->GetGap("brainOnlyLower");
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT((*result)->NumTags(), 0u);
+
+  // Brain-specific silenced tags may appear; pan-tissue silenced tags
+  // that the breast gap also carries must NOT.
+  std::set<TagId> breast_tags;
+  Result<const GapTable*> breast_gap =
+      session_->GetGap("breast_canvsnor_gap");
+  ASSERT_TRUE(breast_gap.ok());
+  for (const core::GapEntry& e : (*breast_gap)->entries()) {
+    breast_tags.insert(e.tag);
+  }
+  for (const core::GapEntry& e : (*result)->entries()) {
+    EXPECT_EQ(breast_tags.count(e.tag), 0u) << sage::TagLabel(e.tag);
+  }
+  // At least one planted brain-specific silenced gene shows up.
+  std::set<TagId> brain_down(
+      synth_->truth.cancer_down.at(sage::TissueType::kBrain).begin(),
+      synth_->truth.cancer_down.at(sage::TissueType::kBrain).end());
+  size_t brain_specific = 0;
+  for (const core::GapEntry& e : (*result)->entries()) {
+    if (brain_down.count(e.tag) > 0) ++brain_specific;
+  }
+  EXPECT_GT(brain_specific, 0u);
+}
+
+// ---- Case 5 ----
+
+TEST_F(CaseStudies, Case5VerificationWithUserDefinedDataSet) {
+  // Remove one library from the brain data set (Fig. 4.15) and redo the
+  // Case 1 aggregation: the gap signs of the planted biology survive.
+  Result<const core::EnumTable*> brain = session_->GetEnum("brain");
+  ASSERT_TRUE(brain.ok());
+  std::vector<int> kept_ids;
+  for (const sage::LibraryMeta& lib : (*brain)->libraries()) {
+    kept_ids.push_back(lib.id);
+  }
+  kept_ids.pop_back();  // drop the last library
+  ASSERT_TRUE(session_->CreateCustomDataSet("newBrain", kept_ids).ok());
+
+  Result<const core::EnumTable*> custom = session_->GetEnum("newBrain");
+  ASSERT_TRUE(custom.ok());
+  EXPECT_EQ((*custom)->NumLibraries(), kept_ids.size());
+
+  // Re-run the comparison on the reduced data set via the raw operators.
+  Result<const core::EnumTable*> fas =
+      session_->GetEnum(fascicle_[sage::TissueType::kBrain]);
+  ASSERT_TRUE(fas.ok());
+  Result<core::EnumTable> compact =
+      (*custom)->RestrictTags("newBrain_compact", (*fas)->tags());
+  ASSERT_TRUE(compact.ok());
+  core::EnumTable normals = compact->FilterLibraries(
+      "newBrain_norm", [](const sage::LibraryMeta& lib) {
+        return lib.state == sage::NeoplasticState::kNormal;
+      });
+  ASSERT_GT(normals.NumLibraries(), 0u);
+  Result<core::SumyTable> normal_sumy =
+      core::Aggregate(normals, "newBrain_norm_sumy");
+  ASSERT_TRUE(normal_sumy.ok());
+  Result<const core::SumyTable*> fas_sumy =
+      session_->GetSumy(groups_[sage::TissueType::kBrain].fascicle_sumy);
+  ASSERT_TRUE(fas_sumy.ok());
+  Result<GapTable> gap =
+      core::Diff(**fas_sumy, *normal_sumy, "newBrain_gap");
+  ASSERT_TRUE(gap.ok());
+
+  std::set<TagId> down(
+      synth_->truth.cancer_down.at(sage::TissueType::kBrain).begin(),
+      synth_->truth.cancer_down.at(sage::TissueType::kBrain).end());
+  for (const core::GapEntry& e : gap->entries()) {
+    if (!e.gaps[0].has_value() || down.count(e.tag) == 0) continue;
+    EXPECT_LT(*e.gaps[0], 0.0) << sage::TagLabel(e.tag);
+  }
+}
+
+// ---- Lineage across the whole pipeline ----
+
+TEST_F(CaseStudies, LineageTracksTheWholeAnalysis) {
+  const lineage::LineageGraph& lineage = session_->Lineage();
+  Result<lineage::LineageGraph::NodeId> gap_node =
+      lineage.FindByName("brain_canvsnor_gap");
+  ASSERT_TRUE(gap_node.ok());
+  const lineage::LineageGraph::Node* node = *lineage.GetNode(*gap_node);
+  EXPECT_EQ(node->operation, "diff");
+  EXPECT_EQ(node->parents.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gea

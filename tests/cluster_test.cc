@@ -1,0 +1,339 @@
+// Tests for the clustering substrate: distances, k-means, hierarchical
+// clustering, OPTICS, and the external quality metrics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "cluster/distance.h"
+#include "cluster/hierarchical.h"
+#include "cluster/kmeans.h"
+#include "cluster/metrics.h"
+#include "cluster/optics.h"
+#include "common/rng.h"
+
+namespace gea::cluster {
+namespace {
+
+// Two well-separated Gaussian blobs plus labels.
+struct Blobs {
+  std::vector<std::vector<double>> points;
+  std::vector<int> labels;
+};
+
+Blobs MakeBlobs(size_t per_blob, double separation, uint64_t seed) {
+  gea::Rng rng(seed);
+  Blobs out;
+  for (int blob = 0; blob < 2; ++blob) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      out.points.push_back({rng.Normal(blob * separation, 1.0),
+                            rng.Normal(blob * separation, 1.0)});
+      out.labels.push_back(blob);
+    }
+  }
+  return out;
+}
+
+// ---------- distances ----------
+
+TEST(DistanceTest, Euclidean) {
+  std::vector<double> a = {0, 0};
+  std::vector<double> b = {3, 4};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a), 0.0);
+}
+
+TEST(DistanceTest, PearsonPerfectCorrelation) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {2, 4, 6, 8};  // perfectly correlated
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonDistance(a, b), 0.0, 1e-12);
+}
+
+TEST(DistanceTest, PearsonAntiCorrelation) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {4, 3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(a, b), -1.0, 1e-12);
+  EXPECT_NEAR(PearsonDistance(a, b), 2.0, 1e-12);
+}
+
+TEST(DistanceTest, PearsonZeroVarianceIsZero) {
+  std::vector<double> a = {5, 5, 5};
+  std::vector<double> b = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, b), 0.0);
+}
+
+TEST(DistanceTest, MatrixIsSymmetricWithZeroDiagonal) {
+  Blobs blobs = MakeBlobs(5, 10.0, 3);
+  std::vector<double> m =
+      DistanceMatrix(DistanceKind::kEuclidean, blobs.points);
+  size_t n = blobs.points.size();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(m[i * n + i], 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(m[i * n + j], m[j * n + i]);
+    }
+  }
+}
+
+// ---------- k-means ----------
+
+TEST(KMeansTest, SeparatesTwoBlobs) {
+  Blobs blobs = MakeBlobs(20, 20.0, 11);
+  KMeansParams params;
+  params.k = 2;
+  params.seed = 5;
+  Result<KMeansResult> result = KMeans(blobs.points, params);
+  ASSERT_TRUE(result.ok());
+  Result<double> purity = Purity(result->assignments, blobs.labels);
+  ASSERT_TRUE(purity.ok());
+  EXPECT_DOUBLE_EQ(*purity, 1.0);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Blobs blobs = MakeBlobs(20, 5.0, 11);
+  KMeansParams k1;
+  k1.k = 1;
+  KMeansParams k4;
+  k4.k = 4;
+  double inertia1 = KMeans(blobs.points, k1)->inertia;
+  double inertia4 = KMeans(blobs.points, k4)->inertia;
+  EXPECT_LT(inertia4, inertia1);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  Blobs blobs = MakeBlobs(3, 10.0, 2);
+  KMeansParams params;
+  params.k = static_cast<int>(blobs.points.size());
+  Result<KMeansResult> result = KMeans(blobs.points, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, RejectsBadK) {
+  Blobs blobs = MakeBlobs(3, 10.0, 2);
+  KMeansParams params;
+  params.k = 0;
+  EXPECT_FALSE(KMeans(blobs.points, params).ok());
+  params.k = 100;
+  EXPECT_FALSE(KMeans(blobs.points, params).ok());
+}
+
+TEST(KMeansTest, RejectsMixedDimensions) {
+  std::vector<std::vector<double>> points = {{1, 2}, {1, 2, 3}};
+  KMeansParams params;
+  params.k = 1;
+  EXPECT_FALSE(KMeans(points, params).ok());
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  Blobs blobs = MakeBlobs(15, 8.0, 4);
+  KMeansParams params;
+  params.k = 2;
+  params.seed = 77;
+  Result<KMeansResult> a = KMeans(blobs.points, params);
+  Result<KMeansResult> b = KMeans(blobs.points, params);
+  EXPECT_EQ(a->assignments, b->assignments);
+}
+
+// ---------- hierarchical ----------
+
+TEST(HierarchicalTest, CutRecoversBlobs) {
+  Blobs blobs = MakeBlobs(15, 20.0, 21);
+  Result<Dendrogram> dendro = HierarchicalCluster(
+      blobs.points, DistanceKind::kEuclidean, Linkage::kAverage);
+  ASSERT_TRUE(dendro.ok());
+  EXPECT_EQ(dendro->merges.size(), blobs.points.size() - 1);
+  Result<std::vector<int>> cut = dendro->Cut(2);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_DOUBLE_EQ(*Purity(*cut, blobs.labels), 1.0);
+}
+
+TEST(HierarchicalTest, CutBoundaries) {
+  Blobs blobs = MakeBlobs(5, 10.0, 9);
+  Result<Dendrogram> dendro = HierarchicalCluster(
+      blobs.points, DistanceKind::kEuclidean, Linkage::kAverage);
+  ASSERT_TRUE(dendro.ok());
+  // k = n: every point its own cluster.
+  Result<std::vector<int>> all = dendro->Cut(blobs.points.size());
+  ASSERT_TRUE(all.ok());
+  std::set<int> distinct(all->begin(), all->end());
+  EXPECT_EQ(distinct.size(), blobs.points.size());
+  // k = 1: one cluster.
+  Result<std::vector<int>> one = dendro->Cut(1);
+  ASSERT_TRUE(one.ok());
+  for (int label : *one) EXPECT_EQ(label, 0);
+  // invalid cuts
+  EXPECT_FALSE(dendro->Cut(0).ok());
+  EXPECT_FALSE(dendro->Cut(blobs.points.size() + 1).ok());
+}
+
+TEST(HierarchicalTest, SingleLinkageHeightsAreMonotone) {
+  Blobs blobs = MakeBlobs(10, 6.0, 31);
+  Result<Dendrogram> dendro = HierarchicalCluster(
+      blobs.points, DistanceKind::kEuclidean, Linkage::kSingle);
+  ASSERT_TRUE(dendro.ok());
+  for (size_t i = 1; i < dendro->merges.size(); ++i) {
+    EXPECT_GE(dendro->merges[i].height, dendro->merges[i - 1].height);
+  }
+}
+
+TEST(HierarchicalTest, SinglePoint) {
+  Result<Dendrogram> dendro = HierarchicalCluster(
+      {{1.0, 2.0}}, DistanceKind::kEuclidean, Linkage::kAverage);
+  ASSERT_TRUE(dendro.ok());
+  EXPECT_TRUE(dendro->merges.empty());
+  EXPECT_EQ(dendro->Cut(1)->size(), 1u);
+}
+
+TEST(HierarchicalTest, PearsonDistanceClustersByProfileShape) {
+  // Two shape families regardless of magnitude: rising and falling —
+  // the property that makes correlation distance the tool of choice for
+  // expression profiles (Section 2.3.2).
+  std::vector<std::vector<double>> points = {
+      {1, 2, 3, 4},  {10, 20, 30, 40}, {0.5, 1, 1.5, 2},
+      {4, 3, 2, 1},  {40, 30, 20, 10}, {2, 1.5, 1, 0.5},
+  };
+  std::vector<int> truth = {0, 0, 0, 1, 1, 1};
+  Result<Dendrogram> dendro = HierarchicalCluster(
+      points, DistanceKind::kPearson, Linkage::kAverage);
+  ASSERT_TRUE(dendro.ok());
+  EXPECT_DOUBLE_EQ(*Purity(*dendro->Cut(2), truth), 1.0);
+}
+
+TEST(HierarchicalTest, NewickExport) {
+  // Three points where 0 and 1 merge first.
+  std::vector<std::vector<double>> points = {{0.0}, {1.0}, {10.0}};
+  Result<Dendrogram> dendro = HierarchicalCluster(
+      points, DistanceKind::kEuclidean, Linkage::kAverage);
+  ASSERT_TRUE(dendro.ok());
+  Result<std::string> newick = dendro->ToNewick({"a", "b", "c"});
+  ASSERT_TRUE(newick.ok());
+  // (a,b) nest together; c joins at the root.
+  EXPECT_NE(newick->find("(a:"), std::string::npos);
+  EXPECT_NE(newick->find("b:"), std::string::npos);
+  EXPECT_NE(newick->find("c:"), std::string::npos);
+  EXPECT_EQ(newick->back(), ';');
+  // Balanced parentheses.
+  int depth = 0;
+  for (char ch : *newick) {
+    if (ch == '(') ++depth;
+    if (ch == ')') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(HierarchicalTest, NewickValidation) {
+  std::vector<std::vector<double>> points = {{0.0}, {1.0}};
+  Result<Dendrogram> dendro = HierarchicalCluster(
+      points, DistanceKind::kEuclidean, Linkage::kAverage);
+  ASSERT_TRUE(dendro.ok());
+  EXPECT_FALSE(dendro->ToNewick({"only_one"}).ok());
+  // Default labels.
+  Result<std::string> newick = dendro->ToNewick();
+  ASSERT_TRUE(newick.ok());
+  EXPECT_NE(newick->find("p0"), std::string::npos);
+  // Single point.
+  Result<Dendrogram> single = HierarchicalCluster(
+      {{1.0}}, DistanceKind::kEuclidean, Linkage::kAverage);
+  EXPECT_EQ(*single->ToNewick(), "p0;");
+}
+
+TEST(HierarchicalTest, LinkageNames) {
+  EXPECT_STREQ(LinkageName(Linkage::kAverage), "average");
+  EXPECT_STREQ(DistanceKindName(DistanceKind::kPearson), "pearson");
+}
+
+// ---------- OPTICS ----------
+
+TEST(OpticsTest, RecoverBlobsViaExtraction) {
+  Blobs blobs = MakeBlobs(20, 25.0, 41);
+  OpticsParams params;
+  params.epsilon = 10.0;
+  params.min_pts = 4;
+  params.distance = DistanceKind::kEuclidean;
+  Result<OpticsResult> result = Optics(blobs.points, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ordering.size(), blobs.points.size());
+  std::vector<int> clusters = result->ExtractClusters(6.0);
+  EXPECT_GE(*Purity(clusters, blobs.labels), 0.95);
+}
+
+TEST(OpticsTest, OrderingIsAPermutation) {
+  Blobs blobs = MakeBlobs(10, 5.0, 51);
+  OpticsParams params;
+  params.epsilon = 100.0;
+  params.min_pts = 3;
+  params.distance = DistanceKind::kEuclidean;
+  Result<OpticsResult> result = Optics(blobs.points, params);
+  ASSERT_TRUE(result.ok());
+  std::vector<size_t> sorted = result->ordering;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(OpticsTest, IsolatedPointIsNoise) {
+  std::vector<std::vector<double>> points = {
+      {0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1}, {100, 100},
+  };
+  OpticsParams params;
+  params.epsilon = 1.0;
+  params.min_pts = 3;
+  params.distance = DistanceKind::kEuclidean;
+  Result<OpticsResult> result = Optics(points, params);
+  ASSERT_TRUE(result.ok());
+  std::vector<int> clusters = result->ExtractClusters(1.0);
+  EXPECT_EQ(clusters[4], -1);
+  EXPECT_GE(clusters[0], 0);
+}
+
+TEST(OpticsTest, RejectsBadParams) {
+  OpticsParams params;
+  params.min_pts = 0;
+  EXPECT_FALSE(Optics({{0.0}}, params).ok());
+  params.min_pts = 2;
+  params.epsilon = 0.0;
+  EXPECT_FALSE(Optics({{0.0}}, params).ok());
+}
+
+// ---------- metrics ----------
+
+TEST(MetricsTest, PurityPerfectAndWorst) {
+  EXPECT_DOUBLE_EQ(*Purity({0, 0, 1, 1}, {5, 5, 9, 9}), 1.0);
+  // One cluster holding two labels evenly -> 0.5.
+  EXPECT_DOUBLE_EQ(*Purity({0, 0, 0, 0}, {1, 1, 2, 2}), 0.5);
+}
+
+TEST(MetricsTest, PurityTreatsNoiseAsSingletons) {
+  // Noise points each count as their own (pure) cluster.
+  EXPECT_DOUBLE_EQ(*Purity({-1, -1, 0, 0}, {1, 2, 3, 3}), 1.0);
+}
+
+TEST(MetricsTest, RandIndexKnownValue) {
+  // a={0,0,1,1}, b={0,1,1,1}: the pairs (0,1), (2,3) disagree/agree such
+  // that 3 of 6 pairs agree.
+  EXPECT_NEAR(*RandIndex({0, 0, 1, 1}, {0, 1, 1, 1}), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(*RandIndex({0, 0, 1}, {5, 5, 7}), 1.0);
+}
+
+TEST(MetricsTest, AdjustedRandIdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(*AdjustedRandIndex({0, 0, 1, 1}, {3, 3, 4, 4}), 1.0);
+}
+
+TEST(MetricsTest, AdjustedRandOrthogonalNearZero) {
+  std::vector<int> a = {0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<int> b = {0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_NEAR(*AdjustedRandIndex(a, b), 0.0, 0.35);
+}
+
+TEST(MetricsTest, LengthValidation) {
+  EXPECT_FALSE(Purity({0}, {0, 1}).ok());
+  EXPECT_FALSE(RandIndex({}, {}).ok());
+  EXPECT_FALSE(AdjustedRandIndex({0}, {0, 1}).ok());
+}
+
+}  // namespace
+}  // namespace gea::cluster

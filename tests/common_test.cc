@@ -1,0 +1,314 @@
+// Unit tests for the common substrate: Status/Result, strings, CSV, RNG.
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/text_plot.h"
+
+namespace gea {
+namespace {
+
+// ---------- Status ----------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing table");
+  EXPECT_EQ(s.ToString(), "NotFound: missing table");
+}
+
+TEST(StatusTest, AlreadyExistsPredicate) {
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_FALSE(Status::NotFound("x").IsAlreadyExists());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kIoError); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnIfError(int x) {
+  GEA_RETURN_IF_ERROR(FailsWhenNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_TRUE(UsesReturnIfError(-1).IsInvalidArgument());
+}
+
+// ---------- Result ----------
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(*r, 5);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = ParsePositive(-5);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.value_or(42), 42);
+}
+
+Result<int> Doubled(int x) {
+  GEA_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  ASSERT_TRUE(Doubled(3).ok());
+  EXPECT_EQ(Doubled(3).value(), 6);
+  EXPECT_TRUE(Doubled(0).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+// ---------- strings ----------
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("no_ws"), "no_ws");
+}
+
+TEST(StringsTest, ToLowerAndStartsWith) {
+  EXPECT_EQ(ToLower("BrAiN"), "brain");
+  EXPECT_TRUE(StartsWith("SAGE_brain", "SAGE_"));
+  EXPECT_FALSE(StartsWith("SAGE", "SAGE_"));
+}
+
+TEST(StringsTest, FormatDoubleAndPadding) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-1.0, 1), "-1.0");
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadRight("abcdef", 3), "abcdef");
+}
+
+// ---------- CSV ----------
+
+TEST(CsvTest, RoundTripSimple) {
+  CsvDocument doc;
+  doc.header = {"a", "b"};
+  doc.rows = {{"1", "2"}, {"3", "4"}};
+  Result<CsvDocument> parsed = ParseCsv(WriteCsv(doc));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header, doc.header);
+  EXPECT_EQ(parsed->rows, doc.rows);
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasQuotesNewlines) {
+  CsvDocument doc;
+  doc.header = {"name", "note"};
+  doc.rows = {{"x,y", "say \"hi\""}, {"line1\nline2", "plain"}};
+  Result<CsvDocument> parsed = ParseCsv(WriteCsv(doc));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows, doc.rows);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ParseCsv("a,b\n1,2,3\n").ok());
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) { EXPECT_FALSE(ParseCsv("").ok()); }
+
+TEST(CsvTest, ToleratesCrLfAndMissingFinalNewline) {
+  Result<CsvDocument> parsed = ParseCsv("a,b\r\n1,2\r\n3,4");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->rows.size(), 2u);
+  EXPECT_EQ(parsed->rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvDocument doc;
+  doc.header = {"k", "v"};
+  doc.rows = {{"alpha", "1"}};
+  const std::string path = testing::TempDir() + "/gea_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, doc).ok());
+  Result<CsvDocument> parsed = ReadCsvFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows, doc.rows);
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_TRUE(ReadCsvFile("/nonexistent/gea.csv").status().code() ==
+              StatusCode::kIoError);
+}
+
+// Randomized round-trip property: documents of random fields — including
+// commas, quotes, newlines and empty fields — survive Write/Parse intact.
+class CsvFuzzTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvFuzzTest, RandomDocumentRoundTrips) {
+  Rng rng(GetParam());
+  const char alphabet[] = {'a', 'B', '3', ',', '"', '\n', ' ', '\t', ';'};
+  auto random_field = [&]() {
+    std::string field;
+    int64_t len = rng.UniformInt(0, 12);
+    for (int64_t i = 0; i < len; ++i) {
+      field += alphabet[rng.UniformInt(0, 8)];
+    }
+    return field;
+  };
+  CsvDocument doc;
+  size_t columns = static_cast<size_t>(rng.UniformInt(1, 5));
+  for (size_t c = 0; c < columns; ++c) {
+    // Headers must be non-empty to avoid the degenerate all-empty header
+    // being read back as a single empty field.
+    doc.header.push_back("col" + std::to_string(c));
+  }
+  size_t rows = static_cast<size_t>(rng.UniformInt(0, 20));
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < columns; ++c) row.push_back(random_field());
+    doc.rows.push_back(std::move(row));
+  }
+  Result<CsvDocument> parsed = ParseCsv(WriteCsv(doc));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->header, doc.header);
+  EXPECT_EQ(parsed->rows, doc.rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest,
+                         testing::Range<uint64_t>(1, 25));
+
+// ---------- RNG ----------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, WeightedIndexRespectsZeroWeights) {
+  Rng rng(7);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.WeightedIndex(weights), 1u);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// ---------- text plots ----------
+
+TEST(TextPlotTest, PositiveBarsScaleToWidth) {
+  std::string chart = RenderBarChart(
+      {{"a", 10.0, ""}, {"b", 5.0, ""}, {"c", 0.0, ""}}, 10);
+  std::vector<std::string> lines = Split(chart, '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("##########"), std::string::npos);   // full width
+  EXPECT_NE(lines[1].find("#####"), std::string::npos);        // half
+  EXPECT_EQ(lines[2].find('#'), std::string::npos);            // zero
+}
+
+TEST(TextPlotTest, NegativeValuesRenderTwoSided) {
+  std::string chart =
+      RenderBarChart({{"up", 4.0, ""}, {"down", -4.0, ""}}, 8);
+  std::vector<std::string> lines = Split(chart, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  // Both lines carry the axis; the negative bar sits left of it.
+  size_t axis_up = lines[0].find('|');
+  size_t axis_down = lines[1].find('|');
+  ASSERT_NE(axis_up, std::string::npos);
+  EXPECT_EQ(axis_up, axis_down);
+  EXPECT_LT(lines[1].find('#'), axis_down);
+  EXPECT_GT(lines[0].find('#'), axis_up);
+}
+
+TEST(TextPlotTest, MarkersAndEmptyInput) {
+  EXPECT_EQ(RenderBarChart({}), "");
+  std::string chart = RenderBarChart({{"x", 1.0, "cancer"}}, 4);
+  EXPECT_NE(chart.find("[cancer]"), std::string::npos);
+}
+
+TEST(TextPlotTest, ValueTableAligns) {
+  std::string table = RenderValueTable({{"short", 1.0}, {"longer_name", 2.5}});
+  std::vector<std::string> lines = Split(table, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines[0].find("1.0"), lines[1].find("2.5"));
+}
+
+}  // namespace
+}  // namespace gea

@@ -1,0 +1,139 @@
+// Dedicated tests for the ENUM table — the extensional world's cluster
+// representation (Section 3.1.1) and its manipulations (Section 3.2.4).
+
+#include <gtest/gtest.h>
+
+#include "core/enum_table.h"
+#include "sage/dataset.h"
+
+namespace gea::core {
+namespace {
+
+using sage::TagId;
+
+sage::SageDataSet Mini() {
+  sage::SageDataSet data;
+  auto lib = [](int id, sage::TissueType tissue, sage::NeoplasticState state,
+                sage::TissueSource source,
+                std::vector<std::pair<TagId, double>> counts) {
+    sage::SageLibrary l(id, "L" + std::to_string(id), tissue, state, source);
+    for (const auto& [tag, count] : counts) l.SetCount(tag, count);
+    return l;
+  };
+  data.AddLibrary(lib(1, sage::TissueType::kBrain,
+                      sage::NeoplasticState::kCancer,
+                      sage::TissueSource::kBulkTissue,
+                      {{10, 1.0}, {20, 2.0}}));
+  data.AddLibrary(lib(2, sage::TissueType::kBrain,
+                      sage::NeoplasticState::kNormal,
+                      sage::TissueSource::kCellLine, {{20, 3.0}, {30, 4.0}}));
+  data.AddLibrary(lib(3, sage::TissueType::kBreast,
+                      sage::NeoplasticState::kCancer,
+                      sage::TissueSource::kBulkTissue, {{10, 5.0}}));
+  return data;
+}
+
+TEST(EnumTableTest, FromDataSetLayout) {
+  EnumTable e = EnumTable::FromDataSet("E", Mini());
+  EXPECT_EQ(e.NumLibraries(), 3u);
+  EXPECT_EQ(e.NumTags(), 3u);
+  EXPECT_EQ(e.tags(), (std::vector<TagId>{10, 20, 30}));
+  // Library rows hold the per-tag values in tag order; absent tags are 0.
+  EXPECT_DOUBLE_EQ(e.ValueAt(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(e.ValueAt(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(e.ValueAt(1, 2), 4.0);
+  std::span<const double> row = e.LibraryRow(2);
+  EXPECT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0], 5.0);
+}
+
+TEST(EnumTableTest, Lookups) {
+  EnumTable e = EnumTable::FromDataSet("E", Mini());
+  EXPECT_EQ(*e.FindTagColumn(20), 1u);
+  EXPECT_FALSE(e.FindTagColumn(99).has_value());
+  EXPECT_EQ(*e.FindLibraryRow(3), 2u);
+  EXPECT_FALSE(e.FindLibraryRow(99).has_value());
+}
+
+TEST(EnumTableTest, FilterLibrariesByPredicate) {
+  EnumTable e = EnumTable::FromDataSet("E", Mini());
+  EnumTable cancers = e.FilterLibraries(
+      "cancers", [](const sage::LibraryMeta& lib) {
+        return lib.state == sage::NeoplasticState::kCancer;
+      });
+  EXPECT_EQ(cancers.NumLibraries(), 2u);
+  EXPECT_EQ(cancers.name(), "cancers");
+  // Values follow their libraries.
+  EXPECT_DOUBLE_EQ(cancers.ValueAt(1, 0), 5.0);
+  // Tag columns unchanged.
+  EXPECT_EQ(cancers.tags(), e.tags());
+}
+
+TEST(EnumTableTest, MinusLibraries) {
+  EnumTable e = EnumTable::FromDataSet("E", Mini());
+  EnumTable brain_cancer = e.SelectLibraries("bc", {1});
+  EnumTable rest = e.MinusLibraries("rest", brain_cancer);
+  EXPECT_EQ(rest.NumLibraries(), 2u);
+  EXPECT_FALSE(rest.FindLibraryRow(1).has_value());
+}
+
+TEST(EnumTableTest, SelectLibrariesKeepsTableOrder) {
+  EnumTable e = EnumTable::FromDataSet("E", Mini());
+  EnumTable picked = e.SelectLibraries("p", {3, 1});
+  ASSERT_EQ(picked.NumLibraries(), 2u);
+  // Rows stay in the base table's order regardless of id order.
+  EXPECT_EQ(picked.library(0).id, 1);
+  EXPECT_EQ(picked.library(1).id, 3);
+}
+
+TEST(EnumTableTest, RestrictTagsZeroFillsMissing) {
+  EnumTable e = EnumTable::FromDataSet("E", Mini());
+  Result<EnumTable> r = e.RestrictTags("r", {10, 25, 30});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->tags(), (std::vector<TagId>{10, 25, 30}));
+  for (size_t row = 0; row < r->NumLibraries(); ++row) {
+    EXPECT_DOUBLE_EQ(r->ValueAt(row, 1), 0.0);  // tag 25 exists nowhere
+  }
+  EXPECT_DOUBLE_EQ(r->ValueAt(1, 2), 4.0);
+}
+
+TEST(EnumTableTest, RestrictTagsRejectsUnsortedOrDuplicate) {
+  EnumTable e = EnumTable::FromDataSet("E", Mini());
+  EXPECT_FALSE(e.RestrictTags("r", {30, 10}).ok());
+  EXPECT_FALSE(e.RestrictTags("r", {10, 10}).ok());
+}
+
+TEST(EnumTableTest, FromRowsValidation) {
+  std::vector<sage::LibraryMeta> libs = {
+      {1, "L1", sage::TissueType::kBrain, sage::NeoplasticState::kNormal,
+       sage::TissueSource::kBulkTissue}};
+  EXPECT_TRUE(EnumTable::FromRows("e", libs, {1, 2}, {0.5, 1.5}).ok());
+  // Wrong buffer size.
+  EXPECT_FALSE(EnumTable::FromRows("e", libs, {1, 2}, {0.5}).ok());
+  // Unsorted / duplicate tags.
+  EXPECT_FALSE(EnumTable::FromRows("e", libs, {2, 1}, {0.5, 1.5}).ok());
+  EXPECT_FALSE(EnumTable::FromRows("e", libs, {1, 1}, {0.5, 1.5}).ok());
+}
+
+TEST(EnumTableTest, ToRelTableIsRotated) {
+  EnumTable e = EnumTable::FromDataSet("E", Mini());
+  rel::Table r = e.ToRelTable();
+  // Physical layout (Section 4.6.1): rows = tags, columns = libraries.
+  EXPECT_EQ(r.NumRows(), e.NumTags());
+  EXPECT_EQ(r.schema().NumColumns(), 2 + e.NumLibraries());
+  EXPECT_EQ(r.Get(0, "TagNo")->AsInt(), 10);
+  EXPECT_DOUBLE_EQ(r.Get(0, "L1")->AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(r.Get(2, "L2")->AsDouble(), 4.0);
+}
+
+TEST(EnumTableTest, EmptyDataSet) {
+  EnumTable e = EnumTable::FromDataSet("E", sage::SageDataSet());
+  EXPECT_EQ(e.NumLibraries(), 0u);
+  EXPECT_EQ(e.NumTags(), 0u);
+  EnumTable filtered =
+      e.FilterLibraries("f", [](const sage::LibraryMeta&) { return true; });
+  EXPECT_EQ(filtered.NumLibraries(), 0u);
+}
+
+}  // namespace
+}  // namespace gea::core

@@ -1,0 +1,284 @@
+// Tests for the Fascicles algorithm (Section 2.5), including the thesis's
+// own Table 2.2 worked example.
+
+#include <gtest/gtest.h>
+
+#include "cluster/fascicles.h"
+#include "common/rng.h"
+
+namespace gea::cluster {
+namespace {
+
+// The Table 2.2 fragment: 10 libraries x 5 tags.
+// Note: the thesis states tolerance 47 for the third tag, but its own
+// printed values (10, 58, 17) span 48; we use 48, which makes the
+// 5-D fascicle of the example hold exactly as described.
+constexpr size_t kRows = 10;
+constexpr size_t kCols = 5;
+constexpr double kTable22[kRows * kCols] = {
+    1843, 3,  10,  15, 11,   // SAGE_BB542_whitematter
+    1418, 7,  0,   30, 12,   // SAGE_Duke_1273
+    1251, 18, 0,   33, 20,   // SAGE_Duke_757
+    1800, 0,  58,  40, 20,   // SAGE_Duke_cerebellum
+    1050, 25, 1,   60, 15,   // SAGE_Duke_GBM_H1110
+    1910, 1,  17,  74, 30,   // SAGE_Duke_H1020
+    503,  8,  0,   0,  456,  // SAGE_95_259
+    364,  7,  7,   7,  222,  // SAGE_95_260
+    65,   5,  79,  9,  300,  // SAGE_Br_N
+    847,  4,  124, 0,  500,  // SAGE_DCIS
+};
+const std::vector<double> kTable22Tolerances = {120, 3, 48, 60, 20};
+
+FascicleParams Table22Params(FascicleParams::Algorithm algorithm) {
+  FascicleParams params;
+  params.min_compact_tags = 5;
+  params.tolerances = kTable22Tolerances;
+  params.min_size = 3;
+  params.batch_size = 6;
+  params.algorithm = algorithm;
+  return params;
+}
+
+class Table22Test
+    : public testing::TestWithParam<FascicleParams::Algorithm> {};
+
+TEST_P(Table22Test, FindsTheFiveDimensionalFascicle) {
+  FascicleMiner miner(kTable22, kRows, kCols);
+  Result<std::vector<Fascicle>> found =
+      miner.Mine(Table22Params(GetParam()));
+  ASSERT_TRUE(found.ok()) << found.status().ToString();
+  ASSERT_EQ(found->size(), 1u);
+  const Fascicle& f = found->front();
+  // SAGE_BB542_whitematter, SAGE_Duke_cerebellum, SAGE_Duke_H1020.
+  EXPECT_EQ(f.members, (std::vector<size_t>{0, 3, 5}));
+  EXPECT_EQ(f.compact_columns, (std::vector<size_t>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(miner.Verify(f, kTable22Tolerances));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothAlgorithms, Table22Test,
+                         testing::Values(FascicleParams::Algorithm::kExact,
+                                         FascicleParams::Algorithm::kGreedy));
+
+TEST(FascicleMinerTest, CompactRangesRecorded) {
+  FascicleMiner miner(kTable22, kRows, kCols);
+  Result<std::vector<Fascicle>> found = miner.Mine(
+      Table22Params(FascicleParams::Algorithm::kExact));
+  ASSERT_TRUE(found.ok());
+  const Fascicle& f = found->front();
+  ASSERT_EQ(f.compact_ranges.size(), 5u);
+  EXPECT_DOUBLE_EQ(f.compact_ranges[0].first, 1800);
+  EXPECT_DOUBLE_EQ(f.compact_ranges[0].second, 1910);
+  EXPECT_DOUBLE_EQ(f.compact_ranges[1].first, 0);
+  EXPECT_DOUBLE_EQ(f.compact_ranges[1].second, 3);
+}
+
+TEST(FascicleMinerTest, CountCompactColumns) {
+  FascicleMiner miner(kTable22, kRows, kCols);
+  EXPECT_EQ(miner.CountCompactColumns({0, 3, 5}, kTable22Tolerances), 5u);
+  // Adding SAGE_Duke_1273 breaks tag 0 (and others).
+  EXPECT_LT(miner.CountCompactColumns({0, 1, 3, 5}, kTable22Tolerances), 5u);
+  // A singleton is compact in every column.
+  EXPECT_EQ(miner.CountCompactColumns({4}, kTable22Tolerances), 5u);
+}
+
+TEST(FascicleMinerTest, ThesisToleranceOf47FindsNoFiveDFascicle) {
+  // With the literally printed tolerance (47), tag 3 of the example trio
+  // spans 48 and no 3-library 5-D fascicle exists.
+  std::vector<double> tol = kTable22Tolerances;
+  tol[2] = 47;
+  FascicleParams params = Table22Params(FascicleParams::Algorithm::kExact);
+  params.tolerances = tol;
+  FascicleMiner miner(kTable22, kRows, kCols);
+  Result<std::vector<Fascicle>> found = miner.Mine(params);
+  ASSERT_TRUE(found.ok());
+  EXPECT_TRUE(found->empty());
+}
+
+TEST(FascicleMinerTest, LowerKFindsLargerFascicles) {
+  FascicleParams params = Table22Params(FascicleParams::Algorithm::kExact);
+  params.min_compact_tags = 2;
+  FascicleMiner miner(kTable22, kRows, kCols);
+  Result<std::vector<Fascicle>> found = miner.Mine(params);
+  ASSERT_TRUE(found.ok());
+  ASSERT_FALSE(found->empty());
+  for (const Fascicle& f : *found) {
+    EXPECT_GE(f.compact_columns.size(), 2u);
+    EXPECT_GE(f.members.size(), 3u);
+    EXPECT_TRUE(miner.Verify(f, params.tolerances));
+  }
+}
+
+TEST(FascicleMinerTest, MinSizeFiltersSmallFascicles) {
+  FascicleParams params = Table22Params(FascicleParams::Algorithm::kExact);
+  params.min_size = 4;  // the example trio no longer qualifies
+  FascicleMiner miner(kTable22, kRows, kCols);
+  Result<std::vector<Fascicle>> found = miner.Mine(params);
+  ASSERT_TRUE(found.ok());
+  EXPECT_TRUE(found->empty());
+}
+
+// ---- Parameter validation ----
+
+TEST(FascicleMinerTest, RejectsBadParams) {
+  FascicleMiner miner(kTable22, kRows, kCols);
+  FascicleParams params = Table22Params(FascicleParams::Algorithm::kExact);
+
+  params.tolerances = {1, 2};  // wrong arity
+  EXPECT_TRUE(miner.Mine(params).status().IsInvalidArgument());
+
+  params = Table22Params(FascicleParams::Algorithm::kExact);
+  params.min_compact_tags = 6;  // more than columns
+  EXPECT_TRUE(miner.Mine(params).status().IsInvalidArgument());
+
+  params = Table22Params(FascicleParams::Algorithm::kExact);
+  params.min_size = 0;
+  EXPECT_TRUE(miner.Mine(params).status().IsInvalidArgument());
+
+  params = Table22Params(FascicleParams::Algorithm::kGreedy);
+  params.batch_size = 0;
+  EXPECT_TRUE(miner.Mine(params).status().IsInvalidArgument());
+
+  params = Table22Params(FascicleParams::Algorithm::kExact);
+  params.tolerances[0] = -1.0;
+  EXPECT_TRUE(miner.Mine(params).status().IsInvalidArgument());
+}
+
+TEST(FascicleMinerTest, ExactSearchGuardTrips) {
+  // Huge tolerances make every subset compact; the lattice explodes and
+  // the guard must trip rather than hang.
+  std::vector<double> data(20 * 3, 1.0);
+  FascicleMiner miner(data.data(), 20, 3);
+  FascicleParams params;
+  params.min_compact_tags = 3;
+  params.tolerances = {1e9, 1e9, 1e9};
+  params.min_size = 2;
+  params.algorithm = FascicleParams::Algorithm::kExact;
+  params.max_candidates = 100;
+  EXPECT_EQ(miner.Mine(params).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FascicleMinerTest, AllIdenticalRowsFormOneFascicle) {
+  std::vector<double> data(6 * 4, 3.0);
+  FascicleMiner miner(data.data(), 6, 4);
+  FascicleParams params;
+  params.min_compact_tags = 4;
+  params.tolerances = {0, 0, 0, 0};
+  params.min_size = 3;
+  params.algorithm = FascicleParams::Algorithm::kExact;
+  Result<std::vector<Fascicle>> found = miner.Mine(params);
+  ASSERT_TRUE(found.ok());
+  ASSERT_EQ(found->size(), 1u);
+  EXPECT_EQ(found->front().members.size(), 6u);
+}
+
+// ---- Verify() as an oracle ----
+
+TEST(FascicleVerifyTest, DetectsWrongCompactList) {
+  FascicleMiner miner(kTable22, kRows, kCols);
+  Fascicle f;
+  f.members = {0, 3, 5};
+  f.compact_columns = {0, 1, 2, 3};  // missing column 4
+  f.compact_ranges = {{1800, 1910}, {0, 3}, {10, 58}, {15, 74}};
+  EXPECT_FALSE(miner.Verify(f, kTable22Tolerances));
+}
+
+TEST(FascicleVerifyTest, DetectsWrongRanges) {
+  FascicleMiner miner(kTable22, kRows, kCols);
+  Fascicle f;
+  f.members = {0, 3, 5};
+  f.compact_columns = {0, 1, 2, 3, 4};
+  f.compact_ranges = {{1800, 1910}, {0, 3}, {10, 58}, {15, 74}, {11, 31}};
+  EXPECT_FALSE(miner.Verify(f, kTable22Tolerances));
+}
+
+// ---- Property sweep: on random matrices, both algorithms return only
+// valid fascicles, and every exact fascicle is maximal ----
+
+class RandomMatrixTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomMatrixTest, MinedFasciclesAreValidAndExactOnesMaximal) {
+  gea::Rng rng(GetParam());
+  const size_t rows = 8;
+  const size_t cols = 6;
+  std::vector<double> data(rows * cols);
+  for (double& v : data) v = rng.UniformDouble(0.0, 10.0);
+
+  FascicleMiner miner(data.data(), rows, cols);
+  FascicleParams params;
+  params.min_compact_tags = 3;
+  params.tolerances.assign(cols, 3.0);
+  params.min_size = 2;
+
+  params.algorithm = FascicleParams::Algorithm::kExact;
+  Result<std::vector<Fascicle>> exact = miner.Mine(params);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  for (const Fascicle& f : *exact) {
+    EXPECT_TRUE(miner.Verify(f, params.tolerances)) << f.ToString();
+    EXPECT_GE(f.compact_columns.size(), params.min_compact_tags);
+    EXPECT_GE(f.members.size(), params.min_size);
+    // Maximality: no single row can be added.
+    for (size_t r = 0; r < rows; ++r) {
+      if (std::binary_search(f.members.begin(), f.members.end(), r)) {
+        continue;
+      }
+      std::vector<size_t> extended = f.members;
+      extended.push_back(r);
+      std::sort(extended.begin(), extended.end());
+      EXPECT_LT(miner.CountCompactColumns(extended, params.tolerances),
+                params.min_compact_tags)
+          << f.ToString() << " + row " << r;
+    }
+  }
+
+  params.algorithm = FascicleParams::Algorithm::kGreedy;
+  Result<std::vector<Fascicle>> greedy = miner.Mine(params);
+  ASSERT_TRUE(greedy.ok());
+  for (const Fascicle& f : *greedy) {
+    EXPECT_TRUE(miner.Verify(f, params.tolerances)) << f.ToString();
+    EXPECT_GE(f.compact_columns.size(), params.min_compact_tags);
+    EXPECT_GE(f.members.size(), params.min_size);
+  }
+  // The greedy miner may miss fascicles but must never exceed the exact
+  // miner's best membership size.
+  size_t best_exact = 0;
+  for (const Fascicle& f : *exact) {
+    best_exact = std::max(best_exact, f.members.size());
+  }
+  for (const Fascicle& f : *greedy) {
+    EXPECT_LE(f.members.size(), best_exact);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMatrixTest,
+                         testing::Range<uint64_t>(1, 13));
+
+// ---- Tolerance metadata (Fig. 4.5) ----
+
+TEST(ToleranceMetadataTest, PercentOfColumnWidth) {
+  std::vector<double> data = {
+      0, 10,   //
+      4, 30,   //
+      2, 20,   //
+  };
+  std::vector<double> tol = TolerancesFromWidthPercent(data.data(), 3, 2,
+                                                       10.0);
+  ASSERT_EQ(tol.size(), 2u);
+  EXPECT_DOUBLE_EQ(tol[0], 0.4);  // width 4, 10%
+  EXPECT_DOUBLE_EQ(tol[1], 2.0);  // width 20, 10%
+}
+
+TEST(ToleranceMetadataTest, ConstantColumnGetsZero) {
+  std::vector<double> data = {5, 5, 5};
+  std::vector<double> tol = TolerancesFromWidthPercent(data.data(), 3, 1,
+                                                       50.0);
+  EXPECT_DOUBLE_EQ(tol[0], 0.0);
+}
+
+TEST(ToleranceMetadataTest, EmptyMatrix) {
+  std::vector<double> tol = TolerancesFromWidthPercent(nullptr, 0, 3, 10.0);
+  EXPECT_EQ(tol, (std::vector<double>{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace gea::cluster

@@ -1,0 +1,210 @@
+// Tests for the synthetic SAGE generator: determinism and the statistics
+// the thesis states about the real data (Sections 2.2.3 and 4.2).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sage/generator.h"
+
+namespace gea::sage {
+namespace {
+
+GeneratorConfig SmallConfig(uint64_t seed = 42) {
+  GeneratorConfig config;
+  config.seed = seed;
+  config.panels = SyntheticSageGenerator::SmallPanels();
+  return config;
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  SyntheticSage a = SyntheticSageGenerator(SmallConfig()).Generate();
+  SyntheticSage b = SyntheticSageGenerator(SmallConfig()).Generate();
+  ASSERT_EQ(a.dataset.NumLibraries(), b.dataset.NumLibraries());
+  for (size_t i = 0; i < a.dataset.NumLibraries(); ++i) {
+    const SageLibrary& la = a.dataset.library(i);
+    const SageLibrary& lb = b.dataset.library(i);
+    EXPECT_EQ(la.name(), lb.name());
+    ASSERT_EQ(la.entries().size(), lb.entries().size());
+    EXPECT_DOUBLE_EQ(la.TotalTagCount(), lb.TotalTagCount());
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  SyntheticSage a = SyntheticSageGenerator(SmallConfig(1)).Generate();
+  SyntheticSage b = SyntheticSageGenerator(SmallConfig(2)).Generate();
+  // The planted pools are drawn randomly; they should differ.
+  EXPECT_NE(a.truth.housekeeping, b.truth.housekeeping);
+}
+
+TEST(GeneratorTest, PanelCountsRespected) {
+  SyntheticSage out = SyntheticSageGenerator(SmallConfig()).Generate();
+  // SmallPanels: brain + breast, 12 libraries each.
+  EXPECT_EQ(out.dataset.NumLibraries(), 24u);
+  EXPECT_EQ(out.dataset.FilterByTissue(TissueType::kBrain).NumLibraries(),
+            12u);
+  SageDataSet brain = out.dataset.FilterByTissue(TissueType::kBrain);
+  EXPECT_EQ(brain.FilterByState(NeoplasticState::kCancer).NumLibraries(),
+            8u);
+  EXPECT_EQ(brain.FilterByState(NeoplasticState::kNormal).NumLibraries(),
+            4u);
+}
+
+TEST(GeneratorTest, DefaultPanelIsAllNineTissues) {
+  EXPECT_EQ(SyntheticSageGenerator::DefaultPanels().size(), 9u);
+}
+
+TEST(GeneratorTest, DepthWithinConfiguredRange) {
+  GeneratorConfig config = SmallConfig();
+  SyntheticSage out = SyntheticSageGenerator(config).Generate();
+  for (const SageLibrary& lib : out.dataset.libraries()) {
+    // Poisson sampling scatters around the target; allow 15% slack.
+    EXPECT_GT(lib.TotalTagCount(), config.min_depth * 0.85) << lib.name();
+    EXPECT_LT(lib.TotalTagCount(), config.max_depth * 1.15) << lib.name();
+  }
+}
+
+TEST(GeneratorTest, ErrorTagsAreFrequencyOneSingletons) {
+  GeneratorConfig config = SmallConfig();
+  SyntheticSage out = SyntheticSageGenerator(config).Generate();
+  std::set<TagId> structured(out.truth.housekeeping.begin(),
+                             out.truth.housekeeping.end());
+  for (const auto& [tissue, tags] : out.truth.baseline) {
+    structured.insert(tags.begin(), tags.end());
+  }
+  for (const auto& [tissue, tags] : out.truth.signature) {
+    structured.insert(tags.begin(), tags.end());
+  }
+  for (const auto& [tissue, tags] : out.truth.cancer_up) {
+    structured.insert(tags.begin(), tags.end());
+  }
+  for (const auto& [tissue, tags] : out.truth.cancer_down) {
+    structured.insert(tags.begin(), tags.end());
+  }
+  structured.insert(out.truth.shared_cancer_up.begin(),
+                    out.truth.shared_cancer_up.end());
+  structured.insert(out.truth.shared_cancer_down.begin(),
+                    out.truth.shared_cancer_down.end());
+
+  for (const SageLibrary& lib : out.dataset.libraries()) {
+    double error_count = 0.0;
+    for (const SageLibrary::Entry& e : lib.entries()) {
+      if (structured.count(e.tag) > 0) continue;
+      // Non-structured tags are sequencing errors with frequency 1
+      // (up to rare random collisions within one library).
+      EXPECT_LE(e.count, 2.0) << TagLabel(e.tag) << " in " << lib.name();
+      error_count += e.count;
+    }
+    // Roughly 10% of the total count is error tags (Section 4.2).
+    double fraction = error_count / lib.TotalTagCount();
+    EXPECT_GT(fraction, 0.05) << lib.name();
+    EXPECT_LT(fraction, 0.16) << lib.name();
+  }
+}
+
+TEST(GeneratorTest, MostUniqueTagsHaveFrequencyOne) {
+  SyntheticSage out = SyntheticSageGenerator(SmallConfig()).Generate();
+  for (const SageLibrary& lib : out.dataset.libraries()) {
+    size_t freq1 = 0;
+    for (const SageLibrary::Entry& e : lib.entries()) {
+      if (e.count == 1.0) ++freq1;
+    }
+    double fraction =
+        static_cast<double>(freq1) / static_cast<double>(lib.UniqueTagCount());
+    // The thesis estimates >80%; the synthetic data is dominated by the
+    // error singletons, so well over half of unique tags are frequency 1.
+    EXPECT_GT(fraction, 0.5) << lib.name();
+  }
+}
+
+TEST(GeneratorTest, CancerUpTagsAreHigherInCancer) {
+  SyntheticSage out = SyntheticSageGenerator(SmallConfig()).Generate();
+  SageDataSet brain = out.dataset.FilterByTissue(TissueType::kBrain);
+  SageDataSet cancer = brain.FilterByState(NeoplasticState::kCancer);
+  SageDataSet normal = brain.FilterByState(NeoplasticState::kNormal);
+  auto mean_count = [](const SageDataSet& data, TagId tag) {
+    double sum = 0.0;
+    for (const SageLibrary& lib : data.libraries()) sum += lib.Count(tag);
+    return sum / static_cast<double>(data.NumLibraries());
+  };
+  size_t higher = 0;
+  const auto& up_tags = out.truth.cancer_up.at(TissueType::kBrain);
+  for (TagId tag : up_tags) {
+    if (mean_count(cancer, tag) > mean_count(normal, tag)) ++higher;
+  }
+  // Virtually all planted up-tags must actually be up in cancer (a few
+  // may cross due to the lognormal abundance draws).
+  EXPECT_GE(higher, up_tags.size() * 17 / 20);
+}
+
+TEST(GeneratorTest, CancerDownTagsAreLowerInCancer) {
+  SyntheticSage out = SyntheticSageGenerator(SmallConfig()).Generate();
+  SageDataSet brain = out.dataset.FilterByTissue(TissueType::kBrain);
+  SageDataSet cancer = brain.FilterByState(NeoplasticState::kCancer);
+  SageDataSet normal = brain.FilterByState(NeoplasticState::kNormal);
+  auto mean_count = [](const SageDataSet& data, TagId tag) {
+    double sum = 0.0;
+    for (const SageLibrary& lib : data.libraries()) sum += lib.Count(tag);
+    return sum / static_cast<double>(data.NumLibraries());
+  };
+  size_t lower = 0;
+  const auto& down_tags = out.truth.cancer_down.at(TissueType::kBrain);
+  for (TagId tag : down_tags) {
+    if (mean_count(cancer, tag) < mean_count(normal, tag)) ++lower;
+  }
+  EXPECT_GT(lower, down_tags.size() * 9 / 10);
+}
+
+TEST(GeneratorTest, SharedCancerTagsRegulatedInEveryTissue) {
+  SyntheticSage out = SyntheticSageGenerator(SmallConfig()).Generate();
+  for (TissueType tissue : {TissueType::kBrain, TissueType::kBreast}) {
+    SageDataSet slice = out.dataset.FilterByTissue(tissue);
+    SageDataSet cancer = slice.FilterByState(NeoplasticState::kCancer);
+    SageDataSet normal = slice.FilterByState(NeoplasticState::kNormal);
+    auto mean_count = [](const SageDataSet& data, TagId tag) {
+      double sum = 0.0;
+      for (const SageLibrary& lib : data.libraries()) sum += lib.Count(tag);
+      return sum / static_cast<double>(data.NumLibraries());
+    };
+    size_t down_ok = 0;
+    for (TagId tag : out.truth.shared_cancer_down) {
+      if (mean_count(cancer, tag) < mean_count(normal, tag)) ++down_ok;
+    }
+    EXPECT_GT(down_ok, out.truth.shared_cancer_down.size() * 9 / 10)
+        << TissueTypeName(tissue);
+  }
+}
+
+TEST(GeneratorTest, CoreCancerLibrariesRecorded) {
+  GeneratorConfig config = SmallConfig();
+  SyntheticSage out = SyntheticSageGenerator(config).Generate();
+  const auto& core = out.truth.core_cancer_library_ids.at(TissueType::kBrain);
+  // 8 cancer libraries, core fraction 0.7 -> 6 core members.
+  EXPECT_EQ(core.size(), 6u);
+  for (int id : core) {
+    Result<const SageLibrary*> lib = out.dataset.FindById(id);
+    ASSERT_TRUE(lib.ok());
+    EXPECT_EQ((*lib)->state(), NeoplasticState::kCancer);
+    EXPECT_EQ((*lib)->tissue(), TissueType::kBrain);
+  }
+}
+
+TEST(GeneratorTest, StructuredPoolsAreDisjoint) {
+  SyntheticSage out = SyntheticSageGenerator(SmallConfig()).Generate();
+  std::vector<TagId> all;
+  auto push = [&all](const std::vector<TagId>& tags) {
+    all.insert(all.end(), tags.begin(), tags.end());
+  };
+  push(out.truth.housekeeping);
+  push(out.truth.shared_cancer_up);
+  push(out.truth.shared_cancer_down);
+  for (const auto& [t, tags] : out.truth.baseline) push(tags);
+  for (const auto& [t, tags] : out.truth.signature) push(tags);
+  for (const auto& [t, tags] : out.truth.cancer_up) push(tags);
+  for (const auto& [t, tags] : out.truth.cancer_down) push(tags);
+  std::set<TagId> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), all.size());
+}
+
+}  // namespace
+}  // namespace gea::sage

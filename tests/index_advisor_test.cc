@@ -1,0 +1,135 @@
+// Tests for the Section 3.3.2 index-selection analysis, including the
+// exact reproduction of Table 3.1.
+
+#include <gtest/gtest.h>
+
+#include "core/enum_table.h"
+#include "core/index_advisor.h"
+#include "sage/dataset.h"
+
+namespace gea::core {
+namespace {
+
+// ---- Table 3.1: n = 60,000, p = 25,000, P >= 0.999 ----
+
+struct Table31Row {
+  int64_t w;
+  int64_t expected_m;
+};
+
+class Table31Test : public testing::TestWithParam<Table31Row> {};
+
+TEST_P(Table31Test, RequiredIndexCountMatchesThesis) {
+  const Table31Row& row = GetParam();
+  Result<int64_t> m = RequiredIndexCount(60000, 25000, row.w, 0.999);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(*m, row.expected_m) << "w = " << row.w;
+}
+
+INSTANTIATE_TEST_SUITE_P(ThesisValues, Table31Test,
+                         testing::Values(Table31Row{1, 17},   //
+                                         Table31Row{2, 23},   //
+                                         Table31Row{3, 27},   //
+                                         Table31Row{4, 32},   //
+                                         Table31Row{5, 36},   //
+                                         Table31Row{6, 40},   //
+                                         Table31Row{7, 44},   //
+                                         Table31Row{8, 48},   //
+                                         Table31Row{9, 51},   //
+                                         Table31Row{10, 55}));
+
+// ---- Probability model properties ----
+
+TEST(ProbabilityTest, ExactHitsSumToOne) {
+  // Small enough to sum completely.
+  double total = 0.0;
+  for (int64_t w = 0; w <= 20; ++w) {
+    total += ProbExactlyWIndexHits(100, 20, 10, w);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ProbabilityTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(ProbExactlyWIndexHits(100, 20, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ProbExactlyWIndexHits(100, 20, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(ProbExactlyWIndexHits(100, 20, 100, 20), 1.0);
+  EXPECT_DOUBLE_EQ(ProbExactlyWIndexHits(100, 20, 100, 19), 0.0);
+  EXPECT_DOUBLE_EQ(ProbExactlyWIndexHits(100, 20, 10, -1), 0.0);
+  EXPECT_DOUBLE_EQ(ProbExactlyWIndexHits(100, 20, 10, 21), 0.0);
+}
+
+TEST(ProbabilityTest, AtLeastIsMonotoneInM) {
+  for (int64_t m = 1; m < 50; ++m) {
+    EXPECT_LE(ProbAtLeastWIndexHits(1000, 100, m, 2),
+              ProbAtLeastWIndexHits(1000, 100, m + 1, 2) + 1e-12);
+  }
+}
+
+TEST(ProbabilityTest, AtLeastIsAntitoneInW) {
+  for (int64_t w = 1; w < 10; ++w) {
+    EXPECT_GE(ProbAtLeastWIndexHits(1000, 100, 50, w),
+              ProbAtLeastWIndexHits(1000, 100, 50, w + 1) - 1e-12);
+  }
+}
+
+TEST(RequiredIndexCountTest, Validation) {
+  EXPECT_FALSE(RequiredIndexCount(0, 10, 1).ok());
+  EXPECT_FALSE(RequiredIndexCount(100, 0, 1).ok());
+  EXPECT_FALSE(RequiredIndexCount(100, 200, 1).ok());
+  EXPECT_FALSE(RequiredIndexCount(100, 10, 0).ok());
+  EXPECT_FALSE(RequiredIndexCount(100, 10, 11).ok());
+  EXPECT_FALSE(RequiredIndexCount(100, 10, 1, 0.0).ok());
+  EXPECT_FALSE(RequiredIndexCount(100, 10, 1, 1.0).ok());
+}
+
+TEST(RequiredIndexCountTest, HigherConfidenceNeedsMoreIndexes) {
+  int64_t low = *RequiredIndexCount(60000, 25000, 4, 0.9);
+  int64_t high = *RequiredIndexCount(60000, 25000, 4, 0.999);
+  EXPECT_LT(low, high);
+}
+
+// ---- Entropy heuristic ----
+
+sage::SageDataSet EntropyData() {
+  sage::SageDataSet data;
+  for (int id = 1; id <= 8; ++id) {
+    sage::SageLibrary lib(id, "L" + std::to_string(id),
+                          sage::TissueType::kBrain,
+                          sage::NeoplasticState::kNormal,
+                          sage::TissueSource::kBulkTissue);
+    // Tag 1: constant. Tag 2: two levels. Tag 3: all distinct (highest
+    // variation).
+    lib.SetCount(1, 5.0);
+    lib.SetCount(2, id % 2 == 0 ? 10.0 : 20.0);
+    lib.SetCount(3, 10.0 * id);
+    data.AddLibrary(lib);
+  }
+  return data;
+}
+
+TEST(EntropyTest, ConstantColumnHasZeroEntropy) {
+  EnumTable e = EnumTable::FromDataSet("e", EntropyData());
+  size_t col = *e.FindTagColumn(1);
+  EXPECT_DOUBLE_EQ(TagEntropy(e, col), 0.0);
+}
+
+TEST(EntropyTest, MoreVariationMeansMoreEntropy) {
+  EnumTable e = EnumTable::FromDataSet("e", EntropyData());
+  double two_level = TagEntropy(e, *e.FindTagColumn(2));
+  double all_distinct = TagEntropy(e, *e.FindTagColumn(3));
+  EXPECT_GT(two_level, 0.0);
+  EXPECT_GT(all_distinct, two_level);
+}
+
+TEST(EntropyTest, TopEntropyTagsOrdering) {
+  EnumTable e = EnumTable::FromDataSet("e", EntropyData());
+  std::vector<sage::TagId> top = TopEntropyTags(e, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 3u);
+  EXPECT_EQ(top[1], 2u);
+  // Asking for more than available clamps.
+  EXPECT_EQ(TopEntropyTags(e, 99).size(), 3u);
+}
+
+}  // namespace
+}  // namespace gea::core

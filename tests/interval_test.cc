@@ -1,0 +1,226 @@
+// Tests for Allen's interval algebra — the range arithmetic of Section
+// 4.4.1 and Table 4.1.
+
+#include <gtest/gtest.h>
+
+#include "interval/interval.h"
+
+namespace gea::interval {
+namespace {
+
+TEST(IntervalTest, MakeValidates) {
+  EXPECT_TRUE(Interval::Make(1, 2).ok());
+  EXPECT_TRUE(Interval::Make(2, 2).ok());
+  EXPECT_FALSE(Interval::Make(3, 2).ok());
+}
+
+TEST(IntervalTest, WidthAndContains) {
+  Interval i{10, 30};
+  EXPECT_DOUBLE_EQ(i.Width(), 20.0);
+  EXPECT_TRUE(i.Contains(10));
+  EXPECT_TRUE(i.Contains(30));
+  EXPECT_FALSE(i.Contains(31));
+}
+
+TEST(IntervalTest, ToString) {
+  EXPECT_EQ((Interval{5, 700}).ToString(), "[5, 700]");
+}
+
+// ---- Table 4.1: each of the thirteen basic relations on a canonical
+// witness pair ----
+
+struct RelationCase {
+  AllenRelation relation;
+  Interval a;
+  Interval b;
+};
+
+class AllenTableTest : public testing::TestWithParam<RelationCase> {};
+
+TEST_P(AllenTableTest, WitnessPairYieldsExactlyThisRelation) {
+  const RelationCase& c = GetParam();
+  EXPECT_EQ(Relate(c.a, c.b), c.relation)
+      << c.a.ToString() << " vs " << c.b.ToString();
+  EXPECT_TRUE(Holds(c.relation, c.a, c.b));
+  // The inverse relation holds with the arguments swapped.
+  EXPECT_EQ(Relate(c.b, c.a), Inverse(c.relation));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table41, AllenTableTest,
+    testing::Values(
+        RelationCase{AllenRelation::kBefore, {0, 1}, {2, 3}},
+        RelationCase{AllenRelation::kAfter, {2, 3}, {0, 1}},
+        RelationCase{AllenRelation::kMeets, {0, 1}, {1, 3}},
+        RelationCase{AllenRelation::kMetBy, {1, 3}, {0, 1}},
+        RelationCase{AllenRelation::kOverlaps, {0, 2}, {1, 3}},
+        RelationCase{AllenRelation::kOverlappedBy, {1, 3}, {0, 2}},
+        RelationCase{AllenRelation::kDuring, {1, 2}, {0, 3}},
+        RelationCase{AllenRelation::kIncludes, {0, 3}, {1, 2}},
+        RelationCase{AllenRelation::kStarts, {0, 1}, {0, 3}},
+        RelationCase{AllenRelation::kStartedBy, {0, 3}, {0, 1}},
+        RelationCase{AllenRelation::kFinishes, {2, 3}, {0, 3}},
+        RelationCase{AllenRelation::kFinishedBy, {0, 3}, {2, 3}},
+        RelationCase{AllenRelation::kEquals, {1, 2}, {1, 2}}));
+
+// ---- Property sweep: exactly one basic relation holds for every ordered
+// pair drawn from a grid of intervals ----
+
+std::vector<Interval> Grid() {
+  std::vector<Interval> out;
+  for (int lo = 0; lo <= 4; ++lo) {
+    for (int hi = lo; hi <= 4; ++hi) {
+      out.push_back({static_cast<double>(lo), static_cast<double>(hi)});
+    }
+  }
+  return out;
+}
+
+class AllenExclusivityTest : public testing::TestWithParam<int> {};
+
+TEST_P(AllenExclusivityTest, ExactlyOneRelationHolds) {
+  std::vector<Interval> grid = Grid();
+  const Interval& a = grid[static_cast<size_t>(GetParam())];
+  for (const Interval& b : grid) {
+    int holds = 0;
+    for (AllenRelation r : AllAllenRelations()) {
+      if (Holds(r, a, b)) ++holds;
+    }
+    EXPECT_EQ(holds, 1) << a.ToString() << " vs " << b.ToString();
+  }
+}
+
+TEST_P(AllenExclusivityTest, InverseIsInvolutionAndConsistent) {
+  std::vector<Interval> grid = Grid();
+  const Interval& a = grid[static_cast<size_t>(GetParam())];
+  for (const Interval& b : grid) {
+    AllenRelation r = Relate(a, b);
+    EXPECT_EQ(Inverse(Inverse(r)), r);
+    EXPECT_EQ(Relate(b, a), Inverse(r));
+  }
+}
+
+TEST_P(AllenExclusivityTest, IntersectsAgreesWithRelation) {
+  std::vector<Interval> grid = Grid();
+  const Interval& a = grid[static_cast<size_t>(GetParam())];
+  for (const Interval& b : grid) {
+    AllenRelation r = Relate(a, b);
+    bool disjoint =
+        r == AllenRelation::kBefore || r == AllenRelation::kAfter;
+    EXPECT_EQ(Intersects(a, b), !disjoint);
+    EXPECT_EQ(Intersection(a, b).has_value(), !disjoint);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GridSweep, AllenExclusivityTest,
+                         testing::Range(0, 15));
+
+// ---- Names, symbols, parsing ----
+
+TEST(AllenNamesTest, RoundTripThroughParse) {
+  for (AllenRelation r : AllAllenRelations()) {
+    Result<AllenRelation> by_name = ParseAllenRelation(AllenRelationName(r));
+    ASSERT_TRUE(by_name.ok());
+    EXPECT_EQ(*by_name, r);
+    Result<AllenRelation> by_symbol =
+        ParseAllenRelation(AllenRelationSymbol(r));
+    ASSERT_TRUE(by_symbol.ok());
+    EXPECT_EQ(*by_symbol, r);
+  }
+  EXPECT_FALSE(ParseAllenRelation("sideways").ok());
+}
+
+TEST(AllenNamesTest, SymbolsMatchTable41) {
+  EXPECT_STREQ(AllenRelationSymbol(AllenRelation::kBefore), "b");
+  EXPECT_STREQ(AllenRelationSymbol(AllenRelation::kMeets), "m");
+  EXPECT_STREQ(AllenRelationSymbol(AllenRelation::kOverlaps), "o");
+  EXPECT_STREQ(AllenRelationSymbol(AllenRelation::kDuring), "d");
+  EXPECT_STREQ(AllenRelationSymbol(AllenRelation::kStarts), "s");
+  EXPECT_STREQ(AllenRelationSymbol(AllenRelation::kFinishes), "f");
+  EXPECT_STREQ(AllenRelationSymbol(AllenRelation::kEquals), "e");
+  EXPECT_STREQ(AllenRelationSymbol(AllenRelation::kOverlappedBy), "oi");
+}
+
+// ---- Composition (Allen's algebra proper) ----
+
+TEST(CompositionTest, KnownEntries) {
+  using R = AllenRelation;
+  // before . before = {before}
+  EXPECT_EQ(Compose(R::kBefore, R::kBefore),
+            (std::vector<R>{R::kBefore}));
+  // meets . meets = {before}
+  EXPECT_EQ(Compose(R::kMeets, R::kMeets), (std::vector<R>{R::kBefore}));
+  // during . during = {during}
+  EXPECT_EQ(Compose(R::kDuring, R::kDuring), (std::vector<R>{R::kDuring}));
+  // starts . during = {during}
+  EXPECT_EQ(Compose(R::kStarts, R::kDuring), (std::vector<R>{R::kDuring}));
+  // before . after = all thirteen (totally unconstrained)
+  EXPECT_EQ(Compose(R::kBefore, R::kAfter).size(),
+            static_cast<size_t>(kNumAllenRelations));
+  // overlaps . overlaps = {before, meets, overlaps}
+  EXPECT_EQ(Compose(R::kOverlaps, R::kOverlaps),
+            (std::vector<R>{R::kBefore, R::kMeets, R::kOverlaps}));
+}
+
+TEST(CompositionTest, EqualsIsIdentity) {
+  for (AllenRelation r : AllAllenRelations()) {
+    EXPECT_EQ(Compose(AllenRelation::kEquals, r), (std::vector<AllenRelation>{r}));
+    EXPECT_EQ(Compose(r, AllenRelation::kEquals), (std::vector<AllenRelation>{r}));
+  }
+}
+
+TEST(CompositionTest, InversionSymmetry) {
+  // Compose(r1, r2) inverted element-wise equals Compose(inv r2, inv r1).
+  for (AllenRelation r1 : AllAllenRelations()) {
+    for (AllenRelation r2 : AllAllenRelations()) {
+      std::vector<AllenRelation> lhs;
+      for (AllenRelation r : Compose(r1, r2)) lhs.push_back(Inverse(r));
+      std::sort(lhs.begin(), lhs.end());
+      std::vector<AllenRelation> rhs = Compose(Inverse(r2), Inverse(r1));
+      std::sort(rhs.begin(), rhs.end());
+      EXPECT_EQ(lhs, rhs) << AllenRelationName(r1) << " . "
+                          << AllenRelationName(r2);
+    }
+  }
+}
+
+// Path-consistency property: for any proper intervals a, b, c the actual
+// relation between a and c is admitted by the composition of (a,b) and
+// (b,c).
+class CompositionPathTest : public testing::TestWithParam<int> {};
+
+TEST_P(CompositionPathTest, ActualRelationIsAlwaysAdmitted) {
+  std::vector<Interval> grid;
+  for (int lo = 0; lo <= 5; ++lo) {
+    for (int hi = lo + 1; hi <= 6; ++hi) {
+      grid.push_back({static_cast<double>(lo), static_cast<double>(hi)});
+    }
+  }
+  const Interval& b = grid[static_cast<size_t>(GetParam())];
+  for (const Interval& a : grid) {
+    for (const Interval& c : grid) {
+      EXPECT_TRUE(CompositionAdmits(Relate(a, b), Relate(b, c),
+                                    Relate(a, c)))
+          << a.ToString() << " " << b.ToString() << " " << c.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GridPivots, CompositionPathTest,
+                         testing::Range(0, 21));
+
+TEST(IntersectionTest, ComputesOverlapRange) {
+  std::optional<Interval> i = Intersection({0, 10}, {5, 20});
+  ASSERT_TRUE(i.has_value());
+  EXPECT_DOUBLE_EQ(i->lo, 5);
+  EXPECT_DOUBLE_EQ(i->hi, 10);
+  EXPECT_FALSE(Intersection({0, 1}, {2, 3}).has_value());
+  // Touching intervals intersect in a point.
+  std::optional<Interval> point = Intersection({0, 2}, {2, 5});
+  ASSERT_TRUE(point.has_value());
+  EXPECT_DOUBLE_EQ(point->lo, 2);
+  EXPECT_DOUBLE_EQ(point->hi, 2);
+}
+
+}  // namespace
+}  // namespace gea::interval

@@ -1,0 +1,164 @@
+// Tests for the lineage feature of Section 4.4.2.
+
+#include <gtest/gtest.h>
+
+#include "lineage/lineage.h"
+
+namespace gea::lineage {
+namespace {
+
+using NodeId = LineageGraph::NodeId;
+
+// Builds the Fig. 4.18 shape: a brain data set, a fascicle, its SUMY
+// tables, and a GAP derived from two SUMYs.
+struct Fixture {
+  LineageGraph graph;
+  NodeId dataset;
+  NodeId fascicle;
+  NodeId sumy_cancer;
+  NodeId sumy_not_in_fas;
+  NodeId gap;
+
+  Fixture() {
+    dataset = *graph.AddNode("brain", NodeKind::kDataSet, "tissue_dataset",
+                             {{"tissue", "brain"}}, {});
+    fascicle = *graph.AddNode(
+        "brain25k_3", NodeKind::kFascicle, "fascicles",
+        {{"compact_dimension", "25000"},
+         {"binary_file", "brainfile.b"},
+         {"metadata_file", "brainfile.meta"},
+         {"batch", "6"},
+         {"min_frequency", "3"}},
+        {dataset});
+    sumy_cancer = *graph.AddNode("brain25k_3CancerFasTbl", NodeKind::kSumy,
+                                 "aggregate", {}, {fascicle});
+    sumy_not_in_fas = *graph.AddNode("brain25k_3CanNotInFasTbl",
+                                     NodeKind::kSumy, "aggregate", {},
+                                     {fascicle});
+    gap = *graph.AddNode("b25canvscnif_gap1", NodeKind::kGap, "diff", {},
+                         {sumy_cancer, sumy_not_in_fas});
+  }
+};
+
+TEST(LineageTest, AddNodeRecordsMetadata) {
+  Fixture f;
+  Result<const LineageGraph::Node*> node = f.graph.GetNode(f.fascicle);
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ((*node)->name, "brain25k_3");
+  EXPECT_EQ((*node)->kind, NodeKind::kFascicle);
+  EXPECT_EQ((*node)->operation, "fascicles");
+  EXPECT_EQ((*node)->parameters.at("compact_dimension"), "25000");
+  EXPECT_EQ((*node)->parents, (std::vector<NodeId>{f.dataset}));
+}
+
+TEST(LineageTest, FindByName) {
+  Fixture f;
+  EXPECT_EQ(*f.graph.FindByName("brain25k_3"), f.fascicle);
+  EXPECT_TRUE(f.graph.FindByName("nope").status().IsNotFound());
+}
+
+TEST(LineageTest, RejectsDuplicatesAndBadParents) {
+  Fixture f;
+  EXPECT_TRUE(f.graph.AddNode("brain", NodeKind::kDataSet, "x", {}, {})
+                  .status()
+                  .IsAlreadyExists());
+  EXPECT_TRUE(
+      f.graph.AddNode("y", NodeKind::kGap, "diff", {}, {999}).status()
+          .IsNotFound());
+  EXPECT_FALSE(f.graph.AddNode("", NodeKind::kGap, "diff", {}, {}).ok());
+}
+
+TEST(LineageTest, GapHasTwoParents) {
+  // A GAP table appears under both of its SUMY parents.
+  Fixture f;
+  EXPECT_EQ((*f.graph.GetNode(f.gap))->parents.size(), 2u);
+  EXPECT_EQ((*f.graph.Children(f.sumy_cancer)).size(), 1u);
+  EXPECT_EQ((*f.graph.Children(f.sumy_not_in_fas)).size(), 1u);
+}
+
+TEST(LineageTest, Comments) {
+  Fixture f;
+  ASSERT_TRUE(f.graph
+                  .SetComment(f.fascicle,
+                              "The compact tags in this fascicle are very "
+                              "interesting")
+                  .ok());
+  EXPECT_EQ((*f.graph.GetNode(f.fascicle))->comment,
+            "The compact tags in this fascicle are very interesting");
+  EXPECT_TRUE(f.graph.SetComment(999, "x").IsNotFound());
+}
+
+TEST(LineageTest, DeleteContentsKeepsMetadata) {
+  Fixture f;
+  std::vector<std::string> dropped;
+  ASSERT_TRUE(f.graph
+                  .DeleteContents(f.sumy_cancer,
+                                  [&](const std::string& name) {
+                                    dropped.push_back(name);
+                                  })
+                  .ok());
+  EXPECT_EQ(dropped, (std::vector<std::string>{"brain25k_3CancerFasTbl"}));
+  Result<const LineageGraph::Node*> node = f.graph.GetNode(f.sumy_cancer);
+  ASSERT_TRUE(node.ok());  // metadata survives
+  EXPECT_FALSE((*node)->has_contents);
+  // Repeat deletion is a no-op for the callback.
+  dropped.clear();
+  ASSERT_TRUE(f.graph.DeleteContents(f.sumy_cancer, [&](const std::string& n) {
+    dropped.push_back(n);
+  }).ok());
+  EXPECT_TRUE(dropped.empty());
+}
+
+TEST(LineageTest, DeleteCascadeRemovesSubtree) {
+  Fixture f;
+  std::vector<std::string> dropped;
+  ASSERT_TRUE(f.graph
+                  .DeleteCascade(f.fascicle,
+                                 [&](const std::string& name) {
+                                   dropped.push_back(name);
+                                 })
+                  .ok());
+  // The fascicle, both SUMYs and the GAP are gone; the data set remains.
+  EXPECT_EQ(dropped.size(), 4u);
+  EXPECT_TRUE(f.graph.GetNode(f.fascicle).status().IsNotFound());
+  EXPECT_TRUE(f.graph.GetNode(f.gap).status().IsNotFound());
+  EXPECT_TRUE(f.graph.GetNode(f.dataset).ok());
+  EXPECT_TRUE((*f.graph.Children(f.dataset)).empty());
+  EXPECT_EQ(f.graph.NumNodes(), 1u);
+}
+
+TEST(LineageTest, CascadeVisitsDiamondOnce) {
+  // gap has two parents; deleting one SUMY must remove the gap exactly
+  // once and leave the sibling SUMY without the dangling child.
+  Fixture f;
+  std::vector<std::string> dropped;
+  ASSERT_TRUE(f.graph.DeleteCascade(f.sumy_cancer,
+                                    [&](const std::string& name) {
+                                      dropped.push_back(name);
+                                    })
+                  .ok());
+  EXPECT_EQ(dropped.size(), 2u);
+  EXPECT_TRUE((*f.graph.Children(f.sumy_not_in_fas)).empty());
+}
+
+TEST(LineageTest, RenderTreeShowsHierarchy) {
+  Fixture f;
+  Result<std::string> tree = f.graph.RenderTree(f.dataset);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_NE(tree->find("brain [dataset"), std::string::npos);
+  EXPECT_NE(tree->find("  brain25k_3 [fascicle"), std::string::npos);
+  EXPECT_NE(tree->find("b25canvscnif_gap1 [gap"), std::string::npos);
+}
+
+TEST(LineageTest, RootsListsParentlessNodes) {
+  Fixture f;
+  EXPECT_EQ(f.graph.Roots(), (std::vector<NodeId>{f.dataset}));
+}
+
+TEST(LineageTest, NodeKindNames) {
+  EXPECT_STREQ(NodeKindName(NodeKind::kTopGap), "top_gap");
+  EXPECT_STREQ(NodeKindName(NodeKind::kCompareGap), "compare_gap");
+}
+
+}  // namespace
+}  // namespace gea::lineage

@@ -1,0 +1,247 @@
+// Tests for the synthetic annotation databases and the Section 5.2
+// integrated-genomic-analysis join pipelines.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/gap.h"
+#include "meta/annotate.h"
+#include "meta/annotation.h"
+#include "meta/eadb.h"
+#include "rel/ops.h"
+#include "sage/tag_codec.h"
+
+namespace gea::meta {
+namespace {
+
+using sage::TagId;
+
+std::vector<TagId> SomeTags() {
+  std::vector<TagId> tags;
+  for (TagId t = 100; t < 160; ++t) tags.push_back(t);
+  return tags;
+}
+
+AnnotationConfig PinnedConfig() {
+  AnnotationConfig config;
+  config.seed = 7;
+  // Plant the thesis's Fig. 4.22 walkthrough: CCTTGAGTAC -> aldolase C.
+  config.pinned_genes[*sage::EncodeTag("CCTTGAGTAC")] = "aldolase C";
+  return config;
+}
+
+TEST(AnnotationTest, Deterministic) {
+  AnnotationDatabase a = AnnotationDatabase::Generate(SomeTags(),
+                                                      PinnedConfig());
+  AnnotationDatabase b = AnnotationDatabase::Generate(SomeTags(),
+                                                      PinnedConfig());
+  EXPECT_EQ(a.unigene().NumRows(), b.unigene().NumRows());
+  EXPECT_EQ(a.GeneNames(), b.GeneNames());
+}
+
+TEST(AnnotationTest, MappedFractionApproximatelyRespected) {
+  AnnotationConfig config;
+  config.seed = 3;
+  config.mapped_fraction = 0.7;
+  std::vector<TagId> tags;
+  for (TagId t = 0; t < 2000; ++t) tags.push_back(t);
+  AnnotationDatabase db = AnnotationDatabase::Generate(tags, config);
+  double fraction = static_cast<double>(db.unigene().NumRows()) /
+                    static_cast<double>(tags.size());
+  EXPECT_GT(fraction, 0.6);
+  EXPECT_LT(fraction, 0.8);
+}
+
+TEST(AnnotationTest, EveryGeneHasAProteinAndFamily) {
+  AnnotationDatabase db = AnnotationDatabase::Generate(SomeTags(),
+                                                       PinnedConfig());
+  EadbSearch search(db);
+  for (const std::string& gene : db.GeneNames()) {
+    Result<ProteinRecord> protein = search.GeneToProtein(gene);
+    ASSERT_TRUE(protein.ok()) << gene;
+    EXPECT_FALSE(protein->sequence.empty());
+    Result<std::string> family = search.ProteinToFamily(protein->protein);
+    EXPECT_TRUE(family.ok()) << protein->protein;
+  }
+}
+
+TEST(AnnotationTest, TagsMapToAtMostOneGene) {
+  AnnotationDatabase db = AnnotationDatabase::Generate(SomeTags(),
+                                                       PinnedConfig());
+  std::set<int64_t> seen;
+  size_t tagno_col = *db.unigene().schema().FindColumn("TagNo");
+  for (const rel::Row& row : db.unigene().rows()) {
+    EXPECT_TRUE(seen.insert(row[tagno_col].AsInt()).second);
+  }
+}
+
+// ---- EADB search (Fig. 4.22) ----
+
+TEST(EadbTest, TagToGeneWalkthrough) {
+  AnnotationDatabase db = AnnotationDatabase::Generate(SomeTags(),
+                                                       PinnedConfig());
+  EadbSearch search(db);
+  Result<std::string> gene =
+      search.TagToGene(*sage::EncodeTag("CCTTGAGTAC"));
+  ASSERT_TRUE(gene.ok());
+  EXPECT_EQ(*gene, "aldolase C");
+  Result<ProteinRecord> protein = search.GeneToProtein("aldolase C");
+  ASSERT_TRUE(protein.ok());
+  EXPECT_EQ(protein->protein, "aldolase C protein");
+}
+
+TEST(EadbTest, UnmappedTagReturnsNotFound) {
+  AnnotationDatabase db = AnnotationDatabase::Generate(SomeTags(),
+                                                       PinnedConfig());
+  EadbSearch search(db);
+  EXPECT_TRUE(search.TagToGene(999999).status().IsNotFound());
+}
+
+TEST(EadbTest, GeneToTagsRoundTrip) {
+  AnnotationDatabase db = AnnotationDatabase::Generate(SomeTags(),
+                                                       PinnedConfig());
+  EadbSearch search(db);
+  for (const std::string& gene : db.GeneNames()) {
+    for (TagId tag : search.GeneToTags(gene)) {
+      Result<std::string> back = search.TagToGene(tag);
+      ASSERT_TRUE(back.ok());
+      EXPECT_EQ(*back, gene);
+    }
+  }
+}
+
+TEST(EadbTest, PublicationsAndPathways) {
+  AnnotationConfig config = PinnedConfig();
+  config.min_publications = 1;
+  AnnotationDatabase db = AnnotationDatabase::Generate(SomeTags(), config);
+  EadbSearch search(db);
+  for (const std::string& gene : db.GeneNames()) {
+    EXPECT_FALSE(search.GeneToPublications(gene).empty()) << gene;
+    EXPECT_FALSE(search.GeneToPathways(gene).empty()) << gene;
+  }
+}
+
+TEST(EadbTest, DiseaseSearchRespectsChromosomeFilter) {
+  AnnotationDatabase db = AnnotationDatabase::Generate(SomeTags(),
+                                                       PinnedConfig());
+  EadbSearch search(db);
+  size_t gene_col = *db.omim().schema().FindColumn("Gene");
+  size_t disease_col = *db.omim().schema().FindColumn("Disease");
+  size_t chrom_col = *db.omim().schema().FindColumn("Chromosome");
+  if (db.omim().NumRows() == 0) GTEST_SKIP() << "no OMIM rows drawn";
+  const rel::Row& row = db.omim().row(0);
+  std::string disease = row[disease_col].AsString();
+  int chromosome = static_cast<int>(row[chrom_col].AsInt());
+  std::vector<std::string> genes =
+      search.GenesForDisease(disease, chromosome);
+  EXPECT_FALSE(genes.empty());
+  EXPECT_NE(std::find(genes.begin(), genes.end(),
+                      row[gene_col].AsString()),
+            genes.end());
+  // A chromosome with no entry yields an empty result (chromosomes only
+  // go up to 22 in the generator).
+  EXPECT_TRUE(search.GenesForDisease(disease, 23).empty());
+}
+
+// ---- Section 5.2 join pipelines ----
+
+TEST(JoinPipelineTest, GeneRelFromTagRel) {
+  AnnotationDatabase db = AnnotationDatabase::Generate(SomeTags(),
+                                                       PinnedConfig());
+  // A TagRel carrying three tags (e.g. a top-gap table's relational
+  // rendering).
+  rel::Table tag_rel("TagRel",
+                     rel::Schema({{"TagNo", rel::ValueType::kInt}}));
+  tag_rel.AppendRowUnchecked({rel::Value::Int(100)});
+  tag_rel.AppendRowUnchecked({rel::Value::Int(101)});
+  tag_rel.AppendRowUnchecked({rel::Value::Int(102)});
+  Result<rel::Table> gene_rel =
+      GeneRelFromTagRel(tag_rel, db.unigene(), "GeneRel");
+  ASSERT_TRUE(gene_rel.ok());
+  // Every output row is a gene name; only mapped tags contribute.
+  EXPECT_LE(gene_rel->NumRows(), 3u);
+  for (const rel::Row& row : gene_rel->rows()) {
+    EXPECT_FALSE(row[0].AsString().empty());
+  }
+}
+
+TEST(JoinPipelineTest, ProtRelFromGeneRel) {
+  AnnotationDatabase db = AnnotationDatabase::Generate(SomeTags(),
+                                                       PinnedConfig());
+  rel::Table gene_rel("GeneRel",
+                      rel::Schema({{"Gene", rel::ValueType::kString}}));
+  gene_rel.AppendRowUnchecked({rel::Value::String("aldolase C")});
+  Result<rel::Table> prot_rel =
+      ProtRelFromGeneRel(gene_rel, db.swissprot(), "ProtRel");
+  ASSERT_TRUE(prot_rel.ok());
+  ASSERT_EQ(prot_rel->NumRows(), 1u);
+  EXPECT_EQ(prot_rel->Get(0, "Protein")->AsString(), "aldolase C protein");
+  EXPECT_FALSE(prot_rel->Get(0, "Sequence")->AsString().empty());
+}
+
+TEST(AnnotateTest, GapAnnotationReport) {
+  AnnotationConfig config = PinnedConfig();
+  config.min_publications = 1;
+  AnnotationDatabase db = AnnotationDatabase::Generate(SomeTags(), config);
+
+  // A gap table mixing a pinned tag, a generic mapped-or-not tag and a
+  // null gap.
+  std::vector<core::GapEntry> entries = {
+      {*sage::EncodeTag("CCTTGAGTAC"), {-42.5}},
+      {100, {7.25}},
+      {101, {std::nullopt}},
+  };
+  core::GapTable gap = std::move(core::GapTable::Create(
+                                     "g", {"Gap"}, std::move(entries)))
+                           .value();
+  Result<rel::Table> report = AnnotateGapTable(gap, db, "annotated");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->NumRows(), 3u);
+
+  // The pinned walkthrough row.
+  bool found_aldolase = false;
+  size_t gene_col = *report->schema().FindColumn("Gene");
+  size_t gap_col = *report->schema().FindColumn("Gap");
+  size_t pubs_col = *report->schema().FindColumn("Publications");
+  for (const rel::Row& row : report->rows()) {
+    if (!row[gene_col].is_null() &&
+        row[gene_col].AsString() == "aldolase C") {
+      found_aldolase = true;
+      EXPECT_DOUBLE_EQ(row[gap_col].AsDouble(), -42.5);
+      EXPECT_GE(row[pubs_col].AsInt(), 1);
+    }
+  }
+  EXPECT_TRUE(found_aldolase);
+}
+
+TEST(AnnotateTest, UnmappedTagsGetNulls) {
+  AnnotationDatabase db = AnnotationDatabase::Generate(SomeTags(),
+                                                       PinnedConfig());
+  std::vector<core::GapEntry> entries = {{999999, {1.0}}};
+  core::GapTable gap = std::move(core::GapTable::Create(
+                                     "g", {"Gap"}, std::move(entries)))
+                           .value();
+  Result<rel::Table> report = AnnotateGapTable(gap, db, "annotated");
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->NumRows(), 1u);
+  EXPECT_TRUE(report->Get(0, "Gene")->is_null());
+  EXPECT_EQ(report->Get(0, "Publications")->AsInt(), 0);
+}
+
+TEST(JoinPipelineTest, FullTagToProteinChain) {
+  // The complete Section 5.2.1 + 5.2.2 chain.
+  AnnotationDatabase db = AnnotationDatabase::Generate(SomeTags(),
+                                                       PinnedConfig());
+  rel::Table tag_rel("TagRel",
+                     rel::Schema({{"TagNo", rel::ValueType::kInt}}));
+  tag_rel.AppendRowUnchecked(
+      {rel::Value::Int(*sage::EncodeTag("CCTTGAGTAC"))});
+  rel::Table gene_rel = *GeneRelFromTagRel(tag_rel, db.unigene(), "g");
+  rel::Table prot_rel = *ProtRelFromGeneRel(gene_rel, db.swissprot(), "p");
+  ASSERT_EQ(prot_rel.NumRows(), 1u);
+  EXPECT_EQ(prot_rel.Get(0, "Protein")->AsString(), "aldolase C protein");
+}
+
+}  // namespace
+}  // namespace gea::meta

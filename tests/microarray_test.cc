@@ -1,0 +1,157 @@
+// Tests for the microarray simulation and for Section 2.4's claim that
+// the GEA pipeline consumes microarray data unchanged.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/enum_table.h"
+#include "core/gap.h"
+#include "core/operators.h"
+#include "sage/microarray.h"
+
+namespace gea::sage {
+namespace {
+
+class MicroarrayTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorConfig config;
+    config.seed = 42;
+    config.panels = SyntheticSageGenerator::SmallPanels();
+    synth_ = new SyntheticSage(SyntheticSageGenerator(config).Generate());
+    chip_ = new MicroarrayChip(DesignChip(synth_->truth, {}));
+  }
+  static void TearDownTestSuite() {
+    delete chip_;
+    delete synth_;
+    chip_ = nullptr;
+    synth_ = nullptr;
+  }
+  static SyntheticSage* synth_;
+  static MicroarrayChip* chip_;
+};
+
+SyntheticSage* MicroarrayTest::synth_ = nullptr;
+MicroarrayChip* MicroarrayTest::chip_ = nullptr;
+
+TEST_F(MicroarrayTest, ChipDesignIsDeterministicAndSorted) {
+  MicroarrayChip again = DesignChip(synth_->truth, {});
+  EXPECT_EQ(again.probes, chip_->probes);
+  EXPECT_TRUE(std::is_sorted(chip_->probes.begin(), chip_->probes.end()));
+  EXPECT_FALSE(chip_->probes.empty());
+}
+
+TEST_F(MicroarrayTest, ChipCoverageReflectsExperimenterKnowledge) {
+  std::set<TagId> probes(chip_->probes.begin(), chip_->probes.end());
+  auto coverage = [&probes](const std::vector<TagId>& group) {
+    size_t hit = 0;
+    for (TagId tag : group) hit += probes.count(tag);
+    return static_cast<double>(hit) / static_cast<double>(group.size());
+  };
+  // Housekeeping genes are well known; cancer genes much less so — the
+  // Section 2.2.1 bias.
+  EXPECT_GT(coverage(synth_->truth.housekeeping), 0.85);
+  double cancer = coverage(synth_->truth.shared_cancer_down);
+  EXPECT_GT(cancer, 0.2);
+  EXPECT_LT(cancer, 0.8);
+  EXPECT_LT(cancer, coverage(synth_->truth.housekeeping));
+}
+
+TEST_F(MicroarrayTest, MeasurementOnlySeesProbedTags) {
+  Result<SageDataSet> chip_data =
+      MeasureMicroarray(synth_->dataset, *chip_, {});
+  ASSERT_TRUE(chip_data.ok());
+  std::set<TagId> probes(chip_->probes.begin(), chip_->probes.end());
+  for (const SageLibrary& lib : chip_data->libraries()) {
+    for (const SageLibrary::Entry& e : lib.entries()) {
+      EXPECT_TRUE(probes.count(e.tag) > 0) << TagLabel(e.tag);
+      EXPECT_GT(e.count, 0.0);
+    }
+  }
+  // Sequencing-error singletons never show up: the tag universe is at
+  // most the probe panel.
+  EXPECT_LE(chip_data->UniverseSize(), chip_->probes.size());
+}
+
+TEST_F(MicroarrayTest, MeasurementValidation) {
+  MicroarrayChip empty;
+  EXPECT_FALSE(MeasureMicroarray(synth_->dataset, empty, {}).ok());
+  MicroarrayConfig bad;
+  bad.gain = 0.0;
+  EXPECT_FALSE(MeasureMicroarray(synth_->dataset, *chip_, bad).ok());
+}
+
+TEST_F(MicroarrayTest, GeaPipelineRunsUnchangedOnChipData) {
+  // The Section 2.4 claim, end to end: the same ENUM / aggregate / diff
+  // pipeline over the chip measurements finds the probed cancer genes.
+  Result<SageDataSet> chip_data =
+      MeasureMicroarray(synth_->dataset, *chip_, {});
+  ASSERT_TRUE(chip_data.ok());
+  SageDataSet brain = chip_data->FilterByTissue(TissueType::kBrain);
+  core::EnumTable table = core::EnumTable::FromDataSet("brain_chip", brain);
+
+  core::EnumTable cancer = table.FilterLibraries(
+      "cancer", [](const LibraryMeta& lib) {
+        return lib.state == NeoplasticState::kCancer;
+      });
+  core::EnumTable normal = table.FilterLibraries(
+      "normal", [](const LibraryMeta& lib) {
+        return lib.state == NeoplasticState::kNormal;
+      });
+  core::SumyTable s1 = std::move(core::Aggregate(cancer, "s1")).value();
+  core::SumyTable s2 = std::move(core::Aggregate(normal, "s2")).value();
+  core::GapTable gap = std::move(core::Diff(s1, s2, "gap")).value();
+
+  std::set<TagId> probes(chip_->probes.begin(), chip_->probes.end());
+  std::set<TagId> down(
+      synth_->truth.cancer_down.at(TissueType::kBrain).begin(),
+      synth_->truth.cancer_down.at(TissueType::kBrain).end());
+
+  size_t probed_down_negative = 0;
+  size_t probed_down_total = 0;
+  size_t unprobed_seen = 0;
+  for (TagId tag : down) {
+    std::optional<double> g = gap.Gap(tag);
+    if (probes.count(tag) == 0) {
+      // The bias: unprobed cancer genes are invisible to the analysis.
+      if (gap.Find(tag).has_value()) ++unprobed_seen;
+      continue;
+    }
+    if (g.has_value()) {
+      ++probed_down_total;
+      if (*g < 0) ++probed_down_negative;
+    }
+  }
+  EXPECT_EQ(unprobed_seen, 0u);
+  ASSERT_GT(probed_down_total, 5u);
+  EXPECT_EQ(probed_down_negative, probed_down_total);
+}
+
+TEST_F(MicroarrayTest, BackgroundFloorsLowSignals) {
+  // A tag absent from a sample must not materialize out of background:
+  // background (2.0) sits below the detection floor (4.0).
+  Result<SageDataSet> chip_data =
+      MeasureMicroarray(synth_->dataset, *chip_, {});
+  ASSERT_TRUE(chip_data.ok());
+  // Find a probed brain-only signature tag; breast libraries must not
+  // report it.
+  std::set<TagId> probes(chip_->probes.begin(), chip_->probes.end());
+  TagId brain_tag = 0;
+  for (TagId tag : synth_->truth.signature.at(TissueType::kBrain)) {
+    if (probes.count(tag) > 0) {
+      brain_tag = tag;
+      break;
+    }
+  }
+  ASSERT_NE(brain_tag, 0u);
+  for (const SageLibrary& lib : chip_data->libraries()) {
+    if (lib.tissue() == TissueType::kBreast) {
+      EXPECT_DOUBLE_EQ(lib.Count(brain_tag), 0.0) << lib.name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gea::sage

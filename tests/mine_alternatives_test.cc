@@ -1,0 +1,182 @@
+// Tests for the alternative mine() back ends (Section 2.6: the model
+// supports clusters produced by algorithms other than fascicles) and the
+// library range search of Section 4.4.4.2.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/gap.h"
+#include "core/mine_alternatives.h"
+#include "core/operators.h"
+#include "core/populate.h"
+#include "sage/cleaning.h"
+#include "sage/generator.h"
+#include "workbench/session.h"
+
+namespace gea::core {
+namespace {
+
+class MineAlternativesTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sage::GeneratorConfig config;
+    config.seed = 42;
+    config.panels = sage::SyntheticSageGenerator::SmallPanels();
+    synth_ = new sage::SyntheticSage(
+        sage::SyntheticSageGenerator(config).Generate());
+    sage::CleanAndNormalize(synth_->dataset);
+    brain_ = new EnumTable(EnumTable::FromDataSet(
+        "brain", synth_->dataset.FilterByTissue(sage::TissueType::kBrain)));
+  }
+  static void TearDownTestSuite() {
+    delete brain_;
+    delete synth_;
+    brain_ = nullptr;
+    synth_ = nullptr;
+  }
+  static sage::SyntheticSage* synth_;
+  static EnumTable* brain_;
+};
+
+sage::SyntheticSage* MineAlternativesTest::synth_ = nullptr;
+EnumTable* MineAlternativesTest::brain_ = nullptr;
+
+TEST_F(MineAlternativesTest, KMeansClustersPartitionTheLibraries) {
+  Result<std::vector<MinedCluster>> mined =
+      MineKMeans(*brain_, 2, /*seed=*/3, "km");
+  ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+  ASSERT_GE(mined->size(), 1u);
+  ASSERT_LE(mined->size(), 2u);
+  std::set<size_t> seen;
+  size_t total = 0;
+  for (const MinedCluster& c : *mined) {
+    EXPECT_EQ(c.members.size(), c.enum_table.NumLibraries());
+    total += c.members.size();
+    for (size_t row : c.members) {
+      EXPECT_TRUE(seen.insert(row).second) << "library in two clusters";
+    }
+  }
+  EXPECT_EQ(total, brain_->NumLibraries());
+}
+
+TEST_F(MineAlternativesTest, HierarchicalSeparatesCancerFromNormal) {
+  // With k = 2 under correlation distance the dominant structure in the
+  // brain slice is cancer vs normal; each cluster is pure by state
+  // (k-means under Euclidean distance is notably weaker on expression
+  // magnitudes — the same comparison bench_clustering quantifies).
+  Result<std::vector<MinedCluster>> mined = MineHierarchical(
+      *brain_, 2, cluster::DistanceKind::kPearson, "hc2");
+  ASSERT_TRUE(mined.ok());
+  ASSERT_EQ(mined->size(), 2u);
+  for (const MinedCluster& c : *mined) {
+    size_t cancer = 0;
+    for (const sage::LibraryMeta& lib : c.enum_table.libraries()) {
+      if (lib.state == sage::NeoplasticState::kCancer) ++cancer;
+    }
+    double purity =
+        std::max(cancer, c.enum_table.NumLibraries() - cancer) /
+        static_cast<double>(c.enum_table.NumLibraries());
+    EXPECT_DOUBLE_EQ(purity, 1.0) << c.sumy.name();
+  }
+}
+
+TEST_F(MineAlternativesTest, HierarchicalClustersCover) {
+  Result<std::vector<MinedCluster>> mined = MineHierarchical(
+      *brain_, 3, cluster::DistanceKind::kPearson, "hc");
+  ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+  EXPECT_EQ(mined->size(), 3u);
+  size_t total = 0;
+  for (const MinedCluster& c : *mined) total += c.members.size();
+  EXPECT_EQ(total, brain_->NumLibraries());
+}
+
+TEST_F(MineAlternativesTest, ClusterSumyMatchesAggregate) {
+  Result<std::vector<MinedCluster>> mined =
+      MineKMeans(*brain_, 2, /*seed=*/3, "km");
+  ASSERT_TRUE(mined.ok());
+  const MinedCluster& c = mined->front();
+  Result<SumyTable> direct = Aggregate(c.enum_table, "direct");
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(direct->NumTags(), c.sumy.NumTags());
+  for (size_t i = 0; i < c.sumy.NumTags(); i += 37) {
+    EXPECT_DOUBLE_EQ(direct->entry(i).mean, c.sumy.entry(i).mean);
+  }
+}
+
+TEST_F(MineAlternativesTest, ClustersComposeWithTheAlgebra) {
+  // The whole point of Section 2.6: a k-means cluster's SUMY feeds the
+  // same downstream operators — diff() and populate().
+  Result<std::vector<MinedCluster>> mined =
+      MineKMeans(*brain_, 2, /*seed=*/3, "km");
+  ASSERT_TRUE(mined.ok());
+  ASSERT_EQ(mined->size(), 2u);
+  Result<GapTable> gap =
+      Diff((*mined)[0].sumy, (*mined)[1].sumy, "km_gap");
+  ASSERT_TRUE(gap.ok());
+  EXPECT_EQ(gap->NumTags(), brain_->NumTags());
+
+  PopulateEngine engine(*brain_);
+  Result<EnumTable> populated =
+      engine.Populate((*mined)[0].sumy, "km_populated");
+  ASSERT_TRUE(populated.ok());
+  // Every member satisfies its own cluster's ranges.
+  for (const sage::LibraryMeta& lib : (*mined)[0].enum_table.libraries()) {
+    EXPECT_TRUE(populated->FindLibraryRow(lib.id).has_value()) << lib.name;
+  }
+}
+
+TEST_F(MineAlternativesTest, InvalidParamsPropagate) {
+  EXPECT_FALSE(MineKMeans(*brain_, 0, 1, "km").ok());
+  EXPECT_FALSE(MineKMeans(*brain_, 100, 1, "km").ok());
+  EXPECT_FALSE(MineHierarchical(*brain_, 0,
+                                cluster::DistanceKind::kPearson, "hc")
+                   .ok());
+}
+
+// ---- the Section 4.4.4.2 library range search ----
+
+TEST(LibraryRangeSearchTest, FindsLibrariesInRange) {
+  using workbench::AccessLevel;
+  using workbench::AnalysisSession;
+
+  sage::SageDataSet data;
+  sage::SageLibrary a(1, "A", sage::TissueType::kBrain,
+                      sage::NeoplasticState::kNormal,
+                      sage::TissueSource::kBulkTissue);
+  a.SetCount(10, 5.0);
+  sage::SageLibrary b(2, "B", sage::TissueType::kBrain,
+                      sage::NeoplasticState::kNormal,
+                      sage::TissueSource::kBulkTissue);
+  b.SetCount(10, 50.0);
+  sage::SageLibrary c(3, "C", sage::TissueType::kBrain,
+                      sage::NeoplasticState::kNormal,
+                      sage::TissueSource::kBulkTissue);
+  // c does not express tag 10 at all -> level 0.
+  c.SetCount(20, 9.0);
+  data.AddLibrary(a);
+  data.AddLibrary(b);
+  data.AddLibrary(c);
+
+  AnalysisSession session("admin", "secret");
+  ASSERT_TRUE(
+      session.Login("admin", "secret", AccessLevel::kAdministrator).ok());
+  ASSERT_TRUE(session.LoadDataSet(data).ok());
+
+  Result<std::vector<std::string>> hits =
+      session.SearchLibrariesByTagRange(10, 1.0, 10.0);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(*hits, (std::vector<std::string>{"A"}));
+
+  // Swapped bounds are normalized; zero levels participate.
+  hits = session.SearchLibrariesByTagRange(10, 60.0, 0.0);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 3u);
+
+  hits = session.SearchLibrariesByTagRange(999, 1.0, 2.0);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+}  // namespace
+}  // namespace gea::core

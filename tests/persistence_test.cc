@@ -1,0 +1,340 @@
+// Tests for the persistence layer: SAGE library files, the relational
+// round trips of the GEA structures, lineage export/import, and the
+// session-level SaveDatabase / LoadDatabase.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/gap_ops.h"
+#include "core/serialization.h"
+#include "lineage/lineage.h"
+#include "rel/table_io.h"
+#include "sage/cleaning.h"
+#include "sage/generator.h"
+#include "sage/io.h"
+#include "workbench/session.h"
+
+namespace gea {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& tag) {
+  std::string dir = testing::TempDir() + "/gea_persist_" + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+sage::SageLibrary SampleLibrary() {
+  sage::SageLibrary lib(7, "SAGE_brain_cancer_B1", sage::TissueType::kBrain,
+                        sage::NeoplasticState::kCancer,
+                        sage::TissueSource::kCellLine);
+  lib.SetCount(*sage::EncodeTag("AAAAAAAAAC"), 13.0);
+  lib.SetCount(*sage::EncodeTag("CCTTGAGTAC"), 4.5);
+  lib.SetCount(*sage::EncodeTag("TTTTTTTTTT"), 1.0);
+  return lib;
+}
+
+// ---------- SAGE library files ----------
+
+TEST(SageIoTest, LibraryTextRoundTrip) {
+  sage::SageLibrary lib = SampleLibrary();
+  std::string text = sage::WriteLibraryText(lib);
+  Result<sage::SageLibrary> back =
+      sage::ReadLibraryText(lib.name(), text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->id(), 7);
+  EXPECT_EQ(back->tissue(), sage::TissueType::kBrain);
+  EXPECT_EQ(back->state(), sage::NeoplasticState::kCancer);
+  EXPECT_EQ(back->source(), sage::TissueSource::kCellLine);
+  ASSERT_EQ(back->entries().size(), lib.entries().size());
+  EXPECT_DOUBLE_EQ(back->Count(*sage::EncodeTag("CCTTGAGTAC")), 4.5);
+}
+
+TEST(SageIoTest, ReadRejectsMalformedInput) {
+  EXPECT_FALSE(sage::ReadLibraryText("x", "TAG\t3\n").ok());  // no header
+  EXPECT_FALSE(sage::ReadLibraryText(
+                   "x", "# gea-sage-library v1\nBADTAG\t3\n")
+                   .ok());
+  EXPECT_FALSE(sage::ReadLibraryText(
+                   "x", "# gea-sage-library v1\nAAAAAAAAAC\tnope\n")
+                   .ok());
+  EXPECT_FALSE(sage::ReadLibraryText(
+                   "x", "# gea-sage-library v1\nAAAAAAAAAC\n")
+                   .ok());
+  EXPECT_FALSE(sage::ReadLibraryText(
+                   "x", "# gea-sage-library v1\n# tissue liver\n")
+                   .ok());
+}
+
+TEST(SageIoTest, DataSetDirectoryRoundTrip) {
+  sage::GeneratorConfig config;
+  config.seed = 5;
+  config.panels = sage::SyntheticSageGenerator::SmallPanels();
+  sage::SyntheticSage synth = sage::SyntheticSageGenerator(config).Generate();
+
+  std::string dir = FreshDir("dataset");
+  ASSERT_TRUE(sage::SaveDataSet(synth.dataset, dir).ok());
+  ASSERT_TRUE(fs::exists(dir + "/sageName.txt"));
+
+  Result<sage::SageDataSet> back = sage::LoadDataSet(dir);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->NumLibraries(), synth.dataset.NumLibraries());
+  for (size_t i = 0; i < back->NumLibraries(); ++i) {
+    const sage::SageLibrary& a = synth.dataset.library(i);
+    const sage::SageLibrary& b = back->library(i);
+    EXPECT_EQ(a.name(), b.name());
+    EXPECT_EQ(a.id(), b.id());
+    EXPECT_EQ(a.UniqueTagCount(), b.UniqueTagCount());
+    EXPECT_DOUBLE_EQ(a.TotalTagCount(), b.TotalTagCount());
+  }
+}
+
+TEST(SageIoTest, LoadMissingDirectoryFails) {
+  EXPECT_FALSE(sage::LoadDataSet("/nonexistent/gea").ok());
+}
+
+// ---------- relational round trips ----------
+
+class RoundTripTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    sage::GeneratorConfig config;
+    config.seed = 11;
+    config.panels = sage::SyntheticSageGenerator::SmallPanels();
+    synth_ = sage::SyntheticSageGenerator(config).Generate();
+    sage::CleanAndNormalize(synth_.dataset);
+    brain_ = core::EnumTable::FromDataSet(
+        "brain", synth_.dataset.FilterByTissue(sage::TissueType::kBrain));
+  }
+  sage::SyntheticSage synth_;
+  core::EnumTable brain_ =
+      core::EnumTable::FromDataSet("empty", sage::SageDataSet());
+};
+
+TEST_F(RoundTripTest, SumyThroughRelAndCsv) {
+  core::SumyTable sumy =
+      std::move(core::Aggregate(brain_, "brain_sumy")).value();
+  // SUMY -> rel -> CSV -> rel -> SUMY.
+  std::string csv = rel::TableToCsv(sumy.ToRelTable());
+  Result<rel::Table> table = rel::TableFromCsv("brain_sumy", csv);
+  ASSERT_TRUE(table.ok());
+  Result<core::SumyTable> back =
+      core::SumyFromRelTable(*table, "brain_sumy");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->NumTags(), sumy.NumTags());
+  for (size_t i = 0; i < sumy.NumTags(); ++i) {
+    EXPECT_EQ(back->entry(i).tag, sumy.entry(i).tag);
+    EXPECT_NEAR(back->entry(i).mean, sumy.entry(i).mean, 1e-4);
+    EXPECT_NEAR(back->entry(i).stddev, sumy.entry(i).stddev, 1e-4);
+  }
+}
+
+TEST_F(RoundTripTest, GapWithNullsThroughRel) {
+  core::EnumTable cancer = brain_.FilterLibraries(
+      "cancer", [](const sage::LibraryMeta& lib) {
+        return lib.state == sage::NeoplasticState::kCancer;
+      });
+  core::EnumTable normal = brain_.FilterLibraries(
+      "normal", [](const sage::LibraryMeta& lib) {
+        return lib.state == sage::NeoplasticState::kNormal;
+      });
+  core::SumyTable s1 = std::move(core::Aggregate(cancer, "s1")).value();
+  core::SumyTable s2 = std::move(core::Aggregate(normal, "s2")).value();
+  core::GapTable gap = std::move(core::Diff(s1, s2, "gap")).value();
+
+  Result<core::GapTable> back =
+      core::GapFromRelTable(gap.ToRelTable(), "gap");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->NumTags(), gap.NumTags());
+  size_t nulls = 0;
+  for (size_t i = 0; i < gap.NumTags(); ++i) {
+    const core::GapEntry& a = gap.entry(i);
+    const core::GapEntry& b = back->entry(i);
+    EXPECT_EQ(a.tag, b.tag);
+    ASSERT_EQ(a.gaps.size(), b.gaps.size());
+    EXPECT_EQ(a.gaps[0].has_value(), b.gaps[0].has_value());
+    if (a.gaps[0].has_value()) {
+      EXPECT_NEAR(*a.gaps[0], *b.gaps[0], 1e-4);
+    } else {
+      ++nulls;
+    }
+  }
+  EXPECT_GT(nulls, 0u);  // the round trip actually exercised nulls
+}
+
+TEST_F(RoundTripTest, TwoColumnGapThroughRel) {
+  std::vector<core::GapEntry> entries = {{1, {1.5, std::nullopt}},
+                                         {2, {std::nullopt, -2.0}}};
+  core::GapTable gap = std::move(core::GapTable::Create(
+                                     "g", {"GapA", "GapB"},
+                                     std::move(entries)))
+                           .value();
+  Result<core::GapTable> back = core::GapFromRelTable(gap.ToRelTable(), "g");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->gap_columns(),
+            (std::vector<std::string>{"GapA", "GapB"}));
+  EXPECT_DOUBLE_EQ(*back->Gap(1, 0), 1.5);
+  EXPECT_FALSE(back->Gap(1, 1).has_value());
+}
+
+TEST_F(RoundTripTest, EnumThroughRelTables) {
+  Result<core::EnumTable> back = core::EnumFromRelTables(
+      brain_.ToRelTable(), core::EnumLibrariesToRelTable(brain_, "libs"),
+      "brain");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->NumLibraries(), brain_.NumLibraries());
+  ASSERT_EQ(back->NumTags(), brain_.NumTags());
+  for (size_t row = 0; row < brain_.NumLibraries(); ++row) {
+    EXPECT_EQ(back->library(row).id, brain_.library(row).id);
+    EXPECT_EQ(back->library(row).state, brain_.library(row).state);
+    for (size_t col = 0; col < brain_.NumTags(); col += 97) {
+      EXPECT_NEAR(back->ValueAt(row, col), brain_.ValueAt(row, col), 1e-4);
+    }
+  }
+}
+
+TEST_F(RoundTripTest, ReadersRejectWrongSchemas) {
+  rel::Table wrong("w", rel::Schema({{"TagNo", rel::ValueType::kString}}));
+  EXPECT_FALSE(core::SumyFromRelTable(wrong, "s").ok());
+  EXPECT_FALSE(core::GapFromRelTable(wrong, "g").ok());
+  rel::Table no_gaps("g", rel::Schema({{"TagName", rel::ValueType::kString},
+                                       {"TagNo", rel::ValueType::kInt}}));
+  EXPECT_FALSE(core::GapFromRelTable(no_gaps, "g").ok());
+}
+
+// ---------- lineage export/import ----------
+
+TEST(LineagePersistTest, ExportImportRoundTrip) {
+  lineage::LineageGraph graph;
+  auto root = *graph.AddNode("SAGE", lineage::NodeKind::kDataSet, "load",
+                             {{"libraries", "24"}}, {});
+  auto fas = *graph.AddNode("brain25k_1", lineage::NodeKind::kFascicle,
+                            "fascicles", {{"k", "150"}}, {root});
+  auto sumy = *graph.AddNode("brain25k_1_SUMY", lineage::NodeKind::kSumy,
+                             "aggregate", {}, {fas});
+  ASSERT_TRUE(graph.SetComment(fas, "interesting").ok());
+  ASSERT_TRUE(graph.DeleteContents(sumy).ok());
+
+  lineage::LineageGraph::RelExport exported = graph.Export();
+  Result<lineage::LineageGraph> back = lineage::LineageGraph::Import(
+      exported.nodes, exported.params, exported.edges);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->NumNodes(), 3u);
+  auto fas2 = *back->FindByName("brain25k_1");
+  const lineage::LineageGraph::Node* node = *back->GetNode(fas2);
+  EXPECT_EQ(node->comment, "interesting");
+  EXPECT_EQ(node->parameters.at("k"), "150");
+  EXPECT_EQ(node->parents.size(), 1u);
+  EXPECT_EQ(node->children.size(), 1u);
+  const lineage::LineageGraph::Node* sumy_node =
+      *back->GetNode(*back->FindByName("brain25k_1_SUMY"));
+  EXPECT_FALSE(sumy_node->has_contents);
+  // Fresh ids continue after the imported maximum.
+  Result<lineage::LineageGraph::NodeId> fresh = back->AddNode(
+      "new", lineage::NodeKind::kGap, "diff", {}, {});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(*fresh, sumy);
+}
+
+TEST(LineagePersistTest, ImportRejectsCorruptTables) {
+  lineage::LineageGraph graph;
+  (void)*graph.AddNode("a", lineage::NodeKind::kDataSet, "load", {}, {});
+  lineage::LineageGraph::RelExport exported = graph.Export();
+  // Edge referencing an unknown node.
+  exported.edges.AppendRowUnchecked(
+      {rel::Value::Int(99), rel::Value::Int(1)});
+  EXPECT_FALSE(lineage::LineageGraph::Import(exported.nodes,
+                                             exported.params,
+                                             exported.edges)
+                   .ok());
+}
+
+// ---------- session save/load ----------
+
+TEST(SessionPersistTest, SaveAndLoadDatabase) {
+  using workbench::AccessLevel;
+  using workbench::AnalysisSession;
+
+  sage::GeneratorConfig config;
+  config.seed = 42;
+  config.panels = sage::SyntheticSageGenerator::SmallPanels();
+  sage::SyntheticSage synth = sage::SyntheticSageGenerator(config).Generate();
+  sage::CleanAndNormalize(synth.dataset);
+
+  AnalysisSession session("admin", "secret");
+  ASSERT_TRUE(
+      session.Login("admin", "secret", AccessLevel::kAdministrator).ok());
+  ASSERT_TRUE(session.LoadDataSet(synth.dataset).ok());
+  ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain).ok());
+  ASSERT_TRUE(session.GenerateMetadata("brain", 25.0, "meta").ok());
+  Result<std::vector<std::string>> fascicles = session.CalculateFascicles(
+      "brain", "meta", 150, 6, 3, "brain25k");
+  ASSERT_TRUE(fascicles.ok());
+  ASSERT_FALSE(fascicles->empty());
+  const std::string fas = fascicles->front();
+  Result<AnalysisSession::ControlGroups> groups =
+      session.FormControlGroups("brain", fas);
+  ASSERT_TRUE(groups.ok());
+  ASSERT_TRUE(session
+                  .CreateGap(groups->fascicle_sumy, groups->opposite_sumy,
+                             "brain_gap")
+                  .ok());
+  ASSERT_TRUE(session.CommentOn(fas, "saved comment").ok());
+
+  std::string dir = FreshDir("session");
+  ASSERT_TRUE(session.SaveDatabase(dir).ok());
+
+  // A brand-new session loads everything back.
+  AnalysisSession restored("admin", "secret");
+  ASSERT_TRUE(
+      restored.Login("admin", "secret", AccessLevel::kAdministrator).ok());
+  ASSERT_TRUE(restored.LoadDatabase(dir).ok());
+
+  EXPECT_EQ(restored.TableNames(), session.TableNames());
+  Result<const core::EnumTable*> brain = restored.GetEnum("brain");
+  ASSERT_TRUE(brain.ok());
+  EXPECT_EQ((*brain)->NumLibraries(), 12u);
+  Result<const core::GapTable*> gap = restored.GetGap("brain_gap");
+  ASSERT_TRUE(gap.ok());
+  Result<const core::GapTable*> original = session.GetGap("brain_gap");
+  EXPECT_EQ((*gap)->NumTags(), (*original)->NumTags());
+
+  // Lineage survived, including the comment and the derivation chain.
+  Result<lineage::LineageGraph::NodeId> node =
+      restored.Lineage().FindByName(fas);
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ((*restored.Lineage().GetNode(*node))->comment, "saved comment");
+  Result<lineage::LineageGraph::NodeId> gap_node =
+      restored.Lineage().FindByName("brain_gap");
+  ASSERT_TRUE(gap_node.ok());
+  EXPECT_EQ((*restored.Lineage().GetNode(*gap_node))->parents.size(), 2u);
+
+  // The data set itself round-tripped.
+  Result<const sage::SageDataSet*> data = restored.DataSet();
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ((*data)->NumLibraries(), synth.dataset.NumLibraries());
+
+  // And the restored session keeps working: re-run a downstream step.
+  Result<std::string> top = restored.CalculateTopGap("brain_gap", 10);
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  EXPECT_TRUE(restored.GetGap(*top).ok());
+}
+
+TEST(SessionPersistTest, SaveRequiresLogin) {
+  workbench::AnalysisSession session("admin", "secret");
+  EXPECT_TRUE(session.SaveDatabase(FreshDir("nologin")).IsPermissionDenied());
+}
+
+TEST(SessionPersistTest, LoadFromMissingDirectoryFails) {
+  workbench::AnalysisSession session("admin", "secret");
+  ASSERT_TRUE(session
+                  .Login("admin", "secret",
+                         workbench::AccessLevel::kAdministrator)
+                  .ok());
+  EXPECT_FALSE(session.LoadDatabase("/nonexistent/gea_db").ok());
+}
+
+}  // namespace
+}  // namespace gea

@@ -1,0 +1,189 @@
+// Tests for populate(): correctness against a brute-force oracle, the
+// index plan, and the absent-tag convention.
+
+#include <gtest/gtest.h>
+
+#include "core/enum_table.h"
+#include "core/index_advisor.h"
+#include "core/operators.h"
+#include "core/populate.h"
+#include "sage/generator.h"
+
+namespace gea::core {
+namespace {
+
+using sage::TagId;
+
+sage::SageDataSet ToyData() {
+  sage::SageDataSet data;
+  auto lib = [](int id, std::vector<std::pair<TagId, double>> counts) {
+    sage::SageLibrary l(id, "L" + std::to_string(id),
+                        sage::TissueType::kBrain,
+                        sage::NeoplasticState::kNormal,
+                        sage::TissueSource::kBulkTissue);
+    for (const auto& [tag, count] : counts) l.SetCount(tag, count);
+    return l;
+  };
+  data.AddLibrary(lib(1, {{10, 5.0}, {20, 1.0}, {30, 9.0}}));
+  data.AddLibrary(lib(2, {{10, 6.0}, {20, 2.0}, {30, 1.0}}));
+  data.AddLibrary(lib(3, {{10, 5.5}, {20, 8.0}, {30, 9.5}}));
+  data.AddLibrary(lib(4, {{10, 50.0}, {20, 1.5}, {30, 9.2}}));
+  return data;
+}
+
+SumyTable RangeSumy(std::vector<std::tuple<TagId, double, double>> ranges) {
+  std::vector<SumyEntry> entries;
+  for (const auto& [tag, lo, hi] : ranges) {
+    entries.push_back({tag, lo, hi, (lo + hi) / 2, 0.0});
+  }
+  return *SumyTable::Create("query", std::move(entries));
+}
+
+TEST(PopulateTest, SequentialScanFindsSatisfyingLibraries) {
+  EnumTable base = EnumTable::FromDataSet("base", ToyData());
+  PopulateEngine engine(base);
+  // 10 in [5, 6], 20 in [1, 2]: libraries 1 and 2 qualify (3 fails tag
+  // 20, 4 fails tag 10).
+  SumyTable sumy = RangeSumy({{10, 5.0, 6.0}, {20, 1.0, 2.0}});
+  PopulateEngine::Stats stats;
+  Result<EnumTable> out = engine.Populate(sumy, "out", &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumLibraries(), 2u);
+  EXPECT_EQ(out->library(0).id, 1);
+  EXPECT_EQ(out->library(1).id, 2);
+  EXPECT_EQ(stats.conditions, 2u);
+  EXPECT_EQ(stats.index_hits, 0u);
+}
+
+TEST(PopulateTest, OutputColumnsAreTheSumyTags) {
+  EnumTable base = EnumTable::FromDataSet("base", ToyData());
+  PopulateEngine engine(base);
+  SumyTable sumy = RangeSumy({{10, 0.0, 100.0}, {30, 0.0, 100.0}});
+  Result<EnumTable> out = engine.Populate(sumy, "out");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->tags(), (std::vector<TagId>{10, 30}));
+  EXPECT_DOUBLE_EQ(out->ValueAt(0, 1), 9.0);  // lib1, tag 30
+}
+
+TEST(PopulateTest, AbsentTagTreatedAsZero) {
+  EnumTable base = EnumTable::FromDataSet("base", ToyData());
+  PopulateEngine engine(base);
+  // Tag 999 exists nowhere: a range including 0 keeps everyone, one
+  // excluding 0 keeps no one.
+  SumyTable inclusive = RangeSumy({{999, 0.0, 10.0}});
+  EXPECT_EQ(engine.Populate(inclusive, "out")->NumLibraries(), 4u);
+  SumyTable exclusive = RangeSumy({{999, 1.0, 10.0}});
+  EXPECT_EQ(engine.Populate(exclusive, "out")->NumLibraries(), 0u);
+}
+
+TEST(PopulateTest, IndexedPlanMatchesSequential) {
+  EnumTable base = EnumTable::FromDataSet("base", ToyData());
+  PopulateEngine indexed(base);
+  ASSERT_TRUE(indexed.BuildIndexes({10, 20}).ok());
+  PopulateEngine sequential(base);
+
+  SumyTable sumy =
+      RangeSumy({{10, 5.0, 6.0}, {20, 1.0, 2.0}, {30, 0.0, 9.0}});
+  PopulateEngine::Stats stats;
+  Result<EnumTable> fast = indexed.Populate(sumy, "fast", &stats);
+  Result<EnumTable> slow = sequential.Populate(sumy, "slow");
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  ASSERT_EQ(fast->NumLibraries(), slow->NumLibraries());
+  for (size_t i = 0; i < fast->NumLibraries(); ++i) {
+    EXPECT_EQ(fast->library(i).id, slow->library(i).id);
+  }
+  EXPECT_EQ(stats.index_hits, 2u);
+  // Index intersection narrowed the candidates before scanning.
+  EXPECT_LE(stats.candidates_after_index, 2u);
+}
+
+TEST(PopulateTest, BuildIndexesRejectsUnknownTags) {
+  EnumTable base = EnumTable::FromDataSet("base", ToyData());
+  PopulateEngine engine(base);
+  EXPECT_TRUE(engine.BuildIndexes({999}).IsNotFound());
+  EXPECT_EQ(engine.NumIndexes(), 0u);
+}
+
+TEST(PopulateTest, MembersOfAMinedFascicleAlwaysQualify) {
+  // populate(SUMY_f, base) must return at least the fascicle's members —
+  // the macro-operation invariant of Section 4.1.
+  sage::GeneratorConfig config;
+  config.seed = 19;
+  config.panels = sage::SyntheticSageGenerator::SmallPanels();
+  sage::SyntheticSage synth = sage::SyntheticSageGenerator(config).Generate();
+  sage::SageDataSet brain =
+      synth.dataset.FilterByTissue(sage::TissueType::kBrain);
+  EnumTable base = EnumTable::FromDataSet("brain", brain);
+
+  cluster::FascicleParams params;
+  params.min_compact_tags = base.NumTags() / 2;
+  params.tolerances = MakeToleranceMetadata(base, 20.0);
+  params.min_size = 3;
+  Result<std::vector<MinedFascicle>> mined = Mine(base, params, "fas");
+  ASSERT_TRUE(mined.ok());
+  ASSERT_FALSE(mined->empty());
+
+  PopulateEngine engine(base);
+  for (const MinedFascicle& m : *mined) {
+    Result<EnumTable> populated = engine.Populate(m.sumy, "p");
+    ASSERT_TRUE(populated.ok());
+    // Every member id appears in the populated ENUM.
+    for (const sage::LibraryMeta& member : m.members.libraries()) {
+      EXPECT_TRUE(populated->FindLibraryRow(member.id).has_value())
+          << "member " << member.name << " missing from populate output";
+    }
+  }
+}
+
+// Property sweep: on synthetic data, indexed populate with the top-m
+// entropy tags returns exactly the sequential answer for various m.
+class IndexedPopulateTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(IndexedPopulateTest, PlanEquivalence) {
+  sage::GeneratorConfig config;
+  config.seed = 23;
+  config.panels = sage::SyntheticSageGenerator::SmallPanels();
+  sage::SyntheticSage synth = sage::SyntheticSageGenerator(config).Generate();
+  sage::SageDataSet brain =
+      synth.dataset.FilterByTissue(sage::TissueType::kBrain);
+  EnumTable base = EnumTable::FromDataSet("brain", brain);
+
+  // A SUMY over a slice of the universe with generous ranges.
+  std::vector<SumyEntry> entries;
+  for (size_t col = 0; col < base.NumTags(); col += 7) {
+    double lo = base.ValueAt(0, col);
+    double hi = lo;
+    for (size_t row = 0; row < base.NumLibraries(); ++row) {
+      lo = std::min(lo, base.ValueAt(row, col));
+      hi = std::max(hi, base.ValueAt(row, col));
+    }
+    entries.push_back({base.tag(col), lo, (lo + hi) / 2, 0.0, 0.0});
+  }
+  for (SumyEntry& e : entries) {
+    e.mean = (e.min + e.max) / 2;
+  }
+  SumyTable sumy = *SumyTable::Create("q", std::move(entries));
+
+  PopulateEngine sequential(base);
+  Result<EnumTable> expected = sequential.Populate(sumy, "seq");
+  ASSERT_TRUE(expected.ok());
+
+  PopulateEngine indexed(base);
+  std::vector<TagId> index_tags = TopEntropyTags(base, GetParam());
+  ASSERT_TRUE(indexed.BuildIndexes(index_tags).ok());
+  PopulateEngine::Stats stats;
+  Result<EnumTable> got = indexed.Populate(sumy, "idx", &stats);
+  ASSERT_TRUE(got.ok());
+
+  ASSERT_EQ(got->NumLibraries(), expected->NumLibraries());
+  for (size_t i = 0; i < got->NumLibraries(); ++i) {
+    EXPECT_EQ(got->library(i).id, expected->library(i).id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VariousIndexCounts, IndexedPopulateTest,
+                         testing::Values(1u, 4u, 16u, 64u, 256u));
+
+}  // namespace
+}  // namespace gea::core

@@ -1,0 +1,410 @@
+// Tests for the relational substrate: schema/table, predicates, operators,
+// indexes, catalog and CSV persistence.
+
+#include <gtest/gtest.h>
+
+#include "rel/catalog.h"
+#include "rel/expr.h"
+#include "rel/index.h"
+#include "rel/ops.h"
+#include "rel/table.h"
+#include "rel/table_io.h"
+
+namespace gea::rel {
+namespace {
+
+Schema PeopleSchema() {
+  return Schema({{"name", ValueType::kString},
+                 {"age", ValueType::kInt},
+                 {"score", ValueType::kDouble}});
+}
+
+Table People() {
+  Table t("people", PeopleSchema());
+  t.AppendRowUnchecked({Value::String("ann"), Value::Int(30),
+                        Value::Double(1.5)});
+  t.AppendRowUnchecked({Value::String("bob"), Value::Int(25),
+                        Value::Double(2.5)});
+  t.AppendRowUnchecked({Value::String("cid"), Value::Int(35),
+                        Value::Double(0.5)});
+  t.AppendRowUnchecked({Value::String("dee"), Value::Int(25),
+                        Value::Null()});
+  return t;
+}
+
+// ---------- Schema / Table ----------
+
+TEST(SchemaTest, CreateRejectsDuplicates) {
+  EXPECT_FALSE(Schema::Create({{"a", ValueType::kInt},
+                               {"a", ValueType::kInt}})
+                   .ok());
+  EXPECT_FALSE(Schema::Create({{"", ValueType::kInt}}).ok());
+  EXPECT_TRUE(Schema::Create({{"a", ValueType::kInt}}).ok());
+}
+
+TEST(SchemaTest, FindColumn) {
+  Schema s = PeopleSchema();
+  EXPECT_EQ(*s.FindColumn("age"), 1u);
+  EXPECT_FALSE(s.FindColumn("nope").has_value());
+  EXPECT_TRUE(s.ColumnIndex("nope").status().IsNotFound());
+}
+
+TEST(TableTest, AppendRowValidatesArityAndTypes) {
+  Table t("t", PeopleSchema());
+  EXPECT_TRUE(t.AppendRow({Value::String("x"), Value::Int(1),
+                           Value::Double(1)})
+                  .ok());
+  EXPECT_FALSE(t.AppendRow({Value::String("x"), Value::Int(1)}).ok());
+  EXPECT_FALSE(t.AppendRow({Value::Int(1), Value::Int(1), Value::Double(1)})
+                   .ok());
+  // NULL allowed anywhere.
+  EXPECT_TRUE(
+      t.AppendRow({Value::Null(), Value::Null(), Value::Null()}).ok());
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(TableTest, GetByName) {
+  Table t = People();
+  EXPECT_EQ(t.Get(0, "name")->AsString(), "ann");
+  EXPECT_TRUE(t.Get(99, "name").status().code() == StatusCode::kOutOfRange);
+  EXPECT_TRUE(t.Get(0, "bogus").status().IsNotFound());
+}
+
+// ---------- Predicates / Select ----------
+
+TEST(SelectTest, CompareLiteral) {
+  Table t = People();
+  Result<Table> out = Select(t, Compare("age", CompareOp::kGt,
+                                        Value::Int(26)), "old");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumRows(), 2u);
+}
+
+TEST(SelectTest, NullNeverMatchesComparisons) {
+  Table t = People();
+  // dee has NULL score; she matches neither < nor >= filters.
+  Result<Table> lt = Select(t, Compare("score", CompareOp::kLt,
+                                       Value::Double(100.0)), "lt");
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ(lt->NumRows(), 3u);
+  Result<Table> ge = Select(t, Compare("score", CompareOp::kGe,
+                                       Value::Double(-100.0)), "ge");
+  EXPECT_EQ(ge->NumRows(), 3u);
+}
+
+TEST(SelectTest, IsNullPredicates) {
+  Table t = People();
+  EXPECT_EQ(Select(t, IsNull("score"), "n")->NumRows(), 1u);
+  EXPECT_EQ(Select(t, IsNotNull("score"), "nn")->NumRows(), 3u);
+}
+
+TEST(SelectTest, BetweenInclusive) {
+  Table t = People();
+  Result<Table> out =
+      Select(t, Between("age", Value::Int(25), Value::Int(30)), "mid");
+  EXPECT_EQ(out->NumRows(), 3u);
+}
+
+TEST(SelectTest, BooleanCombinators) {
+  Table t = People();
+  std::vector<PredicatePtr> both;
+  both.push_back(Compare("age", CompareOp::kEq, Value::Int(25)));
+  both.push_back(IsNotNull("score"));
+  EXPECT_EQ(Select(t, And(std::move(both)), "a")->NumRows(), 1u);
+
+  std::vector<PredicatePtr> either;
+  either.push_back(Compare("name", CompareOp::kEq, Value::String("ann")));
+  either.push_back(Compare("name", CompareOp::kEq, Value::String("cid")));
+  EXPECT_EQ(Select(t, Or(std::move(either)), "o")->NumRows(), 2u);
+
+  EXPECT_EQ(Select(t, Not(IsNull("score")), "not")->NumRows(), 3u);
+  EXPECT_EQ(Select(t, True(), "all")->NumRows(), 4u);
+}
+
+TEST(SelectTest, CompareColumns) {
+  Schema s({{"a", ValueType::kInt}, {"b", ValueType::kInt}});
+  Table t("t", s);
+  t.AppendRowUnchecked({Value::Int(1), Value::Int(2)});
+  t.AppendRowUnchecked({Value::Int(3), Value::Int(3)});
+  t.AppendRowUnchecked({Value::Int(5), Value::Int(4)});
+  EXPECT_EQ(Select(t, CompareColumns("a", CompareOp::kLt, "b"), "lt")
+                ->NumRows(),
+            1u);
+  EXPECT_EQ(Select(t, CompareColumns("a", CompareOp::kEq, "b"), "eq")
+                ->NumRows(),
+            1u);
+}
+
+TEST(SelectTest, UnknownColumnFailsAtBind) {
+  Table t = People();
+  EXPECT_TRUE(Select(t, Compare("bogus", CompareOp::kEq, Value::Int(1)), "x")
+                  .status()
+                  .IsNotFound());
+}
+
+// ---------- Project / Distinct / Rename / Sort / Limit ----------
+
+TEST(ProjectTest, ReordersColumns) {
+  Table t = People();
+  Result<Table> out = Project(t, {"age", "name"}, "p");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema().column(0).name, "age");
+  EXPECT_EQ(out->At(0, 1).AsString(), "ann");
+}
+
+TEST(ProjectTest, UnknownColumnFails) {
+  EXPECT_FALSE(Project(People(), {"nope"}, "p").ok());
+}
+
+TEST(DistinctTest, RemovesDuplicates) {
+  Schema s({{"x", ValueType::kInt}});
+  Table t("t", s);
+  for (int v : {1, 2, 1, 3, 2, 1}) {
+    t.AppendRowUnchecked({Value::Int(v)});
+  }
+  EXPECT_EQ(Distinct(t, "d")->NumRows(), 3u);
+}
+
+TEST(RenameTest, RenamesColumn) {
+  Result<Table> out = RenameColumn(People(), "age", "years", "r");
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->schema().FindColumn("years").has_value());
+  EXPECT_FALSE(out->schema().FindColumn("age").has_value());
+}
+
+TEST(SortTest, MultiKeyWithDirections) {
+  Table t = People();
+  Result<Table> out = Sort(t, {{"age", true}, {"name", false}}, "s");
+  ASSERT_TRUE(out.ok());
+  // age 25 first (bob, dee -> desc name: dee then bob), then 30, 35.
+  EXPECT_EQ(out->At(0, 0).AsString(), "dee");
+  EXPECT_EQ(out->At(1, 0).AsString(), "bob");
+  EXPECT_EQ(out->At(2, 0).AsString(), "ann");
+  EXPECT_EQ(out->At(3, 0).AsString(), "cid");
+}
+
+TEST(SortTest, NullsSortFirst) {
+  Table t = People();
+  Result<Table> out = Sort(t, {{"score", true}}, "s");
+  EXPECT_TRUE(out->At(0, 2).is_null());
+}
+
+TEST(LimitTest, TruncatesAndHandlesOverrun) {
+  EXPECT_EQ(Limit(People(), 2, "l")->NumRows(), 2u);
+  EXPECT_EQ(Limit(People(), 99, "l")->NumRows(), 4u);
+}
+
+// ---------- Join ----------
+
+TEST(JoinTest, BasicEquiJoin) {
+  Schema left_schema({{"id", ValueType::kInt}, {"name", ValueType::kString}});
+  Table left("left", left_schema);
+  left.AppendRowUnchecked({Value::Int(1), Value::String("a")});
+  left.AppendRowUnchecked({Value::Int(2), Value::String("b")});
+  left.AppendRowUnchecked({Value::Int(3), Value::String("c")});
+
+  Schema right_schema({{"key", ValueType::kInt}, {"val", ValueType::kString}});
+  Table right("right", right_schema);
+  right.AppendRowUnchecked({Value::Int(2), Value::String("x")});
+  right.AppendRowUnchecked({Value::Int(2), Value::String("y")});
+  right.AppendRowUnchecked({Value::Int(4), Value::String("z")});
+
+  Result<Table> out = HashJoin(left, right, "id", "key", "j");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumRows(), 2u);  // id=2 joins twice
+  EXPECT_EQ(out->schema().NumColumns(), 3u);  // id, name, val
+}
+
+TEST(JoinTest, NullKeysNeverJoin) {
+  Schema s({{"k", ValueType::kInt}});
+  Table a("a", s);
+  a.AppendRowUnchecked({Value::Null()});
+  Table b("b", s);
+  b.AppendRowUnchecked({Value::Null()});
+  EXPECT_EQ(HashJoin(a, b, "k", "k", "j")->NumRows(), 0u);
+}
+
+TEST(JoinTest, ClashingColumnNamesGetPrefixed) {
+  Schema s({{"k", ValueType::kInt}, {"name", ValueType::kString}});
+  Table a("a", s);
+  a.AppendRowUnchecked({Value::Int(1), Value::String("l")});
+  Table b("b", s);
+  b.AppendRowUnchecked({Value::Int(1), Value::String("r")});
+  Result<Table> out = HashJoin(a, b, "k", "k", "j");
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->schema().FindColumn("r_name").has_value());
+}
+
+// ---------- GroupAggregate ----------
+
+TEST(AggregateTest, GroupedAggregates) {
+  Table t = People();
+  Result<Table> out = GroupAggregate(
+      t, {"age"},
+      {{AggFn::kCount, "", "n"}, {AggFn::kAvg, "score", "avg_score"}},
+      "g");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumRows(), 3u);
+  // age 25 group: bob (2.5) + dee (NULL) -> count 2, avg over non-null 2.5.
+  bool found = false;
+  for (size_t r = 0; r < out->NumRows(); ++r) {
+    if (out->At(r, 0).AsInt() == 25) {
+      EXPECT_EQ(out->At(r, 1).AsInt(), 2);
+      EXPECT_DOUBLE_EQ(out->At(r, 2).AsDouble(), 2.5);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AggregateTest, GlobalAggregatesOnEmptyGroupList) {
+  Table t = People();
+  Result<Table> out = GroupAggregate(
+      t, {},
+      {{AggFn::kCount, "", "n"},
+       {AggFn::kMin, "age", "min_age"},
+       {AggFn::kMax, "age", "max_age"},
+       {AggFn::kSum, "score", "total"}},
+      "g");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->NumRows(), 1u);
+  EXPECT_EQ(out->At(0, 0).AsInt(), 4);
+  EXPECT_EQ(out->At(0, 1).AsInt(), 25);
+  EXPECT_EQ(out->At(0, 2).AsInt(), 35);
+  EXPECT_DOUBLE_EQ(out->At(0, 3).AsDouble(), 4.5);
+}
+
+TEST(AggregateTest, StdDevMatchesPopulationFormula) {
+  Schema s({{"x", ValueType::kDouble}});
+  Table t("t", s);
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    t.AppendRowUnchecked({Value::Double(v)});
+  }
+  Result<Table> out =
+      GroupAggregate(t, {}, {{AggFn::kStdDev, "x", "sd"}}, "g");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->At(0, 0).AsDouble(), 2.0, 1e-9);  // classic example
+}
+
+TEST(AggregateTest, NumericFnOnStringColumnFails) {
+  EXPECT_FALSE(
+      GroupAggregate(People(), {}, {{AggFn::kSum, "name", "s"}}, "g").ok());
+}
+
+TEST(AggregateTest, EmptyInputGlobalGroupEmitsOneRow) {
+  Table t("t", PeopleSchema());
+  Result<Table> out = GroupAggregate(
+      t, {}, {{AggFn::kCount, "", "n"}, {AggFn::kAvg, "score", "a"}}, "g");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->NumRows(), 1u);
+  EXPECT_EQ(out->At(0, 0).AsInt(), 0);
+  EXPECT_TRUE(out->At(0, 1).is_null());
+}
+
+// ---------- Set operations ----------
+
+Table Numbers(const std::string& name, std::vector<int> xs) {
+  Schema s({{"x", ValueType::kInt}});
+  Table t(name, s);
+  for (int x : xs) t.AppendRowUnchecked({Value::Int(x)});
+  return t;
+}
+
+TEST(SetOpsTest, UnionDeduplicates) {
+  Result<Table> out =
+      Union(Numbers("a", {1, 2, 2}), Numbers("b", {2, 3}), "u");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumRows(), 3u);
+}
+
+TEST(SetOpsTest, IntersectAndMinus) {
+  Table a = Numbers("a", {1, 2, 3, 3});
+  Table b = Numbers("b", {2, 3, 4});
+  EXPECT_EQ(Intersect(a, b, "i")->NumRows(), 2u);
+  EXPECT_EQ(Minus(a, b, "m")->NumRows(), 1u);
+  EXPECT_EQ(Minus(a, b, "m")->At(0, 0).AsInt(), 1);
+}
+
+TEST(SetOpsTest, SchemaMismatchFails) {
+  Table a = Numbers("a", {1});
+  Table b("b", Schema({{"y", ValueType::kInt}}));
+  EXPECT_FALSE(Union(a, b, "u").ok());
+}
+
+// ---------- SortedIndex ----------
+
+TEST(IndexTest, RangeLookupAndCount) {
+  Table t = People();
+  Result<SortedIndex> idx = SortedIndex::Build(t, "age");
+  ASSERT_TRUE(idx.ok());
+  std::vector<size_t> rows = idx->RangeLookup(Value::Int(25), Value::Int(30));
+  EXPECT_EQ(rows.size(), 3u);
+  EXPECT_EQ(idx->RangeCount(Value::Int(25), Value::Int(30)), 3u);
+  EXPECT_EQ(idx->RangeCount(Value::Int(100), Value::Int(200)), 0u);
+}
+
+TEST(IndexTest, ExcludesNulls) {
+  Table t = People();
+  Result<SortedIndex> idx = SortedIndex::Build(t, "score");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->NumEntries(), 3u);
+}
+
+TEST(IndexTest, UnknownColumnFails) {
+  EXPECT_FALSE(SortedIndex::Build(People(), "bogus").ok());
+}
+
+// ---------- Catalog ----------
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable(People()).ok());
+  EXPECT_TRUE(catalog.HasTable("people"));
+  ASSERT_TRUE(catalog.GetTable("people").ok());
+  EXPECT_TRUE(catalog.DropTable("people").ok());
+  EXPECT_FALSE(catalog.HasTable("people"));
+  EXPECT_TRUE(catalog.DropTable("people").IsNotFound());
+}
+
+TEST(CatalogTest, RedundancyCheck) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable(People()).ok());
+  // Section 4.4.5.2: re-creating without replace is refused.
+  EXPECT_TRUE(catalog.CreateTable(People()).IsAlreadyExists());
+  EXPECT_TRUE(catalog.CreateTable(People(), /*replace=*/true).ok());
+}
+
+TEST(CatalogTest, InitializeDropsEverything) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable(People()).ok());
+  catalog.Initialize();
+  EXPECT_EQ(catalog.NumTables(), 0u);
+}
+
+// ---------- Table IO ----------
+
+TEST(TableIoTest, CsvRoundTripPreservesTypesAndNulls) {
+  Table t = People();
+  Result<Table> back = TableFromCsv("people", TableToCsv(t));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->NumRows(), t.NumRows());
+  EXPECT_TRUE(back->schema() == t.schema());
+  EXPECT_TRUE(back->At(3, 2).is_null());
+  EXPECT_EQ(back->At(0, 1).AsInt(), 30);
+}
+
+TEST(TableIoTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/gea_table.csv";
+  ASSERT_TRUE(SaveTable(People(), path).ok());
+  Result<Table> back = LoadTable("people", path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumRows(), 4u);
+}
+
+TEST(TableIoTest, BadHeaderFails) {
+  EXPECT_FALSE(TableFromCsv("t", "noType\n1\n").ok());
+  EXPECT_FALSE(TableFromCsv("t", "a:varchar\nx\n").ok());
+}
+
+}  // namespace
+}  // namespace gea::rel

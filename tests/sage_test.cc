@@ -1,0 +1,233 @@
+// Tests for SageLibrary, SageDataSet, the rotated ExpressionMatrix and the
+// relational stat builders.
+
+#include <gtest/gtest.h>
+
+#include "rel/ops.h"
+#include "sage/dataset.h"
+#include "sage/library.h"
+#include "sage/matrix.h"
+#include "sage/stats.h"
+
+namespace gea::sage {
+namespace {
+
+SageLibrary MakeLib(int id, const std::string& name, TissueType tissue,
+                    NeoplasticState state,
+                    std::vector<std::pair<TagId, double>> counts,
+                    TissueSource source = TissueSource::kBulkTissue) {
+  SageLibrary lib(id, name, tissue, state, source);
+  for (const auto& [tag, count] : counts) lib.SetCount(tag, count);
+  return lib;
+}
+
+// ---------- SageLibrary ----------
+
+TEST(LibraryTest, CountsAndTotals) {
+  SageLibrary lib = MakeLib(1, "L1", TissueType::kBrain,
+                            NeoplasticState::kNormal,
+                            {{10, 5.0}, {20, 3.0}, {5, 2.0}});
+  EXPECT_DOUBLE_EQ(lib.Count(10), 5.0);
+  EXPECT_DOUBLE_EQ(lib.Count(999), 0.0);
+  EXPECT_EQ(lib.UniqueTagCount(), 3u);
+  EXPECT_DOUBLE_EQ(lib.TotalTagCount(), 10.0);
+}
+
+TEST(LibraryTest, EntriesStaySortedByTag) {
+  SageLibrary lib = MakeLib(1, "L1", TissueType::kBrain,
+                            NeoplasticState::kNormal,
+                            {{30, 1.0}, {10, 1.0}, {20, 1.0}});
+  ASSERT_EQ(lib.entries().size(), 3u);
+  EXPECT_EQ(lib.entries()[0].tag, 10u);
+  EXPECT_EQ(lib.entries()[1].tag, 20u);
+  EXPECT_EQ(lib.entries()[2].tag, 30u);
+}
+
+TEST(LibraryTest, SetCountZeroErases) {
+  SageLibrary lib = MakeLib(1, "L1", TissueType::kBrain,
+                            NeoplasticState::kNormal, {{10, 5.0}});
+  lib.SetCount(10, 0.0);
+  EXPECT_EQ(lib.UniqueTagCount(), 0u);
+}
+
+TEST(LibraryTest, AddCountCreatesAndAccumulates) {
+  SageLibrary lib(1, "L1", TissueType::kBrain, NeoplasticState::kNormal,
+                  TissueSource::kCellLine);
+  lib.AddCount(7, 2.0);
+  lib.AddCount(7, 3.0);
+  EXPECT_DOUBLE_EQ(lib.Count(7), 5.0);
+  lib.AddCount(7, -5.0);
+  EXPECT_EQ(lib.UniqueTagCount(), 0u);
+}
+
+TEST(LibraryTest, EraseReportsPresence) {
+  SageLibrary lib = MakeLib(1, "L1", TissueType::kBrain,
+                            NeoplasticState::kNormal, {{10, 5.0}});
+  EXPECT_TRUE(lib.Erase(10));
+  EXPECT_FALSE(lib.Erase(10));
+}
+
+TEST(LibraryTest, ScaleMultipliesAllCounts) {
+  SageLibrary lib = MakeLib(1, "L1", TissueType::kBrain,
+                            NeoplasticState::kNormal,
+                            {{10, 5.0}, {20, 3.0}});
+  lib.Scale(2.0);
+  EXPECT_DOUBLE_EQ(lib.Count(10), 10.0);
+  EXPECT_DOUBLE_EQ(lib.TotalTagCount(), 16.0);
+}
+
+TEST(LibraryTest, EnumNames) {
+  EXPECT_STREQ(TissueTypeName(TissueType::kBrain), "brain");
+  EXPECT_STREQ(NeoplasticStateName(NeoplasticState::kCancer), "cancer");
+  EXPECT_STREQ(TissueSourceName(TissueSource::kCellLine), "cell_line");
+  EXPECT_EQ(AllTissueTypes().size(), 9u);
+  ASSERT_TRUE(ParseTissueType("kidney").ok());
+  EXPECT_EQ(*ParseTissueType("kidney"), TissueType::kKidney);
+  EXPECT_FALSE(ParseTissueType("liver").ok());
+}
+
+// ---------- SageDataSet ----------
+
+SageDataSet TwoTissueData() {
+  SageDataSet data;
+  data.AddLibrary(MakeLib(1, "brain_c1", TissueType::kBrain,
+                          NeoplasticState::kCancer, {{10, 4.0}, {20, 1.0}}));
+  data.AddLibrary(MakeLib(2, "brain_n1", TissueType::kBrain,
+                          NeoplasticState::kNormal, {{10, 2.0}, {30, 5.0}}));
+  data.AddLibrary(MakeLib(3, "breast_c1", TissueType::kBreast,
+                          NeoplasticState::kCancer, {{40, 9.0}}));
+  return data;
+}
+
+TEST(DataSetTest, FindByIdAndName) {
+  SageDataSet data = TwoTissueData();
+  ASSERT_TRUE(data.FindById(2).ok());
+  EXPECT_EQ((*data.FindById(2))->name(), "brain_n1");
+  ASSERT_TRUE(data.FindByName("breast_c1").ok());
+  EXPECT_TRUE(data.FindById(99).status().IsNotFound());
+  EXPECT_TRUE(data.FindByName("nope").status().IsNotFound());
+}
+
+TEST(DataSetTest, TagUniverseIsSortedUnion) {
+  SageDataSet data = TwoTissueData();
+  EXPECT_EQ(data.TagUniverse(), (std::vector<TagId>{10, 20, 30, 40}));
+  EXPECT_EQ(data.UniverseSize(), 4u);
+}
+
+TEST(DataSetTest, Filters) {
+  SageDataSet data = TwoTissueData();
+  EXPECT_EQ(data.FilterByTissue(TissueType::kBrain).NumLibraries(), 2u);
+  EXPECT_EQ(data.FilterByState(NeoplasticState::kCancer).NumLibraries(), 2u);
+}
+
+TEST(DataSetTest, SelectAndExcludeIds) {
+  SageDataSet data = TwoTissueData();
+  Result<SageDataSet> selected = data.SelectByIds({3, 1});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->NumLibraries(), 2u);
+  EXPECT_EQ(selected->library(0).id(), 3);  // requested order
+  EXPECT_TRUE(data.SelectByIds({99}).status().IsNotFound());
+  EXPECT_EQ(data.ExcludeIds({1, 3}).NumLibraries(), 1u);
+}
+
+// ---------- ExpressionMatrix (rotated layout, Section 4.6.1) ----------
+
+TEST(MatrixTest, ValuesLandInRightCells) {
+  SageDataSet data = TwoTissueData();
+  ExpressionMatrix m = ExpressionMatrix::FromDataSet(data);
+  EXPECT_EQ(m.NumTags(), 4u);
+  EXPECT_EQ(m.NumLibraries(), 3u);
+  // Tag 10 row: lib1=4, lib2=2, lib3=0.
+  size_t row = *m.FindTagRow(10);
+  EXPECT_DOUBLE_EQ(m.ValueAt(row, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m.ValueAt(row, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.ValueAt(row, 2), 0.0);
+}
+
+TEST(MatrixTest, TagRowIsContiguousAndMatches) {
+  SageDataSet data = TwoTissueData();
+  ExpressionMatrix m = ExpressionMatrix::FromDataSet(data);
+  size_t row = *m.FindTagRow(30);
+  std::span<const double> r = m.TagRow(row);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r[1], 5.0);
+}
+
+TEST(MatrixTest, LibraryColumnIsConceptualRow) {
+  SageDataSet data = TwoTissueData();
+  ExpressionMatrix m = ExpressionMatrix::FromDataSet(data);
+  std::vector<double> col = m.LibraryColumn(0);  // brain_c1
+  // Tags sorted: 10, 20, 30, 40 -> 4, 1, 0, 0.
+  EXPECT_EQ(col, (std::vector<double>{4.0, 1.0, 0.0, 0.0}));
+}
+
+TEST(MatrixTest, RestrictedTagSet) {
+  SageDataSet data = TwoTissueData();
+  ExpressionMatrix m = ExpressionMatrix::FromDataSet(data, {10, 40});
+  EXPECT_EQ(m.NumTags(), 2u);
+  EXPECT_FALSE(m.FindTagRow(20).has_value());
+  EXPECT_DOUBLE_EQ(m.ValueAt(*m.FindTagRow(40), 2), 9.0);
+}
+
+TEST(MatrixTest, LibraryMetadataPreserved) {
+  SageDataSet data = TwoTissueData();
+  ExpressionMatrix m = ExpressionMatrix::FromDataSet(data);
+  EXPECT_EQ(m.library(2).name, "breast_c1");
+  EXPECT_EQ(m.library(2).state, NeoplasticState::kCancer);
+  EXPECT_EQ(*m.FindLibraryColumn(2), 1u);
+  EXPECT_FALSE(m.FindLibraryColumn(42).has_value());
+}
+
+// ---------- Relational stat builders (Appendix IV schemas) ----------
+
+TEST(StatsTest, LibraryInfoTable) {
+  SageDataSet data = TwoTissueData();
+  rel::Table t = BuildLibraryInfoTable(data);
+  EXPECT_EQ(t.NumRows(), 3u);
+  EXPECT_EQ(t.Get(0, "Lib_Name")->AsString(), "brain_c1");
+  EXPECT_EQ(t.Get(0, "CAN_NOR")->AsString(), "cancer");
+  EXPECT_EQ(t.Get(0, "Utag")->AsInt(), 2);
+  EXPECT_DOUBLE_EQ(t.Get(0, "Tag")->AsDouble(), 5.0);
+}
+
+TEST(StatsTest, TissueTypeTableGroupsAndOrders) {
+  SageDataSet data = TwoTissueData();
+  rel::Table t = BuildTissueTypeTable(data);
+  EXPECT_EQ(t.NumRows(), 3u);
+  // brain rows come first (enum order) with LibOrder 0,1.
+  EXPECT_EQ(t.Get(0, "Type")->AsString(), "brain");
+  EXPECT_EQ(t.Get(1, "LibOrder")->AsInt(), 1);
+  EXPECT_EQ(t.Get(2, "Type")->AsString(), "breast");
+}
+
+TEST(StatsTest, TagsTableIsRotated) {
+  SageDataSet data = TwoTissueData();
+  rel::Table t = BuildTagsTable(data);
+  // Rows = tags, columns = TagName, TagNo + one per library.
+  EXPECT_EQ(t.NumRows(), 4u);
+  EXPECT_EQ(t.schema().NumColumns(), 5u);
+  EXPECT_EQ(t.Get(0, "TagNo")->AsInt(), 10);
+  EXPECT_DOUBLE_EQ(t.Get(0, "brain_c1")->AsDouble(), 4.0);
+}
+
+TEST(StatsTest, SageInfoTable) {
+  SageDataSet data = TwoTissueData();
+  rel::Table t = BuildSageInfoTable(data);
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.Get(0, "Totag")->AsInt(), 4);
+  EXPECT_EQ(t.Get(0, "ToLib")->AsInt(), 3);
+}
+
+TEST(StatsTest, LibraryInfoComposesWithRelationalAlgebra) {
+  // The Section 4.3.1 step-1 selection: sigma_{Type='brain'}(Libraries).
+  SageDataSet data = TwoTissueData();
+  rel::Table t = BuildLibraryInfoTable(data);
+  Result<rel::Table> brains = rel::Select(
+      t, rel::Compare("Type", rel::CompareOp::kEq, rel::Value::String("brain")),
+      "brains");
+  ASSERT_TRUE(brains.ok());
+  EXPECT_EQ(brains->NumRows(), 2u);
+}
+
+}  // namespace
+}  // namespace gea::sage

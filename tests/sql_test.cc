@@ -1,0 +1,277 @@
+// Tests for the SQL-style query layer over the catalog.
+
+#include <gtest/gtest.h>
+
+#include "rel/catalog.h"
+#include "rel/sql.h"
+
+namespace gea::rel {
+namespace {
+
+Catalog MakeCatalog() {
+  Catalog catalog;
+  Schema schema({{"Lib_ID", ValueType::kInt},
+                 {"Lib_Name", ValueType::kString},
+                 {"Type", ValueType::kString},
+                 {"Tag", ValueType::kDouble}});
+  Table t("Libraries", schema);
+  t.AppendRowUnchecked({Value::Int(1), Value::String("SAGE_Duke_H1020"),
+                        Value::String("brain"), Value::Double(52371)});
+  t.AppendRowUnchecked({Value::Int(2), Value::String("SAGE_Br_N"),
+                        Value::String("breast"), Value::Double(37558)});
+  t.AppendRowUnchecked({Value::Int(3), Value::String("SAGE_95_259"),
+                        Value::String("brain"), Value::Double(14978)});
+  t.AppendRowUnchecked({Value::Int(4), Value::String("SAGE_DCIS"),
+                        Value::String("breast"), Value::Null()});
+  (void)catalog.CreateTable(std::move(t));
+  return catalog;
+}
+
+TEST(SqlTest, SelectStar) {
+  Catalog catalog = MakeCatalog();
+  Result<Table> out = ExecuteQuery(catalog, "SELECT * FROM Libraries");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->NumRows(), 4u);
+  EXPECT_EQ(out->schema().NumColumns(), 4u);
+  EXPECT_EQ(out->name(), "query");
+}
+
+TEST(SqlTest, ProjectionAndOrder) {
+  Catalog catalog = MakeCatalog();
+  Result<Table> out = ExecuteQuery(
+      catalog,
+      "SELECT Lib_Name, Tag FROM Libraries ORDER BY Tag DESC LIMIT 2");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->NumRows(), 2u);
+  EXPECT_EQ(out->schema().NumColumns(), 2u);
+  EXPECT_EQ(out->At(0, 0).AsString(), "SAGE_Duke_H1020");
+  EXPECT_EQ(out->At(1, 0).AsString(), "SAGE_Br_N");
+}
+
+TEST(SqlTest, WhereEquality) {
+  Catalog catalog = MakeCatalog();
+  // The Section 4.3.1 step-1 selection, as SQL.
+  Result<Table> out = ExecuteQuery(
+      catalog, "SELECT Lib_Name FROM Libraries WHERE Type = 'brain'");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->NumRows(), 2u);
+}
+
+TEST(SqlTest, WhereConjunction) {
+  Catalog catalog = MakeCatalog();
+  Result<Table> out = ExecuteQuery(
+      catalog,
+      "SELECT Lib_ID FROM Libraries WHERE Type = 'brain' AND Tag > 20000");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->NumRows(), 1u);
+  EXPECT_EQ(out->At(0, 0).AsInt(), 1);
+}
+
+TEST(SqlTest, Between) {
+  Catalog catalog = MakeCatalog();
+  Result<Table> out = ExecuteQuery(
+      catalog,
+      "SELECT Lib_ID FROM Libraries WHERE Tag BETWEEN 14000 AND 40000 "
+      "ORDER BY Lib_ID");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->NumRows(), 2u);
+  EXPECT_EQ(out->At(0, 0).AsInt(), 2);
+  EXPECT_EQ(out->At(1, 0).AsInt(), 3);
+}
+
+TEST(SqlTest, IsNullAndIsNotNull) {
+  Catalog catalog = MakeCatalog();
+  Result<Table> null_rows = ExecuteQuery(
+      catalog, "SELECT Lib_Name FROM Libraries WHERE Tag IS NULL");
+  ASSERT_TRUE(null_rows.ok());
+  ASSERT_EQ(null_rows->NumRows(), 1u);
+  EXPECT_EQ(null_rows->At(0, 0).AsString(), "SAGE_DCIS");
+  Result<Table> not_null = ExecuteQuery(
+      catalog, "SELECT Lib_Name FROM Libraries WHERE Tag IS NOT NULL");
+  EXPECT_EQ(not_null->NumRows(), 3u);
+}
+
+TEST(SqlTest, NotEqualsBothSpellings) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_EQ(ExecuteQuery(catalog,
+                         "SELECT * FROM Libraries WHERE Type != 'brain'")
+                ->NumRows(),
+            2u);
+  EXPECT_EQ(ExecuteQuery(catalog,
+                         "SELECT * FROM Libraries WHERE Type <> 'brain'")
+                ->NumRows(),
+            2u);
+}
+
+TEST(SqlTest, KeywordsAreCaseInsensitive) {
+  Catalog catalog = MakeCatalog();
+  Result<Table> out = ExecuteQuery(
+      catalog,
+      "select Lib_Name from Libraries where Type = 'brain' order by "
+      "Lib_Name asc limit 5");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->NumRows(), 2u);
+  EXPECT_EQ(out->At(0, 0).AsString(), "SAGE_95_259");
+}
+
+TEST(SqlTest, StringEscapes) {
+  Catalog catalog;
+  Table t("Notes", Schema({{"note", ValueType::kString}}));
+  t.AppendRowUnchecked({Value::String("it's compact")});
+  (void)catalog.CreateTable(std::move(t));
+  Result<Table> out = ExecuteQuery(
+      catalog, "SELECT * FROM Notes WHERE note = 'it''s compact'");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->NumRows(), 1u);
+}
+
+TEST(SqlTest, QuotedIdentifiers) {
+  Catalog catalog;
+  Table t("Odd", Schema({{"weird name", ValueType::kInt}}));
+  t.AppendRowUnchecked({Value::Int(9)});
+  (void)catalog.CreateTable(std::move(t));
+  Result<Table> out = ExecuteQuery(
+      catalog, "SELECT \"weird name\" FROM Odd WHERE \"weird name\" = 9");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->NumRows(), 1u);
+}
+
+TEST(SqlTest, NumericLiteralTyping) {
+  Catalog catalog = MakeCatalog();
+  // Double literal against a double column; int literal against int.
+  EXPECT_EQ(ExecuteQuery(catalog,
+                         "SELECT * FROM Libraries WHERE Tag >= 14978.0")
+                ->NumRows(),
+            3u);
+  EXPECT_EQ(
+      ExecuteQuery(catalog, "SELECT * FROM Libraries WHERE Lib_ID <= 2")
+          ->NumRows(),
+      2u);
+}
+
+TEST(SqlTest, Errors) {
+  Catalog catalog = MakeCatalog();
+  // Unknown table / column.
+  EXPECT_TRUE(ExecuteQuery(catalog, "SELECT * FROM Nope").status()
+                  .IsNotFound());
+  EXPECT_TRUE(ExecuteQuery(catalog,
+                           "SELECT bogus FROM Libraries")
+                  .status()
+                  .IsNotFound());
+  // Syntax errors.
+  EXPECT_TRUE(ExecuteQuery(catalog, "FROM Libraries").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ExecuteQuery(catalog, "SELECT * FROM Libraries WHERE")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ExecuteQuery(catalog,
+                           "SELECT * FROM Libraries WHERE Type = 'oops")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ExecuteQuery(catalog, "SELECT * FROM Libraries LIMIT x")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ExecuteQuery(catalog, "SELECT * FROM Libraries trailing")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SqlTest, GroupByWithAggregates) {
+  Catalog catalog = MakeCatalog();
+  Result<Table> out = ExecuteQuery(
+      catalog,
+      "SELECT Type, COUNT(*) AS n, AVG(Tag) AS avg_tag FROM Libraries "
+      "GROUP BY Type ORDER BY Type");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->NumRows(), 2u);
+  EXPECT_EQ(out->Get(0, "Type")->AsString(), "brain");
+  EXPECT_EQ(out->Get(0, "n")->AsInt(), 2);
+  EXPECT_DOUBLE_EQ(out->Get(0, "avg_tag")->AsDouble(),
+                   (52371.0 + 14978.0) / 2);
+  EXPECT_EQ(out->Get(1, "Type")->AsString(), "breast");
+  // NULL Tag rows are skipped by AVG but counted by COUNT(*).
+  EXPECT_EQ(out->Get(1, "n")->AsInt(), 2);
+  EXPECT_DOUBLE_EQ(out->Get(1, "avg_tag")->AsDouble(), 37558.0);
+}
+
+TEST(SqlTest, GlobalAggregateWithoutGroupBy) {
+  Catalog catalog = MakeCatalog();
+  Result<Table> out = ExecuteQuery(
+      catalog,
+      "SELECT COUNT(*) AS n, MIN(Tag) AS lo, MAX(Tag) AS hi FROM "
+      "Libraries");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->NumRows(), 1u);
+  EXPECT_EQ(out->Get(0, "n")->AsInt(), 4);
+  EXPECT_DOUBLE_EQ(out->Get(0, "lo")->AsDouble(), 14978.0);
+  EXPECT_DOUBLE_EQ(out->Get(0, "hi")->AsDouble(), 52371.0);
+}
+
+TEST(SqlTest, AggregateComposesWithWhere) {
+  Catalog catalog = MakeCatalog();
+  Result<Table> out = ExecuteQuery(
+      catalog,
+      "SELECT SUM(Tag) AS total FROM Libraries WHERE Type = 'brain'");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_DOUBLE_EQ(out->Get(0, "total")->AsDouble(), 52371.0 + 14978.0);
+}
+
+TEST(SqlTest, DefaultAggregateNames) {
+  Catalog catalog = MakeCatalog();
+  Result<Table> out =
+      ExecuteQuery(catalog, "SELECT COUNT(*), AVG(Tag) FROM Libraries");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out->schema().FindColumn("count").has_value());
+  EXPECT_TRUE(out->schema().FindColumn("avg_Tag").has_value());
+}
+
+TEST(SqlTest, AggregateValidation) {
+  Catalog catalog = MakeCatalog();
+  // Plain column outside GROUP BY.
+  EXPECT_TRUE(ExecuteQuery(catalog,
+                           "SELECT Lib_Name, COUNT(*) FROM Libraries")
+                  .status()
+                  .IsInvalidArgument());
+  // * with GROUP BY.
+  EXPECT_TRUE(
+      ExecuteQuery(catalog, "SELECT * FROM Libraries GROUP BY Type")
+          .status()
+          .IsInvalidArgument());
+  // Aggregate over a string column.
+  EXPECT_TRUE(ExecuteQuery(catalog, "SELECT SUM(Lib_Name) FROM Libraries")
+                  .status()
+                  .IsInvalidArgument());
+  // AS on a plain column is not supported.
+  EXPECT_TRUE(ExecuteQuery(catalog,
+                           "SELECT Lib_Name AS x FROM Libraries")
+                  .status()
+                  .IsInvalidArgument());
+  // Unclosed aggregate.
+  EXPECT_TRUE(ExecuteQuery(catalog, "SELECT COUNT( FROM Libraries")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SqlTest, ColumnNamedLikeAggregateStillWorks) {
+  // A column named "count" without parentheses is an ordinary column.
+  Catalog catalog;
+  Table t("T", Schema({{"count", ValueType::kInt}}));
+  t.AppendRowUnchecked({Value::Int(5)});
+  (void)catalog.CreateTable(std::move(t));
+  Result<Table> out = ExecuteQuery(catalog, "SELECT count FROM T");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->At(0, 0).AsInt(), 5);
+}
+
+TEST(SqlTest, LimitZeroAndOverrun) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_EQ(ExecuteQuery(catalog, "SELECT * FROM Libraries LIMIT 0")
+                ->NumRows(),
+            0u);
+  EXPECT_EQ(ExecuteQuery(catalog, "SELECT * FROM Libraries LIMIT 99")
+                ->NumRows(),
+            4u);
+}
+
+}  // namespace
+}  // namespace gea::rel

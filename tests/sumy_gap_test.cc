@@ -1,0 +1,506 @@
+// Tests for the intensional world: SUMY tables, GAP tables, diff() with
+// the worked Fig. 3.5 example, the Fig. 3.6 set operations, aggregate(),
+// top-gap manipulation, range arithmetic, and the 13 comparison queries.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/enum_table.h"
+#include "core/gap.h"
+#include "core/gap_compare.h"
+#include "core/gap_ops.h"
+#include "core/operators.h"
+#include "core/sumy.h"
+#include "core/sumy_ops.h"
+#include "sage/dataset.h"
+
+namespace gea::core {
+namespace {
+
+using sage::TagId;
+
+SumyEntry Entry(TagId tag, double min, double max, double mean,
+                double stddev) {
+  return SumyEntry{tag, min, max, mean, stddev};
+}
+
+// ---------- SumyTable basics ----------
+
+TEST(SumyTableTest, CreateSortsAndValidates) {
+  Result<SumyTable> t = SumyTable::Create(
+      "s", {Entry(30, 0, 1, 0.5, 0.1), Entry(10, 0, 2, 1, 0.5)});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->entry(0).tag, 10u);
+  EXPECT_EQ(t->entry(1).tag, 30u);
+  EXPECT_TRUE(t->Contains(30));
+  EXPECT_FALSE(t->Contains(20));
+}
+
+TEST(SumyTableTest, RejectsDuplicatesAndBadRanges) {
+  EXPECT_FALSE(SumyTable::Create("s", {Entry(1, 0, 1, 0, 0),
+                                       Entry(1, 0, 1, 0, 0)})
+                   .ok());
+  EXPECT_FALSE(SumyTable::Create("s", {Entry(1, 5, 2, 3, 0)}).ok());
+}
+
+TEST(SumyTableTest, RelationalRendering) {
+  Result<SumyTable> t =
+      SumyTable::Create("s", {Entry(3, 1, 9, 5, 2)});
+  ASSERT_TRUE(t.ok());
+  rel::Table r = t->ToRelTable();
+  EXPECT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.Get(0, "TagName")->AsString(), "AAAAAAAAAT");
+  EXPECT_EQ(r.Get(0, "TagNo")->AsInt(), 3);
+  EXPECT_DOUBLE_EQ(r.Get(0, "Average")->AsDouble(), 5.0);
+}
+
+// ---------- diff(): the Fig. 3.5 worked example ----------
+
+class Fig35Test : public testing::Test {
+ protected:
+  void SetUp() override {
+    // Table SUMY1 (Fig. 3.5a): Tag1..Tag4 mapped to tag ids 1..4.
+    Result<SumyTable> s1 = SumyTable::Create(
+        "SUMY1", {Entry(1, 5, 5, 5, 0), Entry(2, 0, 7, 3, 1),
+                  Entry(3, 10, 120, 70, 15), Entry(4, 0, 20, 10, 4)});
+    ASSERT_TRUE(s1.ok());
+    sumy1_ = std::move(*s1);
+    // Table SUMY2 (Fig. 3.5b): Tag1, Tag3, Tag4, Tag5.
+    Result<SumyTable> s2 = SumyTable::Create(
+        "SUMY2", {Entry(1, 0, 14, 7, 1), Entry(3, 10, 130, 60, 25),
+                  Entry(4, 0, 12, 3, 1), Entry(5, 0, 50, 20, 15)});
+    ASSERT_TRUE(s2.ok());
+    sumy2_ = std::move(*s2);
+  }
+  SumyTable sumy1_;
+  SumyTable sumy2_;
+};
+
+TEST_F(Fig35Test, GapTableMatchesTheThesis) {
+  Result<GapTable> gap = Diff(sumy1_, sumy2_, "GAP");
+  ASSERT_TRUE(gap.ok());
+  // Only the common tags: Tag1, Tag3, Tag4.
+  EXPECT_EQ(gap->NumTags(), 3u);
+  // Tag1: (7-1)-(5+0) = 1, negative because SUMY1 has the lower mean.
+  ASSERT_TRUE(gap->Gap(1).has_value());
+  EXPECT_DOUBLE_EQ(*gap->Gap(1), -1.0);
+  // Tag3: the mu±sigma bands overlap -> null.
+  EXPECT_FALSE(gap->Gap(3).has_value());
+  ASSERT_TRUE(gap->Find(3).has_value());  // the row exists, the gap is null
+  // Tag4: (10-4)-(3+1) = 2, positive because SUMY1 is higher.
+  ASSERT_TRUE(gap->Gap(4).has_value());
+  EXPECT_DOUBLE_EQ(*gap->Gap(4), 2.0);
+}
+
+TEST_F(Fig35Test, DiffIsAntisymmetric) {
+  GapTable forward = *Diff(sumy1_, sumy2_, "f");
+  GapTable backward = *Diff(sumy2_, sumy1_, "b");
+  for (const GapEntry& e : forward.entries()) {
+    std::optional<double> other = backward.Gap(e.tag);
+    if (e.gaps[0].has_value()) {
+      ASSERT_TRUE(other.has_value());
+      EXPECT_DOUBLE_EQ(*e.gaps[0], -*other);
+    } else {
+      EXPECT_FALSE(other.has_value());
+    }
+  }
+}
+
+TEST_F(Fig35Test, TouchingBandsAreNull) {
+  // mu1-s1 == mu2+s2 exactly: magnitude 0 counts as overlap.
+  SumyTable a = *SumyTable::Create("a", {Entry(1, 0, 20, 10, 2)});
+  SumyTable b = *SumyTable::Create("b", {Entry(1, 0, 10, 6, 2)});
+  GapTable gap = *Diff(a, b, "g");
+  EXPECT_FALSE(gap.Gap(1).has_value());
+}
+
+TEST_F(Fig35Test, GapRelationalRenderingHasNulls) {
+  GapTable gap = *Diff(sumy1_, sumy2_, "GAP");
+  rel::Table r = gap.ToRelTable();
+  EXPECT_EQ(r.NumRows(), 3u);
+  bool saw_null = false;
+  for (size_t i = 0; i < r.NumRows(); ++i) {
+    if (r.At(i, 2).is_null()) saw_null = true;
+  }
+  EXPECT_TRUE(saw_null);
+}
+
+// ---------- Fig. 3.6: minus / intersect / union ----------
+
+class Fig36Test : public testing::Test {
+ protected:
+  void SetUp() override {
+    // GAP1: Tag1 -11, Tag2 2, Tag3 NULL, Tag4 5.
+    std::vector<GapEntry> e1 = {{1, {-11.0}}, {2, {2.0}},
+                                {3, {std::nullopt}}, {4, {5.0}}};
+    gap1_ = *GapTable::Create("GAP1", {"Gap"}, std::move(e1));
+    // GAP2: Tag1 -8, Tag3 9, Tag4 10, Tag5 11.
+    std::vector<GapEntry> e2 = {{1, {-8.0}}, {3, {9.0}}, {4, {10.0}},
+                                {5, {11.0}}};
+    gap2_ = *GapTable::Create("GAP2", {"Gap"}, std::move(e2));
+  }
+  GapTable gap1_;
+  GapTable gap2_;
+};
+
+TEST_F(Fig36Test, MinusMatchesGap3) {
+  Result<GapTable> gap3 = GapMinus(gap1_, gap2_, "GAP3");
+  ASSERT_TRUE(gap3.ok());
+  ASSERT_EQ(gap3->NumTags(), 1u);
+  EXPECT_EQ(gap3->entry(0).tag, 2u);
+  EXPECT_DOUBLE_EQ(*gap3->entry(0).gaps[0], 2.0);
+}
+
+TEST_F(Fig36Test, IntersectMatchesGap4) {
+  Result<GapTable> gap4 = GapIntersect(gap1_, gap2_, "GAP4");
+  ASSERT_TRUE(gap4.ok());
+  EXPECT_EQ(gap4->NumColumns(), 2u);
+  ASSERT_EQ(gap4->NumTags(), 3u);  // Tag1, Tag3, Tag4
+  EXPECT_DOUBLE_EQ(*gap4->Gap(1, 0), -11.0);
+  EXPECT_DOUBLE_EQ(*gap4->Gap(1, 1), -8.0);
+  EXPECT_FALSE(gap4->Gap(3, 0).has_value());
+  EXPECT_DOUBLE_EQ(*gap4->Gap(3, 1), 9.0);
+  EXPECT_DOUBLE_EQ(*gap4->Gap(4, 0), 5.0);
+  EXPECT_DOUBLE_EQ(*gap4->Gap(4, 1), 10.0);
+}
+
+TEST_F(Fig36Test, UnionCoversAllTagsWithNullPadding) {
+  Result<GapTable> u = GapUnion(gap1_, gap2_, "U");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->NumTags(), 5u);
+  // Tag2 only in GAP1: second column null.
+  EXPECT_DOUBLE_EQ(*u->Gap(2, 0), 2.0);
+  EXPECT_FALSE(u->Gap(2, 1).has_value());
+  // Tag5 only in GAP2: first column null.
+  EXPECT_FALSE(u->Gap(5, 0).has_value());
+  EXPECT_DOUBLE_EQ(*u->Gap(5, 1), 11.0);
+}
+
+TEST_F(Fig36Test, ProjectGapSelectsColumns) {
+  GapTable gap4 = *GapIntersect(gap1_, gap2_, "GAP4");
+  Result<GapTable> proj = ProjectGap(gap4, {gap4.gap_columns()[1]}, "p");
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->NumColumns(), 1u);
+  EXPECT_DOUBLE_EQ(*proj->Gap(3, 0), 9.0);
+  EXPECT_FALSE(ProjectGap(gap4, {"nope"}, "p").ok());
+}
+
+// ---------- GapTable validation ----------
+
+TEST(GapTableTest, CreateValidates) {
+  EXPECT_FALSE(GapTable::Create("g", {}, {}).ok());  // no columns
+  std::vector<GapEntry> wrong_arity = {{1, {1.0, 2.0}}};
+  EXPECT_FALSE(GapTable::Create("g", {"Gap"}, std::move(wrong_arity)).ok());
+  std::vector<GapEntry> dup = {{1, {1.0}}, {1, {2.0}}};
+  EXPECT_FALSE(GapTable::Create("g", {"Gap"}, std::move(dup)).ok());
+}
+
+// ---------- aggregate() ----------
+
+sage::SageDataSet MiniData() {
+  sage::SageDataSet data;
+  auto lib = [](int id, sage::NeoplasticState state,
+                std::vector<std::pair<TagId, double>> counts) {
+    sage::SageLibrary l(id, "L" + std::to_string(id),
+                        sage::TissueType::kBrain, state,
+                        sage::TissueSource::kBulkTissue);
+    for (const auto& [tag, count] : counts) l.SetCount(tag, count);
+    return l;
+  };
+  data.AddLibrary(lib(1, sage::NeoplasticState::kCancer,
+                      {{10, 2.0}, {20, 4.0}}));
+  data.AddLibrary(lib(2, sage::NeoplasticState::kCancer,
+                      {{10, 4.0}, {20, 4.0}}));
+  data.AddLibrary(lib(3, sage::NeoplasticState::kNormal,
+                      {{10, 9.0}, {30, 6.0}}));
+  return data;
+}
+
+TEST(AggregateTest, ComputesRangeMeanStdDev) {
+  EnumTable e = EnumTable::FromDataSet("E", MiniData());
+  Result<SumyTable> sumy = Aggregate(e, "S");
+  ASSERT_TRUE(sumy.ok());
+  // Tag 10 over (2, 4, 9): mean 5, range [2, 9],
+  // population stddev sqrt((9+1+16)/3) = sqrt(26/3).
+  std::optional<SumyEntry> entry = sumy->Find(10);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_DOUBLE_EQ(entry->min, 2.0);
+  EXPECT_DOUBLE_EQ(entry->max, 9.0);
+  EXPECT_DOUBLE_EQ(entry->mean, 5.0);
+  EXPECT_NEAR(entry->stddev, std::sqrt(26.0 / 3.0), 1e-12);
+  // Tag 30 absent from two libraries -> zeros participate: (0, 0, 6).
+  std::optional<SumyEntry> t30 = sumy->Find(30);
+  ASSERT_TRUE(t30.has_value());
+  EXPECT_DOUBLE_EQ(t30->min, 0.0);
+  EXPECT_DOUBLE_EQ(t30->mean, 2.0);
+}
+
+TEST(AggregateTest, EmptyEnumFails) {
+  sage::SageDataSet empty;
+  EnumTable e = EnumTable::FromDataSet("E", empty);
+  EXPECT_FALSE(Aggregate(e, "S").ok());
+}
+
+// ---------- purity ----------
+
+TEST(PurityTest, Properties) {
+  EnumTable e = EnumTable::FromDataSet("E", MiniData());
+  EXPECT_FALSE(IsPure(e, PurityProperty::kCancer));
+  EXPECT_TRUE(IsPure(e, PurityProperty::kBulkTissue));
+  EnumTable cancers = e.FilterLibraries(
+      "C", [](const sage::LibraryMeta& lib) {
+        return lib.state == sage::NeoplasticState::kCancer;
+      });
+  EXPECT_TRUE(IsPure(cancers, PurityProperty::kCancer));
+  std::vector<PurityProperty> pure = PureProperties(cancers);
+  EXPECT_EQ(pure.size(), 2u);  // cancer + bulk tissue
+}
+
+// ---------- selection and range arithmetic on SUMY ----------
+
+TEST(SumyOpsTest, SelectByPredicate) {
+  SumyTable s = *SumyTable::Create(
+      "s", {Entry(1, 0, 10, 5, 1), Entry(2, 50, 60, 55, 2)});
+  Result<SumyTable> high = SelectSumy(
+      s, [](const SumyEntry& e) { return e.mean > 20; }, "high");
+  ASSERT_TRUE(high.ok());
+  EXPECT_EQ(high->NumTags(), 1u);
+  EXPECT_EQ(high->entry(0).tag, 2u);
+}
+
+TEST(SumyOpsTest, SelectByAllenRelation) {
+  SumyTable s = *SumyTable::Create(
+      "s", {Entry(1, 0, 5, 2, 1), Entry(2, 10, 30, 20, 5),
+            Entry(3, 100, 200, 150, 10)});
+  // Ranges overlapping [8, 60] in the Allen sense (proper overlap with
+  // the range starting first): only tag 2's [10,30] is during [8,60];
+  // use kDuring.
+  Result<SumyTable> during = SelectSumyByRange(
+      s, interval::AllenRelation::kDuring, {8, 60}, "d");
+  ASSERT_TRUE(during.ok());
+  ASSERT_EQ(during->NumTags(), 1u);
+  EXPECT_EQ(during->entry(0).tag, 2u);
+}
+
+TEST(SumyOpsTest, SetOperations) {
+  SumyTable a = *SumyTable::Create(
+      "a", {Entry(1, 0, 1, 0.5, 0), Entry(2, 0, 1, 0.5, 0)});
+  SumyTable b = *SumyTable::Create(
+      "b", {Entry(2, 5, 6, 5.5, 0), Entry(3, 0, 1, 0.5, 0)});
+  EXPECT_EQ(SumyMinus(a, b, "m")->NumTags(), 1u);
+  EXPECT_EQ(SumyIntersect(a, b, "i")->NumTags(), 1u);
+  // Intersect keeps a's aggregates.
+  EXPECT_DOUBLE_EQ(SumyIntersect(a, b, "i")->entry(0).mean, 0.5);
+  EXPECT_EQ(SumyUnion(a, b, "u")->NumTags(), 3u);
+}
+
+TEST(RangeSearchTest, ReportsNeNoAndRanges) {
+  // Mirrors Fig. 4.16: tag 573 matches with range [20, 616]; tag 568
+  // fails; a tag absent from one table reports NE there.
+  SumyTable t1 = *SumyTable::Create(
+      "brain25k_3NormalTable",
+      {Entry(568, 800, 900, 850, 10), Entry(573, 20, 616, 100, 50)});
+  SumyTable t2 = *SumyTable::Create(
+      "brain30k_3CancerFasTab", {Entry(573, 5, 8, 6, 1)});
+  std::vector<RangeSearchHit> hits =
+      RangeSearch({&t1, &t2}, 568, 573,
+                  interval::AllenRelation::kOverlaps, {10, 700});
+  // Two tags x two tables = 4 report lines.
+  ASSERT_EQ(hits.size(), 4u);
+  // tag 568 in t1: [800,900] does not overlap [10,700] -> NO.
+  EXPECT_EQ(hits[0].outcome, RangeSearchHit::Outcome::kNoMatch);
+  EXPECT_EQ(hits[0].Render(), "NO");
+  // tag 568 in t2: absent -> NE.
+  EXPECT_EQ(hits[1].outcome, RangeSearchHit::Outcome::kNotExist);
+  // tag 573 in t1: [20,616] is during [10,700]... "overlaps" in the
+  // strict Allen sense fails, so this is NO.
+  EXPECT_EQ(hits[2].outcome, RangeSearchHit::Outcome::kNoMatch);
+  // tag 573 in t2: [5,8] before [10,700] -> NO under kOverlaps.
+  EXPECT_EQ(hits[3].outcome, RangeSearchHit::Outcome::kNoMatch);
+
+  // The same search with kDuring matches tag 573 in t1.
+  hits = RangeSearch({&t1, &t2}, 568, 573,
+                     interval::AllenRelation::kDuring, {10, 700});
+  EXPECT_EQ(hits[2].outcome, RangeSearchHit::Outcome::kMatch);
+  EXPECT_EQ(hits[2].Render(), "[20, 616]");
+}
+
+TEST(RangeSearchTest, AnyModeListsOnlyMatches) {
+  SumyTable t = *SumyTable::Create(
+      "t", {Entry(1, 14, 212, 100, 10), Entry(2, 800, 900, 850, 10)});
+  std::vector<RangeSearchHit> hits =
+      RangeSearchAny(t, interval::AllenRelation::kDuring, {5, 700});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].tag, 1u);
+}
+
+// ---------- top gap ----------
+
+GapTable FourGaps() {
+  std::vector<GapEntry> entries = {{1, {-357.24}},
+                                   {2, {182.94}},
+                                   {3, {std::nullopt}},
+                                   {4, {-141.95}},
+                                   {5, {3.5}}};
+  return *GapTable::Create("g", {"Gap"}, std::move(entries));
+}
+
+TEST(TopGapTest, LargestMagnitude) {
+  Result<GapTable> top = TopGap(FourGaps(), 2,
+                                TopGapMode::kLargestMagnitude, "t");
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->NumTags(), 2u);
+  EXPECT_TRUE(top->Find(1).has_value());  // -357.24
+  EXPECT_TRUE(top->Find(2).has_value());  // 182.94
+}
+
+TEST(TopGapTest, HighestAndLowest) {
+  Result<GapTable> hi = TopGap(FourGaps(), 1, TopGapMode::kHighest, "h");
+  EXPECT_TRUE(hi->Find(2).has_value());
+  Result<GapTable> lo = TopGap(FourGaps(), 1, TopGapMode::kLowest, "l");
+  EXPECT_TRUE(lo->Find(1).has_value());
+}
+
+TEST(TopGapTest, SkipsNullsAndHandlesOverrun) {
+  Result<GapTable> top = TopGap(FourGaps(), 10,
+                                TopGapMode::kLargestMagnitude, "t");
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->NumTags(), 4u);  // the null entry is excluded
+  EXPECT_FALSE(TopGap(FourGaps(), 0, TopGapMode::kHighest, "t").ok());
+}
+
+TEST(TopGapTest, RenderListFormat) {
+  std::vector<std::string> lines = RenderGapList(FourGaps(), 2);
+  ASSERT_EQ(lines.size(), 2u);
+  // Largest magnitude first, rendered TAGNAME_(id)_value.
+  EXPECT_EQ(lines[0], "AAAAAAAAAC_(1)_-357.24");
+  EXPECT_EQ(lines[1], "AAAAAAAAAG_(2)_182.94");
+}
+
+// ---------- gap selection ----------
+
+TEST(GapSelectTest, SignAndNullFilters) {
+  GapTable g = FourGaps();
+  EXPECT_EQ(SelectNonNullGaps(g, "n")->NumTags(), 4u);
+  EXPECT_EQ(SelectPositiveGaps(g, "p")->NumTags(), 2u);
+  EXPECT_EQ(SelectNegativeGaps(g, "m")->NumTags(), 2u);
+}
+
+// ---------- the 13 comparison queries ----------
+
+class GapQueryTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    // Construct a compared table covering every sign/null combination:
+    //   tag : gapA , gapB
+    //   1   : +    , +      (up in both)
+    //   2   : -    , -      (down in both)
+    //   3   : +    , -
+    //   4   : -    , +
+    //   5   : +    , null
+    //   6   : null , -
+    //   7   : null , null
+    std::vector<GapEntry> a = {{1, {5.0}}, {2, {-5.0}}, {3, {5.0}},
+                               {4, {-5.0}}, {5, {5.0}},
+                               {6, {std::nullopt}}, {7, {std::nullopt}}};
+    std::vector<GapEntry> b = {{1, {3.0}}, {2, {-3.0}}, {3, {-3.0}},
+                               {4, {3.0}}, {5, {std::nullopt}},
+                               {6, {-3.0}}, {7, {std::nullopt}}};
+    GapTable ga = *GapTable::Create("ga", {"Gap"}, std::move(a));
+    GapTable gb = *GapTable::Create("gb", {"Gap"}, std::move(b));
+    compared_ = *CompareGaps(ga, gb, GapCompareKind::kUnion, "cmp");
+  }
+
+  std::vector<TagId> TagsOf(GapCompareQuery query) {
+    Result<GapTable> out = ApplyGapQuery(compared_, query, "q");
+    EXPECT_TRUE(out.ok());
+    std::vector<TagId> tags;
+    for (const GapEntry& e : out->entries()) tags.push_back(e.tag);
+    return tags;
+  }
+
+  GapTable compared_;
+};
+
+TEST_F(GapQueryTest, HigherInAInBoth) {
+  EXPECT_EQ(TagsOf(GapCompareQuery::kHigherInAInBoth),
+            (std::vector<TagId>{1}));
+  // Query 4 is the thesis's redundant phrasing of the same condition.
+  EXPECT_EQ(TagsOf(GapCompareQuery::kLowerInBInBoth),
+            (std::vector<TagId>{1}));
+}
+
+TEST_F(GapQueryTest, LowerInAInBoth) {
+  EXPECT_EQ(TagsOf(GapCompareQuery::kLowerInAInBoth),
+            (std::vector<TagId>{2}));
+  EXPECT_EQ(TagsOf(GapCompareQuery::kHigherInBInBoth),
+            (std::vector<TagId>{2}));
+}
+
+TEST_F(GapQueryTest, NonNullInBoth) {
+  EXPECT_EQ(TagsOf(GapCompareQuery::kNonNullInBoth),
+            (std::vector<TagId>{1, 2, 3, 4}));
+}
+
+TEST_F(GapQueryTest, OnlyInGapA) {
+  // gapA > 0 and not (gapB > 0): tags 3 (B negative) and 5 (B null).
+  EXPECT_EQ(TagsOf(GapCompareQuery::kHigherInAOfAOnly),
+            (std::vector<TagId>{3, 5}));
+  // gapA < 0 and not (gapB < 0): tag 4.
+  EXPECT_EQ(TagsOf(GapCompareQuery::kLowerInAOfAOnly),
+            (std::vector<TagId>{4}));
+}
+
+TEST_F(GapQueryTest, OnlyInGapB) {
+  // gapB > 0 and not (gapA > 0): tag 4.
+  EXPECT_EQ(TagsOf(GapCompareQuery::kHigherInAOfBOnly),
+            (std::vector<TagId>{4}));
+  // gapB < 0 and not (gapA < 0): tags 3 and 6.
+  EXPECT_EQ(TagsOf(GapCompareQuery::kLowerInAOfBOnly),
+            (std::vector<TagId>{3, 6}));
+}
+
+TEST_F(GapQueryTest, DifferenceOutputSupportsQueries1To5Only) {
+  std::vector<GapEntry> a = {{1, {5.0}}, {2, {-4.0}}, {3, {std::nullopt}}};
+  std::vector<GapEntry> b = {{9, {5.0}}};
+  GapTable ga = *GapTable::Create("ga", {"Gap"}, std::move(a));
+  GapTable gb = *GapTable::Create("gb", {"Gap"}, std::move(b));
+  GapTable diff = *CompareGaps(ga, gb, GapCompareKind::kDifference, "d");
+  EXPECT_EQ(diff.NumColumns(), 1u);
+  // Queries 1-5 degenerate to the GapA condition (the Fig. 4.14 usage).
+  Result<GapTable> q2 =
+      ApplyGapQuery(diff, GapCompareQuery::kLowerInAInBoth, "q2");
+  ASSERT_TRUE(q2.ok());
+  ASSERT_EQ(q2->NumTags(), 1u);
+  EXPECT_EQ(q2->entry(0).tag, 2u);
+  Result<GapTable> q5 =
+      ApplyGapQuery(diff, GapCompareQuery::kNonNullInBoth, "q5");
+  ASSERT_TRUE(q5.ok());
+  EXPECT_EQ(q5->NumTags(), 2u);
+  // Queries 6-13 remain unavailable on a difference output.
+  EXPECT_EQ(ApplyGapQuery(diff, GapCompareQuery::kHigherInAOfAOnly, "q6")
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(GapQueryTest, IntersectKeepsOnlyCommonTags) {
+  std::vector<GapEntry> a = {{1, {5.0}}, {2, {1.0}}};
+  std::vector<GapEntry> b = {{2, {5.0}}, {3, {1.0}}};
+  GapTable ga = *GapTable::Create("ga", {"Gap"}, std::move(a));
+  GapTable gb = *GapTable::Create("gb", {"Gap"}, std::move(b));
+  GapTable inter = *CompareGaps(ga, gb, GapCompareKind::kIntersect, "i");
+  EXPECT_EQ(inter.NumTags(), 1u);
+  EXPECT_EQ(inter.entry(0).tag, 2u);
+}
+
+TEST(GapQueryMetaTest, DescriptionsExist) {
+  for (int q = 1; q <= 13; ++q) {
+    EXPECT_STRNE(
+        GapCompareQueryDescription(static_cast<GapCompareQuery>(q)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace gea::core

@@ -1,0 +1,80 @@
+// Tests for the SAGE tag codec (10-bp tags packed into 20-bit ids).
+
+#include <gtest/gtest.h>
+
+#include "sage/tag_codec.h"
+
+namespace gea::sage {
+namespace {
+
+TEST(TagCodecTest, AllAsIsZero) {
+  Result<TagId> id = EncodeTag("AAAAAAAAAA");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0u);
+}
+
+TEST(TagCodecTest, AllTsIsMax) {
+  Result<TagId> id = EncodeTag("TTTTTTTTTT");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, kNumPossibleTags - 1);
+}
+
+TEST(TagCodecTest, LastBaseIsLeastSignificant) {
+  EXPECT_EQ(*EncodeTag("AAAAAAAAAC"), 1u);
+  EXPECT_EQ(*EncodeTag("AAAAAAAAAG"), 2u);
+  EXPECT_EQ(*EncodeTag("AAAAAAAAAT"), 3u);
+  EXPECT_EQ(*EncodeTag("AAAAAAAACA"), 4u);
+}
+
+TEST(TagCodecTest, RejectsBadLength) {
+  EXPECT_FALSE(EncodeTag("AAA").ok());
+  EXPECT_FALSE(EncodeTag("AAAAAAAAAAA").ok());
+  EXPECT_FALSE(EncodeTag("").ok());
+}
+
+TEST(TagCodecTest, RejectsBadBases) {
+  EXPECT_FALSE(EncodeTag("AAAAANAAAA").ok());
+  EXPECT_FALSE(EncodeTag("aaaaaaaaaa").ok());  // lower case not accepted
+}
+
+TEST(TagCodecTest, IsValidTagString) {
+  EXPECT_TRUE(IsValidTagString("ACGTACGTAC"));
+  EXPECT_FALSE(IsValidTagString("ACGTACGTA"));
+  EXPECT_FALSE(IsValidTagString("ACGTACGTAX"));
+}
+
+TEST(TagCodecTest, TagLabelFormat) {
+  EXPECT_EQ(TagLabel(0), "AAAAAAAAAA_(0)");
+  EXPECT_EQ(TagLabel(3), "AAAAAAAAAT_(3)");
+}
+
+TEST(TagCodecTest, LexicographicOrderMatchesNumericOrder) {
+  std::vector<std::string> tags = {"AAAAAAAAAA", "AAAAAAAAAC", "AAAAAAAACC",
+                                   "ACGTACGTAC", "CAAAAAAAAA", "GGGGGGGGGG",
+                                   "TTTTTTTTTT"};
+  for (size_t i = 1; i < tags.size(); ++i) {
+    EXPECT_LT(*EncodeTag(tags[i - 1]), *EncodeTag(tags[i]))
+        << tags[i - 1] << " vs " << tags[i];
+  }
+}
+
+// Property sweep: encode/decode round-trips across a stride through the
+// whole tag space.
+class TagRoundTripTest : public testing::TestWithParam<uint32_t> {};
+
+TEST_P(TagRoundTripTest, DecodeThenEncodeIsIdentity) {
+  TagId id = GetParam();
+  std::string s = DecodeTag(id);
+  EXPECT_EQ(s.size(), 10u);
+  Result<TagId> back = EncodeTag(s);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, id);
+}
+
+INSTANTIATE_TEST_SUITE_P(StrideThroughSpace, TagRoundTripTest,
+                         testing::Values(0u, 1u, 2u, 3u, 4u, 1023u, 29994u,
+                                         65535u, 524287u, 524288u, 1000000u,
+                                         1048575u));
+
+}  // namespace
+}  // namespace gea::sage

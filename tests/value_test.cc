@@ -1,0 +1,147 @@
+// Unit tests for rel::Value: typing, comparison, parsing, rendering.
+
+#include <gtest/gtest.h>
+
+#include "rel/value.h"
+
+namespace gea::rel {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+}
+
+TEST(ValueTest, FactoriesSetTypes) {
+  EXPECT_EQ(Value::Int(3).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Double(3.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value::String("x").type(), ValueType::kString);
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value::Int(-7).AsInt(), -7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.25).AsDouble(), 2.25);
+  EXPECT_EQ(Value::String("abc").AsString(), "abc");
+  EXPECT_DOUBLE_EQ(Value::Int(4).AsNumeric(), 4.0);
+  EXPECT_TRUE(Value::Int(1).IsNumeric());
+  EXPECT_TRUE(Value::Double(1).IsNumeric());
+  EXPECT_FALSE(Value::String("1").IsNumeric());
+  EXPECT_FALSE(Value::Null().IsNumeric());
+}
+
+TEST(ValueTest, IntComparison) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Int(2).Compare(Value::Int(1)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, IntDoubleCrossComparison) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(3.1).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, NullSortsFirstAndEqualsNull) {
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_LT(Value::Null().Compare(Value::String("")), 0);
+}
+
+TEST(ValueTest, NumbersSortBeforeStrings) {
+  EXPECT_LT(Value::Int(999).Compare(Value::String("0")), 0);
+  EXPECT_GT(Value::String("a").Compare(Value::Double(1e9)), 0);
+}
+
+TEST(ValueTest, StringComparisonIsLexicographic) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+}
+
+TEST(ValueTest, OperatorsAgreeWithCompare) {
+  EXPECT_TRUE(Value::Int(1) < Value::Int(2));
+  EXPECT_TRUE(Value::Int(2) == Value::Int(2));
+  EXPECT_TRUE(Value::Int(2) != Value::Int(3));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::String("hey").ToString(), "hey");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::Double(2.0).ToString(), "2.0");
+}
+
+TEST(ValueTest, ParseInt) {
+  Result<Value> v = Value::Parse("123", ValueType::kInt);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 123);
+  EXPECT_FALSE(Value::Parse("12x", ValueType::kInt).ok());
+  EXPECT_FALSE(Value::Parse("1.5", ValueType::kInt).ok());
+}
+
+TEST(ValueTest, ParseDouble) {
+  Result<Value> v = Value::Parse("-2.75", ValueType::kDouble);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsDouble(), -2.75);
+  EXPECT_FALSE(Value::Parse("abc", ValueType::kDouble).ok());
+}
+
+TEST(ValueTest, ParseNullForms) {
+  EXPECT_TRUE(Value::Parse("NULL", ValueType::kInt)->is_null());
+  EXPECT_TRUE(Value::Parse("", ValueType::kDouble)->is_null());
+  // The empty string is a real string value, not NULL.
+  ASSERT_FALSE(Value::Parse("", ValueType::kString)->is_null());
+  EXPECT_EQ(Value::Parse("", ValueType::kString)->AsString(), "");
+}
+
+TEST(ValueTest, ParseString) {
+  EXPECT_EQ(Value::Parse("hello", ValueType::kString)->AsString(), "hello");
+}
+
+TEST(ValueTest, ParseValueTypeNames) {
+  EXPECT_TRUE(ParseValueType("int").ok());
+  EXPECT_TRUE(ParseValueType("double").ok());
+  EXPECT_TRUE(ParseValueType("string").ok());
+  EXPECT_FALSE(ParseValueType("varchar").ok());
+}
+
+// Property sweep: Compare is antisymmetric and a total order over a mixed
+// set of values.
+class ValueOrderTest : public testing::TestWithParam<int> {};
+
+std::vector<Value> MixedValues() {
+  return {Value::Null(),        Value::Int(-3),       Value::Int(0),
+          Value::Int(7),        Value::Double(-3.5),  Value::Double(0.0),
+          Value::Double(7.5),   Value::String(""),    Value::String("a"),
+          Value::String("abc")};
+}
+
+TEST_P(ValueOrderTest, AntisymmetricAgainstAll) {
+  std::vector<Value> values = MixedValues();
+  const Value& a = values[static_cast<size_t>(GetParam())];
+  for (const Value& b : values) {
+    EXPECT_EQ(a.Compare(b), -b.Compare(a))
+        << a.ToString() << " vs " << b.ToString();
+  }
+}
+
+TEST_P(ValueOrderTest, TransitiveThroughPivot) {
+  std::vector<Value> values = MixedValues();
+  const Value& pivot = values[static_cast<size_t>(GetParam())];
+  for (const Value& a : values) {
+    for (const Value& b : values) {
+      if (a.Compare(pivot) <= 0 && pivot.Compare(b) <= 0) {
+        EXPECT_LE(a.Compare(b), 0)
+            << a.ToString() << " <= " << pivot.ToString()
+            << " <= " << b.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllValues, ValueOrderTest, testing::Range(0, 10));
+
+}  // namespace
+}  // namespace gea::rel

@@ -1,0 +1,334 @@
+// Tests for the workbench: user accounts (Appendix III), the session
+// facade, data management, redundancy checks, search operations, and
+// lineage integration.
+
+#include <gtest/gtest.h>
+
+#include "sage/cleaning.h"
+#include "sage/generator.h"
+#include "workbench/session.h"
+#include "workbench/users.h"
+
+namespace gea::workbench {
+namespace {
+
+// ---------- UserDatabase ----------
+
+TEST(UserDatabaseTest, BootstrapAdminCanAuthenticate) {
+  UserDatabase users("admin", "secret");
+  EXPECT_TRUE(users.Authenticate("admin", "secret",
+                                 AccessLevel::kAdministrator)
+                  .ok());
+}
+
+TEST(UserDatabaseTest, LoginFailsOnWrongPasswordOrType) {
+  // The Fig. 4.27 hint: password and TYPE must both match.
+  UserDatabase users("admin", "secret");
+  EXPECT_TRUE(users.Authenticate("admin", "wrong",
+                                 AccessLevel::kAdministrator)
+                  .status()
+                  .IsPermissionDenied());
+  EXPECT_TRUE(users.Authenticate("admin", "secret", AccessLevel::kUser)
+                  .status()
+                  .IsPermissionDenied());
+  EXPECT_TRUE(users.Authenticate("ghost", "secret",
+                                 AccessLevel::kAdministrator)
+                  .status()
+                  .IsPermissionDenied());
+}
+
+TEST(UserDatabaseTest, AddDeleteModify) {
+  UserDatabase users("admin", "secret");
+  ASSERT_TRUE(users.AddUser("jessica", "pw", AccessLevel::kUser).ok());
+  EXPECT_TRUE(users.AddUser("jessica", "pw2", AccessLevel::kUser)
+                  .IsAlreadyExists());
+  EXPECT_TRUE(users.Authenticate("jessica", "pw", AccessLevel::kUser).ok());
+
+  // Promote to administrator with a new password (Fig. AIII.11).
+  ASSERT_TRUE(
+      users.ModifyUser("jessica", "pw2", AccessLevel::kAdministrator).ok());
+  EXPECT_TRUE(users.Authenticate("jessica", "pw", AccessLevel::kUser)
+                  .status()
+                  .IsPermissionDenied());
+  EXPECT_TRUE(users
+                  .Authenticate("jessica", "pw2",
+                                AccessLevel::kAdministrator)
+                  .ok());
+
+  ASSERT_TRUE(users.DeleteUser("jessica").ok());
+  EXPECT_TRUE(users.DeleteUser("jessica").IsNotFound());
+}
+
+TEST(UserDatabaseTest, LastAdministratorIsProtected) {
+  UserDatabase users("admin", "secret");
+  EXPECT_EQ(users.DeleteUser("admin").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(users.ModifyUser("admin", "x", AccessLevel::kUser).code(),
+            StatusCode::kFailedPrecondition);
+  // With a second admin, deletion works.
+  ASSERT_TRUE(
+      users.AddUser("root2", "pw", AccessLevel::kAdministrator).ok());
+  EXPECT_TRUE(users.DeleteUser("admin").ok());
+}
+
+TEST(UserDatabaseTest, Introspection) {
+  UserDatabase users("admin", "secret");
+  users.AddUser("u1", "p", AccessLevel::kUser);
+  EXPECT_TRUE(users.HasUser("u1"));
+  EXPECT_EQ(*users.GetLevel("u1"), AccessLevel::kUser);
+  EXPECT_EQ(users.UserNames().size(), 2u);
+  EXPECT_TRUE(users.GetLevel("nope").status().IsNotFound());
+}
+
+// ---------- AnalysisSession ----------
+
+sage::SageDataSet CleanSmallData(uint64_t seed = 42) {
+  sage::GeneratorConfig config;
+  config.seed = seed;
+  config.panels = sage::SyntheticSageGenerator::SmallPanels();
+  sage::SyntheticSage synth = sage::SyntheticSageGenerator(config).Generate();
+  sage::CleanAndNormalize(synth.dataset);
+  return std::move(synth.dataset);
+}
+
+class SessionTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() { data_ = new sage::SageDataSet(CleanSmallData()); }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  AnalysisSession LoggedInSession() {
+    AnalysisSession session("admin", "secret");
+    EXPECT_TRUE(
+        session.Login("admin", "secret", AccessLevel::kAdministrator).ok());
+    EXPECT_TRUE(session.LoadDataSet(*data_).ok());
+    return session;
+  }
+
+  static sage::SageDataSet* data_;
+};
+
+sage::SageDataSet* SessionTest::data_ = nullptr;
+
+TEST_F(SessionTest, OperationsRequireLogin) {
+  AnalysisSession session("admin", "secret");
+  EXPECT_TRUE(session.LoadDataSet(*data_).IsPermissionDenied());
+  EXPECT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain)
+                  .IsPermissionDenied());
+  EXPECT_FALSE(session.IsLoggedIn());
+  EXPECT_FALSE(session.CurrentUser().ok());
+}
+
+TEST_F(SessionTest, LoginLogout) {
+  AnalysisSession session("admin", "secret");
+  EXPECT_TRUE(session.Login("admin", "bad", AccessLevel::kAdministrator)
+                  .IsPermissionDenied());
+  ASSERT_TRUE(
+      session.Login("admin", "secret", AccessLevel::kAdministrator).ok());
+  EXPECT_TRUE(session.IsLoggedIn());
+  EXPECT_EQ(*session.CurrentUser(), "admin");
+  session.Logout();
+  EXPECT_FALSE(session.IsLoggedIn());
+}
+
+TEST_F(SessionTest, AdministrationRequiresAdminLevel) {
+  AnalysisSession session("admin", "secret");
+  ASSERT_TRUE(
+      session.Login("admin", "secret", AccessLevel::kAdministrator).ok());
+  ASSERT_TRUE(session.AddUser("jess", "pw", AccessLevel::kUser).ok());
+  session.Logout();
+  ASSERT_TRUE(session.Login("jess", "pw", AccessLevel::kUser).ok());
+  EXPECT_TRUE(session.AddUser("x", "y", AccessLevel::kUser)
+                  .IsPermissionDenied());
+  EXPECT_TRUE(session.SetConfiguration("db_path", "/x").IsPermissionDenied());
+  EXPECT_TRUE(session.InitializeDatabase().IsPermissionDenied());
+  // But analysis operations are available to plain users.
+  EXPECT_TRUE(session.LoadDataSet(*data_).ok());
+  EXPECT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain).ok());
+}
+
+TEST_F(SessionTest, ConfigurationDefaultsAndUpdates) {
+  AnalysisSession session("admin", "secret");
+  ASSERT_TRUE(
+      session.Login("admin", "secret", AccessLevel::kAdministrator).ok());
+  EXPECT_TRUE(session.GetConfiguration("db_path").ok());
+  ASSERT_TRUE(session.SetConfiguration("db_path", "/tmp/gea").ok());
+  EXPECT_EQ(*session.GetConfiguration("db_path"), "/tmp/gea");
+  EXPECT_TRUE(session.GetConfiguration("nope").status().IsNotFound());
+}
+
+TEST_F(SessionTest, LoadDataSetBuildsRelations) {
+  AnalysisSession session = LoggedInSession();
+  EXPECT_TRUE(session.Relations().HasTable("Libraries"));
+  EXPECT_TRUE(session.Relations().HasTable("Typeinfo"));
+  EXPECT_TRUE(session.Relations().HasTable("Sageinfo"));
+  EXPECT_TRUE(session.Lineage().FindByName("SAGE").ok());
+}
+
+TEST_F(SessionTest, TissueDataSetAndRedundancyCheck) {
+  AnalysisSession session = LoggedInSession();
+  ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain).ok());
+  Result<const core::EnumTable*> brain = session.GetEnum("brain");
+  ASSERT_TRUE(brain.ok());
+  EXPECT_EQ((*brain)->NumLibraries(), 12u);
+  // Redundancy check (Fig. 4.28): refused without replace.
+  EXPECT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain)
+                  .IsAlreadyExists());
+  EXPECT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain,
+                                          /*replace=*/true)
+                  .ok());
+  // A tissue with no libraries in the small panel is NotFound.
+  EXPECT_TRUE(session.CreateTissueDataSet(sage::TissueType::kKidney)
+                  .IsNotFound());
+}
+
+TEST_F(SessionTest, CustomDataSet) {
+  AnalysisSession session = LoggedInSession();
+  std::vector<int> ids = {1, 2, 13};
+  ASSERT_TRUE(session.CreateCustomDataSet("newBrain", ids).ok());
+  Result<const core::EnumTable*> custom = session.GetEnum("newBrain");
+  ASSERT_TRUE(custom.ok());
+  EXPECT_EQ((*custom)->NumLibraries(), 3u);
+  EXPECT_TRUE(
+      session.CreateCustomDataSet("bad", {9999}).IsNotFound());
+}
+
+TEST_F(SessionTest, MetadataValidation) {
+  AnalysisSession session = LoggedInSession();
+  ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain).ok());
+  EXPECT_TRUE(
+      session.GenerateMetadata("brain", 150.0, "m").IsInvalidArgument());
+  EXPECT_TRUE(session.GenerateMetadata("nope", 10.0, "m").IsNotFound());
+  ASSERT_TRUE(session.GenerateMetadata("brain", 10.0, "brainfile.meta").ok());
+  EXPECT_TRUE(session.GenerateMetadata("brain", 10.0, "brainfile.meta")
+                  .IsAlreadyExists());
+  EXPECT_TRUE(session
+                  .GenerateMetadata("brain", 10.0, "brainfile.meta",
+                                    /*replace=*/true)
+                  .ok());
+}
+
+TEST_F(SessionTest, SearchOperations) {
+  AnalysisSession session = LoggedInSession();
+  // Library info by id and name (Fig. 4.23).
+  Result<sage::LibraryMeta> by_id = session.SearchLibrary(1);
+  ASSERT_TRUE(by_id.ok());
+  Result<sage::LibraryMeta> by_name = session.SearchLibrary(by_id->name);
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ(by_name->id, 1);
+  EXPECT_TRUE(session.SearchLibrary(424242).status().IsNotFound());
+
+  // Tissue type info (Fig. 4.24).
+  Result<std::vector<std::string>> brains =
+      session.LibrariesOfTissue(sage::TissueType::kBrain);
+  ASSERT_TRUE(brains.ok());
+  EXPECT_EQ(brains->size(), 12u);
+
+  // Tag frequency (Figs. 4.25/4.26): values match the library's counts.
+  const sage::SageLibrary& lib = (*session.DataSet())->library(0);
+  ASSERT_FALSE(lib.entries().empty());
+  sage::TagId tag = lib.entries().front().tag;
+  Result<std::vector<AnalysisSession::TagFrequencyRow>> rows =
+      session.TagFrequency(tag, tag, {lib.name()});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(rows->front().tag, tag);
+  EXPECT_DOUBLE_EQ(rows->front().values[0], lib.Count(tag));
+
+  EXPECT_TRUE(
+      session.TagFrequency(tag, tag, {"missing_library"}).status()
+          .IsNotFound());
+}
+
+TEST_F(SessionTest, SqlQueryOverAuxiliaryRelations) {
+  AnalysisSession session = LoggedInSession();
+  Result<rel::Table> out = session.Query(
+      "SELECT Type, COUNT(*) AS n FROM Libraries GROUP BY Type ORDER BY "
+      "Type");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->NumRows(), 2u);  // brain + breast in the small panel
+  EXPECT_EQ(out->Get(0, "Type")->AsString(), "brain");
+  EXPECT_EQ(out->Get(0, "n")->AsInt(), 12);
+  // Queries require login.
+  session.Logout();
+  EXPECT_TRUE(session.Query("SELECT * FROM Libraries").status()
+                  .IsPermissionDenied());
+}
+
+TEST_F(SessionTest, RangeSearchOverStoredSumys) {
+  AnalysisSession session = LoggedInSession();
+  ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain).ok());
+  ASSERT_TRUE(session.GenerateMetadata("brain", 25.0, "meta").ok());
+  Result<std::vector<std::string>> fascicles = session.CalculateFascicles(
+      "brain", "meta", 150, 6, 3, "rs");
+  ASSERT_TRUE(fascicles.ok());
+  ASSERT_FALSE(fascicles->empty());
+  const std::string sumy_name = fascicles->front() + "_SUMY";
+  Result<const core::SumyTable*> sumy = session.GetSumy(sumy_name);
+  ASSERT_TRUE(sumy.ok());
+  ASSERT_GT((*sumy)->NumTags(), 0u);
+  sage::TagId tag = (*sumy)->entry(0).tag;
+  const core::SumyEntry& entry = (*sumy)->entry(0);
+
+  // Query with the tag's own range: relation equals must match.
+  Result<std::vector<core::RangeSearchHit>> hits = session.RangeSearchSumys(
+      {sumy_name}, tag, tag, interval::AllenRelation::kEquals,
+      {entry.min, entry.max});
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ(hits->front().outcome,
+            core::RangeSearchHit::Outcome::kMatch);
+
+  EXPECT_TRUE(session
+                  .RangeSearchSumys({"nope"}, tag, tag,
+                                    interval::AllenRelation::kEquals,
+                                    {0, 1})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(SessionTest, InitializeDatabaseClearsEverything) {
+  AnalysisSession session = LoggedInSession();
+  ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain).ok());
+  ASSERT_TRUE(session.InitializeDatabase().ok());
+  EXPECT_EQ(session.Relations().NumTables(), 0u);
+  EXPECT_TRUE(session.GetEnum("brain").status().IsNotFound());
+  EXPECT_FALSE(session.DataSet().ok());
+}
+
+TEST_F(SessionTest, LineageDeleteCascadeDropsTables) {
+  AnalysisSession session = LoggedInSession();
+  ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain).ok());
+  ASSERT_TRUE(session.GenerateMetadata("brain", 25.0, "meta").ok());
+  Result<std::vector<std::string>> fascicles = session.CalculateFascicles(
+      "brain", "meta", /*min_compact_tags=*/150, /*batch_size=*/6,
+      /*min_size=*/3, "brain150");
+  ASSERT_TRUE(fascicles.ok()) << fascicles.status().ToString();
+  ASSERT_FALSE(fascicles->empty());
+  const std::string& fas = fascicles->front();
+  ASSERT_TRUE(session.GetEnum(fas).ok());
+  ASSERT_TRUE(session.GetSumy(fas + "_SUMY").ok());
+  ASSERT_TRUE(session.CommentOn(fas, "interesting compact tags").ok());
+
+  // Cascade delete removes the fascicle and its SUMY.
+  ASSERT_TRUE(session.DeleteTable(fas, /*cascade=*/true).ok());
+  EXPECT_TRUE(session.GetEnum(fas).status().IsNotFound());
+  EXPECT_TRUE(session.GetSumy(fas + "_SUMY").status().IsNotFound());
+}
+
+TEST_F(SessionTest, DeleteContentsKeepsLineageMetadata) {
+  AnalysisSession session = LoggedInSession();
+  ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBreast).ok());
+  ASSERT_TRUE(session.DeleteTable("breast", /*cascade=*/false).ok());
+  EXPECT_TRUE(session.GetEnum("breast").status().IsNotFound());
+  // The lineage node survives with its parameters for regeneration.
+  Result<lineage::LineageGraph::NodeId> node =
+      session.Lineage().FindByName("breast");
+  ASSERT_TRUE(node.ok());
+  EXPECT_FALSE((*session.Lineage().GetNode(*node))->has_contents);
+}
+
+}  // namespace
+}  // namespace gea::workbench
