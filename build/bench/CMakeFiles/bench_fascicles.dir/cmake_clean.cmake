@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fascicles.dir/bench_fascicles.cc.o"
+  "CMakeFiles/bench_fascicles.dir/bench_fascicles.cc.o.d"
+  "bench_fascicles"
+  "bench_fascicles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fascicles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_populate_index.dir/bench_populate_index.cc.o"
+  "CMakeFiles/bench_populate_index.dir/bench_populate_index.cc.o.d"
+  "bench_populate_index"
+  "bench_populate_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_populate_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

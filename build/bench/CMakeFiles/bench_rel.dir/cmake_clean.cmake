@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rel.dir/bench_rel.cc.o"
+  "CMakeFiles/bench_rel.dir/bench_rel.cc.o.d"
+  "bench_rel"
+  "bench_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

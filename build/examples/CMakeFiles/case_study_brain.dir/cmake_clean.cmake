@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_study_brain.dir/case_study_brain.cpp.o"
+  "CMakeFiles/case_study_brain.dir/case_study_brain.cpp.o.d"
+  "case_study_brain"
+  "case_study_brain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_study_brain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrated_annotation.dir/integrated_annotation.cpp.o"
+  "CMakeFiles/integrated_annotation.dir/integrated_annotation.cpp.o.d"
+  "integrated_annotation"
+  "integrated_annotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrated_annotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

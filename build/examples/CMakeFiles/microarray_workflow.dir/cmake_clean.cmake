@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microarray_workflow.dir/microarray_workflow.cpp.o"
+  "CMakeFiles/microarray_workflow.dir/microarray_workflow.cpp.o.d"
+  "microarray_workflow"
+  "microarray_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microarray_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tissue_screen.dir/multi_tissue_screen.cpp.o"
+  "CMakeFiles/multi_tissue_screen.dir/multi_tissue_screen.cpp.o.d"
+  "multi_tissue_screen"
+  "multi_tissue_screen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tissue_screen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/distance.cc" "src/cluster/CMakeFiles/gea_cluster.dir/distance.cc.o" "gcc" "src/cluster/CMakeFiles/gea_cluster.dir/distance.cc.o.d"
+  "/root/repo/src/cluster/fascicles.cc" "src/cluster/CMakeFiles/gea_cluster.dir/fascicles.cc.o" "gcc" "src/cluster/CMakeFiles/gea_cluster.dir/fascicles.cc.o.d"
+  "/root/repo/src/cluster/hierarchical.cc" "src/cluster/CMakeFiles/gea_cluster.dir/hierarchical.cc.o" "gcc" "src/cluster/CMakeFiles/gea_cluster.dir/hierarchical.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/cluster/CMakeFiles/gea_cluster.dir/kmeans.cc.o" "gcc" "src/cluster/CMakeFiles/gea_cluster.dir/kmeans.cc.o.d"
+  "/root/repo/src/cluster/metrics.cc" "src/cluster/CMakeFiles/gea_cluster.dir/metrics.cc.o" "gcc" "src/cluster/CMakeFiles/gea_cluster.dir/metrics.cc.o.d"
+  "/root/repo/src/cluster/optics.cc" "src/cluster/CMakeFiles/gea_cluster.dir/optics.cc.o" "gcc" "src/cluster/CMakeFiles/gea_cluster.dir/optics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gea_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gea_cluster.dir/distance.cc.o"
+  "CMakeFiles/gea_cluster.dir/distance.cc.o.d"
+  "CMakeFiles/gea_cluster.dir/fascicles.cc.o"
+  "CMakeFiles/gea_cluster.dir/fascicles.cc.o.d"
+  "CMakeFiles/gea_cluster.dir/hierarchical.cc.o"
+  "CMakeFiles/gea_cluster.dir/hierarchical.cc.o.d"
+  "CMakeFiles/gea_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/gea_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/gea_cluster.dir/metrics.cc.o"
+  "CMakeFiles/gea_cluster.dir/metrics.cc.o.d"
+  "CMakeFiles/gea_cluster.dir/optics.cc.o"
+  "CMakeFiles/gea_cluster.dir/optics.cc.o.d"
+  "libgea_cluster.a"
+  "libgea_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gea_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gea_common.dir/csv.cc.o"
+  "CMakeFiles/gea_common.dir/csv.cc.o.d"
+  "CMakeFiles/gea_common.dir/rng.cc.o"
+  "CMakeFiles/gea_common.dir/rng.cc.o.d"
+  "CMakeFiles/gea_common.dir/status.cc.o"
+  "CMakeFiles/gea_common.dir/status.cc.o.d"
+  "CMakeFiles/gea_common.dir/strings.cc.o"
+  "CMakeFiles/gea_common.dir/strings.cc.o.d"
+  "CMakeFiles/gea_common.dir/text_plot.cc.o"
+  "CMakeFiles/gea_common.dir/text_plot.cc.o.d"
+  "libgea_common.a"
+  "libgea_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gea_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

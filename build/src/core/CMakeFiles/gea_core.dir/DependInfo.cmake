@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/enum_table.cc" "src/core/CMakeFiles/gea_core.dir/enum_table.cc.o" "gcc" "src/core/CMakeFiles/gea_core.dir/enum_table.cc.o.d"
+  "/root/repo/src/core/gap.cc" "src/core/CMakeFiles/gea_core.dir/gap.cc.o" "gcc" "src/core/CMakeFiles/gea_core.dir/gap.cc.o.d"
+  "/root/repo/src/core/gap_compare.cc" "src/core/CMakeFiles/gea_core.dir/gap_compare.cc.o" "gcc" "src/core/CMakeFiles/gea_core.dir/gap_compare.cc.o.d"
+  "/root/repo/src/core/gap_ops.cc" "src/core/CMakeFiles/gea_core.dir/gap_ops.cc.o" "gcc" "src/core/CMakeFiles/gea_core.dir/gap_ops.cc.o.d"
+  "/root/repo/src/core/index_advisor.cc" "src/core/CMakeFiles/gea_core.dir/index_advisor.cc.o" "gcc" "src/core/CMakeFiles/gea_core.dir/index_advisor.cc.o.d"
+  "/root/repo/src/core/mine_alternatives.cc" "src/core/CMakeFiles/gea_core.dir/mine_alternatives.cc.o" "gcc" "src/core/CMakeFiles/gea_core.dir/mine_alternatives.cc.o.d"
+  "/root/repo/src/core/operators.cc" "src/core/CMakeFiles/gea_core.dir/operators.cc.o" "gcc" "src/core/CMakeFiles/gea_core.dir/operators.cc.o.d"
+  "/root/repo/src/core/populate.cc" "src/core/CMakeFiles/gea_core.dir/populate.cc.o" "gcc" "src/core/CMakeFiles/gea_core.dir/populate.cc.o.d"
+  "/root/repo/src/core/serialization.cc" "src/core/CMakeFiles/gea_core.dir/serialization.cc.o" "gcc" "src/core/CMakeFiles/gea_core.dir/serialization.cc.o.d"
+  "/root/repo/src/core/sumy.cc" "src/core/CMakeFiles/gea_core.dir/sumy.cc.o" "gcc" "src/core/CMakeFiles/gea_core.dir/sumy.cc.o.d"
+  "/root/repo/src/core/sumy_ops.cc" "src/core/CMakeFiles/gea_core.dir/sumy_ops.cc.o" "gcc" "src/core/CMakeFiles/gea_core.dir/sumy_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/gea_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sage/CMakeFiles/gea_sage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/gea_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/gea_interval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

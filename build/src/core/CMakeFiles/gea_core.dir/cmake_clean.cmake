@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gea_core.dir/enum_table.cc.o"
+  "CMakeFiles/gea_core.dir/enum_table.cc.o.d"
+  "CMakeFiles/gea_core.dir/gap.cc.o"
+  "CMakeFiles/gea_core.dir/gap.cc.o.d"
+  "CMakeFiles/gea_core.dir/gap_compare.cc.o"
+  "CMakeFiles/gea_core.dir/gap_compare.cc.o.d"
+  "CMakeFiles/gea_core.dir/gap_ops.cc.o"
+  "CMakeFiles/gea_core.dir/gap_ops.cc.o.d"
+  "CMakeFiles/gea_core.dir/index_advisor.cc.o"
+  "CMakeFiles/gea_core.dir/index_advisor.cc.o.d"
+  "CMakeFiles/gea_core.dir/mine_alternatives.cc.o"
+  "CMakeFiles/gea_core.dir/mine_alternatives.cc.o.d"
+  "CMakeFiles/gea_core.dir/operators.cc.o"
+  "CMakeFiles/gea_core.dir/operators.cc.o.d"
+  "CMakeFiles/gea_core.dir/populate.cc.o"
+  "CMakeFiles/gea_core.dir/populate.cc.o.d"
+  "CMakeFiles/gea_core.dir/serialization.cc.o"
+  "CMakeFiles/gea_core.dir/serialization.cc.o.d"
+  "CMakeFiles/gea_core.dir/sumy.cc.o"
+  "CMakeFiles/gea_core.dir/sumy.cc.o.d"
+  "CMakeFiles/gea_core.dir/sumy_ops.cc.o"
+  "CMakeFiles/gea_core.dir/sumy_ops.cc.o.d"
+  "libgea_core.a"
+  "libgea_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gea_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

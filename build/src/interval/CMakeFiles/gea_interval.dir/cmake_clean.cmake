@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gea_interval.dir/interval.cc.o"
+  "CMakeFiles/gea_interval.dir/interval.cc.o.d"
+  "libgea_interval.a"
+  "libgea_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gea_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gea_lineage.dir/lineage.cc.o"
+  "CMakeFiles/gea_lineage.dir/lineage.cc.o.d"
+  "libgea_lineage.a"
+  "libgea_lineage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gea_lineage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

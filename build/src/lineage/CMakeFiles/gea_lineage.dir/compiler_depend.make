@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gea_lineage.
+# This may be replaced when dependencies are built.

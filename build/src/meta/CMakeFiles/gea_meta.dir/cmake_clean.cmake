@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gea_meta.dir/annotate.cc.o"
+  "CMakeFiles/gea_meta.dir/annotate.cc.o.d"
+  "CMakeFiles/gea_meta.dir/annotation.cc.o"
+  "CMakeFiles/gea_meta.dir/annotation.cc.o.d"
+  "CMakeFiles/gea_meta.dir/eadb.cc.o"
+  "CMakeFiles/gea_meta.dir/eadb.cc.o.d"
+  "libgea_meta.a"
+  "libgea_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gea_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgea_meta.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rel/catalog.cc" "src/rel/CMakeFiles/gea_rel.dir/catalog.cc.o" "gcc" "src/rel/CMakeFiles/gea_rel.dir/catalog.cc.o.d"
+  "/root/repo/src/rel/expr.cc" "src/rel/CMakeFiles/gea_rel.dir/expr.cc.o" "gcc" "src/rel/CMakeFiles/gea_rel.dir/expr.cc.o.d"
+  "/root/repo/src/rel/index.cc" "src/rel/CMakeFiles/gea_rel.dir/index.cc.o" "gcc" "src/rel/CMakeFiles/gea_rel.dir/index.cc.o.d"
+  "/root/repo/src/rel/ops.cc" "src/rel/CMakeFiles/gea_rel.dir/ops.cc.o" "gcc" "src/rel/CMakeFiles/gea_rel.dir/ops.cc.o.d"
+  "/root/repo/src/rel/schema.cc" "src/rel/CMakeFiles/gea_rel.dir/schema.cc.o" "gcc" "src/rel/CMakeFiles/gea_rel.dir/schema.cc.o.d"
+  "/root/repo/src/rel/sql.cc" "src/rel/CMakeFiles/gea_rel.dir/sql.cc.o" "gcc" "src/rel/CMakeFiles/gea_rel.dir/sql.cc.o.d"
+  "/root/repo/src/rel/table.cc" "src/rel/CMakeFiles/gea_rel.dir/table.cc.o" "gcc" "src/rel/CMakeFiles/gea_rel.dir/table.cc.o.d"
+  "/root/repo/src/rel/table_io.cc" "src/rel/CMakeFiles/gea_rel.dir/table_io.cc.o" "gcc" "src/rel/CMakeFiles/gea_rel.dir/table_io.cc.o.d"
+  "/root/repo/src/rel/value.cc" "src/rel/CMakeFiles/gea_rel.dir/value.cc.o" "gcc" "src/rel/CMakeFiles/gea_rel.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gea_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

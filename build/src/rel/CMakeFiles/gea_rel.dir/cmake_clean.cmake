@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gea_rel.dir/catalog.cc.o"
+  "CMakeFiles/gea_rel.dir/catalog.cc.o.d"
+  "CMakeFiles/gea_rel.dir/expr.cc.o"
+  "CMakeFiles/gea_rel.dir/expr.cc.o.d"
+  "CMakeFiles/gea_rel.dir/index.cc.o"
+  "CMakeFiles/gea_rel.dir/index.cc.o.d"
+  "CMakeFiles/gea_rel.dir/ops.cc.o"
+  "CMakeFiles/gea_rel.dir/ops.cc.o.d"
+  "CMakeFiles/gea_rel.dir/schema.cc.o"
+  "CMakeFiles/gea_rel.dir/schema.cc.o.d"
+  "CMakeFiles/gea_rel.dir/sql.cc.o"
+  "CMakeFiles/gea_rel.dir/sql.cc.o.d"
+  "CMakeFiles/gea_rel.dir/table.cc.o"
+  "CMakeFiles/gea_rel.dir/table.cc.o.d"
+  "CMakeFiles/gea_rel.dir/table_io.cc.o"
+  "CMakeFiles/gea_rel.dir/table_io.cc.o.d"
+  "CMakeFiles/gea_rel.dir/value.cc.o"
+  "CMakeFiles/gea_rel.dir/value.cc.o.d"
+  "libgea_rel.a"
+  "libgea_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gea_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

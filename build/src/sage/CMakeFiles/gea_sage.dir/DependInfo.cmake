@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sage/cleaning.cc" "src/sage/CMakeFiles/gea_sage.dir/cleaning.cc.o" "gcc" "src/sage/CMakeFiles/gea_sage.dir/cleaning.cc.o.d"
+  "/root/repo/src/sage/dataset.cc" "src/sage/CMakeFiles/gea_sage.dir/dataset.cc.o" "gcc" "src/sage/CMakeFiles/gea_sage.dir/dataset.cc.o.d"
+  "/root/repo/src/sage/generator.cc" "src/sage/CMakeFiles/gea_sage.dir/generator.cc.o" "gcc" "src/sage/CMakeFiles/gea_sage.dir/generator.cc.o.d"
+  "/root/repo/src/sage/io.cc" "src/sage/CMakeFiles/gea_sage.dir/io.cc.o" "gcc" "src/sage/CMakeFiles/gea_sage.dir/io.cc.o.d"
+  "/root/repo/src/sage/library.cc" "src/sage/CMakeFiles/gea_sage.dir/library.cc.o" "gcc" "src/sage/CMakeFiles/gea_sage.dir/library.cc.o.d"
+  "/root/repo/src/sage/matrix.cc" "src/sage/CMakeFiles/gea_sage.dir/matrix.cc.o" "gcc" "src/sage/CMakeFiles/gea_sage.dir/matrix.cc.o.d"
+  "/root/repo/src/sage/microarray.cc" "src/sage/CMakeFiles/gea_sage.dir/microarray.cc.o" "gcc" "src/sage/CMakeFiles/gea_sage.dir/microarray.cc.o.d"
+  "/root/repo/src/sage/stats.cc" "src/sage/CMakeFiles/gea_sage.dir/stats.cc.o" "gcc" "src/sage/CMakeFiles/gea_sage.dir/stats.cc.o.d"
+  "/root/repo/src/sage/tag_codec.cc" "src/sage/CMakeFiles/gea_sage.dir/tag_codec.cc.o" "gcc" "src/sage/CMakeFiles/gea_sage.dir/tag_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/gea_rel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gea_sage.dir/cleaning.cc.o"
+  "CMakeFiles/gea_sage.dir/cleaning.cc.o.d"
+  "CMakeFiles/gea_sage.dir/dataset.cc.o"
+  "CMakeFiles/gea_sage.dir/dataset.cc.o.d"
+  "CMakeFiles/gea_sage.dir/generator.cc.o"
+  "CMakeFiles/gea_sage.dir/generator.cc.o.d"
+  "CMakeFiles/gea_sage.dir/io.cc.o"
+  "CMakeFiles/gea_sage.dir/io.cc.o.d"
+  "CMakeFiles/gea_sage.dir/library.cc.o"
+  "CMakeFiles/gea_sage.dir/library.cc.o.d"
+  "CMakeFiles/gea_sage.dir/matrix.cc.o"
+  "CMakeFiles/gea_sage.dir/matrix.cc.o.d"
+  "CMakeFiles/gea_sage.dir/microarray.cc.o"
+  "CMakeFiles/gea_sage.dir/microarray.cc.o.d"
+  "CMakeFiles/gea_sage.dir/stats.cc.o"
+  "CMakeFiles/gea_sage.dir/stats.cc.o.d"
+  "CMakeFiles/gea_sage.dir/tag_codec.cc.o"
+  "CMakeFiles/gea_sage.dir/tag_codec.cc.o.d"
+  "libgea_sage.a"
+  "libgea_sage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gea_sage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

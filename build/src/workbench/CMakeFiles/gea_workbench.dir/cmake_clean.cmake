@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gea_workbench.dir/session.cc.o"
+  "CMakeFiles/gea_workbench.dir/session.cc.o.d"
+  "CMakeFiles/gea_workbench.dir/users.cc.o"
+  "CMakeFiles/gea_workbench.dir/users.cc.o.d"
+  "libgea_workbench.a"
+  "libgea_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gea_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

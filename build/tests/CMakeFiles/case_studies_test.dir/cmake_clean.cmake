@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_studies_test.dir/case_studies_test.cc.o"
+  "CMakeFiles/case_studies_test.dir/case_studies_test.cc.o.d"
+  "case_studies_test"
+  "case_studies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_studies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

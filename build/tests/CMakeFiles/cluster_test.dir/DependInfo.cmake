@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/gea_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/gea_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/sage/CMakeFiles/gea_sage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/gea_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lineage/CMakeFiles/gea_lineage.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/gea_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/workbench/CMakeFiles/gea_workbench.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enum_table_test.dir/enum_table_test.cc.o"
+  "CMakeFiles/enum_table_test.dir/enum_table_test.cc.o.d"
+  "enum_table_test"
+  "enum_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enum_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fascicles_test.dir/fascicles_test.cc.o"
+  "CMakeFiles/fascicles_test.dir/fascicles_test.cc.o.d"
+  "fascicles_test"
+  "fascicles_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fascicles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

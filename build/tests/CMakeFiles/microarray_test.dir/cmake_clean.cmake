@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microarray_test.dir/microarray_test.cc.o"
+  "CMakeFiles/microarray_test.dir/microarray_test.cc.o.d"
+  "microarray_test"
+  "microarray_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microarray_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

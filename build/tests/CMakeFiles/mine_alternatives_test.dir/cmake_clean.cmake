@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mine_alternatives_test.dir/mine_alternatives_test.cc.o"
+  "CMakeFiles/mine_alternatives_test.dir/mine_alternatives_test.cc.o.d"
+  "mine_alternatives_test"
+  "mine_alternatives_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mine_alternatives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/populate_test.dir/populate_test.cc.o"
+  "CMakeFiles/populate_test.dir/populate_test.cc.o.d"
+  "populate_test"
+  "populate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/populate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

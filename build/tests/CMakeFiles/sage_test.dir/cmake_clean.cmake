@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_test.dir/sage_test.cc.o"
+  "CMakeFiles/sage_test.dir/sage_test.cc.o.d"
+  "sage_test"
+  "sage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sumy_gap_test.dir/sumy_gap_test.cc.o"
+  "CMakeFiles/sumy_gap_test.dir/sumy_gap_test.cc.o.d"
+  "sumy_gap_test"
+  "sumy_gap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sumy_gap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_codec_test.dir/tag_codec_test.cc.o"
+  "CMakeFiles/tag_codec_test.dir/tag_codec_test.cc.o.d"
+  "tag_codec_test"
+  "tag_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
