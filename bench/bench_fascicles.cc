@@ -11,6 +11,7 @@
 
 #include "cluster/fascicles.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace {
 
@@ -90,6 +91,48 @@ void BM_ExactMine(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExactMine)->DenseRange(8, 16, 4);
+
+// Thread sweep over the candidate-evaluation loop: speedup is the time
+// ratio between the threads:1 row and the higher-thread rows.
+void BM_GreedyMine_Threads(benchmark::State& state) {
+  ThreadCountOverride threads(static_cast<size_t>(state.range(0)));
+  const size_t rows = 48;
+  const size_t cols = 1024;
+  std::vector<double> data = PlantedMatrix(rows, cols, 99);
+  cluster::FascicleMiner miner(data.data(), rows, cols);
+  cluster::FascicleParams params;
+  params.min_compact_tags = cols / 2;
+  params.tolerances.assign(cols, 8.0);
+  params.min_size = 3;
+  params.batch_size = 6;
+  for (auto _ : state) {
+    auto result = miner.Mine(params);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_GreedyMine_Threads)->ArgName("threads")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ExactMine_Threads(benchmark::State& state) {
+  ThreadCountOverride threads(static_cast<size_t>(state.range(0)));
+  const size_t rows = 16;
+  const size_t cols = 64;
+  std::vector<double> data = PlantedMatrix(rows, cols, 7);
+  cluster::FascicleMiner miner(data.data(), rows, cols);
+  cluster::FascicleParams params;
+  params.min_compact_tags = cols * 3 / 4;
+  params.tolerances.assign(cols, 6.0);
+  params.min_size = 3;
+  params.algorithm = cluster::FascicleParams::Algorithm::kExact;
+  for (auto _ : state) {
+    auto result = miner.Mine(params);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ExactMine_Threads)->ArgName("threads")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_CompactCount(benchmark::State& state) {
   const size_t rows = 32;

@@ -1,0 +1,39 @@
+// Shared main for the micro-benchmarks. Adds one flag on top of the
+// google-benchmark set:
+//
+//   --threads=N   pin the parallel operator engine to N threads for every
+//                 benchmark (N=1 forces the serial path). Without it the
+//                 engine uses GEA_THREADS / the hardware default, and the
+//                 *_Threads sweeps still override per-benchmark to report
+//                 serial-vs-parallel speedup.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+
+#include "common/thread_pool.h"
+
+int main(int argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      std::optional<size_t> threads = gea::ParseThreadCount(arg + 10);
+      if (!threads.has_value()) {
+        std::fprintf(stderr, "invalid --threads value: %s\n", arg + 10);
+        return 1;
+      }
+      gea::SetThreadOverride(threads);
+      continue;  // consumed: hide it from the benchmark flag parser
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

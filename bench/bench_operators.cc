@@ -5,10 +5,16 @@
 //   * populate() with vs without indexes,
 //   * the set operations and top-gap extraction.
 
+// The *_Threads sweeps below re-run the hot operators at 1, 2, 4 and 8
+// threads (overriding GEA_THREADS / --threads for their own run); the
+// serial-vs-parallel speedup is the time ratio between the /1 row and the
+// higher-thread rows.
+
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/enum_table.h"
 #include "core/gap.h"
 #include "core/gap_ops.h"
@@ -102,6 +108,54 @@ void BM_PopulateIndexed(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PopulateIndexed)->RangeMultiplier(4)->Range(1000, 16000);
+
+void BM_AggregateThreads(benchmark::State& state) {
+  gea::ThreadCountOverride threads(static_cast<size_t>(state.range(0)));
+  core::EnumTable table = EnumWithTags(16000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Aggregate(table, "sumy"));
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_AggregateThreads)->ArgName("threads")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_PopulateThreads(benchmark::State& state) {
+  gea::ThreadCountOverride threads(static_cast<size_t>(state.range(0)));
+  core::EnumTable table = EnumWithTags(16000);
+  core::EnumTable cancer = table.FilterLibraries(
+      "cancer", [](const sage::LibraryMeta& lib) {
+        return lib.state == sage::NeoplasticState::kCancer;
+      });
+  core::SumyTable sumy = std::move(core::Aggregate(cancer, "s")).value();
+  core::PopulateEngine engine(table);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Populate(sumy, "out"));
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_PopulateThreads)->ArgName("threads")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DiffThreads(benchmark::State& state) {
+  gea::ThreadCountOverride threads(static_cast<size_t>(state.range(0)));
+  core::EnumTable table = EnumWithTags(16000);
+  core::EnumTable cancer = table.FilterLibraries(
+      "cancer", [](const sage::LibraryMeta& lib) {
+        return lib.state == sage::NeoplasticState::kCancer;
+      });
+  core::EnumTable normal = table.FilterLibraries(
+      "normal", [](const sage::LibraryMeta& lib) {
+        return lib.state == sage::NeoplasticState::kNormal;
+      });
+  core::SumyTable sumy1 = std::move(core::Aggregate(cancer, "s1")).value();
+  core::SumyTable sumy2 = std::move(core::Aggregate(normal, "s2")).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Diff(sumy1, sumy2, "gap"));
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DiffThreads)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_TopGap(benchmark::State& state) {
   core::EnumTable table = EnumWithTags(8000);

@@ -1,8 +1,11 @@
 #include "cluster/fascicles.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <set>
+
+#include "common/thread_pool.h"
 
 namespace gea::cluster {
 
@@ -230,26 +233,50 @@ Result<std::vector<Fascicle>> FascicleMiner::MineExact(
   }
 
   std::vector<Candidate> qualifying;  // all sets with >= k compact columns
+  const Status overflow = Status::FailedPrecondition(
+      "exact fascicle search exceeded max_candidates (" +
+      std::to_string(params.max_candidates) +
+      "); use the greedy algorithm or tighten tolerances");
   while (!frontier.empty()) {
-    std::vector<Candidate> next;
-    for (const Candidate& c : frontier) {
-      bool extended = false;
-      for (size_t row = c.members.back() + 1; row < rows_; ++row) {
-        Candidate e = c.Extended(*this, row, tol);
-        if (e.compact_count >= params.min_compact_tags) {
-          next.push_back(std::move(e));
-          extended = true;
-          if (next.size() + qualifying.size() > params.max_candidates) {
-            return Status::FailedPrecondition(
-                "exact fascicle search exceeded max_candidates (" +
-                std::to_string(params.max_candidates) +
-                "); use the greedy algorithm or tighten tolerances");
+    // Each frontier candidate's extensions are independent, so they are
+    // evaluated in parallel into per-candidate buckets and merged in
+    // candidate order — the merge replays the serial loop's accounting,
+    // so the candidate list (and the max_candidates overflow decision)
+    // is identical at any thread count. `generated` lets chunks stop
+    // early once overflow is certain: it only exceeds max_candidates if
+    // the full extension count would, and extensions alone overflowing
+    // implies the serial walk would also have tripped the guard.
+    std::vector<std::vector<Candidate>> extensions(frontier.size());
+    std::atomic<size_t> generated{0};
+    ParallelFor(0, frontier.size(), 1, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const Candidate& c = frontier[i];
+        for (size_t row = c.members.back() + 1; row < rows_; ++row) {
+          if (generated.load(std::memory_order_relaxed) >
+              params.max_candidates) {
+            return;
+          }
+          Candidate e = c.Extended(*this, row, tol);
+          if (e.compact_count >= params.min_compact_tags) {
+            extensions[i].push_back(std::move(e));
+            generated.fetch_add(1, std::memory_order_relaxed);
           }
         }
       }
-      (void)extended;
-      if (c.members.size() >= params.min_size) {
-        qualifying.push_back(c);
+    });
+    if (generated.load(std::memory_order_relaxed) > params.max_candidates) {
+      return overflow;
+    }
+    std::vector<Candidate> next;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      for (Candidate& e : extensions[i]) {
+        next.push_back(std::move(e));
+        if (next.size() + qualifying.size() > params.max_candidates) {
+          return overflow;
+        }
+      }
+      if (frontier[i].members.size() >= params.min_size) {
+        qualifying.push_back(std::move(frontier[i]));
       }
     }
     frontier = std::move(next);
@@ -258,18 +285,25 @@ Result<std::vector<Fascicle>> FascicleMiner::MineExact(
   // A qualifying set is maximal when no single-row extension qualifies
   // (including extensions by rows below its minimum, which the
   // enumeration order skipped).
-  std::vector<Fascicle> maximal;
-  for (const Candidate& c : qualifying) {
-    bool is_maximal = true;
-    for (size_t row = 0; row < rows_ && is_maximal; ++row) {
-      if (std::binary_search(c.members.begin(), c.members.end(), row)) {
-        continue;
+  std::vector<char> is_maximal(qualifying.size(), 0);
+  ParallelFor(0, qualifying.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const Candidate& c = qualifying[i];
+      bool maximal = true;
+      for (size_t row = 0; row < rows_ && maximal; ++row) {
+        if (std::binary_search(c.members.begin(), c.members.end(), row)) {
+          continue;
+        }
+        if (c.CompactCountWith(*this, row, tol) >= params.min_compact_tags) {
+          maximal = false;
+        }
       }
-      if (c.CompactCountWith(*this, row, tol) >= params.min_compact_tags) {
-        is_maximal = false;
-      }
+      is_maximal[i] = maximal ? 1 : 0;
     }
-    if (is_maximal) maximal.push_back(c.ToFascicle(tol));
+  });
+  std::vector<Fascicle> maximal;
+  for (size_t i = 0; i < qualifying.size(); ++i) {
+    if (is_maximal[i]) maximal.push_back(qualifying[i].ToFascicle(tol));
   }
   return KeepMaximal(std::move(maximal));
 }
@@ -310,20 +344,40 @@ Result<std::vector<Fascicle>> FascicleMiner::MineGreedy(
     live = std::move(kept);
   };
 
+  // The serial formulation interleaves "absorb row into every candidate"
+  // with "seed a singleton at the row", but a candidate's evolution over a
+  // batch depends only on its own state and the row order — candidates
+  // never interact until prune(). So the batch is restructured for
+  // parallelism: all of the batch's singletons are seeded up front, then
+  // every candidate (pre-existing ones from the batch start, seeds from
+  // the row after their seed row) replays the batch's rows in order. The
+  // per-candidate work partitions across the pool and the resulting live
+  // set is element-for-element identical to the serial walk.
   size_t row = 0;
   while (row < rows_) {
-    size_t batch_end = std::min(rows_, row + params.batch_size);
-    for (; row < batch_end; ++row) {
-      for (Candidate& c : live) {
-        if (std::binary_search(c.members.begin(), c.members.end(), row)) {
-          continue;
-        }
-        if (c.CompactCountWith(*this, row, tol) >= params.min_compact_tags) {
-          c.AddRowInPlace(*this, row, tol);
+    const size_t batch_begin = row;
+    const size_t batch_end = std::min(rows_, row + params.batch_size);
+    const size_t old_live = live.size();
+    for (size_t r = batch_begin; r < batch_end; ++r) {
+      live.push_back(Candidate::Singleton(*this, r));
+    }
+    ParallelFor(0, live.size(), 1, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        Candidate& c = live[i];
+        const size_t first_row = i < old_live
+                                     ? batch_begin
+                                     : batch_begin + (i - old_live) + 1;
+        for (size_t r = first_row; r < batch_end; ++r) {
+          if (std::binary_search(c.members.begin(), c.members.end(), r)) {
+            continue;
+          }
+          if (c.CompactCountWith(*this, r, tol) >= params.min_compact_tags) {
+            c.AddRowInPlace(*this, r, tol);
+          }
         }
       }
-      live.push_back(Candidate::Singleton(*this, row));
-    }
+    });
+    row = batch_end;
     prune();
   }
 
@@ -387,16 +441,19 @@ std::vector<double> TolerancesFromWidthPercent(const double* data,
                                                double percent) {
   std::vector<double> tol(cols, 0.0);
   if (rows == 0) return tol;
-  for (size_t col = 0; col < cols; ++col) {
-    double lo = data[col];
-    double hi = data[col];
-    for (size_t row = 1; row < rows; ++row) {
-      double v = data[row * cols + col];
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
+  // Column widths are independent; each chunk owns a disjoint slice.
+  ParallelFor(0, cols, 128, [&](size_t col_begin, size_t col_end) {
+    for (size_t col = col_begin; col < col_end; ++col) {
+      double lo = data[col];
+      double hi = data[col];
+      for (size_t row = 1; row < rows; ++row) {
+        double v = data[row * cols + col];
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      tol[col] = (hi - lo) * percent / 100.0;
     }
-    tol[col] = (hi - lo) * percent / 100.0;
-  }
+  });
   return tol;
 }
 

@@ -1,0 +1,222 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+namespace gea {
+
+namespace {
+
+/// Set while the calling thread is executing a ParallelFor chunk (on any
+/// pool). Nested ParallelFor calls detect it and degrade to inline serial
+/// execution instead of blocking a worker on work only workers can run.
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      queue_.push_back(std::move(task));
+      task = nullptr;
+    }
+  }
+  if (task) {
+    // Late submit during teardown: run inline rather than drop.
+    task();
+    return;
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::OnWorkerThread() const {
+  std::thread::id self = std::this_thread::get_id();
+  for (const std::thread& w : workers_) {
+    if (w.get_id() == self) return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+std::optional<size_t>& ThreadOverrideSlot() {
+  static std::optional<size_t> override;
+  return override;
+}
+
+size_t HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+size_t EnvThreads() {
+  static const size_t cached = [] {
+    std::optional<size_t> parsed = ParseThreadCount(std::getenv("GEA_THREADS"));
+    return parsed.value_or(HardwareThreads());
+  }();
+  return cached;
+}
+
+}  // namespace
+
+std::optional<size_t> ParseThreadCount(const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  std::string value(text);
+  if (value == "serial") return 1;
+  char* end = nullptr;
+  long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') return std::nullopt;  // garbage
+  if (parsed <= 0) return std::nullopt;  // 0 / negative: hardware default
+  return std::min(static_cast<size_t>(parsed), kMaxThreads);
+}
+
+size_t ConfiguredThreads() {
+  const std::optional<size_t>& override = ThreadOverrideSlot();
+  if (override.has_value()) return std::min(*override, kMaxThreads);
+  return EnvThreads();
+}
+
+void SetThreadOverride(std::optional<size_t> num_threads) {
+  if (num_threads.has_value() && *num_threads == 0) num_threads = 1;
+  ThreadOverrideSlot() = num_threads;
+}
+
+ThreadCountOverride::ThreadCountOverride(size_t num_threads)
+    : previous_(ThreadOverrideSlot()) {
+  SetThreadOverride(num_threads);
+}
+
+ThreadCountOverride::~ThreadCountOverride() {
+  ThreadOverrideSlot() = previous_;
+}
+
+ThreadPool& SharedThreadPool() {
+  // The pool is grown (rebuilt) when a larger thread count is configured
+  // and intentionally leaked: parallel operators may run during static
+  // destruction of callers, and joining workers at exit is not worth the
+  // shutdown-order hazard.
+  static std::mutex mu;
+  static std::atomic<ThreadPool*> pool{nullptr};
+  size_t want = ConfiguredThreads();
+  ThreadPool* current = pool.load(std::memory_order_acquire);
+  if (current != nullptr && current->NumThreads() >= want) return *current;
+  std::lock_guard<std::mutex> lock(mu);
+  current = pool.load(std::memory_order_relaxed);
+  if (current == nullptr || current->NumThreads() < want) {
+    // Leak the old pool too: chunks from a concurrent ParallelFor could
+    // still reference it. Growth events are rare (test overrides only).
+    ThreadPool* grown = new ThreadPool(want);
+    pool.store(grown, std::memory_order_release);
+    current = grown;
+  }
+  return *current;
+}
+
+void ParallelFor(size_t begin, size_t end, size_t min_grain,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  if (min_grain == 0) min_grain = 1;
+  const size_t threads = ConfiguredThreads();
+  // Serial paths: forced-serial mode, too little work to split, or a
+  // nested call from inside a chunk (running it inline keeps the outer
+  // chunk's worker making progress and cannot deadlock the fixed pool).
+  size_t chunks = std::min(threads, n / min_grain);
+  if (threads <= 1 || chunks <= 1 || t_in_parallel_region) {
+    bool was_in_region = t_in_parallel_region;
+    t_in_parallel_region = true;
+    try {
+      body(begin, end);
+    } catch (...) {
+      t_in_parallel_region = was_in_region;
+      throw;
+    }
+    t_in_parallel_region = was_in_region;
+    return;
+  }
+
+  ThreadPool& pool = SharedThreadPool();
+
+  struct State {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t remaining;
+    // First exception in chunk order, so a failure rethrows the same
+    // exception regardless of scheduling.
+    std::vector<std::exception_ptr> errors;
+  };
+  State state;
+  state.remaining = chunks;
+  state.errors.resize(chunks);
+
+  // Deterministic chunk boundaries: chunk c covers
+  // [begin + c*n/chunks, begin + (c+1)*n/chunks).
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t chunk_begin = begin + n * c / chunks;
+    const size_t chunk_end = begin + n * (c + 1) / chunks;
+    pool.Submit([&state, &body, c, chunk_begin, chunk_end] {
+      bool was_in_region = t_in_parallel_region;
+      t_in_parallel_region = true;
+      try {
+        body(chunk_begin, chunk_end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.errors[c] = std::current_exception();
+      }
+      t_in_parallel_region = was_in_region;
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (--state.remaining == 0) state.done_cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done_cv.wait(lock, [&state] { return state.remaining == 0; });
+  for (std::exception_ptr& error : state.errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace gea

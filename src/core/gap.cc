@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace gea::core {
 
 Result<GapTable> GapTable::Create(std::string name,
@@ -67,38 +69,46 @@ rel::Table GapTable::ToRelTable() const {
 Result<GapTable> Diff(const SumyTable& sumy1, const SumyTable& sumy2,
                       const std::string& out_name,
                       const std::string& gap_column) {
-  std::vector<GapEntry> entries;
   // Merge over the two sorted entry lists; GAP rows exist only for the
   // common tags (Fig. 3.5: the resultant table consists of the tags
-  // common to both SUMY tables).
+  // common to both SUMY tables). The merge itself is a cheap index walk;
+  // the per-tag gap computation is then partitioned across the pool, each
+  // matched pair filling its own output slot.
+  std::vector<std::pair<size_t, size_t>> matched;
+  matched.reserve(std::min(sumy1.NumTags(), sumy2.NumTags()));
   size_t i = 0;
   size_t j = 0;
   while (i < sumy1.NumTags() && j < sumy2.NumTags()) {
-    const SumyEntry& a = sumy1.entry(i);
-    const SumyEntry& b = sumy2.entry(j);
-    if (a.tag < b.tag) {
+    sage::TagId ta = sumy1.entry(i).tag;
+    sage::TagId tb = sumy2.entry(j).tag;
+    if (ta < tb) {
       ++i;
-      continue;
-    }
-    if (b.tag < a.tag) {
+    } else if (tb < ta) {
       ++j;
-      continue;
-    }
-    const bool first_is_higher = a.mean >= b.mean;
-    const SumyEntry& hi = first_is_higher ? a : b;
-    const SumyEntry& lo = first_is_higher ? b : a;
-    double magnitude = (hi.mean - hi.stddev) - (lo.mean + lo.stddev);
-    GapEntry entry;
-    entry.tag = a.tag;
-    if (magnitude <= 0.0) {
-      entry.gaps.push_back(std::nullopt);  // the bands overlap
     } else {
-      entry.gaps.push_back(first_is_higher ? magnitude : -magnitude);
+      matched.emplace_back(i, j);
+      ++i;
+      ++j;
     }
-    entries.push_back(std::move(entry));
-    ++i;
-    ++j;
   }
+  std::vector<GapEntry> entries(matched.size());
+  ParallelFor(0, matched.size(), 512, [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      const SumyEntry& a = sumy1.entry(matched[k].first);
+      const SumyEntry& b = sumy2.entry(matched[k].second);
+      const bool first_is_higher = a.mean >= b.mean;
+      const SumyEntry& hi = first_is_higher ? a : b;
+      const SumyEntry& lo = first_is_higher ? b : a;
+      double magnitude = (hi.mean - hi.stddev) - (lo.mean + lo.stddev);
+      GapEntry& entry = entries[k];
+      entry.tag = a.tag;
+      if (magnitude <= 0.0) {
+        entry.gaps.push_back(std::nullopt);  // the bands overlap
+      } else {
+        entry.gaps.push_back(first_is_higher ? magnitude : -magnitude);
+      }
+    }
+  });
   return GapTable::Create(out_name, {gap_column}, std::move(entries));
 }
 

@@ -4,15 +4,26 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace gea::core {
 
 Result<GapTable> SelectGap(const GapTable& input,
                            const std::function<bool(const GapEntry&)>& pred,
                            const std::string& out_name) {
+  // Evaluate the predicate per tag in parallel (the gap-compare queries
+  // run it over every row of a p-tag table), then collect the survivors
+  // serially in tag order. `pred` must be pure — all built-in predicates
+  // are.
+  std::vector<char> keep(input.NumTags(), 0);
+  ParallelFor(0, input.NumTags(), 1024, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      keep[i] = pred(input.entry(i)) ? 1 : 0;
+    }
+  });
   std::vector<GapEntry> entries;
-  for (const GapEntry& e : input.entries()) {
-    if (pred(e)) entries.push_back(e);
+  for (size_t i = 0; i < input.NumTags(); ++i) {
+    if (keep[i]) entries.push_back(input.entry(i));
   }
   return GapTable::Create(out_name, input.gap_columns(), std::move(entries));
 }

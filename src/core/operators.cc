@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace gea::core {
 
 Result<SumyTable> Aggregate(const EnumTable& input,
@@ -10,29 +12,40 @@ Result<SumyTable> Aggregate(const EnumTable& input,
     return Status::InvalidArgument(
         "cannot aggregate an ENUM table with no libraries: " + input.name());
   }
-  std::vector<SumyEntry> entries;
-  entries.reserve(input.NumTags());
+  // Tags are independent, so the pass is partitioned per tag column; each
+  // chunk fills a disjoint slice of `entries` and the serial and parallel
+  // paths execute the identical per-column loop (bit-identical results at
+  // any thread count).
+  std::vector<SumyEntry> entries(input.NumTags());
   const double n = static_cast<double>(input.NumLibraries());
-  for (size_t col = 0; col < input.NumTags(); ++col) {
-    SumyEntry e;
-    e.tag = input.tag(col);
-    double lo = input.ValueAt(0, col);
-    double hi = lo;
-    double sum = 0.0;
-    double sum_squares = 0.0;
-    for (size_t row = 0; row < input.NumLibraries(); ++row) {
-      double v = input.ValueAt(row, col);
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
-      sum += v;
-      sum_squares += v * v;
+  ParallelFor(0, input.NumTags(), 64, [&](size_t col_begin, size_t col_end) {
+    for (size_t col = col_begin; col < col_end; ++col) {
+      SumyEntry e;
+      e.tag = input.tag(col);
+      double lo = input.ValueAt(0, col);
+      double hi = lo;
+      double sum = 0.0;
+      for (size_t row = 0; row < input.NumLibraries(); ++row) {
+        double v = input.ValueAt(row, col);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+        sum += v;
+      }
+      e.min = lo;
+      e.max = hi;
+      e.mean = sum / n;
+      // Two-pass population stddev: summing squared deviations from the
+      // mean stays accurate for large-magnitude counts, where the naive
+      // E[x^2] - E[x]^2 form cancels catastrophically.
+      double sum_sq_dev = 0.0;
+      for (size_t row = 0; row < input.NumLibraries(); ++row) {
+        double d = input.ValueAt(row, col) - e.mean;
+        sum_sq_dev += d * d;
+      }
+      e.stddev = std::sqrt(sum_sq_dev / n);
+      entries[col] = e;
     }
-    e.min = lo;
-    e.max = hi;
-    e.mean = sum / n;
-    e.stddev = std::sqrt(std::max(0.0, sum_squares / n - e.mean * e.mean));
-    entries.push_back(e);
-  }
+  });
   return SumyTable::Create(out_name, std::move(entries));
 }
 

@@ -1,6 +1,9 @@
 #include "core/populate.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "common/thread_pool.h"
 
 namespace gea::core {
 
@@ -127,20 +130,35 @@ Result<EnumTable> PopulateEngine::Populate(const SumyTable& sumy,
   }
   local.candidates_after_index = candidates.size();
 
-  // Verify the remaining (unindexed) conditions on each candidate.
-  std::vector<size_t> qualifying;
-  for (size_t row : candidates) {
-    bool ok = true;
-    for (const ScanCondition& cond : scans) {
-      ++local.values_checked;
-      double v = cond.column.has_value() ? base_->ValueAt(row, *cond.column)
-                                         : 0.0;
-      if (v < cond.lo || v > cond.hi) {
-        ok = false;
-        if (mode == ScanMode::kEarlyExit) break;
+  // Verify the remaining (unindexed) conditions on each candidate. The
+  // per-library membership tests are independent, so the candidate list is
+  // partitioned across the shared pool; each chunk fills a disjoint slice
+  // of the verdict vector and the qualifying list is collected serially in
+  // candidate order, keeping the output identical to the serial scan.
+  std::vector<char> qualifies(candidates.size(), 0);
+  std::atomic<size_t> values_checked{0};
+  ParallelFor(0, candidates.size(), 256, [&](size_t begin, size_t end) {
+    size_t checked = 0;
+    for (size_t i = begin; i < end; ++i) {
+      const size_t row = candidates[i];
+      bool ok = true;
+      for (const ScanCondition& cond : scans) {
+        ++checked;
+        double v = cond.column.has_value() ? base_->ValueAt(row, *cond.column)
+                                           : 0.0;
+        if (v < cond.lo || v > cond.hi) {
+          ok = false;
+          if (mode == ScanMode::kEarlyExit) break;
+        }
       }
+      qualifies[i] = ok ? 1 : 0;
     }
-    if (ok) qualifying.push_back(row);
+    values_checked.fetch_add(checked, std::memory_order_relaxed);
+  });
+  local.values_checked = values_checked.load(std::memory_order_relaxed);
+  std::vector<size_t> qualifying;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (qualifies[i]) qualifying.push_back(candidates[i]);
   }
 
   // Materialize the result ENUM over the SUMY's tags.
@@ -148,15 +166,20 @@ Result<EnumTable> PopulateEngine::Populate(const SumyTable& sumy,
   out_tags.reserve(sumy.NumTags());
   for (const SumyEntry& e : sumy.entries()) out_tags.push_back(e.tag);
   std::vector<sage::LibraryMeta> out_libs;
-  std::vector<double> out_values;
   out_libs.reserve(qualifying.size());
-  out_values.reserve(qualifying.size() * out_tags.size());
-  for (size_t row : qualifying) {
-    out_libs.push_back(base_->library(row));
-    for (const std::optional<size_t>& col : sumy_columns) {
-      out_values.push_back(col.has_value() ? base_->ValueAt(row, *col) : 0.0);
+  for (size_t row : qualifying) out_libs.push_back(base_->library(row));
+  // Gather the result matrix in parallel: qualifying row i owns the
+  // disjoint slice [i * tags, (i+1) * tags) of the output.
+  std::vector<double> out_values(qualifying.size() * out_tags.size());
+  ParallelFor(0, qualifying.size(), 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const size_t row = qualifying[i];
+      double* out = out_values.data() + i * sumy_columns.size();
+      for (const std::optional<size_t>& col : sumy_columns) {
+        *out++ = col.has_value() ? base_->ValueAt(row, *col) : 0.0;
+      }
     }
-  }
+  });
   if (stats != nullptr) *stats = local;
   return EnumTable::FromRows(out_name, std::move(out_libs),
                              std::move(out_tags), std::move(out_values));

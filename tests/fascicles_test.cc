@@ -5,6 +5,7 @@
 
 #include "cluster/fascicles.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace gea::cluster {
 namespace {
@@ -252,6 +253,84 @@ TEST_P(RandomMatrixTest, MinedFasciclesAreValidAndExactOnesMaximal) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomMatrixTest,
                          testing::Range<uint64_t>(1, 13));
+
+// ---- Property sweep under serial and parallel execution: both
+// algorithms must return only fascicles meeting the min_size /
+// k-compact-tag invariants, and the parallel engine must reproduce the
+// forced-serial result exactly ----
+
+struct ExecutionCase {
+  FascicleParams::Algorithm algorithm;
+  size_t threads;
+};
+
+class ParallelPropertyTest : public testing::TestWithParam<ExecutionCase> {};
+
+TEST_P(ParallelPropertyTest, InvariantsHoldAndMatchSerial) {
+  const ExecutionCase& c = GetParam();
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    gea::Rng rng(seed);
+    const size_t rows = 10;
+    const size_t cols = 8;
+    std::vector<double> data(rows * cols);
+    for (double& v : data) v = rng.UniformDouble(0.0, 10.0);
+
+    FascicleMiner miner(data.data(), rows, cols);
+    FascicleParams params;
+    params.min_compact_tags = 3;
+    params.tolerances.assign(cols, 3.0);
+    params.min_size = 2;
+    params.algorithm = c.algorithm;
+
+    std::vector<Fascicle> serial;
+    {
+      ThreadCountOverride guard(1);
+      Result<std::vector<Fascicle>> mined = miner.Mine(params);
+      ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+      serial = *std::move(mined);
+    }
+    std::vector<Fascicle> parallel;
+    {
+      ThreadCountOverride guard(c.threads);
+      Result<std::vector<Fascicle>> mined = miner.Mine(params);
+      ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+      parallel = *std::move(mined);
+    }
+
+    for (const Fascicle& f : parallel) {
+      // The Section 2.5.1 definition: >= min_size members, >= k compact
+      // tags, and the recorded ranges really are the compact ones.
+      EXPECT_GE(f.members.size(), params.min_size) << f.ToString();
+      EXPECT_GE(f.compact_columns.size(), params.min_compact_tags)
+          << f.ToString();
+      EXPECT_TRUE(miner.Verify(f, params.tolerances)) << f.ToString();
+      EXPECT_GE(miner.CountCompactColumns(f.members, params.tolerances),
+                params.min_compact_tags);
+    }
+
+    ASSERT_EQ(serial.size(), parallel.size()) << "seed " << seed;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].members, parallel[i].members) << "seed " << seed;
+      EXPECT_EQ(serial[i].compact_columns, parallel[i].compact_columns);
+      EXPECT_EQ(serial[i].compact_ranges, parallel[i].compact_ranges);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndThreads, ParallelPropertyTest,
+    testing::Values(
+        ExecutionCase{FascicleParams::Algorithm::kExact, 2},
+        ExecutionCase{FascicleParams::Algorithm::kExact, 8},
+        ExecutionCase{FascicleParams::Algorithm::kGreedy, 2},
+        ExecutionCase{FascicleParams::Algorithm::kGreedy, 8}),
+    [](const testing::TestParamInfo<ExecutionCase>& info) {
+      std::string name =
+          info.param.algorithm == FascicleParams::Algorithm::kExact
+              ? "Exact"
+              : "Greedy";
+      return name + std::to_string(info.param.threads) + "Threads";
+    });
 
 // ---- Tolerance metadata (Fig. 4.5) ----
 

@@ -1,0 +1,299 @@
+// Differential serial-vs-parallel harness: runs the four parallelized hot
+// operators — aggregate(), populate(), diff() (plus the gap-compare
+// selection it feeds), and mine() — on a generated data set at 1, 2 and 8
+// threads and asserts the outputs are byte-identical to the forced-serial
+// reference. The determinism contract (DESIGN.md, "Parallel execution
+// model") promises bit-equal doubles, not just values within a tolerance,
+// so every comparison below goes through the bit pattern.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/enum_table.h"
+#include "core/gap.h"
+#include "core/gap_compare.h"
+#include "core/gap_ops.h"
+#include "core/index_advisor.h"
+#include "core/operators.h"
+#include "core/populate.h"
+#include "sage/generator.h"
+
+namespace gea::core {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+::testing::AssertionResult BitEqual(double a, double b) {
+  if (Bits(a) == Bits(b)) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ in bit pattern";
+}
+
+::testing::AssertionResult SumyBitEqual(const SumyTable& a,
+                                        const SumyTable& b) {
+  if (a.NumTags() != b.NumTags()) {
+    return ::testing::AssertionFailure()
+           << a.name() << " has " << a.NumTags() << " tags, " << b.name()
+           << " has " << b.NumTags();
+  }
+  for (size_t i = 0; i < a.NumTags(); ++i) {
+    const SumyEntry& ea = a.entry(i);
+    const SumyEntry& eb = b.entry(i);
+    if (ea.tag != eb.tag || Bits(ea.min) != Bits(eb.min) ||
+        Bits(ea.max) != Bits(eb.max) || Bits(ea.mean) != Bits(eb.mean) ||
+        Bits(ea.stddev) != Bits(eb.stddev)) {
+      return ::testing::AssertionFailure()
+             << "SUMY row " << i << " differs (tag " << ea.tag << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult GapBitEqual(const GapTable& a, const GapTable& b) {
+  if (a.NumTags() != b.NumTags() || a.NumColumns() != b.NumColumns()) {
+    return ::testing::AssertionFailure()
+           << "GAP shape differs: " << a.NumTags() << "x" << a.NumColumns()
+           << " vs " << b.NumTags() << "x" << b.NumColumns();
+  }
+  for (size_t i = 0; i < a.NumTags(); ++i) {
+    const GapEntry& ea = a.entry(i);
+    const GapEntry& eb = b.entry(i);
+    if (ea.tag != eb.tag || ea.gaps.size() != eb.gaps.size()) {
+      return ::testing::AssertionFailure() << "GAP row " << i << " differs";
+    }
+    for (size_t g = 0; g < ea.gaps.size(); ++g) {
+      if (ea.gaps[g].has_value() != eb.gaps[g].has_value()) {
+        return ::testing::AssertionFailure()
+               << "GAP row " << i << " nullness differs";
+      }
+      if (ea.gaps[g].has_value() && Bits(*ea.gaps[g]) != Bits(*eb.gaps[g])) {
+        return ::testing::AssertionFailure()
+               << "GAP row " << i << " value differs";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult EnumBitEqual(const EnumTable& a,
+                                        const EnumTable& b) {
+  if (a.NumLibraries() != b.NumLibraries() || a.NumTags() != b.NumTags()) {
+    return ::testing::AssertionFailure()
+           << "ENUM shape differs: " << a.NumLibraries() << "x" << a.NumTags()
+           << " vs " << b.NumLibraries() << "x" << b.NumTags();
+  }
+  for (size_t r = 0; r < a.NumLibraries(); ++r) {
+    if (a.library(r).id != b.library(r).id) {
+      return ::testing::AssertionFailure()
+             << "ENUM row " << r << " library differs: " << a.library(r).id
+             << " vs " << b.library(r).id;
+    }
+  }
+  if (a.tags() != b.tags()) {
+    return ::testing::AssertionFailure() << "ENUM tag columns differ";
+  }
+  const std::vector<double>& va = a.values();
+  const std::vector<double>& vb = b.values();
+  if (std::memcmp(va.data(), vb.data(), va.size() * sizeof(double)) != 0) {
+    return ::testing::AssertionFailure() << "ENUM value buffers differ";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Everything one pipeline run produces, captured for comparison.
+// (EnumTable has no default constructor, hence the optional.)
+struct PipelineOutputs {
+  SumyTable cancer_sumy;
+  SumyTable normal_sumy;
+  GapTable gap;
+  GapTable compared;
+  GapTable query_hits;
+  std::optional<EnumTable> populated;
+  PopulateEngine::Stats populate_stats;
+  std::vector<MinedFascicle> mined;
+};
+
+const sage::SyntheticSage& Synth() {
+  static const sage::SyntheticSage* synth = [] {
+    sage::GeneratorConfig config;
+    config.seed = 7;
+    config.panels = sage::SyntheticSageGenerator::SmallPanels();
+    return new sage::SyntheticSage(
+        sage::SyntheticSageGenerator(config).Generate());
+  }();
+  return *synth;
+}
+
+EnumTable BaseEnum(size_t num_tags) {
+  std::vector<sage::TagId> universe = Synth().dataset.TagUniverse();
+  if (universe.size() > num_tags) universe.resize(num_tags);
+  return EnumTable::FromDataSet("base", Synth().dataset, universe);
+}
+
+PipelineOutputs RunPipeline(size_t threads) {
+  ThreadCountOverride guard(threads);
+  PipelineOutputs out;
+
+  EnumTable base = BaseEnum(3000);
+  EnumTable cancer = base.FilterLibraries(
+      "cancer", [](const sage::LibraryMeta& lib) {
+        return lib.state == sage::NeoplasticState::kCancer;
+      });
+  EnumTable normal = base.FilterLibraries(
+      "normal", [](const sage::LibraryMeta& lib) {
+        return lib.state == sage::NeoplasticState::kNormal;
+      });
+
+  // aggregate()
+  out.cancer_sumy = std::move(Aggregate(cancer, "cancer_sumy")).value();
+  out.normal_sumy = std::move(Aggregate(normal, "normal_sumy")).value();
+
+  // diff() and the gap-compare path (intersect + canned query 1).
+  out.gap = std::move(Diff(out.cancer_sumy, out.normal_sumy, "gap")).value();
+  GapTable gap_ba =
+      std::move(Diff(out.normal_sumy, out.cancer_sumy, "gap_ba")).value();
+  out.compared = std::move(CompareGaps(out.gap, gap_ba,
+                                       GapCompareKind::kIntersect, "cmp"))
+                     .value();
+  out.query_hits =
+      std::move(ApplyGapQuery(out.compared,
+                              GapCompareQuery::kHigherInAInBoth, "hits"))
+          .value();
+
+  // populate() with the thesis's entropy indexes.
+  PopulateEngine engine(base);
+  EXPECT_TRUE(engine.BuildIndexes(TopEntropyTags(base, 16)).ok());
+  out.populated = std::move(engine.Populate(out.cancer_sumy, "populated",
+                                            &out.populate_stats))
+                      .value();
+
+  // mine() on a narrower slice (fascicle search cost grows fast in tags).
+  std::vector<sage::TagId> mine_tags = base.tags();
+  mine_tags.resize(std::min<size_t>(mine_tags.size(), 400));
+  EnumTable mine_input =
+      std::move(base.RestrictTags("mine_input", mine_tags)).value();
+  cluster::FascicleParams params;
+  params.tolerances = MakeToleranceMetadata(mine_input, 30.0);
+  params.min_compact_tags = mine_input.NumTags() / 2;
+  params.min_size = 3;
+  params.batch_size = 6;
+  out.mined =
+      std::move(Mine(mine_input, params, "fas")).value();
+  return out;
+}
+
+class ParallelDifferentialTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelDifferentialTest, MatchesSerialReferenceByteForByte) {
+  // Serial reference: forced-serial mode, never touches the pool.
+  PipelineOutputs reference = RunPipeline(1);
+  PipelineOutputs parallel = RunPipeline(GetParam());
+
+  EXPECT_TRUE(SumyBitEqual(reference.cancer_sumy, parallel.cancer_sumy));
+  EXPECT_TRUE(SumyBitEqual(reference.normal_sumy, parallel.normal_sumy));
+  EXPECT_TRUE(GapBitEqual(reference.gap, parallel.gap));
+  EXPECT_TRUE(GapBitEqual(reference.compared, parallel.compared));
+  EXPECT_TRUE(GapBitEqual(reference.query_hits, parallel.query_hits));
+  EXPECT_TRUE(EnumBitEqual(*reference.populated, *parallel.populated));
+
+  // The executor must not change what the planner reports.
+  EXPECT_EQ(reference.populate_stats.conditions,
+            parallel.populate_stats.conditions);
+  EXPECT_EQ(reference.populate_stats.index_hits,
+            parallel.populate_stats.index_hits);
+  EXPECT_EQ(reference.populate_stats.candidates_after_index,
+            parallel.populate_stats.candidates_after_index);
+  EXPECT_EQ(reference.populate_stats.values_checked,
+            parallel.populate_stats.values_checked);
+
+  // mine(): same fascicles in the same order, and byte-identical SUMY +
+  // member ENUM materializations.
+  ASSERT_EQ(reference.mined.size(), parallel.mined.size());
+  for (size_t i = 0; i < reference.mined.size(); ++i) {
+    const MinedFascicle& r = reference.mined[i];
+    const MinedFascicle& p = parallel.mined[i];
+    EXPECT_EQ(r.fascicle.members, p.fascicle.members) << "fascicle " << i;
+    EXPECT_EQ(r.fascicle.compact_columns, p.fascicle.compact_columns);
+    ASSERT_EQ(r.fascicle.compact_ranges.size(),
+              p.fascicle.compact_ranges.size());
+    for (size_t c = 0; c < r.fascicle.compact_ranges.size(); ++c) {
+      EXPECT_TRUE(BitEqual(r.fascicle.compact_ranges[c].first,
+                           p.fascicle.compact_ranges[c].first));
+      EXPECT_TRUE(BitEqual(r.fascicle.compact_ranges[c].second,
+                           p.fascicle.compact_ranges[c].second));
+    }
+    EXPECT_TRUE(SumyBitEqual(r.sumy, p.sumy));
+    EXPECT_TRUE(EnumBitEqual(r.members, p.members));
+  }
+
+  // Sanity: the pipeline actually exercised its stages.
+  EXPECT_GT(reference.gap.NumTags(), 0u);
+  EXPECT_GT(reference.populated->NumLibraries(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelDifferentialTest,
+                         testing::Values(1, 2, 8));
+
+// The exact miner takes a different code path (frontier extension with the
+// overflow guard); diff it separately on a small planted matrix.
+TEST(ParallelDifferentialTest, ExactMinerMatchesSerial) {
+  EnumTable base = BaseEnum(64);
+  std::vector<sage::TagId> tags = base.tags();
+  EnumTable input = std::move(base.RestrictTags("exact_in", tags)).value();
+
+  cluster::FascicleParams params;
+  params.tolerances = MakeToleranceMetadata(input, 35.0);
+  params.min_compact_tags = input.NumTags() * 3 / 4;
+  params.min_size = 2;
+  params.algorithm = cluster::FascicleParams::Algorithm::kExact;
+  params.max_candidates = 200000;
+
+  cluster::FascicleMiner miner(input.values().data(), input.NumLibraries(),
+                               input.NumTags());
+  std::vector<std::vector<cluster::Fascicle>> runs;
+  for (size_t threads : {1, 2, 8}) {
+    ThreadCountOverride guard(threads);
+    Result<std::vector<cluster::Fascicle>> mined = miner.Mine(params);
+    ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+    runs.push_back(*std::move(mined));
+  }
+  for (size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[0].size(), runs[run].size());
+    for (size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[0][i].members, runs[run][i].members);
+      EXPECT_EQ(runs[0][i].compact_columns, runs[run][i].compact_columns);
+      EXPECT_EQ(runs[0][i].compact_ranges, runs[run][i].compact_ranges);
+    }
+  }
+}
+
+// The max_candidates overflow decision must not depend on the thread
+// count either.
+TEST(ParallelDifferentialTest, ExactMinerOverflowIsThreadCountInvariant) {
+  std::vector<double> data(20 * 3, 1.0);
+  cluster::FascicleMiner miner(data.data(), 20, 3);
+  cluster::FascicleParams params;
+  params.min_compact_tags = 3;
+  params.tolerances = {1e9, 1e9, 1e9};
+  params.min_size = 2;
+  params.algorithm = cluster::FascicleParams::Algorithm::kExact;
+  params.max_candidates = 100;
+  for (size_t threads : {1, 2, 8}) {
+    ThreadCountOverride guard(threads);
+    EXPECT_EQ(miner.Mine(params).status().code(),
+              StatusCode::kFailedPrecondition)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace gea::core

@@ -236,6 +236,34 @@ TEST(AggregateTest, ComputesRangeMeanStdDev) {
   EXPECT_DOUBLE_EQ(t30->mean, 2.0);
 }
 
+TEST(AggregateTest, StdDevIsNumericallyStableForLargeMagnitudeCounts) {
+  // Regression for the naive E[x^2] - E[x]^2 accumulation: at counts
+  // around 1e9 with unit spread, the squares reach 1e18 and the
+  // subtraction cancels catastrophically (the old form returned ~0 or
+  // relied on the max(0, .) clamp). The two-pass form keeps full
+  // precision, which also protects chunked parallel merges from drift.
+  auto lib = [](int id, double count) {
+    sage::SageLibrary l(id, "L" + std::to_string(id), sage::TissueType::kBrain,
+                        sage::NeoplasticState::kCancer,
+                        sage::TissueSource::kBulkTissue);
+    l.SetCount(10, count);
+    return l;
+  };
+  sage::SageDataSet data;
+  const double base = 1e9;
+  data.AddLibrary(lib(1, base - 1.0));
+  data.AddLibrary(lib(2, base));
+  data.AddLibrary(lib(3, base + 1.0));
+  EnumTable e = EnumTable::FromDataSet("E", data);
+  Result<SumyTable> sumy = Aggregate(e, "S");
+  ASSERT_TRUE(sumy.ok());
+  std::optional<SumyEntry> entry = sumy->Find(10);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_DOUBLE_EQ(entry->mean, base);
+  // Population stddev of {-1, 0, +1} around the mean: sqrt(2/3).
+  EXPECT_NEAR(entry->stddev, std::sqrt(2.0 / 3.0), 1e-9);
+}
+
 TEST(AggregateTest, EmptyEnumFails) {
   sage::SageDataSet empty;
   EnumTable e = EnumTable::FromDataSet("E", empty);

@@ -1,0 +1,197 @@
+// Tests for the shared thread pool and ParallelFor, the substrate of the
+// parallel operator engine (DESIGN.md, "Parallel execution model").
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace gea {
+namespace {
+
+TEST(ThreadPoolTest, StartupRunsTasksAndShutdownJoins) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.NumThreads(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.NumThreads(), 0u);
+  std::thread::id runner;
+  pool.Submit([&runner] { runner = std::this_thread::get_id(); });
+  EXPECT_EQ(runner, std::this_thread::get_id());
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadCountOverride threads(4);
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(0, n, 16, [&](size_t begin, size_t end) {
+    ASSERT_LE(begin, end);
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyAndReversedRangesAreNoOps) {
+  ThreadCountOverride threads(4);
+  int calls = 0;
+  ParallelFor(5, 5, 1, [&](size_t, size_t) { ++calls; });
+  ParallelFor(7, 3, 1, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, PropagatesExceptionsFromWorkerTasks) {
+  ThreadCountOverride threads(4);
+  EXPECT_THROW(
+      ParallelFor(0, 1000, 1,
+                  [](size_t begin, size_t) {
+                    if (begin >= 250) throw std::runtime_error("chunk failed");
+                  }),
+      std::runtime_error);
+
+  // The first failing chunk (in chunk order) wins, so the message is
+  // deterministic even when several chunks throw.
+  try {
+    ParallelFor(0, 1000, 1, [](size_t begin, size_t) {
+      throw std::runtime_error("chunk@" + std::to_string(begin));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk@0");
+  }
+}
+
+TEST(ParallelForTest, PoolSurvivesAThrowingRegion) {
+  ThreadCountOverride threads(4);
+  EXPECT_THROW(ParallelFor(0, 100, 1,
+                           [](size_t, size_t) {
+                             throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+  // The pool must still execute later regions normally.
+  std::atomic<size_t> covered{0};
+  ParallelFor(0, 100, 1, [&](size_t begin, size_t end) {
+    covered.fetch_add(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 100u);
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadCountOverride threads(4);
+  const size_t outer = 64;
+  const size_t inner = 64;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  ParallelFor(0, outer, 1, [&](size_t obegin, size_t oend) {
+    for (size_t o = obegin; o < oend; ++o) {
+      // Nested region: must degrade to inline execution on this worker.
+      ParallelFor(0, inner, 1, [&](size_t ibegin, size_t iend) {
+        for (size_t i = ibegin; i < iend; ++i) {
+          hits[o * inner + i].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ParallelForTest, SerialOverrideStaysOnCallingThread) {
+  ThreadCountOverride serial(1);
+  std::set<std::thread::id> seen;
+  ParallelFor(0, 1000, 1, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1000u);
+    seen.insert(std::this_thread::get_id());
+  });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(*seen.begin(), std::this_thread::get_id());
+}
+
+TEST(ParallelForTest, SmallRangesRunInlineEvenWhenParallel) {
+  ThreadCountOverride threads(8);
+  // 100 items at min_grain 256 -> a single chunk -> inline.
+  std::set<std::thread::id> seen;
+  ParallelFor(0, 100, 256, [&](size_t, size_t) {
+    seen.insert(std::this_thread::get_id());
+  });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(*seen.begin(), std::this_thread::get_id());
+}
+
+TEST(ParallelForTest, ChunksRespectMinGrain) {
+  ThreadCountOverride threads(8);
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  const size_t n = 1000;
+  const size_t grain = 300;
+  ParallelFor(0, n, grain, [&](size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(begin, end);
+  });
+  size_t total = 0;
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_GE(end - begin, grain);
+    total += end - begin;
+  }
+  EXPECT_EQ(total, n);
+}
+
+TEST(ThreadConfigTest, ParseThreadCount) {
+  EXPECT_EQ(ParseThreadCount(nullptr), std::nullopt);
+  EXPECT_EQ(ParseThreadCount(""), std::nullopt);
+  EXPECT_EQ(ParseThreadCount("0"), std::nullopt);     // hardware default
+  EXPECT_EQ(ParseThreadCount("-3"), std::nullopt);
+  EXPECT_EQ(ParseThreadCount("abc"), std::nullopt);
+  EXPECT_EQ(ParseThreadCount("4x"), std::nullopt);
+  EXPECT_EQ(ParseThreadCount("1"), std::optional<size_t>(1));
+  EXPECT_EQ(ParseThreadCount("serial"), std::optional<size_t>(1));
+  EXPECT_EQ(ParseThreadCount("16"), std::optional<size_t>(16));
+  EXPECT_EQ(ParseThreadCount("99999"), std::optional<size_t>(kMaxThreads));
+}
+
+TEST(ThreadConfigTest, OverrideWinsAndRestores) {
+  const size_t ambient = ConfiguredThreads();
+  EXPECT_GE(ambient, 1u);
+  {
+    ThreadCountOverride guard(7);
+    EXPECT_EQ(ConfiguredThreads(), 7u);
+    {
+      ThreadCountOverride inner(2);
+      EXPECT_EQ(ConfiguredThreads(), 2u);
+    }
+    EXPECT_EQ(ConfiguredThreads(), 7u);
+  }
+  EXPECT_EQ(ConfiguredThreads(), ambient);
+}
+
+TEST(ThreadConfigTest, OverrideOfZeroMeansSerial) {
+  ThreadCountOverride guard(0);
+  EXPECT_EQ(ConfiguredThreads(), 1u);
+}
+
+TEST(ThreadConfigTest, SharedPoolGrowsToConfiguredCount) {
+  ThreadCountOverride guard(6);
+  ThreadPool& pool = SharedThreadPool();
+  EXPECT_GE(pool.NumThreads(), 6u);
+}
+
+}  // namespace
+}  // namespace gea
