@@ -1,21 +1,103 @@
-// Shared main for the micro-benchmarks. Adds one flag on top of the
+// Shared main for the micro-benchmarks. Adds two flags on top of the
 // google-benchmark set:
 //
-//   --threads=N   pin the parallel operator engine to N threads for every
-//                 benchmark (N=1 forces the serial path). Without it the
-//                 engine uses GEA_THREADS / the hardware default, and the
-//                 *_Threads sweeps still override per-benchmark to report
-//                 serial-vs-parallel speedup.
+//   --threads=N     pin the parallel operator engine to N threads for every
+//                   benchmark (N=1 forces the serial path). Without it the
+//                   engine uses GEA_THREADS / the hardware default, and the
+//                   *_Threads sweeps still override per-benchmark to report
+//                   serial-vs-parallel speedup.
+//   --json=<path>   additionally write one JSON object per benchmark to
+//                   <path>: name, threads, iterations, mean/min wall ms and
+//                   the registry counters the benchmark moved. Implies
+//                   metrics collection (as if GEA_METRICS=1) so the counter
+//                   deltas are populated.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstring>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace {
+
+// The console reporter plus a JSON-lines side channel: after each
+// benchmark's runs are printed, emit one object with timing aggregates and
+// the registry counter deltas attributable to that benchmark.
+class JsonLinesReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonLinesReporter(std::FILE* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+
+    gea::obs::MetricsSnapshot now =
+        gea::obs::MetricsRegistry::Global().Snapshot();
+    std::vector<gea::obs::CounterDelta> deltas =
+        gea::obs::DiffCounters(prev_, now);
+    prev_ = std::move(now);
+
+    // Aggregate the plain iteration runs (repetitions show up as several
+    // Run entries plus mean/median aggregates; we fold them ourselves so
+    // the output shape does not depend on --benchmark_repetitions).
+    std::string name;
+    int64_t iterations = 0;
+    size_t runs = 0;
+    double total_ms = 0.0;
+    double min_ms = 0.0;
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      if (name.empty()) name = run.benchmark_name();
+      const double per_iter_ms =
+          run.iterations == 0
+              ? 0.0
+              : run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e3;
+      if (runs == 0 || per_iter_ms < min_ms) min_ms = per_iter_ms;
+      total_ms += per_iter_ms;
+      iterations += run.iterations;
+      ++runs;
+    }
+    if (runs == 0) return;  // aggregate-only report: already folded above
+
+    std::string line = "{\"name\":\"" + gea::obs::JsonEscape(name) + "\"";
+    line += ",\"threads\":" + std::to_string(gea::ConfiguredThreads());
+    line += ",\"iterations\":" + std::to_string(iterations);
+    line += ",\"repetitions\":" + std::to_string(runs);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",\"mean_ms\":%.6f",
+                  total_ms / static_cast<double>(runs));
+    line += buf;
+    std::snprintf(buf, sizeof(buf), ",\"min_ms\":%.6f", min_ms);
+    line += buf;
+    line += ",\"counters\":{";
+    bool first = true;
+    for (const gea::obs::CounterDelta& d : deltas) {
+      if (!first) line += ',';
+      first = false;
+      line += '"' + gea::obs::JsonEscape(d.name) +
+              "\":" + std::to_string(d.delta);
+    }
+    line += "}}\n";
+    std::fputs(line.c_str(), out_);
+    std::fflush(out_);
+  }
+
+ private:
+  std::FILE* out_;
+  gea::obs::MetricsSnapshot prev_ =
+      gea::obs::MetricsRegistry::Global().Snapshot();
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
+  std::string json_path;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -28,12 +110,34 @@ int main(int argc, char** argv) {
       gea::SetThreadOverride(threads);
       continue;  // consumed: hide it from the benchmark flag parser
     }
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+      if (json_path.empty()) {
+        std::fprintf(stderr, "empty --json path\n");
+        return 1;
+      }
+      continue;
+    }
     argv[out++] = argv[i];
   }
   argc = out;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    std::FILE* json_out = std::fopen(json_path.c_str(), "w");
+    if (json_out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    // Counter deltas are only meaningful with metrics on.
+    gea::obs::ScopedMetricsEnable metrics(true);
+    JsonLinesReporter reporter(json_out);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    std::fclose(json_out);
+  }
   benchmark::Shutdown();
   return 0;
 }

@@ -6,10 +6,27 @@
 #include <set>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gea::cluster {
 
 namespace {
+
+/// Candidate extensions scored (CompactCountWith / Extended calls) across
+/// both mining algorithms.
+obs::Counter& CandidatesEvaluatedCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "gea.fascicles.candidates_evaluated");
+  return counter;
+}
+
+/// Candidates dropped by subsumption (prune / KeepMaximal).
+obs::Counter& CandidatesPrunedCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "gea.fascicles.candidates_pruned");
+  return counter;
+}
 
 /// Working state of one candidate row set: members plus per-column value
 /// ranges, so extending by one row is O(cols).
@@ -132,6 +149,7 @@ std::vector<Fascicle> KeepMaximal(std::vector<Fascicle> fascicles) {
               return a.members < b.members;
             });
   std::vector<Fascicle> out;
+  uint64_t pruned = 0;
   for (Fascicle& f : fascicles) {
     bool subsumed = false;
     for (const Fascicle& kept : out) {
@@ -141,8 +159,13 @@ std::vector<Fascicle> KeepMaximal(std::vector<Fascicle> fascicles) {
         break;
       }
     }
-    if (!subsumed) out.push_back(std::move(f));
+    if (!subsumed) {
+      out.push_back(std::move(f));
+    } else {
+      ++pruned;
+    }
   }
+  CandidatesPrunedCounter().Add(pruned);
   return out;
 }
 
@@ -221,6 +244,7 @@ Result<std::vector<Fascicle>> FascicleMiner::Mine(
 
 Result<std::vector<Fascicle>> FascicleMiner::MineExact(
     const FascicleParams& params) const {
+  obs::TraceSpan span("mine.exact");
   const std::vector<double>& tol = params.tolerances;
 
   // Level-wise lattice walk over row sets. Compactness is anti-monotone in
@@ -249,20 +273,24 @@ Result<std::vector<Fascicle>> FascicleMiner::MineExact(
     std::vector<std::vector<Candidate>> extensions(frontier.size());
     std::atomic<size_t> generated{0};
     ParallelFor(0, frontier.size(), 1, [&](size_t begin, size_t end) {
+      uint64_t evaluated = 0;
       for (size_t i = begin; i < end; ++i) {
         const Candidate& c = frontier[i];
         for (size_t row = c.members.back() + 1; row < rows_; ++row) {
           if (generated.load(std::memory_order_relaxed) >
               params.max_candidates) {
+            CandidatesEvaluatedCounter().Add(evaluated);
             return;
           }
           Candidate e = c.Extended(*this, row, tol);
+          ++evaluated;
           if (e.compact_count >= params.min_compact_tags) {
             extensions[i].push_back(std::move(e));
             generated.fetch_add(1, std::memory_order_relaxed);
           }
         }
       }
+      CandidatesEvaluatedCounter().Add(evaluated);
     });
     if (generated.load(std::memory_order_relaxed) > params.max_candidates) {
       return overflow;
@@ -310,6 +338,7 @@ Result<std::vector<Fascicle>> FascicleMiner::MineExact(
 
 Result<std::vector<Fascicle>> FascicleMiner::MineGreedy(
     const FascicleParams& params) const {
+  obs::TraceSpan span("mine.greedy");
   const std::vector<double>& tol = params.tolerances;
 
   // Phase 1 (batched candidate growth): every row seeds one candidate,
@@ -341,6 +370,7 @@ Result<std::vector<Fascicle>> FascicleMiner::MineGreedy(
       if (!subsumed) kept.push_back(std::move(c));
       if (kept.size() >= params.max_candidates) break;
     }
+    CandidatesPrunedCounter().Add(live.size() - kept.size());
     live = std::move(kept);
   };
 
@@ -362,6 +392,7 @@ Result<std::vector<Fascicle>> FascicleMiner::MineGreedy(
       live.push_back(Candidate::Singleton(*this, r));
     }
     ParallelFor(0, live.size(), 1, [&](size_t begin, size_t end) {
+      uint64_t evaluated = 0;
       for (size_t i = begin; i < end; ++i) {
         Candidate& c = live[i];
         const size_t first_row = i < old_live
@@ -371,11 +402,13 @@ Result<std::vector<Fascicle>> FascicleMiner::MineGreedy(
           if (std::binary_search(c.members.begin(), c.members.end(), r)) {
             continue;
           }
+          ++evaluated;
           if (c.CompactCountWith(*this, r, tol) >= params.min_compact_tags) {
             c.AddRowInPlace(*this, r, tol);
           }
         }
       }
+      CandidatesEvaluatedCounter().Add(evaluated);
     });
     row = batch_end;
     prune();

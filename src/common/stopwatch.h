@@ -1,28 +1,35 @@
 #ifndef GEA_COMMON_STOPWATCH_H_
 #define GEA_COMMON_STOPWATCH_H_
 
-#include <chrono>
+#include <cstdint>
+
+#include "obs/clock.h"
 
 namespace gea {
 
-/// Wall-clock stopwatch used by the benchmark harnesses that regenerate the
-/// paper's timing tables (e.g. Table 3.2).
+/// Monotonic stopwatch used by the benchmark harnesses that regenerate the
+/// paper's timing tables (e.g. Table 3.2). A thin wrapper over the shared
+/// observability clock (obs::NowNanos, a steady — not wall — clock, so
+/// readings never jump when the system time is adjusted).
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(obs::NowNanos()) {}
 
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ = obs::NowNanos(); }
 
-  /// Elapsed seconds since construction or the last Reset().
+  /// Elapsed nanoseconds since construction or the last Reset().
+  uint64_t ElapsedNanos() const { return obs::NowNanos() - start_; }
+
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(ElapsedNanos()) / 1e9;
   }
 
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  uint64_t start_;
 };
 
 }  // namespace gea

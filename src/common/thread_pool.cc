@@ -6,6 +6,10 @@
 #include <exception>
 #include <string>
 
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace gea {
 
 namespace {
@@ -36,9 +40,25 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  static obs::Counter& tasks_submitted =
+      obs::MetricsRegistry::Global().GetCounter("gea.pool.tasks_submitted");
+  static obs::Counter& tasks_inline =
+      obs::MetricsRegistry::Global().GetCounter("gea.pool.tasks_inline");
+  static obs::Histogram& queue_wait =
+      obs::MetricsRegistry::Global().GetHistogram("gea.pool.queue_wait_nanos");
   if (workers_.empty()) {
+    tasks_inline.Add();
     task();
     return;
+  }
+  tasks_submitted.Add();
+  if (obs::MetricsEnabled()) {
+    // Time from enqueue to the worker picking the task up.
+    const uint64_t enqueue_nanos = obs::NowNanos();
+    task = [inner = std::move(task), enqueue_nanos] {
+      queue_wait.Record(obs::NowNanos() - enqueue_nanos);
+      inner();
+    };
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -158,6 +178,20 @@ ThreadPool& SharedThreadPool() {
 void ParallelFor(size_t begin, size_t end, size_t min_grain,
                  const std::function<void(size_t, size_t)>& body) {
   if (begin >= end) return;
+  static obs::Counter& pf_calls =
+      obs::MetricsRegistry::Global().GetCounter("gea.parallel_for.calls");
+  static obs::Counter& pf_serial =
+      obs::MetricsRegistry::Global().GetCounter(
+          "gea.parallel_for.serial_inline");
+  static obs::Counter& pf_chunks =
+      obs::MetricsRegistry::Global().GetCounter("gea.parallel_for.chunks");
+  static obs::Histogram& pf_chunk_nanos =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "gea.parallel_for.chunk_nanos");
+  static obs::Histogram& pf_imbalance =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "gea.parallel_for.imbalance_nanos");
+  pf_calls.Add();
   const size_t n = end - begin;
   if (min_grain == 0) min_grain = 1;
   const size_t threads = ConfiguredThreads();
@@ -166,6 +200,7 @@ void ParallelFor(size_t begin, size_t end, size_t min_grain,
   // chunk's worker making progress and cannot deadlock the fixed pool).
   size_t chunks = std::min(threads, n / min_grain);
   if (threads <= 1 || chunks <= 1 || t_in_parallel_region) {
+    pf_serial.Add();
     bool was_in_region = t_in_parallel_region;
     t_in_parallel_region = true;
     try {
@@ -180,6 +215,13 @@ void ParallelFor(size_t begin, size_t end, size_t min_grain,
 
   ThreadPool& pool = SharedThreadPool();
 
+  pf_chunks.Add(chunks);
+  obs::TraceSpan pf_span("parallel_for");
+  // Chunk spans run on pool workers; hand them the caller's current span
+  // (the parallel_for span when tracing) so they nest under it.
+  const uint64_t parent_span = obs::CurrentSpanId();
+  const bool metrics = obs::MetricsEnabled();
+
   struct State {
     std::mutex mu;
     std::condition_variable done_cv;
@@ -187,33 +229,55 @@ void ParallelFor(size_t begin, size_t end, size_t min_grain,
     // First exception in chunk order, so a failure rethrows the same
     // exception regardless of scheduling.
     std::vector<std::exception_ptr> errors;
+    // Per-chunk wall time (written under mu), for the imbalance metric.
+    std::vector<uint64_t> chunk_elapsed;
   };
   State state;
   state.remaining = chunks;
   state.errors.resize(chunks);
+  state.chunk_elapsed.resize(chunks);
 
   // Deterministic chunk boundaries: chunk c covers
   // [begin + c*n/chunks, begin + (c+1)*n/chunks).
   for (size_t c = 0; c < chunks; ++c) {
     const size_t chunk_begin = begin + n * c / chunks;
     const size_t chunk_end = begin + n * (c + 1) / chunks;
-    pool.Submit([&state, &body, c, chunk_begin, chunk_end] {
+    pool.Submit([&state, &body, c, chunk_begin, chunk_end, parent_span,
+                 metrics] {
       bool was_in_region = t_in_parallel_region;
       t_in_parallel_region = true;
-      try {
-        body(chunk_begin, chunk_end);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(state.mu);
-        state.errors[c] = std::current_exception();
+      const uint64_t chunk_start = metrics ? obs::NowNanos() : 0;
+      {
+        obs::TraceParentScope parent_scope(parent_span);
+        obs::TraceSpan chunk_span("chunk");
+        try {
+          body(chunk_begin, chunk_end);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state.mu);
+          state.errors[c] = std::current_exception();
+        }
       }
       t_in_parallel_region = was_in_region;
       std::lock_guard<std::mutex> lock(state.mu);
+      if (metrics) state.chunk_elapsed[c] = obs::NowNanos() - chunk_start;
       if (--state.remaining == 0) state.done_cv.notify_all();
     });
   }
 
-  std::unique_lock<std::mutex> lock(state.mu);
-  state.done_cv.wait(lock, [&state] { return state.remaining == 0; });
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done_cv.wait(lock, [&state] { return state.remaining == 0; });
+  }
+  if (metrics) {
+    uint64_t min_elapsed = UINT64_MAX;
+    uint64_t max_elapsed = 0;
+    for (uint64_t elapsed : state.chunk_elapsed) {
+      pf_chunk_nanos.Record(elapsed);
+      min_elapsed = std::min(min_elapsed, elapsed);
+      max_elapsed = std::max(max_elapsed, elapsed);
+    }
+    pf_imbalance.Record(max_elapsed - min_elapsed);
+  }
   for (std::exception_ptr& error : state.errors) {
     if (error) std::rethrow_exception(error);
   }

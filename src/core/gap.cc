@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gea::core {
 
@@ -69,6 +71,20 @@ rel::Table GapTable::ToRelTable() const {
 Result<GapTable> Diff(const SumyTable& sumy1, const SumyTable& sumy2,
                       const std::string& out_name,
                       const std::string& gap_column) {
+  static obs::Counter& calls =
+      obs::MetricsRegistry::Global().GetCounter("gea.diff.calls");
+  static obs::Counter& tags_compared =
+      obs::MetricsRegistry::Global().GetCounter("gea.diff.tags_compared");
+  static obs::Counter& gaps_null =
+      obs::MetricsRegistry::Global().GetCounter("gea.diff.gaps_null");
+  static obs::Counter& rows_materialized =
+      obs::MetricsRegistry::Global().GetCounter("gea.diff.rows_materialized");
+  static obs::Histogram& latency =
+      obs::MetricsRegistry::Global().GetHistogram("gea.diff.nanos");
+  obs::TraceSpan span("diff");
+  obs::ScopedLatency timer(latency);
+  calls.Add();
+  tags_compared.Add(sumy1.NumTags() + sumy2.NumTags());
   // Merge over the two sorted entry lists; GAP rows exist only for the
   // common tags (Fig. 3.5: the resultant table consists of the tags
   // common to both SUMY tables). The merge itself is a cheap index walk;
@@ -109,6 +125,14 @@ Result<GapTable> Diff(const SumyTable& sumy1, const SumyTable& sumy2,
       }
     }
   });
+  rows_materialized.Add(entries.size());
+  if (obs::MetricsEnabled()) {
+    uint64_t nulls = 0;
+    for (const GapEntry& entry : entries) {
+      if (!entry.gaps[0].has_value()) ++nulls;
+    }
+    gaps_null.Add(nulls);
+  }
   return GapTable::Create(out_name, {gap_column}, std::move(entries));
 }
 

@@ -1,6 +1,8 @@
 #include "core/gap_compare.h"
 
 #include "core/gap_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gea::core {
 
@@ -23,6 +25,10 @@ Result<GapTable> CompareGaps(const GapTable& gap_a, const GapTable& gap_b,
     return Status::InvalidArgument(
         "gap comparison expects single-column GAP tables");
   }
+  static obs::Counter& calls =
+      obs::MetricsRegistry::Global().GetCounter("gea.gap.compare.calls");
+  obs::TraceSpan span("gap.compare");
+  calls.Add();
   // Rename columns so the combined table reads GapA / GapB.
   GEA_ASSIGN_OR_RETURN(GapTable a, ProjectGap(gap_a, gap_a.gap_columns(),
                                               gap_a.name()));
@@ -105,6 +111,10 @@ bool Negative(const std::optional<double>& g) {
 Result<GapTable> ApplyGapQuery(const GapTable& compared,
                                GapCompareQuery query,
                                const std::string& out_name) {
+  static obs::Counter& calls =
+      obs::MetricsRegistry::Global().GetCounter("gea.gap.query.calls");
+  obs::TraceSpan span("gap.query");
+  calls.Add();
   const bool single_column = compared.NumColumns() < 2;
   if (single_column && query > GapCompareQuery::kNonNullInBoth) {
     return Status::FailedPrecondition(

@@ -5,12 +5,20 @@
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gea::core {
 
 Result<GapTable> SelectGap(const GapTable& input,
                            const std::function<bool(const GapEntry&)>& pred,
                            const std::string& out_name) {
+  static obs::Counter& tags_scanned =
+      obs::MetricsRegistry::Global().GetCounter("gea.gap.select.tags_scanned");
+  static obs::Counter& rows_kept =
+      obs::MetricsRegistry::Global().GetCounter("gea.gap.select.rows_kept");
+  obs::TraceSpan span("gap.select");
+  tags_scanned.Add(input.NumTags());
   // Evaluate the predicate per tag in parallel (the gap-compare queries
   // run it over every row of a p-tag table), then collect the survivors
   // serially in tag order. `pred` must be pure — all built-in predicates
@@ -25,6 +33,7 @@ Result<GapTable> SelectGap(const GapTable& input,
   for (size_t i = 0; i < input.NumTags(); ++i) {
     if (keep[i]) entries.push_back(input.entry(i));
   }
+  rows_kept.Add(entries.size());
   return GapTable::Create(out_name, input.gap_columns(), std::move(entries));
 }
 
@@ -168,6 +177,10 @@ Result<GapTable> TopGap(const GapTable& input, size_t x, TopGapMode mode,
   if (x == 0) {
     return Status::InvalidArgument("top-x requires x >= 1");
   }
+  static obs::Counter& tags_scanned =
+      obs::MetricsRegistry::Global().GetCounter("gea.gap.top.tags_scanned");
+  obs::TraceSpan span("top_gap");
+  tags_scanned.Add(input.NumTags());
   std::vector<GapEntry> non_null;
   for (const GapEntry& e : input.entries()) {
     if (e.gaps[0].has_value()) non_null.push_back(e);

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gea::core {
 
@@ -12,6 +14,20 @@ Result<SumyTable> Aggregate(const EnumTable& input,
     return Status::InvalidArgument(
         "cannot aggregate an ENUM table with no libraries: " + input.name());
   }
+  static obs::Counter& calls =
+      obs::MetricsRegistry::Global().GetCounter("gea.aggregate.calls");
+  static obs::Counter& tags_scanned =
+      obs::MetricsRegistry::Global().GetCounter("gea.aggregate.tags_scanned");
+  static obs::Counter& cells_scanned =
+      obs::MetricsRegistry::Global().GetCounter("gea.aggregate.cells_scanned");
+  static obs::Histogram& latency =
+      obs::MetricsRegistry::Global().GetHistogram("gea.aggregate.nanos");
+  obs::TraceSpan span("aggregate");
+  obs::ScopedLatency timer(latency);
+  calls.Add();
+  tags_scanned.Add(input.NumTags());
+  cells_scanned.Add(static_cast<uint64_t>(input.NumTags()) *
+                    input.NumLibraries());
   // Tags are independent, so the pass is partitioned per tag column; each
   // chunk fills a disjoint slice of `entries` and the serial and parallel
   // paths execute the identical per-column loop (bit-identical results at
@@ -102,10 +118,20 @@ std::vector<PurityProperty> PureProperties(const EnumTable& cluster) {
 Result<std::vector<MinedFascicle>> Mine(const EnumTable& input,
                                         const cluster::FascicleParams& params,
                                         const std::string& out_prefix) {
+  static obs::Counter& calls =
+      obs::MetricsRegistry::Global().GetCounter("gea.mine.calls");
+  static obs::Counter& mined =
+      obs::MetricsRegistry::Global().GetCounter("gea.mine.fascicles_mined");
+  static obs::Histogram& latency =
+      obs::MetricsRegistry::Global().GetHistogram("gea.mine.nanos");
+  obs::TraceSpan span("mine");
+  obs::ScopedLatency timer(latency);
+  calls.Add();
   cluster::FascicleMiner miner(input.values().data(), input.NumLibraries(),
                                input.NumTags());
   GEA_ASSIGN_OR_RETURN(std::vector<cluster::Fascicle> fascicles,
                        miner.Mine(params));
+  mined.Add(fascicles.size());
   std::vector<MinedFascicle> out;
   out.reserve(fascicles.size());
   for (size_t f = 0; f < fascicles.size(); ++f) {

@@ -4,6 +4,8 @@
 #include <atomic>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gea::core {
 
@@ -52,8 +54,29 @@ Result<EnumTable> PopulateEngine::Populate(const SumyTable& sumy,
                                            const std::string& out_name,
                                            Stats* stats,
                                            ScanMode mode) const {
+  static obs::Counter& calls =
+      obs::MetricsRegistry::Global().GetCounter("gea.populate.calls");
+  static obs::Counter& conditions_counter =
+      obs::MetricsRegistry::Global().GetCounter("gea.populate.conditions");
+  static obs::Counter& index_hits_counter =
+      obs::MetricsRegistry::Global().GetCounter("gea.populate.index_hits");
+  static obs::Counter& candidates_verified =
+      obs::MetricsRegistry::Global().GetCounter(
+          "gea.populate.candidates_verified");
+  static obs::Counter& values_checked_counter =
+      obs::MetricsRegistry::Global().GetCounter("gea.populate.values_checked");
+  static obs::Counter& rows_materialized =
+      obs::MetricsRegistry::Global().GetCounter(
+          "gea.populate.rows_materialized");
+  static obs::Histogram& latency =
+      obs::MetricsRegistry::Global().GetHistogram("gea.populate.nanos");
+  obs::TraceSpan span("populate");
+  obs::ScopedLatency timer(latency);
+  calls.Add();
+
   Stats local;
   local.conditions = sumy.NumTags();
+  conditions_counter.Add(sumy.NumTags());
 
   // Partition the conditions into indexed and unindexed; estimate
   // selectivity of the indexed ones so the intersection starts with the
@@ -107,28 +130,34 @@ Result<EnumTable> PopulateEngine::Populate(const SumyTable& sumy,
               return a.estimated < b.estimated;
             });
 
+  index_hits_counter.Add(local.index_hits);
+
   // Candidate set: intersection of the indexed conditions' row sets, or
   // all rows when no index applies (sequential scan).
   std::vector<size_t> candidates;
-  if (indexed.empty()) {
-    candidates.resize(base_->NumLibraries());
-    for (size_t r = 0; r < candidates.size(); ++r) candidates[r] = r;
-  } else {
-    indexed.front().index->Lookup(indexed.front().lo, indexed.front().hi,
-                                  &candidates);
-    std::sort(candidates.begin(), candidates.end());
-    for (size_t c = 1; c < indexed.size() && !candidates.empty(); ++c) {
-      std::vector<size_t> hits;
-      indexed[c].index->Lookup(indexed[c].lo, indexed[c].hi, &hits);
-      std::sort(hits.begin(), hits.end());
-      std::vector<size_t> merged;
-      std::set_intersection(candidates.begin(), candidates.end(),
-                            hits.begin(), hits.end(),
-                            std::back_inserter(merged));
-      candidates = std::move(merged);
+  {
+    obs::TraceSpan intersect_span("populate.index_intersect");
+    if (indexed.empty()) {
+      candidates.resize(base_->NumLibraries());
+      for (size_t r = 0; r < candidates.size(); ++r) candidates[r] = r;
+    } else {
+      indexed.front().index->Lookup(indexed.front().lo, indexed.front().hi,
+                                    &candidates);
+      std::sort(candidates.begin(), candidates.end());
+      for (size_t c = 1; c < indexed.size() && !candidates.empty(); ++c) {
+        std::vector<size_t> hits;
+        indexed[c].index->Lookup(indexed[c].lo, indexed[c].hi, &hits);
+        std::sort(hits.begin(), hits.end());
+        std::vector<size_t> merged;
+        std::set_intersection(candidates.begin(), candidates.end(),
+                              hits.begin(), hits.end(),
+                              std::back_inserter(merged));
+        candidates = std::move(merged);
+      }
     }
   }
   local.candidates_after_index = candidates.size();
+  candidates_verified.Add(candidates.size());
 
   // Verify the remaining (unindexed) conditions on each candidate. The
   // per-library membership tests are independent, so the candidate list is
@@ -137,25 +166,30 @@ Result<EnumTable> PopulateEngine::Populate(const SumyTable& sumy,
   // candidate order, keeping the output identical to the serial scan.
   std::vector<char> qualifies(candidates.size(), 0);
   std::atomic<size_t> values_checked{0};
-  ParallelFor(0, candidates.size(), 256, [&](size_t begin, size_t end) {
-    size_t checked = 0;
-    for (size_t i = begin; i < end; ++i) {
-      const size_t row = candidates[i];
-      bool ok = true;
-      for (const ScanCondition& cond : scans) {
-        ++checked;
-        double v = cond.column.has_value() ? base_->ValueAt(row, *cond.column)
-                                           : 0.0;
-        if (v < cond.lo || v > cond.hi) {
-          ok = false;
-          if (mode == ScanMode::kEarlyExit) break;
+  {
+    obs::TraceSpan verify_span("populate.verify");
+    ParallelFor(0, candidates.size(), 256, [&](size_t begin, size_t end) {
+      size_t checked = 0;
+      for (size_t i = begin; i < end; ++i) {
+        const size_t row = candidates[i];
+        bool ok = true;
+        for (const ScanCondition& cond : scans) {
+          ++checked;
+          double v = cond.column.has_value()
+                         ? base_->ValueAt(row, *cond.column)
+                         : 0.0;
+          if (v < cond.lo || v > cond.hi) {
+            ok = false;
+            if (mode == ScanMode::kEarlyExit) break;
+          }
         }
+        qualifies[i] = ok ? 1 : 0;
       }
-      qualifies[i] = ok ? 1 : 0;
-    }
-    values_checked.fetch_add(checked, std::memory_order_relaxed);
-  });
+      values_checked.fetch_add(checked, std::memory_order_relaxed);
+    });
+  }
   local.values_checked = values_checked.load(std::memory_order_relaxed);
+  values_checked_counter.Add(local.values_checked);
   std::vector<size_t> qualifying;
   for (size_t i = 0; i < candidates.size(); ++i) {
     if (qualifies[i]) qualifying.push_back(candidates[i]);
@@ -171,15 +205,19 @@ Result<EnumTable> PopulateEngine::Populate(const SumyTable& sumy,
   // Gather the result matrix in parallel: qualifying row i owns the
   // disjoint slice [i * tags, (i+1) * tags) of the output.
   std::vector<double> out_values(qualifying.size() * out_tags.size());
-  ParallelFor(0, qualifying.size(), 64, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const size_t row = qualifying[i];
-      double* out = out_values.data() + i * sumy_columns.size();
-      for (const std::optional<size_t>& col : sumy_columns) {
-        *out++ = col.has_value() ? base_->ValueAt(row, *col) : 0.0;
+  {
+    obs::TraceSpan materialize_span("populate.materialize");
+    ParallelFor(0, qualifying.size(), 64, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const size_t row = qualifying[i];
+        double* out = out_values.data() + i * sumy_columns.size();
+        for (const std::optional<size_t>& col : sumy_columns) {
+          *out++ = col.has_value() ? base_->ValueAt(row, *col) : 0.0;
+        }
       }
-    }
-  });
+    });
+  }
+  rows_materialized.Add(qualifying.size());
   if (stats != nullptr) *stats = local;
   return EnumTable::FromRows(out_name, std::move(out_libs),
                              std::move(out_tags), std::move(out_values));

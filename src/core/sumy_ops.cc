@@ -2,15 +2,25 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace gea::core {
 
 Result<SumyTable> SelectSumy(const SumyTable& input,
                              const std::function<bool(const SumyEntry&)>& pred,
                              const std::string& out_name) {
+  static obs::Counter& tags_scanned =
+      obs::MetricsRegistry::Global().GetCounter("gea.sumy.select.tags_scanned");
+  static obs::Counter& rows_kept =
+      obs::MetricsRegistry::Global().GetCounter("gea.sumy.select.rows_kept");
+  obs::TraceSpan span("sumy.select");
+  tags_scanned.Add(input.NumTags());
   std::vector<SumyEntry> entries;
   for (const SumyEntry& e : input.entries()) {
     if (pred(e)) entries.push_back(e);
   }
+  rows_kept.Add(entries.size());
   return SumyTable::Create(out_name, std::move(entries));
 }
 
@@ -69,6 +79,10 @@ std::vector<RangeSearchHit> RangeSearch(
     const std::vector<const SumyTable*>& tables, sage::TagId first_tag,
     sage::TagId last_tag, interval::AllenRelation relation,
     const interval::Interval& query) {
+  static obs::Counter& calls =
+      obs::MetricsRegistry::Global().GetCounter("gea.sumy.range_search.calls");
+  obs::TraceSpan span("sumy.range_search");
+  calls.Add();
   std::vector<RangeSearchHit> out;
   if (first_tag > last_tag) std::swap(first_tag, last_tag);
   // Collect the tags in range from any table (reporting NE per table for

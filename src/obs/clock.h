@@ -1,0 +1,26 @@
+#ifndef GEA_OBS_CLOCK_H_
+#define GEA_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gea::obs {
+
+/// The one clock every timing facility in GEA reads: a monotonic
+/// (steady) clock, never the wall clock — measurements must not jump when
+/// NTP adjusts the system time. `Stopwatch`, `TraceSpan` and the latency
+/// histograms all derive their readings from NowNanos().
+using Clock = std::chrono::steady_clock;
+
+/// Nanoseconds on the monotonic clock. The epoch is unspecified (only
+/// differences are meaningful).
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace gea::obs
+
+#endif  // GEA_OBS_CLOCK_H_

@@ -1,0 +1,362 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <string>
+
+namespace gea::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string FormatU64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string FormatI64(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+/// Metric names use '.' namespacing; Prometheus allows [a-zA-Z0-9_:].
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderTable(const MetricsSnapshot& snapshot) {
+  std::string out;
+  auto section = [&out](const char* title) {
+    out += title;
+    out += "\n";
+  };
+  if (!snapshot.counters.empty()) {
+    section("counters:");
+    size_t width = 0;
+    for (const CounterValue& c : snapshot.counters) {
+      width = std::max(width, c.name.size());
+    }
+    for (const CounterValue& c : snapshot.counters) {
+      char line[512];
+      std::snprintf(line, sizeof(line), "  %-*s  %llu\n",
+                    static_cast<int>(width), c.name.c_str(),
+                    static_cast<unsigned long long>(c.value));
+      out += line;
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    section("gauges:");
+    size_t width = 0;
+    for (const GaugeValue& g : snapshot.gauges) {
+      width = std::max(width, g.name.size());
+    }
+    for (const GaugeValue& g : snapshot.gauges) {
+      char line[512];
+      std::snprintf(line, sizeof(line), "  %-*s  %lld\n",
+                    static_cast<int>(width), g.name.c_str(),
+                    static_cast<long long>(g.value));
+      out += line;
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    section("histograms:");
+    size_t width = 0;
+    for (const HistogramValue& h : snapshot.histograms) {
+      width = std::max(width, h.name.size());
+    }
+    for (const HistogramValue& h : snapshot.histograms) {
+      char line[512];
+      std::snprintf(line, sizeof(line),
+                    "  %-*s  count=%llu mean=%.1f p50<=%llu p95<=%llu\n",
+                    static_cast<int>(width), h.name.c_str(),
+                    static_cast<unsigned long long>(h.count), h.Mean(),
+                    static_cast<unsigned long long>(h.ApproxQuantile(0.50)),
+                    static_cast<unsigned long long>(h.ApproxQuantile(0.95)));
+      out += line;
+    }
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+std::string RenderJsonLines(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterValue& c : snapshot.counters) {
+    out += "{\"type\":\"counter\",\"name\":\"" + JsonEscape(c.name) +
+           "\",\"value\":" + FormatU64(c.value) + "}\n";
+  }
+  for (const GaugeValue& g : snapshot.gauges) {
+    out += "{\"type\":\"gauge\",\"name\":\"" + JsonEscape(g.name) +
+           "\",\"value\":" + FormatI64(g.value) + "}\n";
+  }
+  for (const HistogramValue& h : snapshot.histograms) {
+    out += "{\"type\":\"histogram\",\"name\":\"" + JsonEscape(h.name) +
+           "\",\"count\":" + FormatU64(h.count) +
+           ",\"sum\":" + FormatU64(h.sum) +
+           ",\"mean\":" + FormatDouble(h.Mean()) +
+           ",\"p50\":" + FormatU64(h.ApproxQuantile(0.50)) +
+           ",\"p95\":" + FormatU64(h.ApproxQuantile(0.95)) + "}\n";
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterValue& c : snapshot.counters) {
+    const std::string name = PrometheusName(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + FormatU64(c.value) + "\n";
+  }
+  for (const GaugeValue& g : snapshot.gauges) {
+    const std::string name = PrometheusName(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + FormatI64(g.value) + "\n";
+  }
+  for (const HistogramValue& h : snapshot.histograms) {
+    const std::string name = PrometheusName(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;  // sparse: emit populated buckets only
+      cumulative += h.buckets[i];
+      out += name + "_bucket{le=\"" + FormatU64(HistogramBucketUpperBound(i)) +
+             "\"} " + FormatU64(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + FormatU64(h.count) + "\n";
+    out += name + "_sum " + FormatU64(h.sum) + "\n";
+    out += name + "_count " + FormatU64(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace internal {
+
+namespace {
+
+/// Recursive-descent JSON checker. Structural only: no number range or
+/// UTF-8 validation, which the tests do not need.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Check(std::string* error) {
+    SkipSpace();
+    if (!Value()) {
+      *error = "invalid JSON at byte " + std::to_string(pos_);
+      return false;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      *error = "trailing characters at byte " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Value() {
+    if (depth_ > 64) return false;
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++depth_;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++depth_;
+    ++pos_;  // '['
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(std::string_view want) {
+    if (text_.substr(pos_, want.size()) != want) return false;
+    pos_ += want.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool ValidateJson(std::string_view text, std::string* error) {
+  return JsonChecker(text).Check(error);
+}
+
+}  // namespace internal
+
+}  // namespace gea::obs

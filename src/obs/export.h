@@ -1,0 +1,43 @@
+#ifndef GEA_OBS_EXPORT_H_
+#define GEA_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace gea::obs {
+
+/// Renders a snapshot as an aligned human-readable table: one section per
+/// metric kind, histograms summarized as count/mean/p50/p95.
+std::string RenderTable(const MetricsSnapshot& snapshot);
+
+/// Renders a snapshot as JSON lines, one object per metric:
+///   {"type":"counter","name":"gea.populate.calls","value":3}
+///   {"type":"histogram","name":"...","count":5,"sum":123,"mean":24.6,
+///    "p50":31,"p95":63}
+std::string RenderJsonLines(const MetricsSnapshot& snapshot);
+
+/// Renders a snapshot as Prometheus text exposition format. Metric names
+/// are sanitized ('.' and '-' become '_'); histograms emit cumulative
+/// _bucket{le="..."} series plus _sum and _count.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(std::string_view text);
+
+namespace internal {
+
+/// Minimal structural JSON validator used by tests and the bench --json
+/// consumer: checks that `text` is one syntactically well-formed JSON
+/// value (objects, arrays, strings, numbers, true/false/null). Returns
+/// true on success; on failure sets *error to a message with the byte
+/// offset of the problem.
+bool ValidateJson(std::string_view text, std::string* error);
+
+}  // namespace internal
+
+}  // namespace gea::obs
+
+#endif  // GEA_OBS_EXPORT_H_

@@ -1,0 +1,166 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace gea::obs {
+
+namespace internal {
+
+bool ParseBoolFlag(const char* text) {
+  if (text == nullptr) return false;
+  return std::strcmp(text, "1") == 0 || std::strcmp(text, "true") == 0 ||
+         std::strcmp(text, "on") == 0 || std::strcmp(text, "yes") == 0;
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Effective enable state: -1 unresolved (resolve GEA_METRICS on first
+/// read), 0 off, 1 on. A single relaxed load on the hot path.
+std::atomic<int> g_metrics_state{-1};
+
+/// What the state resolves to when no override is active.
+int EnvMetricsState() {
+  static const int cached =
+      internal::ParseBoolFlag(std::getenv("GEA_METRICS")) ? 1 : 0;
+  return cached;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  int state = g_metrics_state.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = EnvMetricsState();
+    g_metrics_state.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+void SetMetricsOverride(std::optional<bool> enabled) {
+  g_metrics_state.store(enabled.has_value() ? (*enabled ? 1 : 0)
+                                            : EnvMetricsState(),
+                        std::memory_order_relaxed);
+}
+
+ScopedMetricsEnable::ScopedMetricsEnable(bool enabled)
+    : previous_(MetricsEnabled()) {
+  SetMetricsOverride(enabled);
+}
+
+ScopedMetricsEnable::~ScopedMetricsEnable() { SetMetricsOverride(previous_); }
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  const size_t width = static_cast<size_t>(std::bit_width(value));
+  return std::min(width, kHistogramBuckets - 1);
+}
+
+uint64_t HistogramBucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= kHistogramBuckets - 1) return UINT64_MAX;
+  return (uint64_t{1} << i) - 1;
+}
+
+void Histogram::ResetForTest() {
+  for (std::atomic<uint64_t>& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t HistogramValue::ApproxQuantile(double p) const {
+  if (count == 0) return 0;
+  const uint64_t target = static_cast<uint64_t>(
+      std::ceil(p * static_cast<double>(count)));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= target && cumulative > 0) {
+      return HistogramBucketUpperBound(i);
+    }
+  }
+  return HistogramBucketUpperBound(kHistogramBuckets - 1);
+}
+
+std::vector<CounterDelta> DiffCounters(const MetricsSnapshot& before,
+                                       const MetricsSnapshot& after) {
+  std::vector<CounterDelta> out;
+  size_t i = 0;
+  for (const CounterValue& cur : after.counters) {
+    while (i < before.counters.size() && before.counters[i].name < cur.name) {
+      ++i;
+    }
+    uint64_t prev = 0;
+    if (i < before.counters.size() && before.counters[i].name == cur.name) {
+      prev = before.counters[i].value;
+    }
+    if (cur.value > prev) out.push_back({cur.name, cur.value - prev});
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->Value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->Value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramValue value;
+    value.name = name;
+    value.count = histogram->Count();
+    value.sum = histogram->Sum();
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      value.buckets[i] = histogram->BucketCount(i);
+    }
+    snapshot.histograms.push_back(std::move(value));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->ResetForTest();
+  for (auto& [name, gauge] : gauges_) gauge->ResetForTest();
+  for (auto& [name, histogram] : histograms_) histogram->ResetForTest();
+}
+
+}  // namespace gea::obs

@@ -1,0 +1,218 @@
+#ifndef GEA_OBS_METRICS_H_
+#define GEA_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace gea::obs {
+
+/// Process-wide metrics for the GEA engine: named counters, gauges and
+/// fixed-bucket latency histograms. The hot path (Add / Set / Record) is
+/// a relaxed atomic when metrics are enabled and a single relaxed load +
+/// branch when they are not, so instrumentation can stay compiled into
+/// the operators unconditionally.
+///
+/// Enablement resolves like the GEA_THREADS pattern (thread_pool.h):
+///  1. the programmatic override (SetMetricsOverride / ScopedMetricsEnable),
+///  2. the GEA_METRICS environment variable (read once, at first use),
+///  3. off.
+
+/// True when metric recording is on. Relaxed load + branch.
+bool MetricsEnabled();
+
+/// Sets (nullopt clears) the programmatic override of GEA_METRICS.
+void SetMetricsOverride(std::optional<bool> enabled);
+
+/// RAII override for tests and benchmarks; nests (the destructor restores
+/// whatever state the constructor observed):
+///   ScopedMetricsEnable metrics(true);
+class ScopedMetricsEnable {
+ public:
+  explicit ScopedMetricsEnable(bool enabled);
+  ~ScopedMetricsEnable();
+
+  ScopedMetricsEnable(const ScopedMetricsEnable&) = delete;
+  ScopedMetricsEnable& operator=(const ScopedMetricsEnable&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// A monotonically increasing count (tags scanned, rows materialized, …).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A point-in-time level (pool size, live candidates, …).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (!MetricsEnabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t n) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Power-of-two bucket count for Histogram: bucket i holds values whose
+/// bit width is i, i.e. values in [2^(i-1), 2^i). 48 buckets cover any
+/// latency up to ~3 days in nanoseconds.
+inline constexpr size_t kHistogramBuckets = 48;
+
+/// Upper bound (inclusive) of histogram bucket `i`.
+uint64_t HistogramBucketUpperBound(size_t i);
+
+/// A fixed-bucket histogram for latencies in nanoseconds (or any
+/// non-negative magnitude). Lock-free: one relaxed fetch_add per bucket
+/// plus count and sum.
+class Histogram {
+ public:
+  void Record(uint64_t value) {
+    if (!MetricsEnabled()) return;
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void ResetForTest();
+
+  static size_t BucketIndex(uint64_t value);
+
+ private:
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Times a scope into a histogram (records only when metrics are on).
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& histogram)
+      : histogram_(&histogram),
+        start_(MetricsEnabled() ? NowNanos() : 0) {}
+  ~ScopedLatency() {
+    if (start_ != 0) histogram_->Record(NowNanos() - start_);
+  }
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_;
+};
+
+/// Point-in-time copies of metric values, for exporters and EXPLAIN.
+struct CounterValue {
+  std::string name;
+  uint64_t value = 0;
+};
+struct GaugeValue {
+  std::string name;
+  int64_t value = 0;
+};
+struct HistogramValue {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Upper bound of the bucket containing the p-quantile (p in [0, 1]).
+  uint64_t ApproxQuantile(double p) const;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterValue> counters;      // sorted by name
+  std::vector<GaugeValue> gauges;          // sorted by name
+  std::vector<HistogramValue> histograms;  // sorted by name
+};
+
+/// A non-zero counter increase between two snapshots.
+struct CounterDelta {
+  std::string name;
+  uint64_t delta = 0;
+};
+
+/// Counter increases from `before` to `after` (both sorted by name);
+/// counters absent from `before` count from zero.
+std::vector<CounterDelta> DiffCounters(const MetricsSnapshot& before,
+                                       const MetricsSnapshot& after);
+
+/// The registry: metric objects are created on first use and live for the
+/// registry's lifetime, so call sites may cache the returned references
+/// (a function-local static is the intended idiom):
+///
+///   static obs::Counter& tags =
+///       obs::MetricsRegistry::Global().GetCounter("gea.aggregate.tags");
+///   tags.Add(n);
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry (leaked at exit, like SharedThreadPool, so
+  /// pool workers can still record during static destruction).
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (registrations survive, so cached
+  /// references stay valid). Test-only.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  // node-based maps: element addresses are stable across inserts.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+namespace internal {
+/// Parses a boolean env-var value: "1", "true", "on", "yes" (case
+/// sensitive) enable; anything else (or unset) disables.
+bool ParseBoolFlag(const char* text);
+}  // namespace internal
+
+}  // namespace gea::obs
+
+#endif  // GEA_OBS_METRICS_H_

@@ -1,0 +1,230 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace gea::obs {
+
+namespace {
+
+/// Effective trace state: -1 unresolved (resolve GEA_TRACE on first
+/// read), 0 off, 1 on. Mirrors g_metrics_state in metrics.cc.
+std::atomic<int> g_trace_state{-1};
+
+int EnvTraceState() {
+  static const int cached =
+      internal::ParseBoolFlag(std::getenv("GEA_TRACE")) ? 1 : 0;
+  return cached;
+}
+
+/// Global span-id allocator; 0 is reserved for "no span".
+std::atomic<uint64_t> g_next_span_id{1};
+
+/// Global close-order sequence; Mark() reads the next value to be issued.
+std::atomic<uint64_t> g_next_seq{0};
+
+std::atomic<uint64_t> g_dropped_spans{0};
+
+/// A buffer may not grow past this without a drain; beyond it new spans
+/// are dropped (and counted) rather than eating memory unboundedly.
+constexpr size_t kMaxRecordsPerThread = 1 << 16;
+
+/// Innermost open span on this thread (0 = none).
+thread_local uint64_t t_current_span = 0;
+
+}  // namespace
+
+bool TraceEnabled() {
+  int state = g_trace_state.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = EnvTraceState();
+    g_trace_state.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+void SetTraceOverride(std::optional<bool> enabled) {
+  g_trace_state.store(
+      enabled.has_value() ? (*enabled ? 1 : 0) : EnvTraceState(),
+      std::memory_order_relaxed);
+}
+
+ScopedTraceEnable::ScopedTraceEnable(bool enabled)
+    : previous_(TraceEnabled()) {
+  SetTraceOverride(enabled);
+}
+
+ScopedTraceEnable::~ScopedTraceEnable() { SetTraceOverride(previous_); }
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+uint64_t TraceCollector::Mark() {
+  return g_next_seq.load(std::memory_order_acquire);
+}
+
+void TraceCollector::Record(SpanRecord record) {
+  // The buffer outlives its thread: the collector holds a shared_ptr, so
+  // records survive until drained even after the thread exits.
+  thread_local std::shared_ptr<ThreadBuffer> t_buffer = [this] {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(buffer);
+    return buffer;
+  }();
+  record.seq = g_next_seq.fetch_add(1, std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> lock(t_buffer->mu);
+  if (t_buffer->records.size() >= kMaxRecordsPerThread) {
+    g_dropped_spans.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  t_buffer->records.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> TraceCollector::DrainSince(uint64_t mark) {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<SpanRecord> out;
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    for (SpanRecord& record : buffer->records) {
+      if (record.seq >= mark) out.push_back(std::move(record));
+    }
+    buffer->records.clear();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_nanos != b.start_nanos
+                         ? a.start_nanos < b.start_nanos
+                         : a.id < b.id;
+            });
+  return out;
+}
+
+uint64_t TraceCollector::DroppedSpans() const {
+  return g_dropped_spans.load(std::memory_order_relaxed);
+}
+
+uint64_t CurrentSpanId() { return t_current_span; }
+
+TraceParentScope::TraceParentScope(uint64_t parent_id)
+    : previous_(t_current_span) {
+  t_current_span = parent_id;
+}
+
+TraceParentScope::~TraceParentScope() { t_current_span = previous_; }
+
+TraceSpan::TraceSpan(std::string_view name) {
+  if (!TraceEnabled()) return;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = t_current_span;
+  t_current_span = id_;
+  name_ = name;
+  start_ = NowNanos();
+}
+
+TraceSpan::~TraceSpan() {
+  if (id_ == 0) return;
+  const uint64_t end = NowNanos();
+  t_current_span = parent_;
+  SpanRecord record;
+  record.id = id_;
+  record.parent_id = parent_;
+  record.name = std::move(name_);
+  record.start_nanos = start_;
+  record.duration_nanos = end - start_;
+  TraceCollector::Global().Record(std::move(record));
+}
+
+namespace {
+
+void RenderSpanTree(const std::vector<SpanRecord>& spans, uint64_t parent,
+                    int depth, std::string& out) {
+  for (const SpanRecord& span : spans) {
+    if (span.parent_id != parent) continue;
+    char line[256];
+    std::snprintf(line, sizeof(line), "%*s%s  %.3f ms\n", depth * 2, "",
+                  span.name.c_str(),
+                  static_cast<double>(span.duration_nanos) / 1e6);
+    out += line;
+    if (span.id != 0) RenderSpanTree(spans, span.id, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string OperationProfile::Render() const {
+  std::string out = operation;
+  {
+    char line[64];
+    std::snprintf(line, sizeof(line), "  %.3f ms\n",
+                  static_cast<double>(elapsed_nanos) / 1e6);
+    out += line;
+  }
+  if (!spans.empty()) {
+    out += "spans:\n";
+    // Roots: spans whose parent is not in this profile (the operation's
+    // root span has parent 0 or some span outside the capture window).
+    std::vector<uint64_t> ids;
+    ids.reserve(spans.size());
+    for (const SpanRecord& span : spans) ids.push_back(span.id);
+    std::sort(ids.begin(), ids.end());
+    for (const SpanRecord& span : spans) {
+      if (std::binary_search(ids.begin(), ids.end(), span.parent_id)) continue;
+      char line[256];
+      std::snprintf(line, sizeof(line), "  %s  %.3f ms\n", span.name.c_str(),
+                    static_cast<double>(span.duration_nanos) / 1e6);
+      out += line;
+      RenderSpanTree(spans, span.id, 2, out);
+    }
+  }
+  if (!counters.empty()) {
+    out += "counters:\n";
+    size_t width = 0;
+    for (const CounterDelta& c : counters) width = std::max(width, c.name.size());
+    for (const CounterDelta& c : counters) {
+      char line[256];
+      std::snprintf(line, sizeof(line), "  %-*s  %llu\n",
+                    static_cast<int>(width), c.name.c_str(),
+                    static_cast<unsigned long long>(c.delta));
+      out += line;
+    }
+  }
+  return out;
+}
+
+OperationCapture::OperationCapture(std::string operation)
+    : operation_(std::move(operation)),
+      start_nanos_(NowNanos()),
+      metrics_on_(MetricsEnabled()),
+      trace_on_(TraceEnabled()) {
+  if (metrics_on_) before_ = MetricsRegistry::Global().Snapshot();
+  if (trace_on_) {
+    mark_ = TraceCollector::Global().Mark();
+    root_.emplace(operation_);
+  }
+}
+
+OperationProfile OperationCapture::Finish() {
+  root_.reset();  // close the root span before draining
+  OperationProfile profile;
+  profile.operation = operation_;
+  profile.elapsed_nanos = NowNanos() - start_nanos_;
+  if (trace_on_) {
+    profile.spans = TraceCollector::Global().DrainSince(mark_);
+  }
+  if (metrics_on_) {
+    profile.counters =
+        DiffCounters(before_, MetricsRegistry::Global().Snapshot());
+  }
+  return profile;
+}
+
+}  // namespace gea::obs

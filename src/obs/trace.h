@@ -1,0 +1,169 @@
+#ifndef GEA_OBS_TRACE_H_
+#define GEA_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace gea::obs {
+
+/// Scoped tracing for the GEA engine. A TraceSpan times a region and
+/// records a SpanRecord into the calling thread's buffer when it closes;
+/// spans nest through a thread-local current-span id, and ParallelFor
+/// propagates that id into pool workers so chunk spans attach to the
+/// operator span that spawned them.
+///
+/// Enablement mirrors the metrics gate: programmatic override
+/// (SetTraceOverride / ScopedTraceEnable) > GEA_TRACE env var (read once)
+/// > off. A disabled TraceSpan costs one relaxed load.
+
+bool TraceEnabled();
+void SetTraceOverride(std::optional<bool> enabled);
+
+class ScopedTraceEnable {
+ public:
+  explicit ScopedTraceEnable(bool enabled);
+  ~ScopedTraceEnable();
+
+  ScopedTraceEnable(const ScopedTraceEnable&) = delete;
+  ScopedTraceEnable& operator=(const ScopedTraceEnable&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// One finished span.
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  // 0 = no parent inside the trace
+  std::string name;
+  uint64_t start_nanos = 0;     // NowNanos() at open
+  uint64_t duration_nanos = 0;  // close - open
+  uint64_t seq = 0;             // global close order, used by capture marks
+};
+
+/// Collects finished spans into per-thread buffers (one uncontended mutex
+/// per thread; the global mutex is taken only when a new thread registers
+/// or a capture drains).
+class TraceCollector {
+ public:
+  TraceCollector() = default;
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// The process-wide collector (leaked at exit, like SharedThreadPool).
+  static TraceCollector& Global();
+
+  /// A mark such that every span closed after this call has seq >= mark.
+  uint64_t Mark();
+
+  /// Removes and returns every buffered span with seq >= mark, sorted by
+  /// (start_nanos, id). Spans closed before the mark are discarded.
+  std::vector<SpanRecord> DrainSince(uint64_t mark);
+
+  /// Appends `record` to the calling thread's buffer, assigning its seq.
+  void Record(SpanRecord record);
+
+  /// Spans dropped because a thread buffer hit its cap (nobody drained).
+  uint64_t DroppedSpans() const;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<SpanRecord> records;
+  };
+
+  std::mutex mu_;  // guards buffers_
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// Id of the innermost open span on the calling thread (0 when none).
+uint64_t CurrentSpanId();
+
+/// Installs `parent_id` as the calling thread's current span for the
+/// scope's lifetime — how ParallelFor hands the submitting thread's span
+/// to pool workers.
+class TraceParentScope {
+ public:
+  explicit TraceParentScope(uint64_t parent_id);
+  ~TraceParentScope();
+
+  TraceParentScope(const TraceParentScope&) = delete;
+  TraceParentScope& operator=(const TraceParentScope&) = delete;
+
+ private:
+  uint64_t previous_;
+};
+
+/// RAII scoped timing: opens on construction, records on destruction.
+/// When tracing is disabled the constructor is a relaxed load and the
+/// destructor a branch.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// 0 when tracing was off at construction.
+  uint64_t id() const { return id_; }
+
+ private:
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  uint64_t start_ = 0;
+  std::string name_;
+};
+
+/// The EXPLAIN payload of one operator invocation: wall time, the spans
+/// closed during it, and every counter the invocation moved.
+struct OperationProfile {
+  std::string operation;
+  uint64_t elapsed_nanos = 0;
+  std::vector<SpanRecord> spans;      // sorted by (start, id)
+  std::vector<CounterDelta> counters; // non-zero deltas, sorted by name
+
+  /// Renders the nested span tree plus the counter table:
+  ///   populate ................ 12.345 ms
+  ///     parallel_for .......... 10.001 ms
+  ///       chunk ...............  5.000 ms
+  ///   counters:
+  ///     gea.populate.rows_materialized  35
+  std::string Render() const;
+};
+
+/// Captures one operation: snapshots the counters and marks the trace on
+/// construction, wraps the operation in a root span named after it, and
+/// assembles the OperationProfile in Finish().
+class OperationCapture {
+ public:
+  explicit OperationCapture(std::string operation);
+
+  OperationCapture(const OperationCapture&) = delete;
+  OperationCapture& operator=(const OperationCapture&) = delete;
+
+  /// Closes the root span, drains spans recorded since construction and
+  /// diffs the counters. Call exactly once.
+  OperationProfile Finish();
+
+ private:
+  std::string operation_;
+  uint64_t start_nanos_ = 0;
+  uint64_t mark_ = 0;
+  MetricsSnapshot before_;
+  bool metrics_on_ = false;
+  bool trace_on_ = false;
+  std::optional<TraceSpan> root_;
+};
+
+}  // namespace gea::obs
+
+#endif  // GEA_OBS_TRACE_H_

@@ -5,15 +5,37 @@
 #include <map>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace gea::rel {
+
+namespace {
+
+obs::Counter& RowsScannedCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("gea.rel.rows_scanned");
+  return counter;
+}
+
+obs::Counter& RowsMaterializedCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("gea.rel.rows_materialized");
+  return counter;
+}
+
+}  // namespace
 
 Result<Table> Select(const Table& input, const PredicatePtr& pred,
                      const std::string& output_name) {
   GEA_RETURN_IF_ERROR(pred->Bind(input.schema()));
+  obs::TraceSpan span("rel.select");
+  RowsScannedCounter().Add(input.NumRows());
   Table out(output_name, input.schema());
   for (const Row& row : input.rows()) {
     if (pred->EvalBound(row)) out.AppendRowUnchecked(row);
   }
+  RowsMaterializedCounter().Add(out.NumRows());
   return out;
 }
 
@@ -127,6 +149,8 @@ Result<Table> HashJoin(const Table& left, const Table& right,
     right_cols.push_back(c);
   }
   GEA_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(defs)));
+  obs::TraceSpan span("rel.join");
+  RowsScannedCounter().Add(left.NumRows() + right.NumRows());
   Table out(output_name, std::move(schema));
 
   // Build side: right table keyed by the textual form of the key. Values
@@ -150,6 +174,7 @@ Result<Table> HashJoin(const Table& left, const Table& right,
       out.AppendRowUnchecked(std::move(joined));
     }
   }
+  RowsMaterializedCounter().Add(out.NumRows());
   return out;
 }
 

@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sage/tag_codec.h"
 
 namespace gea::sage {
@@ -14,6 +16,18 @@ namespace {
 
 namespace fs = std::filesystem;
 
+obs::Counter& BytesReadCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("gea.sage.bytes_read");
+  return counter;
+}
+
+obs::Counter& BytesWrittenCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("gea.sage.bytes_written");
+  return counter;
+}
+
 Result<std::string> ReadFileText(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -21,7 +35,9 @@ Result<std::string> ReadFileText(const std::string& path) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return buffer.str();
+  std::string text = buffer.str();
+  BytesReadCounter().Add(text.size());
+  return text;
 }
 
 Status WriteFileText(const std::string& path, const std::string& text) {
@@ -33,6 +49,7 @@ Status WriteFileText(const std::string& path, const std::string& text) {
   if (!out) {
     return Status::IoError("write failed: " + path);
   }
+  BytesWrittenCounter().Add(text.size());
   return Status::OK();
 }
 
@@ -135,6 +152,9 @@ Result<SageLibrary> ReadLibraryText(const std::string& name,
 }
 
 Status SaveLibrary(const SageLibrary& library, const std::string& directory) {
+  static obs::Counter& saved =
+      obs::MetricsRegistry::Global().GetCounter("gea.sage.libraries_saved");
+  saved.Add();
   std::error_code ec;
   fs::create_directories(directory, ec);
   if (ec) {
@@ -145,12 +165,16 @@ Status SaveLibrary(const SageLibrary& library, const std::string& directory) {
 }
 
 Result<SageLibrary> LoadLibrary(const std::string& path) {
+  static obs::Counter& loaded =
+      obs::MetricsRegistry::Global().GetCounter("gea.sage.libraries_loaded");
+  loaded.Add();
   GEA_ASSIGN_OR_RETURN(std::string text, ReadFileText(path));
   std::string name = fs::path(path).stem().string();
   return ReadLibraryText(name, text);
 }
 
 Status SaveDataSet(const SageDataSet& dataset, const std::string& directory) {
+  obs::TraceSpan span("sage.save_dataset");
   std::error_code ec;
   fs::create_directories(directory, ec);
   if (ec) {
@@ -176,6 +200,7 @@ Status SaveDataSet(const SageDataSet& dataset, const std::string& directory) {
 }
 
 Result<SageDataSet> LoadDataSet(const std::string& directory) {
+  obs::TraceSpan span("sage.load_dataset");
   GEA_ASSIGN_OR_RETURN(std::string index,
                        ReadFileText(directory + "/sageName.txt"));
   SageDataSet dataset;

@@ -371,31 +371,35 @@ void AnalysisSession::RecordLineage(
 Status AnalysisSession::CreateTissueDataSet(sage::TissueType tissue,
                                             bool replace) {
   GEA_RETURN_IF_ERROR(RequireLogin());
-  GEA_ASSIGN_OR_RETURN(const sage::SageDataSet* data, DataSet());
   const std::string name = sage::TissueTypeName(tissue);
-  GEA_RETURN_IF_ERROR(CheckNameFree(name, replace));
-  sage::SageDataSet slice = data->FilterByTissue(tissue);
-  if (slice.NumLibraries() == 0) {
-    return Status::NotFound(std::string("no libraries of tissue type ") +
-                            sage::TissueTypeName(tissue));
-  }
-  enums_.emplace(name, core::EnumTable::FromDataSet(name, slice));
-  RecordLineage(name, lineage::NodeKind::kDataSet, "tissue_dataset",
-                {{"tissue", name}}, {"SAGE"});
-  return Status::OK();
+  return Logged("tissue_dataset", name, [&]() -> Status {
+    GEA_ASSIGN_OR_RETURN(const sage::SageDataSet* data, DataSet());
+    GEA_RETURN_IF_ERROR(CheckNameFree(name, replace));
+    sage::SageDataSet slice = data->FilterByTissue(tissue);
+    if (slice.NumLibraries() == 0) {
+      return Status::NotFound(std::string("no libraries of tissue type ") +
+                              sage::TissueTypeName(tissue));
+    }
+    enums_.emplace(name, core::EnumTable::FromDataSet(name, slice));
+    RecordLineage(name, lineage::NodeKind::kDataSet, "tissue_dataset",
+                  {{"tissue", name}}, {"SAGE"});
+    return Status::OK();
+  });
 }
 
 Status AnalysisSession::CreateCustomDataSet(const std::string& name,
                                             const std::vector<int>& ids,
                                             bool replace) {
   GEA_RETURN_IF_ERROR(RequireLogin());
-  GEA_ASSIGN_OR_RETURN(const sage::SageDataSet* data, DataSet());
-  GEA_RETURN_IF_ERROR(CheckNameFree(name, replace));
-  GEA_ASSIGN_OR_RETURN(sage::SageDataSet slice, data->SelectByIds(ids));
-  enums_.emplace(name, core::EnumTable::FromDataSet(name, slice));
-  RecordLineage(name, lineage::NodeKind::kDataSet, "custom_dataset",
-                {{"libraries", std::to_string(ids.size())}}, {"SAGE"});
-  return Status::OK();
+  return Logged("custom_dataset", name, [&]() -> Status {
+    GEA_ASSIGN_OR_RETURN(const sage::SageDataSet* data, DataSet());
+    GEA_RETURN_IF_ERROR(CheckNameFree(name, replace));
+    GEA_ASSIGN_OR_RETURN(sage::SageDataSet slice, data->SelectByIds(ids));
+    enums_.emplace(name, core::EnumTable::FromDataSet(name, slice));
+    RecordLineage(name, lineage::NodeKind::kDataSet, "custom_dataset",
+                  {{"libraries", std::to_string(ids.size())}}, {"SAGE"});
+    return Status::OK();
+  });
 }
 
 Result<const core::EnumTable*> AnalysisSession::GetEnum(
@@ -432,15 +436,18 @@ Status AnalysisSession::GenerateMetadata(const std::string& dataset_name,
                                          const std::string& meta_name,
                                          bool replace) {
   GEA_RETURN_IF_ERROR(RequireLogin());
-  if (percent < 0.0 || percent > 100.0) {
-    return Status::InvalidArgument("percent must be in [0, 100]");
-  }
-  if (metadata_.count(meta_name) > 0 && !replace) {
-    return Status::AlreadyExists("metadata already exists: " + meta_name);
-  }
-  GEA_ASSIGN_OR_RETURN(const core::EnumTable* input, GetEnum(dataset_name));
-  metadata_[meta_name] = core::MakeToleranceMetadata(*input, percent);
-  return Status::OK();
+  return Logged("generate_metadata", dataset_name + " -> " + meta_name,
+                [&]() -> Status {
+    if (percent < 0.0 || percent > 100.0) {
+      return Status::InvalidArgument("percent must be in [0, 100]");
+    }
+    if (metadata_.count(meta_name) > 0 && !replace) {
+      return Status::AlreadyExists("metadata already exists: " + meta_name);
+    }
+    GEA_ASSIGN_OR_RETURN(const core::EnumTable* input, GetEnum(dataset_name));
+    metadata_[meta_name] = core::MakeToleranceMetadata(*input, percent);
+    return Status::OK();
+  });
 }
 
 Result<std::vector<std::string>> AnalysisSession::CalculateFascicles(
@@ -449,6 +456,8 @@ Result<std::vector<std::string>> AnalysisSession::CalculateFascicles(
     const std::string& out_prefix,
     cluster::FascicleParams::Algorithm algorithm) {
   GEA_RETURN_IF_ERROR(RequireLogin());
+  return Logged("fascicles", dataset_name + " -> " + out_prefix,
+                [&]() -> Result<std::vector<std::string>> {
   GEA_ASSIGN_OR_RETURN(const core::EnumTable* input, GetEnum(dataset_name));
   auto meta_it = metadata_.find(meta_name);
   if (meta_it == metadata_.end()) {
@@ -487,6 +496,7 @@ Result<std::vector<std::string>> AnalysisSession::CalculateFascicles(
     names.push_back(name);
   }
   return names;
+  });
 }
 
 Result<std::vector<core::PurityProperty>> AnalysisSession::CheckPurity(
@@ -498,6 +508,8 @@ Result<std::vector<core::PurityProperty>> AnalysisSession::CheckPurity(
 Result<AnalysisSession::ControlGroups> AnalysisSession::FormControlGroups(
     const std::string& dataset_name, const std::string& fascicle_enum) {
   GEA_RETURN_IF_ERROR(RequireLogin());
+  return Logged("control_groups", dataset_name + " / " + fascicle_enum,
+                [&]() -> Result<ControlGroups> {
   GEA_ASSIGN_OR_RETURN(const core::EnumTable* dataset, GetEnum(dataset_name));
   GEA_ASSIGN_OR_RETURN(const core::EnumTable* fascicle,
                        GetEnum(fascicle_enum));
@@ -570,6 +582,44 @@ Result<AnalysisSession::ControlGroups> AnalysisSession::FormControlGroups(
   RecordLineage(names.opposite_sumy, lineage::NodeKind::kSumy, "aggregate",
                 {}, {names.opposite_enum});
   return names;
+  });
+}
+
+// ---- Direct operator invocations ----
+
+Status AnalysisSession::Aggregate(const std::string& enum_name,
+                                  const std::string& out_name, bool replace) {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+  return Logged("aggregate", enum_name + " -> " + out_name, [&]() -> Status {
+    GEA_ASSIGN_OR_RETURN(const core::EnumTable* input, GetEnum(enum_name));
+    GEA_RETURN_IF_ERROR(CheckNameFree(out_name, replace));
+    GEA_ASSIGN_OR_RETURN(core::SumyTable sumy,
+                         core::Aggregate(*input, out_name));
+    sumys_.emplace(out_name, std::move(sumy));
+    RecordLineage(out_name, lineage::NodeKind::kSumy, "aggregate", {},
+                  {enum_name});
+    return Status::OK();
+  });
+}
+
+Status AnalysisSession::Populate(const std::string& sumy_name,
+                                 const std::string& base_enum,
+                                 const std::string& out_name, bool replace) {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+  return Logged("populate", sumy_name + " @ " + base_enum + " -> " + out_name,
+                [&]() -> Status {
+    GEA_ASSIGN_OR_RETURN(const core::SumyTable* sumy, GetSumy(sumy_name));
+    GEA_ASSIGN_OR_RETURN(const core::EnumTable* base, GetEnum(base_enum));
+    GEA_RETURN_IF_ERROR(CheckNameFree(out_name, replace));
+    core::PopulateEngine engine(*base);
+    GEA_ASSIGN_OR_RETURN(core::EnumTable populated,
+                         engine.Populate(*sumy, out_name));
+    enums_.emplace(out_name, std::move(populated));
+    RecordLineage(out_name, lineage::NodeKind::kEnum, "populate",
+                  {{"sumy", sumy_name}, {"base", base_enum}},
+                  {sumy_name, base_enum});
+    return Status::OK();
+  });
 }
 
 // ---- GAP operations ----
@@ -578,31 +628,38 @@ Status AnalysisSession::CreateGap(const std::string& sumy1_name,
                                   const std::string& sumy2_name,
                                   const std::string& gap_name, bool replace) {
   GEA_RETURN_IF_ERROR(RequireLogin());
-  GEA_ASSIGN_OR_RETURN(const core::SumyTable* sumy1, GetSumy(sumy1_name));
-  GEA_ASSIGN_OR_RETURN(const core::SumyTable* sumy2, GetSumy(sumy2_name));
-  GEA_RETURN_IF_ERROR(CheckNameFree(gap_name, replace));
-  GEA_ASSIGN_OR_RETURN(core::GapTable gap,
-                       core::Diff(*sumy1, *sumy2, gap_name));
-  gaps_.emplace(gap_name, std::move(gap));
-  RecordLineage(gap_name, lineage::NodeKind::kGap, "diff",
-                {{"sumy1", sumy1_name}, {"sumy2", sumy2_name}},
-                {sumy1_name, sumy2_name});
-  return Status::OK();
+  return Logged("create_gap",
+                sumy1_name + " - " + sumy2_name + " -> " + gap_name,
+                [&]() -> Status {
+    GEA_ASSIGN_OR_RETURN(const core::SumyTable* sumy1, GetSumy(sumy1_name));
+    GEA_ASSIGN_OR_RETURN(const core::SumyTable* sumy2, GetSumy(sumy2_name));
+    GEA_RETURN_IF_ERROR(CheckNameFree(gap_name, replace));
+    GEA_ASSIGN_OR_RETURN(core::GapTable gap,
+                         core::Diff(*sumy1, *sumy2, gap_name));
+    gaps_.emplace(gap_name, std::move(gap));
+    RecordLineage(gap_name, lineage::NodeKind::kGap, "diff",
+                  {{"sumy1", sumy1_name}, {"sumy2", sumy2_name}},
+                  {sumy1_name, sumy2_name});
+    return Status::OK();
+  });
 }
 
 Result<std::string> AnalysisSession::CalculateTopGap(
     const std::string& gap_name, size_t x, core::TopGapMode mode) {
   GEA_RETURN_IF_ERROR(RequireLogin());
-  GEA_ASSIGN_OR_RETURN(const core::GapTable* gap, GetGap(gap_name));
-  const std::string out_name = gap_name + "_" + std::to_string(x);
-  GEA_RETURN_IF_ERROR(CheckNameFree(out_name, /*replace=*/true));
-  GEA_ASSIGN_OR_RETURN(core::GapTable top,
-                       core::TopGap(*gap, x, mode, out_name));
-  gaps_.emplace(out_name, std::move(top));
-  RecordLineage(out_name, lineage::NodeKind::kTopGap, "top_gap",
-                {{"x", std::to_string(x)}, {"mode", TopGapModeName(mode)}},
-                {gap_name});
-  return out_name;
+  return Logged("top_gap", gap_name + " top " + std::to_string(x),
+                [&]() -> Result<std::string> {
+    GEA_ASSIGN_OR_RETURN(const core::GapTable* gap, GetGap(gap_name));
+    const std::string out_name = gap_name + "_" + std::to_string(x);
+    GEA_RETURN_IF_ERROR(CheckNameFree(out_name, /*replace=*/true));
+    GEA_ASSIGN_OR_RETURN(core::GapTable top,
+                         core::TopGap(*gap, x, mode, out_name));
+    gaps_.emplace(out_name, std::move(top));
+    RecordLineage(out_name, lineage::NodeKind::kTopGap, "top_gap",
+                  {{"x", std::to_string(x)}, {"mode", TopGapModeName(mode)}},
+                  {gap_name});
+    return out_name;
+  });
 }
 
 Status AnalysisSession::CompareGapTables(const std::string& gap_a,
@@ -611,15 +668,19 @@ Status AnalysisSession::CompareGapTables(const std::string& gap_a,
                                          const std::string& out_name,
                                          bool replace) {
   GEA_RETURN_IF_ERROR(RequireLogin());
-  GEA_ASSIGN_OR_RETURN(const core::GapTable* a, GetGap(gap_a));
-  GEA_ASSIGN_OR_RETURN(const core::GapTable* b, GetGap(gap_b));
-  GEA_RETURN_IF_ERROR(CheckNameFree(out_name, replace));
-  GEA_ASSIGN_OR_RETURN(core::GapTable compared,
-                       core::CompareGaps(*a, *b, kind, out_name));
-  gaps_.emplace(out_name, std::move(compared));
-  RecordLineage(out_name, lineage::NodeKind::kCompareGap,
-                core::GapCompareKindName(kind), {}, {gap_a, gap_b});
-  return Status::OK();
+  return Logged("compare_gaps",
+                gap_a + " " + core::GapCompareKindName(kind) + " " + gap_b,
+                [&]() -> Status {
+    GEA_ASSIGN_OR_RETURN(const core::GapTable* a, GetGap(gap_a));
+    GEA_ASSIGN_OR_RETURN(const core::GapTable* b, GetGap(gap_b));
+    GEA_RETURN_IF_ERROR(CheckNameFree(out_name, replace));
+    GEA_ASSIGN_OR_RETURN(core::GapTable compared,
+                         core::CompareGaps(*a, *b, kind, out_name));
+    gaps_.emplace(out_name, std::move(compared));
+    RecordLineage(out_name, lineage::NodeKind::kCompareGap,
+                  core::GapCompareKindName(kind), {}, {gap_a, gap_b});
+    return Status::OK();
+  });
 }
 
 Status AnalysisSession::RunGapQuery(const std::string& compared_name,
@@ -627,16 +688,19 @@ Status AnalysisSession::RunGapQuery(const std::string& compared_name,
                                     const std::string& out_name,
                                     bool replace) {
   GEA_RETURN_IF_ERROR(RequireLogin());
-  GEA_ASSIGN_OR_RETURN(const core::GapTable* compared,
-                       GetGap(compared_name));
-  GEA_RETURN_IF_ERROR(CheckNameFree(out_name, replace));
-  GEA_ASSIGN_OR_RETURN(core::GapTable result,
-                       core::ApplyGapQuery(*compared, query, out_name));
-  gaps_.emplace(out_name, std::move(result));
-  RecordLineage(out_name, lineage::NodeKind::kGap, "gap_query",
-                {{"query", core::GapCompareQueryDescription(query)}},
-                {compared_name});
-  return Status::OK();
+  return Logged("gap_query", compared_name + " -> " + out_name,
+                [&]() -> Status {
+    GEA_ASSIGN_OR_RETURN(const core::GapTable* compared,
+                         GetGap(compared_name));
+    GEA_RETURN_IF_ERROR(CheckNameFree(out_name, replace));
+    GEA_ASSIGN_OR_RETURN(core::GapTable result,
+                         core::ApplyGapQuery(*compared, query, out_name));
+    gaps_.emplace(out_name, std::move(result));
+    RecordLineage(out_name, lineage::NodeKind::kGap, "gap_query",
+                  {{"query", core::GapCompareQueryDescription(query)}},
+                  {compared_name});
+    return Status::OK();
+  });
 }
 
 // ---- Search operations ----
@@ -715,7 +779,9 @@ Result<std::vector<std::string>> AnalysisSession::SearchLibrariesByTagRange(
 
 Result<rel::Table> AnalysisSession::Query(const std::string& sql) const {
   GEA_RETURN_IF_ERROR(RequireLogin());
-  return rel::ExecuteQuery(relations_, sql);
+  return Logged("sql_query", sql, [&]() -> Result<rel::Table> {
+    return rel::ExecuteQuery(relations_, sql);
+  });
 }
 
 Result<std::vector<core::RangeSearchHit>> AnalysisSession::RangeSearchSumys(
@@ -729,6 +795,22 @@ Result<std::vector<core::RangeSearchHit>> AnalysisSession::RangeSearchSumys(
     tables.push_back(table);
   }
   return core::RangeSearch(tables, first_tag, last_tag, relation, query);
+}
+
+// ---- Observability ----
+
+Result<const obs::OperationProfile*> AnalysisSession::LastProfile() const {
+  if (!last_profile_.has_value()) {
+    return Status::NotFound("no operation has been logged in this session");
+  }
+  return &*last_profile_;
+}
+
+Result<std::string> AnalysisSession::ExplainLast() const {
+  if (!last_profile_.has_value()) {
+    return Status::NotFound("no operation has been logged in this session");
+  }
+  return last_profile_->Render();
 }
 
 // ---- Lineage ----

@@ -16,8 +16,10 @@
 #include "core/operators.h"
 #include "core/sumy.h"
 #include "core/sumy_ops.h"
+#include "core/populate.h"
 #include "interval/interval.h"
 #include "lineage/lineage.h"
+#include "obs/trace.h"
 #include "rel/catalog.h"
 #include "sage/dataset.h"
 #include "workbench/users.h"
@@ -136,6 +138,19 @@ class AnalysisSession {
   Result<ControlGroups> FormControlGroups(const std::string& dataset_name,
                                           const std::string& fascicle_enum);
 
+  // ---- Direct operator invocations ----
+
+  /// SUMY = aggregate(ENUM), stored under `out_name` (the thesis's
+  /// summarize step run outside the fascicle macro).
+  Status Aggregate(const std::string& enum_name, const std::string& out_name,
+                   bool replace = false);
+
+  /// ENUM = populate(SUMY, base ENUM): the libraries of `base_enum` whose
+  /// expression values fall inside the SUMY's [min, max] bands, stored
+  /// under `out_name`.
+  Status Populate(const std::string& sumy_name, const std::string& base_enum,
+                  const std::string& out_name, bool replace = false);
+
   // ---- GAP operations (Figs. 4.9, 4.12, 4.13, 4.19) ----
 
   /// GAP = diff(sumy1, sumy2), stored under `gap_name`.
@@ -200,6 +215,33 @@ class AnalysisSession {
       sage::TagId last_tag, interval::AllenRelation relation,
       const interval::Interval& query) const;
 
+  // ---- Observability (query log + EXPLAIN) ----
+
+  /// One logged operator invocation.
+  struct QueryLogEntry {
+    std::string operation;   // e.g. "populate", "create_gap"
+    std::string detail;      // inputs/outputs, human readable
+    uint64_t elapsed_nanos = 0;
+    bool ok = true;
+    std::string error;       // status message when !ok
+  };
+
+  /// Every logged operation of this session, in invocation order.
+  const std::vector<QueryLogEntry>& QueryLog() const { return query_log_; }
+  void ClearQueryLog() { query_log_.clear(); }
+
+  /// The captured profile of the most recent logged operation: its span
+  /// tree and the registry counters it moved. Spans require GEA_TRACE
+  /// (or ScopedTraceEnable), counters GEA_METRICS; with both off the
+  /// profile still reports wall time.
+  Result<const obs::OperationProfile*> LastProfile() const;
+
+  /// Renders LastProfile() — GEA's EXPLAIN surface:
+  ///   populate  1.234 ms
+  ///   spans: ...nested tree...
+  ///   counters: gea.populate.rows_materialized  35 ...
+  Result<std::string> ExplainLast() const;
+
   // ---- Lineage (Section 4.4.2) ----
 
   const lineage::LineageGraph& Lineage() const { return lineage_; }
@@ -221,6 +263,33 @@ class AnalysisSession {
  private:
   Status RequireLogin() const;
   Status RequireAdmin() const;
+
+  static const Status& StatusOf(const Status& status) { return status; }
+  template <typename T>
+  static const Status& StatusOf(const Result<T>& result) {
+    return result.status();
+  }
+
+  /// Runs `body` under an obs::OperationCapture, appends a QueryLogEntry
+  /// and stores the operation profile for ExplainLast(). `body` returns
+  /// Status or Result<T>; the return value passes through unchanged.
+  template <typename Fn>
+  auto Logged(const std::string& operation, std::string detail,
+              Fn&& body) const -> decltype(body()) {
+    obs::OperationCapture capture(operation);
+    auto result = body();
+    obs::OperationProfile profile = capture.Finish();
+    QueryLogEntry entry;
+    entry.operation = operation;
+    entry.detail = std::move(detail);
+    entry.elapsed_nanos = profile.elapsed_nanos;
+    const Status& status = StatusOf(result);
+    entry.ok = status.ok();
+    if (!status.ok()) entry.error = status.message();
+    query_log_.push_back(std::move(entry));
+    last_profile_ = std::move(profile);
+    return result;
+  }
   /// Sets the data set and rebuilds the auxiliary relations without
   /// touching the lineage graph.
   Status InstallDataSet(sage::SageDataSet dataset);
@@ -248,6 +317,11 @@ class AnalysisSession {
   std::map<std::string, core::SumyTable> sumys_;
   std::map<std::string, core::GapTable> gaps_;
   std::map<std::string, std::vector<double>> metadata_;  // tolerance vectors
+
+  // Mutable: logging is bookkeeping, so const queries (e.g. Query())
+  // still append to the log.
+  mutable std::vector<QueryLogEntry> query_log_;
+  mutable std::optional<obs::OperationProfile> last_profile_;
 };
 
 }  // namespace gea::workbench

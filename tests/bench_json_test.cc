@@ -1,0 +1,66 @@
+// End-to-end check of `bench_operators --json=<path>`: the machine
+// consumer contract is one syntactically valid JSON object per line with
+// the timing and counter keys the tooling expects.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+
+#ifndef GEA_BENCH_OPERATORS_PATH
+#error "GEA_BENCH_OPERATORS_PATH must point at the bench_operators binary"
+#endif
+
+namespace gea {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) out.push_back(line);
+  }
+  return out;
+}
+
+TEST(BenchJsonTest, ProducesOneValidObjectPerBenchmark) {
+  const std::string json_path = ::testing::TempDir() + "bench_out.json";
+  const std::string command =
+      std::string(GEA_BENCH_OPERATORS_PATH) +
+      " --threads=2 --json=" + json_path +
+      " --benchmark_filter='BM_Aggregate/1000$'" +
+      " --benchmark_min_time=0.01 > /dev/null 2>&1";
+  ASSERT_EQ(std::system(command.c_str()), 0) << command;
+
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.is_open()) << json_path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  const std::vector<std::string> lines = Lines(buffer.str());
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+
+  std::string error;
+  EXPECT_TRUE(obs::internal::ValidateJson(line, &error)) << error << "\n"
+                                                         << line;
+  for (const char* key :
+       {"\"name\":\"BM_Aggregate/1000\"", "\"threads\":2", "\"iterations\":",
+        "\"repetitions\":", "\"mean_ms\":", "\"min_ms\":", "\"counters\":{"}) {
+    EXPECT_NE(line.find(key), std::string::npos) << key << "\n" << line;
+  }
+  // --json implies metrics, so the aggregate counters must have moved.
+  EXPECT_NE(line.find("\"gea.aggregate.calls\":"), std::string::npos) << line;
+
+  std::remove(json_path.c_str());
+}
+
+}  // namespace
+}  // namespace gea

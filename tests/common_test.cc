@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/text_plot.h"
 
@@ -301,6 +302,20 @@ TEST(TextPlotTest, MarkersAndEmptyInput) {
   EXPECT_EQ(RenderBarChart({}), "");
   std::string chart = RenderBarChart({{"x", 1.0, "cancer"}}, 4);
   EXPECT_NE(chart.find("[cancer]"), std::string::npos);
+}
+
+// ---------- Stopwatch ----------
+
+TEST(StopwatchTest, ElapsedNanosIsMonotonicAndResets) {
+  Stopwatch watch;
+  const uint64_t a = watch.ElapsedNanos();
+  uint64_t b = watch.ElapsedNanos();
+  while (b == a) b = watch.ElapsedNanos();  // steady clock must advance
+  EXPECT_GT(b, a);
+
+  watch.Reset();
+  // A reset watch reads (much) less than the pre-reset elapsed time.
+  EXPECT_LT(watch.ElapsedNanos(), b + 1000000000ull);
 }
 
 TEST(TextPlotTest, ValueTableAligns) {

@@ -1,0 +1,400 @@
+// Tests for the observability layer (DESIGN.md, "Observability"): the
+// metrics registry, scoped trace spans, the exporters and the EXPLAIN
+// capture. Labelled "parallel": the registry hammer and the trace
+// propagation tests exercise the pool and run under TSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gea::obs {
+namespace {
+
+// ---- Enablement gates ----
+
+TEST(MetricsGateTest, DisabledByDefaultAndOverrideRestores) {
+  // No GEA_METRICS in the test environment, no override: off.
+  EXPECT_FALSE(MetricsEnabled());
+  {
+    ScopedMetricsEnable on(true);
+    EXPECT_TRUE(MetricsEnabled());
+    {
+      ScopedMetricsEnable off(false);
+      EXPECT_FALSE(MetricsEnabled());
+    }
+    EXPECT_TRUE(MetricsEnabled());
+  }
+  EXPECT_FALSE(MetricsEnabled());
+}
+
+TEST(MetricsGateTest, ParseBoolFlag) {
+  EXPECT_TRUE(internal::ParseBoolFlag("1"));
+  EXPECT_TRUE(internal::ParseBoolFlag("true"));
+  EXPECT_TRUE(internal::ParseBoolFlag("on"));
+  EXPECT_TRUE(internal::ParseBoolFlag("yes"));
+  EXPECT_FALSE(internal::ParseBoolFlag(nullptr));
+  EXPECT_FALSE(internal::ParseBoolFlag(""));
+  EXPECT_FALSE(internal::ParseBoolFlag("0"));
+  EXPECT_FALSE(internal::ParseBoolFlag("TRUE"));  // case sensitive
+  EXPECT_FALSE(internal::ParseBoolFlag("2"));
+}
+
+TEST(MetricsGateTest, DisabledRecordingIsANoOp) {
+  ScopedMetricsEnable off(false);
+  Counter c;
+  c.Add(7);
+  EXPECT_EQ(c.Value(), 0u);
+  Gauge g;
+  g.Set(5);
+  g.Add(3);
+  EXPECT_EQ(g.Value(), 0);
+  Histogram h;
+  h.Record(100);
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0u);
+}
+
+// ---- Registry and metric objects ----
+
+TEST(MetricsRegistryTest, SameNameReturnsSameObject) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x");
+  Counter& b = registry.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &registry.GetCounter("y"));
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  ScopedMetricsEnable on(true);
+  MetricsRegistry registry;
+  registry.GetCounter("zeta").Add(1);
+  registry.GetCounter("alpha").Add(2);
+  registry.GetGauge("mid").Set(-4);
+  registry.GetHistogram("lat").Record(1000);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[0].value, 2u);
+  EXPECT_EQ(snap.counters[1].name, "zeta");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, -4);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_EQ(snap.histograms[0].sum, 1000u);
+}
+
+TEST(MetricsRegistryTest, ResetForTestKeepsRegistrations) {
+  ScopedMetricsEnable on(true);
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("c");
+  c.Add(9);
+  registry.ResetForTest();
+  EXPECT_EQ(c.Value(), 0u);   // cached reference still valid, value zeroed
+  c.Add(1);
+  EXPECT_EQ(c.Value(), 1u);
+}
+
+TEST(HistogramTest, BucketIndexAndBounds) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(HistogramBucketUpperBound(0), 0u);
+  EXPECT_EQ(HistogramBucketUpperBound(1), 1u);
+  EXPECT_EQ(HistogramBucketUpperBound(2), 3u);
+  EXPECT_EQ(HistogramBucketUpperBound(3), 7u);
+  // Everything past the last bucket folds into it.
+  EXPECT_EQ(Histogram::BucketIndex(~0ull), kHistogramBuckets - 1);
+}
+
+TEST(HistogramTest, QuantilesFromBuckets) {
+  ScopedMetricsEnable on(true);
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("h");
+  for (int i = 0; i < 90; ++i) h.Record(10);    // bucket ub 15
+  for (int i = 0; i < 10; ++i) h.Record(1000);  // bucket ub 1023
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramValue& hv = snap.histograms[0];
+  EXPECT_EQ(hv.count, 100u);
+  EXPECT_EQ(hv.ApproxQuantile(0.50), 15u);
+  EXPECT_EQ(hv.ApproxQuantile(0.95), 1023u);
+  EXPECT_DOUBLE_EQ(hv.Mean(), (90 * 10 + 10 * 1000) / 100.0);
+}
+
+TEST(MetricsRegistryTest, DiffCountersReportsPositiveDeltas) {
+  ScopedMetricsEnable on(true);
+  MetricsRegistry registry;
+  registry.GetCounter("stays").Add(5);
+  MetricsSnapshot before = registry.Snapshot();
+  registry.GetCounter("moves").Add(3);
+  registry.GetCounter("stays").Add(0);
+  MetricsSnapshot after = registry.Snapshot();
+  std::vector<CounterDelta> deltas = DiffCounters(before, after);
+  ASSERT_EQ(deltas.size(), 1u);  // "stays" did not move, "moves" is new
+  EXPECT_EQ(deltas[0].name, "moves");
+  EXPECT_EQ(deltas[0].delta, 3u);
+}
+
+// ---- Concurrency hammer (the TSan target) ----
+
+TEST(MetricsRegistryTest, ConcurrentRecordingFromPoolWorkers) {
+  ScopedMetricsEnable on(true);
+  ThreadCountOverride threads(8);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const uint64_t c_before = registry.GetCounter("obs_test.hammer.c").Value();
+  const uint64_t h_before =
+      registry.GetHistogram("obs_test.hammer.h").Count();
+
+  const size_t n = 100000;
+  ParallelFor(0, n, 64, [&](size_t begin, size_t end) {
+    // GetCounter from workers on purpose: registration must be
+    // thread-safe and return stable references under contention.
+    Counter& c = registry.GetCounter("obs_test.hammer.c");
+    Histogram& h = registry.GetHistogram("obs_test.hammer.h");
+    Gauge& g = registry.GetGauge("obs_test.hammer.g");
+    for (size_t i = begin; i < end; ++i) {
+      c.Add(1);
+      if (i % 100 == 0) h.Record(i);
+      g.Set(static_cast<int64_t>(i));
+    }
+  });
+
+  EXPECT_EQ(registry.GetCounter("obs_test.hammer.c").Value() - c_before, n);
+  EXPECT_EQ(registry.GetHistogram("obs_test.hammer.h").Count() - h_before,
+            n / 100);
+}
+
+// ---- Trace spans ----
+
+TEST(TraceTest, DisabledSpanHasZeroIdAndRecordsNothing) {
+  ScopedTraceEnable off(false);
+  const uint64_t mark = TraceCollector::Global().Mark();
+  {
+    TraceSpan span("invisible");
+    EXPECT_EQ(span.id(), 0u);
+  }
+  EXPECT_TRUE(TraceCollector::Global().DrainSince(mark).empty());
+}
+
+TEST(TraceTest, SpansNestAndDrainInStartOrder) {
+  ScopedTraceEnable on(true);
+  const uint64_t mark = TraceCollector::Global().Mark();
+  uint64_t outer_id = 0;
+  {
+    TraceSpan outer("outer");
+    outer_id = outer.id();
+    EXPECT_NE(outer_id, 0u);
+    EXPECT_EQ(CurrentSpanId(), outer_id);
+    {
+      TraceSpan inner("inner");
+      EXPECT_EQ(CurrentSpanId(), inner.id());
+      { TraceSpan leaf("leaf"); }
+    }
+    EXPECT_EQ(CurrentSpanId(), outer_id);
+  }
+  EXPECT_EQ(CurrentSpanId(), 0u);
+
+  std::vector<SpanRecord> spans = TraceCollector::Global().DrainSince(mark);
+  ASSERT_EQ(spans.size(), 3u);
+  // Sorted by (start_nanos, id): open order outer -> inner -> leaf.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[2].name, "leaf");
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_EQ(spans[1].parent_id, spans[0].id);
+  EXPECT_EQ(spans[2].parent_id, spans[1].id);
+  EXPECT_GE(spans[0].duration_nanos, spans[1].duration_nanos);
+
+  // Drained: a second drain from the same mark is empty.
+  EXPECT_TRUE(TraceCollector::Global().DrainSince(mark).empty());
+}
+
+TEST(TraceTest, MarkDiscardsEarlierSpans) {
+  ScopedTraceEnable on(true);
+  const uint64_t before = TraceCollector::Global().Mark();
+  { TraceSpan old_span("old"); }
+  const uint64_t mark = TraceCollector::Global().Mark();
+  { TraceSpan new_span("new"); }
+  std::vector<SpanRecord> spans = TraceCollector::Global().DrainSince(mark);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "new");
+  (void)before;
+}
+
+TEST(TraceTest, ParallelForChunksAttachToCallingSpan) {
+  ScopedTraceEnable on(true);
+  ThreadCountOverride threads(4);
+  const uint64_t mark = TraceCollector::Global().Mark();
+  {
+    TraceSpan op("op");
+    std::atomic<size_t> covered{0};
+    ParallelFor(0, 4096, 64, [&](size_t begin, size_t end) {
+      covered.fetch_add(end - begin);
+    });
+    EXPECT_EQ(covered.load(), 4096u);
+  }
+  std::vector<SpanRecord> spans = TraceCollector::Global().DrainSince(mark);
+
+  uint64_t op_id = 0, pf_id = 0;
+  size_t chunk_count = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.name == "op") op_id = span.id;
+    if (span.name == "parallel_for") pf_id = span.id;
+  }
+  ASSERT_NE(op_id, 0u);
+  ASSERT_NE(pf_id, 0u);
+  for (const SpanRecord& span : spans) {
+    if (span.name == "parallel_for") EXPECT_EQ(span.parent_id, op_id);
+    if (span.name == "chunk") {
+      // Worker-side spans attach to the parallel_for span of the
+      // submitting thread through TraceParentScope.
+      EXPECT_EQ(span.parent_id, pf_id);
+      ++chunk_count;
+    }
+  }
+  EXPECT_GE(chunk_count, 2u);
+}
+
+// ---- Exporters ----
+
+MetricsSnapshot ExampleSnapshot() {
+  ScopedMetricsEnable on(true);
+  MetricsRegistry registry;
+  registry.GetCounter("gea.test.rows").Add(42);
+  registry.GetGauge("gea.test.level").Set(-7);
+  Histogram& h = registry.GetHistogram("gea.test.nanos");
+  h.Record(10);
+  h.Record(1000);
+  return registry.Snapshot();
+}
+
+TEST(ExportTest, RenderTableGolden) {
+  const std::string expected =
+      "counters:\n"
+      "  gea.test.rows  42\n"
+      "gauges:\n"
+      "  gea.test.level  -7\n"
+      "histograms:\n"
+      "  gea.test.nanos  count=2 mean=505.0 p50<=15 p95<=1023\n";
+  EXPECT_EQ(RenderTable(ExampleSnapshot()), expected);
+  EXPECT_EQ(RenderTable(MetricsSnapshot{}), "(no metrics recorded)\n");
+}
+
+TEST(ExportTest, RenderJsonLinesGoldenAndValid) {
+  const std::string out = RenderJsonLines(ExampleSnapshot());
+  const std::string expected =
+      "{\"type\":\"counter\",\"name\":\"gea.test.rows\",\"value\":42}\n"
+      "{\"type\":\"gauge\",\"name\":\"gea.test.level\",\"value\":-7}\n"
+      "{\"type\":\"histogram\",\"name\":\"gea.test.nanos\",\"count\":2,"
+      "\"sum\":1010,\"mean\":505.000,\"p50\":15,\"p95\":1023}\n";
+  EXPECT_EQ(out, expected);
+  size_t start = 0;
+  while (start < out.size()) {
+    const size_t nl = out.find('\n', start);
+    std::string error;
+    EXPECT_TRUE(internal::ValidateJson(out.substr(start, nl - start), &error))
+        << error;
+    start = nl + 1;
+  }
+}
+
+TEST(ExportTest, RenderPrometheusGolden) {
+  const std::string expected =
+      "# TYPE gea_test_rows counter\n"
+      "gea_test_rows 42\n"
+      "# TYPE gea_test_level gauge\n"
+      "gea_test_level -7\n"
+      "# TYPE gea_test_nanos histogram\n"
+      "gea_test_nanos_bucket{le=\"15\"} 1\n"
+      "gea_test_nanos_bucket{le=\"1023\"} 2\n"
+      "gea_test_nanos_bucket{le=\"+Inf\"} 2\n"
+      "gea_test_nanos_sum 1010\n"
+      "gea_test_nanos_count 2\n";
+  EXPECT_EQ(RenderPrometheus(ExampleSnapshot()), expected);
+}
+
+TEST(ExportTest, JsonEscape) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nfeed\ttab"), "line\\nfeed\\ttab");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(ExportTest, ValidateJsonAcceptsAndRejects) {
+  std::string error;
+  EXPECT_TRUE(internal::ValidateJson("{}", &error));
+  EXPECT_TRUE(internal::ValidateJson("[1, 2.5, -3e4, \"x\", true, null]",
+                                     &error));
+  EXPECT_TRUE(internal::ValidateJson(
+      "{\"a\":{\"b\":[{\"c\":\"\\u0041\"}]}}", &error));
+  EXPECT_FALSE(internal::ValidateJson("", &error));
+  EXPECT_FALSE(internal::ValidateJson("{", &error));
+  EXPECT_FALSE(internal::ValidateJson("{\"a\":1,}", &error));
+  EXPECT_FALSE(internal::ValidateJson("[1 2]", &error));
+  EXPECT_FALSE(internal::ValidateJson("\"unterminated", &error));
+  EXPECT_FALSE(internal::ValidateJson("01x", &error));
+  EXPECT_FALSE(internal::ValidateJson("{} trailing", &error));
+  EXPECT_NE(error.find("byte"), std::string::npos);
+}
+
+// ---- Operation capture (EXPLAIN substrate) ----
+
+TEST(OperationCaptureTest, CapturesSpansAndCounterDeltas) {
+  ScopedMetricsEnable metrics(true);
+  ScopedTraceEnable trace(true);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const uint64_t before = registry.GetCounter("obs_test.capture.c").Value();
+
+  OperationCapture capture("test_op");
+  {
+    TraceSpan step("step");
+    registry.GetCounter("obs_test.capture.c").Add(11);
+  }
+  OperationProfile profile = capture.Finish();
+  (void)before;
+
+  EXPECT_EQ(profile.operation, "test_op");
+  EXPECT_GT(profile.elapsed_nanos, 0u);
+  ASSERT_EQ(profile.spans.size(), 2u);  // root "test_op" + "step"
+  EXPECT_EQ(profile.spans[0].name, "test_op");
+  EXPECT_EQ(profile.spans[1].name, "step");
+  EXPECT_EQ(profile.spans[1].parent_id, profile.spans[0].id);
+
+  bool saw_delta = false;
+  for (const CounterDelta& d : profile.counters) {
+    if (d.name == "obs_test.capture.c") {
+      EXPECT_EQ(d.delta, 11u);
+      saw_delta = true;
+    }
+  }
+  EXPECT_TRUE(saw_delta);
+
+  const std::string rendered = profile.Render();
+  EXPECT_NE(rendered.find("test_op"), std::string::npos);
+  EXPECT_NE(rendered.find("  step"), std::string::npos);
+  EXPECT_NE(rendered.find("obs_test.capture.c"), std::string::npos);
+}
+
+TEST(OperationCaptureTest, WorksWithEverythingDisabled) {
+  ScopedMetricsEnable metrics(false);
+  ScopedTraceEnable trace(false);
+  OperationCapture capture("dark_op");
+  OperationProfile profile = capture.Finish();
+  EXPECT_EQ(profile.operation, "dark_op");
+  EXPECT_TRUE(profile.spans.empty());
+  EXPECT_TRUE(profile.counters.empty());
+  EXPECT_NE(profile.Render().find("dark_op"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gea::obs

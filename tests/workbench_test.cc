@@ -330,5 +330,86 @@ TEST_F(SessionTest, DeleteContentsKeepsLineageMetadata) {
   EXPECT_FALSE((*session.Lineage().GetNode(*node))->has_contents);
 }
 
+// ---------- Observability: query log + EXPLAIN ----------
+
+TEST_F(SessionTest, QueryLogRecordsSuccessAndFailure) {
+  AnalysisSession session = LoggedInSession();
+  EXPECT_TRUE(session.ExplainLast().status().IsNotFound());
+
+  ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain).ok());
+  ASSERT_EQ(session.QueryLog().size(), 1u);
+  EXPECT_EQ(session.QueryLog()[0].operation, "tissue_dataset");
+  EXPECT_EQ(session.QueryLog()[0].detail, "brain");
+  EXPECT_TRUE(session.QueryLog()[0].ok);
+
+  // A failing operation is logged too, with its status message.
+  EXPECT_FALSE(session.CreateGap("no_such", "sumys", "g").ok());
+  ASSERT_EQ(session.QueryLog().size(), 2u);
+  EXPECT_EQ(session.QueryLog()[1].operation, "create_gap");
+  EXPECT_FALSE(session.QueryLog()[1].ok);
+  EXPECT_FALSE(session.QueryLog()[1].error.empty());
+
+  session.ClearQueryLog();
+  EXPECT_TRUE(session.QueryLog().empty());
+}
+
+TEST_F(SessionTest, ExplainLastOnPopulateThenDiffPipeline) {
+  obs::ScopedMetricsEnable metrics(true);
+  obs::ScopedTraceEnable trace(true);
+
+  AnalysisSession session = LoggedInSession();
+  ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain).ok());
+  ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBreast).ok());
+  ASSERT_TRUE(session.Aggregate("brain", "brain_sumy").ok());
+  ASSERT_TRUE(session.Aggregate("breast", "breast_sumy").ok());
+
+  // populate: the profile's counters must match the produced table.
+  ASSERT_TRUE(session.Populate("brain_sumy", "brain", "brain_pop").ok());
+  Result<const obs::OperationProfile*> populate_profile =
+      session.LastProfile();
+  ASSERT_TRUE(populate_profile.ok());
+  EXPECT_EQ((*populate_profile)->operation, "populate");
+  Result<const core::EnumTable*> populated = session.GetEnum("brain_pop");
+  ASSERT_TRUE(populated.ok());
+  uint64_t rows_delta = 0, candidates_delta = 0;
+  for (const obs::CounterDelta& d : (*populate_profile)->counters) {
+    if (d.name == "gea.populate.rows_materialized") rows_delta = d.delta;
+    if (d.name == "gea.populate.candidates_verified") {
+      candidates_delta = d.delta;
+    }
+  }
+  EXPECT_EQ(rows_delta, (*populated)->NumLibraries());
+  EXPECT_GE(candidates_delta, rows_delta);
+  bool saw_populate_span = false, saw_child_span = false;
+  for (const obs::SpanRecord& span : (*populate_profile)->spans) {
+    if (span.name == "populate") saw_populate_span = true;
+    if (span.parent_id != 0) saw_child_span = true;
+  }
+  EXPECT_TRUE(saw_populate_span);
+  EXPECT_TRUE(saw_child_span);
+
+  // diff (CreateGap): tags_compared is the sum of both SUMY sizes.
+  Result<const core::SumyTable*> s1 = session.GetSumy("brain_sumy");
+  Result<const core::SumyTable*> s2 = session.GetSumy("breast_sumy");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  ASSERT_TRUE(session.CreateGap("brain_sumy", "breast_sumy", "g").ok());
+  Result<std::string> explain = session.ExplainLast();
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("create_gap"), std::string::npos);
+  EXPECT_NE(explain->find("spans:"), std::string::npos);
+  EXPECT_NE(explain->find("diff"), std::string::npos);
+  EXPECT_NE(explain->find("counters:"), std::string::npos);
+  EXPECT_NE(explain->find("gea.diff.tags_compared"), std::string::npos);
+
+  Result<const obs::OperationProfile*> gap_profile = session.LastProfile();
+  ASSERT_TRUE(gap_profile.ok());
+  uint64_t tags_compared = 0;
+  for (const obs::CounterDelta& d : (*gap_profile)->counters) {
+    if (d.name == "gea.diff.tags_compared") tags_compared = d.delta;
+  }
+  EXPECT_EQ(tags_compared, (*s1)->NumTags() + (*s2)->NumTags());
+}
+
 }  // namespace
 }  // namespace gea::workbench
