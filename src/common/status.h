@@ -81,6 +81,9 @@ class Status {
   bool IsPermissionDenied() const {
     return code_ == StatusCode::kPermissionDenied;
   }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
 
   /// Renders as "OK" or "<CodeName>: <message>".
   std::string ToString() const;

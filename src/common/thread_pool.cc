@@ -75,6 +75,11 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 bool ThreadPool::OnWorkerThread() const {
   std::thread::id self = std::this_thread::get_id();
   for (const std::thread& w : workers_) {
@@ -153,26 +158,37 @@ ThreadCountOverride::~ThreadCountOverride() {
   ThreadOverrideSlot() = previous_;
 }
 
+namespace {
+
+// The shared-pool slot, hoisted out of SharedThreadPool() so the
+// non-creating observer below can read it too.
+std::mutex g_shared_pool_mu;
+std::atomic<ThreadPool*> g_shared_pool{nullptr};
+
+}  // namespace
+
 ThreadPool& SharedThreadPool() {
   // The pool is grown (rebuilt) when a larger thread count is configured
   // and intentionally leaked: parallel operators may run during static
   // destruction of callers, and joining workers at exit is not worth the
   // shutdown-order hazard.
-  static std::mutex mu;
-  static std::atomic<ThreadPool*> pool{nullptr};
   size_t want = ConfiguredThreads();
-  ThreadPool* current = pool.load(std::memory_order_acquire);
+  ThreadPool* current = g_shared_pool.load(std::memory_order_acquire);
   if (current != nullptr && current->NumThreads() >= want) return *current;
-  std::lock_guard<std::mutex> lock(mu);
-  current = pool.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_shared_pool_mu);
+  current = g_shared_pool.load(std::memory_order_relaxed);
   if (current == nullptr || current->NumThreads() < want) {
     // Leak the old pool too: chunks from a concurrent ParallelFor could
     // still reference it. Growth events are rare (test overrides only).
     ThreadPool* grown = new ThreadPool(want);
-    pool.store(grown, std::memory_order_release);
+    g_shared_pool.store(grown, std::memory_order_release);
     current = grown;
   }
   return *current;
+}
+
+const ThreadPool* SharedThreadPoolIfStarted() {
+  return g_shared_pool.load(std::memory_order_acquire);
 }
 
 void ParallelFor(size_t begin, size_t end, size_t min_grain,

@@ -32,6 +32,10 @@ class ThreadPool {
 
   size_t NumThreads() const { return workers_.size(); }
 
+  /// Tasks currently queued (not yet picked up by a worker). Takes the
+  /// queue lock; a monitoring-path accessor, not a hot-path one.
+  size_t QueueDepth() const;
+
   /// Enqueues `task`. The task must not throw out of the pool: wrap the
   /// user body and capture exceptions on the submitting side (ParallelFor
   /// does this). Tasks submitted from inside a worker run inline to avoid
@@ -89,6 +93,11 @@ void SetThreadOverride(std::optional<size_t> num_threads);
 /// on first use; grown (never shrunk) when the configured thread count
 /// rises past the current worker count.
 ThreadPool& SharedThreadPool();
+
+/// The shared pool if one has been created, else nullptr. Never creates
+/// workers — the stat views and the monitoring endpoint report through
+/// this so that *observing* the pool cannot start it.
+const ThreadPool* SharedThreadPoolIfStarted();
 
 /// Runs `body(chunk_begin, chunk_end)` over contiguous chunks covering
 /// [begin, end). Guarantees, relied on for bit-identical serial/parallel

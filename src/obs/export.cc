@@ -27,18 +27,42 @@ std::string FormatI64(int64_t v) {
   return buf;
 }
 
-/// Metric names use '.' namespacing; Prometheus allows [a-zA-Z0-9_:].
-std::string PrometheusName(const std::string& name) {
-  std::string out = name;
-  for (char& c : out) {
+}  // namespace
+
+std::string PrometheusMetricName(std::string_view name) {
+  if (name.empty()) return "_";
+  std::string out;
+  out.reserve(name.size() + 1);
+  // The first character may not be a digit in the exposition grammar.
+  if (name[0] >= '0' && name[0] <= '9') out += '_';
+  for (char c : name) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                     (c >= '0' && c <= '9') || c == '_' || c == ':';
-    if (!ok) c = '_';
+    out += ok ? c : '_';
   }
   return out;
 }
 
-}  // namespace
+std::string PrometheusLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
 
 std::string RenderTable(const MetricsSnapshot& snapshot) {
   std::string out;
@@ -119,17 +143,17 @@ std::string RenderJsonLines(const MetricsSnapshot& snapshot) {
 std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
   std::string out;
   for (const CounterValue& c : snapshot.counters) {
-    const std::string name = PrometheusName(c.name);
+    const std::string name = PrometheusMetricName(c.name);
     out += "# TYPE " + name + " counter\n";
     out += name + " " + FormatU64(c.value) + "\n";
   }
   for (const GaugeValue& g : snapshot.gauges) {
-    const std::string name = PrometheusName(g.name);
+    const std::string name = PrometheusMetricName(g.name);
     out += "# TYPE " + name + " gauge\n";
     out += name + " " + FormatI64(g.value) + "\n";
   }
   for (const HistogramValue& h : snapshot.histograms) {
-    const std::string name = PrometheusName(h.name);
+    const std::string name = PrometheusMetricName(h.name);
     out += "# TYPE " + name + " histogram\n";
     uint64_t cumulative = 0;
     for (size_t i = 0; i < kHistogramBuckets; ++i) {

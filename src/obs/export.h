@@ -19,9 +19,20 @@ std::string RenderTable(const MetricsSnapshot& snapshot);
 std::string RenderJsonLines(const MetricsSnapshot& snapshot);
 
 /// Renders a snapshot as Prometheus text exposition format. Metric names
-/// are sanitized ('.' and '-' become '_'); histograms emit cumulative
+/// pass through PrometheusMetricName(); histograms emit cumulative
 /// _bucket{le="..."} series plus _sum and _count.
 std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// Sanitizes a metric name for the exposition format, whose grammar is
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: every illegal character (dots, dashes,
+/// quotes, braces, newlines, ...) becomes '_', a leading digit gains a
+/// '_' prefix, and an empty name renders as "_".
+std::string PrometheusMetricName(std::string_view name);
+
+/// Escapes a label value for the exposition format: backslash, double
+/// quote and newline escape as \\ \" and \n; everything else (including
+/// UTF-8) passes through.
+std::string PrometheusLabelValue(std::string_view value);
 
 /// Escapes `text` for inclusion inside a JSON string literal (quotes,
 /// backslashes, control characters).

@@ -1,0 +1,262 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/export.h"
+
+namespace gea::obs {
+
+namespace {
+
+/// Raw threshold values: 0..3 mirror LogLevel, 4 is "off". -1 means
+/// unresolved (read GEA_LOG on first use).
+constexpr int kLogOff = 4;
+
+std::atomic<int> g_log_threshold{-1};
+
+int ParseLogLevel(const char* text) {
+  if (text == nullptr || *text == '\0') return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(text, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+  if (std::strcmp(text, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(text, "warn") == 0) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(text, "error") == 0) return static_cast<int>(LogLevel::kError);
+  if (std::strcmp(text, "off") == 0 || std::strcmp(text, "none") == 0 ||
+      std::strcmp(text, "0") == 0) {
+    return kLogOff;
+  }
+  // Bool-ish truthy values widen to info; anything else keeps the default.
+  if (std::strcmp(text, "1") == 0 || std::strcmp(text, "true") == 0 ||
+      std::strcmp(text, "on") == 0 || std::strcmp(text, "yes") == 0) {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+int EnvLogThreshold() {
+  static const int cached = ParseLogLevel(std::getenv("GEA_LOG"));
+  return cached;
+}
+
+int LogThreshold() {
+  int state = g_log_threshold.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = EnvLogThreshold();
+    g_log_threshold.store(state, std::memory_order_relaxed);
+  }
+  return state;
+}
+
+/// Wall-clock milliseconds since the Unix epoch — log records are read
+/// next to other services' logs, so unlike every latency measurement in
+/// GEA (steady clock, obs/clock.h) they carry real time.
+uint64_t WallMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= LogThreshold();
+}
+
+void SetLogOverride(std::optional<LogLevel> min_level) {
+  g_log_threshold.store(min_level.has_value() ? static_cast<int>(*min_level)
+                                              : EnvLogThreshold(),
+                        std::memory_order_relaxed);
+}
+
+ScopedLogLevel::ScopedLogLevel(std::optional<LogLevel> min_level)
+    : previous_(LogThreshold()) {
+  g_log_threshold.store(min_level.has_value() ? static_cast<int>(*min_level)
+                                              : EnvLogThreshold(),
+                        std::memory_order_relaxed);
+}
+
+ScopedLogLevel::~ScopedLogLevel() {
+  g_log_threshold.store(previous_, std::memory_order_relaxed);
+}
+
+// ---- Sink ----
+
+LogSink& LogSink::Global() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
+
+void LogSink::Write(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capturing_) {
+    capture_.append(line);
+    capture_.push_back('\n');
+    return;
+  }
+  if (!file_resolved_) {
+    file_resolved_ = true;
+    const char* path = std::getenv("GEA_LOG_FILE");
+    if (path != nullptr && *path != '\0') {
+      file_ = std::fopen(path, "a");  // leaked with the sink; flushed per line
+    }
+    if (file_ == nullptr) file_ = stderr;
+  }
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+void LogSink::SetCaptureForTest(bool capturing) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capturing_ = capturing;
+  capture_.clear();
+}
+
+std::string LogSink::CapturedForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capture_;
+}
+
+// ---- Record builder ----
+
+LogRecord::LogRecord(LogLevel level, std::string_view event)
+    : enabled_(LogEnabled(level)) {
+  if (!enabled_) return;
+  json_ = "{\"ts_ms\":" + std::to_string(WallMillis()) + ",\"level\":\"" +
+          LogLevelName(level) + "\",\"event\":\"" + JsonEscape(event) + "\"";
+}
+
+LogRecord& LogRecord::Str(std::string_view key, std::string_view value) {
+  if (enabled_) {
+    json_ += ",\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+  }
+  return *this;
+}
+
+LogRecord& LogRecord::Int(std::string_view key, int64_t value) {
+  if (enabled_) {
+    json_ += ",\"" + JsonEscape(key) + "\":" + std::to_string(value);
+  }
+  return *this;
+}
+
+LogRecord& LogRecord::U64(std::string_view key, uint64_t value) {
+  if (enabled_) {
+    json_ += ",\"" + JsonEscape(key) + "\":" + std::to_string(value);
+  }
+  return *this;
+}
+
+LogRecord& LogRecord::F64(std::string_view key, double value) {
+  if (enabled_) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    json_ += ",\"" + JsonEscape(key) + "\":" + buf;
+  }
+  return *this;
+}
+
+LogRecord& LogRecord::Bool(std::string_view key, bool value) {
+  if (enabled_) {
+    json_ += ",\"" + JsonEscape(key) + "\":" + (value ? "true" : "false");
+  }
+  return *this;
+}
+
+LogRecord& LogRecord::RawJson(std::string_view key, std::string_view json) {
+  if (enabled_) {
+    json_ += ",\"" + JsonEscape(key) + "\":";
+    json_.append(json);
+  }
+  return *this;
+}
+
+void LogRecord::Emit() {
+  if (!enabled_) return;
+  json_ += "}";
+  LogSink::Global().Write(json_);
+  enabled_ = false;  // a second Emit() is a no-op
+}
+
+// ---- Slow-query threshold ----
+
+namespace {
+
+/// -1 unresolved, -2 disabled, >= 0 the threshold in milliseconds.
+constexpr int64_t kSlowUnresolved = -1;
+constexpr int64_t kSlowDisabled = -2;
+
+std::atomic<int64_t> g_slow_ms{kSlowUnresolved};
+
+int64_t EnvSlowMs() {
+  static const int64_t cached = [] {
+    const char* text = std::getenv("GEA_SLOW_QUERY_MS");
+    if (text == nullptr || *text == '\0') return kSlowDisabled;
+    char* end = nullptr;
+    long long parsed = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || parsed < 0) return kSlowDisabled;
+    return static_cast<int64_t>(parsed);
+  }();
+  return cached;
+}
+
+}  // namespace
+
+std::optional<uint64_t> SlowQueryThresholdMs() {
+  int64_t state = g_slow_ms.load(std::memory_order_relaxed);
+  if (state == kSlowUnresolved) {
+    state = EnvSlowMs();
+    g_slow_ms.store(state, std::memory_order_relaxed);
+  }
+  if (state < 0) return std::nullopt;
+  return static_cast<uint64_t>(state);
+}
+
+void SetSlowQueryOverride(std::optional<uint64_t> ms) {
+  g_slow_ms.store(ms.has_value() ? static_cast<int64_t>(*ms) : EnvSlowMs(),
+                  std::memory_order_relaxed);
+}
+
+ScopedSlowQueryMs::ScopedSlowQueryMs(std::optional<uint64_t> ms)
+    : previous_(SlowQueryThresholdMs()) {
+  g_slow_ms.store(ms.has_value() ? static_cast<int64_t>(*ms) : kSlowDisabled,
+                  std::memory_order_relaxed);
+}
+
+ScopedSlowQueryMs::~ScopedSlowQueryMs() {
+  g_slow_ms.store(previous_.has_value() ? static_cast<int64_t>(*previous_)
+                                        : kSlowDisabled,
+                  std::memory_order_relaxed);
+}
+
+ScopedLogCapture::ScopedLogCapture(LogLevel min_level) : level_(min_level) {
+  LogSink::Global().SetCaptureForTest(true);
+}
+
+ScopedLogCapture::~ScopedLogCapture() {
+  LogSink::Global().SetCaptureForTest(false);
+}
+
+std::string ScopedLogCapture::str() const {
+  return LogSink::Global().CapturedForTest();
+}
+
+}  // namespace gea::obs

@@ -1,0 +1,153 @@
+#ifndef GEA_OBS_LOG_H_
+#define GEA_OBS_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gea::obs {
+
+/// Structured, leveled JSON-lines logging for the GEA engine. Every
+/// record is one JSON object per line:
+///
+///   {"ts_ms":1754312345678,"level":"warn","event":"slow_query",
+///    "operation":"populate","elapsed_ms":812.4,...}
+///
+/// Enablement mirrors the metrics/trace gates: programmatic override
+/// (SetLogOverride / ScopedLogLevel) > GEA_LOG env var (read once) >
+/// default. The default threshold is kWarn — warnings and errors are
+/// production signal and always flow; "debug" / "info" widen it, "off"
+/// silences everything. The sink is stderr unless GEA_LOG_FILE names a
+/// file (opened once, in append mode).
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// "debug", "info", "warn", "error".
+const char* LogLevelName(LogLevel level);
+
+/// True when a record at `level` would be written.
+bool LogEnabled(LogLevel level);
+
+/// Sets (nullopt clears, back to GEA_LOG) the minimum level that flows.
+void SetLogOverride(std::optional<LogLevel> min_level);
+
+/// RAII log-threshold override for tests; nests like ScopedMetricsEnable.
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(std::optional<LogLevel> min_level);
+  ~ScopedLogLevel();
+
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  int previous_;  // raw threshold, including the "off" sentinel
+};
+
+/// The process-wide line sink: GEA_LOG_FILE (append) or stderr, one
+/// mutex-guarded write per record so concurrent sessions interleave at
+/// line granularity.
+class LogSink {
+ public:
+  static LogSink& Global();
+
+  /// Appends `line` plus '\n' and flushes.
+  void Write(std::string_view line);
+
+  /// Redirects writes into an internal buffer (true clears the buffer
+  /// and starts capturing; false restores the file sink).
+  void SetCaptureForTest(bool capturing);
+
+  /// Copies the capture buffer under the sink lock.
+  std::string CapturedForTest();
+
+ private:
+  LogSink() = default;
+
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;  // resolved on first write
+  bool file_resolved_ = false;
+  bool capturing_ = false;
+  std::string capture_;
+};
+
+/// Builder for one structured record. Cheap when the level is below the
+/// threshold: no fields are rendered and Emit() is a no-op.
+///
+///   obs::LogRecord(obs::LogLevel::kWarn, "slow_query")
+///       .Str("operation", op).F64("elapsed_ms", ms).Emit();
+class LogRecord {
+ public:
+  LogRecord(LogLevel level, std::string_view event);
+
+  LogRecord& Str(std::string_view key, std::string_view value);
+  LogRecord& Int(std::string_view key, int64_t value);
+  LogRecord& U64(std::string_view key, uint64_t value);
+  LogRecord& F64(std::string_view key, double value);
+  LogRecord& Bool(std::string_view key, bool value);
+  /// Splices a pre-rendered JSON value (object/array) under `key`; the
+  /// caller guarantees it is well-formed.
+  LogRecord& RawJson(std::string_view key, std::string_view json);
+
+  /// Closes the object and writes it to the global sink (no-op when the
+  /// record's level is below the threshold).
+  void Emit();
+
+ private:
+  bool enabled_;
+  std::string json_;
+};
+
+// ---- Slow-query log configuration ----
+
+/// Millisecond threshold at or above which AnalysisSession emits one
+/// "slow_query" record per operation; nullopt disables the slow-query
+/// log. Resolves: override > GEA_SLOW_QUERY_MS (read once; a
+/// non-negative integer) > disabled. A threshold of 0 logs every
+/// operation.
+std::optional<uint64_t> SlowQueryThresholdMs();
+
+/// Sets (nullopt clears, back to GEA_SLOW_QUERY_MS) the threshold.
+void SetSlowQueryOverride(std::optional<uint64_t> ms);
+
+/// RAII slow-query threshold for tests:
+///   ScopedSlowQueryMs slow(0);   // log every operation in this scope
+class ScopedSlowQueryMs {
+ public:
+  explicit ScopedSlowQueryMs(std::optional<uint64_t> ms);
+  ~ScopedSlowQueryMs();
+
+  ScopedSlowQueryMs(const ScopedSlowQueryMs&) = delete;
+  ScopedSlowQueryMs& operator=(const ScopedSlowQueryMs&) = delete;
+
+ private:
+  std::optional<uint64_t> previous_;
+};
+
+/// Captures log output into a buffer for the scope's lifetime, forcing
+/// the threshold down to `min_level` so the records under test flow.
+class ScopedLogCapture {
+ public:
+  explicit ScopedLogCapture(LogLevel min_level = LogLevel::kDebug);
+  ~ScopedLogCapture();
+
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+  /// The lines captured so far.
+  std::string str() const;
+
+ private:
+  ScopedLogLevel level_;
+};
+
+}  // namespace gea::obs
+
+#endif  // GEA_OBS_LOG_H_

@@ -1,0 +1,274 @@
+#include "obs/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/statviews.h"
+
+namespace gea::obs {
+
+namespace {
+
+/// The /tracez slot. A plain mutex-guarded copy: profiles are small (a
+/// handful of spans and counter deltas) and publishes happen once per
+/// logged operation, not per row.
+std::mutex g_profile_mu;
+std::optional<OperationProfile> g_last_profile;
+
+std::string ProfileJson(const OperationProfile& profile) {
+  std::string out = "{\"operation\":\"" + JsonEscape(profile.operation) +
+                    "\",\"elapsed_nanos\":" +
+                    std::to_string(profile.elapsed_nanos) + ",\"spans\":[";
+  for (size_t i = 0; i < profile.spans.size(); ++i) {
+    const SpanRecord& span = profile.spans[i];
+    if (i > 0) out += ",";
+    out += "{\"id\":" + std::to_string(span.id) +
+           ",\"parent_id\":" + std::to_string(span.parent_id) + ",\"name\":\"" +
+           JsonEscape(span.name) +
+           "\",\"start_nanos\":" + std::to_string(span.start_nanos) +
+           ",\"duration_nanos\":" + std::to_string(span.duration_nanos) + "}";
+  }
+  out += "],\"counters\":{";
+  for (size_t i = 0; i < profile.counters.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(profile.counters[i].name) +
+           "\":" + std::to_string(profile.counters[i].delta);
+  }
+  out += "}}";
+  return out;
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    default:
+      return "Error";
+  }
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing to salvage
+    sent += static_cast<size_t>(n);
+  }
+}
+
+void HandleConnection(int fd) {
+  // Bound how long a dribbling client can hold the (single) serve thread.
+  timeval timeout{};
+  timeout.tv_sec = 5;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  std::string head;
+  char buf[2048];
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos && head.size() < 16384) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<size_t>(n));
+  }
+
+  internal::HttpResponse response;
+  const std::string path = internal::ParseRequestPath(head);
+  if (path.empty()) {
+    response.status = 400;
+    response.body = "bad request\n";
+  } else {
+    response = internal::HandlePath(path);
+  }
+
+  std::string wire = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     StatusText(response.status) + "\r\n";
+  wire += "Content-Type: " + response.content_type + "\r\n";
+  wire += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  wire += "Connection: close\r\n\r\n";
+  wire += response.body;
+  SendAll(fd, wire);
+}
+
+}  // namespace
+
+namespace internal {
+
+std::string ParseRequestPath(const std::string& head) {
+  if (head.rfind("GET ", 0) != 0) return "";
+  const size_t start = 4;
+  const size_t end = head.find(' ', start);
+  if (end == std::string::npos || end == start) return "";
+  std::string path = head.substr(start, end - start);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  return path.empty() || path[0] != '/' ? "" : path;
+}
+
+HttpResponse HandlePath(const std::string& path) {
+  HttpResponse response;
+  if (path == "/healthz") {
+    response.body = "ok\n";
+    return response;
+  }
+  if (path == "/metrics") {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = RenderPrometheus(MetricsRegistry::Global().Snapshot());
+    return response;
+  }
+  if (path == "/statz") {
+    response.content_type = "application/json";
+    response.body = StatViewsJson();
+    return response;
+  }
+  if (path == "/tracez") {
+    response.content_type = "application/json";
+    response.body = TracezJson();
+    return response;
+  }
+  response.status = 404;
+  response.body = "not found: " + path + "\n";
+  return response;
+}
+
+}  // namespace internal
+
+// ---- MonitorServer ----
+
+MonitorServer::~MonitorServer() { Stop(); }
+
+Status MonitorServer::Start(int port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("monitor server already running");
+  }
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("monitor port out of range: " +
+                                   std::to_string(port));
+  }
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, on purpose
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string msg = std::strerror(errno);
+    close(fd);
+    return Status::IoError("bind 127.0.0.1:" + std::to_string(port) + ": " +
+                           msg);
+  }
+  if (listen(fd, 16) != 0) {
+    const std::string msg = std::strerror(errno);
+    close(fd);
+    return Status::IoError("listen: " + msg);
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    const std::string msg = std::strerror(errno);
+    close(fd);
+    return Status::IoError("getsockname: " + msg);
+  }
+
+  listen_fd_ = fd;
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&MonitorServer::ServeLoop, this, fd);
+
+  LogRecord(LogLevel::kInfo, "monitor_started")
+      .Int("port", Port())
+      .Emit();
+  return Status::OK();
+}
+
+void MonitorServer::Stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  running_.store(false, std::memory_order_release);
+  // Wake the blocking accept(): shutdown() makes it return on Linux, and
+  // close() releases the fd either way.
+  shutdown(listen_fd_, SHUT_RDWR);
+  close(listen_fd_);
+  listen_fd_ = -1;
+  if (thread_.joinable()) thread_.join();
+  port_.store(0, std::memory_order_release);
+}
+
+void MonitorServer::ServeLoop(int listen_fd) {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Stop() closed the socket (or it broke irrecoverably)
+    }
+    HandleConnection(fd);
+    close(fd);
+  }
+}
+
+// ---- Globals ----
+
+MonitorServer& GlobalMonitor() {
+  static MonitorServer* server = new MonitorServer();
+  return *server;
+}
+
+Status StartMonitorFromEnv() {
+  static const int env_port = [] {
+    const char* text = std::getenv("GEA_MONITOR_PORT");
+    if (text == nullptr || *text == '\0') return 0;
+    char* end = nullptr;
+    const long parsed = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || parsed < 1 || parsed > 65535) return 0;
+    return static_cast<int>(parsed);
+  }();
+  if (env_port == 0) return Status::OK();
+  MonitorServer& monitor = GlobalMonitor();
+  if (monitor.Running()) return Status::OK();
+  Status status = monitor.Start(env_port);
+  // A second racing Start() loses with FailedPrecondition; the monitor is
+  // up either way, which is what the caller asked for.
+  if (!status.ok() && monitor.Running()) return Status::OK();
+  return status;
+}
+
+void PublishProfile(const OperationProfile& profile) {
+  std::lock_guard<std::mutex> lock(g_profile_mu);
+  g_last_profile = profile;
+}
+
+std::optional<OperationProfile> LastPublishedProfile() {
+  std::lock_guard<std::mutex> lock(g_profile_mu);
+  return g_last_profile;
+}
+
+std::string TracezJson() {
+  std::lock_guard<std::mutex> lock(g_profile_mu);
+  if (!g_last_profile.has_value()) return "{\"operation\":null}";
+  return ProfileJson(*g_last_profile);
+}
+
+}  // namespace gea::obs

@@ -1,0 +1,97 @@
+#ifndef GEA_OBS_SERVER_H_
+#define GEA_OBS_SERVER_H_
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace gea::obs {
+
+/// Embedded, opt-in HTTP monitoring endpoint. One blocking accept loop on
+/// its own thread, loopback only, serving read-only telemetry:
+///
+///   /healthz   liveness probe ("ok")
+///   /metrics   Prometheus text exposition of the global registry
+///   /statz     the five stat views as JSON
+///   /tracez    the last published OperationProfile as JSON
+///
+/// The server never starts unless asked: either programmatically
+/// (GlobalMonitor().Start(port)) or via GEA_MONITOR_PORT (see
+/// StartMonitorFromEnv, which AnalysisSession calls on construction).
+class MonitorServer {
+ public:
+  MonitorServer() = default;
+  ~MonitorServer();
+
+  MonitorServer(const MonitorServer&) = delete;
+  MonitorServer& operator=(const MonitorServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, readable through
+  /// Port()) and starts the serve thread. FailedPrecondition when already
+  /// running; IoError when the socket can not be set up.
+  Status Start(int port);
+
+  /// Shuts the listen socket down and joins the serve thread. Idempotent.
+  void Stop();
+
+  bool Running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port while running, 0 otherwise.
+  int Port() const { return port_.load(std::memory_order_acquire); }
+
+ private:
+  void ServeLoop(int listen_fd);
+
+  std::mutex mu_;  // serializes Start/Stop transitions
+  std::thread thread_;
+  int listen_fd_ = -1;
+  std::atomic<int> port_{0};
+  std::atomic<bool> running_{false};
+};
+
+/// The process-wide monitor instance (leaked at exit).
+MonitorServer& GlobalMonitor();
+
+/// Starts the global monitor on GEA_MONITOR_PORT when the variable names
+/// a port in [1, 65535] and the monitor is not already running. OK (and a
+/// no-op) when the variable is unset/empty/invalid. Safe to call often —
+/// AnalysisSession construction routes through here.
+Status StartMonitorFromEnv();
+
+/// Stores `profile` as the /tracez payload (last write wins).
+void PublishProfile(const OperationProfile& profile);
+
+/// Copy of the last published profile, if any. Exposed for tests.
+std::optional<OperationProfile> LastPublishedProfile();
+
+/// The /tracez payload: the last published profile as one JSON object,
+/// or {"operation":null} when nothing has been published.
+std::string TracezJson();
+
+namespace internal {
+
+/// One routed response, decoupled from the socket for unit tests.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Routes a request path (query string already allowed, it is ignored)
+/// to its payload; unknown paths get a 404.
+HttpResponse HandlePath(const std::string& path);
+
+/// Extracts the path from an HTTP request head ("GET /statz?x=1 HTTP/1.1
+/// ...") — empty when the request line is malformed or not a GET.
+std::string ParseRequestPath(const std::string& head);
+
+}  // namespace internal
+
+}  // namespace gea::obs
+
+#endif  // GEA_OBS_SERVER_H_

@@ -1,0 +1,336 @@
+#include "obs/statviews.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "obs/export.h"
+
+namespace gea::obs {
+
+namespace {
+
+/// Counter/histogram values are uint64 but rel::Value ints are int64;
+/// saturating keeps the (pathological) overflow bucket's UINT64_MAX
+/// upper bound from rendering as -1.
+int64_t SaturateToInt(uint64_t v) {
+  const uint64_t cap =
+      static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+  return static_cast<int64_t>(std::min(v, cap));
+}
+
+double NanosToMillis(uint64_t nanos) {
+  return static_cast<double>(nanos) / 1e6;
+}
+
+rel::Schema NameValueSchema() {
+  return rel::Schema({{"name", rel::ValueType::kString},
+                      {"value", rel::ValueType::kInt}});
+}
+
+}  // namespace
+
+// ---- TelemetryHub ----
+
+TelemetryHub& TelemetryHub::Global() {
+  // Leaked, like MetricsRegistry: sessions destroyed during static
+  // teardown can still deregister safely.
+  static TelemetryHub* hub = new TelemetryHub();
+  return *hub;
+}
+
+uint64_t TelemetryHub::RegisterSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_id_++;
+  SessionStat& stat = sessions_[id];
+  stat.session_id = id;
+  return id;
+}
+
+void TelemetryHub::DeregisterSession(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(session_id);
+}
+
+void TelemetryHub::SetSessionUser(uint64_t session_id,
+                                  const std::string& user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it != sessions_.end()) it->second.user = user;
+}
+
+void TelemetryHub::RecordOperation(uint64_t session_id,
+                                   const std::string& operation,
+                                   uint64_t elapsed_nanos, bool ok,
+                                   bool slow) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OperatorStat& op = operators_[operation];
+  op.operation = operation;
+  op.calls += 1;
+  if (!ok) op.errors += 1;
+  if (slow) op.slow_queries += 1;
+  op.total_nanos += elapsed_nanos;
+  op.max_nanos = std::max(op.max_nanos, elapsed_nanos);
+
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;  // 0 (moved-from handle) or departed
+  SessionStat& session = it->second;
+  session.operations += 1;
+  if (!ok) session.errors += 1;
+  if (slow) session.slow_queries += 1;
+  session.total_nanos += elapsed_nanos;
+  session.last_operation = operation;
+}
+
+std::vector<OperatorStat> TelemetryHub::OperatorStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<OperatorStat> out;
+  out.reserve(operators_.size());
+  for (const auto& [_, stat] : operators_) out.push_back(stat);
+  return out;
+}
+
+std::vector<SessionStat> TelemetryHub::SessionStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SessionStat> out;
+  out.reserve(sessions_.size());
+  for (const auto& [_, stat] : sessions_) out.push_back(stat);
+  return out;
+}
+
+void TelemetryHub::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.clear();
+  operators_.clear();
+}
+
+// ---- SessionTelemetryHandle ----
+
+SessionTelemetryHandle::SessionTelemetryHandle()
+    : id_(TelemetryHub::Global().RegisterSession()) {}
+
+SessionTelemetryHandle::~SessionTelemetryHandle() {
+  if (id_ != 0) TelemetryHub::Global().DeregisterSession(id_);
+}
+
+SessionTelemetryHandle::SessionTelemetryHandle(
+    SessionTelemetryHandle&& other) noexcept
+    : id_(other.id_) {
+  other.id_ = 0;
+}
+
+SessionTelemetryHandle& SessionTelemetryHandle::operator=(
+    SessionTelemetryHandle&& other) noexcept {
+  if (this != &other) {
+    if (id_ != 0) TelemetryHub::Global().DeregisterSession(id_);
+    id_ = other.id_;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void SessionTelemetryHandle::SetUser(const std::string& user) const {
+  if (id_ != 0) TelemetryHub::Global().SetSessionUser(id_, user);
+}
+
+void SessionTelemetryHandle::RecordOperation(const std::string& operation,
+                                             uint64_t elapsed_nanos, bool ok,
+                                             bool slow) const {
+  if (id_ != 0) {
+    TelemetryHub::Global().RecordOperation(id_, operation, elapsed_nanos, ok,
+                                           slow);
+  }
+}
+
+// ---- Table builders ----
+
+rel::Table StatCountersTable(const MetricsSnapshot& snapshot) {
+  rel::Table table(kStatCountersView, NameValueSchema());
+  for (const CounterValue& c : snapshot.counters) {
+    table.AppendRowUnchecked(
+        {rel::Value::String(c.name), rel::Value::Int(SaturateToInt(c.value))});
+  }
+  return table;
+}
+
+rel::Table StatHistogramsTable(const MetricsSnapshot& snapshot) {
+  rel::Table table(kStatHistogramsView,
+                   rel::Schema({{"name", rel::ValueType::kString},
+                                {"count", rel::ValueType::kInt},
+                                {"sum", rel::ValueType::kInt},
+                                {"mean", rel::ValueType::kDouble},
+                                {"p50", rel::ValueType::kInt},
+                                {"p95", rel::ValueType::kInt},
+                                {"p99", rel::ValueType::kInt}}));
+  for (const HistogramValue& h : snapshot.histograms) {
+    table.AppendRowUnchecked(
+        {rel::Value::String(h.name), rel::Value::Int(SaturateToInt(h.count)),
+         rel::Value::Int(SaturateToInt(h.sum)), rel::Value::Double(h.Mean()),
+         rel::Value::Int(SaturateToInt(h.ApproxQuantile(0.50))),
+         rel::Value::Int(SaturateToInt(h.ApproxQuantile(0.95))),
+         rel::Value::Int(SaturateToInt(h.ApproxQuantile(0.99)))});
+  }
+  return table;
+}
+
+rel::Table StatOperatorsTable(const std::vector<OperatorStat>& stats) {
+  rel::Table table(kStatOperatorsView,
+                   rel::Schema({{"operation", rel::ValueType::kString},
+                                {"calls", rel::ValueType::kInt},
+                                {"errors", rel::ValueType::kInt},
+                                {"slow_queries", rel::ValueType::kInt},
+                                {"total_ms", rel::ValueType::kDouble},
+                                {"mean_ms", rel::ValueType::kDouble},
+                                {"max_ms", rel::ValueType::kDouble}}));
+  for (const OperatorStat& s : stats) {
+    const double total_ms = NanosToMillis(s.total_nanos);
+    const double mean_ms =
+        s.calls == 0 ? 0.0 : total_ms / static_cast<double>(s.calls);
+    table.AppendRowUnchecked({rel::Value::String(s.operation),
+                              rel::Value::Int(SaturateToInt(s.calls)),
+                              rel::Value::Int(SaturateToInt(s.errors)),
+                              rel::Value::Int(SaturateToInt(s.slow_queries)),
+                              rel::Value::Double(total_ms),
+                              rel::Value::Double(mean_ms),
+                              rel::Value::Double(NanosToMillis(s.max_nanos))});
+  }
+  return table;
+}
+
+rel::Table StatSessionsTable(const std::vector<SessionStat>& stats) {
+  rel::Table table(kStatSessionsView,
+                   rel::Schema({{"session", rel::ValueType::kInt},
+                                {"user", rel::ValueType::kString},
+                                {"operations", rel::ValueType::kInt},
+                                {"errors", rel::ValueType::kInt},
+                                {"slow_queries", rel::ValueType::kInt},
+                                {"total_ms", rel::ValueType::kDouble},
+                                {"last_operation", rel::ValueType::kString}}));
+  for (const SessionStat& s : stats) {
+    table.AppendRowUnchecked({rel::Value::Int(SaturateToInt(s.session_id)),
+                              rel::Value::String(s.user),
+                              rel::Value::Int(SaturateToInt(s.operations)),
+                              rel::Value::Int(SaturateToInt(s.errors)),
+                              rel::Value::Int(SaturateToInt(s.slow_queries)),
+                              rel::Value::Double(NanosToMillis(s.total_nanos)),
+                              rel::Value::String(s.last_operation)});
+  }
+  return table;
+}
+
+rel::Table StatThreadsTable(const MetricsSnapshot& snapshot) {
+  rel::Table table(kStatThreadsView, NameValueSchema());
+  auto add = [&table](const char* name, int64_t value) {
+    table.AppendRowUnchecked(
+        {rel::Value::String(name), rel::Value::Int(value)});
+  };
+  add("configured_threads", static_cast<int64_t>(ConfiguredThreads()));
+  const ThreadPool* pool = SharedThreadPoolIfStarted();
+  add("pool_started", pool != nullptr ? 1 : 0);
+  add("pool_workers",
+      pool != nullptr ? static_cast<int64_t>(pool->NumThreads()) : 0);
+  add("pool_queue_depth",
+      pool != nullptr ? static_cast<int64_t>(pool->QueueDepth()) : 0);
+  for (const CounterValue& c : snapshot.counters) {
+    if (c.name.rfind("gea.pool.", 0) == 0 ||
+        c.name.rfind("gea.parallel_for.", 0) == 0) {
+      table.AppendRowUnchecked({rel::Value::String(c.name),
+                                rel::Value::Int(SaturateToInt(c.value))});
+    }
+  }
+  return table;
+}
+
+Result<rel::Table> BuildStatView(const std::string& name) {
+  if (name == kStatCountersView) {
+    return StatCountersTable(MetricsRegistry::Global().Snapshot());
+  }
+  if (name == kStatHistogramsView) {
+    return StatHistogramsTable(MetricsRegistry::Global().Snapshot());
+  }
+  if (name == kStatOperatorsView) {
+    return StatOperatorsTable(TelemetryHub::Global().OperatorStats());
+  }
+  if (name == kStatSessionsView) {
+    return StatSessionsTable(TelemetryHub::Global().SessionStats());
+  }
+  if (name == kStatThreadsView) {
+    return StatThreadsTable(MetricsRegistry::Global().Snapshot());
+  }
+  return Status::NotFound("not a stat view: " + name);
+}
+
+std::vector<rel::Table> AllStatViews() {
+  std::vector<rel::Table> out;
+  out.reserve(5);
+  for (const char* name :
+       {kStatCountersView, kStatHistogramsView, kStatOperatorsView,
+        kStatSessionsView, kStatThreadsView}) {
+    out.push_back(*BuildStatView(name));
+  }
+  return out;
+}
+
+Status RegisterStatViews(rel::Catalog& catalog) {
+  for (const char* name :
+       {kStatCountersView, kStatHistogramsView, kStatOperatorsView,
+        kStatSessionsView, kStatThreadsView}) {
+    const std::string view = name;
+    Status status = catalog.RegisterComputed(
+        view, [view] { return *BuildStatView(view); }, /*replace=*/true);
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+// ---- JSON rendering ----
+
+std::string TableJson(const rel::Table& table) {
+  std::string out = "[";
+  const rel::Schema& schema = table.schema();
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    if (r > 0) out += ",";
+    out += "{";
+    for (size_t c = 0; c < schema.NumColumns(); ++c) {
+      if (c > 0) out += ",";
+      out += "\"" + JsonEscape(schema.column(c).name) + "\":";
+      const rel::Value& v = table.At(r, c);
+      switch (v.type()) {
+        case rel::ValueType::kNull:
+          out += "null";
+          break;
+        case rel::ValueType::kInt:
+          out += std::to_string(v.AsInt());
+          break;
+        case rel::ValueType::kDouble: {
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "%.6f", v.AsDouble());
+          out += buf;
+          break;
+        }
+        case rel::ValueType::kString:
+          out += "\"" + JsonEscape(v.AsString()) + "\"";
+          break;
+      }
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string StatViewsJson() {
+  std::string out = "{";
+  bool first = true;
+  for (const rel::Table& table : AllStatViews()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(table.name()) + "\":" + TableJson(table);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace gea::obs

@@ -1,0 +1,152 @@
+#ifndef GEA_OBS_STATVIEWS_H_
+#define GEA_OBS_STATVIEWS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "rel/catalog.h"
+#include "rel/table.h"
+
+namespace gea::obs {
+
+/// Relational stat views — the pg_stat_* idiom for GEA. Cumulative
+/// telemetry (registry metrics, per-operator and per-session aggregates,
+/// thread-pool state) is synthesized into ordinary read-only rel::Tables
+/// so the SQL layer can select/join/sort over live numbers:
+///
+///   SELECT name, value FROM gea_stat_counters ORDER BY value DESC
+///
+/// The views are registered as computed tables (Catalog::RegisterComputed)
+/// so every query re-materializes them from the live sources.
+
+inline constexpr const char* kStatCountersView = "gea_stat_counters";
+inline constexpr const char* kStatHistogramsView = "gea_stat_histograms";
+inline constexpr const char* kStatOperatorsView = "gea_stat_operators";
+inline constexpr const char* kStatSessionsView = "gea_stat_sessions";
+inline constexpr const char* kStatThreadsView = "gea_stat_threads";
+
+/// Cumulative per-operator aggregates (populate, create_gap, ...) across
+/// every session of the process, pg_stat_statements-style.
+struct OperatorStat {
+  std::string operation;
+  uint64_t calls = 0;
+  uint64_t errors = 0;
+  uint64_t slow_queries = 0;  // calls at/over the slow-query threshold
+  uint64_t total_nanos = 0;
+  uint64_t max_nanos = 0;
+};
+
+/// One live AnalysisSession, pg_stat_activity-style.
+struct SessionStat {
+  uint64_t session_id = 0;
+  std::string user;  // empty until login
+  uint64_t operations = 0;
+  uint64_t errors = 0;
+  uint64_t slow_queries = 0;
+  uint64_t total_nanos = 0;
+  std::string last_operation;
+};
+
+/// Process-wide aggregation point the workbench reports into. All methods
+/// are thread-safe (one mutex; telemetry writes are one map update), so
+/// the monitoring endpoint can read while sessions record.
+class TelemetryHub {
+ public:
+  TelemetryHub() = default;
+
+  TelemetryHub(const TelemetryHub&) = delete;
+  TelemetryHub& operator=(const TelemetryHub&) = delete;
+
+  /// The process-wide hub (leaked at exit, like MetricsRegistry).
+  static TelemetryHub& Global();
+
+  /// Registers a live session; returns its id (never 0).
+  uint64_t RegisterSession();
+  void DeregisterSession(uint64_t session_id);
+  void SetSessionUser(uint64_t session_id, const std::string& user);
+
+  /// Folds one operator invocation into the session and operator stats.
+  void RecordOperation(uint64_t session_id, const std::string& operation,
+                       uint64_t elapsed_nanos, bool ok, bool slow);
+
+  std::vector<OperatorStat> OperatorStats() const;  // sorted by operation
+  std::vector<SessionStat> SessionStats() const;    // sorted by id
+
+  /// Drops every operator aggregate and live-session record. Test-only.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, SessionStat> sessions_;
+  std::map<std::string, OperatorStat> operators_;
+};
+
+/// Move-only RAII registration of one session with the global hub — the
+/// workbench holds one per AnalysisSession, so sessions appear in
+/// gea_stat_sessions for exactly their lifetime.
+class SessionTelemetryHandle {
+ public:
+  SessionTelemetryHandle();
+  ~SessionTelemetryHandle();
+
+  SessionTelemetryHandle(SessionTelemetryHandle&& other) noexcept;
+  SessionTelemetryHandle& operator=(SessionTelemetryHandle&& other) noexcept;
+  SessionTelemetryHandle(const SessionTelemetryHandle&) = delete;
+  SessionTelemetryHandle& operator=(const SessionTelemetryHandle&) = delete;
+
+  uint64_t id() const { return id_; }
+  void SetUser(const std::string& user) const;
+  void RecordOperation(const std::string& operation, uint64_t elapsed_nanos,
+                       bool ok, bool slow) const;
+
+ private:
+  uint64_t id_ = 0;  // 0 after being moved from
+};
+
+// ---- Table builders ----
+// Pure functions from snapshots to tables, for tests and custom plumbing.
+
+/// (name string, value int) — one row per registered counter.
+rel::Table StatCountersTable(const MetricsSnapshot& snapshot);
+/// (name, count, sum, mean, p50, p95, p99) — one row per histogram;
+/// quantiles are bucket upper bounds, capped at INT64_MAX.
+rel::Table StatHistogramsTable(const MetricsSnapshot& snapshot);
+/// (operation, calls, errors, slow_queries, total_ms, mean_ms, max_ms).
+rel::Table StatOperatorsTable(const std::vector<OperatorStat>& stats);
+/// (session, user, operations, errors, slow_queries, total_ms,
+///  last_operation).
+rel::Table StatSessionsTable(const std::vector<SessionStat>& stats);
+/// (name, value) key/value rows: configured_threads, pool_workers,
+/// pool_queue_depth, plus the gea.pool.* / gea.parallel_for.* counters
+/// from `snapshot`. Never starts the pool.
+rel::Table StatThreadsTable(const MetricsSnapshot& snapshot);
+
+/// Builds the named stat view from the live global sources (registry,
+/// hub, shared pool). Fails with NotFound for a non-view name.
+Result<rel::Table> BuildStatView(const std::string& name);
+
+/// All five views, materialized from the live sources.
+std::vector<rel::Table> AllStatViews();
+
+/// Registers all five views in `catalog` as computed tables (replacing
+/// any previous registration), so SQL over the catalog reads live data.
+Status RegisterStatViews(rel::Catalog& catalog);
+
+// ---- JSON rendering (the /statz payload) ----
+
+/// Renders a table as a JSON array of row objects keyed by column name.
+std::string TableJson(const rel::Table& table);
+
+/// {"gea_stat_counters":[...], ..., "gea_stat_threads":[...]}
+std::string StatViewsJson();
+
+}  // namespace gea::obs
+
+#endif  // GEA_OBS_STATVIEWS_H_

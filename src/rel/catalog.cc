@@ -1,11 +1,20 @@
 #include "rel/catalog.h"
 
+#include <algorithm>
+
 namespace gea::rel {
 
 Status Catalog::CreateTable(Table table, bool replace) {
   const std::string name = table.name();
   if (name.empty()) {
     return Status::InvalidArgument("table name must be non-empty");
+  }
+  if (computed_.count(name) > 0) {
+    if (!replace) {
+      return Status::AlreadyExists("a table already exists: " + name);
+    }
+    computed_.erase(name);
+    computed_cache_.erase(name);
   }
   auto it = tables_.find(name);
   if (it != tables_.end()) {
@@ -19,11 +28,38 @@ Status Catalog::CreateTable(Table table, bool replace) {
   return Status::OK();
 }
 
+Status Catalog::RegisterComputed(const std::string& name, TableBuilder builder,
+                                 bool replace) {
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  if (builder == nullptr) {
+    return Status::InvalidArgument("computed table needs a builder: " + name);
+  }
+  if (!replace && (tables_.count(name) > 0 || computed_.count(name) > 0)) {
+    return Status::AlreadyExists("a table already exists: " + name);
+  }
+  tables_.erase(name);
+  computed_cache_.erase(name);
+  computed_[name] = std::move(builder);
+  return Status::OK();
+}
+
 bool Catalog::HasTable(const std::string& name) const {
-  return tables_.count(name) > 0;
+  return tables_.count(name) > 0 || computed_.count(name) > 0;
+}
+
+bool Catalog::IsComputed(const std::string& name) const {
+  return computed_.count(name) > 0;
 }
 
 Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto computed = computed_.find(name);
+  if (computed != computed_.end()) {
+    std::unique_ptr<Table>& slot = computed_cache_[name];
+    slot = std::make_unique<Table>(computed->second());
+    return static_cast<const Table*>(slot.get());
+  }
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("no such table: " + name);
@@ -32,6 +68,9 @@ Result<const Table*> Catalog::GetTable(const std::string& name) const {
 }
 
 Result<Table*> Catalog::GetMutableTable(const std::string& name) {
+  if (computed_.count(name) > 0) {
+    return Status::FailedPrecondition("computed table is read-only: " + name);
+  }
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("no such table: " + name);
@@ -40,6 +79,10 @@ Result<Table*> Catalog::GetMutableTable(const std::string& name) {
 }
 
 Status Catalog::DropTable(const std::string& name) {
+  if (computed_.erase(name) > 0) {
+    computed_cache_.erase(name);
+    return Status::OK();
+  }
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("no such table: " + name);
@@ -48,12 +91,18 @@ Status Catalog::DropTable(const std::string& name) {
   return Status::OK();
 }
 
-void Catalog::Initialize() { tables_.clear(); }
+void Catalog::Initialize() {
+  tables_.clear();
+  computed_.clear();
+  computed_cache_.clear();
+}
 
 std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> names;
-  names.reserve(tables_.size());
+  names.reserve(tables_.size() + computed_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
+  for (const auto& [name, builder] : computed_) names.push_back(name);
+  std::sort(names.begin(), names.end());
   return names;
 }
 

@@ -1,6 +1,7 @@
 #ifndef GEA_REL_CATALOG_H_
 #define GEA_REL_CATALOG_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -17,8 +18,17 @@ namespace gea::rel {
 /// auxiliary metadata relations) and implements the redundancy check of
 /// Section 4.4.5.2: creating a table that already exists fails with
 /// AlreadyExists unless `replace` is requested.
+///
+/// Besides stored tables the catalog holds **computed tables**: read-only
+/// relations materialized from a builder function on every GetTable()
+/// call, the pg_stat_* idiom. The SQL layer resolves FROM through
+/// GetTable(), so a query over a computed table always sees live data.
 class Catalog {
  public:
+  /// Builds one materialization of a computed table. Must return a table
+  /// whose name() matches the registered name.
+  using TableBuilder = std::function<Table()>;
+
   Catalog() = default;
 
   Catalog(const Catalog&) = delete;
@@ -31,25 +41,43 @@ class Catalog {
   /// expected to surface this to the user as the Figure 4.28 dialog).
   Status CreateTable(Table table, bool replace = false);
 
+  /// Registers a computed (view-style) table: GetTable(name) re-runs
+  /// `builder` and returns the fresh materialization. Fails with
+  /// AlreadyExists when the name is taken by a stored or computed table
+  /// and `replace` is false. Computed tables are read-only:
+  /// GetMutableTable on one fails with FailedPrecondition.
+  Status RegisterComputed(const std::string& name, TableBuilder builder,
+                          bool replace = false);
+
   bool HasTable(const std::string& name) const;
 
-  /// Borrowed pointer, valid until the table is dropped or replaced.
+  /// True when `name` names a computed (read-only) table.
+  bool IsComputed(const std::string& name) const;
+
+  /// Borrowed pointer. For stored tables: valid until the table is
+  /// dropped or replaced. For computed tables: the builder runs and the
+  /// result is cached per name, so the pointer is valid until the next
+  /// GetTable() of the same name (or drop).
   Result<const Table*> GetTable(const std::string& name) const;
   Result<Table*> GetMutableTable(const std::string& name);
 
   Status DropTable(const std::string& name);
 
-  /// Drops every table: the "initialize database" operation of
-  /// Appendix III.2.1.
+  /// Drops every table, stored and computed: the "initialize database"
+  /// operation of Appendix III.2.1.
   void Initialize();
 
-  /// Names of all registered tables, sorted.
+  /// Names of all registered tables (stored + computed), sorted.
   std::vector<std::string> TableNames() const;
 
-  size_t NumTables() const { return tables_.size(); }
+  size_t NumTables() const { return tables_.size() + computed_.size(); }
 
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, TableBuilder> computed_;
+  // Last materialization per computed table; mutable so the const
+  // GetTable() can refresh it (caching is bookkeeping, not state).
+  mutable std::map<std::string, std::unique_ptr<Table>> computed_cache_;
 };
 
 }  // namespace gea::rel

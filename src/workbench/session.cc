@@ -4,6 +4,9 @@
 #include <filesystem>
 
 #include "core/serialization.h"
+#include "obs/export.h"
+#include "obs/log.h"
+#include "obs/server.h"
 #include "rel/sql.h"
 #include "rel/table_io.h"
 #include "sage/io.h"
@@ -16,6 +19,11 @@ AnalysisSession::AnalysisSession(const std::string& admin_name,
     : users_(admin_name, admin_password) {
   configuration_["db_path"] = "gea.db";
   configuration_["library_directory"] = "SageLibrary";
+  // Opt-in monitoring: a no-op unless GEA_MONITOR_PORT names a port.
+  obs::StartMonitorFromEnv();
+  // Stat views ride in every session's catalog so SQL can read telemetry:
+  //   SELECT name, value FROM gea_stat_counters ORDER BY value DESC
+  obs::RegisterStatViews(relations_);
 }
 
 // ---- Authentication ----
@@ -27,6 +35,7 @@ Status AnalysisSession::Login(const std::string& name,
                        users_.Authenticate(name, password, level));
   current_user_ = name;
   current_level_ = granted;
+  telemetry_.SetUser(name);
   return Status::OK();
 }
 
@@ -119,6 +128,7 @@ Status AnalysisSession::LoadDataSet(sage::SageDataSet dataset) {
 Status AnalysisSession::InitializeDatabase() {
   GEA_RETURN_IF_ERROR(RequireAdmin());
   relations_.Initialize();
+  obs::RegisterStatViews(relations_);  // Initialize() dropped the views
   enums_.clear();
   sumys_.clear();
   gaps_.clear();
@@ -321,6 +331,7 @@ Status AnalysisSession::LoadDatabase(const std::string& directory) {
   metadata_ = std::move(metadata);
   lineage_ = std::move(history);
   relations_.Initialize();
+  obs::RegisterStatViews(relations_);  // Initialize() dropped the views
   dataset_.reset();
   if (dataset.has_value()) {
     GEA_RETURN_IF_ERROR(InstallDataSet(std::move(*dataset)));
@@ -788,16 +799,56 @@ Result<std::vector<core::RangeSearchHit>> AnalysisSession::RangeSearchSumys(
     const std::vector<std::string>& sumy_names, sage::TagId first_tag,
     sage::TagId last_tag, interval::AllenRelation relation,
     const interval::Interval& query) const {
-  std::vector<const core::SumyTable*> tables;
-  tables.reserve(sumy_names.size());
-  for (const std::string& name : sumy_names) {
-    GEA_ASSIGN_OR_RETURN(const core::SumyTable* table, GetSumy(name));
-    tables.push_back(table);
-  }
-  return core::RangeSearch(tables, first_tag, last_tag, relation, query);
+  std::string detail = std::to_string(sumy_names.size()) + " tables, tags [" +
+                       std::to_string(first_tag) + ", " +
+                       std::to_string(last_tag) + "]";
+  return Logged("range_search", std::move(detail),
+                [&]() -> Result<std::vector<core::RangeSearchHit>> {
+                  std::vector<const core::SumyTable*> tables;
+                  tables.reserve(sumy_names.size());
+                  for (const std::string& name : sumy_names) {
+                    GEA_ASSIGN_OR_RETURN(const core::SumyTable* table,
+                                         GetSumy(name));
+                    tables.push_back(table);
+                  }
+                  return core::RangeSearch(tables, first_tag, last_tag,
+                                           relation, query);
+                });
 }
 
 // ---- Observability ----
+
+void AnalysisSession::ExportTelemetry(
+    const QueryLogEntry& entry, const obs::OperationProfile& profile) const {
+  const std::optional<uint64_t> slow_ms = obs::SlowQueryThresholdMs();
+  const bool slow =
+      slow_ms.has_value() && entry.elapsed_nanos >= *slow_ms * 1000000ull;
+
+  telemetry_.RecordOperation(entry.operation, entry.elapsed_nanos, entry.ok,
+                             slow);
+  obs::PublishProfile(profile);
+
+  if (!slow) return;
+  obs::LogRecord record(obs::LogLevel::kWarn, "slow_query");
+  record.Str("operation", entry.operation)
+      .Str("detail", entry.detail)
+      .F64("elapsed_ms", static_cast<double>(entry.elapsed_nanos) / 1e6)
+      .U64("threshold_ms", *slow_ms)
+      .Bool("ok", entry.ok);
+  if (!entry.ok) record.Str("error", entry.error);
+  if (current_user_.has_value()) record.Str("user", *current_user_);
+  if (!profile.counters.empty()) {
+    std::string counters = "{";
+    for (size_t i = 0; i < profile.counters.size(); ++i) {
+      if (i > 0) counters += ",";
+      counters += "\"" + obs::JsonEscape(profile.counters[i].name) +
+                  "\":" + std::to_string(profile.counters[i].delta);
+    }
+    counters += "}";
+    record.RawJson("counters", counters);
+  }
+  record.Emit();
+}
 
 Result<const obs::OperationProfile*> AnalysisSession::LastProfile() const {
   if (!last_profile_.has_value()) {

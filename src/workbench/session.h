@@ -19,6 +19,7 @@
 #include "core/populate.h"
 #include "interval/interval.h"
 #include "lineage/lineage.h"
+#include "obs/statviews.h"
 #include "obs/trace.h"
 #include "rel/catalog.h"
 #include "sage/dataset.h"
@@ -286,10 +287,18 @@ class AnalysisSession {
     const Status& status = StatusOf(result);
     entry.ok = status.ok();
     if (!status.ok()) entry.error = status.message();
+    ExportTelemetry(entry, profile);
     query_log_.push_back(std::move(entry));
     last_profile_ = std::move(profile);
     return result;
   }
+
+  /// Fans one finished operation out to the process-wide telemetry: the
+  /// TelemetryHub (gea_stat_operators / gea_stat_sessions), the /tracez
+  /// slot, and — when the operation is at or over GEA_SLOW_QUERY_MS —
+  /// one structured "slow_query" log record.
+  void ExportTelemetry(const QueryLogEntry& entry,
+                       const obs::OperationProfile& profile) const;
   /// Sets the data set and rebuilds the auxiliary relations without
   /// touching the lineage graph.
   Status InstallDataSet(sage::SageDataSet dataset);
@@ -305,6 +314,9 @@ class AnalysisSession {
                      const std::vector<std::string>& parent_names);
 
   UserDatabase users_;
+  /// Registration with the global TelemetryHub; keeps this session
+  /// visible in gea_stat_sessions for its lifetime (move-aware).
+  obs::SessionTelemetryHandle telemetry_;
   std::optional<std::string> current_user_;
   AccessLevel current_level_ = AccessLevel::kUser;
   std::map<std::string, std::string> configuration_;

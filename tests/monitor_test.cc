@@ -1,0 +1,255 @@
+// Tests for the monitoring endpoint (request routing + a real end-to-end
+// HTTP round trip on an ephemeral port) and the structured logging layer
+// (levels, the JSON record builder, the slow-query log).
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/server.h"
+#include "obs/trace.h"
+
+namespace gea::obs {
+namespace {
+
+// ---------- Structured logging ----------
+
+TEST(LogTest, LevelNamesAndDefaultThreshold) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "error");
+  // Default threshold is warn: warnings/errors flow, info/debug do not
+  // (unless GEA_LOG overrides; pin it for the assertion).
+  ScopedLogLevel as_default(LogLevel::kWarn);
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+}
+
+TEST(LogTest, ScopedLevelNests) {
+  ScopedLogLevel outer(LogLevel::kError);
+  EXPECT_FALSE(LogEnabled(LogLevel::kWarn));
+  {
+    ScopedLogLevel inner(LogLevel::kDebug);
+    EXPECT_TRUE(LogEnabled(LogLevel::kDebug));
+  }
+  EXPECT_FALSE(LogEnabled(LogLevel::kWarn));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+}
+
+TEST(LogTest, RecordRendersOneValidJsonLine) {
+  ScopedLogCapture capture;
+  LogRecord(LogLevel::kWarn, "unit_test")
+      .Str("key", "va\"lue")
+      .Int("neg", -5)
+      .U64("big", 18'000'000'000'000'000'000ull)
+      .F64("ratio", 0.25)
+      .Bool("flag", true)
+      .RawJson("nested", "{\"a\":1}")
+      .Emit();
+  const std::string out = capture.str();
+  ASSERT_FALSE(out.empty());
+  ASSERT_EQ(out.back(), '\n');
+  const std::string line = out.substr(0, out.size() - 1);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // exactly one line
+  std::string error;
+  EXPECT_TRUE(internal::ValidateJson(line, &error)) << error << "\n" << line;
+  EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(line.find("\"event\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(line.find("\"key\":\"va\\\"lue\""), std::string::npos);
+  EXPECT_NE(line.find("\"neg\":-5"), std::string::npos);
+  EXPECT_NE(line.find("\"big\":18000000000000000000"), std::string::npos);
+  EXPECT_NE(line.find("\"flag\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"nested\":{\"a\":1}"), std::string::npos);
+  EXPECT_NE(line.find("\"ts_ms\":"), std::string::npos);
+}
+
+TEST(LogTest, BelowThresholdRecordsAreFreeAndSilent) {
+  ScopedLogCapture capture(LogLevel::kError);
+  LogRecord(LogLevel::kInfo, "quiet").Str("k", "v").Emit();
+  EXPECT_TRUE(capture.str().empty());
+}
+
+TEST(LogTest, SlowQueryThresholdOverrides) {
+  // The scoped override wins over whatever the environment says.
+  ScopedSlowQueryMs slow(25);
+  ASSERT_TRUE(SlowQueryThresholdMs().has_value());
+  EXPECT_EQ(*SlowQueryThresholdMs(), 25u);
+  {
+    ScopedSlowQueryMs inner(std::nullopt);
+    EXPECT_FALSE(SlowQueryThresholdMs().has_value());
+  }
+  EXPECT_EQ(*SlowQueryThresholdMs(), 25u);
+}
+
+// ---------- Request routing (no sockets) ----------
+
+TEST(MonitorRoutingTest, ParseRequestPath) {
+  EXPECT_EQ(internal::ParseRequestPath("GET /healthz HTTP/1.1\r\n\r\n"),
+            "/healthz");
+  EXPECT_EQ(internal::ParseRequestPath("GET /statz?pretty=1 HTTP/1.1\r\n"),
+            "/statz");
+  EXPECT_EQ(internal::ParseRequestPath("POST /metrics HTTP/1.1\r\n"), "");
+  EXPECT_EQ(internal::ParseRequestPath("GET  HTTP/1.1"), "");
+  EXPECT_EQ(internal::ParseRequestPath("garbage"), "");
+}
+
+TEST(MonitorRoutingTest, RoutesAndPayloads) {
+  ScopedMetricsEnable metrics(true);
+  MetricsRegistry::Global().GetCounter("gea.test.monitor_route").Add(1);
+
+  internal::HttpResponse health = internal::HandlePath("/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  internal::HttpResponse prom = internal::HandlePath("/metrics");
+  EXPECT_EQ(prom.status, 200);
+  EXPECT_NE(prom.content_type.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(prom.body.find("# TYPE gea_test_monitor_route counter"),
+            std::string::npos);
+
+  internal::HttpResponse statz = internal::HandlePath("/statz");
+  EXPECT_EQ(statz.status, 200);
+  EXPECT_EQ(statz.content_type, "application/json");
+  std::string error;
+  EXPECT_TRUE(internal::ValidateJson(statz.body, &error)) << error;
+
+  EXPECT_EQ(internal::HandlePath("/nope").status, 404);
+}
+
+TEST(MonitorRoutingTest, TracezReflectsLastPublishedProfile) {
+  OperationProfile profile;
+  profile.operation = "populate";
+  profile.elapsed_nanos = 1234;
+  SpanRecord span;
+  span.id = 1;
+  span.name = "populate";
+  span.duration_nanos = 1000;
+  profile.spans.push_back(span);
+  profile.counters.push_back({"gea.populate.rows_materialized", 42});
+  PublishProfile(profile);
+
+  internal::HttpResponse tracez = internal::HandlePath("/tracez");
+  EXPECT_EQ(tracez.status, 200);
+  std::string error;
+  EXPECT_TRUE(internal::ValidateJson(tracez.body, &error)) << error;
+  EXPECT_NE(tracez.body.find("\"operation\":\"populate\""),
+            std::string::npos);
+  EXPECT_NE(tracez.body.find("\"gea.populate.rows_materialized\":42"),
+            std::string::npos);
+
+  std::optional<OperationProfile> last = LastPublishedProfile();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->operation, "populate");
+}
+
+// ---------- End-to-end over a real socket ----------
+
+/// Minimal blocking HTTP GET against 127.0.0.1:port.
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[2048];
+  for (;;) {  // server sends Connection: close, so read to EOF
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+std::string BodyOf(const std::string& response) {
+  const size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+TEST(MonitorServerTest, EndToEndOnEphemeralPort) {
+  ScopedMetricsEnable metrics(true);
+  MetricsRegistry::Global().GetCounter("gea.test.monitor_e2e").Add(3);
+
+  MonitorServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_TRUE(server.Running());
+  const int port = server.Port();
+  ASSERT_GT(port, 0);
+
+  // Starting again while running is refused.
+  EXPECT_TRUE(server.Start(0).IsFailedPrecondition());
+
+  const std::string health = HttpGet(port, "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_EQ(BodyOf(health), "ok\n");
+
+  const std::string prom = HttpGet(port, "/metrics");
+  EXPECT_NE(prom.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(prom.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const std::string prom_body = BodyOf(prom);
+  EXPECT_NE(prom_body.find("# TYPE gea_test_monitor_e2e counter"),
+            std::string::npos);
+  EXPECT_NE(prom_body.find("gea_test_monitor_e2e 3"), std::string::npos);
+
+  std::string error;
+  const std::string statz = BodyOf(HttpGet(port, "/statz"));
+  EXPECT_TRUE(internal::ValidateJson(statz, &error)) << error;
+  const std::string tracez = BodyOf(HttpGet(port, "/tracez"));
+  EXPECT_TRUE(internal::ValidateJson(tracez, &error)) << error;
+
+  EXPECT_NE(HttpGet(port, "/nope").find("HTTP/1.1 404"), std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.Running());
+  EXPECT_EQ(server.Port(), 0);
+  // Stop is idempotent, and the server can start again afterwards.
+  server.Stop();
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_NE(HttpGet(server.Port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(MonitorServerTest, StartRejectsBadPort) {
+  MonitorServer server;
+  EXPECT_TRUE(server.Start(-1).IsInvalidArgument());
+  EXPECT_TRUE(server.Start(70000).IsInvalidArgument());
+  EXPECT_FALSE(server.Running());
+}
+
+TEST(MonitorServerTest, StartMonitorFromEnvIsNoOpWithoutPort) {
+  // The test environment does not set GEA_MONITOR_PORT, so this must be
+  // an OK no-op and must not start the global server.
+  ASSERT_TRUE(StartMonitorFromEnv().ok());
+  EXPECT_FALSE(GlobalMonitor().Running());
+}
+
+}  // namespace
+}  // namespace gea::obs

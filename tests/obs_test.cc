@@ -116,6 +116,37 @@ TEST(HistogramTest, BucketIndexAndBounds) {
   EXPECT_EQ(Histogram::BucketIndex(~0ull), kHistogramBuckets - 1);
 }
 
+TEST(HistogramTest, BucketBoundariesPinned) {
+  // Pin the 48-bucket power-of-two mapping exactly: bucket i (for
+  // 1 <= i < 47) covers (2^(i-1), 2^i - 1]... meaning a value v lands in
+  // bucket bit_width(v), capped at 47.
+  for (size_t i = 1; i + 1 < kHistogramBuckets; ++i) {
+    const uint64_t power = 1ull << i;
+    // 2^i is the smallest value of bucket i+1; 2^i - 1 the largest of i.
+    EXPECT_EQ(Histogram::BucketIndex(power), i + 1) << "value 2^" << i;
+    EXPECT_EQ(Histogram::BucketIndex(power - 1), i) << "value 2^" << i
+                                                    << " - 1";
+  }
+  // The extremes.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(1ull << 47), kHistogramBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(~0ull), kHistogramBuckets - 1);
+
+  // Upper bounds: 0 for the zero bucket, 2^i - 1 in the middle, and the
+  // overflow bucket is unbounded (UINT64_MAX).
+  EXPECT_EQ(HistogramBucketUpperBound(0), 0u);
+  for (size_t i = 1; i + 1 < kHistogramBuckets; ++i) {
+    EXPECT_EQ(HistogramBucketUpperBound(i), (1ull << i) - 1) << "bucket " << i;
+  }
+  EXPECT_EQ(HistogramBucketUpperBound(kHistogramBuckets - 1), ~0ull);
+
+  // Round trip: every bucket's upper bound maps back into that bucket.
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketIndex(HistogramBucketUpperBound(i)), i);
+  }
+}
+
 TEST(HistogramTest, QuantilesFromBuckets) {
   ScopedMetricsEnable on(true);
   MetricsRegistry registry;
@@ -321,6 +352,54 @@ TEST(ExportTest, RenderPrometheusGolden) {
       "gea_test_nanos_sum 1010\n"
       "gea_test_nanos_count 2\n";
   EXPECT_EQ(RenderPrometheus(ExampleSnapshot()), expected);
+}
+
+TEST(ExportTest, PrometheusMetricNameSanitizes) {
+  // Legal names pass through untouched.
+  EXPECT_EQ(PrometheusMetricName("gea_rows_total"), "gea_rows_total");
+  EXPECT_EQ(PrometheusMetricName("ns:sub:metric"), "ns:sub:metric");
+  // Dots and dashes (the GEA house style) become underscores.
+  EXPECT_EQ(PrometheusMetricName("gea.populate.rows"), "gea_populate_rows");
+  EXPECT_EQ(PrometheusMetricName("cache-hit-rate"), "cache_hit_rate");
+  // Hostile characters: quotes, braces, spaces, newlines.
+  EXPECT_EQ(PrometheusMetricName("a\"b{c}d e\nf"), "a_b_c_d_e_f");
+  // A leading digit is illegal in the exposition grammar.
+  EXPECT_EQ(PrometheusMetricName("2fast"), "_2fast");
+  EXPECT_EQ(PrometheusMetricName(""), "_");
+}
+
+TEST(ExportTest, PrometheusLabelValueEscapes) {
+  EXPECT_EQ(PrometheusLabelValue("plain value"), "plain value");
+  EXPECT_EQ(PrometheusLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(PrometheusLabelValue("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(PrometheusLabelValue("two\nlines"), "two\\nlines");
+  EXPECT_EQ(PrometheusLabelValue("k=\"v\\n\""), "k=\\\"v\\\\n\\\"");
+}
+
+TEST(ExportTest, RenderPrometheusSanitizesHostileNames) {
+  ScopedMetricsEnable on(true);
+  MetricsRegistry registry;
+  registry.GetCounter("gea.weird-name\"x\nwith{braces}").Add(1);
+  registry.GetCounter("7starts.with.digit").Add(2);
+  const std::string out = RenderPrometheus(registry.Snapshot());
+  EXPECT_NE(out.find("# TYPE _7starts_with_digit counter\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("_7starts_with_digit 2\n"), std::string::npos);
+  EXPECT_NE(out.find("gea_weird_name_x_with_braces_ 1\n"), std::string::npos);
+  // Every line is either a comment or matches "name value" with a legal
+  // name: no raw quotes/newlines leaked out of the metric names.
+  size_t start = 0;
+  while (start < out.size()) {
+    const size_t nl = out.find('\n', start);
+    const std::string line = out.substr(start, nl - start);
+    if (line.rfind("# TYPE ", 0) != 0) {
+      const size_t space = line.find(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      const std::string name = line.substr(0, space);
+      EXPECT_EQ(PrometheusMetricName(name), name) << line;
+    }
+    start = nl + 1;
+  }
 }
 
 TEST(ExportTest, JsonEscape) {

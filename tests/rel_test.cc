@@ -377,8 +377,81 @@ TEST(CatalogTest, RedundancyCheck) {
 TEST(CatalogTest, InitializeDropsEverything) {
   Catalog catalog;
   ASSERT_TRUE(catalog.CreateTable(People()).ok());
+  ASSERT_TRUE(catalog.RegisterComputed("view", [] {
+    return Table("view", Schema({{"n", ValueType::kInt}}));
+  }).ok());
   catalog.Initialize();
   EXPECT_EQ(catalog.NumTables(), 0u);
+  EXPECT_FALSE(catalog.HasTable("view"));
+}
+
+// ---------- Computed (view-style) tables ----------
+
+Catalog::TableBuilder CountingBuilder(int* builds) {
+  return [builds] {
+    ++*builds;
+    Table t("view", Schema({{"n", ValueType::kInt}}));
+    t.AppendRowUnchecked({Value::Int(*builds)});
+    return t;
+  };
+}
+
+TEST(CatalogTest, ComputedTableRematerializesOnEveryRead) {
+  Catalog catalog;
+  int builds = 0;
+  ASSERT_TRUE(catalog.RegisterComputed("view", CountingBuilder(&builds)).ok());
+  EXPECT_TRUE(catalog.HasTable("view"));
+  EXPECT_TRUE(catalog.IsComputed("view"));
+  EXPECT_FALSE(catalog.IsComputed("people"));
+
+  Result<const Table*> first = catalog.GetTable("view");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ((*first)->At(0, 0).AsInt(), 1);
+  Result<const Table*> second = catalog.GetTable("view");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*second)->At(0, 0).AsInt(), 2);  // builder ran again
+  EXPECT_EQ(builds, 2);
+}
+
+TEST(CatalogTest, ComputedTableIsReadOnly) {
+  Catalog catalog;
+  int builds = 0;
+  ASSERT_TRUE(catalog.RegisterComputed("view", CountingBuilder(&builds)).ok());
+  EXPECT_TRUE(catalog.GetMutableTable("view").status().IsFailedPrecondition());
+}
+
+TEST(CatalogTest, ComputedTableNameConflicts) {
+  Catalog catalog;
+  int builds = 0;
+  ASSERT_TRUE(catalog.CreateTable(People()).ok());
+  // Stored name blocks a computed registration (and vice versa) without
+  // replace; with replace the older object is gone.
+  EXPECT_TRUE(catalog.RegisterComputed("people", CountingBuilder(&builds))
+                  .IsAlreadyExists());
+  ASSERT_TRUE(catalog
+                  .RegisterComputed("people", CountingBuilder(&builds),
+                                    /*replace=*/true)
+                  .ok());
+  EXPECT_TRUE(catalog.IsComputed("people"));
+  EXPECT_EQ(catalog.NumTables(), 1u);
+
+  Table stored("people", PeopleSchema());
+  EXPECT_TRUE(catalog.CreateTable(stored).IsAlreadyExists());
+  ASSERT_TRUE(catalog.CreateTable(std::move(stored), /*replace=*/true).ok());
+  EXPECT_FALSE(catalog.IsComputed("people"));
+}
+
+TEST(CatalogTest, ComputedTableDropAndRejects) {
+  Catalog catalog;
+  int builds = 0;
+  EXPECT_TRUE(catalog.RegisterComputed("", CountingBuilder(&builds))
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      catalog.RegisterComputed("view", nullptr).IsInvalidArgument());
+  ASSERT_TRUE(catalog.RegisterComputed("view", CountingBuilder(&builds)).ok());
+  EXPECT_TRUE(catalog.DropTable("view").ok());
+  EXPECT_FALSE(catalog.HasTable("view"));
+  EXPECT_TRUE(catalog.DropTable("view").IsNotFound());
 }
 
 // ---------- Table IO ----------

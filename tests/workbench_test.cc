@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/export.h"
+#include "obs/log.h"
 #include "sage/cleaning.h"
 #include "sage/generator.h"
 #include "workbench/session.h"
@@ -293,7 +295,12 @@ TEST_F(SessionTest, InitializeDatabaseClearsEverything) {
   AnalysisSession session = LoggedInSession();
   ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain).ok());
   ASSERT_TRUE(session.InitializeDatabase().ok());
-  EXPECT_EQ(session.Relations().NumTables(), 0u);
+  // Only the five built-in stat views survive; every stored relation is
+  // gone.
+  EXPECT_EQ(session.Relations().NumTables(), 5u);
+  for (const std::string& name : session.Relations().TableNames()) {
+    EXPECT_EQ(name.rfind("gea_stat_", 0), 0u) << name;
+  }
   EXPECT_TRUE(session.GetEnum("brain").status().IsNotFound());
   EXPECT_FALSE(session.DataSet().ok());
 }
@@ -409,6 +416,174 @@ TEST_F(SessionTest, ExplainLastOnPopulateThenDiffPipeline) {
     if (d.name == "gea.diff.tags_compared") tags_compared = d.delta;
   }
   EXPECT_EQ(tags_compared, (*s1)->NumTags() + (*s2)->NumTags());
+}
+
+TEST_F(SessionTest, ExplainLastOnMine) {
+  obs::ScopedMetricsEnable metrics(true);
+  obs::ScopedTraceEnable trace(true);
+
+  AnalysisSession session = LoggedInSession();
+  ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain).ok());
+  ASSERT_TRUE(session.GenerateMetadata("brain", 25.0, "meta").ok());
+  Result<std::vector<std::string>> fascicles = session.CalculateFascicles(
+      "brain", "meta", /*min_compact_tags=*/150, /*batch_size=*/6,
+      /*min_size=*/3, "brain150");
+  ASSERT_TRUE(fascicles.ok()) << fascicles.status().ToString();
+
+  Result<const obs::OperationProfile*> profile = session.LastProfile();
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ((*profile)->operation, "fascicles");
+  bool saw_mine_span = false;
+  for (const obs::SpanRecord& span : (*profile)->spans) {
+    if (span.name == "mine") saw_mine_span = true;
+  }
+  EXPECT_TRUE(saw_mine_span);
+  uint64_t mine_calls = 0, candidates = 0;
+  for (const obs::CounterDelta& d : (*profile)->counters) {
+    if (d.name == "gea.mine.calls") mine_calls = d.delta;
+    if (d.name == "gea.fascicles.candidates_evaluated") candidates = d.delta;
+  }
+  EXPECT_GE(mine_calls, 1u);
+  EXPECT_GE(candidates, 1u);
+
+  Result<std::string> explain = session.ExplainLast();
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("fascicles"), std::string::npos);
+  EXPECT_NE(explain->find("mine"), std::string::npos);
+  EXPECT_NE(explain->find("gea.mine.calls"), std::string::npos);
+}
+
+TEST_F(SessionTest, ExplainLastOnGapAndSumySelections) {
+  obs::ScopedMetricsEnable metrics(true);
+  obs::ScopedTraceEnable trace(true);
+
+  AnalysisSession session = LoggedInSession();
+  ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain).ok());
+  ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBreast).ok());
+  ASSERT_TRUE(session.Aggregate("brain", "brain_sumy").ok());
+  ASSERT_TRUE(session.Aggregate("breast", "breast_sumy").ok());
+  ASSERT_TRUE(session.CreateGap("brain_sumy", "breast_sumy", "g").ok());
+  ASSERT_TRUE(session
+                  .CompareGapTables("g", "g", core::GapCompareKind::kUnion,
+                                    "g_cmp")
+                  .ok());
+
+  // RunGapQuery runs the gap selection operator: "gap.select" span plus
+  // the tags_scanned/rows_kept counters.
+  ASSERT_TRUE(session
+                  .RunGapQuery("g_cmp",
+                               core::GapCompareQuery::kNonNullInBoth, "g_q5")
+                  .ok());
+  Result<const obs::OperationProfile*> gap_profile = session.LastProfile();
+  ASSERT_TRUE(gap_profile.ok());
+  EXPECT_EQ((*gap_profile)->operation, "gap_query");
+  bool saw_select_span = false;
+  for (const obs::SpanRecord& span : (*gap_profile)->spans) {
+    if (span.name == "gap.select") saw_select_span = true;
+  }
+  EXPECT_TRUE(saw_select_span);
+  uint64_t tags_scanned = 0;
+  for (const obs::CounterDelta& d : (*gap_profile)->counters) {
+    if (d.name == "gea.gap.select.tags_scanned") tags_scanned = d.delta;
+  }
+  EXPECT_GE(tags_scanned, 1u);
+  Result<std::string> explain = session.ExplainLast();
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("gap_query"), std::string::npos);
+  EXPECT_NE(explain->find("gap.select"), std::string::npos);
+
+  // RangeSearchSumys is a logged operation now: "range_search" with the
+  // sumy.range_search span and counter.
+  Result<const core::SumyTable*> sumy = session.GetSumy("brain_sumy");
+  ASSERT_TRUE(sumy.ok());
+  ASSERT_GT((*sumy)->NumTags(), 0u);
+  const core::SumyEntry& entry = (*sumy)->entry(0);
+  Result<std::vector<core::RangeSearchHit>> hits = session.RangeSearchSumys(
+      {"brain_sumy"}, entry.tag, entry.tag, interval::AllenRelation::kEquals,
+      {entry.min, entry.max});
+  ASSERT_TRUE(hits.ok());
+  Result<const obs::OperationProfile*> range_profile = session.LastProfile();
+  ASSERT_TRUE(range_profile.ok());
+  EXPECT_EQ((*range_profile)->operation, "range_search");
+  bool saw_range_span = false;
+  for (const obs::SpanRecord& span : (*range_profile)->spans) {
+    if (span.name == "sumy.range_search") saw_range_span = true;
+  }
+  EXPECT_TRUE(saw_range_span);
+  uint64_t range_calls = 0;
+  for (const obs::CounterDelta& d : (*range_profile)->counters) {
+    if (d.name == "gea.sumy.range_search.calls") range_calls = d.delta;
+  }
+  EXPECT_EQ(range_calls, 1u);
+  EXPECT_EQ(session.QueryLog().back().operation, "range_search");
+}
+
+TEST_F(SessionTest, SlowQueryLogEmitsStructuredRecord) {
+  obs::ScopedMetricsEnable metrics(true);
+  obs::ScopedLogCapture capture;   // threshold down to debug, buffered
+  obs::ScopedSlowQueryMs slow(0);  // every operation is "slow"
+
+  AnalysisSession session = LoggedInSession();
+  ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain).ok());
+
+  const std::string out = capture.str();
+  // Find the tissue_dataset slow-query record among the captured lines.
+  std::string record;
+  size_t start = 0;
+  while (start < out.size()) {
+    size_t nl = out.find('\n', start);
+    if (nl == std::string::npos) nl = out.size();
+    const std::string line = out.substr(start, nl - start);
+    if (line.find("\"event\":\"slow_query\"") != std::string::npos &&
+        line.find("\"operation\":\"tissue_dataset\"") != std::string::npos) {
+      record = line;
+    }
+    start = nl + 1;
+  }
+  ASSERT_FALSE(record.empty()) << out;
+  std::string error;
+  EXPECT_TRUE(obs::internal::ValidateJson(record, &error)) << error << "\n"
+                                                           << record;
+  EXPECT_NE(record.find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(record.find("\"detail\":\"brain\""), std::string::npos);
+  EXPECT_NE(record.find("\"elapsed_ms\":"), std::string::npos);
+  EXPECT_NE(record.find("\"threshold_ms\":0"), std::string::npos);
+  EXPECT_NE(record.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(record.find("\"user\":\"admin\""), std::string::npos);
+
+  // An operation that moves registry counters carries them in the
+  // record: populate reports rows_materialized (metrics are on).
+  ASSERT_TRUE(session.Aggregate("brain", "brain_sumy").ok());
+  ASSERT_TRUE(session.Populate("brain_sumy", "brain", "brain_pop").ok());
+  const std::string with_counters = capture.str();
+  size_t populate_at =
+      with_counters.find("\"operation\":\"populate\"");
+  ASSERT_NE(populate_at, std::string::npos);
+  const std::string populate_record = with_counters.substr(
+      with_counters.rfind('\n', populate_at) + 1,
+      with_counters.find('\n', populate_at) -
+          with_counters.rfind('\n', populate_at) - 1);
+  EXPECT_TRUE(obs::internal::ValidateJson(populate_record, &error))
+      << error << "\n" << populate_record;
+  EXPECT_NE(populate_record.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(populate_record.find("gea.populate.rows_materialized"),
+            std::string::npos);
+
+  // A failing operation logs ok:false with the error message.
+  EXPECT_FALSE(session.CreateGap("no_such", "tables", "g").ok());
+  const std::string after = capture.str();
+  EXPECT_NE(after.find("\"operation\":\"create_gap\""), std::string::npos);
+  EXPECT_NE(after.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(after.find("\"error\":"), std::string::npos);
+}
+
+TEST_F(SessionTest, SlowQueryLogSilentWhenDisabled) {
+  obs::ScopedLogCapture capture;
+  obs::ScopedSlowQueryMs off(std::nullopt);
+
+  AnalysisSession session = LoggedInSession();
+  ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain).ok());
+  EXPECT_EQ(capture.str().find("slow_query"), std::string::npos);
 }
 
 }  // namespace

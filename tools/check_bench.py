@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare a bench_operators --json run against a checked-in baseline.
+
+Both inputs are JSON-lines files as emitted by `bench_operators --json=PATH`:
+one object per line with at least {"name", "threads", "mean_ms"}.
+
+Usage:
+    check_bench.py BASELINE CURRENT [--threshold=0.25]
+
+Exits non-zero when any benchmark present in both files regressed by more
+than the threshold (current mean_ms > (1 + threshold) * baseline mean_ms).
+Benchmarks that appear in only one file are reported but never fatal, so
+adding or removing benchmarks does not break the comparison step.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    """Returns {name: record} from a JSON-lines bench file."""
+    out = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise SystemExit(f"{path}:{lineno}: bad JSON line: {err}")
+            name = record.get("name")
+            if not name or "mean_ms" not in record:
+                raise SystemExit(
+                    f"{path}:{lineno}: record needs 'name' and 'mean_ms'")
+            out[name] = record
+    if not out:
+        raise SystemExit(f"{path}: no benchmark records found")
+    return out
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional mean-time regression "
+                             "(default 0.25 = 25%%)")
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    regressions = []
+    width = max(len(n) for n in sorted(set(baseline) | set(current)))
+    print(f"{'benchmark':<{width}}  {'base ms':>10}  {'cur ms':>10}  delta")
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            print(f"{name:<{width}}  {'-':>10}  {cur['mean_ms']:>10.4f}  "
+                  "(new, not compared)")
+            continue
+        if cur is None:
+            print(f"{name:<{width}}  {base['mean_ms']:>10.4f}  {'-':>10}  "
+                  "(missing from current run)")
+            continue
+        if base.get("threads") != cur.get("threads"):
+            raise SystemExit(
+                f"{name}: thread counts differ "
+                f"(baseline {base.get('threads')}, current "
+                f"{cur.get('threads')}); rerun with the pinned --threads")
+        base_ms = float(base["mean_ms"])
+        cur_ms = float(cur["mean_ms"])
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        mark = ""
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, base_ms, cur_ms, ratio))
+            mark = "  REGRESSION"
+        print(f"{name:<{width}}  {base_ms:>10.4f}  {cur_ms:>10.4f}  "
+              f"{ratio:>5.2f}x{mark}")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, base_ms, cur_ms, ratio in regressions:
+            print(f"  {name}: {base_ms:.4f} ms -> {cur_ms:.4f} ms "
+                  f"({ratio:.2f}x)", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%}.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
