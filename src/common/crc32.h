@@ -1,0 +1,20 @@
+#ifndef GEA_COMMON_CRC32_H_
+#define GEA_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gea {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+/// the storage engine stamps on every snapshot section and WAL record so
+/// torn writes and bit rot are detected instead of silently replayed.
+///
+/// `seed` chains calls: Crc32(b, Crc32(a)) == Crc32(a + b).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace gea
+
+#endif  // GEA_COMMON_CRC32_H_

@@ -30,7 +30,26 @@ rel::Schema NameValueSchema() {
                       {"value", rel::ValueType::kInt}});
 }
 
+std::mutex& ProvidersMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+/// Extra views contributed by higher layers; leaked like the registry so
+/// static-init registration and static-teardown reads are both safe.
+std::map<std::string, std::function<rel::Table()>>& Providers() {
+  static auto* providers =
+      new std::map<std::string, std::function<rel::Table()>>();
+  return *providers;
+}
+
 }  // namespace
+
+void RegisterStatViewProvider(const std::string& name,
+                              std::function<rel::Table()> builder) {
+  std::lock_guard<std::mutex> lock(ProvidersMutex());
+  Providers()[name] = std::move(builder);
+}
 
 // ---- TelemetryHub ----
 
@@ -259,27 +278,44 @@ Result<rel::Table> BuildStatView(const std::string& name) {
   if (name == kStatThreadsView) {
     return StatThreadsTable(MetricsRegistry::Global().Snapshot());
   }
+  std::function<rel::Table()> builder;
+  {
+    std::lock_guard<std::mutex> lock(ProvidersMutex());
+    auto it = Providers().find(name);
+    if (it != Providers().end()) builder = it->second;
+  }
+  if (builder) return builder();
   return Status::NotFound("not a stat view: " + name);
 }
 
+namespace {
+
+/// Built-in names plus every registered provider name, in display order.
+std::vector<std::string> AllStatViewNames() {
+  std::vector<std::string> names = {kStatCountersView, kStatHistogramsView,
+                                    kStatOperatorsView, kStatSessionsView,
+                                    kStatThreadsView};
+  std::lock_guard<std::mutex> lock(ProvidersMutex());
+  for (const auto& [name, builder] : Providers()) names.push_back(name);
+  return names;
+}
+
+}  // namespace
+
 std::vector<rel::Table> AllStatViews() {
+  std::vector<std::string> names = AllStatViewNames();
   std::vector<rel::Table> out;
-  out.reserve(5);
-  for (const char* name :
-       {kStatCountersView, kStatHistogramsView, kStatOperatorsView,
-        kStatSessionsView, kStatThreadsView}) {
+  out.reserve(names.size());
+  for (const std::string& name : names) {
     out.push_back(*BuildStatView(name));
   }
   return out;
 }
 
 Status RegisterStatViews(rel::Catalog& catalog) {
-  for (const char* name :
-       {kStatCountersView, kStatHistogramsView, kStatOperatorsView,
-        kStatSessionsView, kStatThreadsView}) {
-    const std::string view = name;
+  for (const std::string& name : AllStatViewNames()) {
     Status status = catalog.RegisterComputed(
-        view, [view] { return *BuildStatView(view); }, /*replace=*/true);
+        name, [name] { return *BuildStatView(name); }, /*replace=*/true);
     if (!status.ok()) return status;
   }
   return Status::OK();

@@ -2,6 +2,7 @@
 #define GEA_OBS_STATVIEWS_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -30,6 +31,16 @@ inline constexpr const char* kStatHistogramsView = "gea_stat_histograms";
 inline constexpr const char* kStatOperatorsView = "gea_stat_operators";
 inline constexpr const char* kStatSessionsView = "gea_stat_sessions";
 inline constexpr const char* kStatThreadsView = "gea_stat_threads";
+/// Registered by gea_store (see below), present in any binary linking it.
+inline constexpr const char* kStatStorageView = "gea_stat_storage";
+
+/// Extension point: a higher layer contributes a stat view without obs
+/// linking against it (gea_store registers gea_stat_storage this way at
+/// static-init time). Registering a name again replaces its builder.
+/// Provider views ride along in BuildStatView / AllStatViews /
+/// RegisterStatViews / StatViewsJson exactly like the built-in five.
+void RegisterStatViewProvider(const std::string& name,
+                              std::function<rel::Table()> builder);
 
 /// Cumulative per-operator aggregates (populate, create_gap, ...) across
 /// every session of the process, pg_stat_statements-style.

@@ -35,6 +35,14 @@ Result<Table> TableFromCsv(const std::string& name,
   GEA_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(defs)));
   Table table(name, schema);
   for (const auto& record : doc.rows) {
+    // ParseCsv already rejects ragged records, but guard here too so a
+    // future CSV layer change cannot turn this into an out-of-bounds
+    // schema.column() access.
+    if (record.size() != schema.NumColumns()) {
+      return Status::InvalidArgument(
+          "row has " + std::to_string(record.size()) + " fields, schema has " +
+          std::to_string(schema.NumColumns()));
+    }
     Row row;
     row.reserve(record.size());
     for (size_t c = 0; c < record.size(); ++c) {

@@ -1,5 +1,7 @@
 #include "rel/value.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/strings.h"
@@ -125,18 +127,31 @@ Result<Value> Value::Parse(const std::string& text, ValueType type) {
     case ValueType::kNull:
       return Value::Null();
     case ValueType::kInt: {
+      errno = 0;
       char* end = nullptr;
       long long v = std::strtoll(text.c_str(), &end, 10);
       if (end == text.c_str() || *end != '\0') {
         return Status::InvalidArgument("cannot parse int: " + text);
       }
+      // strtoll clamps to LLONG_MIN/MAX on overflow; accepting that would
+      // silently change the stored value, so it is an error instead.
+      if (errno == ERANGE) {
+        return Status::InvalidArgument("int out of range: " + text);
+      }
       return Value::Int(v);
     }
     case ValueType::kDouble: {
+      errno = 0;
       char* end = nullptr;
       double v = std::strtod(text.c_str(), &end);
       if (end == text.c_str() || *end != '\0') {
         return Status::InvalidArgument("cannot parse double: " + text);
+      }
+      // Overflow ("1e999") turns finite input into infinity — reject it.
+      // Gradual underflow to a subnormal or zero keeps the sign and an
+      // honest approximation, so that stays accepted.
+      if (errno == ERANGE && std::isinf(v)) {
+        return Status::InvalidArgument("double out of range: " + text);
       }
       return Value::Double(v);
     }

@@ -1,0 +1,321 @@
+#include "store/engine.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/statviews.h"
+
+namespace gea::store {
+
+namespace {
+
+std::mutex g_summary_mu;
+RecoverySummary g_last_summary;  // guarded by g_summary_mu
+
+/// "123\n" -> 123; anything non-numeric -> nullopt.
+std::optional<uint64_t> ParseGeneration(std::string_view text) {
+  while (!text.empty() &&
+         (text.back() == '\n' || text.back() == '\r' || text.back() == ' ')) {
+    text.remove_suffix(1);
+  }
+  if (text.empty() || text.size() > 19) return std::nullopt;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+/// "snap-<N>.gea" -> N.
+std::optional<uint64_t> SnapshotGeneration(std::string_view name) {
+  constexpr std::string_view kPrefix = "snap-";
+  constexpr std::string_view kSuffix = ".gea";
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return std::nullopt;
+  if (name.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  if (name.substr(name.size() - kSuffix.size()) != kSuffix) return std::nullopt;
+  return ParseGeneration(
+      name.substr(kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size()));
+}
+
+}  // namespace
+
+std::string RecoverySummary::ToString() const {
+  std::string out = "recovered generation=" + std::to_string(generation);
+  out += snapshot_loaded
+             ? " snapshot_sections=" + std::to_string(snapshot_sections)
+             : " snapshot=none";
+  out += " wal_records=" + std::to_string(wal_records_replayed);
+  out += " wal_bytes=" + std::to_string(wal_bytes_replayed);
+  if (wal_torn_tail) {
+    out += " torn_tail_truncated=" + std::to_string(wal_bytes_truncated) + "B";
+  }
+  if (used_fallback_scan) out += " via_snapshot_scan";
+  return out;
+}
+
+void PublishRecoverySummary(const RecoverySummary& summary) {
+  std::lock_guard<std::mutex> lock(g_summary_mu);
+  g_last_summary = summary;
+}
+
+RecoverySummary LastRecoverySummary() {
+  std::lock_guard<std::mutex> lock(g_summary_mu);
+  return g_last_summary;
+}
+
+std::string StorageEngine::SnapshotPath(uint64_t generation) const {
+  return directory_ + "/snap-" + std::to_string(generation) + ".gea";
+}
+
+std::string StorageEngine::WalPath(uint64_t generation) const {
+  return directory_ + "/wal-" + std::to_string(generation) + ".log";
+}
+
+std::string StorageEngine::CurrentPath() const { return directory_ + "/CURRENT"; }
+
+Result<StorageEngine::OpenResult> StorageEngine::Open(
+    FileEnv* env, const std::string& directory, const StorageOptions& options) {
+  GEA_RETURN_IF_ERROR(env->CreateDirs(directory));
+
+  OpenResult result;
+  result.engine.reset(new StorageEngine(env, directory, options));
+  StorageEngine& engine = *result.engine;
+  RecoverySummary& summary = result.summary;
+  summary.directory = directory;
+
+  // Pick the committed generation. CURRENT is authoritative; if it is
+  // missing, or names a snapshot that will not decode, fall back to the
+  // highest snapshot on disk that does.
+  bool resolved = false;
+  if (env->FileExists(engine.CurrentPath())) {
+    auto current = env->ReadFileToString(engine.CurrentPath());
+    if (current.ok()) {
+      if (auto generation = ParseGeneration(*current)) {
+        if (*generation == 0) {
+          engine.generation_ = 0;
+          resolved = true;
+        } else {
+          auto snapshot = ReadSnapshotFile(env, engine.SnapshotPath(*generation));
+          if (snapshot.ok()) {
+            engine.generation_ = *generation;
+            result.snapshot = std::move(*snapshot);
+            resolved = true;
+          }
+        }
+      }
+    }
+  }
+  if (!resolved) {
+    GEA_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                         env->ListDirectory(directory));
+    // A brand-new (empty) directory is a normal bootstrap; anything else
+    // here means CURRENT was missing or unusable and we had to scan.
+    summary.used_fallback_scan = !names.empty();
+    std::vector<uint64_t> generations;
+    for (const std::string& name : names) {
+      if (auto generation = SnapshotGeneration(name)) {
+        generations.push_back(*generation);
+      }
+    }
+    std::sort(generations.rbegin(), generations.rend());
+    for (uint64_t generation : generations) {
+      auto snapshot = ReadSnapshotFile(env, engine.SnapshotPath(generation));
+      if (snapshot.ok()) {
+        engine.generation_ = generation;
+        result.snapshot = std::move(*snapshot);
+        break;
+      }
+    }
+    // No decodable snapshot at all: bootstrap at generation 0 and let
+    // the WAL (if any) carry the whole history.
+
+    // Repair CURRENT so it is authoritative from here on — otherwise
+    // every reopen of a bootstrap (or scan-recovered) directory would
+    // take this fallback path again.
+    GEA_RETURN_IF_ERROR(engine.WriteCurrentFile(engine.generation_));
+  }
+  summary.generation = engine.generation_;
+  if (result.snapshot.has_value()) {
+    summary.snapshot_loaded = true;
+    summary.snapshot_sections = result.snapshot->sections.size();
+  }
+
+  // Read the WAL tail and cut off any torn suffix so the file ends on a
+  // record boundary before we start appending after it.
+  const std::string wal_path = engine.WalPath(engine.generation_);
+  GEA_ASSIGN_OR_RETURN(WalReadResult wal, ReadWalFile(env, wal_path));
+  if (wal.torn_tail && wal.dropped_bytes > 0) {
+    GEA_ASSIGN_OR_RETURN(std::string raw, env->ReadFileToString(wal_path));
+    const std::string tmp = wal_path + ".tmp";
+    GEA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         env->NewWritableFile(tmp, /*truncate=*/true));
+    GEA_RETURN_IF_ERROR(
+        file->Append(std::string_view(raw).substr(0, wal.valid_bytes)));
+    GEA_RETURN_IF_ERROR(file->Sync());
+    GEA_RETURN_IF_ERROR(file->Close());
+    GEA_RETURN_IF_ERROR(env->RenameFile(tmp, wal_path));
+    GEA_RETURN_IF_ERROR(env->SyncDirectory(directory));
+  }
+  summary.wal_torn_tail = wal.torn_tail;
+  summary.wal_bytes_replayed = wal.valid_bytes;
+  summary.wal_bytes_truncated = wal.dropped_bytes;
+  for (WalRecord& record : wal.records) {
+    if (record.type == WalRecord::Type::kCheckpoint) continue;
+    result.records.push_back(std::move(record));
+  }
+  summary.wal_records_replayed = result.records.size();
+
+  GEA_ASSIGN_OR_RETURN(
+      engine.wal_, WalWriter::Open(env, wal_path, /*truncate=*/false,
+                                   options.sync_every_record));
+  engine.records_since_checkpoint_ = result.records.size();
+
+  // Sweep leftovers from interrupted checkpoints (best-effort).
+  if (auto names = env->ListDirectory(directory); names.ok()) {
+    for (const std::string& name : *names) {
+      const std::string path = directory + "/" + name;
+      if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp") {
+        (void)env->RemoveFile(path);
+        continue;
+      }
+      if (auto generation = SnapshotGeneration(name);
+          generation && *generation != engine.generation_) {
+        (void)env->RemoveFile(path);
+        (void)env->RemoveFile(directory + "/wal-" +
+                              std::to_string(*generation) + ".log");
+      }
+    }
+  }
+
+  static obs::Counter& replayed =
+      obs::MetricsRegistry::Global().GetCounter("gea.store.recovery_replayed");
+  replayed.Add(static_cast<int64_t>(result.records.size()));
+  PublishRecoverySummary(summary);
+  return result;
+}
+
+Status StorageEngine::Append(const WalRecord& record) {
+  if (!wal_) return Status::FailedPrecondition("storage engine is closed");
+  GEA_RETURN_IF_ERROR(wal_->Append(record));
+  records_since_checkpoint_ += 1;
+  return Status::OK();
+}
+
+bool StorageEngine::CheckpointDue() const {
+  return options_.checkpoint_every_records > 0 &&
+         records_since_checkpoint_ >= options_.checkpoint_every_records;
+}
+
+Status StorageEngine::Checkpoint(const SnapshotImage& image) {
+  const uint64_t next = generation_ + 1;
+
+  // 1. Publish the snapshot (atomic in WriteSnapshotFile).
+  GEA_RETURN_IF_ERROR(WriteSnapshotFile(env_, SnapshotPath(next), image));
+
+  // 2. Start the next WAL with a checkpoint marker; until CURRENT is
+  //    replaced this file is invisible to recovery.
+  GEA_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> next_wal,
+                       WalWriter::Open(env_, WalPath(next), /*truncate=*/true,
+                                       options_.sync_every_record));
+  WalRecord marker;
+  marker.type = WalRecord::Type::kCheckpoint;
+  marker.op = "checkpoint";
+  marker.params["generation"] = std::to_string(next);
+  GEA_RETURN_IF_ERROR(next_wal->Append(marker));
+  GEA_RETURN_IF_ERROR(next_wal->Sync());
+
+  // 3. Commit: CURRENT now names the new generation.
+  GEA_RETURN_IF_ERROR(WriteCurrentFile(next));
+
+  const uint64_t previous = generation_;
+  if (wal_) (void)wal_->Close();
+  wal_ = std::move(next_wal);
+  generation_ = next;
+  records_since_checkpoint_ = 0;
+
+  // 4. Retire the old generation (best-effort; recovery sweeps stragglers).
+  if (previous >= 1) (void)env_->RemoveFile(SnapshotPath(previous));
+  (void)env_->RemoveFile(WalPath(previous));
+
+  static obs::Counter& checkpoints =
+      obs::MetricsRegistry::Global().GetCounter("gea.store.checkpoints");
+  checkpoints.Add(1);
+  return Status::OK();
+}
+
+Status StorageEngine::WriteCurrentFile(uint64_t generation) {
+  const std::string tmp = CurrentPath() + ".tmp";
+  GEA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                       env_->NewWritableFile(tmp, /*truncate=*/true));
+  GEA_RETURN_IF_ERROR(file->Append(std::to_string(generation) + "\n"));
+  GEA_RETURN_IF_ERROR(file->Sync());
+  GEA_RETURN_IF_ERROR(file->Close());
+  GEA_RETURN_IF_ERROR(env_->RenameFile(tmp, CurrentPath()));
+  return env_->SyncDirectory(directory_);
+}
+
+Status StorageEngine::Close() {
+  if (!wal_) return Status::OK();
+  Status s = wal_->Close();
+  wal_.reset();
+  return s;
+}
+
+StorageEngine::~StorageEngine() { (void)Close(); }
+
+namespace {
+
+/// The gea_stat_storage view: the last recovery summary plus every
+/// gea.store.* counter and the fsync latency digest. Queryable like any
+/// other stat view and served on /statz:
+///   SELECT name, value FROM gea_stat_storage
+rel::Table StorageStatTable() {
+  rel::Table table(obs::kStatStorageView,
+                   rel::Schema({{"name", rel::ValueType::kString},
+                                {"value", rel::ValueType::kInt}}));
+  auto add = [&table](const std::string& name, uint64_t value) {
+    const uint64_t cap =
+        static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+    table.AppendRowUnchecked(
+        {rel::Value::String(name),
+         rel::Value::Int(static_cast<int64_t>(std::min(value, cap)))});
+  };
+  const RecoverySummary summary = LastRecoverySummary();
+  add("recovery.generation", summary.generation);
+  add("recovery.snapshot_loaded", summary.snapshot_loaded ? 1 : 0);
+  add("recovery.snapshot_sections", summary.snapshot_sections);
+  add("recovery.wal_records_replayed", summary.wal_records_replayed);
+  add("recovery.wal_bytes_replayed", summary.wal_bytes_replayed);
+  add("recovery.wal_bytes_truncated", summary.wal_bytes_truncated);
+  add("recovery.wal_torn_tail", summary.wal_torn_tail ? 1 : 0);
+  add("recovery.used_fallback_scan", summary.used_fallback_scan ? 1 : 0);
+
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  for (const obs::CounterValue& c : snapshot.counters) {
+    if (c.name.rfind("gea.store.", 0) == 0) add(c.name, c.value);
+  }
+  for (const obs::HistogramValue& h : snapshot.histograms) {
+    if (h.name.rfind("gea.store.", 0) != 0) continue;
+    add(h.name + ".count", h.count);
+    add(h.name + ".mean", static_cast<uint64_t>(h.Mean()));
+    add(h.name + ".p95", h.ApproxQuantile(0.95));
+  }
+  return table;
+}
+
+/// Static-init registration: any binary linking gea_store gets the view
+/// in RegisterStatViews / /statz automatically.
+const bool g_storage_view_registered = [] {
+  obs::RegisterStatViewProvider(obs::kStatStorageView, StorageStatTable);
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace gea::store

@@ -1,0 +1,117 @@
+#ifndef GEA_STORE_ENGINE_H_
+#define GEA_STORE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "store/file_env.h"
+#include "store/snapshot.h"
+#include "store/wal.h"
+
+namespace gea::store {
+
+/// Durable storage directory layout:
+///
+///   CURRENT        — text generation number, atomically replaced
+///   snap-<N>.gea   — full catalog snapshot for generation N (N >= 1)
+///   wal-<N>.log    — WAL with everything since snap-<N>
+///
+/// Generation 0 is the bootstrap state: no snapshot, only wal-0.log.
+/// A checkpoint writes snap-<N+1>, starts an empty wal-<N+1>, then
+/// commits by atomically replacing CURRENT; a crash at any point leaves
+/// either the old generation fully intact or the new one fully
+/// committed. Stale files from interrupted checkpoints are swept on the
+/// next open.
+
+struct StorageOptions {
+  /// fsync the WAL on every Append. Turning this off trades the
+  /// crash-durability of individual operations for throughput; data is
+  /// still made durable by Sync()/Checkpoint().
+  bool sync_every_record = true;
+
+  /// When > 0, CheckpointDue() turns true after this many WAL appends
+  /// since the last checkpoint. 0 means manual checkpoints only.
+  uint64_t checkpoint_every_records = 0;
+};
+
+/// What recovery found and did, reported up to the query log / statz.
+struct RecoverySummary {
+  std::string directory;
+  uint64_t generation = 0;
+  bool snapshot_loaded = false;
+  uint64_t snapshot_sections = 0;
+  uint64_t wal_records_replayed = 0;
+  uint64_t wal_bytes_replayed = 0;
+  uint64_t wal_bytes_truncated = 0;
+  bool wal_torn_tail = false;
+  bool used_fallback_scan = false;  // CURRENT missing/stale, scanned snaps
+
+  std::string ToString() const;
+};
+
+/// Process-wide last recovery, for the storage stat view.
+void PublishRecoverySummary(const RecoverySummary& summary);
+RecoverySummary LastRecoverySummary();
+
+class StorageEngine {
+ public:
+  struct OpenResult {
+    std::unique_ptr<StorageEngine> engine;
+    std::optional<SnapshotImage> snapshot;  // latest valid snapshot, if any
+    std::vector<WalRecord> records;         // WAL tail to replay, in order
+    RecoverySummary summary;
+  };
+
+  /// Opens (creating if needed) a storage directory and runs recovery:
+  /// picks the committed generation (CURRENT, falling back to a scan of
+  /// the highest decodable snapshot), loads its snapshot, reads the WAL
+  /// tail, truncates any torn suffix in place, and leaves the WAL open
+  /// for appends. Also publishes the recovery summary.
+  static Result<OpenResult> Open(FileEnv* env, const std::string& directory,
+                                 const StorageOptions& options);
+
+  /// Appends one record to the live WAL (fsynced per StorageOptions).
+  Status Append(const WalRecord& record);
+
+  /// Writes `image` as the next generation's snapshot, rotates the WAL,
+  /// and commits via CURRENT. On success the WAL is empty again.
+  Status Checkpoint(const SnapshotImage& image);
+
+  /// True when the automatic checkpoint threshold has been reached.
+  bool CheckpointDue() const;
+
+  Status Close();
+
+  uint64_t generation() const { return generation_; }
+  uint64_t records_since_checkpoint() const {
+    return records_since_checkpoint_;
+  }
+  const std::string& directory() const { return directory_; }
+
+  std::string SnapshotPath(uint64_t generation) const;
+  std::string WalPath(uint64_t generation) const;
+  std::string CurrentPath() const;
+
+  ~StorageEngine();
+
+ private:
+  StorageEngine(FileEnv* env, std::string directory, StorageOptions options)
+      : env_(env), directory_(std::move(directory)), options_(options) {}
+
+  Status WriteCurrentFile(uint64_t generation);
+
+  FileEnv* env_;
+  std::string directory_;
+  StorageOptions options_;
+  uint64_t generation_ = 0;
+  uint64_t records_since_checkpoint_ = 0;
+  std::unique_ptr<WalWriter> wal_;
+};
+
+}  // namespace gea::store
+
+#endif  // GEA_STORE_ENGINE_H_

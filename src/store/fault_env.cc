@@ -1,0 +1,193 @@
+#include "store/fault_env.h"
+
+#include <utility>
+
+namespace gea::store {
+
+namespace {
+
+Status KilledStatus() {
+  return Status::IoError("injected fault: storage environment is dead");
+}
+
+}  // namespace
+
+/// Buffers appends until Sync() so a kill loses unsynced data, the way a
+/// machine crash loses the page cache.
+class FaultInjectionWritableFile : public WritableFile {
+ public:
+  FaultInjectionWritableFile(FaultInjectionEnv* env,
+                             std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    switch (env_->NextFaultPoint()) {
+      case FaultInjectionEnv::Hit::kNone:
+        break;
+      case FaultInjectionEnv::Hit::kShortWrite:
+        // Half of the new data reaches the disk torn onto the unsynced
+        // tail; the rest (and everything after) is lost.
+        buffer_ += data.substr(0, data.size() / 2);
+        (void)base_->Append(buffer_);
+        (void)base_->Sync();
+        buffer_.clear();
+        return KilledStatus();
+      default:
+        return KilledStatus();
+    }
+    buffer_ += data;
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    switch (env_->NextFaultPoint()) {
+      case FaultInjectionEnv::Hit::kNone:
+        break;
+      case FaultInjectionEnv::Hit::kShortWrite: {
+        buffer_.resize(buffer_.size() / 2);
+        (void)base_->Append(buffer_);
+        (void)base_->Sync();
+        buffer_.clear();
+        return KilledStatus();
+      }
+      default:
+        return KilledStatus();
+    }
+    GEA_RETURN_IF_ERROR(Flush());
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    // A clean close flushes (the OS would eventually write it back); a
+    // dead env has crashed, so the buffer is simply dropped.
+    if (!env_->Killed()) GEA_RETURN_IF_ERROR(Flush());
+    return base_->Close();
+  }
+
+ private:
+  Status Flush() {
+    if (buffer_.empty()) return Status::OK();
+    Status s = base_->Append(buffer_);
+    buffer_.clear();
+    return s;
+  }
+
+  FaultInjectionEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+  std::string buffer_;
+};
+
+void FaultInjectionEnv::ArmFault(uint64_t fault_point, FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = true;
+  armed_point_ = fault_point;
+  armed_kind_ = kind;
+  ops_seen_ = 0;
+  killed_ = false;
+}
+
+void FaultInjectionEnv::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+  ops_seen_ = 0;
+  killed_ = false;
+}
+
+uint64_t FaultInjectionEnv::FaultPointsSeen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_seen_;
+}
+
+bool FaultInjectionEnv::Killed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return killed_;
+}
+
+FaultInjectionEnv::Hit FaultInjectionEnv::NextFaultPoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (killed_) return Hit::kDead;
+  const uint64_t point = ops_seen_++;
+  if (!armed_ || point != armed_point_) return Hit::kNone;
+  killed_ = true;
+  switch (armed_kind_) {
+    case FaultKind::kShortWrite:
+      return Hit::kShortWrite;
+    case FaultKind::kFailSync:
+      return Hit::kFailSync;
+    case FaultKind::kKill:
+      break;
+  }
+  return Hit::kKill;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  // A truncating open destroys data, so it is a fault point; an append
+  // open is not (it writes nothing by itself).
+  if (truncate) {
+    switch (NextFaultPoint()) {
+      case Hit::kNone:
+        break;
+      default:
+        return KilledStatus();
+    }
+  } else if (Killed()) {
+    return KilledStatus();
+  }
+  GEA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                       base_->NewWritableFile(path, truncate));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectionWritableFile>(this, std::move(base)));
+}
+
+Result<std::string> FaultInjectionEnv::ReadFileToString(
+    const std::string& path) {
+  return base_->ReadFileToString(path);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  switch (NextFaultPoint()) {
+    case Hit::kNone:
+      break;
+    default:
+      return KilledStatus();
+  }
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  switch (NextFaultPoint()) {
+    case Hit::kNone:
+      break;
+    default:
+      return KilledStatus();
+  }
+  return base_->RemoveFile(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectionEnv::CreateDirs(const std::string& path) {
+  if (Killed()) return KilledStatus();
+  return base_->CreateDirs(path);
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListDirectory(
+    const std::string& path) {
+  return base_->ListDirectory(path);
+}
+
+Status FaultInjectionEnv::SyncDirectory(const std::string& path) {
+  switch (NextFaultPoint()) {
+    case Hit::kNone:
+      break;
+    default:
+      return KilledStatus();
+  }
+  return base_->SyncDirectory(path);
+}
+
+}  // namespace gea::store

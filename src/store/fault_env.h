@@ -1,0 +1,83 @@
+#ifndef GEA_STORE_FAULT_ENV_H_
+#define GEA_STORE_FAULT_ENV_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "store/file_env.h"
+
+namespace gea::store {
+
+/// Test double that wraps a real FileEnv and injects storage faults at a
+/// chosen *fault point* — crash-recovery tests iterate the fault point
+/// over every mutating operation of a workload (the kill-point matrix).
+///
+/// Machine-crash semantics: appended data is buffered in memory and only
+/// reaches the wrapped env on Sync() (or a clean Close()), so at the kill
+/// point everything unsynced is simply gone — exactly what the page cache
+/// loses when the power goes. A short-write fault flushes a torn prefix
+/// of the unsynced tail first, modeling a partially persisted page.
+///
+/// Every mutating operation (Append, Sync, Rename, Remove, truncating
+/// open) counts as one fault point, in call order. Once the armed fault
+/// fires the env is dead: every later mutating call fails with IoError,
+/// like a killed process. Reads are passed through unfaulted so tests can
+/// inspect the surviving state, but the honest way to "reboot" is to
+/// reopen the directory with the wrapped env directly.
+class FaultInjectionEnv : public FileEnv {
+ public:
+  enum class FaultKind {
+    kKill,        // die before performing the operation
+    kShortWrite,  // flush a torn prefix of unsynced data, then die
+    kFailSync,    // the sync fails (nothing flushed), then die
+  };
+
+  explicit FaultInjectionEnv(FileEnv* base) : base_(base) {}
+
+  /// Arms the env: mutating operation number `fault_point` (0-based)
+  /// triggers `kind`. Call before the workload.
+  void ArmFault(uint64_t fault_point, FaultKind kind);
+
+  /// Disarms and revives; buffered unsynced data is discarded.
+  void Reset();
+
+  /// Mutating operations observed so far — run the workload once with no
+  /// armed fault to size the kill-point matrix.
+  uint64_t FaultPointsSeen() const;
+
+  bool Killed() const;
+
+  // ---- FileEnv ----
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  Result<std::vector<std::string>> ListDirectory(
+      const std::string& path) override;
+  Status SyncDirectory(const std::string& path) override;
+
+ private:
+  friend class FaultInjectionWritableFile;
+
+  /// Returns the fault to fire at this point (or nullopt), advancing the
+  /// operation counter. IoError once dead.
+  enum class Hit { kNone, kDead, kKill, kShortWrite, kFailSync };
+  Hit NextFaultPoint();
+
+  FileEnv* base_;
+  mutable std::mutex mu_;
+  uint64_t ops_seen_ = 0;
+  uint64_t armed_point_ = 0;
+  bool armed_ = false;
+  FaultKind armed_kind_ = FaultKind::kKill;
+  bool killed_ = false;
+};
+
+}  // namespace gea::store
+
+#endif  // GEA_STORE_FAULT_ENV_H_

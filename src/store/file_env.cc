@@ -1,0 +1,151 @@
+#include "store/file_env.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace gea::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// O_APPEND writer over a raw fd; fsync latency feeds the storage
+/// histogram so /statz can report durability cost.
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::FailedPrecondition("file closed: " + path_);
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", path_);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::FailedPrecondition("file closed: " + path_);
+    static obs::Histogram& fsync_nanos =
+        obs::MetricsRegistry::Global().GetHistogram("gea.store.fsync_nanos");
+    obs::ScopedLatency latency(fsync_nanos);
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close", path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixFileEnv : public FileEnv {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("open", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IoError("cannot open file for reading: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) return Status::IoError("read failed: " + path);
+    return buffer.str();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from + " -> " + to);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec) return Status::IoError("cannot create directory: " + path);
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDirectory(
+      const std::string& path) override {
+    std::error_code ec;
+    fs::directory_iterator it(path, ec);
+    if (ec) return Status::IoError("cannot list directory: " + path);
+    std::vector<std::string> names;
+    for (const fs::directory_entry& entry : it) {
+      names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status SyncDirectory(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return ErrnoStatus("open dir", path);
+    int rc = ::fsync(fd);
+    ::close(fd);
+    // Some file systems refuse directory fsync; rename durability is then
+    // best-effort, matching what a CSV dump offered.
+    if (rc != 0 && errno != EINVAL && errno != ENOTSUP) {
+      return ErrnoStatus("fsync dir", path);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+FileEnv* FileEnv::Default() {
+  static FileEnv* env = new PosixFileEnv();
+  return env;
+}
+
+}  // namespace gea::store

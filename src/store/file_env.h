@@ -1,0 +1,71 @@
+#ifndef GEA_STORE_FILE_ENV_H_
+#define GEA_STORE_FILE_ENV_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace gea::store {
+
+/// A sequential-append file handle. The storage engine's durability
+/// contract is expressed entirely through this interface: data passed to
+/// Append() is *committed* only once a subsequent Sync() returns OK
+/// (fsync semantics — a crash before the sync may lose or tear it).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Durability barrier (fsync). Everything appended so far survives a
+  /// crash once this returns OK.
+  virtual Status Sync() = 0;
+
+  /// Flushes and releases the handle. Close() alone is NOT a durability
+  /// barrier.
+  virtual Status Close() = 0;
+};
+
+/// Narrow file-system abstraction wrapping the POSIX calls the storage
+/// engine needs (the RocksDB/LevelDB Env idiom). Production code uses
+/// Default(); crash tests substitute a FaultInjectionEnv (fault_env.h)
+/// that tears writes, fails fsync and kills the "process" at chosen
+/// operation indices.
+class FileEnv {
+ public:
+  virtual ~FileEnv() = default;
+
+  /// `truncate` starts the file empty; otherwise opens for append,
+  /// creating it if needed.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  /// Atomic replace (POSIX rename). The write-tmp-then-rename idiom makes
+  /// snapshot publication atomic.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  /// Plain file names (not paths) in `path`, sorted.
+  virtual Result<std::vector<std::string>> ListDirectory(
+      const std::string& path) = 0;
+
+  /// fsyncs the directory itself so renames/creates within it are durable.
+  virtual Status SyncDirectory(const std::string& path) = 0;
+
+  /// The process-wide POSIX implementation (leaked at exit).
+  static FileEnv* Default();
+};
+
+}  // namespace gea::store
+
+#endif  // GEA_STORE_FILE_ENV_H_

@@ -1,0 +1,221 @@
+#include "store/format.h"
+
+#include <cstring>
+
+#include "rel/schema.h"
+#include "rel/value.h"
+
+namespace gea::store {
+
+namespace {
+
+Status Truncated(const char* what) {
+  return Status::OutOfRange(std::string("truncated encoding: ") + what);
+}
+
+}  // namespace
+
+void PutU8(std::string* dst, uint8_t v) {
+  dst->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* dst, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    dst->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(std::string* dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    dst->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutI64(std::string* dst, int64_t v) {
+  PutU64(dst, static_cast<uint64_t>(v));
+}
+
+void PutF64(std::string* dst, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(dst, bits);
+}
+
+void PutString(std::string* dst, std::string_view v) {
+  PutU32(dst, static_cast<uint32_t>(v.size()));
+  dst->append(v.data(), v.size());
+}
+
+Result<uint8_t> ByteReader::ReadU8() {
+  if (remaining() < 1) return Truncated("u8");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> ByteReader::ReadU32() {
+  if (remaining() < 4) return Truncated("u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::ReadU64() {
+  if (remaining() < 8) return Truncated("u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> ByteReader::ReadI64() {
+  GEA_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ByteReader::ReadF64() {
+  GEA_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> ByteReader::ReadString() {
+  GEA_ASSIGN_OR_RETURN(uint32_t size, ReadU32());
+  if (remaining() < size) return Truncated("string body");
+  std::string out(data_.substr(pos_, size));
+  pos_ += size;
+  return out;
+}
+
+namespace {
+
+// Cell type tags. Distinct from rel::ValueType's numeric values on
+// purpose: the on-disk format is frozen here, the enum is not.
+constexpr uint8_t kCellNull = 0;
+constexpr uint8_t kCellInt = 1;
+constexpr uint8_t kCellDouble = 2;
+constexpr uint8_t kCellString = 3;
+
+uint8_t ColumnTypeTag(rel::ValueType type) {
+  switch (type) {
+    case rel::ValueType::kNull:
+      return kCellNull;
+    case rel::ValueType::kInt:
+      return kCellInt;
+    case rel::ValueType::kDouble:
+      return kCellDouble;
+    case rel::ValueType::kString:
+      return kCellString;
+  }
+  return kCellNull;
+}
+
+Result<rel::ValueType> ColumnTypeFromTag(uint8_t tag) {
+  switch (tag) {
+    case kCellNull:
+      return rel::ValueType::kNull;
+    case kCellInt:
+      return rel::ValueType::kInt;
+    case kCellDouble:
+      return rel::ValueType::kDouble;
+    case kCellString:
+      return rel::ValueType::kString;
+  }
+  return Status::InvalidArgument("unknown column type tag: " +
+                                 std::to_string(tag));
+}
+
+}  // namespace
+
+std::string EncodeTable(const rel::Table& table) {
+  std::string out;
+  PutString(&out, table.name());
+  PutU32(&out, static_cast<uint32_t>(table.schema().NumColumns()));
+  for (const rel::ColumnDef& col : table.schema().columns()) {
+    PutString(&out, col.name);
+    PutU8(&out, ColumnTypeTag(col.type));
+  }
+  PutU64(&out, table.NumRows());
+  for (const rel::Row& row : table.rows()) {
+    for (const rel::Value& v : row) {
+      switch (v.type()) {
+        case rel::ValueType::kNull:
+          PutU8(&out, kCellNull);
+          break;
+        case rel::ValueType::kInt:
+          PutU8(&out, kCellInt);
+          PutI64(&out, v.AsInt());
+          break;
+        case rel::ValueType::kDouble:
+          PutU8(&out, kCellDouble);
+          PutF64(&out, v.AsDouble());
+          break;
+        case rel::ValueType::kString:
+          PutU8(&out, kCellString);
+          PutString(&out, v.AsString());
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<rel::Table> DecodeTable(std::string_view data) {
+  ByteReader reader(data);
+  GEA_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+  GEA_ASSIGN_OR_RETURN(uint32_t num_columns, reader.ReadU32());
+  std::vector<rel::ColumnDef> defs;
+  defs.reserve(num_columns);
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    GEA_ASSIGN_OR_RETURN(std::string col_name, reader.ReadString());
+    GEA_ASSIGN_OR_RETURN(uint8_t tag, reader.ReadU8());
+    GEA_ASSIGN_OR_RETURN(rel::ValueType type, ColumnTypeFromTag(tag));
+    defs.push_back({std::move(col_name), type});
+  }
+  GEA_ASSIGN_OR_RETURN(rel::Schema schema, rel::Schema::Create(std::move(defs)));
+  rel::Table table(name, schema);
+  GEA_ASSIGN_OR_RETURN(uint64_t num_rows, reader.ReadU64());
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    rel::Row row;
+    row.reserve(num_columns);
+    for (uint32_t c = 0; c < num_columns; ++c) {
+      GEA_ASSIGN_OR_RETURN(uint8_t tag, reader.ReadU8());
+      switch (tag) {
+        case kCellNull:
+          row.push_back(rel::Value::Null());
+          break;
+        case kCellInt: {
+          GEA_ASSIGN_OR_RETURN(int64_t v, reader.ReadI64());
+          row.push_back(rel::Value::Int(v));
+          break;
+        }
+        case kCellDouble: {
+          GEA_ASSIGN_OR_RETURN(double v, reader.ReadF64());
+          row.push_back(rel::Value::Double(v));
+          break;
+        }
+        case kCellString: {
+          GEA_ASSIGN_OR_RETURN(std::string v, reader.ReadString());
+          row.push_back(rel::Value::String(std::move(v)));
+          break;
+        }
+        default:
+          return Status::InvalidArgument("unknown cell tag: " +
+                                         std::to_string(tag));
+      }
+    }
+    GEA_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
+  }
+  if (!reader.Done()) {
+    return Status::InvalidArgument("trailing bytes after table encoding");
+  }
+  return table;
+}
+
+}  // namespace gea::store

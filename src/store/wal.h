@@ -1,0 +1,96 @@
+#ifndef GEA_STORE_WAL_H_
+#define GEA_STORE_WAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "store/file_env.h"
+
+namespace gea::store {
+
+/// Append-only write-ahead log. Each record is framed as
+///
+///   u32 payload length
+///   u32 payload CRC32
+///   payload: u8 type tag, string op, u32 param count,
+///            (string key, string value)*, string payload blob
+///
+/// all little-endian (format.h primitives). Readers stop at the first
+/// frame whose length or CRC does not check out — everything before it
+/// is the durable prefix, everything after is a torn tail from a crash
+/// mid-append and is discarded by recovery.
+///
+/// Two record families share the format:
+///   kLogicalOp — an operator invocation (mine/populate/aggregate/diff,
+///     ...) with its parameters; replay re-executes it through the
+///     normal engine, which is deterministic, so the same log always
+///     rebuilds the same catalog.
+///   kBlob — a physical payload too large or too external to re-derive
+///     (e.g. an imported SAGE data set), carried verbatim.
+///   kCheckpoint — a marker written right after a snapshot rotation;
+///     never replayed, useful for forensics on retained logs.
+
+struct WalRecord {
+  enum class Type : uint8_t { kLogicalOp = 1, kBlob = 2, kCheckpoint = 3 };
+
+  Type type = Type::kLogicalOp;
+  std::string op;                           // operator or blob kind
+  std::map<std::string, std::string> params;  // deterministic encoding order
+  std::string payload;                      // blob body, empty for logical ops
+
+  static WalRecord LogicalOp(std::string op,
+                             std::map<std::string, std::string> params);
+  static WalRecord BlobRecord(std::string op, std::string payload);
+};
+
+/// Framed bytes for a single record, exactly as appended to the log.
+std::string EncodeWalRecord(const WalRecord& record);
+Result<WalRecord> DecodeWalRecordBody(std::string_view body);
+
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;    // durable prefix length
+  uint64_t dropped_bytes = 0;  // torn tail length (file size - valid)
+  bool torn_tail = false;      // true when a partial/corrupt frame was cut
+};
+
+/// Scans a log file, returning every intact record plus where the
+/// durable prefix ends. A missing file is an empty log, not an error;
+/// any other read failure is.
+Result<WalReadResult> ReadWalFile(FileEnv* env, const std::string& path);
+
+/// Appender. With sync_every_record (the default) each Append is
+/// fsynced before returning, which is the durability contract the
+/// session relies on: an acknowledged operation survives a crash.
+class WalWriter {
+ public:
+  static Result<std::unique_ptr<WalWriter>> Open(FileEnv* env,
+                                                 const std::string& path,
+                                                 bool truncate,
+                                                 bool sync_every_record);
+
+  Status Append(const WalRecord& record);
+  Status Sync();
+  Status Close();
+
+  uint64_t records() const { return records_; }
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, bool sync_every_record)
+      : file_(std::move(file)), sync_every_record_(sync_every_record) {}
+
+  std::unique_ptr<WritableFile> file_;
+  bool sync_every_record_;
+  uint64_t records_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace gea::store
+
+#endif  // GEA_STORE_WAL_H_

@@ -1,6 +1,7 @@
 #include "workbench/session.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 
 #include "core/serialization.h"
@@ -122,7 +123,7 @@ Status AnalysisSession::LoadDataSet(sage::SageDataSet dataset) {
   RecordLineage("SAGE", lineage::NodeKind::kDataSet, "load",
                 {{"libraries", std::to_string(dataset_->NumLibraries())}},
                 {});
-  return Status::OK();
+  return WalLogDataSet();
 }
 
 Status AnalysisSession::InitializeDatabase() {
@@ -135,7 +136,7 @@ Status AnalysisSession::InitializeDatabase() {
   metadata_.clear();
   dataset_.reset();
   lineage_ = lineage::LineageGraph();
-  return Status::OK();
+  return WalOp("initialize", {});
 }
 
 Result<const sage::SageDataSet*> AnalysisSession::DataSet() const {
@@ -157,6 +158,16 @@ Status EnsureDirectory(const std::string& path) {
   }
   return Status::OK();
 }
+
+/// WAL parameter renderings; replay parses these back with strtod /
+/// string compare, so doubles use a round-trip-exact format.
+std::string WalDouble(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+const char* WalBool(bool v) { return v ? "1" : "0"; }
 
 /// Table names double as file names; refuse path-breaking characters.
 Status CheckFileSafe(const std::string& name) {
@@ -211,6 +222,21 @@ Status AnalysisSession::SaveDatabase(const std::string& directory) const {
         {rel::Value::String(name), rel::Value::String("gap")});
   }
 
+  // Stored auxiliary relations. Computed tables (the gea_stat_* telemetry
+  // views) are live materializations, not data — persisting one would
+  // freeze a counter sample into the database and shadow the real view on
+  // reload, so they are skipped.
+  GEA_RETURN_IF_ERROR(EnsureDirectory(directory + "/relations"));
+  for (const std::string& name : relations_.TableNames()) {
+    if (relations_.IsComputed(name)) continue;
+    GEA_RETURN_IF_ERROR(CheckFileSafe(name));
+    GEA_ASSIGN_OR_RETURN(const rel::Table* table, relations_.GetTable(name));
+    GEA_RETURN_IF_ERROR(
+        rel::SaveTable(*table, directory + "/relations/" + name + ".csv"));
+    manifest.AppendRowUnchecked(
+        {rel::Value::String(name), rel::Value::String("relation")});
+  }
+
   // Tolerance metadata vectors.
   GEA_RETURN_IF_ERROR(EnsureDirectory(directory + "/metadata"));
   for (const auto& [name, tolerances] : metadata_) {
@@ -256,7 +282,12 @@ Status AnalysisSession::LoadDatabase(const std::string& directory) {
   std::map<std::string, core::EnumTable> enums;
   std::map<std::string, core::SumyTable> sumys;
   std::map<std::string, core::GapTable> gaps;
+  std::vector<rel::Table> stored_relations;
   for (const rel::Row& row : manifest.rows()) {
+    if (row.size() != 2 || row[0].type() != rel::ValueType::kString ||
+        row[1].type() != rel::ValueType::kString) {
+      return Status::InvalidArgument("malformed manifest row in " + directory);
+    }
     const std::string& name = row[0].AsString();
     const std::string& kind = row[1].AsString();
     GEA_RETURN_IF_ERROR(CheckFileSafe(name));
@@ -285,6 +316,11 @@ Status AnalysisSession::LoadDatabase(const std::string& directory) {
       GEA_ASSIGN_OR_RETURN(core::GapTable table,
                            core::GapFromRelTable(data, name));
       gaps.emplace(name, std::move(table));
+    } else if (kind == "relation") {
+      GEA_ASSIGN_OR_RETURN(
+          rel::Table data,
+          rel::LoadTable(name, directory + "/relations/" + name + ".csv"));
+      stored_relations.push_back(std::move(data));
     } else {
       return Status::InvalidArgument("unknown manifest kind: " + kind);
     }
@@ -300,6 +336,10 @@ Status AnalysisSession::LoadDatabase(const std::string& directory) {
                            rel::LoadTable(name, entry.path().string()));
       std::vector<double> tolerances(table.NumRows(), 0.0);
       for (const rel::Row& row : table.rows()) {
+        if (row.size() != 2 || row[0].type() != rel::ValueType::kInt ||
+            row[1].type() != rel::ValueType::kDouble) {
+          return Status::InvalidArgument("malformed metadata row in " + name);
+        }
         size_t index = static_cast<size_t>(row[0].AsInt());
         if (index >= tolerances.size()) {
           return Status::InvalidArgument("bad metadata index in " + name);
@@ -332,9 +372,20 @@ Status AnalysisSession::LoadDatabase(const std::string& directory) {
   lineage_ = std::move(history);
   relations_.Initialize();
   obs::RegisterStatViews(relations_);  // Initialize() dropped the views
+  for (rel::Table& table : stored_relations) {
+    GEA_RETURN_IF_ERROR(
+        relations_.CreateTable(std::move(table), /*replace=*/true));
+  }
   dataset_.reset();
   if (dataset.has_value()) {
+    // InstallDataSet rebuilds the dataset-derived relations, replacing
+    // the file copies with identical fresh ones.
     GEA_RETURN_IF_ERROR(InstallDataSet(std::move(*dataset)));
+  }
+  // A bulk load replaces state the WAL knows nothing about, so the
+  // storage directory (when attached) gets a full snapshot right away.
+  if (storage_ != nullptr && !replaying_wal_) {
+    GEA_RETURN_IF_ERROR(storage_->Checkpoint(BuildSnapshotImage()));
   }
   return Status::OK();
 }
@@ -394,7 +445,8 @@ Status AnalysisSession::CreateTissueDataSet(sage::TissueType tissue,
     enums_.emplace(name, core::EnumTable::FromDataSet(name, slice));
     RecordLineage(name, lineage::NodeKind::kDataSet, "tissue_dataset",
                   {{"tissue", name}}, {"SAGE"});
-    return Status::OK();
+    return WalOp("tissue_dataset",
+                 {{"tissue", name}, {"replace", WalBool(replace)}});
   });
 }
 
@@ -409,7 +461,14 @@ Status AnalysisSession::CreateCustomDataSet(const std::string& name,
     enums_.emplace(name, core::EnumTable::FromDataSet(name, slice));
     RecordLineage(name, lineage::NodeKind::kDataSet, "custom_dataset",
                   {{"libraries", std::to_string(ids.size())}}, {"SAGE"});
-    return Status::OK();
+    std::string ids_text;
+    for (int id : ids) {
+      if (!ids_text.empty()) ids_text += ',';
+      ids_text += std::to_string(id);
+    }
+    return WalOp("custom_dataset", {{"name", name},
+                                    {"ids", ids_text},
+                                    {"replace", WalBool(replace)}});
   });
 }
 
@@ -457,7 +516,10 @@ Status AnalysisSession::GenerateMetadata(const std::string& dataset_name,
     }
     GEA_ASSIGN_OR_RETURN(const core::EnumTable* input, GetEnum(dataset_name));
     metadata_[meta_name] = core::MakeToleranceMetadata(*input, percent);
-    return Status::OK();
+    return WalOp("generate_metadata", {{"dataset", dataset_name},
+                                       {"percent", WalDouble(percent)},
+                                       {"meta", meta_name},
+                                       {"replace", WalBool(replace)}});
   });
 }
 
@@ -506,6 +568,15 @@ Result<std::vector<std::string>> AnalysisSession::CalculateFascicles(
                   {}, {name});
     names.push_back(name);
   }
+  GEA_RETURN_IF_ERROR(WalOp(
+      "fascicles",
+      {{"dataset", dataset_name},
+       {"meta", meta_name},
+       {"min_compact_tags", std::to_string(min_compact_tags)},
+       {"batch_size", std::to_string(batch_size)},
+       {"min_size", std::to_string(min_size)},
+       {"out_prefix", out_prefix},
+       {"algorithm", std::to_string(static_cast<int>(algorithm))}}));
   return names;
   });
 }
@@ -592,6 +663,8 @@ Result<AnalysisSession::ControlGroups> AnalysisSession::FormControlGroups(
                 {dataset_name, fascicle_enum});
   RecordLineage(names.opposite_sumy, lineage::NodeKind::kSumy, "aggregate",
                 {}, {names.opposite_enum});
+  GEA_RETURN_IF_ERROR(WalOp("control_groups", {{"dataset", dataset_name},
+                                               {"fascicle", fascicle_enum}}));
   return names;
   });
 }
@@ -609,7 +682,9 @@ Status AnalysisSession::Aggregate(const std::string& enum_name,
     sumys_.emplace(out_name, std::move(sumy));
     RecordLineage(out_name, lineage::NodeKind::kSumy, "aggregate", {},
                   {enum_name});
-    return Status::OK();
+    return WalOp("aggregate", {{"enum", enum_name},
+                               {"out", out_name},
+                               {"replace", WalBool(replace)}});
   });
 }
 
@@ -629,7 +704,10 @@ Status AnalysisSession::Populate(const std::string& sumy_name,
     RecordLineage(out_name, lineage::NodeKind::kEnum, "populate",
                   {{"sumy", sumy_name}, {"base", base_enum}},
                   {sumy_name, base_enum});
-    return Status::OK();
+    return WalOp("populate", {{"sumy", sumy_name},
+                              {"base", base_enum},
+                              {"out", out_name},
+                              {"replace", WalBool(replace)}});
   });
 }
 
@@ -651,7 +729,10 @@ Status AnalysisSession::CreateGap(const std::string& sumy1_name,
     RecordLineage(gap_name, lineage::NodeKind::kGap, "diff",
                   {{"sumy1", sumy1_name}, {"sumy2", sumy2_name}},
                   {sumy1_name, sumy2_name});
-    return Status::OK();
+    return WalOp("create_gap", {{"sumy1", sumy1_name},
+                                {"sumy2", sumy2_name},
+                                {"gap", gap_name},
+                                {"replace", WalBool(replace)}});
   });
 }
 
@@ -669,6 +750,10 @@ Result<std::string> AnalysisSession::CalculateTopGap(
     RecordLineage(out_name, lineage::NodeKind::kTopGap, "top_gap",
                   {{"x", std::to_string(x)}, {"mode", TopGapModeName(mode)}},
                   {gap_name});
+    GEA_RETURN_IF_ERROR(
+        WalOp("top_gap", {{"gap", gap_name},
+                          {"x", std::to_string(x)},
+                          {"mode", std::to_string(static_cast<int>(mode))}}));
     return out_name;
   });
 }
@@ -690,7 +775,12 @@ Status AnalysisSession::CompareGapTables(const std::string& gap_a,
     gaps_.emplace(out_name, std::move(compared));
     RecordLineage(out_name, lineage::NodeKind::kCompareGap,
                   core::GapCompareKindName(kind), {}, {gap_a, gap_b});
-    return Status::OK();
+    return WalOp("compare_gaps",
+                 {{"a", gap_a},
+                  {"b", gap_b},
+                  {"kind", std::to_string(static_cast<int>(kind))},
+                  {"out", out_name},
+                  {"replace", WalBool(replace)}});
   });
 }
 
@@ -710,7 +800,11 @@ Status AnalysisSession::RunGapQuery(const std::string& compared_name,
     RecordLineage(out_name, lineage::NodeKind::kGap, "gap_query",
                   {{"query", core::GapCompareQueryDescription(query)}},
                   {compared_name});
-    return Status::OK();
+    return WalOp("gap_query",
+                 {{"compared", compared_name},
+                  {"query", std::to_string(static_cast<int>(query))},
+                  {"out", out_name},
+                  {"replace", WalBool(replace)}});
   });
 }
 
@@ -870,7 +964,8 @@ Status AnalysisSession::CommentOn(const std::string& table_name,
                                   const std::string& comment) {
   GEA_ASSIGN_OR_RETURN(lineage::LineageGraph::NodeId id,
                        lineage_.FindByName(table_name));
-  return lineage_.SetComment(id, comment);
+  GEA_RETURN_IF_ERROR(lineage_.SetComment(id, comment));
+  return WalOp("comment", {{"table", table_name}, {"comment", comment}});
 }
 
 Status AnalysisSession::DeleteTable(const std::string& table_name,
@@ -879,10 +974,10 @@ Status AnalysisSession::DeleteTable(const std::string& table_name,
   GEA_ASSIGN_OR_RETURN(lineage::LineageGraph::NodeId id,
                        lineage_.FindByName(table_name));
   auto drop = [this](const std::string& name) { DropObject(name); };
-  if (cascade) {
-    return lineage_.DeleteCascade(id, drop);
-  }
-  return lineage_.DeleteContents(id, drop);
+  GEA_RETURN_IF_ERROR(cascade ? lineage_.DeleteCascade(id, drop)
+                              : lineage_.DeleteContents(id, drop));
+  return WalOp("delete_table",
+               {{"table", table_name}, {"cascade", WalBool(cascade)}});
 }
 
 std::vector<std::string> AnalysisSession::TableNames() const {

@@ -23,6 +23,7 @@
 #include "obs/trace.h"
 #include "rel/catalog.h"
 #include "sage/dataset.h"
+#include "store/engine.h"
 #include "workbench/users.h"
 
 namespace gea::workbench {
@@ -85,6 +86,31 @@ class AnalysisSession {
   /// Replaces the session's analysis state with a database previously
   /// written by SaveDatabase. Users and configuration are unaffected.
   Status LoadDatabase(const std::string& directory);
+
+  // ---- Durable storage (WAL + snapshots; src/store) ----
+
+  /// Attaches a durable storage directory (administrators only) and runs
+  /// crash recovery: the latest valid snapshot is restored, the WAL tail
+  /// is replayed through the normal operators, and any torn trailing
+  /// record is truncated. From then on every mutating operation is
+  /// WAL-logged (and fsynced, per `options`) before it is acknowledged,
+  /// so an acked operation survives a crash. `env` defaults to the POSIX
+  /// file system; tests pass a store::FaultInjectionEnv here.
+  Status OpenStorage(const std::string& directory,
+                     store::StorageOptions options = {},
+                     store::FileEnv* env = nullptr);
+
+  bool StorageAttached() const { return storage_ != nullptr; }
+
+  /// Writes a full snapshot and rotates the WAL. Also runs automatically
+  /// every `StorageOptions::checkpoint_every_records` appends.
+  Status Checkpoint();
+
+  /// What recovery found and did when storage was last attached.
+  Result<store::RecoverySummary> StorageRecovery() const;
+
+  /// Final sync, then detaches. The directory remains openable.
+  Status CloseStorage();
 
   // ---- Data sets (Figs. 4.4 and 4.15) ----
 
@@ -313,6 +339,23 @@ class AnalysisSession {
                      std::map<std::string, std::string> parameters,
                      const std::vector<std::string>& parent_names);
 
+  // ---- Durable storage plumbing (session_storage.cc) ----
+
+  /// Appends one logical-operation record to the WAL and applies the
+  /// automatic checkpoint policy. No-op when storage is detached or the
+  /// session is replaying the WAL during recovery.
+  Status WalOp(const std::string& op,
+               std::map<std::string, std::string> params);
+  /// Same, for physical payloads that cannot be re-derived (data sets).
+  Status WalBlob(const std::string& kind, std::string payload);
+  /// WAL-logs the currently installed data set as a blob record.
+  Status WalLogDataSet();
+  /// Re-executes one WAL record through the public operator methods.
+  Status ReplayWalRecord(const store::WalRecord& record);
+  /// Maps the whole analysis state onto snapshot sections and back.
+  store::SnapshotImage BuildSnapshotImage() const;
+  Status RestoreFromSnapshotImage(const store::SnapshotImage& image);
+
   UserDatabase users_;
   /// Registration with the global TelemetryHub; keeps this session
   /// visible in gea_stat_sessions for its lifetime (move-aware).
@@ -324,6 +367,10 @@ class AnalysisSession {
   std::optional<sage::SageDataSet> dataset_;
   rel::Catalog relations_;
   lineage::LineageGraph lineage_;
+
+  std::unique_ptr<store::StorageEngine> storage_;
+  std::optional<store::RecoverySummary> recovery_;
+  bool replaying_wal_ = false;
 
   std::map<std::string, core::EnumTable> enums_;
   std::map<std::string, core::SumyTable> sumys_;

@@ -1,0 +1,477 @@
+#include <cstdlib>
+#include <utility>
+
+#include "common/strings.h"
+#include "core/serialization.h"
+#include "obs/statviews.h"
+#include "sage/io.h"
+#include "store/format.h"
+#include "workbench/session.h"
+
+/// Durable-storage half of AnalysisSession: mapping the session state
+/// onto snapshot sections, replaying logical WAL records through the
+/// public operator methods, and the open/checkpoint/close plumbing.
+/// The WAL-append call sites themselves live next to each operator in
+/// session.cc.
+
+namespace gea::workbench {
+
+namespace {
+
+// ---- Section kinds (frozen: they are written to disk) ----
+constexpr char kKindSage[] = "sage";
+constexpr char kKindEnum[] = "enum";
+constexpr char kKindEnumLibs[] = "enum_libs";
+constexpr char kKindSumy[] = "sumy";
+constexpr char kKindGap[] = "gap";
+constexpr char kKindMetadata[] = "metadata";
+constexpr char kKindLineageNodes[] = "lineage_nodes";
+constexpr char kKindLineageParams[] = "lineage_params";
+constexpr char kKindLineageEdges[] = "lineage_edges";
+constexpr char kKindRelation[] = "relation";
+
+std::string EncodeDataSetBlob(const sage::SageDataSet& dataset) {
+  std::string out;
+  store::PutU32(&out, static_cast<uint32_t>(dataset.NumLibraries()));
+  for (const sage::SageLibrary& lib : dataset.libraries()) {
+    store::PutString(&out, lib.name());
+    store::PutString(&out, sage::WriteLibraryText(lib));
+  }
+  return out;
+}
+
+Result<sage::SageDataSet> DecodeDataSetBlob(std::string_view blob) {
+  store::ByteReader reader(blob);
+  GEA_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  sage::SageDataSet dataset;
+  for (uint32_t i = 0; i < count; ++i) {
+    GEA_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+    GEA_ASSIGN_OR_RETURN(std::string text, reader.ReadString());
+    GEA_ASSIGN_OR_RETURN(sage::SageLibrary lib,
+                         sage::ReadLibraryText(name, text));
+    dataset.AddLibrary(std::move(lib));
+  }
+  if (!reader.Done()) {
+    return Status::InvalidArgument("trailing bytes in SAGE data set blob");
+  }
+  return dataset;
+}
+
+rel::Table ToleranceTable(const std::string& name,
+                          const std::vector<double>& tolerances) {
+  rel::Table table(name, rel::Schema({{"Index", rel::ValueType::kInt},
+                                      {"Tolerance", rel::ValueType::kDouble}}));
+  for (size_t i = 0; i < tolerances.size(); ++i) {
+    table.AppendRowUnchecked({rel::Value::Int(static_cast<int64_t>(i)),
+                              rel::Value::Double(tolerances[i])});
+  }
+  return table;
+}
+
+Result<std::vector<double>> TolerancesFromTable(const rel::Table& table) {
+  std::vector<double> tolerances(table.NumRows(), 0.0);
+  for (const rel::Row& row : table.rows()) {
+    if (row.size() != 2 || row[0].type() != rel::ValueType::kInt ||
+        row[1].type() != rel::ValueType::kDouble) {
+      return Status::InvalidArgument("malformed metadata section: " +
+                                     table.name());
+    }
+    size_t index = static_cast<size_t>(row[0].AsInt());
+    if (index >= tolerances.size()) {
+      return Status::InvalidArgument("bad metadata index in " + table.name());
+    }
+    tolerances[index] = row[1].AsDouble();
+  }
+  return tolerances;
+}
+
+// ---- WAL parameter accessors ----
+
+Result<std::string> Param(const std::map<std::string, std::string>& params,
+                          const std::string& key) {
+  auto it = params.find(key);
+  if (it == params.end()) {
+    return Status::InvalidArgument("WAL record is missing parameter: " + key);
+  }
+  return it->second;
+}
+
+Result<int64_t> IntParam(const std::map<std::string, std::string>& params,
+                         const std::string& key) {
+  GEA_ASSIGN_OR_RETURN(std::string text, Param(params, key));
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("WAL parameter " + key +
+                                   " is not an integer: " + text);
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> DoubleParam(const std::map<std::string, std::string>& params,
+                           const std::string& key) {
+  GEA_ASSIGN_OR_RETURN(std::string text, Param(params, key));
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("WAL parameter " + key +
+                                   " is not a number: " + text);
+  }
+  return v;
+}
+
+Result<bool> BoolParam(const std::map<std::string, std::string>& params,
+                       const std::string& key) {
+  GEA_ASSIGN_OR_RETURN(std::string text, Param(params, key));
+  if (text == "1") return true;
+  if (text == "0") return false;
+  return Status::InvalidArgument("WAL parameter " + key +
+                                 " is not a boolean: " + text);
+}
+
+}  // namespace
+
+// ---- Attach / checkpoint / detach ----
+
+Status AnalysisSession::OpenStorage(const std::string& directory,
+                                    store::StorageOptions options,
+                                    store::FileEnv* env) {
+  GEA_RETURN_IF_ERROR(RequireAdmin());
+  if (storage_) {
+    return Status::FailedPrecondition(
+        "a storage directory is already attached: " + storage_->directory());
+  }
+  if (env == nullptr) env = store::FileEnv::Default();
+
+  GEA_ASSIGN_OR_RETURN(store::StorageEngine::OpenResult opened,
+                       store::StorageEngine::Open(env, directory, options));
+  if (opened.snapshot.has_value()) {
+    GEA_RETURN_IF_ERROR(RestoreFromSnapshotImage(*opened.snapshot));
+  }
+  // Replay is routed through the public operator methods, which are
+  // deterministic, so the rebuilt catalog matches the pre-crash one. The
+  // guard keeps the replayed operations from being re-appended.
+  replaying_wal_ = true;
+  Status replayed = Status::OK();
+  for (const store::WalRecord& record : opened.records) {
+    replayed = ReplayWalRecord(record);
+    if (!replayed.ok()) break;
+  }
+  replaying_wal_ = false;
+  GEA_RETURN_IF_ERROR(replayed);
+
+  storage_ = std::move(opened.engine);
+  recovery_ = opened.summary;
+  // One query-log entry so recovery shows up in the session history and
+  // the telemetry exports (slow-query log, /statz).
+  return Logged("open_storage", recovery_->ToString(),
+                [] { return Status::OK(); });
+}
+
+Status AnalysisSession::Checkpoint() {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+  if (!storage_) {
+    return Status::FailedPrecondition("no storage directory is attached");
+  }
+  return Logged("checkpoint", storage_->directory(), [&]() -> Status {
+    return storage_->Checkpoint(BuildSnapshotImage());
+  });
+}
+
+Result<store::RecoverySummary> AnalysisSession::StorageRecovery() const {
+  if (!recovery_.has_value()) {
+    return Status::FailedPrecondition("no storage directory has been attached");
+  }
+  return *recovery_;
+}
+
+Status AnalysisSession::CloseStorage() {
+  if (!storage_) return Status::OK();
+  Status s = storage_->Close();
+  storage_.reset();
+  return s;
+}
+
+// ---- WAL append + replay ----
+
+Status AnalysisSession::WalOp(const std::string& op,
+                              std::map<std::string, std::string> params) {
+  if (!storage_ || replaying_wal_) return Status::OK();
+  GEA_RETURN_IF_ERROR(
+      storage_->Append(store::WalRecord::LogicalOp(op, std::move(params))));
+  if (storage_->CheckpointDue()) {
+    return storage_->Checkpoint(BuildSnapshotImage());
+  }
+  return Status::OK();
+}
+
+Status AnalysisSession::WalLogDataSet() {
+  if (!storage_ || replaying_wal_ || !dataset_.has_value()) {
+    return Status::OK();
+  }
+  return WalBlob("load_dataset", EncodeDataSetBlob(*dataset_));
+}
+
+Status AnalysisSession::WalBlob(const std::string& kind, std::string payload) {
+  if (!storage_ || replaying_wal_) return Status::OK();
+  GEA_RETURN_IF_ERROR(
+      storage_->Append(store::WalRecord::BlobRecord(kind, std::move(payload))));
+  if (storage_->CheckpointDue()) {
+    return storage_->Checkpoint(BuildSnapshotImage());
+  }
+  return Status::OK();
+}
+
+Status AnalysisSession::ReplayWalRecord(const store::WalRecord& record) {
+  const auto& p = record.params;
+  if (record.type == store::WalRecord::Type::kBlob) {
+    if (record.op == "load_dataset") {
+      GEA_ASSIGN_OR_RETURN(sage::SageDataSet dataset,
+                           DecodeDataSetBlob(record.payload));
+      return LoadDataSet(std::move(dataset));
+    }
+    return Status::InvalidArgument("unknown WAL blob kind: " + record.op);
+  }
+
+  if (record.op == "tissue_dataset") {
+    GEA_ASSIGN_OR_RETURN(std::string tissue, Param(p, "tissue"));
+    GEA_ASSIGN_OR_RETURN(sage::TissueType type, sage::ParseTissueType(tissue));
+    GEA_ASSIGN_OR_RETURN(bool replace, BoolParam(p, "replace"));
+    return CreateTissueDataSet(type, replace);
+  }
+  if (record.op == "custom_dataset") {
+    GEA_ASSIGN_OR_RETURN(std::string name, Param(p, "name"));
+    GEA_ASSIGN_OR_RETURN(std::string ids_text, Param(p, "ids"));
+    GEA_ASSIGN_OR_RETURN(bool replace, BoolParam(p, "replace"));
+    std::vector<int> ids;
+    for (const std::string& token : Split(ids_text, ',')) {
+      if (token.empty()) continue;
+      ids.push_back(std::atoi(token.c_str()));
+    }
+    return CreateCustomDataSet(name, ids, replace);
+  }
+  if (record.op == "generate_metadata") {
+    GEA_ASSIGN_OR_RETURN(std::string dataset, Param(p, "dataset"));
+    GEA_ASSIGN_OR_RETURN(double percent, DoubleParam(p, "percent"));
+    GEA_ASSIGN_OR_RETURN(std::string meta, Param(p, "meta"));
+    GEA_ASSIGN_OR_RETURN(bool replace, BoolParam(p, "replace"));
+    return GenerateMetadata(dataset, percent, meta, replace);
+  }
+  if (record.op == "fascicles") {
+    GEA_ASSIGN_OR_RETURN(std::string dataset, Param(p, "dataset"));
+    GEA_ASSIGN_OR_RETURN(std::string meta, Param(p, "meta"));
+    GEA_ASSIGN_OR_RETURN(int64_t min_compact, IntParam(p, "min_compact_tags"));
+    GEA_ASSIGN_OR_RETURN(int64_t batch, IntParam(p, "batch_size"));
+    GEA_ASSIGN_OR_RETURN(int64_t min_size, IntParam(p, "min_size"));
+    GEA_ASSIGN_OR_RETURN(std::string prefix, Param(p, "out_prefix"));
+    GEA_ASSIGN_OR_RETURN(int64_t algorithm, IntParam(p, "algorithm"));
+    return CalculateFascicles(
+               dataset, meta, static_cast<size_t>(min_compact),
+               static_cast<size_t>(batch), static_cast<size_t>(min_size),
+               prefix,
+               static_cast<cluster::FascicleParams::Algorithm>(algorithm))
+        .status();
+  }
+  if (record.op == "control_groups") {
+    GEA_ASSIGN_OR_RETURN(std::string dataset, Param(p, "dataset"));
+    GEA_ASSIGN_OR_RETURN(std::string fascicle, Param(p, "fascicle"));
+    return FormControlGroups(dataset, fascicle).status();
+  }
+  if (record.op == "aggregate") {
+    GEA_ASSIGN_OR_RETURN(std::string in, Param(p, "enum"));
+    GEA_ASSIGN_OR_RETURN(std::string out, Param(p, "out"));
+    GEA_ASSIGN_OR_RETURN(bool replace, BoolParam(p, "replace"));
+    return Aggregate(in, out, replace);
+  }
+  if (record.op == "populate") {
+    GEA_ASSIGN_OR_RETURN(std::string sumy, Param(p, "sumy"));
+    GEA_ASSIGN_OR_RETURN(std::string base, Param(p, "base"));
+    GEA_ASSIGN_OR_RETURN(std::string out, Param(p, "out"));
+    GEA_ASSIGN_OR_RETURN(bool replace, BoolParam(p, "replace"));
+    return Populate(sumy, base, out, replace);
+  }
+  if (record.op == "create_gap") {
+    GEA_ASSIGN_OR_RETURN(std::string sumy1, Param(p, "sumy1"));
+    GEA_ASSIGN_OR_RETURN(std::string sumy2, Param(p, "sumy2"));
+    GEA_ASSIGN_OR_RETURN(std::string gap, Param(p, "gap"));
+    GEA_ASSIGN_OR_RETURN(bool replace, BoolParam(p, "replace"));
+    return CreateGap(sumy1, sumy2, gap, replace);
+  }
+  if (record.op == "top_gap") {
+    GEA_ASSIGN_OR_RETURN(std::string gap, Param(p, "gap"));
+    GEA_ASSIGN_OR_RETURN(int64_t x, IntParam(p, "x"));
+    GEA_ASSIGN_OR_RETURN(int64_t mode, IntParam(p, "mode"));
+    return CalculateTopGap(gap, static_cast<size_t>(x),
+                           static_cast<core::TopGapMode>(mode))
+        .status();
+  }
+  if (record.op == "compare_gaps") {
+    GEA_ASSIGN_OR_RETURN(std::string a, Param(p, "a"));
+    GEA_ASSIGN_OR_RETURN(std::string b, Param(p, "b"));
+    GEA_ASSIGN_OR_RETURN(int64_t kind, IntParam(p, "kind"));
+    GEA_ASSIGN_OR_RETURN(std::string out, Param(p, "out"));
+    GEA_ASSIGN_OR_RETURN(bool replace, BoolParam(p, "replace"));
+    return CompareGapTables(a, b, static_cast<core::GapCompareKind>(kind), out,
+                            replace);
+  }
+  if (record.op == "gap_query") {
+    GEA_ASSIGN_OR_RETURN(std::string compared, Param(p, "compared"));
+    GEA_ASSIGN_OR_RETURN(int64_t query, IntParam(p, "query"));
+    GEA_ASSIGN_OR_RETURN(std::string out, Param(p, "out"));
+    GEA_ASSIGN_OR_RETURN(bool replace, BoolParam(p, "replace"));
+    return RunGapQuery(compared, static_cast<core::GapCompareQuery>(query),
+                       out, replace);
+  }
+  if (record.op == "comment") {
+    GEA_ASSIGN_OR_RETURN(std::string table, Param(p, "table"));
+    GEA_ASSIGN_OR_RETURN(std::string comment, Param(p, "comment"));
+    return CommentOn(table, comment);
+  }
+  if (record.op == "delete_table") {
+    GEA_ASSIGN_OR_RETURN(std::string table, Param(p, "table"));
+    GEA_ASSIGN_OR_RETURN(bool cascade, BoolParam(p, "cascade"));
+    return DeleteTable(table, cascade);
+  }
+  if (record.op == "initialize") {
+    return InitializeDatabase();
+  }
+  return Status::InvalidArgument("unknown WAL operation: " + record.op);
+}
+
+// ---- Snapshot mapping ----
+
+store::SnapshotImage AnalysisSession::BuildSnapshotImage() const {
+  store::SnapshotImage image;
+  if (dataset_.has_value()) {
+    image.sections.push_back(store::SnapshotSection::Blob(
+        kKindSage, "dataset", EncodeDataSetBlob(*dataset_)));
+  }
+  for (const auto& [name, table] : enums_) {
+    image.sections.push_back(
+        store::SnapshotSection::Table(kKindEnum, table.ToRelTable()));
+    image.sections.push_back(store::SnapshotSection::Table(
+        kKindEnumLibs, core::EnumLibrariesToRelTable(table, name + "_libs")));
+  }
+  for (const auto& [name, table] : sumys_) {
+    (void)name;
+    image.sections.push_back(
+        store::SnapshotSection::Table(kKindSumy, table.ToRelTable()));
+  }
+  for (const auto& [name, table] : gaps_) {
+    (void)name;
+    image.sections.push_back(
+        store::SnapshotSection::Table(kKindGap, table.ToRelTable()));
+  }
+  for (const auto& [name, tolerances] : metadata_) {
+    image.sections.push_back(store::SnapshotSection::Table(
+        kKindMetadata, ToleranceTable(name, tolerances)));
+  }
+  lineage::LineageGraph::RelExport history = lineage_.Export();
+  image.sections.push_back(
+      store::SnapshotSection::Table(kKindLineageNodes, std::move(history.nodes)));
+  image.sections.push_back(store::SnapshotSection::Table(
+      kKindLineageParams, std::move(history.params)));
+  image.sections.push_back(
+      store::SnapshotSection::Table(kKindLineageEdges, std::move(history.edges)));
+  // Stored relations only: computed (gea_stat_*) views are live telemetry
+  // rebuilt by RegisterStatViews, not data — snapshotting one would
+  // freeze a counter sample into the catalog.
+  for (const std::string& name : relations_.TableNames()) {
+    if (relations_.IsComputed(name)) continue;
+    auto table = relations_.GetTable(name);
+    if (!table.ok()) continue;
+    image.sections.push_back(
+        store::SnapshotSection::Table(kKindRelation, **table));
+  }
+  return image;
+}
+
+Status AnalysisSession::RestoreFromSnapshotImage(
+    const store::SnapshotImage& image) {
+  // Stage everything first so a corrupt section leaves the session as-is.
+  std::optional<sage::SageDataSet> dataset;
+  std::map<std::string, core::EnumTable> enums;
+  std::map<std::string, core::SumyTable> sumys;
+  std::map<std::string, core::GapTable> gaps;
+  std::map<std::string, std::vector<double>> metadata;
+  std::vector<rel::Table> stored_relations;
+  const rel::Table* lineage_nodes = nullptr;
+  const rel::Table* lineage_params = nullptr;
+  const rel::Table* lineage_edges = nullptr;
+
+  for (const store::SnapshotSection& section : image.sections) {
+    if (section.kind == kKindSage) {
+      GEA_ASSIGN_OR_RETURN(sage::SageDataSet decoded,
+                           DecodeDataSetBlob(section.blob));
+      dataset = std::move(decoded);
+    } else if (section.kind == kKindEnum) {
+      const store::SnapshotSection* libs =
+          image.Find(kKindEnumLibs, section.name + "_libs");
+      if (libs == nullptr || !libs->table.has_value() ||
+          !section.table.has_value()) {
+        return Status::InvalidArgument(
+            "snapshot is missing the library table for ENUM " + section.name);
+      }
+      GEA_ASSIGN_OR_RETURN(
+          core::EnumTable table,
+          core::EnumFromRelTables(*section.table, *libs->table, section.name));
+      enums.emplace(section.name, std::move(table));
+    } else if (section.kind == kKindSumy && section.table.has_value()) {
+      GEA_ASSIGN_OR_RETURN(core::SumyTable table,
+                           core::SumyFromRelTable(*section.table, section.name));
+      sumys.emplace(section.name, std::move(table));
+    } else if (section.kind == kKindGap && section.table.has_value()) {
+      GEA_ASSIGN_OR_RETURN(core::GapTable table,
+                           core::GapFromRelTable(*section.table, section.name));
+      gaps.emplace(section.name, std::move(table));
+    } else if (section.kind == kKindMetadata && section.table.has_value()) {
+      GEA_ASSIGN_OR_RETURN(std::vector<double> tolerances,
+                           TolerancesFromTable(*section.table));
+      metadata.emplace(section.name, std::move(tolerances));
+    } else if (section.kind == kKindLineageNodes && section.table.has_value()) {
+      lineage_nodes = &*section.table;
+    } else if (section.kind == kKindLineageParams &&
+               section.table.has_value()) {
+      lineage_params = &*section.table;
+    } else if (section.kind == kKindLineageEdges && section.table.has_value()) {
+      lineage_edges = &*section.table;
+    } else if (section.kind == kKindRelation && section.table.has_value()) {
+      stored_relations.push_back(*section.table);
+    } else if (section.kind == kKindEnumLibs) {
+      // Consumed alongside its ENUM section.
+    } else {
+      return Status::InvalidArgument("unknown snapshot section kind: " +
+                                     section.kind);
+    }
+  }
+
+  lineage::LineageGraph history;
+  if (lineage_nodes != nullptr && lineage_params != nullptr &&
+      lineage_edges != nullptr) {
+    GEA_ASSIGN_OR_RETURN(history, lineage::LineageGraph::Import(
+                                      *lineage_nodes, *lineage_params,
+                                      *lineage_edges));
+  }
+
+  // Commit.
+  enums_ = std::move(enums);
+  sumys_ = std::move(sumys);
+  gaps_ = std::move(gaps);
+  metadata_ = std::move(metadata);
+  lineage_ = std::move(history);
+  relations_.Initialize();
+  obs::RegisterStatViews(relations_);  // Initialize() dropped the views
+  for (rel::Table& table : stored_relations) {
+    GEA_RETURN_IF_ERROR(
+        relations_.CreateTable(std::move(table), /*replace=*/true));
+  }
+  dataset_.reset();
+  if (dataset.has_value()) {
+    // InstallDataSet rebuilds the auxiliary relations, replacing the
+    // snapshot copies with identical dataset-derived ones.
+    GEA_RETURN_IF_ERROR(InstallDataSet(std::move(*dataset)));
+  }
+  return Status::OK();
+}
+
+}  // namespace gea::workbench

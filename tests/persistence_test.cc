@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "core/gap_ops.h"
 #include "core/serialization.h"
@@ -320,6 +321,75 @@ TEST(SessionPersistTest, SaveAndLoadDatabase) {
   Result<std::string> top = restored.CalculateTopGap("brain_gap", 10);
   ASSERT_TRUE(top.ok()) << top.status().ToString();
   EXPECT_TRUE(restored.GetGap(*top).ok());
+}
+
+TEST(SessionPersistTest, SaveSkipsComputedStatViewsButKeepsStoredRelations) {
+  using workbench::AccessLevel;
+  using workbench::AnalysisSession;
+
+  sage::GeneratorConfig config;
+  config.seed = 42;
+  config.panels = sage::SyntheticSageGenerator::SmallPanels();
+  sage::SyntheticSage synth = sage::SyntheticSageGenerator(config).Generate();
+
+  AnalysisSession session("admin", "secret");
+  ASSERT_TRUE(
+      session.Login("admin", "secret", AccessLevel::kAdministrator).ok());
+  ASSERT_TRUE(session.LoadDataSet(synth.dataset).ok());
+  // Touch a stat view so it is definitely live in the catalog.
+  ASSERT_TRUE(session.Query("SELECT name FROM gea_stat_counters").ok());
+
+  std::string dir = FreshDir("statview_skip");
+  ASSERT_TRUE(session.SaveDatabase(dir).ok());
+
+  // The stored auxiliary relations are persisted...
+  EXPECT_TRUE(fs::exists(dir + "/relations/Libraries.csv"));
+  EXPECT_TRUE(fs::exists(dir + "/relations/Typeinfo.csv"));
+  // ...but the computed telemetry views must never be: persisting one
+  // would freeze a counter sample and shadow the live view on reload.
+  for (const auto& entry : fs::directory_iterator(dir + "/relations")) {
+    EXPECT_EQ(entry.path().filename().string().rfind("gea_stat", 0),
+              std::string::npos)
+        << "computed view persisted: " << entry.path();
+  }
+
+  AnalysisSession restored("admin", "secret");
+  ASSERT_TRUE(
+      restored.Login("admin", "secret", AccessLevel::kAdministrator).ok());
+  ASSERT_TRUE(restored.LoadDatabase(dir).ok());
+
+  // Stored relations round-tripped and are queryable.
+  Result<rel::Table> libs =
+      restored.Query("SELECT Lib_ID, Lib_Name FROM Libraries");
+  ASSERT_TRUE(libs.ok()) << libs.status().ToString();
+  EXPECT_EQ(libs->NumRows(), synth.dataset.NumLibraries());
+  // The stat views are still computed (live), not frozen table data.
+  Result<rel::Table> counters =
+      restored.Query("SELECT name, value FROM gea_stat_counters");
+  ASSERT_TRUE(counters.ok()) << counters.status().ToString();
+}
+
+TEST(SessionPersistTest, LoadRejectsMalformedManifest) {
+  using workbench::AccessLevel;
+  using workbench::AnalysisSession;
+
+  AnalysisSession session("admin", "secret");
+  ASSERT_TRUE(
+      session.Login("admin", "secret", AccessLevel::kAdministrator).ok());
+  std::string dir = FreshDir("bad_manifest");
+  ASSERT_TRUE(session.SaveDatabase(dir).ok());
+
+  // Corrupt the manifest: a row with the wrong shape must be rejected
+  // with a clean error, not crash the loader.
+  {
+    std::ofstream out(dir + "/manifest.csv",
+                      std::ios::binary | std::ios::trunc);
+    out << "Name:string,Kind:string,Extra:int\na,enum,1\n";
+  }
+  AnalysisSession restored("admin", "secret");
+  ASSERT_TRUE(
+      restored.Login("admin", "secret", AccessLevel::kAdministrator).ok());
+  EXPECT_FALSE(restored.LoadDatabase(dir).ok());
 }
 
 TEST(SessionPersistTest, SaveRequiresLogin) {

@@ -1,0 +1,275 @@
+// Crash-recovery tests for the session-level durable storage: WAL replay
+// across clean restarts, checkpoint rotation, and the kill-point matrix —
+// the same workload interrupted at every fault-injection point with every
+// fault kind, asserting the recovered catalog is byte-identical to the
+// state produced by exactly the committed (acknowledged) prefix of
+// operations.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sage/cleaning.h"
+#include "sage/generator.h"
+#include "sage/io.h"
+#include "store/fault_env.h"
+#include "store/file_env.h"
+#include "workbench/session.h"
+
+namespace gea {
+namespace {
+
+namespace fs = std::filesystem;
+
+using store::FaultInjectionEnv;
+using workbench::AccessLevel;
+using workbench::AnalysisSession;
+
+std::string FreshDir(const std::string& tag) {
+  std::string dir = testing::TempDir() + "/gea_recover_" + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+const sage::SageDataSet& TestDataSet() {
+  static const sage::SageDataSet* dataset = [] {
+    sage::GeneratorConfig config;
+    config.seed = 42;
+    config.panels = sage::SyntheticSageGenerator::SmallPanels();
+    sage::SyntheticSage synth = sage::SyntheticSageGenerator(config).Generate();
+    sage::CleanAndNormalize(synth.dataset);
+    // Round-trip through the library text codec once so the dataset is a
+    // fixed point of it: the WAL persists datasets in that format, and the
+    // byte-identical assertions below need replayed computations to see
+    // exactly the same doubles as the reference session.
+    auto* fixed = new sage::SageDataSet();
+    for (size_t i = 0; i < synth.dataset.NumLibraries(); ++i) {
+      const sage::SageLibrary& lib = synth.dataset.library(i);
+      Result<sage::SageLibrary> back =
+          sage::ReadLibraryText(lib.name(), sage::WriteLibraryText(lib));
+      EXPECT_TRUE(back.ok()) << back.status().ToString();
+      fixed->AddLibrary(std::move(*back));
+    }
+    return fixed;
+  }();
+  return *dataset;
+}
+
+std::unique_ptr<AnalysisSession> NewAdminSession() {
+  auto session = std::make_unique<AnalysisSession>("admin", "secret");
+  EXPECT_TRUE(
+      session->Login("admin", "secret", AccessLevel::kAdministrator).ok());
+  return session;
+}
+
+/// The workload the kill-point matrix interrupts. Every step is a logical
+/// operation the WAL must make durable; the mid-workload checkpoint step
+/// exercises the snapshot rotation fault points too (it is a no-op for
+/// the storage-less reference sessions — checkpoints do not change the
+/// logical catalog).
+std::vector<std::function<Status(AnalysisSession&)>> WorkloadSteps() {
+  return {
+      [](AnalysisSession& s) { return s.LoadDataSet(TestDataSet()); },
+      [](AnalysisSession& s) {
+        return s.CreateTissueDataSet(sage::TissueType::kBrain);
+      },
+      [](AnalysisSession& s) {
+        return s.GenerateMetadata("brain", 25.0, "meta");
+      },
+      [](AnalysisSession& s) { return s.Aggregate("brain", "brain_sumy"); },
+      [](AnalysisSession& s) {
+        return s.CreateTissueDataSet(sage::TissueType::kBreast);
+      },
+      [](AnalysisSession& s) { return s.Aggregate("breast", "breast_sumy"); },
+      [](AnalysisSession& s) {
+        return s.CreateGap("brain_sumy", "breast_sumy", "bb_gap");
+      },
+      [](AnalysisSession& s) {
+        return s.StorageAttached() ? s.Checkpoint() : Status::OK();
+      },
+      [](AnalysisSession& s) {
+        return s.CalculateTopGap("bb_gap", 5).status();
+      },
+      [](AnalysisSession& s) { return s.CommentOn("bb_gap", "crash test"); },
+      [](AnalysisSession& s) {
+        return s.DeleteTable("breast_sumy", /*cascade=*/false);
+      },
+  };
+}
+
+/// Canonical byte-level state of a session: every file SaveDatabase
+/// emits, keyed by relative path. SaveDatabase is deterministic, so two
+/// sessions holding the same catalog fingerprint identically.
+std::map<std::string, std::string> Fingerprint(const AnalysisSession& session,
+                                               const std::string& tag) {
+  std::string dir = FreshDir("fp_" + tag);
+  Status saved = session.SaveDatabase(dir);
+  EXPECT_TRUE(saved.ok()) << saved.ToString();
+  std::map<std::string, std::string> files;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    files[fs::relative(entry.path(), dir).string()] =
+        std::string(std::istreambuf_iterator<char>(in), {});
+  }
+  fs::remove_all(dir);
+  return files;
+}
+
+/// Runs the workload against a session with storage at `dir` through
+/// `env`, stopping at the first failed step. Returns how many steps were
+/// acknowledged (returned OK) — with sync-every-record, exactly the
+/// committed prefix.
+size_t RunWorkload(const std::string& dir, store::FileEnv* env) {
+  std::unique_ptr<AnalysisSession> session = NewAdminSession();
+  if (!session->OpenStorage(dir, store::StorageOptions{}, env).ok()) return 0;
+  size_t committed = 0;
+  for (const auto& step : WorkloadSteps()) {
+    if (!step(*session).ok()) break;
+    ++committed;
+  }
+  return committed;
+}
+
+// ---------- clean restarts ----------
+
+TEST(RecoveryTest, WalReplayAcrossCleanRestart) {
+  std::string dir = FreshDir("clean");
+  size_t committed = RunWorkload(dir, store::FileEnv::Default());
+  EXPECT_EQ(committed, WorkloadSteps().size());
+
+  std::unique_ptr<AnalysisSession> reference = NewAdminSession();
+  for (const auto& step : WorkloadSteps()) ASSERT_TRUE(step(*reference).ok());
+
+  std::unique_ptr<AnalysisSession> recovered = NewAdminSession();
+  ASSERT_TRUE(recovered->OpenStorage(dir).ok());
+  EXPECT_EQ(Fingerprint(*recovered, "clean_rec"),
+            Fingerprint(*reference, "clean_ref"));
+
+  Result<store::RecoverySummary> summary = recovered->StorageRecovery();
+  ASSERT_TRUE(summary.ok());
+  // The mid-workload checkpoint rotated to generation 1 with a snapshot;
+  // only the post-checkpoint operations were replayed from the WAL.
+  EXPECT_EQ(summary->generation, 1u);
+  EXPECT_TRUE(summary->snapshot_loaded);
+  EXPECT_EQ(summary->wal_records_replayed, 3u);
+  EXPECT_FALSE(summary->wal_torn_tail);
+}
+
+TEST(RecoveryTest, CheckpointThenRestartLoadsSnapshotOnly) {
+  std::string dir = FreshDir("ckpt");
+  {
+    std::unique_ptr<AnalysisSession> session = NewAdminSession();
+    ASSERT_TRUE(session->OpenStorage(dir).ok());
+    for (const auto& step : WorkloadSteps()) ASSERT_TRUE(step(*session).ok());
+    ASSERT_TRUE(session->Checkpoint().ok());
+  }
+  std::unique_ptr<AnalysisSession> recovered = NewAdminSession();
+  ASSERT_TRUE(recovered->OpenStorage(dir).ok());
+  Result<store::RecoverySummary> summary = recovered->StorageRecovery();
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->wal_records_replayed, 0u);
+  EXPECT_TRUE(summary->snapshot_loaded);
+  EXPECT_EQ(summary->generation, 2u);
+
+  std::unique_ptr<AnalysisSession> reference = NewAdminSession();
+  for (const auto& step : WorkloadSteps()) ASSERT_TRUE(step(*reference).ok());
+  EXPECT_EQ(Fingerprint(*recovered, "ckpt_rec"),
+            Fingerprint(*reference, "ckpt_ref"));
+
+  // The recovered session keeps working and logging.
+  ASSERT_TRUE(recovered->Aggregate("brain", "post_sumy").ok());
+  ASSERT_TRUE(recovered->CloseStorage().ok());
+}
+
+TEST(RecoveryTest, OpenStorageRequiresAdmin) {
+  AnalysisSession session("admin", "secret");
+  EXPECT_TRUE(session.OpenStorage(FreshDir("noadmin")).IsPermissionDenied());
+}
+
+TEST(RecoveryTest, DoubleAttachFails) {
+  std::unique_ptr<AnalysisSession> session = NewAdminSession();
+  ASSERT_TRUE(session->OpenStorage(FreshDir("attach1")).ok());
+  EXPECT_TRUE(
+      session->OpenStorage(FreshDir("attach2")).IsFailedPrecondition());
+}
+
+// ---------- the kill-point matrix ----------
+
+class KillPointMatrixTest
+    : public testing::TestWithParam<FaultInjectionEnv::FaultKind> {};
+
+TEST_P(KillPointMatrixTest, RecoversToCommittedPrefix) {
+  const FaultInjectionEnv::FaultKind kind = GetParam();
+
+  // Dry run: count the mutating file-system operations the workload
+  // performs — that is the matrix dimension.
+  FaultInjectionEnv probe(store::FileEnv::Default());
+  {
+    std::string dir = FreshDir("probe");
+    size_t committed = RunWorkload(dir, &probe);
+    ASSERT_EQ(committed, WorkloadSteps().size());
+  }
+  const uint64_t points = probe.FaultPointsSeen();
+  ASSERT_GT(points, 10u);
+
+  // Reference fingerprints for every possible committed prefix, built
+  // lazily — most kill points land on a handful of prefixes.
+  std::map<size_t, std::map<std::string, std::string>> references;
+  auto reference_for = [&](size_t committed) {
+    auto it = references.find(committed);
+    if (it != references.end()) return it->second;
+    std::unique_ptr<AnalysisSession> session = NewAdminSession();
+    std::vector<std::function<Status(AnalysisSession&)>> steps =
+        WorkloadSteps();
+    for (size_t i = 0; i < committed; ++i) {
+      EXPECT_TRUE(steps[i](*session).ok()) << "reference step " << i;
+    }
+    return references
+        .emplace(committed,
+                 Fingerprint(*session, "ref" + std::to_string(committed)))
+        .first->second;
+  };
+
+  for (uint64_t point = 0; point < points; ++point) {
+    SCOPED_TRACE("fault point " + std::to_string(point));
+    std::string dir = FreshDir("matrix");
+
+    FaultInjectionEnv env(store::FileEnv::Default());
+    env.ArmFault(point, kind);
+    size_t committed = RunWorkload(dir, &env);
+    ASSERT_TRUE(env.Killed());  // every point in the matrix actually fires
+    ASSERT_LT(committed, WorkloadSteps().size());
+
+    // Reboot: recover with the real file system.
+    std::unique_ptr<AnalysisSession> recovered = NewAdminSession();
+    Status opened = recovered->OpenStorage(dir);
+    ASSERT_TRUE(opened.ok()) << opened.ToString();
+    ASSERT_EQ(Fingerprint(*recovered, "rec"), reference_for(committed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaultKinds, KillPointMatrixTest,
+    testing::Values(FaultInjectionEnv::FaultKind::kKill,
+                    FaultInjectionEnv::FaultKind::kShortWrite,
+                    FaultInjectionEnv::FaultKind::kFailSync),
+    [](const testing::TestParamInfo<FaultInjectionEnv::FaultKind>& info) {
+      switch (info.param) {
+        case FaultInjectionEnv::FaultKind::kKill:
+          return "Kill";
+        case FaultInjectionEnv::FaultKind::kShortWrite:
+          return "ShortWrite";
+        case FaultInjectionEnv::FaultKind::kFailSync:
+          return "FailSync";
+      }
+      return "Unknown";
+    });
+
+}  // namespace
+}  // namespace gea

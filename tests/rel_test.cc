@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <fstream>
+
 #include "rel/catalog.h"
 #include "rel/expr.h"
 #include "rel/index.h"
@@ -477,6 +480,56 @@ TEST(TableIoTest, FileRoundTrip) {
 TEST(TableIoTest, BadHeaderFails) {
   EXPECT_FALSE(TableFromCsv("t", "noType\n1\n").ok());
   EXPECT_FALSE(TableFromCsv("t", "a:varchar\nx\n").ok());
+}
+
+TEST(TableIoTest, MalformedFileCorpusFailsCleanly) {
+  // Every corpus entry is a damaged table file a crashed or hostile
+  // writer could leave behind; LoadTable must return an error for each —
+  // never crash, never hand back a half-parsed table.
+  const struct {
+    const char* label;
+    const char* text;
+  } corpus[] = {
+      {"empty header", "\n1,2\n"},
+      {"untyped column", "id:int,name\n1,x\n"},
+      {"unknown type", "id:int,len:float\n1,2\n"},
+      {"duplicate columns", "id:int,id:int\n1,2\n"},
+      {"row too short", "id:int,name:string\n1\n"},
+      {"row too long", "id:int,name:string\n1,x,extra\n"},
+      {"non-numeric int cell", "id:int\nforty-two\n"},
+      {"float in int column", "id:int\n4.2\n"},
+      {"non-numeric double cell", "score:double\n--\n"},
+      {"int overflow", "id:int\n99999999999999999999999\n"},
+      {"int underflow", "id:int\n-99999999999999999999999\n"},
+      {"double overflow", "score:double\n1e999\n"},
+      {"truncated quoted field", "name:string\n\"unterminated\n"},
+      {"truncated final row",
+       "id:int,name:string,score:double\n1,ok,2.5\n2,tor"},
+  };
+  for (const auto& bad : corpus) {
+    const std::string path = testing::TempDir() + "/gea_bad_table.csv";
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << bad.text;
+    }
+    Result<Table> loaded = LoadTable("t", path);
+    EXPECT_FALSE(loaded.ok()) << "corpus entry accepted: " << bad.label;
+  }
+}
+
+TEST(TableIoTest, ExtremeButValidNumbersLoad) {
+  const std::string path = testing::TempDir() + "/gea_extreme_table.csv";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "id:int,score:double\n"
+        << "9223372036854775807,1e308\n"
+        << "-9223372036854775808,1e-320\n";  // denormal underflow is fine
+  }
+  Result<Table> loaded = LoadTable("t", path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->At(0, 0).AsInt(), INT64_MAX);
+  EXPECT_EQ(loaded->At(1, 0).AsInt(), INT64_MIN);
+  EXPECT_GT(loaded->At(1, 1).AsDouble(), 0.0);
 }
 
 }  // namespace

@@ -180,8 +180,10 @@ TEST(StatViewsTest, RegisteredViewsAreLiveAndReadOnly) {
   ScopedMetricsEnable on(true);
   rel::Catalog catalog;
   ASSERT_TRUE(RegisterStatViews(catalog).ok());
-  EXPECT_EQ(catalog.NumTables(), 5u);
+  // Five obs views plus gea_stat_storage registered by gea_store.
+  EXPECT_EQ(catalog.NumTables(), 6u);
   EXPECT_TRUE(catalog.IsComputed("gea_stat_counters"));
+  EXPECT_TRUE(catalog.IsComputed("gea_stat_storage"));
   EXPECT_TRUE(catalog.GetMutableTable("gea_stat_operators")
                   .status()
                   .IsFailedPrecondition());
@@ -207,7 +209,7 @@ TEST(StatViewsTest, RegisteredViewsAreLiveAndReadOnly) {
 
 TEST(StatViewsTest, BuildStatViewRejectsUnknownName) {
   EXPECT_TRUE(BuildStatView("gea_stat_nope").status().IsNotFound());
-  EXPECT_EQ(AllStatViews().size(), 5u);
+  EXPECT_EQ(AllStatViews().size(), 6u);
 }
 
 // ---------- JSON rendering ----------

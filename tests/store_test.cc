@@ -1,0 +1,543 @@
+// Tests for the durable storage engine: the binary table codec, the
+// snapshot format, the WAL framing and torn-tail handling, generation
+// rotation in StorageEngine, and the fault-injection FileEnv.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "obs/statviews.h"
+#include "store/engine.h"
+#include "store/fault_env.h"
+#include "store/file_env.h"
+#include "store/format.h"
+#include "store/snapshot.h"
+#include "store/wal.h"
+
+namespace gea::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& tag) {
+  std::string dir = testing::TempDir() + "/gea_store_" + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void WriteAll(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << data;
+}
+
+rel::Table SampleTable() {
+  rel::Table table("mixed",
+                   rel::Schema({{"id", rel::ValueType::kInt},
+                                {"level", rel::ValueType::kDouble},
+                                {"name", rel::ValueType::kString}}));
+  table.AppendRowUnchecked({rel::Value::Int(1), rel::Value::Double(0.5),
+                            rel::Value::String("alpha")});
+  table.AppendRowUnchecked({rel::Value::Int(-7), rel::Value::Null(),
+                            rel::Value::String("")});
+  table.AppendRowUnchecked(
+      {rel::Value::Null(), rel::Value::Double(-1.25e100), rel::Value::Null()});
+  return table;
+}
+
+// ---------- format primitives ----------
+
+TEST(FormatTest, PrimitivesRoundTrip) {
+  std::string buf;
+  PutU8(&buf, 0xAB);
+  PutU32(&buf, 0xDEADBEEF);
+  PutU64(&buf, 0x0123456789ABCDEFull);
+  PutI64(&buf, -42);
+  PutF64(&buf, 3.14159);
+  PutString(&buf, "hello\0world");  // embedded NUL is cut by the literal,
+  PutString(&buf, std::string("a\0b", 3));  // so also test an explicit one
+
+  ByteReader reader(buf);
+  EXPECT_EQ(*reader.ReadU8(), 0xAB);
+  EXPECT_EQ(*reader.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*reader.ReadU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(*reader.ReadI64(), -42);
+  EXPECT_DOUBLE_EQ(*reader.ReadF64(), 3.14159);
+  EXPECT_EQ(*reader.ReadString(), "hello");
+  EXPECT_EQ(*reader.ReadString(), std::string("a\0b", 3));
+  EXPECT_TRUE(reader.Done());
+}
+
+TEST(FormatTest, ReaderFailsCleanlyOnTruncation) {
+  std::string buf;
+  PutU64(&buf, 99);
+  PutString(&buf, "payload");
+  // Every strict prefix must produce OutOfRange somewhere, never UB.
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    ByteReader reader(std::string_view(buf).substr(0, cut));
+    Result<uint64_t> v = reader.ReadU64();
+    if (!v.ok()) {
+      EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+      continue;
+    }
+    Result<std::string> s = reader.ReadString();
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.status().code(), StatusCode::kOutOfRange);
+  }
+}
+
+TEST(FormatTest, TableCodecRoundTripsNullsAndTypes) {
+  rel::Table table = SampleTable();
+  std::string encoded = EncodeTable(table);
+  Result<rel::Table> back = DecodeTable(encoded);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->name(), "mixed");
+  ASSERT_EQ(back->schema().NumColumns(), 3u);
+  EXPECT_EQ(back->schema().column(1).name, "level");
+  EXPECT_EQ(back->schema().column(1).type, rel::ValueType::kDouble);
+  ASSERT_EQ(back->NumRows(), table.NumRows());
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(back->rows()[r][c], table.rows()[r][c])
+          << "row " << r << " col " << c;
+    }
+  }
+  // Determinism: re-encoding the decoded table is byte-identical.
+  EXPECT_EQ(EncodeTable(*back), encoded);
+}
+
+TEST(FormatTest, TableCodecRejectsCorruptInput) {
+  std::string encoded = EncodeTable(SampleTable());
+  EXPECT_FALSE(DecodeTable("").ok());
+  EXPECT_FALSE(DecodeTable(encoded + "x").ok());  // trailing garbage
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    EXPECT_FALSE(DecodeTable(std::string_view(encoded).substr(0, cut)).ok())
+        << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+// ---------- snapshots ----------
+
+SnapshotImage SampleImage() {
+  SnapshotImage image;
+  image.sections.push_back(
+      SnapshotSection::Blob("sage", "dataset", std::string("\x00\x01raw", 5)));
+  image.sections.push_back(SnapshotSection::Table("relation", SampleTable()));
+  return image;
+}
+
+TEST(SnapshotTest, EncodeDecodeRoundTrip) {
+  SnapshotImage image = SampleImage();
+  std::string encoded = EncodeSnapshot(image);
+  Result<SnapshotImage> back = DecodeSnapshot(encoded);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->sections.size(), 2u);
+
+  const SnapshotSection* blob = back->Find("sage", "dataset");
+  ASSERT_NE(blob, nullptr);
+  EXPECT_EQ(blob->type, SnapshotSection::Type::kBlob);
+  EXPECT_EQ(blob->blob, std::string("\x00\x01raw", 5));
+
+  const SnapshotSection* table = back->Find("relation", "mixed");
+  ASSERT_NE(table, nullptr);
+  ASSERT_TRUE(table->table.has_value());
+  EXPECT_EQ(EncodeTable(*table->table), EncodeTable(SampleTable()));
+
+  EXPECT_EQ(back->Find("relation", "nope"), nullptr);
+}
+
+TEST(SnapshotTest, DecodeRejectsEveryCorruption) {
+  std::string encoded = EncodeSnapshot(SampleImage());
+  ASSERT_TRUE(DecodeSnapshot(encoded).ok());
+
+  // Any single flipped byte breaks the magic, a CRC, or a length check.
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    std::string bad = encoded;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    EXPECT_FALSE(DecodeSnapshot(bad).ok()) << "flip at byte " << i;
+  }
+  // Truncation at any point is rejected too.
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    EXPECT_FALSE(
+        DecodeSnapshot(std::string_view(encoded).substr(0, cut)).ok());
+  }
+  EXPECT_FALSE(DecodeSnapshot(encoded + "tail").ok());
+}
+
+TEST(SnapshotTest, FileRoundTripIsAtomic) {
+  std::string dir = FreshDir("snapfile");
+  FileEnv* env = FileEnv::Default();
+  ASSERT_TRUE(env->CreateDirs(dir).ok());
+  std::string path = dir + "/snap-1.gea";
+
+  ASSERT_TRUE(WriteSnapshotFile(env, path, SampleImage()).ok());
+  EXPECT_FALSE(env->FileExists(path + ".tmp"));  // tmp renamed away
+
+  Result<SnapshotImage> back = ReadSnapshotFile(env, path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->sections.size(), 2u);
+
+  // Overwriting goes through the same tmp+rename path.
+  SnapshotImage image2;
+  image2.sections.push_back(SnapshotSection::Blob("sage", "d2", "x"));
+  ASSERT_TRUE(WriteSnapshotFile(env, path, image2).ok());
+  back = ReadSnapshotFile(env, path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->sections.size(), 1u);
+
+  EXPECT_FALSE(ReadSnapshotFile(env, dir + "/absent.gea").ok());
+}
+
+// ---------- WAL ----------
+
+WalRecord SampleOp(int i) {
+  return WalRecord::LogicalOp(
+      "populate", {{"sumy", "s" + std::to_string(i)}, {"out", "o"}});
+}
+
+TEST(WalTest, WriteReadRoundTrip) {
+  std::string dir = FreshDir("wal_rt");
+  FileEnv* env = FileEnv::Default();
+  ASSERT_TRUE(env->CreateDirs(dir).ok());
+  std::string path = dir + "/wal-0.log";
+
+  Result<std::unique_ptr<WalWriter>> writer =
+      WalWriter::Open(env, path, /*truncate=*/true, /*sync_every_record=*/true);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE((*writer)->Append(SampleOp(0)).ok());
+  ASSERT_TRUE((*writer)->Append(WalRecord::BlobRecord("load_dataset",
+                                                      "blob\0bytes")).ok());
+  EXPECT_EQ((*writer)->records(), 2u);
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  Result<WalReadResult> read = ReadWalFile(env, path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_FALSE(read->torn_tail);
+  EXPECT_EQ(read->dropped_bytes, 0u);
+  ASSERT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->records[0].type, WalRecord::Type::kLogicalOp);
+  EXPECT_EQ(read->records[0].op, "populate");
+  EXPECT_EQ(read->records[0].params.at("sumy"), "s0");
+  EXPECT_EQ(read->records[1].type, WalRecord::Type::kBlob);
+  EXPECT_EQ(read->records[1].op, "load_dataset");
+
+  // Reopening for append keeps the old records.
+  writer = WalWriter::Open(env, path, /*truncate=*/false,
+                           /*sync_every_record=*/true);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(SampleOp(2)).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  read = ReadWalFile(env, path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 3u);
+}
+
+TEST(WalTest, MissingFileIsEmptyLog) {
+  Result<WalReadResult> read =
+      ReadWalFile(FileEnv::Default(), FreshDir("wal_miss") + "/wal-0.log");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->records.empty());
+  EXPECT_FALSE(read->torn_tail);
+}
+
+TEST(WalTest, TornTailAtEveryByteKeepsDurablePrefix) {
+  std::string frames[3] = {EncodeWalRecord(SampleOp(0)),
+                           EncodeWalRecord(SampleOp(1)),
+                           EncodeWalRecord(SampleOp(2))};
+  std::string full = frames[0] + frames[1] + frames[2];
+  std::string dir = FreshDir("wal_torn");
+  FileEnv* env = FileEnv::Default();
+  ASSERT_TRUE(env->CreateDirs(dir).ok());
+  std::string path = dir + "/wal-0.log";
+
+  size_t prefix2 = frames[0].size() + frames[1].size();
+  // Tear the file anywhere inside the third frame: the first two records
+  // must survive and the tail must be reported torn.
+  for (size_t cut = prefix2 + 1; cut < full.size(); ++cut) {
+    WriteAll(path, full.substr(0, cut));
+    Result<WalReadResult> read = ReadWalFile(env, path);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_EQ(read->records.size(), 2u) << "cut at " << cut;
+    EXPECT_TRUE(read->torn_tail);
+    EXPECT_EQ(read->valid_bytes, prefix2);
+    EXPECT_EQ(read->dropped_bytes, cut - prefix2);
+  }
+
+  // A corrupt byte mid-log cuts everything from that frame on.
+  std::string bad = full;
+  bad[frames[0].size() + 9] ^= 0x01;  // inside frame 1's body
+  WriteAll(path, bad);
+  Result<WalReadResult> read = ReadWalFile(env, path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 1u);
+  EXPECT_TRUE(read->torn_tail);
+  EXPECT_EQ(read->valid_bytes, frames[0].size());
+}
+
+// ---------- storage engine ----------
+
+TEST(EngineTest, BootstrapAppendReopenReplaysRecords) {
+  std::string dir = FreshDir("engine_basic");
+  FileEnv* env = FileEnv::Default();
+  StorageOptions options;
+
+  Result<StorageEngine::OpenResult> open =
+      StorageEngine::Open(env, dir, options);
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  EXPECT_EQ(open->engine->generation(), 0u);
+  EXPECT_FALSE(open->snapshot.has_value());
+  EXPECT_TRUE(open->records.empty());
+  EXPECT_FALSE(open->summary.snapshot_loaded);
+
+  ASSERT_TRUE(open->engine->Append(SampleOp(0)).ok());
+  ASSERT_TRUE(open->engine->Append(SampleOp(1)).ok());
+  ASSERT_TRUE(open->engine->Close().ok());
+
+  open = StorageEngine::Open(env, dir, options);
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(open->engine->generation(), 0u);
+  ASSERT_EQ(open->records.size(), 2u);
+  EXPECT_EQ(open->records[1].params.at("sumy"), "s1");
+  EXPECT_EQ(open->summary.wal_records_replayed, 2u);
+  EXPECT_EQ(LastRecoverySummary().wal_records_replayed, 2u);
+}
+
+TEST(EngineTest, CheckpointRotatesGenerationAndClearsWal) {
+  std::string dir = FreshDir("engine_ckpt");
+  FileEnv* env = FileEnv::Default();
+  StorageOptions options;
+
+  Result<StorageEngine::OpenResult> open =
+      StorageEngine::Open(env, dir, options);
+  ASSERT_TRUE(open.ok());
+  StorageEngine* engine = open->engine.get();
+  ASSERT_TRUE(engine->Append(SampleOp(0)).ok());
+
+  ASSERT_TRUE(engine->Checkpoint(SampleImage()).ok());
+  EXPECT_EQ(engine->generation(), 1u);
+  EXPECT_EQ(engine->records_since_checkpoint(), 0u);
+  // Old generation files are swept, new ones exist.
+  EXPECT_TRUE(env->FileExists(engine->SnapshotPath(1)));
+  EXPECT_FALSE(env->FileExists(engine->WalPath(0)));
+
+  // Records after the checkpoint land in the new WAL.
+  ASSERT_TRUE(engine->Append(SampleOp(7)).ok());
+  ASSERT_TRUE(engine->Close().ok());
+
+  open = StorageEngine::Open(env, dir, options);
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(open->engine->generation(), 1u);
+  ASSERT_TRUE(open->snapshot.has_value());
+  EXPECT_EQ(open->snapshot->sections.size(), 2u);
+  ASSERT_EQ(open->records.size(), 1u);  // kCheckpoint marker filtered out
+  EXPECT_EQ(open->records[0].params.at("sumy"), "s7");
+  EXPECT_TRUE(open->summary.snapshot_loaded);
+  EXPECT_EQ(open->summary.generation, 1u);
+}
+
+TEST(EngineTest, AutomaticCheckpointThreshold) {
+  std::string dir = FreshDir("engine_auto");
+  StorageOptions options;
+  options.checkpoint_every_records = 3;
+  Result<StorageEngine::OpenResult> open =
+      StorageEngine::Open(FileEnv::Default(), dir, options);
+  ASSERT_TRUE(open.ok());
+  StorageEngine* engine = open->engine.get();
+  EXPECT_FALSE(engine->CheckpointDue());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(engine->Append(SampleOp(i)).ok());
+  EXPECT_TRUE(engine->CheckpointDue());
+  ASSERT_TRUE(engine->Checkpoint(SampleImage()).ok());
+  EXPECT_FALSE(engine->CheckpointDue());
+}
+
+TEST(EngineTest, MissingCurrentFallsBackToSnapshotScan) {
+  std::string dir = FreshDir("engine_fallback");
+  FileEnv* env = FileEnv::Default();
+  StorageOptions options;
+  {
+    Result<StorageEngine::OpenResult> open =
+        StorageEngine::Open(env, dir, options);
+    ASSERT_TRUE(open.ok());
+    ASSERT_TRUE(open->engine->Append(SampleOp(0)).ok());
+    ASSERT_TRUE(open->engine->Checkpoint(SampleImage()).ok());
+    ASSERT_TRUE(open->engine->Append(SampleOp(1)).ok());
+    ASSERT_TRUE(open->engine->Close().ok());
+  }
+  ASSERT_TRUE(env->RemoveFile(dir + "/CURRENT").ok());
+
+  Result<StorageEngine::OpenResult> open =
+      StorageEngine::Open(env, dir, options);
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  EXPECT_TRUE(open->summary.used_fallback_scan);
+  EXPECT_EQ(open->engine->generation(), 1u);
+  ASSERT_TRUE(open->snapshot.has_value());
+  ASSERT_EQ(open->records.size(), 1u);
+  EXPECT_EQ(open->records[0].params.at("sumy"), "s1");
+}
+
+TEST(EngineTest, TornWalTailIsTruncatedOnDisk) {
+  std::string dir = FreshDir("engine_torn");
+  FileEnv* env = FileEnv::Default();
+  StorageOptions options;
+  {
+    Result<StorageEngine::OpenResult> open =
+        StorageEngine::Open(env, dir, options);
+    ASSERT_TRUE(open.ok());
+    ASSERT_TRUE(open->engine->Append(SampleOp(0)).ok());
+    ASSERT_TRUE(open->engine->Close().ok());
+  }
+  std::string wal_path = dir + "/wal-0.log";
+  std::string intact = ReadAll(wal_path);
+  WriteAll(wal_path, intact + EncodeWalRecord(SampleOp(1)).substr(0, 5));
+
+  Result<StorageEngine::OpenResult> open =
+      StorageEngine::Open(env, dir, options);
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  EXPECT_TRUE(open->summary.wal_torn_tail);
+  EXPECT_EQ(open->summary.wal_bytes_truncated, 5u);
+  ASSERT_EQ(open->records.size(), 1u);
+  ASSERT_TRUE(open->engine->Close().ok());
+  // The torn bytes are gone from disk, not just skipped.
+  EXPECT_EQ(ReadAll(wal_path).size(), intact.size());
+}
+
+TEST(EngineTest, StaleTmpFilesAreSweptOnOpen) {
+  std::string dir = FreshDir("engine_sweep");
+  FileEnv* env = FileEnv::Default();
+  StorageOptions options;
+  {
+    Result<StorageEngine::OpenResult> open =
+        StorageEngine::Open(env, dir, options);
+    ASSERT_TRUE(open.ok());
+    ASSERT_TRUE(open->engine->Close().ok());
+  }
+  WriteAll(dir + "/snap-9.gea.tmp", "half a snapshot");
+  Result<StorageEngine::OpenResult> open =
+      StorageEngine::Open(env, dir, options);
+  ASSERT_TRUE(open.ok());
+  EXPECT_FALSE(env->FileExists(dir + "/snap-9.gea.tmp"));
+}
+
+// ---------- fault-injection env ----------
+
+TEST(FaultEnvTest, UnsyncedAppendsAreLostOnKill) {
+  std::string dir = FreshDir("fault_lost");
+  FileEnv* base = FileEnv::Default();
+  ASSERT_TRUE(base->CreateDirs(dir).ok());
+  FaultInjectionEnv env(base);
+
+  // Synced data survives; buffered-but-unsynced data must not.
+  Result<std::unique_ptr<WritableFile>> file =
+      env.NewWritableFile(dir + "/f", /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("durable").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append("volatile").ok());
+
+  // ArmFault restarts the fault-point counter, so the next mutating
+  // operation is point 0.
+  env.ArmFault(0, FaultInjectionEnv::FaultKind::kKill);
+  EXPECT_FALSE((*file)->Sync().ok());  // the armed point fires here
+  EXPECT_TRUE(env.Killed());
+  (void)(*file)->Close();
+  EXPECT_EQ(ReadAll(dir + "/f"), "durable");
+
+  // Every later mutating call fails like a dead process.
+  EXPECT_FALSE(env.RenameFile(dir + "/f", dir + "/g").ok());
+  EXPECT_FALSE(env.NewWritableFile(dir + "/h", true).ok());
+}
+
+TEST(FaultEnvTest, ShortWriteTearsTheTail) {
+  std::string dir = FreshDir("fault_torn");
+  FileEnv* base = FileEnv::Default();
+  ASSERT_TRUE(base->CreateDirs(dir).ok());
+  FaultInjectionEnv env(base);
+
+  Result<std::unique_ptr<WritableFile>> file =
+      env.NewWritableFile(dir + "/f", /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("0123456789").ok());
+  env.ArmFault(0, FaultInjectionEnv::FaultKind::kShortWrite);
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_TRUE(env.Killed());
+
+  std::string survived = ReadAll(dir + "/f");
+  EXPECT_GT(survived.size(), 0u);
+  EXPECT_LT(survived.size(), 10u);
+  EXPECT_EQ(survived, std::string("0123456789").substr(0, survived.size()));
+}
+
+TEST(FaultEnvTest, ResetRevivesTheEnv) {
+  std::string dir = FreshDir("fault_reset");
+  FileEnv* base = FileEnv::Default();
+  ASSERT_TRUE(base->CreateDirs(dir).ok());
+  FaultInjectionEnv env(base);
+  env.ArmFault(0, FaultInjectionEnv::FaultKind::kKill);
+  EXPECT_FALSE(env.RenameFile(dir + "/a", dir + "/b").ok());
+  EXPECT_TRUE(env.Killed());
+  env.Reset();
+  EXPECT_FALSE(env.Killed());
+  Result<std::unique_ptr<WritableFile>> file =
+      env.NewWritableFile(dir + "/f", true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("x").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_EQ(ReadAll(dir + "/f"), "x");
+}
+
+TEST(FaultEnvTest, EngineRunsCleanlyThroughFaultEnvWhenDisarmed) {
+  std::string dir = FreshDir("fault_engine");
+  FaultInjectionEnv env(FileEnv::Default());
+  StorageOptions options;
+  Result<StorageEngine::OpenResult> open =
+      StorageEngine::Open(&env, dir, options);
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  ASSERT_TRUE(open->engine->Append(SampleOp(0)).ok());
+  ASSERT_TRUE(open->engine->Checkpoint(SampleImage()).ok());
+  ASSERT_TRUE(open->engine->Close().ok());
+  EXPECT_GT(env.FaultPointsSeen(), 5u);  // a real matrix to iterate over
+
+  // The directory is valid for a plain POSIX reopen.
+  Result<StorageEngine::OpenResult> reopen =
+      StorageEngine::Open(FileEnv::Default(), dir, options);
+  ASSERT_TRUE(reopen.ok());
+  EXPECT_EQ(reopen->engine->generation(), 1u);
+  ASSERT_TRUE(reopen->snapshot.has_value());
+}
+
+// ---------- storage stat view ----------
+
+TEST(StorageStatViewTest, ViewReportsLastRecovery) {
+  std::string dir = FreshDir("statview");
+  StorageOptions options;
+  {
+    Result<StorageEngine::OpenResult> open =
+        StorageEngine::Open(FileEnv::Default(), dir, options);
+    ASSERT_TRUE(open.ok());
+    ASSERT_TRUE(open->engine->Append(SampleOp(0)).ok());
+    ASSERT_TRUE(open->engine->Close().ok());
+  }
+  Result<StorageEngine::OpenResult> open =
+      StorageEngine::Open(FileEnv::Default(), dir, options);
+  ASSERT_TRUE(open.ok());
+
+  Result<rel::Table> view = obs::BuildStatView(obs::kStatStorageView);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  int64_t replayed = -1;
+  for (const rel::Row& row : view->rows()) {
+    if (row[0].AsString() == "recovery.wal_records_replayed") {
+      replayed = row[1].AsInt();
+    }
+  }
+  EXPECT_EQ(replayed, 1);
+}
+
+}  // namespace
+}  // namespace gea::store

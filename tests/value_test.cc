@@ -88,6 +88,26 @@ TEST(ValueTest, ParseDouble) {
   EXPECT_FALSE(Value::Parse("abc", ValueType::kDouble).ok());
 }
 
+TEST(ValueTest, ParseIntRejectsOutOfRange) {
+  EXPECT_TRUE(Value::Parse("9223372036854775807", ValueType::kInt).ok());
+  EXPECT_TRUE(Value::Parse("-9223372036854775808", ValueType::kInt).ok());
+  // One past either end: strtoll clamps, which would silently corrupt
+  // counts, so the parser must reject instead.
+  EXPECT_FALSE(Value::Parse("9223372036854775808", ValueType::kInt).ok());
+  EXPECT_FALSE(Value::Parse("-9223372036854775809", ValueType::kInt).ok());
+  EXPECT_FALSE(Value::Parse("99999999999999999999999", ValueType::kInt).ok());
+}
+
+TEST(ValueTest, ParseDoubleRejectsOverflowKeepsUnderflow) {
+  EXPECT_FALSE(Value::Parse("1e999", ValueType::kDouble).ok());
+  EXPECT_FALSE(Value::Parse("-1e999", ValueType::kDouble).ok());
+  // Gradual underflow to a denormal (or zero) is a legitimate value.
+  Result<Value> tiny = Value::Parse("1e-320", ValueType::kDouble);
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_GE(tiny->AsDouble(), 0.0);
+  EXPECT_TRUE(Value::Parse("1.7976931348623157e308", ValueType::kDouble).ok());
+}
+
 TEST(ValueTest, ParseNullForms) {
   EXPECT_TRUE(Value::Parse("NULL", ValueType::kInt)->is_null());
   EXPECT_TRUE(Value::Parse("", ValueType::kDouble)->is_null());

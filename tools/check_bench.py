@@ -1,16 +1,23 @@
 #!/usr/bin/env python3
-"""Compare a bench_operators --json run against a checked-in baseline.
+"""Compare bench --json runs against a checked-in baseline.
 
-Both inputs are JSON-lines files as emitted by `bench_operators --json=PATH`:
-one object per line with at least {"name", "threads", "mean_ms"}.
+All inputs are JSON-lines files as emitted by `bench_operators --json=PATH`
+(or any other gea micro-benchmark binary): one object per line with at
+least {"name", "threads", "mean_ms"}.
 
 Usage:
-    check_bench.py BASELINE CURRENT [--threshold=0.25]
+    check_bench.py BASELINE CURRENT [CURRENT...] [--threshold=0.25]
 
-Exits non-zero when any benchmark present in both files regressed by more
-than the threshold (current mean_ms > (1 + threshold) * baseline mean_ms).
-Benchmarks that appear in only one file are reported but never fatal, so
-adding or removing benchmarks does not break the comparison step.
+Several CURRENT files (one per benchmark binary, e.g. bench_operators and
+bench_store) are merged before comparing; a benchmark name appearing in
+more than one current file is an error, since the merge would silently
+pick one of the two timings.
+
+Exits non-zero when any benchmark present in both baseline and current
+regressed by more than the threshold (current mean_ms > (1 + threshold) *
+baseline mean_ms). Benchmarks that appear on only one side are reported
+but never fatal, so adding or removing benchmarks does not break the
+comparison step.
 """
 
 import argparse
@@ -43,14 +50,21 @@ def load(path):
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("current", nargs="+")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional mean-time regression "
                              "(default 0.25 = 25%%)")
     args = parser.parse_args(argv)
 
     baseline = load(args.baseline)
-    current = load(args.current)
+    current = {}
+    for path in args.current:
+        for name, record in load(path).items():
+            if name in current:
+                raise SystemExit(
+                    f"{path}: benchmark '{name}' already provided by an "
+                    "earlier current file")
+            current[name] = record
 
     regressions = []
     width = max(len(n) for n in sorted(set(baseline) | set(current)))
