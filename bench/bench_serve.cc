@@ -1,0 +1,110 @@
+// Micro-benchmarks for the query service: request throughput and
+// latency through the full stack — framing, admission queue, worker
+// pool, session execution — over real loopback TCP. Each benchmark
+// thread is one client connection, so the /threads:1, /threads:4 and
+// /threads:16 rows give req/sec and p50/p99 latency at those client
+// counts. The small payload is a ping (header-sized frames both ways);
+// the large one is an SQL scan returning a table payload.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "sage/cleaning.h"
+#include "sage/generator.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "workbench/session.h"
+
+namespace {
+
+using namespace gea;
+
+// One shared server for the whole binary: an admin session over the
+// deterministic small panel, with enough workers to keep 16 clients
+// busy. Started lazily on first use.
+serve::QueryServer& Server() {
+  static serve::QueryServer* server = [] {
+    sage::GeneratorConfig config;
+    config.seed = 2024;
+    config.panels = sage::SyntheticSageGenerator::SmallPanels();
+    sage::SyntheticSage synth =
+        sage::SyntheticSageGenerator(config).Generate();
+    sage::CleanAndNormalize(synth.dataset);
+
+    auto* session = new workbench::AnalysisSession("admin", "secret");
+    (void)session->Login("admin", "secret",
+                         workbench::AccessLevel::kAdministrator);
+    (void)session->LoadDataSet(std::move(synth.dataset));
+
+    serve::ServerOptions options;
+    options.num_workers = 16;
+    options.queue_capacity = 256;
+    auto* s = new serve::QueryServer(session, options);
+    (void)s->Start();
+    return s;
+  }();
+  return *server;
+}
+
+double PercentileMs(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted.size() - 1, static_cast<size_t>(q * (sorted.size() - 1)));
+  return sorted[index];
+}
+
+// Runs `call` once per iteration on a per-thread authenticated client,
+// timing each request; reports req/sec (items_per_second) plus p50/p99
+// latency averaged across client threads.
+template <typename Call>
+void RunServeBench(benchmark::State& state, Call call) {
+  serve::QueryClient client;
+  if (!client.Connect(Server().Port()).ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  if (!client.Login("admin", "secret", "admin").ok()) {
+    state.SkipWithError("login failed");
+    return;
+  }
+
+  std::vector<double> latencies_ms;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    if (!call(client)) {
+      state.SkipWithError("request failed");
+      return;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+  }
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  state.counters["p50_ms"] = benchmark::Counter(
+      PercentileMs(latencies_ms, 0.50), benchmark::Counter::kAvgThreads);
+  state.counters["p99_ms"] = benchmark::Counter(
+      PercentileMs(latencies_ms, 0.99), benchmark::Counter::kAvgThreads);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ServePing(benchmark::State& state) {
+  RunServeBench(state, [](serve::QueryClient& client) {
+    return client.Ping().ok();
+  });
+}
+BENCHMARK(BM_ServePing)->Threads(1)->Threads(4)->Threads(16)->UseRealTime();
+
+void BM_ServeSqlScan(benchmark::State& state) {
+  RunServeBench(state, [](serve::QueryClient& client) {
+    return client.Sql("SELECT * FROM Libraries").ok();
+  });
+}
+BENCHMARK(BM_ServeSqlScan)->Threads(1)->Threads(4)->Threads(16)
+    ->UseRealTime();
+
+}  // namespace

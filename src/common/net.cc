@@ -1,0 +1,134 @@
+#include "common/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace gea::net {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Result<ListenSocket> ListenLoopback(int port, int backlog) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port out of range: " +
+                                   std::to_string(port));
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError(Errno("socket"));
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, on purpose
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string msg =
+        Errno(("bind 127.0.0.1:" + std::to_string(port)).c_str());
+    CloseFd(fd);
+    return Status::IoError(msg);
+  }
+  if (listen(fd, backlog) != 0) {
+    const std::string msg = Errno("listen");
+    CloseFd(fd);
+    return Status::IoError(msg);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    const std::string msg = Errno("getsockname");
+    CloseFd(fd);
+    return Status::IoError(msg);
+  }
+  return ListenSocket{fd, ntohs(bound.sin_port)};
+}
+
+Result<int> ConnectLoopback(int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError(Errno("socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  int rc;
+  do {
+    rc = connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const std::string msg =
+        Errno(("connect 127.0.0.1:" + std::to_string(port)).c_str());
+    CloseFd(fd);
+    return Status::IoError(msg);
+  }
+  return fd;
+}
+
+Result<int> Accept(int listen_fd) {
+  for (;;) {
+    const int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return Status::IoError(Errno("accept"));
+  }
+}
+
+Status SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno("send"));
+    }
+    if (n == 0) return Status::IoError("send: connection closed");
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> RecvSome(int fd, void* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = recv(fd, buf, len, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    return Status::IoError(Errno("recv"));
+  }
+}
+
+Result<size_t> RecvExact(int fd, void* buf, size_t len, bool eof_ok) {
+  size_t got = 0;
+  while (got < len) {
+    GEA_ASSIGN_OR_RETURN(
+        size_t n, RecvSome(fd, static_cast<char*>(buf) + got, len - got));
+    if (n == 0) {
+      if (got == 0 && eof_ok) return size_t{0};
+      return Status::IoError("recv: connection closed mid-read (" +
+                             std::to_string(got) + " of " +
+                             std::to_string(len) + " bytes)");
+    }
+    got += n;
+  }
+  return got;
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  // POSIX leaves the fd state unspecified on EINTR; retrying a close can
+  // double-close a racing fd, so one call is the safe idiom on Linux.
+  close(fd);
+}
+
+}  // namespace gea::net

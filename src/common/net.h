@@ -1,0 +1,60 @@
+#ifndef GEA_COMMON_NET_H_
+#define GEA_COMMON_NET_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace gea::net {
+
+/// Shared blocking POSIX TCP helpers for the in-process servers (the
+/// obs MonitorServer and the serve QueryServer) and the client library.
+/// One place owns the fiddly parts so every socket path behaves the same:
+///
+///  - listeners set SO_REUSEADDR, so a restart does not trip over a
+///    lingering TIME_WAIT binding;
+///  - accept/recv/send retry on EINTR instead of surfacing a spurious
+///    failure when a signal lands mid-call;
+///  - sends use MSG_NOSIGNAL, so a peer that hung up yields EPIPE instead
+///    of delivering SIGPIPE to the whole process.
+///
+/// Everything binds/connects loopback only — GEA's embedded servers are
+/// deliberately not reachable from other hosts.
+
+struct ListenSocket {
+  int fd = -1;
+  int port = 0;  // the bound port; useful when asking for port 0
+};
+
+/// Creates a listening socket on 127.0.0.1:`port` (0 picks an ephemeral
+/// port, reported back in ListenSocket::port).
+Result<ListenSocket> ListenLoopback(int port, int backlog = 64);
+
+/// Blocking connect to 127.0.0.1:`port`.
+Result<int> ConnectLoopback(int port);
+
+/// Blocking accept with EINTR retry. Any other failure (including the
+/// listener being closed by another thread) is an IoError.
+Result<int> Accept(int listen_fd);
+
+/// Writes all of `data`, retrying short writes and EINTR, never raising
+/// SIGPIPE. IoError when the peer goes away mid-write.
+Status SendAll(int fd, std::string_view data);
+
+/// One blocking read of up to `len` bytes with EINTR retry. Returns 0 at
+/// end of stream (orderly shutdown), IoError on failure.
+Result<size_t> RecvSome(int fd, void* buf, size_t len);
+
+/// Reads exactly `len` bytes. `eof_ok` reports a clean end of stream
+/// *before the first byte* as 0 bytes read (so framed readers can tell a
+/// closed connection from a torn frame); EOF mid-buffer is always an
+/// IoError. Returns the byte count actually read (0 or `len`).
+Result<size_t> RecvExact(int fd, void* buf, size_t len, bool eof_ok = false);
+
+/// close() with EINTR tolerance; ignores errors (used on teardown paths).
+void CloseFd(int fd);
+
+}  // namespace gea::net
+
+#endif  // GEA_COMMON_NET_H_

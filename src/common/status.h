@@ -25,6 +25,8 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kIoError,
+  kResourceExhausted,   // admission-control backpressure (serve layer)
+  kDeadlineExceeded,    // per-request deadline expired before execution
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
@@ -68,6 +70,12 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -83,6 +91,12 @@ class Status {
   }
   bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   /// Renders as "OK" or "<CodeName>: <message>".

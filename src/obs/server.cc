@@ -1,16 +1,12 @@
 #include "obs/server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/types.h>
-#include <unistd.h>
 
-#include <cerrno>
 #include <cstdlib>
-#include <cstring>
 #include <utility>
 
+#include "common/net.h"
 #include "obs/export.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -62,16 +58,6 @@ const char* StatusText(int status) {
   }
 }
 
-void SendAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) return;  // peer went away; nothing to salvage
-    sent += static_cast<size_t>(n);
-  }
-}
-
 void HandleConnection(int fd) {
   // Bound how long a dribbling client can hold the (single) serve thread.
   timeval timeout{};
@@ -82,9 +68,11 @@ void HandleConnection(int fd) {
   char buf[2048];
   while (head.find("\r\n\r\n") == std::string::npos &&
          head.find("\n\n") == std::string::npos && head.size() < 16384) {
-    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    head.append(buf, static_cast<size_t>(n));
+    // net::RecvSome retries EINTR; the receive timeout above still
+    // surfaces as an error, which ends the read loop as intended.
+    Result<size_t> n = net::RecvSome(fd, buf, sizeof(buf));
+    if (!n.ok() || *n == 0) break;
+    head.append(buf, *n);
   }
 
   internal::HttpResponse response;
@@ -102,7 +90,8 @@ void HandleConnection(int fd) {
   wire += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   wire += "Connection: close\r\n\r\n";
   wire += response.body;
-  SendAll(fd, wire);
+  // Best effort: a peer that went away mid-send is not our problem.
+  (void)net::SendAll(fd, wire);
 }
 
 }  // namespace
@@ -162,41 +151,13 @@ Status MonitorServer::Start(int port) {
                                    std::to_string(port));
   }
 
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IoError(std::string("socket: ") + std::strerror(errno));
-  }
-  const int one = 1;
-  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  GEA_ASSIGN_OR_RETURN(net::ListenSocket listener,
+                       net::ListenLoopback(port, /*backlog=*/16));
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, on purpose
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string msg = std::strerror(errno);
-    close(fd);
-    return Status::IoError("bind 127.0.0.1:" + std::to_string(port) + ": " +
-                           msg);
-  }
-  if (listen(fd, 16) != 0) {
-    const std::string msg = std::strerror(errno);
-    close(fd);
-    return Status::IoError("listen: " + msg);
-  }
-
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
-    const std::string msg = std::strerror(errno);
-    close(fd);
-    return Status::IoError("getsockname: " + msg);
-  }
-
-  listen_fd_ = fd;
-  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  listen_fd_ = listener.fd;
+  port_.store(listener.port, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  thread_ = std::thread(&MonitorServer::ServeLoop, this, fd);
+  thread_ = std::thread(&MonitorServer::ServeLoop, this, listener.fd);
 
   LogRecord(LogLevel::kInfo, "monitor_started")
       .Int("port", Port())
@@ -211,7 +172,7 @@ void MonitorServer::Stop() {
   // Wake the blocking accept(): shutdown() makes it return on Linux, and
   // close() releases the fd either way.
   shutdown(listen_fd_, SHUT_RDWR);
-  close(listen_fd_);
+  net::CloseFd(listen_fd_);
   listen_fd_ = -1;
   if (thread_.joinable()) thread_.join();
   port_.store(0, std::memory_order_release);
@@ -219,13 +180,10 @@ void MonitorServer::Stop() {
 
 void MonitorServer::ServeLoop(int listen_fd) {
   while (running_.load(std::memory_order_acquire)) {
-    const int fd = accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // Stop() closed the socket (or it broke irrecoverably)
-    }
-    HandleConnection(fd);
-    close(fd);
+    Result<int> fd = net::Accept(listen_fd);  // retries EINTR internally
+    if (!fd.ok()) break;  // Stop() closed the socket (or it broke)
+    HandleConnection(*fd);
+    net::CloseFd(*fd);
   }
 }
 

@@ -33,6 +33,9 @@ inline constexpr const char* kStatSessionsView = "gea_stat_sessions";
 inline constexpr const char* kStatThreadsView = "gea_stat_threads";
 /// Registered by gea_store (see below), present in any binary linking it.
 inline constexpr const char* kStatStorageView = "gea_stat_storage";
+/// Registered by gea_serve: one row per live QueryServer (port, queue
+/// depth, admission rejections, bytes moved).
+inline constexpr const char* kStatServeView = "gea_stat_serve";
 
 /// Extension point: a higher layer contributes a stat view without obs
 /// linking against it (gea_store registers gea_stat_storage this way at

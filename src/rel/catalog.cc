@@ -67,6 +67,21 @@ Result<const Table*> Catalog::GetTable(const std::string& name) const {
   return static_cast<const Table*>(it->second.get());
 }
 
+Result<Table> Catalog::MaterializeTable(const std::string& name) const {
+  auto computed = computed_.find(name);
+  if (computed != computed_.end()) {
+    // Run the builder into a local — deliberately no computed_cache_
+    // write, so concurrent readers of the same view cannot race or see a
+    // borrowed pointer invalidated underneath them.
+    return computed->second();
+  }
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return Table(*it->second);
+}
+
 Result<Table*> Catalog::GetMutableTable(const std::string& name) {
   if (computed_.count(name) > 0) {
     return Status::FailedPrecondition("computed table is read-only: " + name);

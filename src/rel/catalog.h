@@ -57,9 +57,18 @@ class Catalog {
   /// Borrowed pointer. For stored tables: valid until the table is
   /// dropped or replaced. For computed tables: the builder runs and the
   /// result is cached per name, so the pointer is valid until the next
-  /// GetTable() of the same name (or drop).
+  /// GetTable() of the same name (or drop). NOT safe for concurrent
+  /// callers reading the same computed table — use MaterializeTable()
+  /// from multi-threaded readers.
   Result<const Table*> GetTable(const std::string& name) const;
   Result<Table*> GetMutableTable(const std::string& name);
+
+  /// A by-value materialization of `name`. Stored tables are copied;
+  /// computed tables run their builder without touching the shared cache,
+  /// so concurrent MaterializeTable() calls over the same view never
+  /// invalidate each other. The serve layer's read-only query path uses
+  /// this exclusively.
+  Result<Table> MaterializeTable(const std::string& name) const;
 
   Status DropTable(const std::string& name);
 

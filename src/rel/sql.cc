@@ -199,18 +199,16 @@ class Parser {
     }
     GEA_RETURN_IF_ERROR(ExpectKeyword("FROM"));
     GEA_ASSIGN_OR_RETURN(std::string table_name, ExpectIdentifier());
-    GEA_ASSIGN_OR_RETURN(const Table* table, catalog_.GetTable(table_name));
+    // By-value materialization: computed stat views rebuild fresh without
+    // touching the catalog's shared cache, so concurrent queries (the
+    // serve layer runs read-only SQL from many workers) never race on it.
+    GEA_ASSIGN_OR_RETURN(Table table, catalog_.MaterializeTable(table_name));
 
-    // WHERE
-    std::vector<PredicatePtr> conditions;
+    // WHERE: full boolean expression, OR binds looser than AND.
+    PredicatePtr where;
     if (PeekKeyword("WHERE")) {
       Advance();
-      while (true) {
-        GEA_ASSIGN_OR_RETURN(PredicatePtr cond, Condition());
-        conditions.push_back(std::move(cond));
-        if (!PeekKeyword("AND")) break;
-        Advance();
-      }
+      GEA_ASSIGN_OR_RETURN(where, OrExpr());
     }
 
     // GROUP BY
@@ -286,12 +284,9 @@ class Parser {
 
     // Execute: WHERE -> (GROUP BY + aggregates) -> ORDER BY -> LIMIT ->
     // projection.
-    Table result = *table;
-    if (!conditions.empty()) {
-      PredicatePtr pred = conditions.size() == 1
-                              ? std::move(conditions.front())
-                              : And(std::move(conditions));
-      GEA_ASSIGN_OR_RETURN(result, Select(result, pred, "query"));
+    Table result = std::move(table);
+    if (where != nullptr) {
+      GEA_ASSIGN_OR_RETURN(result, Select(result, where, "query"));
     }
     if (aggregated) {
       std::vector<AggSpec> aggs;
@@ -435,6 +430,49 @@ class Parser {
     }
   }
 
+  // or_expr := and_expr (OR and_expr)*
+  Result<PredicatePtr> OrExpr() {
+    std::vector<PredicatePtr> terms;
+    GEA_ASSIGN_OR_RETURN(PredicatePtr first, AndExpr());
+    terms.push_back(std::move(first));
+    while (PeekKeyword("OR")) {
+      Advance();
+      GEA_ASSIGN_OR_RETURN(PredicatePtr next, AndExpr());
+      terms.push_back(std::move(next));
+    }
+    if (terms.size() == 1) return std::move(terms.front());
+    return Or(std::move(terms));
+  }
+
+  // and_expr := primary (AND primary)*. BETWEEN's interior AND is consumed
+  // inside Condition(), so the AND seen here is always the conjunction.
+  Result<PredicatePtr> AndExpr() {
+    std::vector<PredicatePtr> terms;
+    GEA_ASSIGN_OR_RETURN(PredicatePtr first, PrimaryCondition());
+    terms.push_back(std::move(first));
+    while (PeekKeyword("AND")) {
+      Advance();
+      GEA_ASSIGN_OR_RETURN(PredicatePtr next, PrimaryCondition());
+      terms.push_back(std::move(next));
+    }
+    if (terms.size() == 1) return std::move(terms.front());
+    return And(std::move(terms));
+  }
+
+  // primary := '(' or_expr ')' | condition
+  Result<PredicatePtr> PrimaryCondition() {
+    if (PeekSymbol("(")) {
+      Advance();
+      GEA_ASSIGN_OR_RETURN(PredicatePtr inner, OrExpr());
+      if (!PeekSymbol(")")) {
+        return Status::InvalidArgument("expected ')' to close condition group");
+      }
+      Advance();
+      return inner;
+    }
+    return Condition();
+  }
+
   Result<PredicatePtr> Condition() {
     GEA_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
     // IS [NOT] NULL
@@ -458,6 +496,27 @@ class Parser {
       GEA_RETURN_IF_ERROR(ExpectKeyword("AND"));
       GEA_ASSIGN_OR_RETURN(Value hi, Literal());
       return Between(column, std::move(lo), std::move(hi));
+    }
+    // IN (literal, literal, ...) — sugar for an OR of equalities.
+    if (PeekKeyword("IN")) {
+      Advance();
+      if (!PeekSymbol("(")) {
+        return Status::InvalidArgument("expected '(' after IN");
+      }
+      Advance();
+      std::vector<PredicatePtr> options;
+      while (true) {
+        GEA_ASSIGN_OR_RETURN(Value v, Literal());
+        options.push_back(Compare(column, CompareOp::kEq, std::move(v)));
+        if (!PeekSymbol(",")) break;
+        Advance();
+      }
+      if (!PeekSymbol(")")) {
+        return Status::InvalidArgument("expected ')' to close IN list");
+      }
+      Advance();
+      if (options.size() == 1) return std::move(options.front());
+      return Or(std::move(options));
     }
     // column <op> literal
     if (tokens_[pos_].kind != TokenKind::kSymbol) {

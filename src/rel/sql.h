@@ -14,7 +14,7 @@ namespace gea::rel {
 ///
 ///   SELECT <select_item [, select_item ...] | *>
 ///   FROM <table>
-///   [WHERE <condition> [AND <condition>] ...]
+///   [WHERE <where_expr>]
 ///   [GROUP BY <column> [, <column>] ...]
 ///   [ORDER BY <column> [ASC|DESC] [, <column> [ASC|DESC]] ...]
 ///   [LIMIT <n>]
@@ -24,20 +24,29 @@ namespace gea::rel {
 ///     | COUNT(*) | SUM(col) | AVG(col) | MIN(col) | MAX(col) | STDDEV(col)
 ///       [AS <name>]
 ///
+///   where_expr := and_expr [OR and_expr] ...      -- OR binds loosest
+///   and_expr   := primary [AND primary] ...       -- AND binds tighter
+///   primary    := ( where_expr ) | condition
+///
 ///   condition :=
 ///       <column> <op> <literal>      op in { =, !=, <>, <, <=, >, >= }
 ///     | <column> BETWEEN <literal> AND <literal>
+///     | <column> IN ( <literal> [, <literal>] ... )
 ///     | <column> IS NULL
 ///     | <column> IS NOT NULL
 ///
 /// Literals are integers, doubles, single-quoted strings ('' escapes a
 /// quote) or NULL. Keywords are case-insensitive; identifiers are
-/// case-sensitive and may be double-quoted to include spaces. WHERE
-/// conditions combine with AND only (the conjunctive selections GEA
-/// issues). Aggregate select items require either a GROUP BY clause or an
+/// case-sensitive and may be double-quoted to include spaces. AND binds
+/// tighter than OR, so `a = 1 OR b = 2 AND c = 3` selects rows matching
+/// `a = 1` or matching both `b = 2` and `c = 3`; parentheses override.
+/// IN desugars to an OR of equalities; an empty IN list is an error.
+/// Aggregate select items require either a GROUP BY clause or an
 /// all-aggregate select list (a global aggregate); plain columns in an
 /// aggregated query must appear in GROUP BY. The result is a fresh
-/// materialized table named "query".
+/// materialized table named "query". FROM materializes the table by value
+/// (Catalog::MaterializeTable), so queries are safe to run concurrently,
+/// including over computed stat views.
 Result<Table> ExecuteQuery(const Catalog& catalog, const std::string& sql);
 
 }  // namespace gea::rel

@@ -1,0 +1,109 @@
+#include "serve/client.h"
+
+#include <utility>
+
+#include "common/net.h"
+
+namespace gea::serve {
+
+QueryClient::~QueryClient() { Close(); }
+
+QueryClient::QueryClient(QueryClient&& other) noexcept
+    : fd_(other.fd_),
+      next_request_id_(other.next_request_id_),
+      deadline_ms_(other.deadline_ms_) {
+  other.fd_ = -1;
+}
+
+QueryClient& QueryClient::operator=(QueryClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    next_request_id_ = other.next_request_id_;
+    deadline_ms_ = other.deadline_ms_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status QueryClient::Connect(int port) {
+  if (Connected()) {
+    return Status::FailedPrecondition("client already connected");
+  }
+  GEA_ASSIGN_OR_RETURN(fd_, net::ConnectLoopback(port));
+  return Status::OK();
+}
+
+void QueryClient::Close() {
+  net::CloseFd(fd_);
+  fd_ = -1;
+}
+
+Result<Response> QueryClient::Call(const std::string& op,
+                                   std::map<std::string, std::string> params) {
+  if (!Connected()) {
+    return Status::FailedPrecondition("client is not connected");
+  }
+  Request request;
+  request.request_id = next_request_id_++;
+  request.deadline_ms = deadline_ms_;
+  request.op = op;
+  request.params = std::move(params);
+
+  Status sent = WriteFrame(fd_, EncodeRequest(request));
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+  Result<std::optional<std::string>> frame = ReadFrame(fd_);
+  if (!frame.ok()) {
+    Close();
+    return frame.status();
+  }
+  if (!frame->has_value()) {
+    Close();
+    return Status::IoError("server closed the connection");
+  }
+  Result<Response> response = DecodeResponse(**frame);
+  if (!response.ok()) {
+    Close();
+    return response.status();
+  }
+  if (response->request_id != request.request_id) {
+    Close();
+    return Status::Internal(
+        "response id mismatch: sent " + std::to_string(request.request_id) +
+        ", got " + std::to_string(response->request_id));
+  }
+  return response;
+}
+
+Status QueryClient::Ping() {
+  GEA_ASSIGN_OR_RETURN(Response response, Call("ping"));
+  return response.ToStatus();
+}
+
+Status QueryClient::Login(const std::string& user, const std::string& password,
+                          const std::string& level) {
+  GEA_ASSIGN_OR_RETURN(
+      Response response,
+      Call("login",
+           {{"user", user}, {"password", password}, {"level", level}}));
+  return response.ToStatus();
+}
+
+Status QueryClient::Logout() {
+  GEA_ASSIGN_OR_RETURN(Response response, Call("logout"));
+  return response.ToStatus();
+}
+
+Result<rel::Table> QueryClient::Sql(const std::string& query) {
+  GEA_ASSIGN_OR_RETURN(Response response, Call("sql", {{"query", query}}));
+  GEA_RETURN_IF_ERROR(response.ToStatus());
+  if (!response.table.has_value()) {
+    return Status::Internal("sql response carried no table");
+  }
+  return std::move(*response.table);
+}
+
+}  // namespace gea::serve

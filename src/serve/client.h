@@ -1,0 +1,60 @@
+#ifndef GEA_SERVE_CLIENT_H_
+#define GEA_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "serve/protocol.h"
+
+namespace gea::serve {
+
+/// Synchronous client for the GEA query service: one TCP connection, one
+/// outstanding request at a time. Thread-compatible, not thread-safe —
+/// concurrency is achieved by giving each thread its own client, which
+/// is exactly how the stress tests and bench_serve drive the server.
+class QueryClient {
+ public:
+  QueryClient() = default;
+  ~QueryClient();
+
+  QueryClient(QueryClient&& other) noexcept;
+  QueryClient& operator=(QueryClient&& other) noexcept;
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+
+  /// Connects to the server on 127.0.0.1:`port`.
+  Status Connect(int port);
+  bool Connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Every request sent through this client carries this deadline
+  /// (milliseconds from server receipt); 0 disables.
+  void SetDeadlineMs(uint32_t deadline_ms) { deadline_ms_ = deadline_ms; }
+
+  /// Sends `op` with `params` and waits for the response. Request ids
+  /// are assigned internally and verified on the response. A transport
+  /// error closes the connection (the stream is no longer trustworthy);
+  /// an application error (non-OK response) leaves it open.
+  Result<Response> Call(const std::string& op,
+                        std::map<std::string, std::string> params = {});
+
+  // ---- Convenience wrappers ----
+
+  Status Ping();
+  Status Login(const std::string& user, const std::string& password,
+               const std::string& level = "user");
+  Status Logout();
+  /// Runs SQL; returns the result table.
+  Result<rel::Table> Sql(const std::string& query);
+
+ private:
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  uint32_t deadline_ms_ = 0;
+};
+
+}  // namespace gea::serve
+
+#endif  // GEA_SERVE_CLIENT_H_

@@ -1,0 +1,168 @@
+#include "serve/protocol.h"
+
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/net.h"
+#include "store/format.h"
+
+namespace gea::serve {
+
+Status Response::ToStatus() const {
+  if (code == StatusCode::kOk) return Status::OK();
+  return Status(code, message);
+}
+
+Response ErrorResponse(uint64_t request_id, const Status& status) {
+  Response response;
+  response.request_id = request_id;
+  response.code = status.code();
+  response.message = std::string(status.message());
+  return response;
+}
+
+// ---- Payload codecs ----
+
+std::string EncodeRequest(const Request& request) {
+  std::string out;
+  store::PutU8(&out, kProtocolVersion);
+  store::PutU64(&out, request.request_id);
+  store::PutU32(&out, request.deadline_ms);
+  store::PutString(&out, request.op);
+  store::PutU32(&out, static_cast<uint32_t>(request.params.size()));
+  for (const auto& [key, value] : request.params) {
+    store::PutString(&out, key);
+    store::PutString(&out, value);
+  }
+  return out;
+}
+
+Result<Request> DecodeRequest(std::string_view payload) {
+  store::ByteReader reader(payload);
+  GEA_ASSIGN_OR_RETURN(uint8_t version, reader.ReadU8());
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument("unsupported protocol version " +
+                                   std::to_string(version));
+  }
+  Request request;
+  GEA_ASSIGN_OR_RETURN(request.request_id, reader.ReadU64());
+  GEA_ASSIGN_OR_RETURN(request.deadline_ms, reader.ReadU32());
+  GEA_ASSIGN_OR_RETURN(request.op, reader.ReadString());
+  GEA_ASSIGN_OR_RETURN(uint32_t nparams, reader.ReadU32());
+  for (uint32_t i = 0; i < nparams; ++i) {
+    GEA_ASSIGN_OR_RETURN(std::string key, reader.ReadString());
+    GEA_ASSIGN_OR_RETURN(std::string value, reader.ReadString());
+    request.params[std::move(key)] = std::move(value);
+  }
+  if (!reader.Done()) {
+    return Status::InvalidArgument("trailing bytes after request payload");
+  }
+  return request;
+}
+
+std::string EncodeResponse(const Response& response) {
+  std::string out;
+  store::PutU8(&out, kProtocolVersion);
+  store::PutU64(&out, response.request_id);
+  store::PutU8(&out, static_cast<uint8_t>(response.code));
+  store::PutString(&out, response.message);
+  store::PutString(&out, response.text);
+  if (response.table.has_value()) {
+    store::PutU8(&out, 1);
+    store::PutString(&out, store::EncodeTable(*response.table));
+  } else {
+    store::PutU8(&out, 0);
+  }
+  return out;
+}
+
+Result<Response> DecodeResponse(std::string_view payload) {
+  store::ByteReader reader(payload);
+  GEA_ASSIGN_OR_RETURN(uint8_t version, reader.ReadU8());
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument("unsupported protocol version " +
+                                   std::to_string(version));
+  }
+  Response response;
+  GEA_ASSIGN_OR_RETURN(response.request_id, reader.ReadU64());
+  GEA_ASSIGN_OR_RETURN(uint8_t code, reader.ReadU8());
+  GEA_ASSIGN_OR_RETURN(response.code, StatusCodeFromWire(code));
+  GEA_ASSIGN_OR_RETURN(response.message, reader.ReadString());
+  GEA_ASSIGN_OR_RETURN(response.text, reader.ReadString());
+  GEA_ASSIGN_OR_RETURN(uint8_t has_table, reader.ReadU8());
+  if (has_table == 1) {
+    GEA_ASSIGN_OR_RETURN(std::string encoded, reader.ReadString());
+    GEA_ASSIGN_OR_RETURN(rel::Table table, store::DecodeTable(encoded));
+    response.table = std::move(table);
+  } else if (has_table != 0) {
+    return Status::InvalidArgument("bad has_table flag in response");
+  }
+  if (!reader.Done()) {
+    return Status::InvalidArgument("trailing bytes after response payload");
+  }
+  return response;
+}
+
+// ---- Framing ----
+
+std::string Frame(std::string_view payload) {
+  std::string out;
+  out.reserve(8 + payload.size());
+  store::PutU32(&out, static_cast<uint32_t>(payload.size()));
+  store::PutU32(&out, Crc32(payload));
+  out.append(payload);
+  return out;
+}
+
+Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument("frame payload too large: " +
+                                   std::to_string(payload.size()) + " bytes");
+  }
+  return net::SendAll(fd, Frame(payload));
+}
+
+Result<std::optional<std::string>> ReadFrame(int fd, size_t max_payload) {
+  char header[8];
+  GEA_ASSIGN_OR_RETURN(
+      size_t got, net::RecvExact(fd, header, sizeof(header), /*eof_ok=*/true));
+  if (got == 0) return std::optional<std::string>();  // clean EOF
+
+  store::ByteReader reader(std::string_view(header, sizeof(header)));
+  GEA_ASSIGN_OR_RETURN(uint32_t length, reader.ReadU32());
+  GEA_ASSIGN_OR_RETURN(uint32_t expected_crc, reader.ReadU32());
+  if (length > max_payload) {
+    return Status::InvalidArgument("frame payload too large: " +
+                                   std::to_string(length) + " bytes (max " +
+                                   std::to_string(max_payload) + ")");
+  }
+  std::string payload(length, '\0');
+  if (length > 0) {
+    GEA_RETURN_IF_ERROR(net::RecvExact(fd, payload.data(), length).status());
+  }
+  if (Crc32(payload) != expected_crc) {
+    return Status::IoError("frame CRC mismatch (corrupt or torn frame)");
+  }
+  return std::optional<std::string>(std::move(payload));
+}
+
+Result<StatusCode> StatusCodeFromWire(uint8_t code) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kPermissionDenied:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kInternal:
+    case StatusCode::kIoError:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+      return static_cast<StatusCode>(code);
+  }
+  return Status::InvalidArgument("unknown status code on the wire: " +
+                                 std::to_string(code));
+}
+
+}  // namespace gea::serve

@@ -1,0 +1,104 @@
+#ifndef GEA_SERVE_PROTOCOL_H_
+#define GEA_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rel/table.h"
+
+namespace gea::serve {
+
+/// The GEA query-service wire protocol: a length-prefixed, CRC-framed
+/// request/response exchange over one TCP connection. Clients are
+/// synchronous — one request, one response, in order — which keeps the
+/// framing trivial and still supports many concurrent clients because
+/// each connection gets its own reader thread on the server.
+///
+/// Frame layout (all integers little-endian, as in the storage formats):
+///
+///   u32 payload_length | u32 crc32(payload) | payload bytes
+///
+/// The CRC is the same IEEE CRC-32 the WAL stamps on its records, so a
+/// torn or corrupted frame is detected and the connection is dropped
+/// instead of the server acting on garbage.
+///
+/// Request payload:
+///   u8  version
+///   u64 request_id       echoed verbatim in the response
+///   u32 deadline_ms      0 = no deadline; measured from receipt
+///   str op               command name, e.g. "sql", "populate"
+///   u32 nparams, then nparams x (str key, str value)
+///
+/// Response payload:
+///   u8  version
+///   u64 request_id
+///   u8  status code      StatusCode numeric value
+///   str message          status message (empty on OK)
+///   str text             human-readable payload (explain, ping, ...)
+///   u8  has_table        1 => store::EncodeTable bytes follow as a str
+///
+/// Commands, parameters and their semantics are documented on
+/// QueryServer (server.h); the protocol layer is content-agnostic.
+
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Upper bound on one frame's payload; oversized frames are rejected at
+/// the framing layer before any allocation of that size happens.
+inline constexpr size_t kMaxPayloadBytes = 16u << 20;  // 16 MiB
+
+struct Request {
+  uint64_t request_id = 0;
+  uint32_t deadline_ms = 0;  // 0 = no deadline
+  std::string op;
+  std::map<std::string, std::string> params;
+};
+
+struct Response {
+  uint64_t request_id = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string message;            // status message when code != kOk
+  std::string text;               // optional human-readable payload
+  std::optional<rel::Table> table;  // optional tabular payload
+
+  bool ok() const { return code == StatusCode::kOk; }
+  /// The response's status: OK, or code+message.
+  Status ToStatus() const;
+};
+
+/// Builds an error response echoing `request_id`.
+Response ErrorResponse(uint64_t request_id, const Status& status);
+
+// ---- Payload codecs ----
+
+std::string EncodeRequest(const Request& request);
+Result<Request> DecodeRequest(std::string_view payload);
+
+std::string EncodeResponse(const Response& response);
+Result<Response> DecodeResponse(std::string_view payload);
+
+// ---- Framing over a socket ----
+
+/// Wraps `payload` in the length+CRC frame header.
+std::string Frame(std::string_view payload);
+
+/// Writes one framed payload to `fd`.
+Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one frame from `fd`. Returns nullopt on a clean EOF *before*
+/// the first header byte (the peer hung up between requests); any torn
+/// frame, CRC mismatch or oversized length is an error.
+Result<std::optional<std::string>> ReadFrame(
+    int fd, size_t max_payload = kMaxPayloadBytes);
+
+/// Validates a wire status-code byte. Unknown values fail (a response
+/// from a newer/corrupt peer must not alias to OK).
+Result<StatusCode> StatusCodeFromWire(uint8_t code);
+
+}  // namespace gea::serve
+
+#endif  // GEA_SERVE_PROTOCOL_H_

@@ -1,0 +1,850 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <utility>
+
+#include "common/net.h"
+#include "common/strings.h"
+#include "obs/clock.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/statviews.h"
+#include "sage/library.h"
+
+namespace gea::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ---- Registry metrics (gated on GEA_METRICS like every subsystem) ----
+
+obs::Counter& RequestsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("gea.serve.requests");
+  return c;
+}
+obs::Counter& ErrorsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("gea.serve.errors");
+  return c;
+}
+obs::Counter& RejectedQueueFullCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "gea.serve.rejected_queue_full");
+  return c;
+}
+obs::Counter& RejectedDeadlineCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "gea.serve.rejected_deadline");
+  return c;
+}
+obs::Counter& BytesInCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("gea.serve.bytes_in");
+  return c;
+}
+obs::Counter& BytesOutCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("gea.serve.bytes_out");
+  return c;
+}
+obs::Counter& ConnectionsTotalCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "gea.serve.connections_total");
+  return c;
+}
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("gea.serve.queue_depth");
+  return g;
+}
+obs::Gauge& ConnectionsGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("gea.serve.connections");
+  return g;
+}
+obs::Histogram& QueueWaitHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "gea.serve.queue_wait_nanos");
+  return h;
+}
+obs::Histogram& RequestHistogram() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("gea.serve.request_nanos");
+  return h;
+}
+
+// Commands that mutate the shared session (exclusive session lock); all
+// others execute under a shared lock.
+bool IsMutating(const std::string& op) {
+  static const std::set<std::string>* const kMutating =
+      new std::set<std::string>{
+          "aggregate",      "populate",          "diff",
+          "create_gap",     "top_gap",           "compare_gaps",
+          "gap_query",      "tissue_dataset",    "custom_dataset",
+          "generate_metadata", "mine",           "fascicles",
+          "checkpoint"};
+  return kMutating->count(op) > 0;
+}
+
+bool RequiresAdmin(const std::string& op) { return op == "checkpoint"; }
+
+bool NeedsAuth(const std::string& op) {
+  return op != "ping" && op != "login" && op != "logout";
+}
+
+// ---- Param helpers ----
+
+Result<std::string> GetParam(const Request& request, const std::string& key) {
+  auto it = request.params.find(key);
+  if (it == request.params.end()) {
+    return Status::InvalidArgument(request.op + ": missing parameter '" + key +
+                                   "'");
+  }
+  return it->second;
+}
+
+Result<int64_t> GetIntParam(const Request& request, const std::string& key) {
+  GEA_ASSIGN_OR_RETURN(std::string text, GetParam(request, key));
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument(request.op + ": parameter '" + key +
+                                   "' is not an integer: " + text);
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> GetDoubleParam(const Request& request, const std::string& key) {
+  GEA_ASSIGN_OR_RETURN(std::string text, GetParam(request, key));
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument(request.op + ": parameter '" + key +
+                                   "' is not a number: " + text);
+  }
+  return value;
+}
+
+bool GetBoolParam(const Request& request, const std::string& key) {
+  auto it = request.params.find(key);
+  return it != request.params.end() &&
+         (it->second == "1" || it->second == "true");
+}
+
+rel::Table NamesTable(const std::string& column,
+                      const std::vector<std::string>& names) {
+  rel::Table table("query", rel::Schema({{column, rel::ValueType::kString}}));
+  for (const std::string& name : names) {
+    table.AppendRowUnchecked({rel::Value::String(name)});
+  }
+  return table;
+}
+
+}  // namespace
+
+// ---- Live stats + the gea_stat_serve view ----
+
+struct QueryServer::LiveStats {
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> rejected_queue_full{0};
+  std::atomic<uint64_t> rejected_deadline{0};
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+  std::atomic<uint64_t> connections_total{0};
+  std::atomic<int64_t> connections{0};
+  std::atomic<int64_t> queue_depth{0};
+};
+
+namespace {
+
+// Live servers, so the gea_stat_serve view can report them without obs
+// linking against serve (mirrors the gea_stat_storage registration).
+std::mutex g_servers_mu;
+std::vector<QueryServer*>& Servers() {
+  static std::vector<QueryServer*>* servers = new std::vector<QueryServer*>();
+  return *servers;
+}
+
+rel::Table ServeStatTable() {
+  rel::Table table(
+      obs::kStatServeView,
+      rel::Schema({{"port", rel::ValueType::kInt},
+                   {"running", rel::ValueType::kInt},
+                   {"connections", rel::ValueType::kInt},
+                   {"queue_depth", rel::ValueType::kInt},
+                   {"requests", rel::ValueType::kInt},
+                   {"errors", rel::ValueType::kInt},
+                   {"rejected_queue_full", rel::ValueType::kInt},
+                   {"rejected_deadline", rel::ValueType::kInt},
+                   {"bytes_in", rel::ValueType::kInt},
+                   {"bytes_out", rel::ValueType::kInt}}));
+  std::lock_guard<std::mutex> lock(g_servers_mu);
+  for (QueryServer* server : Servers()) {
+    const QueryServer::Stats stats = server->GetStats();
+    table.AppendRowUnchecked(
+        {rel::Value::Int(server->Port()),
+         rel::Value::Int(server->Running() ? 1 : 0),
+         rel::Value::Int(stats.connections),
+         rel::Value::Int(stats.queue_depth),
+         rel::Value::Int(static_cast<int64_t>(stats.requests)),
+         rel::Value::Int(static_cast<int64_t>(stats.errors)),
+         rel::Value::Int(static_cast<int64_t>(stats.rejected_queue_full)),
+         rel::Value::Int(static_cast<int64_t>(stats.rejected_deadline)),
+         rel::Value::Int(static_cast<int64_t>(stats.bytes_in)),
+         rel::Value::Int(static_cast<int64_t>(stats.bytes_out))});
+  }
+  return table;
+}
+
+const bool g_serve_view_registered = [] {
+  obs::RegisterStatViewProvider(obs::kStatServeView, ServeStatTable);
+  return true;
+}();
+
+}  // namespace
+
+// ---- Connection / Task ----
+
+struct QueryServer::Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() { net::CloseFd(fd); }
+
+  const int fd;
+  /// Serializes response frames: the reader writes queue-full rejections
+  /// while workers write admitted responses on the same socket.
+  std::mutex write_mu;
+  std::atomic<bool> authenticated{false};
+  std::atomic<int> level{0};  // workbench::AccessLevel numeric value
+};
+
+struct QueryServer::Task {
+  std::shared_ptr<Connection> conn;
+  Request request;
+  Clock::time_point received;
+  Clock::time_point deadline;  // meaningful when has_deadline
+  bool has_deadline = false;
+};
+
+// ---- Lifecycle ----
+
+QueryServer::QueryServer(workbench::AnalysisSession* session,
+                         ServerOptions options)
+    : session_(session),
+      options_(options),
+      stats_(std::make_unique<LiveStats>()) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  std::lock_guard<std::mutex> lock(g_servers_mu);
+  Servers().push_back(this);
+}
+
+QueryServer::~QueryServer() {
+  Stop();
+  std::lock_guard<std::mutex> lock(g_servers_mu);
+  auto& servers = Servers();
+  servers.erase(std::remove(servers.begin(), servers.end(), this),
+                servers.end());
+}
+
+Status QueryServer::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("query server already running");
+  }
+  if (session_ == nullptr || !session_->IsLoggedIn()) {
+    return Status::FailedPrecondition(
+        "the embedded session must be logged in before serving");
+  }
+  GEA_ASSIGN_OR_RETURN(net::ListenSocket listener,
+                       net::ListenLoopback(options_.port));
+  listen_fd_ = listener.fd;
+  port_.store(listener.port, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> queue_lock(queue_mu_);
+    draining_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back(&QueryServer::WorkerLoop, this);
+  }
+  accept_thread_ = std::thread(&QueryServer::AcceptLoop, this, listener.fd);
+  obs::LogRecord(obs::LogLevel::kInfo, "serve_started")
+      .Int("port", Port())
+      .Int("workers", static_cast<int64_t>(options_.num_workers))
+      .Int("queue_capacity", static_cast<int64_t>(options_.queue_capacity))
+      .Emit();
+  return Status::OK();
+}
+
+void QueryServer::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  running_.store(false, std::memory_order_release);
+
+  // 1. Stop accepting.
+  shutdown(listen_fd_, SHUT_RDWR);
+  net::CloseFd(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Wake every reader: SHUT_RD turns their blocking recv into EOF.
+  //    In-flight responses can still be written (write side stays open).
+  {
+    std::lock_guard<std::mutex> conns_lock(conns_mu_);
+    for (const std::weak_ptr<Connection>& weak : conns_) {
+      if (std::shared_ptr<Connection> conn = weak.lock()) {
+        shutdown(conn->fd, SHUT_RD);
+      }
+    }
+  }
+  {
+    // Readers exit on EOF; join them so no new requests can be admitted.
+    std::vector<std::thread> readers;
+    {
+      std::lock_guard<std::mutex> conns_lock(conns_mu_);
+      readers.swap(readers_);
+    }
+    for (std::thread& reader : readers) {
+      if (reader.joinable()) reader.join();
+    }
+  }
+
+  // 3. Drain: workers finish every admitted request, then exit.
+  {
+    std::lock_guard<std::mutex> queue_lock(queue_mu_);
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+
+  {
+    std::lock_guard<std::mutex> conns_lock(conns_mu_);
+    conns_.clear();  // remaining Connection refs die with their tasks
+  }
+  port_.store(0, std::memory_order_release);
+  obs::LogRecord(obs::LogLevel::kInfo, "serve_stopped").Emit();
+}
+
+QueryServer::Stats QueryServer::GetStats() const {
+  Stats out;
+  out.requests = stats_->requests.load(std::memory_order_relaxed);
+  out.errors = stats_->errors.load(std::memory_order_relaxed);
+  out.rejected_queue_full =
+      stats_->rejected_queue_full.load(std::memory_order_relaxed);
+  out.rejected_deadline =
+      stats_->rejected_deadline.load(std::memory_order_relaxed);
+  out.bytes_in = stats_->bytes_in.load(std::memory_order_relaxed);
+  out.bytes_out = stats_->bytes_out.load(std::memory_order_relaxed);
+  out.connections_total =
+      stats_->connections_total.load(std::memory_order_relaxed);
+  out.connections = stats_->connections.load(std::memory_order_relaxed);
+  out.queue_depth = stats_->queue_depth.load(std::memory_order_relaxed);
+  return out;
+}
+
+// ---- Accept / read / admission ----
+
+void QueryServer::AcceptLoop(int listen_fd) {
+  while (running_.load(std::memory_order_acquire)) {
+    Result<int> fd = net::Accept(listen_fd);
+    if (!fd.ok()) break;  // Stop() closed the listener
+    auto conn = std::make_shared<Connection>(*fd);
+    stats_->connections_total.fetch_add(1, std::memory_order_relaxed);
+    stats_->connections.fetch_add(1, std::memory_order_relaxed);
+    ConnectionsTotalCounter().Add(1);
+    ConnectionsGauge().Add(1);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.erase(std::remove_if(
+                     conns_.begin(), conns_.end(),
+                     [](const std::weak_ptr<Connection>& w) {
+                       return w.expired();
+                     }),
+                 conns_.end());
+    conns_.push_back(conn);
+    readers_.emplace_back(&QueryServer::ConnectionLoop, this, std::move(conn));
+  }
+}
+
+void QueryServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
+  for (;;) {
+    Result<std::optional<std::string>> frame =
+        ReadFrame(conn->fd, options_.max_payload_bytes);
+    if (!frame.ok() || !frame->has_value()) {
+      // Torn frame / CRC mismatch / peer gone: nothing trustworthy left
+      // on this stream, so drop the connection.
+      break;
+    }
+    const std::string& payload = **frame;
+    stats_->bytes_in.fetch_add(payload.size() + 8, std::memory_order_relaxed);
+    BytesInCounter().Add(payload.size() + 8);
+
+    Result<Request> request = DecodeRequest(payload);
+    if (!request.ok()) {
+      // The frame was intact but the payload is not a request we
+      // understand; tell the client, then drop the stream.
+      (void)WriteResponse(*conn, ErrorResponse(0, request.status()));
+      break;
+    }
+
+    Task task;
+    task.conn = conn;
+    task.request = std::move(*request);
+    task.received = Clock::now();
+    if (task.request.deadline_ms > 0) {
+      task.has_deadline = true;
+      task.deadline =
+          task.received + std::chrono::milliseconds(task.request.deadline_ms);
+    }
+
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.size() < options_.queue_capacity) {
+        queue_.push_back(std::move(task));
+        stats_->queue_depth.store(static_cast<int64_t>(queue_.size()),
+                                  std::memory_order_relaxed);
+        QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      queue_cv_.notify_one();
+      continue;
+    }
+
+    // Queue full: explicit backpressure from the reader thread itself —
+    // the client hears RESOURCE_EXHAUSTED now instead of waiting on an
+    // unbounded buffer.
+    stats_->requests.fetch_add(1, std::memory_order_relaxed);
+    stats_->rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
+    RequestsCounter().Add(1);
+    RejectedQueueFullCounter().Add(1);
+    (void)WriteResponse(
+        *conn, ErrorResponse(task.request.request_id,
+                             Status::ResourceExhausted(
+                                 "admission queue full (capacity " +
+                                 std::to_string(options_.queue_capacity) +
+                                 "); retry later")));
+  }
+  stats_->connections.fetch_add(-1, std::memory_order_relaxed);
+  ConnectionsGauge().Add(-1);
+}
+
+void QueryServer::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (draining_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      stats_->queue_depth.store(static_cast<int64_t>(queue_.size()),
+                                std::memory_order_relaxed);
+      QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
+    }
+    RunTask(std::move(task));
+  }
+}
+
+void QueryServer::RunTask(Task task) {
+  const Clock::time_point start = Clock::now();
+  const uint64_t queue_wait_nanos =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start -
+                                                           task.received)
+          .count();
+  QueueWaitHistogram().Record(queue_wait_nanos);
+  stats_->requests.fetch_add(1, std::memory_order_relaxed);
+  RequestsCounter().Add(1);
+
+  Response response;
+  if (task.has_deadline && start >= task.deadline) {
+    // Expired while queued: reject before doing any work.
+    stats_->rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+    RejectedDeadlineCounter().Add(1);
+    response = ErrorResponse(
+        task.request.request_id,
+        Status::DeadlineExceeded("deadline of " +
+                                 std::to_string(task.request.deadline_ms) +
+                                 " ms expired before execution"));
+  } else {
+    response = Execute(*task.conn, task.request);
+    response.request_id = task.request.request_id;
+  }
+  if (!response.ok()) {
+    stats_->errors.fetch_add(1, std::memory_order_relaxed);
+    ErrorsCounter().Add(1);
+  }
+  RequestHistogram().Record(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+  (void)WriteResponse(*task.conn, response);
+}
+
+Status QueryServer::WriteResponse(Connection& conn,
+                                  const Response& response) {
+  const std::string payload = EncodeResponse(response);
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  Status status = WriteFrame(conn.fd, payload);
+  if (status.ok()) {
+    stats_->bytes_out.fetch_add(payload.size() + 8, std::memory_order_relaxed);
+    BytesOutCounter().Add(payload.size() + 8);
+  }
+  return status;
+}
+
+// ---- Execution ----
+
+Response QueryServer::Execute(Connection& conn, const Request& request) {
+  if (NeedsAuth(request.op) &&
+      !conn.authenticated.load(std::memory_order_acquire)) {
+    return ErrorResponse(
+        request.request_id,
+        Status::PermissionDenied("please authenticate with 'login' first"));
+  }
+  if (RequiresAdmin(request.op) &&
+      conn.level.load(std::memory_order_acquire) !=
+          static_cast<int>(workbench::AccessLevel::kAdministrator)) {
+    return ErrorResponse(request.request_id,
+                         Status::PermissionDenied(
+                             request.op + " requires administrator access"));
+  }
+  if (IsMutating(request.op)) {
+    std::unique_lock<std::shared_mutex> lock(session_mu_);
+    return Dispatch(conn, request);
+  }
+  std::shared_lock<std::shared_mutex> lock(session_mu_);
+  return Dispatch(conn, request);
+}
+
+Response QueryServer::Dispatch(Connection& conn, const Request& request) {
+  Response response;
+  response.request_id = request.request_id;
+  const std::string& op = request.op;
+
+  auto fail = [&](const Status& status) {
+    return ErrorResponse(request.request_id, status);
+  };
+
+  if (op == "ping") {
+    auto it = request.params.find("sleep_ms");
+    if (it != request.params.end()) {
+      // Test hook: occupy this worker for a bounded while, so admission
+      // tests can fill the queue deterministically.
+      const long ms = std::min(std::strtol(it->second.c_str(), nullptr, 10),
+                               1000L);
+      if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+    response.text = "pong";
+    return response;
+  }
+
+  if (op == "login") {
+    Result<std::string> user = GetParam(request, "user");
+    Result<std::string> password = GetParam(request, "password");
+    if (!user.ok()) return fail(user.status());
+    if (!password.ok()) return fail(password.status());
+    workbench::AccessLevel level = workbench::AccessLevel::kUser;
+    auto level_it = request.params.find("level");
+    if (level_it != request.params.end()) {
+      if (level_it->second == "admin" ||
+          level_it->second == "administrator") {
+        level = workbench::AccessLevel::kAdministrator;
+      } else if (level_it->second != "user") {
+        return fail(Status::InvalidArgument("unknown access level: " +
+                                            level_it->second));
+      }
+    }
+    Result<workbench::AccessLevel> granted =
+        session_->AuthenticateUser(*user, *password, level);
+    if (!granted.ok()) return fail(granted.status());
+    conn.level.store(static_cast<int>(*granted), std::memory_order_release);
+    conn.authenticated.store(true, std::memory_order_release);
+    response.text = "logged in as " + *user + " (" +
+                    workbench::AccessLevelName(*granted) + ")";
+    return response;
+  }
+
+  if (op == "logout") {
+    conn.authenticated.store(false, std::memory_order_release);
+    conn.level.store(0, std::memory_order_release);
+    response.text = "logged out";
+    return response;
+  }
+
+  if (op == "sql") {
+    Result<std::string> query = GetParam(request, "query");
+    if (!query.ok()) return fail(query.status());
+    Result<rel::Table> table = session_->Query(*query);
+    if (!table.ok()) return fail(table.status());
+    response.table = std::move(*table);
+    return response;
+  }
+
+  if (op == "tables") {
+    std::vector<std::string> names = session_->TableNames();
+    for (const std::string& name : session_->Relations().TableNames()) {
+      names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    response.table = NamesTable("name", names);
+    return response;
+  }
+
+  if (op == "get_table") {
+    Result<std::string> name = GetParam(request, "name");
+    if (!name.ok()) return fail(name.status());
+    Result<rel::Table> stored = session_->Relations().MaterializeTable(*name);
+    if (stored.ok()) {
+      response.table = std::move(*stored);
+      return response;
+    }
+    if (Result<const core::EnumTable*> e = session_->GetEnum(*name); e.ok()) {
+      response.table = (*e)->ToRelTable();
+      return response;
+    }
+    if (Result<const core::SumyTable*> s = session_->GetSumy(*name); s.ok()) {
+      response.table = (*s)->ToRelTable();
+      return response;
+    }
+    if (Result<const core::GapTable*> g = session_->GetGap(*name); g.ok()) {
+      response.table = (*g)->ToRelTable();
+      return response;
+    }
+    return fail(Status::NotFound("no such table: " + *name));
+  }
+
+  if (op == "explain") {
+    Result<std::string> rendered = session_->ExplainLast();
+    if (!rendered.ok()) return fail(rendered.status());
+    response.text = std::move(*rendered);
+    return response;
+  }
+
+  if (op == "query_log") {
+    std::vector<workbench::AnalysisSession::QueryLogEntry> log =
+        session_->QueryLog();
+    size_t first = 0;
+    if (auto it = request.params.find("limit"); it != request.params.end()) {
+      Result<int64_t> limit = GetIntParam(request, "limit");
+      if (!limit.ok()) return fail(limit.status());
+      if (*limit >= 0 && static_cast<size_t>(*limit) < log.size()) {
+        first = log.size() - static_cast<size_t>(*limit);
+      }
+    }
+    rel::Table table("query",
+                     rel::Schema({{"operation", rel::ValueType::kString},
+                                  {"detail", rel::ValueType::kString},
+                                  {"elapsed_ms", rel::ValueType::kDouble},
+                                  {"ok", rel::ValueType::kInt},
+                                  {"error", rel::ValueType::kString}}));
+    for (size_t i = first; i < log.size(); ++i) {
+      table.AppendRowUnchecked(
+          {rel::Value::String(log[i].operation),
+           rel::Value::String(log[i].detail),
+           rel::Value::Double(static_cast<double>(log[i].elapsed_nanos) / 1e6),
+           rel::Value::Int(log[i].ok ? 1 : 0),
+           rel::Value::String(log[i].error)});
+    }
+    response.table = std::move(table);
+    return response;
+  }
+
+  if (op == "aggregate") {
+    Result<std::string> enum_name = GetParam(request, "enum");
+    Result<std::string> out = GetParam(request, "out");
+    if (!enum_name.ok()) return fail(enum_name.status());
+    if (!out.ok()) return fail(out.status());
+    Status status = session_->Aggregate(*enum_name, *out,
+                                        GetBoolParam(request, "replace"));
+    if (!status.ok()) return fail(status);
+    response.text = "created " + *out;
+    return response;
+  }
+
+  if (op == "populate") {
+    Result<std::string> sumy = GetParam(request, "sumy");
+    Result<std::string> base = GetParam(request, "base");
+    Result<std::string> out = GetParam(request, "out");
+    if (!sumy.ok()) return fail(sumy.status());
+    if (!base.ok()) return fail(base.status());
+    if (!out.ok()) return fail(out.status());
+    Status status = session_->Populate(*sumy, *base, *out,
+                                       GetBoolParam(request, "replace"));
+    if (!status.ok()) return fail(status);
+    response.text = "created " + *out;
+    return response;
+  }
+
+  if (op == "diff" || op == "create_gap") {
+    Result<std::string> sumy1 = GetParam(request, "sumy1");
+    Result<std::string> sumy2 = GetParam(request, "sumy2");
+    Result<std::string> gap = GetParam(request, "gap");
+    if (!sumy1.ok()) return fail(sumy1.status());
+    if (!sumy2.ok()) return fail(sumy2.status());
+    if (!gap.ok()) return fail(gap.status());
+    Status status = session_->CreateGap(*sumy1, *sumy2, *gap,
+                                        GetBoolParam(request, "replace"));
+    if (!status.ok()) return fail(status);
+    response.text = "created " + *gap;
+    return response;
+  }
+
+  if (op == "top_gap") {
+    Result<std::string> gap = GetParam(request, "gap");
+    Result<int64_t> x = GetIntParam(request, "x");
+    if (!gap.ok()) return fail(gap.status());
+    if (!x.ok()) return fail(x.status());
+    if (*x < 0) return fail(Status::InvalidArgument("x must be >= 0"));
+    core::TopGapMode mode = core::TopGapMode::kLargestMagnitude;
+    if (request.params.count("mode") > 0) {
+      Result<int64_t> m = GetIntParam(request, "mode");
+      if (!m.ok()) return fail(m.status());
+      if (*m < 0 || *m > 2) {
+        return fail(Status::InvalidArgument("mode must be in 0..2"));
+      }
+      mode = static_cast<core::TopGapMode>(*m);
+    }
+    Result<std::string> name =
+        session_->CalculateTopGap(*gap, static_cast<size_t>(*x), mode);
+    if (!name.ok()) return fail(name.status());
+    response.text = std::move(*name);
+    return response;
+  }
+
+  if (op == "compare_gaps") {
+    Result<std::string> a = GetParam(request, "a");
+    Result<std::string> b = GetParam(request, "b");
+    Result<int64_t> kind = GetIntParam(request, "kind");
+    Result<std::string> out = GetParam(request, "out");
+    if (!a.ok()) return fail(a.status());
+    if (!b.ok()) return fail(b.status());
+    if (!kind.ok()) return fail(kind.status());
+    if (!out.ok()) return fail(out.status());
+    if (*kind < 0 || *kind > 2) {
+      return fail(Status::InvalidArgument("kind must be in 0..2"));
+    }
+    Status status = session_->CompareGapTables(
+        *a, *b, static_cast<core::GapCompareKind>(*kind), *out,
+        GetBoolParam(request, "replace"));
+    if (!status.ok()) return fail(status);
+    response.text = "created " + *out;
+    return response;
+  }
+
+  if (op == "gap_query") {
+    Result<std::string> compared = GetParam(request, "compared");
+    Result<int64_t> query = GetIntParam(request, "query");
+    Result<std::string> out = GetParam(request, "out");
+    if (!compared.ok()) return fail(compared.status());
+    if (!query.ok()) return fail(query.status());
+    if (!out.ok()) return fail(out.status());
+    if (*query < 1 || *query > 13) {
+      return fail(Status::InvalidArgument("query must be in 1..13"));
+    }
+    Status status = session_->RunGapQuery(
+        *compared, static_cast<core::GapCompareQuery>(*query), *out,
+        GetBoolParam(request, "replace"));
+    if (!status.ok()) return fail(status);
+    response.text = "created " + *out;
+    return response;
+  }
+
+  if (op == "tissue_dataset") {
+    Result<std::string> tissue = GetParam(request, "tissue");
+    if (!tissue.ok()) return fail(tissue.status());
+    Result<sage::TissueType> type = sage::ParseTissueType(*tissue);
+    if (!type.ok()) return fail(type.status());
+    Status status = session_->CreateTissueDataSet(
+        *type, GetBoolParam(request, "replace"));
+    if (!status.ok()) return fail(status);
+    response.text = "created " + *tissue;
+    return response;
+  }
+
+  if (op == "custom_dataset") {
+    Result<std::string> name = GetParam(request, "name");
+    Result<std::string> libs = GetParam(request, "libs");
+    if (!name.ok()) return fail(name.status());
+    if (!libs.ok()) return fail(libs.status());
+    std::vector<int> library_ids;
+    for (const std::string& part : Split(*libs, ',')) {
+      char* end = nullptr;
+      const long id = std::strtol(part.c_str(), &end, 10);
+      if (end == part.c_str() || *end != '\0') {
+        return fail(
+            Status::InvalidArgument("bad library id in libs: " + part));
+      }
+      library_ids.push_back(static_cast<int>(id));
+    }
+    Status status = session_->CreateCustomDataSet(
+        *name, library_ids, GetBoolParam(request, "replace"));
+    if (!status.ok()) return fail(status);
+    response.text = "created " + *name;
+    return response;
+  }
+
+  if (op == "generate_metadata") {
+    Result<std::string> dataset = GetParam(request, "dataset");
+    Result<double> percent = GetDoubleParam(request, "percent");
+    Result<std::string> meta = GetParam(request, "meta");
+    if (!dataset.ok()) return fail(dataset.status());
+    if (!percent.ok()) return fail(percent.status());
+    if (!meta.ok()) return fail(meta.status());
+    Status status = session_->GenerateMetadata(
+        *dataset, *percent, *meta, GetBoolParam(request, "replace"));
+    if (!status.ok()) return fail(status);
+    response.text = "created " + *meta;
+    return response;
+  }
+
+  if (op == "mine" || op == "fascicles") {
+    Result<std::string> dataset = GetParam(request, "dataset");
+    Result<std::string> meta = GetParam(request, "meta");
+    Result<int64_t> min_compact = GetIntParam(request, "min_compact_tags");
+    Result<int64_t> batch_size = GetIntParam(request, "batch_size");
+    Result<int64_t> min_size = GetIntParam(request, "min_size");
+    Result<std::string> out_prefix = GetParam(request, "out_prefix");
+    if (!dataset.ok()) return fail(dataset.status());
+    if (!meta.ok()) return fail(meta.status());
+    if (!min_compact.ok()) return fail(min_compact.status());
+    if (!batch_size.ok()) return fail(batch_size.status());
+    if (!min_size.ok()) return fail(min_size.status());
+    if (!out_prefix.ok()) return fail(out_prefix.status());
+    if (*min_compact < 0 || *batch_size < 0 || *min_size < 0) {
+      return fail(Status::InvalidArgument("sizes must be >= 0"));
+    }
+    Result<std::vector<std::string>> fascicles = session_->CalculateFascicles(
+        *dataset, *meta, static_cast<size_t>(*min_compact),
+        static_cast<size_t>(*batch_size), static_cast<size_t>(*min_size),
+        *out_prefix);
+    if (!fascicles.ok()) return fail(fascicles.status());
+    response.table = NamesTable("fascicle", *fascicles);
+    return response;
+  }
+
+  if (op == "checkpoint") {
+    Status status = session_->Checkpoint();
+    if (!status.ok()) return fail(status);
+    response.text = "checkpoint complete";
+    return response;
+  }
+
+  return fail(Status::InvalidArgument("unknown command: " + op));
+}
+
+}  // namespace gea::serve

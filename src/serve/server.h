@@ -1,0 +1,192 @@
+#ifndef GEA_SERVE_SERVER_H_
+#define GEA_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/protocol.h"
+#include "workbench/session.h"
+
+namespace gea::serve {
+
+/// Tuning knobs for QueryServer.
+struct ServerOptions {
+  /// TCP port to bind on loopback; 0 picks an ephemeral port (read it
+  /// back with Port()).
+  int port = 0;
+  /// Worker threads executing admitted requests.
+  size_t num_workers = 4;
+  /// Bound of the admission queue. A request arriving while the queue is
+  /// full is rejected immediately with RESOURCE_EXHAUSTED — explicit
+  /// backpressure, never a silent drop or an unbounded buffer.
+  size_t queue_capacity = 64;
+  /// Per-frame payload cap (both directions).
+  size_t max_payload_bytes = kMaxPayloadBytes;
+};
+
+/// The concurrent query service: a multi-client TCP front end over one
+/// shared AnalysisSession.
+///
+/// ## Threading model
+///
+/// One accept thread hands each connection to a dedicated reader thread.
+/// Readers decode frames and push requests onto a bounded admission
+/// queue; `num_workers` workers drain it. Execution takes a
+/// std::shared_mutex over the session: read-only commands (sql, tables,
+/// explain, ...) run concurrently under a shared lock, mutating commands
+/// (populate, aggregate, diff, checkpoint, ...) take it exclusively —
+/// single-writer / many-readers, matching what AnalysisSession can
+/// actually tolerate.
+///
+/// ## Admission control
+///
+/// The queue is bounded (ServerOptions::queue_capacity). When it is
+/// full the *reader* thread sends RESOURCE_EXHAUSTED for that request
+/// right away, so a slow server surfaces backpressure to clients instead
+/// of buffering unboundedly. Each request may carry a deadline
+/// (Request::deadline_ms, measured from receipt); a request whose
+/// deadline has passed by the time a worker picks it up is answered with
+/// DEADLINE_EXCEEDED without executing.
+///
+/// ## Sessions and authentication
+///
+/// The embedded AnalysisSession must already be logged in (the embedder
+/// owns it; Start() enforces this). Each *connection* then authenticates
+/// itself with the `login` command, checked against the same user
+/// database via AnalysisSession::AuthenticateUser — per-connection auth
+/// state on top of one shared session. Commands other than `ping` and
+/// `login` require connection auth; `checkpoint` requires administrator.
+///
+/// ## Durability
+///
+/// Every mutating command goes through the session's normal Logged()
+/// path, so it hits the query log, telemetry and — when storage is
+/// attached — the WAL *before the response is sent*. An acknowledged
+/// mutation therefore survives a crash: recovery replays it.
+///
+/// ## Commands
+///
+///   ping        [sleep_ms]                       no auth; echoes "pong"
+///   login       user, password, level(user|admin)
+///   logout
+///   sql         query                             -> table
+///   tables                                       -> table (name)
+///   get_table   name                             -> table
+///   explain                                      -> text (EXPLAIN last op)
+///   query_log   [limit]                          -> table
+///   aggregate   enum, out, [replace]
+///   populate    sumy, base, out, [replace]
+///   diff        sumy1, sumy2, gap, [replace]     (alias: create_gap)
+///   top_gap     gap, x, [mode 0..2]              -> text (stored name)
+///   compare_gaps a, b, kind(0..2), out, [replace]
+///   gap_query   compared, query(1..13), out, [replace]
+///   tissue_dataset tissue, [replace]
+///   custom_dataset name, libs("1,2,3"), [replace]
+///   generate_metadata dataset, percent, meta, [replace]
+///   mine        dataset, meta, min_compact_tags, batch_size, min_size,
+///               out_prefix                       -> table (fascicle names)
+///   checkpoint                                   admin only
+///
+/// Boolean params accept "1"/"true"; absent means false.
+///
+/// ## Metrics
+///
+/// Counters gea.serve.{requests,errors,rejected_queue_full,
+/// rejected_deadline,bytes_in,bytes_out,connections_total}, gauges
+/// gea.serve.{queue_depth,connections}, histograms
+/// gea.serve.{queue_wait_nanos,request_nanos} — all in /metrics and the
+/// gea_stat_counters//gea_stat_histograms views (under GEA_METRICS).
+/// The gea_stat_serve view reports per-server rows unconditionally.
+class QueryServer {
+ public:
+  explicit QueryServer(workbench::AnalysisSession* session,
+                       ServerOptions options = {});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds, spins up workers and starts accepting. FailedPrecondition
+  /// when already running or when the session is not logged in.
+  Status Start();
+
+  /// Graceful drain: stops accepting, wakes the readers, lets workers
+  /// finish every already-admitted request (responses are still
+  /// delivered), then joins all threads. Idempotent.
+  void Stop();
+
+  bool Running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port while running (0 otherwise).
+  int Port() const { return port_.load(std::memory_order_acquire); }
+
+  /// Point-in-time serving stats (always live, not gated on GEA_METRICS).
+  struct Stats {
+    uint64_t requests = 0;            // admitted + rejected
+    uint64_t errors = 0;              // executed requests that failed
+    uint64_t rejected_queue_full = 0;
+    uint64_t rejected_deadline = 0;
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+    uint64_t connections_total = 0;
+    int64_t connections = 0;          // currently open
+    int64_t queue_depth = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Connection;
+  struct Task;
+
+  void AcceptLoop(int listen_fd);
+  void ConnectionLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop();
+
+  /// Executes one admitted request and writes its response.
+  void RunTask(Task task);
+  Response Execute(Connection& conn, const Request& request);
+  Response Dispatch(Connection& conn, const Request& request);
+  Status WriteResponse(Connection& conn, const Response& response);
+
+  workbench::AnalysisSession* session_;
+  ServerOptions options_;
+
+  std::mutex lifecycle_mu_;  // serializes Start/Stop
+  std::atomic<bool> running_{false};
+  std::atomic<int> port_{0};
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  // Reader threads and live connections, guarded by conns_mu_.
+  std::mutex conns_mu_;
+  std::vector<std::thread> readers_;
+  std::vector<std::weak_ptr<Connection>> conns_;
+
+  // Admission queue.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+  bool draining_ = false;  // Stop() in progress: workers drain then exit
+
+  // Single writer / many readers over the shared session.
+  std::shared_mutex session_mu_;
+
+  // Live stats (see Stats). Relaxed atomics; mirrored into gea.serve.*
+  // registry metrics when metrics are enabled.
+  struct LiveStats;
+  std::unique_ptr<LiveStats> stats_;
+};
+
+}  // namespace gea::serve
+
+#endif  // GEA_SERVE_SERVER_H_

@@ -1,0 +1,159 @@
+// gea_shell — interactive client for the GEA query service.
+//
+//   gea_shell --port=PORT [--deadline-ms=N]
+//
+// Reads one command per line from stdin and prints responses to stdout
+// (errors to stderr), so it works identically at a terminal and under
+// redirection in tests/scripts. Commands:
+//
+//   login <user> <password> [user|admin]
+//   sql <query...>            rest of the line is the SQL text
+//   <op> [key=value ...]      any protocol command, e.g.:
+//                             aggregate enum=Brain out=Brain_SUMY
+//   help | quit
+//
+// Tables render through rel::Table::ToText; a non-OK response prints
+// "ERROR <code>: <message>" and the shell keeps going. Exit status is 0
+// unless the connection could not be established or was lost.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/client.h"
+
+namespace {
+
+using gea::serve::QueryClient;
+using gea::serve::Response;
+
+void PrintHelp() {
+  std::cout << "commands:\n"
+               "  login <user> <password> [user|admin]\n"
+               "  sql <query...>\n"
+               "  <op> [key=value ...]   (ping, tables, explain, aggregate,\n"
+               "                          populate, diff, top_gap, mine,\n"
+               "                          checkpoint, ...)\n"
+               "  help, quit\n";
+}
+
+void PrintResponse(const Response& response) {
+  if (!response.ok()) {
+    std::cout << "ERROR " << gea::StatusCodeName(response.code) << ": "
+              << response.message << "\n";
+    return;
+  }
+  if (response.table.has_value()) {
+    std::cout << response.table->ToText(/*max_rows=*/50);
+    std::cout << "(" << response.table->NumRows() << " rows)\n";
+  }
+  if (!response.text.empty()) std::cout << response.text << "\n";
+  if (!response.table.has_value() && response.text.empty()) {
+    std::cout << "ok\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  uint32_t deadline_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--port=", 7) == 0) {
+      port = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
+      deadline_ms = static_cast<uint32_t>(std::atoi(arg + 14));
+    } else {
+      std::cerr << "usage: gea_shell --port=PORT [--deadline-ms=N]\n";
+      return 2;
+    }
+  }
+  if (port <= 0) {
+    std::cerr << "gea_shell: --port=PORT is required\n";
+    return 2;
+  }
+
+  QueryClient client;
+  client.SetDeadlineMs(deadline_ms);
+  if (gea::Status status = client.Connect(port); !status.ok()) {
+    std::cerr << "gea_shell: " << status.ToString() << "\n";
+    return 1;
+  }
+
+  const bool interactive = isatty(fileno(stdin)) != 0;
+  if (interactive) {
+    std::cout << "connected to 127.0.0.1:" << port
+              << " — type 'help' for commands\n";
+  }
+
+  std::string line;
+  while (true) {
+    if (interactive) std::cout << "gea> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+
+    std::istringstream in(line);
+    std::string op;
+    in >> op;
+    if (op.empty()) continue;
+    if (op == "quit" || op == "exit") break;
+    if (op == "help") {
+      PrintHelp();
+      continue;
+    }
+
+    std::map<std::string, std::string> params;
+    if (op == "sql") {
+      std::string query;
+      std::getline(in, query);
+      const size_t start = query.find_first_not_of(' ');
+      if (start == std::string::npos) {
+        std::cout << "ERROR InvalidArgument: sql needs a query\n";
+        continue;
+      }
+      params["query"] = query.substr(start);
+    } else if (op == "login") {
+      std::string user, password, level;
+      in >> user >> password >> level;
+      if (user.empty() || password.empty()) {
+        std::cout << "ERROR InvalidArgument: login <user> <password> "
+                     "[user|admin]\n";
+        continue;
+      }
+      params["user"] = user;
+      params["password"] = password;
+      if (!level.empty()) params["level"] = level;
+    } else {
+      std::string pair;
+      bool bad = false;
+      while (in >> pair) {
+        const size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          std::cout << "ERROR InvalidArgument: expected key=value, got '"
+                    << pair << "'\n";
+          bad = true;
+          break;
+        }
+        params[pair.substr(0, eq)] = pair.substr(eq + 1);
+      }
+      if (bad) continue;
+    }
+
+    gea::Result<Response> response = client.Call(op, std::move(params));
+    if (!response.ok()) {
+      std::cerr << "gea_shell: connection lost: "
+                << response.status().ToString() << "\n";
+      return 1;
+    }
+    PrintResponse(*response);
+  }
+  return 0;
+}

@@ -42,6 +42,14 @@ Status AnalysisSession::Login(const std::string& name,
 
 void AnalysisSession::Logout() { current_user_.reset(); }
 
+Result<AccessLevel> AnalysisSession::AuthenticateUser(
+    const std::string& name, const std::string& password,
+    AccessLevel level) const {
+  return Logged("login", "user=" + name, [&]() -> Result<AccessLevel> {
+    return users_.Authenticate(name, password, level);
+  });
+}
+
 Result<std::string> AnalysisSession::CurrentUser() const {
   if (!current_user_.has_value()) {
     return Status::FailedPrecondition("no user is logged in");
@@ -944,7 +952,32 @@ void AnalysisSession::ExportTelemetry(
   record.Emit();
 }
 
+std::vector<AnalysisSession::QueryLogEntry> AnalysisSession::QueryLog() const {
+  std::lock_guard<std::mutex> lock(*log_mu_);
+  return std::vector<QueryLogEntry>(query_log_.begin(), query_log_.end());
+}
+
+void AnalysisSession::ClearQueryLog() {
+  std::lock_guard<std::mutex> lock(*log_mu_);
+  query_log_.clear();
+}
+
+void AnalysisSession::SetQueryLogCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(*log_mu_);
+  query_log_capacity_ = capacity == 0 ? 1 : capacity;
+  while (query_log_.size() > query_log_capacity_) query_log_.pop_front();
+}
+
+size_t AnalysisSession::QueryLogCapacity() const {
+  std::lock_guard<std::mutex> lock(*log_mu_);
+  return query_log_capacity_;
+}
+
 Result<const obs::OperationProfile*> AnalysisSession::LastProfile() const {
+  // Borrowed pointer: only meaningful to single-threaded callers — the
+  // pointee is replaced by the next logged operation. Concurrent readers
+  // should use ExplainLast(), which renders under the lock.
+  std::lock_guard<std::mutex> lock(*log_mu_);
   if (!last_profile_.has_value()) {
     return Status::NotFound("no operation has been logged in this session");
   }
@@ -952,6 +985,7 @@ Result<const obs::OperationProfile*> AnalysisSession::LastProfile() const {
 }
 
 Result<std::string> AnalysisSession::ExplainLast() const {
+  std::lock_guard<std::mutex> lock(*log_mu_);
   if (!last_profile_.has_value()) {
     return Status::NotFound("no operation has been logged in this session");
   }

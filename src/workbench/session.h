@@ -1,8 +1,10 @@
 #ifndef GEA_WORKBENCH_SESSION_H_
 #define GEA_WORKBENCH_SESSION_H_
 
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -52,6 +54,15 @@ class AnalysisSession {
   void Logout();
   bool IsLoggedIn() const { return current_user_.has_value(); }
   Result<std::string> CurrentUser() const;
+
+  /// Validates credentials against the user database WITHOUT changing
+  /// this session's login state, and returns the granted level. The query
+  /// service uses this for per-connection authentication on top of one
+  /// shared session. Logged as a "login" operation either way, so failed
+  /// attempts are visible in the query log.
+  Result<AccessLevel> AuthenticateUser(const std::string& name,
+                                       const std::string& password,
+                                       AccessLevel level) const;
 
   // ---- Administration (Appendix III.3; administrators only) ----
 
@@ -253,9 +264,19 @@ class AnalysisSession {
     std::string error;       // status message when !ok
   };
 
-  /// Every logged operation of this session, in invocation order.
-  const std::vector<QueryLogEntry>& QueryLog() const { return query_log_; }
-  void ClearQueryLog() { query_log_.clear(); }
+  /// Snapshot of the logged operations, oldest first. The log is a
+  /// fixed-capacity ring (SetQueryLogCapacity, default 1024 entries):
+  /// once full, each append evicts the oldest entry, so a long-lived
+  /// serving session cannot grow without bound. Returned by value and
+  /// guarded by a mutex, so it is safe to call while other threads run
+  /// logged operations.
+  std::vector<QueryLogEntry> QueryLog() const;
+  void ClearQueryLog();
+
+  /// Caps the query-log ring. Shrinking evicts oldest entries
+  /// immediately; a capacity of 0 is clamped to 1.
+  void SetQueryLogCapacity(size_t capacity);
+  size_t QueryLogCapacity() const;
 
   /// The captured profile of the most recent logged operation: its span
   /// tree and the registry counters it moved. Spans require GEA_TRACE
@@ -314,8 +335,12 @@ class AnalysisSession {
     entry.ok = status.ok();
     if (!status.ok()) entry.error = status.message();
     ExportTelemetry(entry, profile);
-    query_log_.push_back(std::move(entry));
-    last_profile_ = std::move(profile);
+    {
+      std::lock_guard<std::mutex> lock(*log_mu_);
+      query_log_.push_back(std::move(entry));
+      while (query_log_.size() > query_log_capacity_) query_log_.pop_front();
+      last_profile_ = std::move(profile);
+    }
     return result;
   }
 
@@ -378,8 +403,14 @@ class AnalysisSession {
   std::map<std::string, std::vector<double>> metadata_;  // tolerance vectors
 
   // Mutable: logging is bookkeeping, so const queries (e.g. Query())
-  // still append to the log.
-  mutable std::vector<QueryLogEntry> query_log_;
+  // still append to the log. log_mu_ guards the ring and the profile;
+  // the serve layer reads QueryLog()/ExplainLast() while workers append.
+  // Held by pointer so the session stays movable (tests return sessions
+  // by value); moving a session while another thread logs on it is not
+  // supported, same as every other member.
+  mutable std::unique_ptr<std::mutex> log_mu_ = std::make_unique<std::mutex>();
+  mutable std::deque<QueryLogEntry> query_log_;
+  size_t query_log_capacity_ = 1024;
   mutable std::optional<obs::OperationProfile> last_profile_;
 };
 

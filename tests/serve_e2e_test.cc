@@ -1,0 +1,212 @@
+// End-to-end test of the query service over real TCP: many concurrent
+// authenticated clients mixing reads and WAL-logged mutations, the
+// server stopped mid-load, then crash recovery verified to replay every
+// acknowledged mutation. Also checks the gea.serve.* metrics surface
+// admission-control rejections.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sage/cleaning.h"
+#include "sage/generator.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "workbench/session.h"
+
+namespace gea::serve {
+namespace {
+
+sage::SageDataSet CleanSmallData(uint64_t seed = 42) {
+  sage::GeneratorConfig config;
+  config.seed = seed;
+  config.panels = sage::SyntheticSageGenerator::SmallPanels();
+  sage::SyntheticSage synth = sage::SyntheticSageGenerator(config).Generate();
+  sage::CleanAndNormalize(synth.dataset);
+  return std::move(synth.dataset);
+}
+
+std::string FreshDir(const std::string& tag) {
+  std::string dir = testing::TempDir() + "/gea_serve_e2e_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::unique_ptr<workbench::AnalysisSession> AdminSession() {
+  auto session =
+      std::make_unique<workbench::AnalysisSession>("admin", "secret");
+  EXPECT_TRUE(session
+                  ->Login("admin", "secret",
+                          workbench::AccessLevel::kAdministrator)
+                  .ok());
+  return session;
+}
+
+TEST(ServeE2eTest, ConcurrentClientsStopMidLoadRecoverAcked) {
+  const std::string dir = FreshDir("durability");
+  auto session = AdminSession();
+  ASSERT_TRUE(session->OpenStorage(dir).ok());
+  ASSERT_TRUE(session->LoadDataSet(CleanSmallData()).ok());
+  ASSERT_TRUE(session->CreateTissueDataSet(sage::TissueType::kBrain).ok());
+  ASSERT_TRUE(
+      session->AddUser("reader", "pw", workbench::AccessLevel::kUser).ok());
+
+  ServerOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 128;
+  QueryServer server(session.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.Port();
+
+  constexpr int kClients = 8;
+  constexpr int kIterations = 6;
+
+  // Mutations whose OK response the client actually saw. Only these are
+  // durability-guaranteed; responses lost to the mid-load stop are not.
+  std::mutex acked_mu;
+  std::set<std::string> acked_sumys;
+  std::set<std::string> acked_gaps;
+  std::atomic<int> acked_count{0};
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      QueryClient client;
+      if (!client.Connect(port).ok()) return;
+      // Mix of identities: admins and plain users both mutate.
+      const bool admin = (t % 2 == 0);
+      Status login = admin ? client.Login("admin", "secret", "admin")
+                           : client.Login("reader", "pw");
+      if (!login.ok()) return;
+
+      for (int i = 0; i < kIterations; ++i) {
+        // Read under the shared lock...
+        (void)client.Sql("SELECT COUNT(*) FROM Libraries");
+
+        // ...and mutate under the exclusive one. Ack => WAL-logged.
+        const std::string sumy =
+            "S_" + std::to_string(t) + "_" + std::to_string(i);
+        Result<Response> agg = client.Call(
+            "aggregate", {{"enum", "brain"}, {"out", sumy}});
+        if (!agg.ok()) return;  // server stopped; stream gone
+        if (agg->ok()) {
+          {
+            std::lock_guard<std::mutex> lock(acked_mu);
+            acked_sumys.insert(sumy);
+          }
+          acked_count.fetch_add(1);
+
+          const std::string gap =
+              "G_" + std::to_string(t) + "_" + std::to_string(i);
+          Result<Response> diff = client.Call(
+              "diff", {{"sumy1", sumy}, {"sumy2", sumy}, {"gap", gap}});
+          if (!diff.ok()) return;
+          if (diff->ok()) {
+            std::lock_guard<std::mutex> lock(acked_mu);
+            acked_gaps.insert(gap);
+          }
+        }
+        if (admin && i == 2) {
+          // Checkpoints interleave with the load: snapshot + WAL rotate
+          // must not lose any acked mutation either.
+          (void)client.Call("checkpoint");
+        }
+      }
+    });
+  }
+
+  // Let the load build up, then stop the server in the middle of it —
+  // the "kill" in kill-mid-load. Admitted requests still finish
+  // (drain-on-shutdown), everything after is a dead connection.
+  while (acked_count.load() < kClients) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.Stop();
+  for (std::thread& thread : clients) thread.join();
+
+  ASSERT_FALSE(acked_sumys.empty());
+
+  // Drop the serving session without a clean CloseStorage, then recover
+  // into a fresh one: the WAL must replay every acknowledged mutation.
+  session.reset();
+  auto recovered = AdminSession();
+  ASSERT_TRUE(recovered->OpenStorage(dir).ok());
+  for (const std::string& sumy : acked_sumys) {
+    EXPECT_TRUE(recovered->GetSumy(sumy).ok())
+        << "acked SUMY lost after recovery: " << sumy;
+  }
+  for (const std::string& gap : acked_gaps) {
+    EXPECT_TRUE(recovered->GetGap(gap).ok())
+        << "acked GAP lost after recovery: " << gap;
+  }
+}
+
+TEST(ServeE2eTest, AdmissionRejectionsVisibleInMetrics) {
+  obs::ScopedMetricsEnable metrics(true);
+  obs::Counter& queue_full = obs::MetricsRegistry::Global().GetCounter(
+      "gea.serve.rejected_queue_full");
+  obs::Counter& deadline = obs::MetricsRegistry::Global().GetCounter(
+      "gea.serve.rejected_deadline");
+  const uint64_t queue_full_before = queue_full.Value();
+  const uint64_t deadline_before = deadline.Value();
+
+  auto session = AdminSession();
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  QueryServer server(session.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  QueryClient busy;
+  ASSERT_TRUE(busy.Connect(server.Port()).ok());
+  std::thread busy_thread(
+      [&busy] { (void)busy.Call("ping", {{"sleep_ms", "400"}}); });
+  while (server.GetStats().requests < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Fill the queue with a deadline that will expire behind the sleeper.
+  QueryClient late;
+  late.SetDeadlineMs(20);
+  ASSERT_TRUE(late.Connect(server.Port()).ok());
+  std::thread late_thread([&late] { (void)late.Call("ping"); });
+  while (server.GetStats().queue_depth < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // And one more to bounce off the full queue.
+  QueryClient rejected;
+  ASSERT_TRUE(rejected.Connect(server.Port()).ok());
+  Result<Response> response = rejected.Call("ping");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kResourceExhausted);
+
+  busy_thread.join();
+  late_thread.join();
+  server.Stop();
+
+  EXPECT_GT(queue_full.Value(), queue_full_before);
+  EXPECT_GT(deadline.Value(), deadline_before);
+  // Request/byte counters moved too.
+  EXPECT_GT(obs::MetricsRegistry::Global()
+                .GetCounter("gea.serve.requests")
+                .Value(),
+            0u);
+  EXPECT_GT(
+      obs::MetricsRegistry::Global().GetCounter("gea.serve.bytes_in").Value(),
+      0u);
+  EXPECT_GT(
+      obs::MetricsRegistry::Global().GetCounter("gea.serve.bytes_out").Value(),
+      0u);
+}
+
+}  // namespace
+}  // namespace gea::serve

@@ -1,0 +1,78 @@
+// Drives the gea_shell binary against a live QueryServer through a
+// scripted stdin, the way the serving quick-start in README.md does.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sage/cleaning.h"
+#include "sage/generator.h"
+#include "serve/server.h"
+#include "workbench/session.h"
+
+namespace gea::serve {
+namespace {
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ServeShellTest, ScriptedSessionEndToEnd) {
+  sage::GeneratorConfig config;
+  config.seed = 42;
+  config.panels = sage::SyntheticSageGenerator::SmallPanels();
+  sage::SyntheticSage synth = sage::SyntheticSageGenerator(config).Generate();
+  sage::CleanAndNormalize(synth.dataset);
+
+  workbench::AnalysisSession session("admin", "secret");
+  ASSERT_TRUE(
+      session.Login("admin", "secret", workbench::AccessLevel::kAdministrator)
+          .ok());
+  ASSERT_TRUE(session.LoadDataSet(std::move(synth.dataset)).ok());
+  ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain).ok());
+
+  QueryServer server(&session);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string script_path = testing::TempDir() + "/gea_shell_script.txt";
+  const std::string out_path = testing::TempDir() + "/gea_shell_out.txt";
+  {
+    std::ofstream script(script_path);
+    script << "ping\n"
+           << "sql SELECT * FROM Libraries\n"  // before login: denied
+           << "login admin secret admin\n"
+           << "aggregate enum=brain out=ShellSumy\n"
+           << "sql SELECT COUNT(*) AS n FROM Libraries\n"
+           << "tables\n"
+           << "bogus_command\n"
+           << "quit\n";
+  }
+
+  const std::string command = std::string(GEA_SHELL_PATH) +
+                              " --port=" + std::to_string(server.Port()) +
+                              " < " + script_path + " > " + out_path + " 2>&1";
+  const int rc = std::system(command.c_str());
+  server.Stop();
+  ASSERT_EQ(rc, 0) << ReadFileOrEmpty(out_path);
+
+  const std::string output = ReadFileOrEmpty(out_path);
+  EXPECT_NE(output.find("pong"), std::string::npos) << output;
+  EXPECT_NE(output.find("ERROR PermissionDenied"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("logged in as admin"), std::string::npos) << output;
+  EXPECT_NE(output.find("created ShellSumy"), std::string::npos) << output;
+  EXPECT_NE(output.find("rows)"), std::string::npos) << output;
+  EXPECT_NE(output.find("ERROR InvalidArgument"), std::string::npos) << output;
+
+  // The shell's mutation really landed in the shared session.
+  EXPECT_TRUE(session.GetSumy("ShellSumy").ok());
+}
+
+}  // namespace
+}  // namespace gea::serve

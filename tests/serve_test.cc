@@ -1,0 +1,422 @@
+// Tests for the query service: wire-protocol codecs and framing (torn
+// frames, CRC corruption, oversized payloads), per-connection
+// authentication, admission control (queue-full backpressure, deadline
+// expiry) and the gea_stat_serve view.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/net.h"
+#include "obs/metrics.h"
+#include "sage/cleaning.h"
+#include "sage/generator.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "store/format.h"
+#include "workbench/session.h"
+
+namespace gea::serve {
+namespace {
+
+// ---------- Protocol codecs ----------
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  Request request;
+  request.request_id = 42;
+  request.deadline_ms = 250;
+  request.op = "populate";
+  request.params = {{"sumy", "Brain_SUMY"}, {"base", "Brain"}, {"out", "P"}};
+
+  Result<Request> decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_id, 42u);
+  EXPECT_EQ(decoded->deadline_ms, 250u);
+  EXPECT_EQ(decoded->op, "populate");
+  EXPECT_EQ(decoded->params, request.params);
+}
+
+TEST(ProtocolTest, ResponseRoundTripWithTable) {
+  Response response;
+  response.request_id = 7;
+  response.code = StatusCode::kOk;
+  response.text = "hello";
+  rel::Table table("query", rel::Schema({{"name", rel::ValueType::kString},
+                                         {"n", rel::ValueType::kInt}}));
+  table.AppendRowUnchecked({rel::Value::String("a"), rel::Value::Int(1)});
+  response.table = std::move(table);
+
+  Result<Response> decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_id, 7u);
+  EXPECT_TRUE(decoded->ok());
+  EXPECT_EQ(decoded->text, "hello");
+  ASSERT_TRUE(decoded->table.has_value());
+  EXPECT_EQ(decoded->table->NumRows(), 1u);
+}
+
+TEST(ProtocolTest, ErrorResponseCarriesCodeAndMessage) {
+  Response response =
+      ErrorResponse(9, Status::ResourceExhausted("queue full"));
+  Result<Response> decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded->message, "queue full");
+  EXPECT_TRUE(decoded->ToStatus().IsResourceExhausted());
+}
+
+TEST(ProtocolTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeRequest("not a request").ok());
+  EXPECT_FALSE(DecodeResponse("").ok());
+  // Wrong version byte.
+  std::string payload = EncodeRequest(Request{});
+  payload[0] = 99;
+  EXPECT_FALSE(DecodeRequest(payload).ok());
+}
+
+TEST(ProtocolTest, UnknownWireStatusCodeRejected) {
+  EXPECT_FALSE(StatusCodeFromWire(200).ok());
+  Result<StatusCode> deadline = StatusCodeFromWire(
+      static_cast<uint8_t>(StatusCode::kDeadlineExceeded));
+  ASSERT_TRUE(deadline.ok());
+  EXPECT_EQ(*deadline, StatusCode::kDeadlineExceeded);
+}
+
+// ---------- Framing over a socketpair ----------
+
+class FramingTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    net::CloseFd(fds_[0]);
+    net::CloseFd(fds_[1]);
+  }
+  int fds_[2];
+};
+
+TEST_F(FramingTest, FrameRoundTrip) {
+  ASSERT_TRUE(WriteFrame(fds_[0], "payload bytes").ok());
+  Result<std::optional<std::string>> frame = ReadFrame(fds_[1]);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ(**frame, "payload bytes");
+}
+
+TEST_F(FramingTest, CleanEofBetweenFramesIsNotAnError) {
+  net::CloseFd(fds_[0]);
+  fds_[0] = -1;
+  Result<std::optional<std::string>> frame = ReadFrame(fds_[1]);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_FALSE(frame->has_value());
+}
+
+TEST_F(FramingTest, TornFrameIsAnError) {
+  // A header promising 100 bytes, then the peer dies after 3.
+  std::string wire = Frame(std::string(100, 'x')).substr(0, 8 + 3);
+  ASSERT_TRUE(net::SendAll(fds_[0], wire).ok());
+  net::CloseFd(fds_[0]);
+  fds_[0] = -1;
+  Result<std::optional<std::string>> frame = ReadFrame(fds_[1]);
+  EXPECT_FALSE(frame.ok());
+}
+
+TEST_F(FramingTest, CrcMismatchIsAnError) {
+  std::string wire = Frame("payload bytes");
+  wire[wire.size() - 1] ^= 0x5a;  // flip bits in the payload tail
+  ASSERT_TRUE(net::SendAll(fds_[0], wire).ok());
+  Result<std::optional<std::string>> frame = ReadFrame(fds_[1]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(FramingTest, OversizedFrameRejectedBeforeAllocation) {
+  std::string header;
+  store::PutU32(&header, 64u << 20);  // 64 MiB, over the 16 MiB cap
+  store::PutU32(&header, 0);
+  ASSERT_TRUE(net::SendAll(fds_[0], header).ok());
+  Result<std::optional<std::string>> frame = ReadFrame(fds_[1]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsInvalidArgument());
+
+  // The writer refuses oversized payloads symmetrically.
+  EXPECT_TRUE(WriteFrame(fds_[0], std::string_view("x", 1)).ok());
+  std::string big(kMaxPayloadBytes + 1, 'x');
+  EXPECT_TRUE(WriteFrame(fds_[0], big).IsInvalidArgument());
+}
+
+// ---------- Server fixture ----------
+
+sage::SageDataSet CleanSmallData(uint64_t seed = 42) {
+  sage::GeneratorConfig config;
+  config.seed = seed;
+  config.panels = sage::SyntheticSageGenerator::SmallPanels();
+  sage::SyntheticSage synth = sage::SyntheticSageGenerator(config).Generate();
+  sage::CleanAndNormalize(synth.dataset);
+  return std::move(synth.dataset);
+}
+
+class ServeTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new sage::SageDataSet(CleanSmallData());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  std::unique_ptr<workbench::AnalysisSession> MakeSession() {
+    auto session =
+        std::make_unique<workbench::AnalysisSession>("admin", "secret");
+    EXPECT_TRUE(session
+                    ->Login("admin", "secret",
+                            workbench::AccessLevel::kAdministrator)
+                    .ok());
+    EXPECT_TRUE(session->LoadDataSet(*data_).ok());
+    EXPECT_TRUE(
+        session->CreateTissueDataSet(sage::TissueType::kBrain).ok());
+    EXPECT_TRUE(
+        session->AddUser("reader", "pw", workbench::AccessLevel::kUser).ok());
+    return session;
+  }
+
+  static sage::SageDataSet* data_;
+};
+
+sage::SageDataSet* ServeTest::data_ = nullptr;
+
+TEST_F(ServeTest, StartRequiresLoggedInSession) {
+  workbench::AnalysisSession session("admin", "secret");
+  QueryServer server(&session);
+  EXPECT_TRUE(server.Start().IsFailedPrecondition());
+}
+
+TEST_F(ServeTest, AuthGatingPerConnection) {
+  auto session = MakeSession();
+  QueryServer server(session.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  QueryClient client;
+  ASSERT_TRUE(client.Connect(server.Port()).ok());
+
+  // Ping is open; everything else needs connection-level auth — even
+  // though the embedded session itself is logged in.
+  EXPECT_TRUE(client.Ping().ok());
+  Result<rel::Table> denied = client.Sql("SELECT * FROM Libraries");
+  EXPECT_TRUE(denied.status().IsPermissionDenied());
+
+  EXPECT_TRUE(client.Login("reader", "wrong").IsPermissionDenied());
+  ASSERT_TRUE(client.Login("reader", "pw").ok());
+  Result<rel::Table> table = client.Sql("SELECT * FROM Libraries LIMIT 3");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->NumRows(), 3u);
+
+  // Non-admin connections cannot checkpoint.
+  Result<Response> checkpoint = client.Call("checkpoint");
+  ASSERT_TRUE(checkpoint.ok());
+  EXPECT_EQ(checkpoint->code, StatusCode::kPermissionDenied);
+
+  // Logout drops the connection's rights again.
+  ASSERT_TRUE(client.Logout().ok());
+  EXPECT_TRUE(
+      client.Sql("SELECT * FROM Libraries").status().IsPermissionDenied());
+
+  server.Stop();
+  EXPECT_FALSE(server.Running());
+}
+
+TEST_F(ServeTest, UnknownCommandAndBadParams) {
+  auto session = MakeSession();
+  QueryServer server(session.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  QueryClient client;
+  ASSERT_TRUE(client.Connect(server.Port()).ok());
+  ASSERT_TRUE(client.Login("admin", "secret", "admin").ok());
+
+  Result<Response> unknown = client.Call("frobnicate");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown->code, StatusCode::kInvalidArgument);
+
+  Result<Response> missing = client.Call("aggregate", {{"enum", "brain"}});
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->code, StatusCode::kInvalidArgument);
+
+  Result<Response> bad_range =
+      client.Call("gap_query",
+                  {{"compared", "x"}, {"query", "99"}, {"out", "y"}});
+  ASSERT_TRUE(bad_range.ok());
+  EXPECT_EQ(bad_range->code, StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeTest, OperatorCommandsEndToEnd) {
+  auto session = MakeSession();
+  QueryServer server(session.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  QueryClient client;
+  ASSERT_TRUE(client.Connect(server.Port()).ok());
+  ASSERT_TRUE(client.Login("admin", "secret", "admin").ok());
+
+  Result<Response> agg = client.Call(
+      "aggregate", {{"enum", "brain"}, {"out", "Brain_SUMY"}});
+  ASSERT_TRUE(agg.ok());
+  ASSERT_TRUE(agg->ok()) << agg->message;
+
+  Result<Response> gap = client.Call(
+      "diff",
+      {{"sumy1", "Brain_SUMY"}, {"sumy2", "Brain_SUMY"}, {"gap", "G0"}});
+  ASSERT_TRUE(gap.ok());
+  ASSERT_TRUE(gap->ok()) << gap->message;
+
+  Result<Response> table = client.Call("get_table", {{"name", "Brain_SUMY"}});
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(table->ok()) << table->message;
+  ASSERT_TRUE(table->table.has_value());
+  EXPECT_GT(table->table->NumRows(), 0u);
+
+  Result<Response> tables = client.Call("tables");
+  ASSERT_TRUE(tables.ok());
+  ASSERT_TRUE(tables->table.has_value());
+  EXPECT_GT(tables->table->NumRows(), 0u);
+
+  // The mutations ran through Logged(): the query log saw them, and
+  // EXPLAIN of the most recent operation renders.
+  Result<Response> log = client.Call("query_log", {{"limit", "10"}});
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(log->table.has_value());
+  EXPECT_GT(log->table->NumRows(), 0u);
+  Result<Response> explain = client.Call("explain");
+  ASSERT_TRUE(explain.ok());
+  EXPECT_TRUE(explain->ok());
+  EXPECT_FALSE(explain->text.empty());
+}
+
+TEST_F(ServeTest, QueueFullBackpressureIsExplicit) {
+  auto session = MakeSession();
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  QueryServer server(session.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Occupy the single worker...
+  QueryClient busy;
+  ASSERT_TRUE(busy.Connect(server.Port()).ok());
+  std::thread busy_thread([&busy] {
+    (void)busy.Call("ping", {{"sleep_ms", "400"}});
+  });
+  // ...wait until the worker picked it up (queue back to empty)...
+  while (server.GetStats().requests < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // ...fill the queue with a second sleeper...
+  QueryClient filler;
+  ASSERT_TRUE(filler.Connect(server.Port()).ok());
+  std::thread filler_thread([&filler] {
+    (void)filler.Call("ping", {{"sleep_ms", "100"}});
+  });
+  while (server.GetStats().queue_depth < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // ...and the next request must be rejected, immediately and loudly.
+  QueryClient rejected;
+  ASSERT_TRUE(rejected.Connect(server.Port()).ok());
+  Result<Response> response = rejected.Call("ping");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, StatusCode::kResourceExhausted);
+
+  busy_thread.join();
+  filler_thread.join();
+  EXPECT_GE(server.GetStats().rejected_queue_full, 1u);
+  server.Stop();
+}
+
+TEST_F(ServeTest, ExpiredDeadlineRejectedBeforeExecution) {
+  auto session = MakeSession();
+  ServerOptions options;
+  options.num_workers = 1;
+  QueryServer server(session.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  QueryClient busy;
+  ASSERT_TRUE(busy.Connect(server.Port()).ok());
+  std::thread busy_thread([&busy] {
+    (void)busy.Call("ping", {{"sleep_ms", "300"}});
+  });
+  while (server.GetStats().requests < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // 20 ms deadline, stuck behind a 300 ms sleeper: must come back as
+  // DEADLINE_EXCEEDED without running.
+  QueryClient late;
+  late.SetDeadlineMs(20);
+  ASSERT_TRUE(late.Connect(server.Port()).ok());
+  Result<Response> response = late.Call("ping");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, StatusCode::kDeadlineExceeded);
+
+  busy_thread.join();
+  EXPECT_GE(server.GetStats().rejected_deadline, 1u);
+  server.Stop();
+}
+
+TEST_F(ServeTest, StatViewReportsServer) {
+  auto session = MakeSession();
+  QueryServer server(session.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  QueryClient client;
+  ASSERT_TRUE(client.Connect(server.Port()).ok());
+  ASSERT_TRUE(client.Login("admin", "secret", "admin").ok());
+  ASSERT_TRUE(client.Ping().ok());
+
+  // The serve view is a computed catalog table like gea_stat_storage —
+  // queryable over the wire, about the server answering the query.
+  Result<rel::Table> view = client.Sql(
+      "SELECT port, requests FROM gea_stat_serve WHERE running = 1");
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  ASSERT_GE(view->NumRows(), 1u);
+  bool found = false;
+  for (size_t i = 0; i < view->NumRows(); ++i) {
+    if (view->At(i, 0).AsInt() == server.Port()) found = true;
+  }
+  EXPECT_TRUE(found);
+  server.Stop();
+}
+
+TEST_F(ServeTest, GracefulStopDeliversInFlightResponses) {
+  auto session = MakeSession();
+  QueryServer server(session.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  QueryClient client;
+  ASSERT_TRUE(client.Connect(server.Port()).ok());
+  std::atomic<bool> got_response{false};
+  std::thread slow([&] {
+    Result<Response> response = client.Call("ping", {{"sleep_ms", "200"}});
+    if (response.ok() && response->ok()) got_response = true;
+  });
+  // Give the request time to be admitted, then stop mid-execution.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.Stop();
+  slow.join();
+  EXPECT_TRUE(got_response.load());
+  EXPECT_FALSE(server.Running());
+
+  // Stop is idempotent and the port is released.
+  server.Stop();
+  EXPECT_EQ(server.Port(), 0);
+}
+
+}  // namespace
+}  // namespace gea::serve

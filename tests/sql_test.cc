@@ -79,6 +79,95 @@ TEST(SqlTest, Between) {
   EXPECT_EQ(out->At(1, 0).AsInt(), 3);
 }
 
+TEST(SqlTest, WhereDisjunction) {
+  Catalog catalog = MakeCatalog();
+  Result<Table> out = ExecuteQuery(
+      catalog,
+      "SELECT Lib_ID FROM Libraries WHERE Lib_ID = 1 OR Lib_ID = 4 "
+      "ORDER BY Lib_ID");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->NumRows(), 2u);
+  EXPECT_EQ(out->At(0, 0).AsInt(), 1);
+  EXPECT_EQ(out->At(1, 0).AsInt(), 4);
+}
+
+TEST(SqlTest, AndBindsTighterThanOr) {
+  Catalog catalog = MakeCatalog();
+  // Parsed as (Type='breast' AND Tag>30000) OR Lib_ID=3 — rows 2 and 3.
+  // If OR bound tighter it would be Type='breast' AND (Tag>30000 OR
+  // Lib_ID=3), matching only row 2.
+  Result<Table> out = ExecuteQuery(
+      catalog,
+      "SELECT Lib_ID FROM Libraries WHERE Type = 'breast' AND Tag > 30000 "
+      "OR Lib_ID = 3 ORDER BY Lib_ID");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->NumRows(), 2u);
+  EXPECT_EQ(out->At(0, 0).AsInt(), 2);
+  EXPECT_EQ(out->At(1, 0).AsInt(), 3);
+}
+
+TEST(SqlTest, ParenthesesOverridePrecedence) {
+  Catalog catalog = MakeCatalog();
+  Result<Table> out = ExecuteQuery(
+      catalog,
+      "SELECT Lib_ID FROM Libraries WHERE Type = 'breast' AND "
+      "(Tag > 30000 OR Lib_ID = 4) ORDER BY Lib_ID");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->NumRows(), 2u);
+  EXPECT_EQ(out->At(0, 0).AsInt(), 2);
+  EXPECT_EQ(out->At(1, 0).AsInt(), 4);
+}
+
+TEST(SqlTest, InList) {
+  Catalog catalog = MakeCatalog();
+  Result<Table> out = ExecuteQuery(
+      catalog,
+      "SELECT Lib_ID FROM Libraries WHERE Lib_Name IN "
+      "('SAGE_Br_N', 'SAGE_DCIS', 'nope') ORDER BY Lib_ID");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->NumRows(), 2u);
+  EXPECT_EQ(out->At(0, 0).AsInt(), 2);
+  EXPECT_EQ(out->At(1, 0).AsInt(), 4);
+
+  // Single-element lists and numeric lists work too.
+  out = ExecuteQuery(catalog,
+                     "SELECT Lib_ID FROM Libraries WHERE Lib_ID IN (3)");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumRows(), 1u);
+}
+
+TEST(SqlTest, BetweenComposesWithOr) {
+  Catalog catalog = MakeCatalog();
+  // BETWEEN's interior AND must not swallow the OR that follows it.
+  Result<Table> out = ExecuteQuery(
+      catalog,
+      "SELECT Lib_ID FROM Libraries WHERE Tag BETWEEN 14000 AND 20000 "
+      "OR Lib_ID = 1 ORDER BY Lib_ID");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->NumRows(), 2u);
+  EXPECT_EQ(out->At(0, 0).AsInt(), 1);
+  EXPECT_EQ(out->At(1, 0).AsInt(), 3);
+}
+
+TEST(SqlTest, BooleanGrammarErrors) {
+  Catalog catalog = MakeCatalog();
+  // Unbalanced parenthesis.
+  EXPECT_TRUE(ExecuteQuery(catalog,
+                           "SELECT * FROM Libraries WHERE (Lib_ID = 1")
+                  .status()
+                  .IsInvalidArgument());
+  // Empty IN list.
+  EXPECT_TRUE(ExecuteQuery(catalog,
+                           "SELECT * FROM Libraries WHERE Lib_ID IN ()")
+                  .status()
+                  .IsInvalidArgument());
+  // Dangling OR.
+  EXPECT_TRUE(ExecuteQuery(catalog,
+                           "SELECT * FROM Libraries WHERE Lib_ID = 1 OR")
+                  .status()
+                  .IsInvalidArgument());
+}
+
 TEST(SqlTest, IsNullAndIsNotNull) {
   Catalog catalog = MakeCatalog();
   Result<Table> null_rows = ExecuteQuery(

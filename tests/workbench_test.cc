@@ -360,6 +360,64 @@ TEST_F(SessionTest, QueryLogRecordsSuccessAndFailure) {
   EXPECT_TRUE(session.QueryLog().empty());
 }
 
+TEST_F(SessionTest, QueryLogIsABoundedRing) {
+  AnalysisSession session = LoggedInSession();
+  session.ClearQueryLog();
+  ASSERT_EQ(session.QueryLogCapacity(), 1024u);  // default
+  session.SetQueryLogCapacity(3);
+  EXPECT_EQ(session.QueryLogCapacity(), 3u);
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        session.Query("SELECT COUNT(*) AS n" + std::to_string(i) +
+                      " FROM Libraries")
+            .ok());
+  }
+
+  // Only the newest three entries survive, in order.
+  std::vector<AnalysisSession::QueryLogEntry> log = session.QueryLog();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_NE(log[0].detail.find("n2"), std::string::npos);
+  EXPECT_NE(log[2].detail.find("n4"), std::string::npos);
+
+  // Eviction never touches the last profile: EXPLAIN still works even
+  // after its entry ages out of the ring.
+  session.SetQueryLogCapacity(1);
+  EXPECT_EQ(session.QueryLog().size(), 1u);
+  Result<std::string> explain = session.ExplainLast();
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_NE(explain->find("sql_query"), std::string::npos);
+
+  // Capacity 0 is clamped to 1 rather than disabling the log.
+  session.SetQueryLogCapacity(0);
+  EXPECT_EQ(session.QueryLogCapacity(), 1u);
+}
+
+TEST_F(SessionTest, AuthenticateUserIsLoggedWithoutChangingLogin) {
+  AnalysisSession session = LoggedInSession();
+  ASSERT_TRUE(
+      session.AddUser("reader", "pw", AccessLevel::kUser).ok());
+  session.ClearQueryLog();
+
+  Result<AccessLevel> level =
+      session.AuthenticateUser("reader", "pw", AccessLevel::kUser);
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(*level, AccessLevel::kUser);
+  EXPECT_TRUE(
+      session.AuthenticateUser("reader", "wrong", AccessLevel::kUser)
+          .status()
+          .IsPermissionDenied());
+
+  // Both attempts hit the query log; the session identity is untouched.
+  std::vector<AnalysisSession::QueryLogEntry> log = session.QueryLog();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].operation, "login");
+  EXPECT_TRUE(log[0].ok);
+  EXPECT_FALSE(log[1].ok);
+  ASSERT_TRUE(session.CurrentUser().ok());
+  EXPECT_EQ(*session.CurrentUser(), "admin");
+}
+
 TEST_F(SessionTest, ExplainLastOnPopulateThenDiffPipeline) {
   obs::ScopedMetricsEnable metrics(true);
   obs::ScopedTraceEnable trace(true);
