@@ -12,6 +12,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <optional>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -74,6 +77,77 @@ void BM_Diff(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_Diff)->RangeMultiplier(4)->Range(1000, 16000)
+    ->Complexity(benchmark::oN);
+
+// Row-at-a-time counterparts of BM_Aggregate / BM_Diff: the pre-columnar
+// implementations, re-stated against the logical API. Kept in the suite
+// (and in BENCH_baseline.json) so the columnar-vs-row gap stays measured
+// instead of remembered.
+void BM_AggregateRow(benchmark::State& state) {
+  core::EnumTable table = EnumWithTags(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<core::SumyEntry> entries;
+    entries.reserve(table.NumTags());
+    const double n = static_cast<double>(table.NumLibraries());
+    for (size_t c = 0; c < table.NumTags(); ++c) {
+      double lo = table.ValueAt(0, c), hi = lo, sum = 0.0, sumsq = 0.0;
+      for (size_t row = 0; row < table.NumLibraries(); ++row) {
+        const double v = table.ValueAt(row, c);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+        sum += v;
+        sumsq += v * v;
+      }
+      const double mean = sum / n;
+      const double var = std::max(0.0, sumsq / n - mean * mean);
+      entries.push_back(core::SumyEntry(table.tags()[c], lo, hi, mean,
+                                        std::sqrt(var)));
+    }
+    benchmark::DoNotOptimize(
+        core::SumyTable::Create("sumy", std::move(entries)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AggregateRow)->RangeMultiplier(4)->Range(1000, 16000)
+    ->Complexity(benchmark::oN);
+
+void BM_DiffRow(benchmark::State& state) {
+  core::EnumTable table = EnumWithTags(static_cast<size_t>(state.range(0)));
+  core::EnumTable cancer = table.FilterLibraries(
+      "cancer", [](const sage::LibraryMeta& lib) {
+        return lib.state == sage::NeoplasticState::kCancer;
+      });
+  core::EnumTable normal = table.FilterLibraries(
+      "normal", [](const sage::LibraryMeta& lib) {
+        return lib.state == sage::NeoplasticState::kNormal;
+      });
+  core::SumyTable sumy1 = std::move(core::Aggregate(cancer, "s1")).value();
+  core::SumyTable sumy2 = std::move(core::Aggregate(normal, "s2")).value();
+  for (auto _ : state) {
+    std::vector<core::GapEntry> rows;
+    for (const core::SumyEntry& ea : sumy1.entries()) {
+      std::optional<core::SumyEntry> eb = sumy2.Find(ea.tag);
+      if (!eb.has_value()) continue;
+      const bool first_is_higher = ea.mean >= eb->mean;
+      const core::SumyEntry& hi = first_is_higher ? ea : *eb;
+      const core::SumyEntry& lo = first_is_higher ? *eb : ea;
+      const double magnitude =
+          (hi.mean - hi.stddev) - (lo.mean + lo.stddev);
+      core::GapEntry row;
+      row.tag = ea.tag;
+      if (magnitude <= 0.0) {
+        row.gaps.push_back(std::nullopt);
+      } else {
+        row.gaps.push_back(first_is_higher ? magnitude : -magnitude);
+      }
+      rows.push_back(std::move(row));
+    }
+    benchmark::DoNotOptimize(
+        core::GapTable::Create("gap", {"Gap"}, std::move(rows)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DiffRow)->RangeMultiplier(4)->Range(1000, 16000)
     ->Complexity(benchmark::oN);
 
 void BM_PopulateSequential(benchmark::State& state) {

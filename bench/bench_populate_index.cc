@@ -99,6 +99,7 @@ Table32Substrate BuildSubstrate() {
     e.min = lo;
     e.max = hi;
     e.mean = (lo + hi) / 2;
+    e.stddev = 0.0;
     entries.push_back(e);
   }
   core::SumyTable sumy =

@@ -107,7 +107,9 @@ int main() {
       meta::ProtRelFromGeneRel(gene_rel, db.swissprot(), "ProtRel"));
   std::printf("ProtRel: %zu protein sequences\n\n", prot_rel.NumRows());
 
-  for (const rel::Row& row : gene_rel.rows()) {
+  for (size_t r1_ = 0; r1_ < gene_rel.NumRows(); ++r1_) {
+
+    const rel::Row row = gene_rel.GetRow(r1_);
     const std::string& gene = row[0].AsString();
     std::printf("gene: %s\n", gene.c_str());
     Result<meta::ProteinRecord> protein = search.GeneToProtein(gene);

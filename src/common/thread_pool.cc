@@ -191,6 +191,27 @@ const ThreadPool* SharedThreadPoolIfStarted() {
   return g_shared_pool.load(std::memory_order_acquire);
 }
 
+namespace {
+
+bool& ForceParallelHelpersSlot() {
+  static bool force = [] {
+    const char* env = std::getenv("GEA_FORCE_PARALLEL");
+    return env != nullptr && *env != '\0';
+  }();
+  return force;
+}
+
+}  // namespace
+
+ForceParallelHelpersScope::ForceParallelHelpersScope()
+    : previous_(ForceParallelHelpersSlot()) {
+  ForceParallelHelpersSlot() = true;
+}
+
+ForceParallelHelpersScope::~ForceParallelHelpersScope() {
+  ForceParallelHelpersSlot() = previous_;
+}
+
 void ParallelFor(size_t begin, size_t end, size_t min_grain,
                  const std::function<void(size_t, size_t)>& body) {
   if (begin >= end) return;
@@ -229,12 +250,20 @@ void ParallelFor(size_t begin, size_t end, size_t min_grain,
     return;
   }
 
-  ThreadPool& pool = SharedThreadPool();
+  // With one hardware thread, pool helpers can only timeshare the core:
+  // every handoff is a context switch that overlaps nothing, and on slow
+  // schedulers it dominates the region. Keep the chunk partition (results
+  // and first-error order depend on it) but run every chunk inline via
+  // the caller's claim loop below. GEA_FORCE_PARALLEL or
+  // ForceParallelHelpersScope (TSan tests) restores real helpers.
+  const bool inline_only =
+      HardwareThreads() <= 1 && !ForceParallelHelpersSlot();
+  ThreadPool* pool = inline_only ? nullptr : &SharedThreadPool();
 
   pf_chunks.Add(chunks);
   obs::TraceSpan pf_span("parallel_for");
-  // Chunk spans run on pool workers; hand them the caller's current span
-  // (the parallel_for span when tracing) so they nest under it.
+  // Chunk spans may run on pool workers; hand them the caller's current
+  // span (the parallel_for span when tracing) so they nest under it.
   const uint64_t parent_span = obs::CurrentSpanId();
   const bool metrics = obs::MetricsEnabled();
 
@@ -242,59 +271,91 @@ void ParallelFor(size_t begin, size_t end, size_t min_grain,
     std::mutex mu;
     std::condition_variable done_cv;
     size_t remaining;
+    // Next unclaimed chunk index. Chunks are *claimed*, not assigned:
+    // helper tasks and the caller race on this counter, so on a busy or
+    // single-core pool the caller just runs everything inline instead of
+    // paying a queue handoff. Chunk boundaries stay deterministic; which
+    // thread runs a chunk never affects results (disjoint slots).
+    std::atomic<size_t> next{0};
     // First exception in chunk order, so a failure rethrows the same
     // exception regardless of scheduling.
     std::vector<std::exception_ptr> errors;
     // Per-chunk wall time (written under mu), for the imbalance metric.
     std::vector<uint64_t> chunk_elapsed;
   };
-  State state;
-  state.remaining = chunks;
-  state.errors.resize(chunks);
-  state.chunk_elapsed.resize(chunks);
+  // Shared so a helper task that loses the race entirely (drains no
+  // chunks because the caller already claimed them) can still run safely
+  // after ParallelFor returned.
+  auto state = std::make_shared<State>();
+  state->remaining = chunks;
+  state->errors.resize(chunks);
+  state->chunk_elapsed.resize(chunks);
 
   // Deterministic chunk boundaries: chunk c covers
-  // [begin + c*n/chunks, begin + (c+1)*n/chunks).
-  for (size_t c = 0; c < chunks; ++c) {
+  // [begin + c*n/chunks, begin + (c+1)*n/chunks). `body` is only safe to
+  // touch while the caller is still inside this call, which is guaranteed
+  // because every chunk finishes before the final wait returns.
+  const auto run_chunk = [&body, begin, n, chunks, metrics](State& s,
+                                                           size_t c) {
     const size_t chunk_begin = begin + n * c / chunks;
     const size_t chunk_end = begin + n * (c + 1) / chunks;
-    pool.Submit([&state, &body, c, chunk_begin, chunk_end, parent_span,
-                 metrics] {
+    const uint64_t chunk_start = metrics ? obs::NowNanos() : 0;
+    {
+      obs::TraceSpan chunk_span("chunk");
+      try {
+        body(chunk_begin, chunk_end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.errors[c] = std::current_exception();
+      }
+    }
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (metrics) s.chunk_elapsed[c] = obs::NowNanos() - chunk_start;
+    if (--s.remaining == 0) s.done_cv.notify_all();
+  };
+
+  const size_t helpers =
+      pool == nullptr ? 0 : std::min(chunks - 1, pool->NumThreads());
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Submit([state, run_chunk, chunks, parent_span] {
       bool was_in_region = t_in_parallel_region;
       t_in_parallel_region = true;
-      const uint64_t chunk_start = metrics ? obs::NowNanos() : 0;
-      {
-        obs::TraceParentScope parent_scope(parent_span);
-        obs::TraceSpan chunk_span("chunk");
-        try {
-          body(chunk_begin, chunk_end);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(state.mu);
-          state.errors[c] = std::current_exception();
-        }
+      obs::TraceParentScope parent_scope(parent_span);
+      for (;;) {
+        const size_t c = state->next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= chunks) break;
+        run_chunk(*state, c);
       }
       t_in_parallel_region = was_in_region;
-      std::lock_guard<std::mutex> lock(state.mu);
-      if (metrics) state.chunk_elapsed[c] = obs::NowNanos() - chunk_start;
-      if (--state.remaining == 0) state.done_cv.notify_all();
     });
   }
 
   {
-    std::unique_lock<std::mutex> lock(state.mu);
-    state.done_cv.wait(lock, [&state] { return state.remaining == 0; });
+    bool was_in_region = t_in_parallel_region;
+    t_in_parallel_region = true;
+    for (;;) {
+      const size_t c = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) break;
+      run_chunk(*state, c);
+    }
+    t_in_parallel_region = was_in_region;
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&state] { return state->remaining == 0; });
   }
   if (metrics) {
     uint64_t min_elapsed = UINT64_MAX;
     uint64_t max_elapsed = 0;
-    for (uint64_t elapsed : state.chunk_elapsed) {
+    for (uint64_t elapsed : state->chunk_elapsed) {
       pf_chunk_nanos.Record(elapsed);
       min_elapsed = std::min(min_elapsed, elapsed);
       max_elapsed = std::max(max_elapsed, elapsed);
     }
     pf_imbalance.Record(max_elapsed - min_elapsed);
   }
-  for (std::exception_ptr& error : state.errors) {
+  for (std::exception_ptr& error : state->errors) {
     if (error) std::rethrow_exception(error);
   }
 }

@@ -94,6 +94,28 @@ void SetThreadOverride(std::optional<size_t> num_threads);
 /// rises past the current worker count.
 ThreadPool& SharedThreadPool();
 
+/// On a machine with a single hardware thread, ParallelFor keeps its
+/// chunk partition (so results and error order are unchanged) but runs
+/// every chunk on the calling thread: pool helpers could only timeshare
+/// the one core, so each handoff would be a context switch with nothing
+/// overlapped. This scope forces helpers on anyway — for tests that need
+/// real cross-thread execution (TSan interleaving coverage) regardless
+/// of the host's core count. The GEA_FORCE_PARALLEL environment variable
+/// (any non-empty value) does the same process-wide.
+/// Thread-compatible: call from one thread while no ParallelFor is live.
+class ForceParallelHelpersScope {
+ public:
+  ForceParallelHelpersScope();
+  ~ForceParallelHelpersScope();
+
+  ForceParallelHelpersScope(const ForceParallelHelpersScope&) = delete;
+  ForceParallelHelpersScope& operator=(const ForceParallelHelpersScope&) =
+      delete;
+
+ private:
+  bool previous_;
+};
+
 /// The shared pool if one has been created, else nullptr. Never creates
 /// workers — the stat views and the monitoring endpoint report through
 /// this so that *observing* the pool cannot start it.

@@ -1,8 +1,11 @@
 #include "core/gap.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cassert>
 
 #include "common/thread_pool.h"
+#include "core/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -28,25 +31,96 @@ Result<GapTable> GapTable::Create(std::string name,
                                      sage::TagLabel(entries[i].tag));
     }
   }
+  // Transpose the validated rows into the columnar layout.
   GapTable table;
   table.name_ = std::move(name);
   table.gap_columns_ = std::move(gap_columns);
-  table.entries_ = std::move(entries);
+  const size_t num_rows = entries.size();
+  const size_t num_cols = table.gap_columns_.size();
+  table.tags_.reserve(num_rows);
+  table.values_.assign(num_cols, {});
+  table.valid_.assign(num_cols, {});
+  for (size_t c = 0; c < num_cols; ++c) {
+    table.values_[c].reserve(num_rows);
+    table.valid_[c].reserve(num_rows);
+  }
+  for (const GapEntry& e : entries) {
+    table.tags_.push_back(e.tag);
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::optional<double>& g = e.gaps[c];
+      table.values_[c].push_back(g.value_or(0.0));
+      table.valid_[c].push_back(g.has_value() ? 1 : 0);
+    }
+  }
   return table;
 }
 
+GapTable GapTable::FromColumns(std::string name,
+                               std::vector<std::string> gap_columns,
+                               std::vector<sage::TagId> tags,
+                               std::vector<std::vector<double>> values,
+                               std::vector<std::vector<uint8_t>> valid) {
+#ifndef NDEBUG
+  assert(!gap_columns.empty());
+  assert(values.size() == gap_columns.size());
+  assert(valid.size() == gap_columns.size());
+  for (size_t i = 1; i < tags.size(); ++i) assert(tags[i - 1] < tags[i]);
+  for (size_t c = 0; c < values.size(); ++c) {
+    assert(values[c].size() == tags.size());
+    assert(valid[c].size() == tags.size());
+    for (size_t i = 0; i < tags.size(); ++i) {
+      assert(valid[c][i] || values[c][i] == 0.0);
+    }
+  }
+#endif
+  GapTable table;
+  table.name_ = std::move(name);
+  table.gap_columns_ = std::move(gap_columns);
+  table.tags_ = std::move(tags);
+  table.values_ = std::move(values);
+  table.valid_ = std::move(valid);
+  return table;
+}
+
+GapEntry GapTable::entry(size_t i) const {
+  GapEntry e;
+  e.tag = tags_[i];
+  e.gaps.reserve(NumColumns());
+  for (size_t c = 0; c < NumColumns(); ++c) e.gaps.push_back(GapAt(i, c));
+  return e;
+}
+
+std::vector<GapEntry> GapTable::entries() const {
+  std::vector<GapEntry> out;
+  out.reserve(NumTags());
+  for (size_t i = 0; i < NumTags(); ++i) out.push_back(entry(i));
+  return out;
+}
+
+std::optional<size_t> GapTable::FindIndex(sage::TagId tag) const {
+  auto it = std::lower_bound(tags_.begin(), tags_.end(), tag);
+  if (it == tags_.end() || *it != tag) return std::nullopt;
+  return static_cast<size_t>(it - tags_.begin());
+}
+
 std::optional<GapEntry> GapTable::Find(sage::TagId tag) const {
-  auto it = std::lower_bound(
-      entries_.begin(), entries_.end(), tag,
-      [](const GapEntry& e, sage::TagId t) { return e.tag < t; });
-  if (it == entries_.end() || it->tag != tag) return std::nullopt;
-  return *it;
+  std::optional<size_t> i = FindIndex(tag);
+  if (!i.has_value()) return std::nullopt;
+  return entry(*i);
 }
 
 std::optional<double> GapTable::Gap(sage::TagId tag, size_t col) const {
-  std::optional<GapEntry> entry = Find(tag);
-  if (!entry.has_value() || col >= entry->gaps.size()) return std::nullopt;
-  return entry->gaps[col];
+  std::optional<size_t> i = FindIndex(tag);
+  if (!i.has_value() || col >= NumColumns()) return std::nullopt;
+  return GapAt(*i, col);
+}
+
+GapTable GapTable::WithColumnNames(
+    std::vector<std::string> gap_columns) const {
+  assert(gap_columns.size() == gap_columns_.size());
+  GapTable renamed = *this;
+  renamed.gap_columns_ = std::move(gap_columns);
+  return renamed;
 }
 
 rel::Table GapTable::ToRelTable() const {
@@ -56,12 +130,12 @@ rel::Table GapTable::ToRelTable() const {
     defs.push_back({col, rel::ValueType::kDouble});
   }
   rel::Table table(name_, rel::Schema(std::move(defs)));
-  for (const GapEntry& e : entries_) {
-    rel::Row row = {rel::Value::String(sage::DecodeTag(e.tag)),
-                    rel::Value::Int(static_cast<int64_t>(e.tag))};
-    for (const std::optional<double>& g : e.gaps) {
-      row.push_back(g.has_value() ? rel::Value::Double(*g)
-                                  : rel::Value::Null());
+  for (size_t i = 0; i < NumTags(); ++i) {
+    rel::Row row = {rel::Value::String(sage::DecodeTag(tags_[i])),
+                    rel::Value::Int(static_cast<int64_t>(tags_[i]))};
+    for (size_t c = 0; c < NumColumns(); ++c) {
+      row.push_back(valid_[c][i] ? rel::Value::Double(values_[c][i])
+                                 : rel::Value::Null());
     }
     table.AppendRowUnchecked(std::move(row));
   }
@@ -79,61 +153,81 @@ Result<GapTable> Diff(const SumyTable& sumy1, const SumyTable& sumy2,
       obs::MetricsRegistry::Global().GetCounter("gea.diff.gaps_null");
   static obs::Counter& rows_materialized =
       obs::MetricsRegistry::Global().GetCounter("gea.diff.rows_materialized");
+  static obs::Counter& tag_lookups =
+      obs::MetricsRegistry::Global().GetCounter("gea.core.tag_lookups");
   static obs::Histogram& latency =
       obs::MetricsRegistry::Global().GetHistogram("gea.diff.nanos");
   obs::TraceSpan span("diff");
   obs::ScopedLatency timer(latency);
   calls.Add();
   tags_compared.Add(sumy1.NumTags() + sumy2.NumTags());
-  // Merge over the two sorted entry lists; GAP rows exist only for the
-  // common tags (Fig. 3.5: the resultant table consists of the tags
-  // common to both SUMY tables). The merge itself is a cheap index walk;
-  // the per-tag gap computation is then partitioned across the pool, each
-  // matched pair filling its own output slot.
-  std::vector<std::pair<size_t, size_t>> matched;
-  matched.reserve(std::min(sumy1.NumTags(), sumy2.NumTags()));
-  size_t i = 0;
-  size_t j = 0;
-  while (i < sumy1.NumTags() && j < sumy2.NumTags()) {
-    sage::TagId ta = sumy1.entry(i).tag;
-    sage::TagId tb = sumy2.entry(j).tag;
-    if (ta < tb) {
-      ++i;
-    } else if (tb < ta) {
-      ++j;
-    } else {
-      matched.emplace_back(i, j);
-      ++i;
-      ++j;
-    }
-  }
-  std::vector<GapEntry> entries(matched.size());
-  ParallelFor(0, matched.size(), 512, [&](size_t begin, size_t end) {
-    for (size_t k = begin; k < end; ++k) {
-      const SumyEntry& a = sumy1.entry(matched[k].first);
-      const SumyEntry& b = sumy2.entry(matched[k].second);
-      const bool first_is_higher = a.mean >= b.mean;
-      const SumyEntry& hi = first_is_higher ? a : b;
-      const SumyEntry& lo = first_is_higher ? b : a;
-      double magnitude = (hi.mean - hi.stddev) - (lo.mean + lo.stddev);
-      GapEntry& entry = entries[k];
-      entry.tag = a.tag;
-      if (magnitude <= 0.0) {
-        entry.gaps.push_back(std::nullopt);  // the bands overlap
-      } else {
-        entry.gaps.push_back(first_is_higher ? magnitude : -magnitude);
+
+  const SumyEntry* a = sumy1.entries().data();
+  const SumyEntry* b = sumy2.entries().data();
+  const size_t na = sumy1.NumTags();
+  const size_t nb = sumy2.NumTags();
+
+  // GAP rows exist only for the common tags (Fig. 3.5). The overwhelmingly
+  // common shape is two aggregates over the same ENUM tag universe, where
+  // the entry lists line up position-for-position; detect that with one
+  // cheap scan (which also warms the lines the kernel is about to read)
+  // and go straight to the aligned batch kernel. Mismatched tag sets take
+  // the merge below into compacted aligned buffers first.
+  bool aligned = na == nb;
+  if (aligned) {
+    for (size_t i = 0; i < na; ++i) {
+      if (a[i].tag != b[i].tag) {
+        aligned = false;
+        break;
       }
     }
-  });
-  rows_materialized.Add(entries.size());
-  if (obs::MetricsEnabled()) {
-    uint64_t nulls = 0;
-    for (const GapEntry& entry : entries) {
-      if (!entry.gaps[0].has_value()) ++nulls;
-    }
-    gaps_null.Add(nulls);
   }
-  return GapTable::Create(out_name, {gap_column}, std::move(entries));
+
+  std::vector<SumyEntry> packed_a;
+  std::vector<SumyEntry> packed_b;
+  size_t matched = na;
+  if (!aligned) {
+    // Merge walk over the two sorted entry lists, packing the matched
+    // pairs so the kernel still sees aligned rows.
+    packed_a.reserve(std::min(na, nb));
+    packed_b.reserve(std::min(na, nb));
+    size_t i = 0;
+    size_t j = 0;
+    while (i < na && j < nb) {
+      if (a[i].tag < b[j].tag) {
+        ++i;
+      } else if (b[j].tag < a[i].tag) {
+        ++j;
+      } else {
+        packed_a.push_back(a[i++]);
+        packed_b.push_back(b[j++]);
+      }
+    }
+    a = packed_a.data();
+    b = packed_b.data();
+    matched = packed_a.size();
+  }
+
+  std::vector<sage::TagId> tags(matched);
+  std::vector<double> gaps(matched);
+  std::vector<uint8_t> valid(matched);
+  std::atomic<uint64_t> nulls{0};
+  ParallelFor(0, matched, 4096, [&](size_t begin, size_t end) {
+    // Tag ids resolve once per entry batch, not per comparison.
+    tag_lookups.Add(end - begin);
+    nulls.fetch_add(
+        DiffEntries(a, b, begin, end, tags.data(), gaps.data(), valid.data()),
+        std::memory_order_relaxed);
+  });
+  rows_materialized.Add(matched);
+  gaps_null.Add(nulls.load(std::memory_order_relaxed));
+
+  std::vector<std::vector<double>> values_cols;
+  values_cols.push_back(std::move(gaps));
+  std::vector<std::vector<uint8_t>> valid_cols;
+  valid_cols.push_back(std::move(valid));
+  return GapTable::FromColumns(out_name, {gap_column}, std::move(tags),
+                               std::move(values_cols), std::move(valid_cols));
 }
 
 }  // namespace gea::core

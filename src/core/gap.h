@@ -14,6 +14,9 @@ namespace gea::core {
 
 /// One row of a GAP table: a tag with one gap value per gap column. A gap
 /// value is null when the two clusters' µ±σ bands overlap (Fig. 3.4).
+///
+/// This is the *row view* — GapTable stores columns (see below) and
+/// materializes GapEntry values on demand for row-oriented callers.
 struct GapEntry {
   sage::TagId tag = 0;
   std::vector<std::optional<double>> gaps;  // one per gap column
@@ -22,15 +25,33 @@ struct GapEntry {
 /// A GAP table (Fig. 3.3b): summarizes the per-tag difference between two
 /// SUMY tables. Fresh diff() output has a single gap column; the
 /// intersect/union comparison operators produce two (Fig. 3.6d).
+///
+/// Physical layout is columnar: one ascending tag vector plus, per gap
+/// column, a contiguous double vector and a parallel validity vector
+/// (1 = value present, 0 = null; null slots hold 0.0 so whole columns
+/// compare deterministically). diff() writes these arrays directly from
+/// its batch kernel; the GapEntry-based accessors below materialize rows
+/// for tests and low-frequency callers.
 class GapTable {
  public:
   GapTable() = default;
 
-  /// Builds from entries; sorts by tag, rejects duplicates and rows whose
-  /// gap count differs from the column count. Requires >= 1 column.
+  /// Builds from row entries; sorts by tag, rejects duplicates and rows
+  /// whose gap count differs from the column count. Requires >= 1 column.
   static Result<GapTable> Create(std::string name,
                                  std::vector<std::string> gap_columns,
                                  std::vector<GapEntry> entries);
+
+  /// Trusted fast path for operators that already produce sorted,
+  /// validated columns (diff(), the gap set operations): adopts the
+  /// arrays without the per-row checks Create() performs. Tags must be
+  /// strictly ascending and every column sized like `tags`; null slots
+  /// must hold value 0.0 (debug-asserted).
+  static GapTable FromColumns(std::string name,
+                              std::vector<std::string> gap_columns,
+                              std::vector<sage::TagId> tags,
+                              std::vector<std::vector<double>> values,
+                              std::vector<std::vector<uint8_t>> valid);
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
@@ -38,16 +59,47 @@ class GapTable {
   size_t NumColumns() const { return gap_columns_.size(); }
   const std::vector<std::string>& gap_columns() const { return gap_columns_; }
 
-  size_t NumTags() const { return entries_.size(); }
-  const GapEntry& entry(size_t i) const { return entries_[i]; }
-  const std::vector<GapEntry>& entries() const { return entries_; }
+  size_t NumTags() const { return tags_.size(); }
+
+  // ---- Columnar access (the operator hot paths) ----
+
+  const std::vector<sage::TagId>& tags() const { return tags_; }
+  sage::TagId tag(size_t i) const { return tags_[i]; }
+
+  /// Raw value column (0.0 in null slots) and its validity column.
+  const std::vector<double>& column_values(size_t col) const {
+    return values_[col];
+  }
+  const std::vector<uint8_t>& column_valid(size_t col) const {
+    return valid_[col];
+  }
+
+  /// Gap at row index `i`, column `col` (nullopt when the slot is null).
+  std::optional<double> GapAt(size_t i, size_t col) const {
+    if (!valid_[col][i]) return std::nullopt;
+    return values_[col][i];
+  }
+
+  // ---- Row-view access (materializes; tests and display paths) ----
+
+  /// Row `i` as a GapEntry value.
+  GapEntry entry(size_t i) const;
+
+  /// All rows as GapEntry values, in tag order.
+  std::vector<GapEntry> entries() const;
 
   /// Entry for `tag`, or nullopt.
   std::optional<GapEntry> Find(sage::TagId tag) const;
 
+  /// Row index of `tag`, or nullopt (binary search).
+  std::optional<size_t> FindIndex(sage::TagId tag) const;
+
   /// Gap value of `tag` in column `col` (nullopt if the tag is absent or
   /// the gap is null).
   std::optional<double> Gap(sage::TagId tag, size_t col = 0) const;
+
+  /// Same table with the gap columns renamed (arity must match).
+  GapTable WithColumnNames(std::vector<std::string> gap_columns) const;
 
   /// Relational rendering: TagName, TagNo, then one double column per gap
   /// column (null gaps become SQL NULL) — the GapTable schema of
@@ -57,7 +109,9 @@ class GapTable {
  private:
   std::string name_;
   std::vector<std::string> gap_columns_;
-  std::vector<GapEntry> entries_;  // sorted by tag
+  std::vector<sage::TagId> tags_;              // strictly ascending
+  std::vector<std::vector<double>> values_;    // [column][row]
+  std::vector<std::vector<uint8_t>> valid_;    // [column][row]
 };
 
 /// The diff() operator (Section 3.2.2): GAP = diff(SUMY1, SUMY2).

@@ -29,19 +29,10 @@ Result<GapTable> CompareGaps(const GapTable& gap_a, const GapTable& gap_b,
       obs::MetricsRegistry::Global().GetCounter("gea.gap.compare.calls");
   obs::TraceSpan span("gap.compare");
   calls.Add();
-  // Rename columns so the combined table reads GapA / GapB.
-  GEA_ASSIGN_OR_RETURN(GapTable a, ProjectGap(gap_a, gap_a.gap_columns(),
-                                              gap_a.name()));
-  GEA_ASSIGN_OR_RETURN(GapTable b, ProjectGap(gap_b, gap_b.gap_columns(),
-                                              gap_b.name()));
-  std::vector<GapEntry> a_entries = a.entries();
-  GEA_ASSIGN_OR_RETURN(GapTable named_a,
-                       GapTable::Create(a.name(), {"GapA"},
-                                        std::move(a_entries)));
-  std::vector<GapEntry> b_entries = b.entries();
-  GEA_ASSIGN_OR_RETURN(GapTable named_b,
-                       GapTable::Create(b.name(), {"GapB"},
-                                        std::move(b_entries)));
+  // Rename columns so the combined table reads GapA / GapB; a column-name
+  // swap is metadata-only, the tag/value/valid vectors are shared copies.
+  GapTable named_a = gap_a.WithColumnNames({"GapA"});
+  GapTable named_b = gap_b.WithColumnNames({"GapB"});
   switch (kind) {
     case GapCompareKind::kUnion:
       return GapUnion(named_a, named_b, out_name);

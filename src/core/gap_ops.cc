@@ -10,54 +10,113 @@
 
 namespace gea::core {
 
-Result<GapTable> SelectGap(const GapTable& input,
-                           const std::function<bool(const GapEntry&)>& pred,
-                           const std::string& out_name) {
+namespace {
+
+/// Columnar gather: the rows of `input` whose index is in `rows` (which
+/// must be ascending so tag order is preserved), as a new table.
+GapTable GatherRows(const GapTable& input, const std::vector<size_t>& rows,
+                    const std::string& out_name) {
+  std::vector<sage::TagId> tags;
+  tags.reserve(rows.size());
+  for (size_t i : rows) tags.push_back(input.tag(i));
+  std::vector<std::vector<double>> values(input.NumColumns());
+  std::vector<std::vector<uint8_t>> valid(input.NumColumns());
+  for (size_t c = 0; c < input.NumColumns(); ++c) {
+    const std::vector<double>& in_values = input.column_values(c);
+    const std::vector<uint8_t>& in_valid = input.column_valid(c);
+    values[c].reserve(rows.size());
+    valid[c].reserve(rows.size());
+    for (size_t i : rows) {
+      values[c].push_back(in_values[i]);
+      valid[c].push_back(in_valid[i]);
+    }
+  }
+  return GapTable::FromColumns(out_name, input.gap_columns(), std::move(tags),
+                               std::move(values), std::move(valid));
+}
+
+/// Shared select plumbing: keep[i] != 0 keeps row i.
+GapTable SelectByMask(const GapTable& input, const std::vector<char>& keep,
+                      const std::string& out_name) {
   static obs::Counter& tags_scanned =
       obs::MetricsRegistry::Global().GetCounter("gea.gap.select.tags_scanned");
   static obs::Counter& rows_kept =
       obs::MetricsRegistry::Global().GetCounter("gea.gap.select.rows_kept");
-  obs::TraceSpan span("gap.select");
   tags_scanned.Add(input.NumTags());
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i]) rows.push_back(i);
+  }
+  rows_kept.Add(rows.size());
+  return GatherRows(input, rows, out_name);
+}
+
+}  // namespace
+
+Result<GapTable> SelectGap(const GapTable& input,
+                           const std::function<bool(const GapEntry&)>& pred,
+                           const std::string& out_name) {
+  obs::TraceSpan span("gap.select");
   // Evaluate the predicate per tag in parallel (the gap-compare queries
-  // run it over every row of a p-tag table), then collect the survivors
-  // serially in tag order. `pred` must be pure — all built-in predicates
-  // are.
+  // run it over every row of a p-tag table), then gather the survivors
+  // in tag order. `pred` must be pure — all built-in predicates are.
   std::vector<char> keep(input.NumTags(), 0);
   ParallelFor(0, input.NumTags(), 1024, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       keep[i] = pred(input.entry(i)) ? 1 : 0;
     }
   });
-  std::vector<GapEntry> entries;
-  for (size_t i = 0; i < input.NumTags(); ++i) {
-    if (keep[i]) entries.push_back(input.entry(i));
-  }
-  rows_kept.Add(entries.size());
-  return GapTable::Create(out_name, input.gap_columns(), std::move(entries));
+  return SelectByMask(input, keep, out_name);
 }
+
+namespace {
+
+/// Fast path for the sign/null selects: a branch over the first value
+/// and validity columns directly, with no per-row GapEntry.
+enum class FirstColumnFilter { kNonNull, kPositive, kNegative };
+
+Result<GapTable> SelectFirstColumn(const GapTable& input,
+                                   FirstColumnFilter filter,
+                                   const std::string& out_name) {
+  obs::TraceSpan span("gap.select");
+  const std::vector<double>& values = input.column_values(0);
+  const std::vector<uint8_t>& valid = input.column_valid(0);
+  std::vector<char> keep(input.NumTags(), 0);
+  ParallelFor(0, input.NumTags(), 4096, [&](size_t begin, size_t end) {
+    switch (filter) {
+      case FirstColumnFilter::kNonNull:
+        for (size_t i = begin; i < end; ++i) keep[i] = valid[i] ? 1 : 0;
+        break;
+      case FirstColumnFilter::kPositive:
+        for (size_t i = begin; i < end; ++i) {
+          keep[i] = (valid[i] && values[i] > 0) ? 1 : 0;
+        }
+        break;
+      case FirstColumnFilter::kNegative:
+        for (size_t i = begin; i < end; ++i) {
+          keep[i] = (valid[i] && values[i] < 0) ? 1 : 0;
+        }
+        break;
+    }
+  });
+  return SelectByMask(input, keep, out_name);
+}
+
+}  // namespace
 
 Result<GapTable> SelectNonNullGaps(const GapTable& input,
                                    const std::string& out_name) {
-  return SelectGap(
-      input, [](const GapEntry& e) { return e.gaps[0].has_value(); },
-      out_name);
+  return SelectFirstColumn(input, FirstColumnFilter::kNonNull, out_name);
 }
 
 Result<GapTable> SelectPositiveGaps(const GapTable& input,
                                     const std::string& out_name) {
-  return SelectGap(
-      input,
-      [](const GapEntry& e) { return e.gaps[0].has_value() && *e.gaps[0] > 0; },
-      out_name);
+  return SelectFirstColumn(input, FirstColumnFilter::kPositive, out_name);
 }
 
 Result<GapTable> SelectNegativeGaps(const GapTable& input,
                                     const std::string& out_name) {
-  return SelectGap(
-      input,
-      [](const GapEntry& e) { return e.gaps[0].has_value() && *e.gaps[0] < 0; },
-      out_name);
+  return SelectFirstColumn(input, FirstColumnFilter::kNegative, out_name);
 }
 
 Result<GapTable> ProjectGap(const GapTable& input,
@@ -73,24 +132,30 @@ Result<GapTable> ProjectGap(const GapTable& input,
     indices.push_back(
         static_cast<size_t>(it - input.gap_columns().begin()));
   }
-  std::vector<GapEntry> entries;
-  entries.reserve(input.NumTags());
-  for (const GapEntry& e : input.entries()) {
-    GapEntry projected;
-    projected.tag = e.tag;
-    for (size_t idx : indices) projected.gaps.push_back(e.gaps[idx]);
-    entries.push_back(std::move(projected));
+  // Column projection is a whole-column copy in the columnar layout.
+  std::vector<std::vector<double>> values;
+  std::vector<std::vector<uint8_t>> valid;
+  for (size_t idx : indices) {
+    values.push_back(input.column_values(idx));
+    valid.push_back(input.column_valid(idx));
   }
-  return GapTable::Create(out_name, gap_columns, std::move(entries));
+  return GapTable::FromColumns(out_name, gap_columns, input.tags(),
+                               std::move(values), std::move(valid));
 }
 
 Result<GapTable> GapMinus(const GapTable& a, const GapTable& b,
                           const std::string& out_name) {
-  std::vector<GapEntry> entries;
-  for (const GapEntry& e : a.entries()) {
-    if (!b.Find(e.tag).has_value()) entries.push_back(e);
+  // Merge walk over the two ascending tag vectors instead of a binary
+  // search per row.
+  const std::vector<sage::TagId>& ta = a.tags();
+  const std::vector<sage::TagId>& tb = b.tags();
+  std::vector<size_t> rows;
+  size_t j = 0;
+  for (size_t i = 0; i < ta.size(); ++i) {
+    while (j < tb.size() && tb[j] < ta[i]) ++j;
+    if (j >= tb.size() || tb[j] != ta[i]) rows.push_back(i);
   }
-  return GapTable::Create(out_name, a.gap_columns(), std::move(entries));
+  return GatherRows(a, rows, out_name);
 }
 
 namespace {
@@ -114,50 +179,74 @@ std::vector<std::string> CombineColumns(const GapTable& a,
   return columns;
 }
 
+/// Appends row `row` of every column of `from` to the output columns
+/// starting at `first_out_col`; `row == nullopt` appends nulls instead.
+void AppendSide(const GapTable& from, std::optional<size_t> row,
+                size_t first_out_col, std::vector<std::vector<double>>& values,
+                std::vector<std::vector<uint8_t>>& valid) {
+  for (size_t c = 0; c < from.NumColumns(); ++c) {
+    if (row.has_value()) {
+      values[first_out_col + c].push_back(from.column_values(c)[*row]);
+      valid[first_out_col + c].push_back(from.column_valid(c)[*row]);
+    } else {
+      values[first_out_col + c].push_back(0.0);
+      valid[first_out_col + c].push_back(0);
+    }
+  }
+}
+
 }  // namespace
 
 Result<GapTable> GapIntersect(const GapTable& a, const GapTable& b,
                               const std::string& out_name) {
-  std::vector<GapEntry> entries;
-  for (const GapEntry& ea : a.entries()) {
-    std::optional<GapEntry> eb = b.Find(ea.tag);
-    if (!eb.has_value()) continue;
-    GapEntry merged;
-    merged.tag = ea.tag;
-    merged.gaps = ea.gaps;
-    merged.gaps.insert(merged.gaps.end(), eb->gaps.begin(), eb->gaps.end());
-    entries.push_back(std::move(merged));
+  const size_t out_cols = a.NumColumns() + b.NumColumns();
+  std::vector<sage::TagId> tags;
+  std::vector<std::vector<double>> values(out_cols);
+  std::vector<std::vector<uint8_t>> valid(out_cols);
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.NumTags() && j < b.NumTags()) {
+    if (a.tag(i) < b.tag(j)) {
+      ++i;
+    } else if (b.tag(j) < a.tag(i)) {
+      ++j;
+    } else {
+      tags.push_back(a.tag(i));
+      AppendSide(a, i, 0, values, valid);
+      AppendSide(b, j, a.NumColumns(), values, valid);
+      ++i;
+      ++j;
+    }
   }
-  return GapTable::Create(out_name, CombineColumns(a, b),
-                          std::move(entries));
+  return GapTable::FromColumns(out_name, CombineColumns(a, b),
+                               std::move(tags), std::move(values),
+                               std::move(valid));
 }
 
 Result<GapTable> GapUnion(const GapTable& a, const GapTable& b,
                           const std::string& out_name) {
-  std::vector<GapEntry> entries;
-  for (const GapEntry& ea : a.entries()) {
-    GapEntry merged;
-    merged.tag = ea.tag;
-    merged.gaps = ea.gaps;
-    std::optional<GapEntry> eb = b.Find(ea.tag);
-    if (eb.has_value()) {
-      merged.gaps.insert(merged.gaps.end(), eb->gaps.begin(),
-                         eb->gaps.end());
-    } else {
-      merged.gaps.resize(merged.gaps.size() + b.NumColumns(), std::nullopt);
-    }
-    entries.push_back(std::move(merged));
+  const size_t out_cols = a.NumColumns() + b.NumColumns();
+  std::vector<sage::TagId> tags;
+  std::vector<std::vector<double>> values(out_cols);
+  std::vector<std::vector<uint8_t>> valid(out_cols);
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.NumTags() || j < b.NumTags()) {
+    const bool take_a =
+        j >= b.NumTags() || (i < a.NumTags() && a.tag(i) <= b.tag(j));
+    const bool take_b =
+        i >= a.NumTags() || (j < b.NumTags() && b.tag(j) <= a.tag(i));
+    tags.push_back(take_a ? a.tag(i) : b.tag(j));
+    AppendSide(a, take_a ? std::optional<size_t>(i) : std::nullopt, 0, values,
+               valid);
+    AppendSide(b, take_b ? std::optional<size_t>(j) : std::nullopt,
+               a.NumColumns(), values, valid);
+    if (take_a) ++i;
+    if (take_b) ++j;
   }
-  for (const GapEntry& eb : b.entries()) {
-    if (a.Find(eb.tag).has_value()) continue;
-    GapEntry merged;
-    merged.tag = eb.tag;
-    merged.gaps.resize(a.NumColumns(), std::nullopt);
-    merged.gaps.insert(merged.gaps.end(), eb.gaps.begin(), eb.gaps.end());
-    entries.push_back(std::move(merged));
-  }
-  return GapTable::Create(out_name, CombineColumns(a, b),
-                          std::move(entries));
+  return GapTable::FromColumns(out_name, CombineColumns(a, b),
+                               std::move(tags), std::move(values),
+                               std::move(valid));
 }
 
 const char* TopGapModeName(TopGapMode mode) {
@@ -181,55 +270,56 @@ Result<GapTable> TopGap(const GapTable& input, size_t x, TopGapMode mode,
       obs::MetricsRegistry::Global().GetCounter("gea.gap.top.tags_scanned");
   obs::TraceSpan span("top_gap");
   tags_scanned.Add(input.NumTags());
-  std::vector<GapEntry> non_null;
-  for (const GapEntry& e : input.entries()) {
-    if (e.gaps[0].has_value()) non_null.push_back(e);
+  const std::vector<double>& gaps = input.column_values(0);
+  const std::vector<uint8_t>& valid = input.column_valid(0);
+  // Rank row indices instead of materialized rows: the sort moves 8-byte
+  // indices and reads the key straight from the value column.
+  std::vector<size_t> ranked;
+  ranked.reserve(input.NumTags());
+  for (size_t i = 0; i < input.NumTags(); ++i) {
+    if (valid[i]) ranked.push_back(i);
   }
-  auto key = [mode](const GapEntry& e) {
-    double g = *e.gaps[0];
+  auto key = [&gaps, mode](size_t i) {
     switch (mode) {
       case TopGapMode::kLargestMagnitude:
-        return std::abs(g);
+        return std::abs(gaps[i]);
       case TopGapMode::kHighest:
-        return g;
+        return gaps[i];
       case TopGapMode::kLowest:
-        return -g;
+        return -gaps[i];
     }
-    return g;
+    return gaps[i];
   };
-  std::stable_sort(non_null.begin(), non_null.end(),
-                   [&](const GapEntry& a, const GapEntry& b) {
-                     return key(a) > key(b);
-                   });
-  if (non_null.size() > x) non_null.resize(x);
-  return GapTable::Create(out_name, input.gap_columns(),
-                          std::move(non_null));
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&](size_t a, size_t b) { return key(a) > key(b); });
+  if (ranked.size() > x) ranked.resize(x);
+  // The table stores rows in tag order; the gather below requires
+  // ascending indices, which is exactly that order.
+  std::sort(ranked.begin(), ranked.end());
+  return GatherRows(input, ranked, out_name);
 }
 
 std::vector<std::string> RenderGapList(const GapTable& table,
                                        size_t max_entries) {
-  // Preserve the table's own order when it is a top-gap table; GapTable
-  // stores entries sorted by tag, so re-rank by first column magnitude
-  // for a display that matches the thesis windows.
-  std::vector<const GapEntry*> ordered;
+  // GapTable stores entries sorted by tag, so re-rank by first column
+  // magnitude for a display that matches the thesis windows.
+  const std::vector<double>& gaps = table.column_values(0);
+  const std::vector<uint8_t>& valid = table.column_valid(0);
+  std::vector<size_t> ordered;
   ordered.reserve(table.NumTags());
-  for (const GapEntry& e : table.entries()) ordered.push_back(&e);
-  std::stable_sort(ordered.begin(), ordered.end(),
-                   [](const GapEntry* a, const GapEntry* b) {
-                     double ka = a->gaps[0].has_value()
-                                     ? std::abs(*a->gaps[0])
-                                     : -1.0;
-                     double kb = b->gaps[0].has_value()
-                                     ? std::abs(*b->gaps[0])
-                                     : -1.0;
-                     return ka > kb;
-                   });
+  for (size_t i = 0; i < table.NumTags(); ++i) ordered.push_back(i);
+  std::stable_sort(ordered.begin(), ordered.end(), [&](size_t a, size_t b) {
+    double ka = valid[a] ? std::abs(gaps[a]) : -1.0;
+    double kb = valid[b] ? std::abs(gaps[b]) : -1.0;
+    return ka > kb;
+  });
   std::vector<std::string> out;
-  for (const GapEntry* e : ordered) {
+  for (size_t i : ordered) {
     if (out.size() >= max_entries) break;
-    std::string line = sage::TagLabel(e->tag);
-    for (const std::optional<double>& g : e->gaps) {
+    std::string line = sage::TagLabel(table.tag(i));
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
       line += "_";
+      std::optional<double> g = table.GapAt(i, c);
       line += g.has_value() ? FormatDouble(*g, 2) : "NULL";
     }
     out.push_back(std::move(line));

@@ -1,0 +1,228 @@
+#include "core/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gea::core {
+
+namespace {
+
+// Eight doubles wide, 8-byte aligned so Load() can sit on any column
+// offset. GCC lowers the ops per clone (zmm under avx512f, ymm pairs
+// under avx2, SSE quads in the default clone); the per-lane arithmetic
+// is identical in every lowering.
+typedef double vd8 __attribute__((vector_size(64), aligned(8)));
+inline vd8 Load(const double* p) { return *reinterpret_cast<const vd8*>(p); }
+
+// Lane-wise std::min(a, b) / std::max(a, b), including their exact NaN
+// behavior: the comparison is false for unordered operands, so the first
+// argument wins, as in the scalar <algorithm> forms.
+inline vd8 VMin(vd8 a, vd8 b) { return b < a ? b : a; }
+inline vd8 VMax(vd8 a, vd8 b) { return a < b ? b : a; }
+
+}  // namespace
+
+// Columns advance in stripes of 16 (two vd8 lane-groups, so the
+// loop-carried accumulator chains overlap) and the accumulators stay in
+// registers; the row loop streams contiguous 128-byte slices, one SIMD
+// lane per column, with a software prefetch a few stripes ahead to keep
+// the 24-odd row streams out of the demand-miss path. Per column the
+// arithmetic is the exact scalar sequence — min/max plus *shifted*
+// sums Σd and Σd² with d = v - v₀ (v₀ the column's first row) over
+// ascending rows, then mean = v₀ + Σd*(1/n) and
+// stddev = sqrt(max(0, Σd²*(1/n) - (Σd*(1/n))²)). The shift keeps the
+// moment subtraction from cancelling catastrophically when counts are
+// large with small spread (the 1e9-magnitude regression test), like the
+// two-pass form but in a single pass; the reciprocal multiply (one
+// division up front) keeps the divider unit off the writeback's
+// critical path. Both round within every consumer's tolerance, and v₀
+// is a property of the column — not of the chunking — so results stay
+// bit-identical across architectures and thread counts. No clone lists
+// "fma": contracting d*d+acc would round differently from the tail.
+namespace {
+
+// One column, scalar: the reference arithmetic every vector lane must
+// reproduce bit-for-bit.
+inline void AggregateOneColumn(const double* values, size_t num_rows,
+                               size_t num_tags, size_t c, double n,
+                               const sage::TagId* tags, SumyEntry* entries) {
+  const double shift = values[c];
+  double lo = shift;
+  double hi = shift;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (size_t row = 0; row < num_rows; ++row) {
+    const double v = values[row * num_tags + c];
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    const double d = v - shift;
+    sum += d;
+    sumsq += d * d;
+  }
+  const double inv_n = 1.0 / n;
+  const double mean_d = sum * inv_n;
+  const double var = sumsq * inv_n - mean_d * mean_d;
+  SumyEntry& e = entries[c];
+  e.tag = tags[c];
+  e.min = lo;
+  e.max = hi;
+  e.mean = shift + mean_d;
+  e.stddev = std::sqrt(std::max(0.0, var));
+}
+
+}  // namespace
+
+// Function multi-versioning is disabled under ThreadSanitizer: GCC emits
+// the target_clones IFUNC resolver as an instrumented function, and the
+// dynamic loader runs resolvers while processing IRELATIVE relocations —
+// before TSan's runtime has set up its thread state — so the first
+// __tsan_func_entry dereferences a null TLS pointer and crashes pre-main.
+// The bit-identity contract makes the clones interchangeable anyway.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GEA_TSAN_BUILD 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define GEA_TSAN_BUILD 1
+#endif
+
+#if defined(GEA_TSAN_BUILD)
+#define GEA_KERNEL_CLONES
+#else
+#define GEA_KERNEL_CLONES \
+  __attribute__((target_clones("default", "avx2", "avx512f")))
+#endif
+
+GEA_KERNEL_CLONES void
+AggregateColumns(const double* values, size_t num_rows, size_t num_tags,
+                 size_t col_begin, size_t col_end, double n,
+                 const sage::TagId* tags, SumyEntry* entries) {
+  constexpr size_t kStripe = 32;
+  size_t col = col_begin;
+  // Peel scalar columns until the stripe loads are 64-byte aligned. The
+  // row stride (num_tags doubles) must also preserve that alignment row
+  // to row, else stay on the (slower) unaligned path.
+  const bool can_align = num_tags % 8 == 0;
+  if (can_align) {
+    while (col < col_end &&
+           (reinterpret_cast<uintptr_t>(values + col) & 63) != 0) {
+      AggregateOneColumn(values, num_rows, num_tags, col, n, tags, entries);
+      ++col;
+    }
+  }
+  for (; col + kStripe <= col_end; col += kStripe) {
+    const double* first = values + col;
+    vd8 shift[4], lo[4], hi[4], sum[4], sq[4];
+    for (size_t g = 0; g < 4; ++g) {
+      shift[g] = Load(first + 8 * g);
+      lo[g] = shift[g];
+      hi[g] = shift[g];
+      sum[g] = vd8{};
+      sq[g] = vd8{};
+    }
+    // Four rows per iteration: four in-flight row streams per
+    // accumulator update. Per lane the updates still apply in ascending
+    // row order (v0, v1, v2, v3), so results are unchanged.
+    size_t row = 0;
+    for (; row + 4 <= num_rows; row += 4) {
+      const double* slice0 = values + row * num_tags + col;
+      const double* slice1 = slice0 + num_tags;
+      const double* slice2 = slice1 + num_tags;
+      const double* slice3 = slice2 + num_tags;
+      for (size_t line = 0; line < kStripe; line += 8) {
+        __builtin_prefetch(slice0 + 2 * kStripe + line, 0, 3);
+        __builtin_prefetch(slice1 + 2 * kStripe + line, 0, 3);
+        __builtin_prefetch(slice2 + 2 * kStripe + line, 0, 3);
+        __builtin_prefetch(slice3 + 2 * kStripe + line, 0, 3);
+      }
+      for (size_t g = 0; g < 4; ++g) {
+        const vd8 v0 = Load(slice0 + 8 * g);
+        const vd8 v1 = Load(slice1 + 8 * g);
+        const vd8 v2 = Load(slice2 + 8 * g);
+        const vd8 v3 = Load(slice3 + 8 * g);
+        lo[g] = VMin(VMin(VMin(VMin(lo[g], v0), v1), v2), v3);
+        hi[g] = VMax(VMax(VMax(VMax(hi[g], v0), v1), v2), v3);
+        const vd8 d0 = v0 - shift[g];
+        const vd8 d1 = v1 - shift[g];
+        const vd8 d2 = v2 - shift[g];
+        const vd8 d3 = v3 - shift[g];
+        sum[g] = (((sum[g] + d0) + d1) + d2) + d3;
+        sq[g] = (((sq[g] + d0 * d0) + d1 * d1) + d2 * d2) + d3 * d3;
+      }
+    }
+    for (; row < num_rows; ++row) {
+      const double* slice = values + row * num_tags + col;
+      __builtin_prefetch(slice + 2 * kStripe, 0, 3);
+      __builtin_prefetch(slice + 2 * kStripe + 8, 0, 3);
+      __builtin_prefetch(slice + 2 * kStripe + 16, 0, 3);
+      __builtin_prefetch(slice + 2 * kStripe + 24, 0, 3);
+      for (size_t g = 0; g < 4; ++g) {
+        const vd8 v = Load(slice + 8 * g);
+        lo[g] = VMin(lo[g], v);
+        hi[g] = VMax(hi[g], v);
+        const vd8 d = v - shift[g];
+        sum[g] += d;
+        sq[g] += d * d;
+      }
+    }
+    const double inv_n = 1.0 / n;
+    for (size_t g = 0; g < 4; ++g) {
+      const vd8 mean_d = sum[g] * inv_n;
+      const vd8 mean = shift[g] + mean_d;
+      const vd8 var = sq[g] * inv_n - mean_d * mean_d;
+      // Lane-wise std::max(0.0, var): the comparison is false for NaN,
+      // so NaN clamps to 0 exactly like the scalar form.
+      const vd8 zero{};
+      const vd8 clamped = zero < var ? var : zero;
+      // Lane loop (not std::sqrt on the struct scatter below) so SLP can
+      // pack the sqrts; vsqrtpd rounds identically to vsqrtsd.
+      vd8 sd;
+      for (size_t j = 0; j < 8; ++j) sd[j] = std::sqrt(clamped[j]);
+      for (size_t j = 0; j < 8; ++j) {
+        SumyEntry& e = entries[col + 8 * g + j];
+        e.tag = tags[col + 8 * g + j];
+        e.min = lo[g][j];
+        e.max = hi[g][j];
+        e.mean = mean[j];
+        e.stddev = sd[j];
+      }
+    }
+  }
+  // Scalar tail for the last partial stripe: identical per-column row
+  // order and moment formulas.
+  for (; col < col_end; ++col) {
+    AggregateOneColumn(values, num_rows, num_tags, col, n, tags, entries);
+  }
+}
+
+// The entry rows are 40-byte AoS records, so this pass stays scalar —
+// the win over the row path is dropping its per-row heap allocations
+// and sort, not SIMD. Branch-free selects (cmov) keep the
+// mean-comparison pattern off the predictor. Matches the original
+// per-pair arithmetic exactly: `magnitude <= 0.0` is the null test, so
+// a NaN magnitude stays non-null, and the sign follows which operand
+// had the higher (>=) mean.
+size_t DiffEntries(const SumyEntry* a, const SumyEntry* b, size_t begin,
+                   size_t end, sage::TagId* tags, double* gaps,
+                   uint8_t* valid) {
+  size_t nulls = 0;
+  for (size_t k = begin; k < end; ++k) {
+    const SumyEntry& ea = a[k];
+    const SumyEntry& eb = b[k];
+    const bool first_is_higher = ea.mean >= eb.mean;
+    const double hi_mean = first_is_higher ? ea.mean : eb.mean;
+    const double hi_stddev = first_is_higher ? ea.stddev : eb.stddev;
+    const double lo_mean = first_is_higher ? eb.mean : ea.mean;
+    const double lo_stddev = first_is_higher ? eb.stddev : ea.stddev;
+    const double magnitude = (hi_mean - hi_stddev) - (lo_mean + lo_stddev);
+    const bool is_null = magnitude <= 0.0;
+    tags[k] = ea.tag;
+    gaps[k] = is_null ? 0.0 : (first_is_higher ? magnitude : -magnitude);
+    valid[k] = is_null ? 0 : 1;
+    nulls += is_null ? 1 : 0;
+  }
+  return nulls;
+}
+
+}  // namespace gea::core

@@ -1,0 +1,38 @@
+#ifndef GEA_CORE_KERNELS_H_
+#define GEA_CORE_KERNELS_H_
+
+#include <cstddef>
+
+#include "core/sumy.h"
+#include "sage/tag_codec.h"
+
+namespace gea::core {
+
+/// Batch kernels over the raw columnar arrays of the core operators.
+/// Compiled in their own translation unit at -O3 with per-arch clones
+/// (see CMakeLists.txt) so the stripe loops actually vectorize; every
+/// kernel keeps the per-column arithmetic in exact ascending-row scalar
+/// order, so results are bit-identical to the row-at-a-time reference
+/// paths at any thread count and on every architecture clone.
+
+/// Summary pass over tag columns [col_begin, col_end) of the row-major
+/// `values` matrix (num_rows x num_tags): per column min/max/sum over
+/// ascending rows, then squared deviations over ascending rows. Fills
+/// entries[col] for each col in range.
+void AggregateColumns(const double* values, size_t num_rows, size_t num_tags,
+                      size_t col_begin, size_t col_end, double n,
+                      const sage::TagId* tags, SumyEntry* entries);
+
+/// diff() batch over aligned entry rows [begin, end) of two SUMY tables
+/// whose tag sets match position-for-position in that range: writes
+/// tags[k], gaps[k] (0.0 where null) and valid[k] (1 = non-null) for
+/// each k. Exact original per-pair arithmetic, including its NaN
+/// behavior (a NaN magnitude is NOT null: `magnitude <= 0` is false).
+/// Returns the number of null gaps produced.
+size_t DiffEntries(const SumyEntry* a, const SumyEntry* b, size_t begin,
+                   size_t end, sage::TagId* tags, double* gaps,
+                   uint8_t* valid);
+
+}  // namespace gea::core
+
+#endif  // GEA_CORE_KERNELS_H_

@@ -45,7 +45,8 @@ Result<SumyTable> SumyFromRelTable(const rel::Table& table,
 
   std::vector<SumyEntry> entries;
   entries.reserve(table.NumRows());
-  for (const rel::Row& row : table.rows()) {
+  for (size_t r1_ = 0; r1_ < table.NumRows(); ++r1_) {
+    const rel::Row row = table.GetRow(r1_);
     SumyEntry e;
     if (row[tagno].is_null()) {
       return Status::InvalidArgument("null TagNo in SUMY table");
@@ -89,7 +90,8 @@ Result<GapTable> GapFromRelTable(const rel::Table& table,
 
   std::vector<GapEntry> entries;
   entries.reserve(table.NumRows());
-  for (const rel::Row& row : table.rows()) {
+  for (size_t r2_ = 0; r2_ < table.NumRows(); ++r2_) {
+    const rel::Row row = table.GetRow(r2_);
     GapEntry e;
     if (row[tagno].is_null()) {
       return Status::InvalidArgument("null TagNo in GAP table");
@@ -154,7 +156,8 @@ Result<EnumTable> EnumFromRelTables(const rel::Table& data,
   // Rebuild the library metadata and locate each library's data column.
   std::vector<sage::LibraryMeta> metas;
   std::vector<size_t> data_cols;
-  for (const rel::Row& row : libraries.rows()) {
+  for (size_t r3_ = 0; r3_ < libraries.NumRows(); ++r3_) {
+    const rel::Row row = libraries.GetRow(r3_);
     sage::LibraryMeta meta;
     meta.id = static_cast<int>(row[id_col].AsInt());
     meta.name = row[name_col].AsString();
@@ -186,7 +189,7 @@ Result<EnumTable> EnumFromRelTables(const rel::Table& data,
   std::vector<std::pair<sage::TagId, size_t>> tag_rows;
   tag_rows.reserve(data.NumRows());
   for (size_t r = 0; r < data.NumRows(); ++r) {
-    int64_t tag = data.row(r)[tagno].AsInt();
+    int64_t tag = data.At(r, tagno).AsInt();
     if (tag < 0 || tag >= static_cast<int64_t>(sage::kNumPossibleTags)) {
       return Status::InvalidArgument("TagNo out of range: " +
                                      std::to_string(tag));
@@ -201,9 +204,9 @@ Result<EnumTable> EnumFromRelTables(const rel::Table& data,
 
   std::vector<double> values(metas.size() * tags.size(), 0.0);
   for (size_t t = 0; t < tag_rows.size(); ++t) {
-    const rel::Row& row = data.row(tag_rows[t].second);
+    const size_t src_row = tag_rows[t].second;
     for (size_t lib = 0; lib < metas.size(); ++lib) {
-      const rel::Value& v = row[data_cols[lib]];
+      const rel::Value v = data.At(src_row, data_cols[lib]);
       values[lib * tags.size() + t] = v.is_null() ? 0.0 : v.AsNumeric();
     }
   }

@@ -1,15 +1,20 @@
 #include "core/sumy.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace gea::core {
 
 Result<SumyTable> SumyTable::Create(std::string name,
                                     std::vector<SumyEntry> entries) {
-  std::sort(entries.begin(), entries.end(),
-            [](const SumyEntry& a, const SumyEntry& b) {
-              return a.tag < b.tag;
-            });
+  // The hot producers (Aggregate, the codec) already emit tag order;
+  // skip the sort for them and pay it only for genuinely unsorted input.
+  const auto by_tag = [](const SumyEntry& a, const SumyEntry& b) {
+    return a.tag < b.tag;
+  };
+  if (!std::is_sorted(entries.begin(), entries.end(), by_tag)) {
+    std::sort(entries.begin(), entries.end(), by_tag);
+  }
   for (size_t i = 0; i < entries.size(); ++i) {
     if (entries[i].min > entries[i].max) {
       return Status::InvalidArgument(
@@ -21,6 +26,19 @@ Result<SumyTable> SumyTable::Create(std::string name,
                                      sage::TagLabel(entries[i].tag));
     }
   }
+  SumyTable table(std::move(name));
+  table.entries_ = std::move(entries);
+  return table;
+}
+
+SumyTable SumyTable::FromSortedEntries(std::string name,
+                                       std::vector<SumyEntry> entries) {
+#ifndef NDEBUG
+  for (size_t i = 0; i < entries.size(); ++i) {
+    assert(!(entries[i].min > entries[i].max));
+    assert(i == 0 || entries[i - 1].tag < entries[i].tag);
+  }
+#endif
   SumyTable table(std::move(name));
   table.entries_ = std::move(entries);
   return table;

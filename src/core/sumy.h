@@ -15,11 +15,19 @@ namespace gea::core {
 /// One row of a SUMY table: a compact tag with its range, mean and
 /// standard deviation over the cluster's libraries (Fig. 3.3a).
 struct SumyEntry {
-  sage::TagId tag = 0;
-  double min = 0.0;
-  double max = 0.0;
-  double mean = 0.0;
-  double stddev = 0.0;  // population standard deviation
+  sage::TagId tag;
+  double min;
+  double max;
+  double mean;
+  double stddev;  // population standard deviation
+
+  // Deliberately leaves the members uninitialized: Aggregate fills
+  // whole-table entry vectors with the batch kernel, and zero-filling
+  // them first costs a full pass over the output. Every producer must
+  // assign all five fields.
+  SumyEntry() {}
+  SumyEntry(sage::TagId t, double mn, double mx, double me, double sd)
+      : tag(t), min(mn), max(mx), mean(me), stddev(sd) {}
 
   interval::Interval Range() const { return {min, max}; }
 };
@@ -37,6 +45,13 @@ class SumyTable {
   /// with min > max.
   static Result<SumyTable> Create(std::string name,
                                   std::vector<SumyEntry> entries);
+
+  /// Trusted fast path for producers whose output is sorted and valid by
+  /// construction (Aggregate fills entries in EnumTable tag order, which
+  /// is strictly ascending, with min <= max per entry). Skips the O(n)
+  /// validation scans; debug builds still assert the invariant.
+  static SumyTable FromSortedEntries(std::string name,
+                                     std::vector<SumyEntry> entries);
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }

@@ -220,7 +220,8 @@ Result<LineageGraph> LineageGraph::Import(const rel::Table& nodes,
                                           const rel::Table& params,
                                           const rel::Table& edges) {
   LineageGraph graph;
-  for (const rel::Row& row : nodes.rows()) {
+  for (size_t r1_ = 0; r1_ < nodes.NumRows(); ++r1_) {
+    const rel::Row row = nodes.GetRow(r1_);
     if (row.size() != 6) {
       return Status::InvalidArgument("bad LineageNodes row arity");
     }
@@ -245,14 +246,16 @@ Result<LineageGraph> LineageGraph::Import(const rel::Table& nodes,
     }
     graph.next_id_ = std::max(graph.next_id_, id + 1);
   }
-  for (const rel::Row& row : params.rows()) {
+  for (size_t r2_ = 0; r2_ < params.NumRows(); ++r2_) {
+    const rel::Row row = params.GetRow(r2_);
     auto it = graph.nodes_.find(static_cast<NodeId>(row[0].AsInt()));
     if (it == graph.nodes_.end()) {
       return Status::InvalidArgument("LineageParams references unknown id");
     }
     it->second.parameters[row[1].AsString()] = row[2].AsString();
   }
-  for (const rel::Row& row : edges.rows()) {
+  for (size_t r3_ = 0; r3_ < edges.NumRows(); ++r3_) {
+    const rel::Row row = edges.GetRow(r3_);
     NodeId parent = static_cast<NodeId>(row[0].AsInt());
     NodeId child = static_cast<NodeId>(row[1].AsInt());
     auto pit = graph.nodes_.find(parent);

@@ -152,7 +152,8 @@ AnnotationDatabase AnnotationDatabase::Generate(
 std::vector<std::string> AnnotationDatabase::GeneNames() const {
   std::vector<std::string> genes;
   size_t gene_col = *unigene_.schema().FindColumn("Gene");
-  for (const rel::Row& row : unigene_.rows()) {
+  for (size_t r1_ = 0; r1_ < unigene_.NumRows(); ++r1_) {
+    const rel::Row row = unigene_.GetRow(r1_);
     genes.push_back(row[gene_col].AsString());
   }
   std::sort(genes.begin(), genes.end());

@@ -6,7 +6,8 @@ Result<std::string> EadbSearch::TagToGene(sage::TagId tag) const {
   const rel::Table& unigene = db_->unigene();
   size_t tagno_col = *unigene.schema().FindColumn("TagNo");
   size_t gene_col = *unigene.schema().FindColumn("Gene");
-  for (const rel::Row& row : unigene.rows()) {
+  for (size_t r1_ = 0; r1_ < unigene.NumRows(); ++r1_) {
+    const rel::Row row = unigene.GetRow(r1_);
     if (row[tagno_col].AsInt() == static_cast<int64_t>(tag)) {
       return row[gene_col].AsString();
     }
@@ -20,7 +21,8 @@ std::vector<sage::TagId> EadbSearch::GeneToTags(
   size_t tagno_col = *unigene.schema().FindColumn("TagNo");
   size_t gene_col = *unigene.schema().FindColumn("Gene");
   std::vector<sage::TagId> out;
-  for (const rel::Row& row : unigene.rows()) {
+  for (size_t r2_ = 0; r2_ < unigene.NumRows(); ++r2_) {
+    const rel::Row row = unigene.GetRow(r2_);
     if (row[gene_col].AsString() == gene) {
       out.push_back(static_cast<sage::TagId>(row[tagno_col].AsInt()));
     }
@@ -34,7 +36,8 @@ Result<ProteinRecord> EadbSearch::GeneToProtein(
   size_t gene_col = *swissprot.schema().FindColumn("Gene");
   size_t protein_col = *swissprot.schema().FindColumn("Protein");
   size_t seq_col = *swissprot.schema().FindColumn("Sequence");
-  for (const rel::Row& row : swissprot.rows()) {
+  for (size_t r3_ = 0; r3_ < swissprot.NumRows(); ++r3_) {
+    const rel::Row row = swissprot.GetRow(r3_);
     if (row[gene_col].AsString() == gene) {
       return ProteinRecord{row[protein_col].AsString(),
                            row[seq_col].AsString()};
@@ -51,7 +54,8 @@ std::vector<Publication> EadbSearch::GeneToPublications(
   size_t journal_col = *pubmed.schema().FindColumn("Journal");
   size_t year_col = *pubmed.schema().FindColumn("Year");
   std::vector<Publication> out;
-  for (const rel::Row& row : pubmed.rows()) {
+  for (size_t r4_ = 0; r4_ < pubmed.NumRows(); ++r4_) {
+    const rel::Row row = pubmed.GetRow(r4_);
     if (row[gene_col].AsString() == gene) {
       out.push_back({row[title_col].AsString(), row[journal_col].AsString(),
                      static_cast<int>(row[year_col].AsInt())});
@@ -66,7 +70,8 @@ std::vector<std::string> EadbSearch::GeneToPathways(
   size_t gene_col = *kegg.schema().FindColumn("Gene");
   size_t pathway_col = *kegg.schema().FindColumn("Pathway");
   std::vector<std::string> out;
-  for (const rel::Row& row : kegg.rows()) {
+  for (size_t r5_ = 0; r5_ < kegg.NumRows(); ++r5_) {
+    const rel::Row row = kegg.GetRow(r5_);
     if (row[gene_col].AsString() == gene) {
       out.push_back(row[pathway_col].AsString());
     }
@@ -79,7 +84,8 @@ Result<std::string> EadbSearch::ProteinToFamily(
   const rel::Table& pfam = db_->pfam();
   size_t protein_col = *pfam.schema().FindColumn("Protein");
   size_t family_col = *pfam.schema().FindColumn("Family");
-  for (const rel::Row& row : pfam.rows()) {
+  for (size_t r6_ = 0; r6_ < pfam.NumRows(); ++r6_) {
+    const rel::Row row = pfam.GetRow(r6_);
     if (row[protein_col].AsString() == protein) {
       return row[family_col].AsString();
     }
@@ -93,7 +99,8 @@ std::vector<std::string> EadbSearch::GeneToDiseases(
   size_t gene_col = *omim.schema().FindColumn("Gene");
   size_t disease_col = *omim.schema().FindColumn("Disease");
   std::vector<std::string> out;
-  for (const rel::Row& row : omim.rows()) {
+  for (size_t r7_ = 0; r7_ < omim.NumRows(); ++r7_) {
+    const rel::Row row = omim.GetRow(r7_);
     if (row[gene_col].AsString() == gene) {
       out.push_back(row[disease_col].AsString());
     }
@@ -108,7 +115,8 @@ std::vector<std::string> EadbSearch::GenesForDisease(
   size_t disease_col = *omim.schema().FindColumn("Disease");
   size_t chrom_col = *omim.schema().FindColumn("Chromosome");
   std::vector<std::string> out;
-  for (const rel::Row& row : omim.rows()) {
+  for (size_t r8_ = 0; r8_ < omim.NumRows(); ++r8_) {
+    const rel::Row row = omim.GetRow(r8_);
     if (row[disease_col].AsString() != disease) continue;
     if (chromosome != 0 && row[chrom_col].AsInt() != chromosome) continue;
     out.push_back(row[gene_col].AsString());

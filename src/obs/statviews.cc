@@ -332,7 +332,7 @@ std::string TableJson(const rel::Table& table) {
     for (size_t c = 0; c < schema.NumColumns(); ++c) {
       if (c > 0) out += ",";
       out += "\"" + JsonEscape(schema.column(c).name) + "\":";
-      const rel::Value& v = table.At(r, c);
+      const rel::Value v = table.At(r, c);
       switch (v.type()) {
         case rel::ValueType::kNull:
           out += "null";

@@ -1,6 +1,15 @@
 #include "rel/expr.h"
 
+#include <cstring>
+
 namespace gea::rel {
+
+void Predicate::EvalColumnar(const Table& table, size_t begin, size_t end,
+                             uint8_t* out) const {
+  for (size_t i = begin; i < end; ++i) {
+    out[i - begin] = EvalBound(table.GetRow(i)) ? 1 : 0;
+  }
+}
 
 const char* CompareOpName(CompareOp op) {
   switch (op) {
@@ -40,6 +49,95 @@ bool ApplyOp(CompareOp op, int cmp) {
   return false;
 }
 
+// Tight per-op loops over a typed array versus one literal. Each form is
+// spelled with only operator< so the three-way semantics of Value::Compare
+// (including "incomparable compares equal", which NaN hits for doubles)
+// carry over exactly: cmp==0 <=> !(v<l) && !(l<v).
+template <typename T, typename L>
+void CompareFill(const T* vals, size_t n, L lit, CompareOp op, uint8_t* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      for (size_t i = 0; i < n; ++i)
+        out[i] = !(static_cast<L>(vals[i]) < lit) &&
+                 !(lit < static_cast<L>(vals[i]));
+      break;
+    case CompareOp::kNe:
+      for (size_t i = 0; i < n; ++i)
+        out[i] =
+            static_cast<L>(vals[i]) < lit || lit < static_cast<L>(vals[i]);
+      break;
+    case CompareOp::kLt:
+      for (size_t i = 0; i < n; ++i) out[i] = static_cast<L>(vals[i]) < lit;
+      break;
+    case CompareOp::kLe:
+      for (size_t i = 0; i < n; ++i)
+        out[i] = !(lit < static_cast<L>(vals[i]));
+      break;
+    case CompareOp::kGt:
+      for (size_t i = 0; i < n; ++i) out[i] = lit < static_cast<L>(vals[i]);
+      break;
+    case CompareOp::kGe:
+      for (size_t i = 0; i < n; ++i)
+        out[i] = !(static_cast<L>(vals[i]) < lit);
+      break;
+  }
+}
+
+// Zeroes mask slots whose row is NULL (comparisons against NULL are false).
+void MaskNulls(const Column& col, size_t begin, size_t end, uint8_t* out) {
+  if (col.null_count() == 0) return;
+  const uint64_t* words = col.null_words();
+  for (size_t i = begin; i < end; ++i) {
+    if ((words[i >> 6] >> (i & 63)) & 1) out[i - begin] = 0;
+  }
+}
+
+// Batch form of `ApplyOp(op, cell.Compare(lit))` for non-null cells of one
+// column against a non-null literal; NULL cells come out 0. String columns
+// resolve the comparison once per dictionary entry and then map codes, so
+// an equality/IN probe over a tag column is one table lookup per row.
+void EvalCompareMask(const Column& col, size_t begin, size_t end,
+                     CompareOp op, const Value& lit, uint8_t* out) {
+  const size_t n = end - begin;
+  const bool lit_numeric = lit.IsNumeric();
+  switch (col.type()) {
+    case ValueType::kInt:
+      if (lit.type() == ValueType::kInt) {
+        CompareFill(col.int_data() + begin, n, lit.AsInt(), op, out);
+      } else if (lit.type() == ValueType::kDouble) {
+        CompareFill(col.int_data() + begin, n, lit.AsDouble(), op, out);
+      } else {
+        std::memset(out, ApplyOp(op, -1) ? 1 : 0, n);  // number < string
+      }
+      break;
+    case ValueType::kDouble:
+      if (lit_numeric) {
+        CompareFill(col.double_data() + begin, n, lit.AsNumeric(), op, out);
+      } else {
+        std::memset(out, ApplyOp(op, -1) ? 1 : 0, n);
+      }
+      break;
+    case ValueType::kString:
+      if (lit.type() == ValueType::kString) {
+        const std::vector<std::string>& dict = col.dict();
+        std::vector<uint8_t> verdict(dict.size());
+        for (size_t d = 0; d < dict.size(); ++d) {
+          const int c = dict[d].compare(lit.AsString());
+          verdict[d] = ApplyOp(op, c < 0 ? -1 : (c > 0 ? 1 : 0)) ? 1 : 0;
+        }
+        const uint32_t* codes = col.code_data() + begin;
+        for (size_t i = 0; i < n; ++i) out[i] = verdict[codes[i]];
+      } else {
+        std::memset(out, ApplyOp(op, 1) ? 1 : 0, n);  // string > number
+      }
+      break;
+    case ValueType::kNull:
+      std::memset(out, 0, n);
+      return;  // every cell is NULL; nothing to mask
+  }
+  MaskNulls(col, begin, end, out);
+}
+
 class ComparePredicate : public Predicate {
  public:
   ComparePredicate(std::string column, CompareOp op, Value literal)
@@ -54,6 +152,15 @@ class ComparePredicate : public Predicate {
     const Value& v = row[index_];
     if (v.is_null() || literal_.is_null()) return false;
     return ApplyOp(op_, v.Compare(literal_));
+  }
+
+  void EvalColumnar(const Table& table, size_t begin, size_t end,
+                    uint8_t* out) const override {
+    if (literal_.is_null()) {
+      std::memset(out, 0, end - begin);
+      return;
+    }
+    EvalCompareMask(table.column(index_), begin, end, op_, literal_, out);
   }
 
   std::string ToString() const override {
@@ -85,6 +192,18 @@ class CompareColumnsPredicate : public Predicate {
     return ApplyOp(op_, a.Compare(b));
   }
 
+  void EvalColumnar(const Table& table, size_t begin, size_t end,
+                    uint8_t* out) const override {
+    const Column& a = table.column(lhs_index_);
+    const Column& b = table.column(rhs_index_);
+    for (size_t i = begin; i < end; ++i) {
+      out[i - begin] = (!a.IsNull(i) && !b.IsNull(i) &&
+                        ApplyOp(op_, Column::CompareAcross(a, i, b, i)))
+                           ? 1
+                           : 0;
+    }
+  }
+
   std::string ToString() const override {
     return lhs_ + " " + CompareOpName(op_) + " " + rhs_;
   }
@@ -111,6 +230,14 @@ class IsNullPredicate : public Predicate {
     return row[index_].is_null() != negate_;
   }
 
+  void EvalColumnar(const Table& table, size_t begin, size_t end,
+                    uint8_t* out) const override {
+    const Column& col = table.column(index_);
+    for (size_t i = begin; i < end; ++i) {
+      out[i - begin] = (col.IsNull(i) != negate_) ? 1 : 0;
+    }
+  }
+
   std::string ToString() const override {
     return column_ + (negate_ ? " IS NOT NULL" : " IS NULL");
   }
@@ -135,6 +262,28 @@ class BetweenPredicate : public Predicate {
     const Value& v = row[index_];
     if (v.is_null()) return false;
     return v.Compare(lo_) >= 0 && v.Compare(hi_) <= 0;
+  }
+
+  void EvalColumnar(const Table& table, size_t begin, size_t end,
+                    uint8_t* out) const override {
+    const size_t n = end - begin;
+    const Column& col = table.column(index_);
+    // NULL bounds follow Value::Compare's rank rule: any non-null cell is
+    // > NULL, so a NULL lo passes every non-null cell and a NULL hi fails
+    // all of them.
+    if (hi_.is_null()) {
+      std::memset(out, 0, n);
+      return;
+    }
+    if (lo_.is_null()) {
+      std::memset(out, 1, n);
+      MaskNulls(col, begin, end, out);
+    } else {
+      EvalCompareMask(col, begin, end, CompareOp::kGe, lo_, out);
+    }
+    std::vector<uint8_t> hi_ok(n);
+    EvalCompareMask(col, begin, end, CompareOp::kLe, hi_, hi_ok.data());
+    for (size_t i = 0; i < n; ++i) out[i] &= hi_ok[i];
   }
 
   std::string ToString() const override {
@@ -165,6 +314,21 @@ class AndPredicate : public Predicate {
     return true;
   }
 
+  void EvalColumnar(const Table& table, size_t begin, size_t end,
+                    uint8_t* out) const override {
+    const size_t n = end - begin;
+    if (children_.empty()) {
+      std::memset(out, 1, n);
+      return;
+    }
+    children_[0]->EvalColumnar(table, begin, end, out);
+    std::vector<uint8_t> child_mask(n);
+    for (size_t c = 1; c < children_.size(); ++c) {
+      children_[c]->EvalColumnar(table, begin, end, child_mask.data());
+      for (size_t i = 0; i < n; ++i) out[i] &= child_mask[i];
+    }
+  }
+
   std::string ToString() const override { return Combine(" AND "); }
 
  protected:
@@ -193,6 +357,17 @@ class OrPredicate : public AndPredicate {
     return false;
   }
 
+  void EvalColumnar(const Table& table, size_t begin, size_t end,
+                    uint8_t* out) const override {
+    const size_t n = end - begin;
+    std::memset(out, 0, n);
+    std::vector<uint8_t> child_mask(n);
+    for (const auto& child : children_) {
+      child->EvalColumnar(table, begin, end, child_mask.data());
+      for (size_t i = 0; i < n; ++i) out[i] |= child_mask[i];
+    }
+  }
+
   std::string ToString() const override { return Combine(" OR "); }
 };
 
@@ -204,6 +379,12 @@ class NotPredicate : public Predicate {
 
   bool EvalBound(const Row& row) const override {
     return !child_->EvalBound(row);
+  }
+
+  void EvalColumnar(const Table& table, size_t begin, size_t end,
+                    uint8_t* out) const override {
+    child_->EvalColumnar(table, begin, end, out);
+    for (size_t i = 0; i < end - begin; ++i) out[i] = out[i] ? 0 : 1;
   }
 
   std::string ToString() const override {
@@ -218,6 +399,10 @@ class TruePredicate : public Predicate {
  public:
   Status Bind(const Schema&) override { return Status::OK(); }
   bool EvalBound(const Row&) const override { return true; }
+  void EvalColumnar(const Table&, size_t begin, size_t end,
+                    uint8_t* out) const override {
+    std::memset(out, 1, end - begin);
+  }
   std::string ToString() const override { return "TRUE"; }
 };
 

@@ -43,6 +43,14 @@ class Predicate {
   /// Evaluates on a row of the bound schema.
   virtual bool EvalBound(const Row& row) const = 0;
 
+  /// Batch evaluation: writes 1/0 into out[i - begin] for rows
+  /// [begin, end) of `table`, which must match the bound schema. The
+  /// default materializes each row and calls EvalBound; the typed
+  /// predicates override it with kernels over raw column arrays (no Value
+  /// boxing). Results are identical to EvalBound row by row.
+  virtual void EvalColumnar(const Table& table, size_t begin, size_t end,
+                            uint8_t* out) const;
+
   /// Human-readable form for lineage metadata.
   virtual std::string ToString() const = 0;
 };

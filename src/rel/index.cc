@@ -10,7 +10,7 @@ Result<SortedIndex> SortedIndex::Build(const Table& table,
   std::vector<Entry> entries;
   entries.reserve(table.NumRows());
   for (size_t r = 0; r < table.NumRows(); ++r) {
-    const Value& v = table.row(r)[idx];
+    const Value v = table.At(r, idx);
     if (v.is_null()) continue;
     entries.push_back({v, r});
   }

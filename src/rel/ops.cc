@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <numeric>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -31,10 +33,23 @@ Result<Table> Select(const Table& input, const PredicatePtr& pred,
   GEA_RETURN_IF_ERROR(pred->Bind(input.schema()));
   obs::TraceSpan span("rel.select");
   RowsScannedCounter().Add(input.NumRows());
-  Table out(output_name, input.schema());
-  for (const Row& row : input.rows()) {
-    if (pred->EvalBound(row)) out.AppendRowUnchecked(row);
+
+  // Phase 1: evaluate the predicate into a selection mask, chunked over
+  // the existing pool. Each mask slot depends only on its own row, so the
+  // result is identical for any chunking (serial == parallel).
+  const size_t n = input.NumRows();
+  std::vector<uint8_t> mask(n);
+  ParallelFor(0, n, 1024, [&](size_t begin, size_t end) {
+    pred->EvalColumnar(input, begin, end, mask.data() + begin);
+  });
+
+  // Phase 2: gather the selected rows column by column.
+  std::vector<uint32_t> selected;
+  for (size_t i = 0; i < n; ++i) {
+    if (mask[i]) selected.push_back(static_cast<uint32_t>(i));
   }
+  Table out(output_name, input.schema());
+  out.GatherAppendRows(input, selected.data(), selected.size());
   RowsMaterializedCounter().Add(out.NumRows());
   return out;
 }
@@ -50,14 +65,13 @@ Result<Table> Project(const Table& input,
     defs.push_back(input.schema().column(idx));
   }
   GEA_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(defs)));
-  Table out(output_name, std::move(schema));
-  for (const Row& row : input.rows()) {
-    Row projected;
-    projected.reserve(indices.size());
-    for (size_t idx : indices) projected.push_back(row[idx]);
-    out.AppendRowUnchecked(std::move(projected));
-  }
-  return out;
+  // Columns are self-contained, so projection is a column copy — no
+  // per-row materialization.
+  std::vector<Column> cols;
+  cols.reserve(indices.size());
+  for (size_t idx : indices) cols.push_back(input.column(idx));
+  return Table::FromColumns(output_name, std::move(schema), std::move(cols),
+                            input.NumRows());
 }
 
 namespace {
@@ -77,14 +91,24 @@ struct RowLess {
   }
 };
 
+// Appends rows `ids` of `src` to `out` (same schema).
+void GatherInto(Table& out, const Table& src,
+                const std::vector<uint32_t>& ids) {
+  out.GatherAppendRows(src, ids.data(), ids.size());
+}
+
 }  // namespace
 
 Result<Table> Distinct(const Table& input, const std::string& output_name) {
   std::map<Row, bool, RowLess> seen;
-  Table out(output_name, input.schema());
-  for (const Row& row : input.rows()) {
-    if (seen.emplace(row, true).second) out.AppendRowUnchecked(row);
+  std::vector<uint32_t> keep;
+  for (size_t r = 0; r < input.NumRows(); ++r) {
+    if (seen.emplace(input.GetRow(r), true).second) {
+      keep.push_back(static_cast<uint32_t>(r));
+    }
   }
+  Table out(output_name, input.schema());
+  GatherInto(out, input, keep);
   return out;
 }
 
@@ -95,9 +119,13 @@ Result<Table> RenameColumn(const Table& input, const std::string& from,
   std::vector<ColumnDef> defs = input.schema().columns();
   defs[idx].name = to;
   GEA_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(defs)));
-  Table out(output_name, std::move(schema));
-  for (const Row& row : input.rows()) out.AppendRowUnchecked(row);
-  return out;
+  std::vector<Column> cols;
+  cols.reserve(input.NumColumns());
+  for (size_t c = 0; c < input.NumColumns(); ++c) {
+    cols.push_back(input.column(c));
+  }
+  return Table::FromColumns(output_name, std::move(schema), std::move(cols),
+                            input.NumRows());
 }
 
 Result<Table> Sort(const Table& input, const std::vector<SortKey>& keys,
@@ -107,26 +135,28 @@ Result<Table> Sort(const Table& input, const std::vector<SortKey>& keys,
     GEA_ASSIGN_OR_RETURN(size_t idx, input.schema().ColumnIndex(key.column));
     bound.emplace_back(idx, key.ascending);
   }
-  std::vector<size_t> order(input.NumRows());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+  std::vector<uint32_t> order(input.NumRows());
+  std::iota(order.begin(), order.end(), 0);
+  // Keys compare through the typed columns (Column::CompareRows preserves
+  // Value::Compare semantics) — no per-comparison Value boxing.
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
     for (const auto& [idx, ascending] : bound) {
-      int cmp = input.row(a)[idx].Compare(input.row(b)[idx]);
+      int cmp = input.column(idx).CompareRows(a, b);
       if (cmp != 0) return ascending ? cmp < 0 : cmp > 0;
     }
     return false;
   });
   Table out(output_name, input.schema());
-  for (size_t i : order) out.AppendRowUnchecked(input.row(i));
+  GatherInto(out, input, order);
   return out;
 }
 
 Result<Table> Limit(const Table& input, size_t n,
                     const std::string& output_name) {
+  std::vector<uint32_t> ids(std::min(n, input.NumRows()));
+  std::iota(ids.begin(), ids.end(), 0);
   Table out(output_name, input.schema());
-  for (size_t i = 0; i < std::min(n, input.NumRows()); ++i) {
-    out.AppendRowUnchecked(input.row(i));
-  }
+  GatherInto(out, input, ids);
   return out;
 }
 
@@ -158,20 +188,22 @@ Result<Table> HashJoin(const Table& left, const Table& right,
   std::unordered_multimap<std::string, size_t> build;
   build.reserve(right.NumRows());
   for (size_t r = 0; r < right.NumRows(); ++r) {
-    const Value& key = right.row(r)[ridx];
+    const Value key = right.At(r, ridx);
     if (key.is_null()) continue;  // NULL never joins
     build.emplace(key.ToString(), r);
   }
-  for (const Row& lrow : left.rows()) {
-    const Value& key = lrow[lidx];
+  for (size_t l = 0; l < left.NumRows(); ++l) {
+    const Value key = left.At(l, lidx);
     if (key.is_null()) continue;
     auto [begin, end] = build.equal_range(key.ToString());
+    Row lrow;  // materialized on first match only
     for (auto it = begin; it != end; ++it) {
-      const Row& rrow = right.row(it->second);
+      const Row rrow = right.GetRow(it->second);
       if (rrow[ridx].Compare(key) != 0) continue;
+      if (lrow.empty()) lrow = left.GetRow(l);
       Row joined = lrow;
       for (size_t c : right_cols) joined.push_back(rrow[c]);
-      out.AppendRowUnchecked(std::move(joined));
+      out.AppendRowUnchecked(joined);
     }
   }
   RowsMaterializedCounter().Add(out.NumRows());
@@ -284,16 +316,17 @@ Result<Table> GroupAggregate(const Table& input,
   GEA_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(defs)));
   Table out(output_name, std::move(schema));
 
-  // Group rows, preserving first-seen order.
+  // Group rows, preserving first-seen order. Keys materialize only the
+  // grouping columns; aggregate inputs read straight from the columns.
   std::map<Row, size_t, RowLess> group_of;
   std::vector<Row> group_keys;
   std::vector<std::vector<AggState>> states;
   std::vector<std::vector<int64_t>> non_null_counts;
 
-  for (const Row& row : input.rows()) {
+  for (size_t r = 0; r < input.NumRows(); ++r) {
     Row key;
     key.reserve(group_idx.size());
-    for (size_t idx : group_idx) key.push_back(row[idx]);
+    for (size_t idx : group_idx) key.push_back(input.At(r, idx));
     auto [it, inserted] = group_of.emplace(std::move(key), group_keys.size());
     if (inserted) {
       group_keys.push_back(it->first);
@@ -302,11 +335,10 @@ Result<Table> GroupAggregate(const Table& input,
     }
     size_t g = it->second;
     for (size_t a = 0; a < aggs.size(); ++a) {
-      const Value& v =
-          aggs[a].fn == AggFn::kCount ? Value::Null() : row[agg_idx[a]];
       if (aggs[a].fn == AggFn::kCount) {
         states[g][a].count++;
       } else {
+        const Value v = input.At(r, agg_idx[a]);
         states[g][a].Add(v);
         if (!v.is_null()) non_null_counts[g][a]++;
       }
@@ -325,7 +357,7 @@ Result<Table> GroupAggregate(const Table& input,
     for (size_t a = 0; a < aggs.size(); ++a) {
       row.push_back(states[g][a].Finish(aggs[a].fn, non_null_counts[g][a]));
     }
-    out.AppendRowUnchecked(std::move(row));
+    out.AppendRowUnchecked(row);
   }
   return out;
 }
@@ -349,9 +381,13 @@ Result<Table> Union(const Table& a, const Table& b,
   std::map<Row, bool, RowLess> seen;
   Table out(output_name, a.schema());
   for (const Table* t : {&a, &b}) {
-    for (const Row& row : t->rows()) {
-      if (seen.emplace(row, true).second) out.AppendRowUnchecked(row);
+    std::vector<uint32_t> keep;
+    for (size_t r = 0; r < t->NumRows(); ++r) {
+      if (seen.emplace(t->GetRow(r), true).second) {
+        keep.push_back(static_cast<uint32_t>(r));
+      }
     }
+    GatherInto(out, *t, keep);
   }
   return out;
 }
@@ -360,14 +396,17 @@ Result<Table> Intersect(const Table& a, const Table& b,
                         const std::string& output_name) {
   GEA_RETURN_IF_ERROR(CheckSameSchema(a, b));
   std::map<Row, bool, RowLess> in_b;
-  for (const Row& row : b.rows()) in_b.emplace(row, true);
+  for (size_t r = 0; r < b.NumRows(); ++r) in_b.emplace(b.GetRow(r), true);
   std::map<Row, bool, RowLess> emitted;
-  Table out(output_name, a.schema());
-  for (const Row& row : a.rows()) {
-    if (in_b.count(row) > 0 && emitted.emplace(row, true).second) {
-      out.AppendRowUnchecked(row);
+  std::vector<uint32_t> keep;
+  for (size_t r = 0; r < a.NumRows(); ++r) {
+    Row row = a.GetRow(r);
+    if (in_b.count(row) > 0 && emitted.emplace(std::move(row), true).second) {
+      keep.push_back(static_cast<uint32_t>(r));
     }
   }
+  Table out(output_name, a.schema());
+  GatherInto(out, a, keep);
   return out;
 }
 
@@ -375,14 +414,17 @@ Result<Table> Minus(const Table& a, const Table& b,
                     const std::string& output_name) {
   GEA_RETURN_IF_ERROR(CheckSameSchema(a, b));
   std::map<Row, bool, RowLess> in_b;
-  for (const Row& row : b.rows()) in_b.emplace(row, true);
+  for (size_t r = 0; r < b.NumRows(); ++r) in_b.emplace(b.GetRow(r), true);
   std::map<Row, bool, RowLess> emitted;
-  Table out(output_name, a.schema());
-  for (const Row& row : a.rows()) {
-    if (in_b.count(row) == 0 && emitted.emplace(row, true).second) {
-      out.AppendRowUnchecked(row);
+  std::vector<uint32_t> keep;
+  for (size_t r = 0; r < a.NumRows(); ++r) {
+    Row row = a.GetRow(r);
+    if (in_b.count(row) == 0 && emitted.emplace(std::move(row), true).second) {
+      keep.push_back(static_cast<uint32_t>(r));
     }
   }
+  Table out(output_name, a.schema());
+  GatherInto(out, a, keep);
   return out;
 }
 

@@ -1,10 +1,26 @@
 #include "rel/table.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/strings.h"
 
 namespace gea::rel {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.reserve(schema_.NumColumns());
+  for (size_t c = 0; c < schema_.NumColumns(); ++c) {
+    columns_.emplace_back(schema_.column(c).type);
+  }
+}
+
+Row Table::GetRow(size_t i) const {
+  Row row;
+  row.reserve(columns_.size());
+  for (const Column& col : columns_) row.push_back(col.GetValue(i));
+  return row;
+}
 
 Status Table::AppendRow(Row row) {
   if (row.size() != schema_.NumColumns()) {
@@ -21,35 +37,65 @@ Status Table::AppendRow(Row row) {
           ValueTypeName(row[i].type()));
     }
   }
-  rows_.push_back(std::move(row));
+  AppendRowUnchecked(row);
   return Status::OK();
 }
 
+void Table::AppendRowUnchecked(const Row& row) {
+  for (size_t c = 0; c < columns_.size(); ++c) columns_[c].Append(row[c]);
+  ++num_rows_;
+}
+
 Result<Value> Table::Get(size_t row, const std::string& column) const {
-  if (row >= rows_.size()) {
+  if (row >= num_rows_) {
     return Status::OutOfRange("row index " + std::to_string(row) +
                               " out of range");
   }
   GEA_ASSIGN_OR_RETURN(size_t col, schema_.ColumnIndex(column));
-  return rows_[row][col];
+  return columns_[col].GetValue(row);
+}
+
+void Table::GatherAppendRows(const Table& src, const uint32_t* rows,
+                             size_t n) {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].GatherAppend(src.columns_[c], rows, n);
+  }
+  num_rows_ += n;
+}
+
+void Table::Reserve(size_t rows) {
+  for (Column& col : columns_) col.Reserve(rows);
+}
+
+void Table::Clear() {
+  for (Column& col : columns_) col.Clear();
+  num_rows_ = 0;
+}
+
+Table Table::FromColumns(std::string name, Schema schema,
+                         std::vector<Column> columns, size_t num_rows) {
+  Table table(std::move(name), std::move(schema));
+  table.columns_ = std::move(columns);
+  table.num_rows_ = num_rows;
+  return table;
 }
 
 std::string Table::ToText(size_t max_rows) const {
   std::vector<size_t> widths(schema_.NumColumns());
   std::vector<std::vector<std::string>> cells;
-  size_t shown = std::min(max_rows, rows_.size());
+  size_t shown = std::min(max_rows, num_rows_);
   for (size_t c = 0; c < schema_.NumColumns(); ++c) {
     widths[c] = schema_.column(c).name.size();
   }
   for (size_t r = 0; r < shown; ++r) {
     std::vector<std::string> row_text;
     for (size_t c = 0; c < schema_.NumColumns(); ++c) {
-      row_text.push_back(rows_[r][c].ToString());
+      row_text.push_back(columns_[c].GetValue(r).ToString());
       widths[c] = std::max(widths[c], row_text.back().size());
     }
     cells.push_back(std::move(row_text));
   }
-  std::string out = name_ + " (" + std::to_string(rows_.size()) + " rows)\n";
+  std::string out = name_ + " (" + std::to_string(num_rows_) + " rows)\n";
   for (size_t c = 0; c < schema_.NumColumns(); ++c) {
     out += PadRight(schema_.column(c).name, widths[c] + 2);
   }
@@ -60,8 +106,8 @@ std::string Table::ToText(size_t max_rows) const {
     }
     out += '\n';
   }
-  if (shown < rows_.size()) {
-    out += "... (" + std::to_string(rows_.size() - shown) + " more rows)\n";
+  if (shown < num_rows_) {
+    out += "... (" + std::to_string(num_rows_ - shown) + " more rows)\n";
   }
   return out;
 }

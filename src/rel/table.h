@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "rel/column.h"
 #include "rel/schema.h"
 #include "rel/value.h"
 
@@ -14,39 +15,64 @@ namespace gea::rel {
 /// A row is one value per schema column.
 using Row = std::vector<Value>;
 
-/// An in-memory relation: a name, a schema, and a bag of rows.
+/// An in-memory relation: a name, a schema, and typed column vectors.
 ///
 /// This is the extensional world's storage substrate (Section 3.1.1): ENUM
 /// tables, library metadata, and the auxiliary genomic databases are all
 /// instances of this class. Row order is insertion order; operators that
 /// need set semantics (union/minus/intersect) deduplicate explicitly.
+///
+/// Storage is columnar (one `Column` per schema entry — contiguous typed
+/// vectors, null bitmaps, dictionary-coded strings) while the logical API
+/// stays row-shaped: `AppendRow` takes a `Row`, `At`/`GetRow` materialize
+/// boxed `Value`s on demand. Batch kernels read `column(c)` raw views
+/// instead of materializing cells.
 class Table {
  public:
-  Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+  Table(std::string name, Schema schema);
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
   const Schema& schema() const { return schema_; }
 
-  size_t NumRows() const { return rows_.size(); }
-  const Row& row(size_t i) const { return rows_[i]; }
-  const std::vector<Row>& rows() const { return rows_; }
+  size_t NumRows() const { return num_rows_; }
+  size_t NumColumns() const { return columns_.size(); }
+
+  /// Materializes row `i` as boxed Values. O(columns) with a string copy
+  /// per string cell — fine for spill paths, wrong inside hot loops (read
+  /// `column(c)` there).
+  Row GetRow(size_t i) const;
 
   /// Appends `row`, checking arity and per-column types (NULL is accepted
   /// in any column).
   Status AppendRow(Row row);
 
   /// Appends without validation; caller guarantees the row is well-formed.
-  void AppendRowUnchecked(Row row) { rows_.push_back(std::move(row)); }
+  void AppendRowUnchecked(const Row& row);
 
-  /// Cell accessor with no bounds checking.
-  const Value& At(size_t row, size_t col) const { return rows_[row][col]; }
+  /// Cell accessor with no bounds checking; materializes the boxed Value.
+  Value At(size_t row, size_t col) const {
+    return columns_[col].GetValue(row);
+  }
 
   /// Cell accessor by column name.
   Result<Value> Get(size_t row, const std::string& column) const;
 
-  void Clear() { rows_.clear(); }
+  /// Physical column view for batch kernels.
+  const Column& column(size_t c) const { return columns_[c]; }
+
+  /// Bulk-appends rows `rows[0..n)` of `src`, which must have a
+  /// positionally compatible schema (same column types). Gathers column by
+  /// column, adopting string dictionaries where possible.
+  void GatherAppendRows(const Table& src, const uint32_t* rows, size_t n);
+
+  void Reserve(size_t rows);
+  void Clear();
+
+  /// Adopts pre-built columns (binary codec decode path). `columns` must
+  /// match `schema` positionally and all hold `num_rows` rows.
+  static Table FromColumns(std::string name, Schema schema,
+                           std::vector<Column> columns, size_t num_rows);
 
   /// Renders a fixed-width textual view of the first `max_rows` rows,
   /// suitable for reports and examples.
@@ -55,7 +81,8 @@ class Table {
  private:
   std::string name_;
   Schema schema_;
-  std::vector<Row> rows_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
 };
 
 }  // namespace gea::rel

@@ -10,10 +10,12 @@ std::string TableToCsv(const Table& table) {
   for (const ColumnDef& col : table.schema().columns()) {
     doc.header.push_back(col.name + ":" + ValueTypeName(col.type));
   }
-  for (const Row& row : table.rows()) {
+  for (size_t r = 0; r < table.NumRows(); ++r) {
     std::vector<std::string> record;
-    record.reserve(row.size());
-    for (const Value& v : row) record.push_back(v.ToString());
+    record.reserve(table.NumColumns());
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      record.push_back(table.At(r, c).ToString());
+    }
     doc.rows.push_back(std::move(record));
   }
   return WriteCsv(doc);
@@ -60,10 +62,12 @@ Status SaveTable(const Table& table, const std::string& path) {
   for (const ColumnDef& col : table.schema().columns()) {
     doc.header.push_back(col.name + ":" + ValueTypeName(col.type));
   }
-  for (const Row& row : table.rows()) {
+  for (size_t r = 0; r < table.NumRows(); ++r) {
     std::vector<std::string> record;
-    record.reserve(row.size());
-    for (const Value& v : row) record.push_back(v.ToString());
+    record.reserve(table.NumColumns());
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      record.push_back(table.At(r, c).ToString());
+    }
     doc.rows.push_back(std::move(record));
   }
   return WriteCsvFile(path, doc);

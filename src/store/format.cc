@@ -133,17 +133,52 @@ Result<rel::ValueType> ColumnTypeFromTag(uint8_t tag) {
 
 }  // namespace
 
+namespace {
+
+// Leads the columnar encoding; the row codec starts with the u32 length
+// of the table name, which PutString caps well below this value.
+constexpr uint32_t kColumnarSentinel = 0xFFFFFFFFu;
+constexpr uint8_t kColumnarVersion = 1;
+
+void EncodeSchema(std::string* out, const rel::Table& table) {
+  PutString(out, table.name());
+  PutU32(out, static_cast<uint32_t>(table.schema().NumColumns()));
+  for (const rel::ColumnDef& col : table.schema().columns()) {
+    PutString(out, col.name);
+    PutU8(out, ColumnTypeTag(col.type));
+  }
+}
+
+struct DecodedSchema {
+  std::string name;
+  rel::Schema schema;
+};
+
+Result<DecodedSchema> DecodeSchema(ByteReader& reader) {
+  GEA_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+  GEA_ASSIGN_OR_RETURN(uint32_t num_columns, reader.ReadU32());
+  std::vector<rel::ColumnDef> defs;
+  defs.reserve(num_columns);
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    GEA_ASSIGN_OR_RETURN(std::string col_name, reader.ReadString());
+    GEA_ASSIGN_OR_RETURN(uint8_t tag, reader.ReadU8());
+    GEA_ASSIGN_OR_RETURN(rel::ValueType type, ColumnTypeFromTag(tag));
+    defs.push_back({std::move(col_name), type});
+  }
+  GEA_ASSIGN_OR_RETURN(rel::Schema schema,
+                       rel::Schema::Create(std::move(defs)));
+  return DecodedSchema{std::move(name), std::move(schema)};
+}
+
+}  // namespace
+
 std::string EncodeTable(const rel::Table& table) {
   std::string out;
-  PutString(&out, table.name());
-  PutU32(&out, static_cast<uint32_t>(table.schema().NumColumns()));
-  for (const rel::ColumnDef& col : table.schema().columns()) {
-    PutString(&out, col.name);
-    PutU8(&out, ColumnTypeTag(col.type));
-  }
+  EncodeSchema(&out, table);
   PutU64(&out, table.NumRows());
-  for (const rel::Row& row : table.rows()) {
-    for (const rel::Value& v : row) {
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      const rel::Value v = table.At(r, c);
       switch (v.type()) {
         case rel::ValueType::kNull:
           PutU8(&out, kCellNull);
@@ -166,8 +201,129 @@ std::string EncodeTable(const rel::Table& table) {
   return out;
 }
 
+std::string EncodeTableColumnar(const rel::Table& table) {
+  std::string out;
+  PutU32(&out, kColumnarSentinel);
+  PutU8(&out, kColumnarVersion);
+  EncodeSchema(&out, table);
+  const size_t rows = table.NumRows();
+  PutU64(&out, rows);
+  const size_t words = rel::Column::NullWordsFor(rows);
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    const rel::Column& col = table.column(c);
+    for (size_t w = 0; w < words; ++w) PutU64(&out, col.null_words()[w]);
+    switch (col.type()) {
+      case rel::ValueType::kInt:
+        for (size_t r = 0; r < rows; ++r) PutI64(&out, col.int_data()[r]);
+        break;
+      case rel::ValueType::kDouble:
+        for (size_t r = 0; r < rows; ++r) PutF64(&out, col.double_data()[r]);
+        break;
+      case rel::ValueType::kString: {
+        PutU32(&out, static_cast<uint32_t>(col.dict().size()));
+        for (const std::string& s : col.dict()) PutString(&out, s);
+        for (size_t r = 0; r < rows; ++r) PutU32(&out, col.code_data()[r]);
+        break;
+      }
+      case rel::ValueType::kNull:
+        break;  // no payload; the bitmap says it all
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Result<rel::Table> DecodeTableColumnar(ByteReader& reader) {
+  GEA_ASSIGN_OR_RETURN(uint8_t version, reader.ReadU8());
+  if (version != kColumnarVersion) {
+    return Status::InvalidArgument("unsupported columnar table version: " +
+                                   std::to_string(version));
+  }
+  GEA_ASSIGN_OR_RETURN(DecodedSchema decoded, DecodeSchema(reader));
+  GEA_ASSIGN_OR_RETURN(uint64_t rows, reader.ReadU64());
+  const size_t words = rel::Column::NullWordsFor(rows);
+  // Every column spends 8 bytes per 64 rows on its bitmap; rejecting row
+  // counts the buffer cannot possibly hold keeps allocation sizes honest
+  // before any vector is sized from attacker-controlled input.
+  if (decoded.schema.NumColumns() > 0 && words * 8 > reader.remaining()) {
+    return Truncated("columnar null bitmap");
+  }
+  std::vector<rel::Column> columns;
+  columns.reserve(decoded.schema.NumColumns());
+  for (size_t c = 0; c < decoded.schema.NumColumns(); ++c) {
+    std::vector<uint64_t> nulls(words);
+    for (size_t w = 0; w < words; ++w) {
+      GEA_ASSIGN_OR_RETURN(nulls[w], reader.ReadU64());
+    }
+    switch (decoded.schema.column(c).type) {
+      case rel::ValueType::kInt: {
+        std::vector<int64_t> vals(rows);
+        for (uint64_t r = 0; r < rows; ++r) {
+          GEA_ASSIGN_OR_RETURN(vals[r], reader.ReadI64());
+          if ((nulls[r >> 6] >> (r & 63)) & 1) vals[r] = 0;  // canonical fill
+        }
+        columns.push_back(
+            rel::Column::FromRawInts(std::move(vals), std::move(nulls), rows));
+        break;
+      }
+      case rel::ValueType::kDouble: {
+        std::vector<double> vals(rows);
+        for (uint64_t r = 0; r < rows; ++r) {
+          GEA_ASSIGN_OR_RETURN(vals[r], reader.ReadF64());
+          if ((nulls[r >> 6] >> (r & 63)) & 1) vals[r] = 0.0;
+        }
+        columns.push_back(rel::Column::FromRawDoubles(std::move(vals),
+                                                      std::move(nulls), rows));
+        break;
+      }
+      case rel::ValueType::kString: {
+        GEA_ASSIGN_OR_RETURN(uint32_t dict_size, reader.ReadU32());
+        std::vector<std::string> dict;
+        dict.reserve(dict_size);
+        for (uint32_t d = 0; d < dict_size; ++d) {
+          GEA_ASSIGN_OR_RETURN(std::string s, reader.ReadString());
+          dict.push_back(std::move(s));
+        }
+        std::vector<uint32_t> codes(rows);
+        for (uint64_t r = 0; r < rows; ++r) {
+          GEA_ASSIGN_OR_RETURN(codes[r], reader.ReadU32());
+          const bool is_null = (nulls[r >> 6] >> (r & 63)) & 1;
+          if (!is_null && codes[r] >= dict_size) {
+            return Status::InvalidArgument(
+                "dictionary code out of range: " + std::to_string(codes[r]));
+          }
+          if (is_null) codes[r] = 0;  // canonical zero fill for re-encode
+        }
+        columns.push_back(rel::Column::FromRawStrings(
+            std::move(dict), std::move(codes), std::move(nulls), rows));
+        break;
+      }
+      case rel::ValueType::kNull:
+        columns.push_back(rel::Column::FromRawNulls(rows));
+        break;
+    }
+  }
+  if (!reader.Done()) {
+    return Status::InvalidArgument("trailing bytes after table encoding");
+  }
+  return rel::Table::FromColumns(std::move(decoded.name),
+                                 std::move(decoded.schema),
+                                 std::move(columns), rows);
+}
+
+}  // namespace
+
 Result<rel::Table> DecodeTable(std::string_view data) {
   ByteReader reader(data);
+  {
+    ByteReader peek(data);
+    Result<uint32_t> lead = peek.ReadU32();
+    if (lead.ok() && *lead == kColumnarSentinel) {
+      (void)reader.ReadU32();  // consume the sentinel
+      return DecodeTableColumnar(reader);
+    }
+  }
   GEA_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
   GEA_ASSIGN_OR_RETURN(uint32_t num_columns, reader.ReadU32());
   std::vector<rel::ColumnDef> defs;

@@ -45,12 +45,22 @@ class ByteReader {
   size_t pos_ = 0;
 };
 
-/// Binary relation codec: name, schema (column name + type byte), row
-/// count, then cells. Each cell is a type tag byte followed by its
-/// payload, so NULLs round-trip in any column. This is the section body
-/// of table snapshots — typically ~3-5x smaller than the typed-CSV dump
-/// and parsed without any string-to-number conversions.
+/// Row-oriented relation codec: name, schema (column name + type byte),
+/// row count, then cells. Each cell is a type tag byte followed by its
+/// payload, so NULLs round-trip in any column. This was the snapshot
+/// section body through PR 4 and is still the wire encoding of get_table
+/// responses (kept byte-compatible for clients); snapshots now use
+/// EncodeTableColumnar below.
 std::string EncodeTable(const rel::Table& table);
+
+/// Columnar relation codec: each column serializes as its null bitmap
+/// followed by the contiguous payload vector (dictionary + codes for
+/// strings). The encoding opens with a u32 0xFFFFFFFF sentinel — an
+/// impossible name length in the row codec — so DecodeTable can tell the
+/// two apart and keep reading PR-4-era snapshots.
+std::string EncodeTableColumnar(const rel::Table& table);
+
+/// Decodes either codec, dispatching on the leading sentinel.
 Result<rel::Table> DecodeTable(std::string_view data);
 
 }  // namespace gea::store

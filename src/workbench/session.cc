@@ -291,7 +291,8 @@ Status AnalysisSession::LoadDatabase(const std::string& directory) {
   std::map<std::string, core::SumyTable> sumys;
   std::map<std::string, core::GapTable> gaps;
   std::vector<rel::Table> stored_relations;
-  for (const rel::Row& row : manifest.rows()) {
+  for (size_t r1_ = 0; r1_ < manifest.NumRows(); ++r1_) {
+    const rel::Row row = manifest.GetRow(r1_);
     if (row.size() != 2 || row[0].type() != rel::ValueType::kString ||
         row[1].type() != rel::ValueType::kString) {
       return Status::InvalidArgument("malformed manifest row in " + directory);
@@ -343,7 +344,8 @@ Status AnalysisSession::LoadDatabase(const std::string& directory) {
       GEA_ASSIGN_OR_RETURN(rel::Table table,
                            rel::LoadTable(name, entry.path().string()));
       std::vector<double> tolerances(table.NumRows(), 0.0);
-      for (const rel::Row& row : table.rows()) {
+      for (size_t r2_ = 0; r2_ < table.NumRows(); ++r2_) {
+        const rel::Row row = table.GetRow(r2_);
         if (row.size() != 2 || row[0].type() != rel::ValueType::kInt ||
             row[1].type() != rel::ValueType::kDouble) {
           return Status::InvalidArgument("malformed metadata row in " + name);

@@ -70,7 +70,8 @@ rel::Table ToleranceTable(const std::string& name,
 
 Result<std::vector<double>> TolerancesFromTable(const rel::Table& table) {
   std::vector<double> tolerances(table.NumRows(), 0.0);
-  for (const rel::Row& row : table.rows()) {
+  for (size_t r1_ = 0; r1_ < table.NumRows(); ++r1_) {
+    const rel::Row row = table.GetRow(r1_);
     if (row.size() != 2 || row[0].type() != rel::ValueType::kInt ||
         row[1].type() != rel::ValueType::kDouble) {
       return Status::InvalidArgument("malformed metadata section: " +

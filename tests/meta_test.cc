@@ -71,7 +71,8 @@ TEST(AnnotationTest, TagsMapToAtMostOneGene) {
                                                        PinnedConfig());
   std::set<int64_t> seen;
   size_t tagno_col = *db.unigene().schema().FindColumn("TagNo");
-  for (const rel::Row& row : db.unigene().rows()) {
+  for (size_t r1_ = 0; r1_ < db.unigene().NumRows(); ++r1_) {
+    const rel::Row row = db.unigene().GetRow(r1_);
     EXPECT_TRUE(seen.insert(row[tagno_col].AsInt()).second);
   }
 }
@@ -130,7 +131,7 @@ TEST(EadbTest, DiseaseSearchRespectsChromosomeFilter) {
   size_t disease_col = *db.omim().schema().FindColumn("Disease");
   size_t chrom_col = *db.omim().schema().FindColumn("Chromosome");
   if (db.omim().NumRows() == 0) GTEST_SKIP() << "no OMIM rows drawn";
-  const rel::Row& row = db.omim().row(0);
+  const rel::Row row = db.omim().GetRow(0);
   std::string disease = row[disease_col].AsString();
   int chromosome = static_cast<int>(row[chrom_col].AsInt());
   std::vector<std::string> genes =
@@ -161,8 +162,8 @@ TEST(JoinPipelineTest, GeneRelFromTagRel) {
   ASSERT_TRUE(gene_rel.ok());
   // Every output row is a gene name; only mapped tags contribute.
   EXPECT_LE(gene_rel->NumRows(), 3u);
-  for (const rel::Row& row : gene_rel->rows()) {
-    EXPECT_FALSE(row[0].AsString().empty());
+  for (size_t r = 0; r < gene_rel->NumRows(); ++r) {
+    EXPECT_FALSE(gene_rel->At(r, 0).AsString().empty());
   }
 }
 
@@ -204,7 +205,8 @@ TEST(AnnotateTest, GapAnnotationReport) {
   size_t gene_col = *report->schema().FindColumn("Gene");
   size_t gap_col = *report->schema().FindColumn("Gap");
   size_t pubs_col = *report->schema().FindColumn("Publications");
-  for (const rel::Row& row : report->rows()) {
+  for (size_t rr_ = 0; rr_ < report->NumRows(); ++rr_) {
+    const rel::Row row = report->GetRow(rr_);
     if (!row[gene_col].is_null() &&
         row[gene_col].AsString() == "aldolase C") {
       found_aldolase = true;

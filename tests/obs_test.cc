@@ -11,12 +11,19 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/enum_table.h"
+#include "core/gap.h"
+#include "core/operators.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace gea::obs {
 namespace {
+
+// The concurrency hammer below is a TSan target: force real pool
+// helpers even on single-core hosts so threads actually interleave.
+ForceParallelHelpersScope g_force_helpers;
 
 // ---- Enablement gates ----
 
@@ -203,6 +210,46 @@ TEST(MetricsRegistryTest, ConcurrentRecordingFromPoolWorkers) {
   EXPECT_EQ(registry.GetCounter("obs_test.hammer.c").Value() - c_before, n);
   EXPECT_EQ(registry.GetHistogram("obs_test.hammer.h").Count() - h_before,
             n / 100);
+}
+
+// ---- Kernel batching (gea.core.tag_lookups) ----
+
+TEST(KernelCountersTest, TagIdsResolveOncePerTagNotOncePerValue) {
+  // The batch kernels hoist tag-id resolution out of the inner loops:
+  // aggregate() and diff() each charge gea.core.tag_lookups once per
+  // output tag, not once per (library, tag) cell the row-at-a-time
+  // paths used to pay. 8 libraries x 100 tags makes the distinction
+  // unambiguous: a per-cell count would be 800+.
+  constexpr size_t kLibs = 8;
+  constexpr size_t kTags = 100;
+  std::vector<sage::LibraryMeta> libs(kLibs);
+  for (size_t i = 0; i < kLibs; ++i) {
+    libs[i].id = static_cast<int>(i + 1);
+    libs[i].name = "L" + std::to_string(i + 1);
+  }
+  std::vector<sage::TagId> tags(kTags);
+  for (size_t t = 0; t < kTags; ++t) tags[t] = static_cast<sage::TagId>(t);
+  std::vector<double> values(kLibs * kTags);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>((i * 37) % 101);
+  }
+  Result<core::EnumTable> e =
+      core::EnumTable::FromRows("E", libs, tags, values);
+  ASSERT_TRUE(e.ok());
+
+  ScopedMetricsEnable on(true);
+  Counter& lookups =
+      MetricsRegistry::Global().GetCounter("gea.core.tag_lookups");
+
+  uint64_t before = lookups.Value();
+  Result<core::SumyTable> sumy = core::Aggregate(*e, "S");
+  ASSERT_TRUE(sumy.ok());
+  EXPECT_EQ(lookups.Value() - before, kTags);
+
+  before = lookups.Value();
+  Result<core::GapTable> gap = core::Diff(*sumy, *sumy, "G");
+  ASSERT_TRUE(gap.ok());
+  EXPECT_EQ(lookups.Value() - before, kTags);
 }
 
 // ---- Trace spans ----

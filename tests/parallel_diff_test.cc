@@ -26,6 +26,11 @@
 namespace gea::core {
 namespace {
 
+// This battery exists to exercise the cross-thread execution paths, so
+// keep pool helpers real even on single-core hosts (where ParallelFor
+// would otherwise run its chunks inline).
+ForceParallelHelpersScope g_force_helpers;
+
 uint64_t Bits(double v) {
   uint64_t bits;
   std::memcpy(&bits, &v, sizeof(bits));

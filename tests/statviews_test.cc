@@ -156,7 +156,7 @@ TEST(StatViewsTest, ThreadsTableNeverStartsThePool) {
   rel::Table table = StatThreadsTable(SyntheticSnapshot());
   bool saw_configured = false, saw_started = false, saw_pool_counter = false;
   for (size_t r = 0; r < table.NumRows(); ++r) {
-    const std::string& name = table.At(r, 0).AsString();
+    const std::string name = table.At(r, 0).AsString();
     if (name == "configured_threads") {
       saw_configured = true;
       EXPECT_GE(table.At(r, 1).AsInt(), 1);

@@ -104,7 +104,7 @@ TEST(FormatTest, TableCodecRoundTripsNullsAndTypes) {
   ASSERT_EQ(back->NumRows(), table.NumRows());
   for (size_t r = 0; r < table.NumRows(); ++r) {
     for (size_t c = 0; c < 3; ++c) {
-      EXPECT_EQ(back->rows()[r][c], table.rows()[r][c])
+      EXPECT_EQ(back->At(r, c), table.At(r, c))
           << "row " << r << " col " << c;
     }
   }
@@ -531,7 +531,8 @@ TEST(StorageStatViewTest, ViewReportsLastRecovery) {
   Result<rel::Table> view = obs::BuildStatView(obs::kStatStorageView);
   ASSERT_TRUE(view.ok()) << view.status().ToString();
   int64_t replayed = -1;
-  for (const rel::Row& row : view->rows()) {
+  for (size_t vr_ = 0; vr_ < view->NumRows(); ++vr_) {
+    const rel::Row row = view->GetRow(vr_);
     if (row[0].AsString() == "recovery.wal_records_replayed") {
       replayed = row[1].AsInt();
     }

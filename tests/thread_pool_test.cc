@@ -15,6 +15,10 @@
 namespace gea {
 namespace {
 
+// These tests pin down ParallelFor's cross-thread semantics; run with
+// real pool helpers even on single-core hosts.
+ForceParallelHelpersScope g_force_helpers;
+
 TEST(ThreadPoolTest, StartupRunsTasksAndShutdownJoins) {
   std::atomic<int> ran{0};
   {
