@@ -61,12 +61,14 @@ double PercentileMs(std::vector<double>& sorted, double q) {
 // timing each request; reports req/sec (items_per_second) plus p50/p99
 // latency averaged across client threads.
 template <typename Call>
-void RunServeBench(benchmark::State& state, Call call) {
+void RunServeBench(benchmark::State& state, Call call,
+                   bool tracing = false) {
   serve::QueryClient client;
   if (!client.Connect(Server().Port()).ok()) {
     state.SkipWithError("connect failed");
     return;
   }
+  client.SetTracing(tracing);
   if (!client.Login("admin", "secret", "admin").ok()) {
     state.SkipWithError("login failed");
     return;
@@ -98,6 +100,19 @@ void BM_ServePing(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_ServePing)->Threads(1)->Threads(4)->Threads(16)->UseRealTime();
+
+// The tracing tax: every request carries a trace context, is recorded
+// into the trace ring (spans, stage attribution) and echoes the stage
+// breakdown on the wire. Compare against BM_ServePing — the unsampled
+// path, whose per-stage cost is one branch and one clock read.
+void BM_ServePingTraced(benchmark::State& state) {
+  RunServeBench(
+      state,
+      [](serve::QueryClient& client) { return client.Ping().ok(); },
+      /*tracing=*/true);
+}
+BENCHMARK(BM_ServePingTraced)
+    ->Threads(1)->Threads(4)->Threads(16)->UseRealTime();
 
 void BM_ServeSqlScan(benchmark::State& state) {
   RunServeBench(state, [](serve::QueryClient& client) {

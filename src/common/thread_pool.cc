@@ -263,8 +263,10 @@ void ParallelFor(size_t begin, size_t end, size_t min_grain,
   pf_chunks.Add(chunks);
   obs::TraceSpan pf_span("parallel_for");
   // Chunk spans may run on pool workers; hand them the caller's current
-  // span (the parallel_for span when tracing) so they nest under it.
+  // span (the parallel_for span when tracing) so they nest under it, and
+  // the caller's trace binding so they land in the right request trace.
   const uint64_t parent_span = obs::CurrentSpanId();
+  const obs::TraceBinding trace_binding = obs::CurrentTraceBinding();
   const bool metrics = obs::MetricsEnabled();
 
   struct State {
@@ -317,10 +319,11 @@ void ParallelFor(size_t begin, size_t end, size_t min_grain,
   const size_t helpers =
       pool == nullptr ? 0 : std::min(chunks - 1, pool->NumThreads());
   for (size_t h = 0; h < helpers; ++h) {
-    pool->Submit([state, run_chunk, chunks, parent_span] {
+    pool->Submit([state, run_chunk, chunks, parent_span, trace_binding] {
       bool was_in_region = t_in_parallel_region;
       t_in_parallel_region = true;
       obs::TraceParentScope parent_scope(parent_span);
+      obs::TraceBindingScope binding_scope(trace_binding);
       for (;;) {
         const size_t c = state->next.fetch_add(1, std::memory_order_relaxed);
         if (c >= chunks) break;

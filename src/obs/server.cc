@@ -4,23 +4,31 @@
 #include <sys/types.h>
 
 #include <cstdlib>
+#include <deque>
 #include <utility>
 
 #include "common/net.h"
 #include "obs/export.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/statviews.h"
 
 namespace gea::obs {
 
 namespace {
 
-/// The /tracez slot. A plain mutex-guarded copy: profiles are small (a
-/// handful of spans and counter deltas) and publishes happen once per
-/// logged operation, not per row.
+/// The /tracez profile ring: the last kProfileRingCapacity published
+/// profiles, newest at the back. A plain mutex-guarded deque: profiles
+/// are small (a handful of spans and counter deltas) and publishes
+/// happen once per logged operation, not per row. Every read takes one
+/// consistent snapshot under the lock, so a publish racing a render can
+/// never tear the list against the detail.
 std::mutex g_profile_mu;
-std::optional<OperationProfile> g_last_profile;
+std::deque<OperationProfile>& ProfileRing() {
+  static std::deque<OperationProfile>* ring = new std::deque<OperationProfile>();
+  return *ring;
+}
 
 std::string ProfileJson(const OperationProfile& profile) {
   std::string out = "{\"operation\":\"" + JsonEscape(profile.operation) +
@@ -81,7 +89,7 @@ void HandleConnection(int fd) {
     response.status = 400;
     response.body = "bad request\n";
   } else {
-    response = internal::HandlePath(path);
+    response = internal::HandlePath(path, internal::ParseRequestQuery(head));
   }
 
   std::string wire = "HTTP/1.1 " + std::to_string(response.status) + " " +
@@ -109,7 +117,38 @@ std::string ParseRequestPath(const std::string& head) {
   return path.empty() || path[0] != '/' ? "" : path;
 }
 
-HttpResponse HandlePath(const std::string& path) {
+std::string ParseRequestQuery(const std::string& head) {
+  if (head.rfind("GET ", 0) != 0) return "";
+  const size_t start = 4;
+  const size_t end = head.find(' ', start);
+  if (end == std::string::npos || end == start) return "";
+  const std::string target = head.substr(start, end - start);
+  const size_t query = target.find('?');
+  return query == std::string::npos ? "" : target.substr(query + 1);
+}
+
+namespace {
+
+/// Looks up `key` in a raw "a=1&b=2" query string.
+std::optional<std::string> QueryParam(const std::string& query,
+                                      const std::string& key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+HttpResponse HandlePath(const std::string& path, const std::string& query) {
   HttpResponse response;
   if (path == "/healthz") {
     response.body = "ok\n";
@@ -127,6 +166,23 @@ HttpResponse HandlePath(const std::string& path) {
   }
   if (path == "/tracez") {
     response.content_type = "application/json";
+    if (QueryParam(query, "format") == std::optional<std::string>("chrome")) {
+      response.body = ChromeTraceJson(RequestTraceRing::Global().Snapshot());
+      return response;
+    }
+    if (std::optional<std::string> n = QueryParam(query, "n");
+        n.has_value()) {
+      char* end = nullptr;
+      const unsigned long count = std::strtoul(n->c_str(), &end, 10);
+      if (end == n->c_str() || *end != '\0') {
+        response.status = 400;
+        response.content_type = "text/plain; charset=utf-8";
+        response.body = "bad n: " + *n + "\n";
+        return response;
+      }
+      response.body = TracezJson(static_cast<size_t>(count));
+      return response;
+    }
     response.body = TracezJson();
     return response;
   }
@@ -215,18 +271,51 @@ Status StartMonitorFromEnv() {
 
 void PublishProfile(const OperationProfile& profile) {
   std::lock_guard<std::mutex> lock(g_profile_mu);
-  g_last_profile = profile;
+  std::deque<OperationProfile>& ring = ProfileRing();
+  ring.push_back(profile);
+  while (ring.size() > kProfileRingCapacity) ring.pop_front();
 }
 
 std::optional<OperationProfile> LastPublishedProfile() {
   std::lock_guard<std::mutex> lock(g_profile_mu);
-  return g_last_profile;
+  const std::deque<OperationProfile>& ring = ProfileRing();
+  if (ring.empty()) return std::nullopt;
+  return ring.back();
+}
+
+std::vector<OperationProfile> RecentProfiles(size_t n) {
+  std::lock_guard<std::mutex> lock(g_profile_mu);
+  const std::deque<OperationProfile>& ring = ProfileRing();
+  std::vector<OperationProfile> out;
+  const size_t count = std::min(n, ring.size());
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(ring[ring.size() - 1 - i]);  // newest first
+  }
+  return out;
 }
 
 std::string TracezJson() {
   std::lock_guard<std::mutex> lock(g_profile_mu);
-  if (!g_last_profile.has_value()) return "{\"operation\":null}";
-  return ProfileJson(*g_last_profile);
+  const std::deque<OperationProfile>& ring = ProfileRing();
+  if (ring.empty()) return "{\"operation\":null}";
+  return ProfileJson(ring.back());
+}
+
+std::string TracezJson(size_t n) {
+  // One lock for count + list + every detail: the response is internally
+  // consistent even while publishes race.
+  std::lock_guard<std::mutex> lock(g_profile_mu);
+  const std::deque<OperationProfile>& ring = ProfileRing();
+  std::string out =
+      "{\"count\":" + std::to_string(ring.size()) + ",\"profiles\":[";
+  const size_t count = std::min(n, ring.size());
+  for (size_t i = 0; i < count; ++i) {
+    if (i > 0) out += ",";
+    out += ProfileJson(ring[ring.size() - 1 - i]);
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace gea::obs

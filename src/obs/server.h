@@ -6,6 +6,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/status.h"
 #include "obs/trace.h"
@@ -17,8 +18,11 @@ namespace gea::obs {
 ///
 ///   /healthz   liveness probe ("ok")
 ///   /metrics   Prometheus text exposition of the global registry
-///   /statz     the five stat views as JSON
-///   /tracez    the last published OperationProfile as JSON
+///   /statz     the stat views as JSON
+///   /tracez    the last published OperationProfile as JSON;
+///              ?n=K for the last K profiles (newest first);
+///              ?format=chrome for the request trace ring as
+///              Chrome trace-event JSON (Perfetto-loadable)
 ///
 /// The server never starts unless asked: either programmatically
 /// (GlobalMonitor().Start(port)) or via GEA_MONITOR_PORT (see
@@ -63,15 +67,29 @@ MonitorServer& GlobalMonitor();
 /// AnalysisSession construction routes through here.
 Status StartMonitorFromEnv();
 
-/// Stores `profile` as the /tracez payload (last write wins).
+/// Profiles kept by the /tracez ring (a deque of recent publishes; the
+/// old endpoint was a single last-writer-wins slot).
+inline constexpr size_t kProfileRingCapacity = 32;
+
+/// Appends `profile` to the /tracez profile ring (the oldest entry is
+/// evicted at capacity).
 void PublishProfile(const OperationProfile& profile);
 
-/// Copy of the last published profile, if any. Exposed for tests.
+/// Copy of the most recently published profile, if any. Exposed for
+/// tests.
 std::optional<OperationProfile> LastPublishedProfile();
+
+/// Copies of the last min(n, ring size) published profiles, newest
+/// first, snapshotted under one lock (a publish can never tear the list).
+std::vector<OperationProfile> RecentProfiles(size_t n);
 
 /// The /tracez payload: the last published profile as one JSON object,
 /// or {"operation":null} when nothing has been published.
 std::string TracezJson();
+
+/// The /tracez?n=K payload: {"count":<total in ring>,"profiles":[...]}
+/// with the newest profile first. Rendered from one consistent snapshot.
+std::string TracezJson(size_t n);
 
 namespace internal {
 
@@ -82,13 +100,19 @@ struct HttpResponse {
   std::string body;
 };
 
-/// Routes a request path (query string already allowed, it is ignored)
-/// to its payload; unknown paths get a 404.
-HttpResponse HandlePath(const std::string& path);
+/// Routes a request path to its payload; unknown paths get a 404. The
+/// optional raw query string ("format=chrome&n=8") selects variants on
+/// /tracez; other routes ignore it.
+HttpResponse HandlePath(const std::string& path,
+                        const std::string& query = "");
 
 /// Extracts the path from an HTTP request head ("GET /statz?x=1 HTTP/1.1
-/// ...") — empty when the request line is malformed or not a GET.
+/// ...") — empty when the request line is malformed or not a GET. The
+/// query string is stripped; ParseRequestQuery recovers it.
 std::string ParseRequestPath(const std::string& head);
+
+/// Extracts the raw query string from a request head ("" when absent).
+std::string ParseRequestQuery(const std::string& head);
 
 }  // namespace internal
 

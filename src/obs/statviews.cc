@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <limits>
+#include <tuple>
 #include <utility>
 
 #include "common/thread_pool.h"
@@ -262,6 +263,50 @@ rel::Table StatThreadsTable(const MetricsSnapshot& snapshot) {
   return table;
 }
 
+rel::Table StatRequestsTable(const std::vector<RequestTraceRecord>& records) {
+  struct Group {
+    uint64_t count = 0;
+    uint64_t slow = 0;
+    HistogramValue latency;  // total_nanos, power-of-two buckets
+  };
+  // std::map keys sort the output by (op, status, user) for free.
+  std::map<std::tuple<std::string, std::string, std::string>, Group> groups;
+  for (const RequestTraceRecord& r : records) {
+    const char* status =
+        StatusCodeName(static_cast<StatusCode>(r.status_code));
+    Group& g = groups[std::make_tuple(r.op, std::string(status), r.user)];
+    g.count += 1;
+    if (r.slow) g.slow += 1;
+    g.latency.count += 1;
+    g.latency.sum += r.total_nanos;
+    g.latency.buckets[Histogram::BucketIndex(r.total_nanos)] += 1;
+  }
+
+  rel::Table table(kStatRequestsView,
+                   rel::Schema({{"op", rel::ValueType::kString},
+                                {"status", rel::ValueType::kString},
+                                {"user", rel::ValueType::kString},
+                                {"count", rel::ValueType::kInt},
+                                {"slow", rel::ValueType::kInt},
+                                {"mean_ms", rel::ValueType::kDouble},
+                                {"p50_ms", rel::ValueType::kDouble},
+                                {"p95_ms", rel::ValueType::kDouble},
+                                {"p99_ms", rel::ValueType::kDouble}}));
+  for (const auto& [key, g] : groups) {
+    table.AppendRowUnchecked(
+        {rel::Value::String(std::get<0>(key)),
+         rel::Value::String(std::get<1>(key)),
+         rel::Value::String(std::get<2>(key)),
+         rel::Value::Int(SaturateToInt(g.count)),
+         rel::Value::Int(SaturateToInt(g.slow)),
+         rel::Value::Double(g.latency.Mean() / 1e6),
+         rel::Value::Double(NanosToMillis(g.latency.ApproxQuantile(0.50))),
+         rel::Value::Double(NanosToMillis(g.latency.ApproxQuantile(0.95))),
+         rel::Value::Double(NanosToMillis(g.latency.ApproxQuantile(0.99)))});
+  }
+  return table;
+}
+
 Result<rel::Table> BuildStatView(const std::string& name) {
   if (name == kStatCountersView) {
     return StatCountersTable(MetricsRegistry::Global().Snapshot());
@@ -277,6 +322,9 @@ Result<rel::Table> BuildStatView(const std::string& name) {
   }
   if (name == kStatThreadsView) {
     return StatThreadsTable(MetricsRegistry::Global().Snapshot());
+  }
+  if (name == kStatRequestsView) {
+    return StatRequestsTable(RequestTraceRing::Global().Snapshot());
   }
   std::function<rel::Table()> builder;
   {
@@ -294,7 +342,7 @@ namespace {
 std::vector<std::string> AllStatViewNames() {
   std::vector<std::string> names = {kStatCountersView, kStatHistogramsView,
                                     kStatOperatorsView, kStatSessionsView,
-                                    kStatThreadsView};
+                                    kStatThreadsView,   kStatRequestsView};
   std::lock_guard<std::mutex> lock(ProvidersMutex());
   for (const auto& [name, builder] : Providers()) names.push_back(name);
   return names;

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "rel/catalog.h"
 #include "rel/table.h"
 
@@ -31,6 +32,9 @@ inline constexpr const char* kStatHistogramsView = "gea_stat_histograms";
 inline constexpr const char* kStatOperatorsView = "gea_stat_operators";
 inline constexpr const char* kStatSessionsView = "gea_stat_sessions";
 inline constexpr const char* kStatThreadsView = "gea_stat_threads";
+/// Rollup of the request trace ring by (op, status, user): count, slow
+/// count, mean and approximate p50/p95/p99 latency in milliseconds.
+inline constexpr const char* kStatRequestsView = "gea_stat_requests";
 /// Registered by gea_store (see below), present in any binary linking it.
 inline constexpr const char* kStatStorageView = "gea_stat_storage";
 /// Registered by gea_serve: one row per live QueryServer (port, queue
@@ -41,7 +45,7 @@ inline constexpr const char* kStatServeView = "gea_stat_serve";
 /// linking against it (gea_store registers gea_stat_storage this way at
 /// static-init time). Registering a name again replaces its builder.
 /// Provider views ride along in BuildStatView / AllStatViews /
-/// RegisterStatViews / StatViewsJson exactly like the built-in five.
+/// RegisterStatViews / StatViewsJson exactly like the built-ins.
 void RegisterStatViewProvider(const std::string& name,
                               std::function<rel::Table()> builder);
 
@@ -141,15 +145,20 @@ rel::Table StatSessionsTable(const std::vector<SessionStat>& stats);
 /// pool_queue_depth, plus the gea.pool.* / gea.parallel_for.* counters
 /// from `snapshot`. Never starts the pool.
 rel::Table StatThreadsTable(const MetricsSnapshot& snapshot);
+/// (op, status, user, count, slow, mean_ms, p50_ms, p95_ms, p99_ms) —
+/// one row per distinct (op, status, user) in the trace ring, sorted by
+/// that key. Quantiles come from a power-of-two latency histogram per
+/// group (bucket upper bounds, like gea_stat_histograms).
+rel::Table StatRequestsTable(const std::vector<RequestTraceRecord>& records);
 
 /// Builds the named stat view from the live global sources (registry,
 /// hub, shared pool). Fails with NotFound for a non-view name.
 Result<rel::Table> BuildStatView(const std::string& name);
 
-/// All five views, materialized from the live sources.
+/// All built-in and provider views, materialized from the live sources.
 std::vector<rel::Table> AllStatViews();
 
-/// Registers all five views in `catalog` as computed tables (replacing
+/// Registers every view in `catalog` as computed tables (replacing
 /// any previous registration), so SQL over the catalog reads live data.
 Status RegisterStatViews(rel::Catalog& catalog);
 

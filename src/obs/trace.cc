@@ -34,7 +34,30 @@ constexpr size_t kMaxRecordsPerThread = 1 << 16;
 /// Innermost open span on this thread (0 = none).
 thread_local uint64_t t_current_span = 0;
 
+/// Request-trace identity for this thread (see TraceBindingScope).
+thread_local TraceBinding t_binding;
+
+/// Dense thread-id allocator; 0 is reserved for "unknown".
+std::atomic<uint32_t> g_next_thread_id{1};
+
 }  // namespace
+
+uint32_t CurrentThreadId() {
+  thread_local const uint32_t t_id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return t_id;
+}
+
+TraceBinding CurrentTraceBinding() { return t_binding; }
+
+TraceBindingScope::TraceBindingScope(TraceBinding binding)
+    : previous_(t_binding) {
+  t_binding = binding;
+}
+
+TraceBindingScope::~TraceBindingScope() { t_binding = previous_; }
+
+bool SpanRecordingEnabled() { return TraceEnabled() || t_binding.force; }
 
 bool TraceEnabled() {
   int state = g_trace_state.load(std::memory_order_relaxed);
@@ -85,7 +108,8 @@ void TraceCollector::Record(SpanRecord record) {
   t_buffer->records.push_back(std::move(record));
 }
 
-std::vector<SpanRecord> TraceCollector::DrainSince(uint64_t mark) {
+std::vector<SpanRecord> TraceCollector::DrainSince(uint64_t mark,
+                                                   uint64_t trace_id) {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -94,10 +118,25 @@ std::vector<SpanRecord> TraceCollector::DrainSince(uint64_t mark) {
   std::vector<SpanRecord> out;
   for (const std::shared_ptr<ThreadBuffer>& buffer : buffers) {
     std::lock_guard<std::mutex> lock(buffer->mu);
-    for (SpanRecord& record : buffer->records) {
-      if (record.seq >= mark) out.push_back(std::move(record));
+    if (trace_id == 0) {
+      for (SpanRecord& record : buffer->records) {
+        if (record.seq >= mark) out.push_back(std::move(record));
+      }
+      buffer->records.clear();
+    } else {
+      // Surgical drain: take only this trace's spans, keep the rest
+      // buffered for the captures that own them.
+      auto keep = buffer->records.begin();
+      for (SpanRecord& record : buffer->records) {
+        if (record.seq >= mark && record.trace_id == trace_id) {
+          out.push_back(std::move(record));
+        } else {
+          if (&*keep != &record) *keep = std::move(record);
+          ++keep;
+        }
+      }
+      buffer->records.erase(keep, buffer->records.end());
     }
-    buffer->records.clear();
   }
   std::sort(out.begin(), out.end(),
             [](const SpanRecord& a, const SpanRecord& b) {
@@ -122,7 +161,7 @@ TraceParentScope::TraceParentScope(uint64_t parent_id)
 TraceParentScope::~TraceParentScope() { t_current_span = previous_; }
 
 TraceSpan::TraceSpan(std::string_view name) {
-  if (!TraceEnabled()) return;
+  if (!SpanRecordingEnabled()) return;
   id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
   parent_ = t_current_span;
   t_current_span = id_;
@@ -140,6 +179,8 @@ TraceSpan::~TraceSpan() {
   record.name = std::move(name_);
   record.start_nanos = start_;
   record.duration_nanos = end - start_;
+  record.trace_id = t_binding.trace_id;
+  record.tid = CurrentThreadId();
   TraceCollector::Global().Record(std::move(record));
 }
 
@@ -203,8 +244,9 @@ std::string OperationProfile::Render() const {
 OperationCapture::OperationCapture(std::string operation)
     : operation_(std::move(operation)),
       start_nanos_(NowNanos()),
+      trace_id_(t_binding.trace_id),
       metrics_on_(MetricsEnabled()),
-      trace_on_(TraceEnabled()) {
+      trace_on_(SpanRecordingEnabled()) {
   if (metrics_on_) before_ = MetricsRegistry::Global().Snapshot();
   if (trace_on_) {
     mark_ = TraceCollector::Global().Mark();
@@ -218,7 +260,7 @@ OperationProfile OperationCapture::Finish() {
   profile.operation = operation_;
   profile.elapsed_nanos = NowNanos() - start_nanos_;
   if (trace_on_) {
-    profile.spans = TraceCollector::Global().DrainSince(mark_);
+    profile.spans = TraceCollector::Global().DrainSince(mark_, trace_id_);
   }
   if (metrics_on_) {
     profile.counters =

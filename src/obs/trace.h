@@ -46,7 +46,45 @@ struct SpanRecord {
   uint64_t start_nanos = 0;     // NowNanos() at open
   uint64_t duration_nanos = 0;  // close - open
   uint64_t seq = 0;             // global close order, used by capture marks
+  uint64_t trace_id = 0;        // request trace this span belongs to (0 = none)
+  uint32_t tid = 0;             // CurrentThreadId() of the recording thread
 };
+
+/// Small dense id for the calling thread (1, 2, 3, ... in first-use
+/// order). Stable for the thread's lifetime; used to place spans on real
+/// thread tracks in trace exports without leaking OS thread handles.
+uint32_t CurrentThreadId();
+
+/// The request-trace identity carried by the calling thread. `trace_id`
+/// tags every span the thread records; `force` enables span recording for
+/// this thread even when the global GEA_TRACE gate is off (how a sampled
+/// request captures its span tree without turning tracing on globally).
+struct TraceBinding {
+  uint64_t trace_id = 0;
+  bool force = false;
+};
+
+TraceBinding CurrentTraceBinding();
+
+/// Installs a TraceBinding for the scope's lifetime. The serve layer
+/// binds each request's trace id around execution; ParallelFor propagates
+/// the submitting thread's binding into pool workers alongside the parent
+/// span id, so chunk spans land in the right request trace.
+class TraceBindingScope {
+ public:
+  explicit TraceBindingScope(TraceBinding binding);
+  ~TraceBindingScope();
+
+  TraceBindingScope(const TraceBindingScope&) = delete;
+  TraceBindingScope& operator=(const TraceBindingScope&) = delete;
+
+ private:
+  TraceBinding previous_;
+};
+
+/// True when spans should be recorded on this thread: the global gate is
+/// on, or the current binding forces recording (sampled request).
+bool SpanRecordingEnabled();
 
 /// Collects finished spans into per-thread buffers (one uncontended mutex
 /// per thread; the global mutex is taken only when a new thread registers
@@ -64,9 +102,13 @@ class TraceCollector {
   /// A mark such that every span closed after this call has seq >= mark.
   uint64_t Mark();
 
-  /// Removes and returns every buffered span with seq >= mark, sorted by
-  /// (start_nanos, id). Spans closed before the mark are discarded.
-  std::vector<SpanRecord> DrainSince(uint64_t mark);
+  /// Removes and returns buffered spans with seq >= mark, sorted by
+  /// (start_nanos, id). With trace_id == 0 (the single-session workbench
+  /// path) this drains every buffer: spans closed before the mark are
+  /// discarded. With a nonzero trace_id only spans tagged with that trace
+  /// are removed; spans belonging to other concurrent requests stay
+  /// buffered for their own captures to drain.
+  std::vector<SpanRecord> DrainSince(uint64_t mark, uint64_t trace_id = 0);
 
   /// Appends `record` to the calling thread's buffer, assigning its seq.
   void Record(SpanRecord record);
@@ -158,6 +200,7 @@ class OperationCapture {
   std::string operation_;
   uint64_t start_nanos_ = 0;
   uint64_t mark_ = 0;
+  uint64_t trace_id_ = 0;  // binding at construction; filters the drain
   MetricsSnapshot before_;
   bool metrics_on_ = false;
   bool trace_on_ = false;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/net.h"
+#include "obs/clock.h"
 
 namespace gea::serve {
 
@@ -11,7 +12,11 @@ QueryClient::~QueryClient() { Close(); }
 QueryClient::QueryClient(QueryClient&& other) noexcept
     : fd_(other.fd_),
       next_request_id_(other.next_request_id_),
-      deadline_ms_(other.deadline_ms_) {
+      deadline_ms_(other.deadline_ms_),
+      tracing_(other.tracing_),
+      trace_id_base_(other.trace_id_base_),
+      last_timing_(other.last_timing_),
+      last_trace_id_(other.last_trace_id_) {
   other.fd_ = -1;
 }
 
@@ -21,6 +26,10 @@ QueryClient& QueryClient::operator=(QueryClient&& other) noexcept {
     fd_ = other.fd_;
     next_request_id_ = other.next_request_id_;
     deadline_ms_ = other.deadline_ms_;
+    tracing_ = other.tracing_;
+    trace_id_base_ = other.trace_id_base_;
+    last_timing_ = other.last_timing_;
+    last_trace_id_ = other.last_trace_id_;
     other.fd_ = -1;
   }
   return *this;
@@ -49,6 +58,19 @@ Result<Response> QueryClient::Call(const std::string& op,
   request.deadline_ms = deadline_ms_;
   request.op = op;
   request.params = std::move(params);
+  last_timing_.reset();
+  last_trace_id_ = 0;
+  if (tracing_) {
+    // Client-supplied trace ids: a per-client base (wall-ish entropy, so
+    // concurrent clients do not collide) XOR the monotonic request id.
+    if (trace_id_base_ == 0) {
+      trace_id_base_ = obs::NowNanos() | 1;  // never 0
+    }
+    TraceContext trace;
+    trace.trace_id = trace_id_base_ ^ (request.request_id << 1);
+    trace.sampled = true;
+    request.trace = trace;
+  }
 
   Status sent = WriteFrame(fd_, EncodeRequest(request));
   if (!sent.ok()) {
@@ -75,6 +97,8 @@ Result<Response> QueryClient::Call(const std::string& op,
         "response id mismatch: sent " + std::to_string(request.request_id) +
         ", got " + std::to_string(response->request_id));
   }
+  last_timing_ = response->timing;
+  last_trace_id_ = response->trace_id;
   return response;
 }
 

@@ -33,6 +33,19 @@ class QueryClient {
   /// (milliseconds from server receipt); 0 disables.
   void SetDeadlineMs(uint32_t deadline_ms) { deadline_ms_ = deadline_ms; }
 
+  /// When enabled, every request carries a trace context with the
+  /// sampled flag set: the server records it into its trace ring and
+  /// echoes the per-stage timing breakdown, exposed via LastTiming().
+  void SetTracing(bool enabled) { tracing_ = enabled; }
+  bool Tracing() const { return tracing_; }
+
+  /// The stage breakdown from the most recent response that carried one
+  /// (cleared by each Call), and its server-side trace id.
+  const std::optional<StageBreakdown>& LastTiming() const {
+    return last_timing_;
+  }
+  uint64_t LastTraceId() const { return last_trace_id_; }
+
   /// Sends `op` with `params` and waits for the response. Request ids
   /// are assigned internally and verified on the response. A transport
   /// error closes the connection (the stream is no longer trustworthy);
@@ -53,6 +66,10 @@ class QueryClient {
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
   uint32_t deadline_ms_ = 0;
+  bool tracing_ = false;
+  uint64_t trace_id_base_ = 0;  // lazily derived; trace_id = base ^ req id
+  std::optional<StageBreakdown> last_timing_;
+  uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace gea::serve

@@ -23,6 +23,27 @@ Response ErrorResponse(uint64_t request_id, const Status& status) {
 
 // ---- Payload codecs ----
 
+namespace {
+
+bool SupportedVersion(uint8_t version) {
+  return version >= kMinProtocolVersion && version <= kProtocolVersion;
+}
+
+/// The fixed-width timing block, in RequestStage order.
+void PutStageBreakdown(std::string* out, const StageBreakdown& timing) {
+  store::PutU64(out, timing.decode_nanos);
+  store::PutU64(out, timing.queue_nanos);
+  store::PutU64(out, timing.execute_nanos);
+  store::PutU64(out, timing.wal_append_nanos);
+  store::PutU64(out, timing.wal_fsync_nanos);
+  store::PutU64(out, timing.encode_nanos);
+  store::PutU64(out, timing.write_nanos);
+}
+
+constexpr size_t kTimingBlockBytes = kStageBreakdownSlots * 8;
+
+}  // namespace
+
 std::string EncodeRequest(const Request& request) {
   std::string out;
   store::PutU8(&out, kProtocolVersion);
@@ -34,17 +55,25 @@ std::string EncodeRequest(const Request& request) {
     store::PutString(&out, key);
     store::PutString(&out, value);
   }
+  if (request.trace.has_value()) {
+    store::PutU8(&out, 1);
+    store::PutU64(&out, request.trace->trace_id);
+    store::PutU8(&out, request.trace->sampled ? 1 : 0);
+  } else {
+    store::PutU8(&out, 0);
+  }
   return out;
 }
 
 Result<Request> DecodeRequest(std::string_view payload) {
   store::ByteReader reader(payload);
   GEA_ASSIGN_OR_RETURN(uint8_t version, reader.ReadU8());
-  if (version != kProtocolVersion) {
+  if (!SupportedVersion(version)) {
     return Status::InvalidArgument("unsupported protocol version " +
                                    std::to_string(version));
   }
   Request request;
+  request.wire_version = version;
   GEA_ASSIGN_OR_RETURN(request.request_id, reader.ReadU64());
   GEA_ASSIGN_OR_RETURN(request.deadline_ms, reader.ReadU32());
   GEA_ASSIGN_OR_RETURN(request.op, reader.ReadString());
@@ -54,6 +83,21 @@ Result<Request> DecodeRequest(std::string_view payload) {
     GEA_ASSIGN_OR_RETURN(std::string value, reader.ReadString());
     request.params[std::move(key)] = std::move(value);
   }
+  if (version >= 2) {
+    GEA_ASSIGN_OR_RETURN(uint8_t has_trace, reader.ReadU8());
+    if (has_trace == 1) {
+      TraceContext trace;
+      GEA_ASSIGN_OR_RETURN(trace.trace_id, reader.ReadU64());
+      GEA_ASSIGN_OR_RETURN(uint8_t sampled, reader.ReadU8());
+      if (sampled > 1) {
+        return Status::InvalidArgument("bad sampled flag in trace context");
+      }
+      trace.sampled = sampled == 1;
+      request.trace = trace;
+    } else if (has_trace != 0) {
+      return Status::InvalidArgument("bad has_trace flag in request");
+    }
+  }
   if (!reader.Done()) {
     return Status::InvalidArgument("trailing bytes after request payload");
   }
@@ -62,7 +106,7 @@ Result<Request> DecodeRequest(std::string_view payload) {
 
 std::string EncodeResponse(const Response& response) {
   std::string out;
-  store::PutU8(&out, kProtocolVersion);
+  store::PutU8(&out, response.wire_version);
   store::PutU64(&out, response.request_id);
   store::PutU8(&out, static_cast<uint8_t>(response.code));
   store::PutString(&out, response.message);
@@ -73,17 +117,27 @@ std::string EncodeResponse(const Response& response) {
   } else {
     store::PutU8(&out, 0);
   }
+  if (response.wire_version >= 2) {
+    store::PutU64(&out, response.trace_id);
+    if (response.timing.has_value()) {
+      store::PutU8(&out, 1);
+      PutStageBreakdown(&out, *response.timing);
+    } else {
+      store::PutU8(&out, 0);
+    }
+  }
   return out;
 }
 
 Result<Response> DecodeResponse(std::string_view payload) {
   store::ByteReader reader(payload);
   GEA_ASSIGN_OR_RETURN(uint8_t version, reader.ReadU8());
-  if (version != kProtocolVersion) {
+  if (!SupportedVersion(version)) {
     return Status::InvalidArgument("unsupported protocol version " +
                                    std::to_string(version));
   }
   Response response;
+  response.wire_version = version;
   GEA_ASSIGN_OR_RETURN(response.request_id, reader.ReadU64());
   GEA_ASSIGN_OR_RETURN(uint8_t code, reader.ReadU8());
   GEA_ASSIGN_OR_RETURN(response.code, StatusCodeFromWire(code));
@@ -97,10 +151,42 @@ Result<Response> DecodeResponse(std::string_view payload) {
   } else if (has_table != 0) {
     return Status::InvalidArgument("bad has_table flag in response");
   }
+  if (version >= 2) {
+    GEA_ASSIGN_OR_RETURN(response.trace_id, reader.ReadU64());
+    GEA_ASSIGN_OR_RETURN(uint8_t has_timing, reader.ReadU8());
+    if (has_timing == 1) {
+      StageBreakdown timing;
+      GEA_ASSIGN_OR_RETURN(timing.decode_nanos, reader.ReadU64());
+      GEA_ASSIGN_OR_RETURN(timing.queue_nanos, reader.ReadU64());
+      GEA_ASSIGN_OR_RETURN(timing.execute_nanos, reader.ReadU64());
+      GEA_ASSIGN_OR_RETURN(timing.wal_append_nanos, reader.ReadU64());
+      GEA_ASSIGN_OR_RETURN(timing.wal_fsync_nanos, reader.ReadU64());
+      GEA_ASSIGN_OR_RETURN(timing.encode_nanos, reader.ReadU64());
+      GEA_ASSIGN_OR_RETURN(timing.write_nanos, reader.ReadU64());
+      response.timing = timing;
+    } else if (has_timing != 0) {
+      return Status::InvalidArgument("bad has_timing flag in response");
+    }
+  }
   if (!reader.Done()) {
     return Status::InvalidArgument("trailing bytes after response payload");
   }
   return response;
+}
+
+bool PatchResponseTiming(std::string* payload, const StageBreakdown& timing) {
+  // v2 payloads with a timing block end in: u8 has_timing=1 | 7 x u64.
+  if (payload == nullptr || payload->size() < kTimingBlockBytes + 1) {
+    return false;
+  }
+  if (static_cast<uint8_t>((*payload)[0]) < 2) return false;
+  const size_t flag_at = payload->size() - kTimingBlockBytes - 1;
+  if (static_cast<uint8_t>((*payload)[flag_at]) != 1) return false;
+  std::string block;
+  block.reserve(kTimingBlockBytes);
+  PutStageBreakdown(&block, timing);
+  payload->replace(flag_at + 1, kTimingBlockBytes, block);
+  return true;
 }
 
 // ---- Framing ----

@@ -27,35 +27,86 @@ namespace gea::serve {
 /// torn or corrupted frame is detected and the connection is dropped
 /// instead of the server acting on garbage.
 ///
-/// Request payload:
+/// Request payload (version 2; version-1 frames stop after the params
+/// block and still decode):
 ///   u8  version
 ///   u64 request_id       echoed verbatim in the response
 ///   u32 deadline_ms      0 = no deadline; measured from receipt
 ///   str op               command name, e.g. "sql", "populate"
 ///   u32 nparams, then nparams x (str key, str value)
+///   u8  has_trace        v2+: 1 => a trace context follows
+///   u64 trace_id         client-supplied id (0 = server assigns one)
+///   u8  sampled          1 => force-sample this request server-side
 ///
-/// Response payload:
+/// Response payload (version 2; version-1 frames stop after the table
+/// block and still decode):
 ///   u8  version
 ///   u64 request_id
 ///   u8  status code      StatusCode numeric value
 ///   str message          status message (empty on OK)
 ///   str text             human-readable payload (explain, ping, ...)
 ///   u8  has_table        1 => store::EncodeTable bytes follow as a str
+///   u64 trace_id         v2+: the request's effective trace id (0 = none)
+///   u8  has_timing       v2+: 1 => a stage breakdown follows
+///   7 x u64              stage nanos, fixed width, in RequestStage order:
+///                        decode, queue_wait, execute, wal_append,
+///                        wal_fsync, encode, write
+///
+/// The timing block is fixed-width and last on purpose: the server
+/// encodes the response with zeros, measures the encode itself, then
+/// patches the trailing bytes in place before framing (the frame CRC is
+/// computed at write time). `write_nanos` is 0 on the wire — the time to
+/// write a response cannot be known before writing it — but is recorded
+/// with its real value in the server-side trace ring.
 ///
 /// Commands, parameters and their semantics are documented on
 /// QueryServer (server.h); the protocol layer is content-agnostic.
 
-inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr uint8_t kProtocolVersion = 2;
+/// Oldest version the decoders still accept.
+inline constexpr uint8_t kMinProtocolVersion = 1;
 
 /// Upper bound on one frame's payload; oversized frames are rejected at
 /// the framing layer before any allocation of that size happens.
 inline constexpr size_t kMaxPayloadBytes = 16u << 20;  // 16 MiB
+
+/// Wire-level trace context a client attaches to a request.
+struct TraceContext {
+  uint64_t trace_id = 0;  // 0 = let the server assign one
+  bool sampled = false;   // force-sample server-side (head sampling aside)
+};
+
+/// Server-side stage timing echoed in a v2 response, nanoseconds per
+/// stage in pipeline order. Matches obs::RequestStage.
+struct StageBreakdown {
+  uint64_t decode_nanos = 0;
+  uint64_t queue_nanos = 0;
+  uint64_t execute_nanos = 0;
+  uint64_t wal_append_nanos = 0;  // subset of execute
+  uint64_t wal_fsync_nanos = 0;   // subset of execute
+  uint64_t encode_nanos = 0;
+  uint64_t write_nanos = 0;  // always 0 on the wire; see layout note
+
+  /// Server-side pipeline total (WAL stages excluded — they are already
+  /// inside execute).
+  uint64_t TotalNanos() const {
+    return decode_nanos + queue_nanos + execute_nanos + encode_nanos +
+           write_nanos;
+  }
+};
+
+/// Number of u64 slots in the fixed-width wire timing block.
+inline constexpr size_t kStageBreakdownSlots = 7;
 
 struct Request {
   uint64_t request_id = 0;
   uint32_t deadline_ms = 0;  // 0 = no deadline
   std::string op;
   std::map<std::string, std::string> params;
+  std::optional<TraceContext> trace;  // v2+: request tracing opt-in
+  /// Version the frame was decoded from (DecodeRequest sets it); the
+  /// server answers in the same version so v1 peers keep working.
+  uint8_t wire_version = kProtocolVersion;
 };
 
 struct Response {
@@ -64,6 +115,10 @@ struct Response {
   std::string message;            // status message when code != kOk
   std::string text;               // optional human-readable payload
   std::optional<rel::Table> table;  // optional tabular payload
+  uint64_t trace_id = 0;          // v2+: effective trace id (0 = none)
+  std::optional<StageBreakdown> timing;  // v2+: stage breakdown
+  /// Version to encode as / the version the frame was decoded from.
+  uint8_t wire_version = kProtocolVersion;
 
   bool ok() const { return code == StatusCode::kOk; }
   /// The response's status: OK, or code+message.
@@ -80,6 +135,13 @@ Result<Request> DecodeRequest(std::string_view payload);
 
 std::string EncodeResponse(const Response& response);
 Result<Response> DecodeResponse(std::string_view payload);
+
+/// Rewrites the trailing fixed-width timing block of a v2 response
+/// payload that was encoded with a timing breakdown present. Returns
+/// false (payload untouched) if the payload is not a v2 response carrying
+/// a timing block. This is how the server stamps the encode stage's own
+/// duration after measuring it.
+bool PatchResponseTiming(std::string* payload, const StageBreakdown& timing);
 
 // ---- Framing over a socket ----
 

@@ -13,6 +13,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/statviews.h"
+#include "obs/trace.h"
 #include "sage/library.h"
 
 namespace gea::serve {
@@ -222,6 +223,20 @@ struct QueryServer::Connection {
   std::mutex write_mu;
   std::atomic<bool> authenticated{false};
   std::atomic<int> level{0};  // workbench::AccessLevel numeric value
+
+  /// Authenticated user name, for trace attribution ("" before login).
+  std::string User() {
+    std::lock_guard<std::mutex> lock(user_mu);
+    return user;
+  }
+  void SetUser(std::string name) {
+    std::lock_guard<std::mutex> lock(user_mu);
+    user = std::move(name);
+  }
+
+ private:
+  std::mutex user_mu;
+  std::string user;
 };
 
 struct QueryServer::Task {
@@ -230,6 +245,13 @@ struct QueryServer::Task {
   Clock::time_point received;
   Clock::time_point deadline;  // meaningful when has_deadline
   bool has_deadline = false;
+
+  // Request tracing (see obs/request_trace.h).
+  uint64_t trace_id = 0;          // 0 = not traced (may be tail-assigned)
+  bool sampled = false;           // head-sampled or client-forced
+  uint64_t decode_start_nanos = 0;
+  uint64_t decode_nanos = 0;
+  uint32_t reader_tid = 0;
 };
 
 // ---- Lifecycle ----
@@ -388,7 +410,9 @@ void QueryServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
     stats_->bytes_in.fetch_add(payload.size() + 8, std::memory_order_relaxed);
     BytesInCounter().Add(payload.size() + 8);
 
+    const uint64_t decode_start = obs::NowNanos();
     Result<Request> request = DecodeRequest(payload);
+    const uint64_t decode_nanos = obs::NowNanos() - decode_start;
     if (!request.ok()) {
       // The frame was intact but the payload is not a request we
       // understand; tell the client, then drop the stream.
@@ -404,6 +428,22 @@ void QueryServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
       task.has_deadline = true;
       task.deadline =
           task.received + std::chrono::milliseconds(task.request.deadline_ms);
+    }
+    task.decode_start_nanos = decode_start;
+    task.decode_nanos = decode_nanos;
+    task.reader_tid = obs::CurrentThreadId();
+    // Sampling: the client's sampled flag forces it; otherwise 1-in-N
+    // head sampling (GEA_TRACE_SAMPLE). A client-supplied trace id is
+    // kept either way so the response can echo it.
+    if (task.request.trace.has_value()) {
+      task.sampled =
+          task.request.trace->sampled || obs::SampleThisRequest();
+      task.trace_id = task.request.trace->trace_id != 0
+                          ? task.request.trace->trace_id
+                          : obs::NextTraceId();
+    } else {
+      task.sampled = obs::SampleThisRequest();
+      if (task.sampled) task.trace_id = obs::NextTraceId();
     }
 
     bool admitted = false;
@@ -470,6 +510,15 @@ void QueryServer::RunTask(Task task) {
   stats_->requests.fetch_add(1, std::memory_order_relaxed);
   RequestsCounter().Add(1);
 
+  // Stage accumulator for this request: the WAL attributes append/fsync
+  // time into it from below, the session contributes execution spans,
+  // and the slow-query log reads queue/fsync from it. Unsampled cost per
+  // stage stays one clock read + the accumulate branch.
+  obs::StageCollectorScope stage_scope;
+  obs::StageNanos& stages = stage_scope.stages();
+  stages[obs::RequestStage::kDecode] = task.decode_nanos;
+  stages[obs::RequestStage::kQueue] = queue_wait_nanos;
+
   Response response;
   if (task.has_deadline && start >= task.deadline) {
     // Expired while queued: reject before doing any work.
@@ -481,7 +530,13 @@ void QueryServer::RunTask(Task task) {
                                  std::to_string(task.request.deadline_ms) +
                                  " ms expired before execution"));
   } else {
+    // Bind the trace id (and, when sampled, forced span recording) to
+    // this thread for the execution; ParallelFor propagates it into pool
+    // helpers, so the whole span tree lands in this request's trace.
+    obs::TraceBindingScope binding({task.trace_id, task.sampled});
+    const uint64_t execute_start = obs::NowNanos();
     response = Execute(*task.conn, task.request);
+    stages[obs::RequestStage::kExecute] = obs::NowNanos() - execute_start;
     response.request_id = task.request.request_id;
   }
   if (!response.ok()) {
@@ -492,14 +547,75 @@ void QueryServer::RunTask(Task task) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                            start)
           .count());
-  (void)WriteResponse(*task.conn, response);
+
+  // Answer in the requester's protocol version; echo the trace id and —
+  // when the client sent a trace context — the stage breakdown
+  // (WriteResponse fills encode and patches the block in place).
+  response.wire_version = task.request.wire_version;
+  if (task.request.wire_version >= 2) {
+    response.trace_id = task.trace_id;
+    if (task.request.trace.has_value()) response.timing.emplace();
+  }
+  (void)WriteResponse(*task.conn, response, &stages);
+
+  PublishTrace(task, response, stage_scope);
 }
 
-Status QueryServer::WriteResponse(Connection& conn,
-                                  const Response& response) {
-  const std::string payload = EncodeResponse(response);
+void QueryServer::PublishTrace(Task& task, const Response& response,
+                               obs::StageCollectorScope& stage_scope) {
+  const uint64_t total_nanos = obs::NowNanos() - task.decode_start_nanos;
+  // Tail-sampling escape hatch: a request that crossed the slow-query
+  // threshold is recorded even when head sampling missed it (its span
+  // tree is empty — spans were never recorded — but stages are real).
+  bool slow = false;
+  if (!task.sampled) {
+    const std::optional<uint64_t> slow_ms = obs::SlowQueryThresholdMs();
+    slow = slow_ms.has_value() && total_nanos >= *slow_ms * 1000000ull;
+  }
+  if (!task.sampled && !slow) return;
+
+  obs::RequestTraceRecord record;
+  record.trace_id = task.trace_id != 0 ? task.trace_id : obs::NextTraceId();
+  record.request_id = task.request.request_id;
+  record.op = task.request.op;
+  record.user = task.conn->User();
+  record.status_code = static_cast<int>(response.code);
+  record.slow = slow;
+  record.start_nanos = task.decode_start_nanos;
+  record.total_nanos = total_nanos;
+  record.stages = stage_scope.stages();
+  record.reader_tid = task.reader_tid;
+  record.worker_tid = obs::CurrentThreadId();
+  record.spans = std::move(stage_scope.spans());
+  obs::RequestTraceRing::Global().Publish(std::move(record));
+}
+
+Status QueryServer::WriteResponse(Connection& conn, const Response& response,
+                                  obs::StageNanos* stages) {
+  const uint64_t encode_start = stages != nullptr ? obs::NowNanos() : 0;
+  std::string payload = EncodeResponse(response);
+  if (stages != nullptr) {
+    (*stages)[obs::RequestStage::kEncode] = obs::NowNanos() - encode_start;
+    if (response.timing.has_value()) {
+      // Stamp the measured stages into the trailing timing block. The
+      // write stage stays 0 on the wire (unknowable before the write);
+      // the trace ring gets its real value below.
+      StageBreakdown timing;
+      timing.decode_nanos = (*stages)[obs::RequestStage::kDecode];
+      timing.queue_nanos = (*stages)[obs::RequestStage::kQueue];
+      timing.execute_nanos = (*stages)[obs::RequestStage::kExecute];
+      timing.wal_append_nanos = (*stages)[obs::RequestStage::kWalAppend];
+      timing.wal_fsync_nanos = (*stages)[obs::RequestStage::kWalFsync];
+      timing.encode_nanos = (*stages)[obs::RequestStage::kEncode];
+      PatchResponseTiming(&payload, timing);
+    }
+  }
   std::lock_guard<std::mutex> lock(conn.write_mu);
+  const uint64_t write_start = stages != nullptr ? obs::NowNanos() : 0;
   Status status = WriteFrame(conn.fd, payload);
+  if (stages != nullptr) {
+    (*stages)[obs::RequestStage::kWrite] = obs::NowNanos() - write_start;
+  }
   if (status.ok()) {
     stats_->bytes_out.fetch_add(payload.size() + 8, std::memory_order_relaxed);
     BytesOutCounter().Add(payload.size() + 8);
@@ -574,6 +690,7 @@ Response QueryServer::Dispatch(Connection& conn, const Request& request) {
     if (!granted.ok()) return fail(granted.status());
     conn.level.store(static_cast<int>(*granted), std::memory_order_release);
     conn.authenticated.store(true, std::memory_order_release);
+    conn.SetUser(*user);
     response.text = "logged in as " + *user + " (" +
                     workbench::AccessLevelName(*granted) + ")";
     return response;
@@ -582,6 +699,7 @@ Response QueryServer::Dispatch(Connection& conn, const Request& request) {
   if (op == "logout") {
     conn.authenticated.store(false, std::memory_order_release);
     conn.level.store(0, std::memory_order_release);
+    conn.SetUser("");
     response.text = "logged out";
     return response;
   }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/request_trace.h"
 #include "serve/protocol.h"
 #include "workbench/session.h"
 
@@ -99,6 +100,17 @@ struct ServerOptions {
 ///
 /// Boolean params accept "1"/"true"; absent means false.
 ///
+/// ## Request tracing
+///
+/// Every request's pipeline stages (decode, queue wait, execute, WAL
+/// append/fsync, encode, write) are clocked; a v2 request carrying a
+/// trace context gets the breakdown echoed in its response. Sampled
+/// requests — client sampled flag, GEA_TRACE_SAMPLE 1-in-N head
+/// sampling, or the slow-query tail escape hatch — are published as
+/// RequestTraceRecords (with the execution span tree when span-sampled)
+/// into obs::RequestTraceRing, which feeds the gea_stat_requests view
+/// and /tracez?format=chrome. See obs/request_trace.h.
+///
 /// ## Metrics
 ///
 /// Counters gea.serve.{requests,errors,rejected_queue_full,
@@ -155,7 +167,15 @@ class QueryServer {
   void RunTask(Task task);
   Response Execute(Connection& conn, const Request& request);
   Response Dispatch(Connection& conn, const Request& request);
-  Status WriteResponse(Connection& conn, const Response& response);
+  /// Encodes and writes one response. With `stages`, measures the encode
+  /// and write stages into it and patches the response's wire timing
+  /// block (when present) before framing.
+  Status WriteResponse(Connection& conn, const Response& response,
+                       obs::StageNanos* stages = nullptr);
+  /// Publishes the finished request into the global trace ring when it
+  /// was sampled (or crossed the slow-query threshold).
+  void PublishTrace(Task& task, const Response& response,
+                    obs::StageCollectorScope& stage_scope);
 
   workbench::AnalysisSession* session_;
   ServerOptions options_;

@@ -10,6 +10,8 @@
 //   sql <query...>            rest of the line is the SQL text
 //   <op> [key=value ...]      any protocol command, e.g.:
 //                             aggregate enum=Brain out=Brain_SUMY
+//   \timing [on|off]          print the server's per-stage latency
+//                             breakdown after each command
 //   help | quit
 //
 // Tables render through rel::Table::ToText; a non-OK response prints
@@ -42,7 +44,24 @@ void PrintHelp() {
                "  <op> [key=value ...]   (ping, tables, explain, aggregate,\n"
                "                          populate, diff, top_gap, mine,\n"
                "                          checkpoint, ...)\n"
+               "  \\timing [on|off]       server stage breakdown per command\n"
                "  help, quit\n";
+}
+
+void PrintTiming(const QueryClient& client) {
+  const std::optional<gea::serve::StageBreakdown>& timing =
+      client.LastTiming();
+  if (!timing.has_value()) return;
+  auto ms = [](uint64_t nanos) { return static_cast<double>(nanos) / 1e6; };
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "Time: %.3f ms (decode %.3f, queue %.3f, execute %.3f, "
+                "wal-append %.3f, wal-fsync %.3f, encode %.3f)\n",
+                ms(timing->TotalNanos()), ms(timing->decode_nanos),
+                ms(timing->queue_nanos), ms(timing->execute_nanos),
+                ms(timing->wal_append_nanos), ms(timing->wal_fsync_nanos),
+                ms(timing->encode_nanos));
+  std::cout << line;
 }
 
 void PrintResponse(const Response& response) {
@@ -109,6 +128,22 @@ int main(int argc, char** argv) {
       PrintHelp();
       continue;
     }
+    if (op == "\\timing") {
+      std::string mode;
+      in >> mode;
+      if (mode.empty()) {
+        client.SetTracing(!client.Tracing());
+      } else if (mode == "on") {
+        client.SetTracing(true);
+      } else if (mode == "off") {
+        client.SetTracing(false);
+      } else {
+        std::cout << "ERROR InvalidArgument: \\timing [on|off]\n";
+        continue;
+      }
+      std::cout << "Timing is " << (client.Tracing() ? "on" : "off") << ".\n";
+      continue;
+    }
 
     std::map<std::string, std::string> params;
     if (op == "sql") {
@@ -154,6 +189,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     PrintResponse(*response);
+    if (client.Tracing()) PrintTiming(client);
   }
   return 0;
 }

@@ -4,6 +4,8 @@
 
 #include "common/crc32.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "obs/trace.h"
 #include "store/format.h"
 
 namespace gea::store {
@@ -120,9 +122,27 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(FileEnv* env,
 
 Status WalWriter::Append(const WalRecord& record) {
   const std::string framed = EncodeWalRecord(record);
-  GEA_RETURN_IF_ERROR(file_->Append(framed));
+  // Stage attribution: WAL appends run synchronously on the worker
+  // thread executing a served request, so the active stage collector
+  // (if any) charges this commit's append and fsync to that request.
+  const bool attribute = obs::StageCollectionActive();
+  {
+    obs::TraceSpan append_span("wal_append");
+    const uint64_t append_start = attribute ? obs::NowNanos() : 0;
+    GEA_RETURN_IF_ERROR(file_->Append(framed));
+    if (attribute) {
+      obs::AddStageNanos(obs::RequestStage::kWalAppend,
+                         obs::NowNanos() - append_start);
+    }
+  }
   if (sync_every_record_) {
+    obs::TraceSpan fsync_span("wal_fsync");
+    const uint64_t fsync_start = attribute ? obs::NowNanos() : 0;
     GEA_RETURN_IF_ERROR(file_->Sync());
+    if (attribute) {
+      obs::AddStageNanos(obs::RequestStage::kWalFsync,
+                         obs::NowNanos() - fsync_start);
+    }
   }
   records_ += 1;
   bytes_ += framed.size();

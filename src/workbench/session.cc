@@ -7,6 +7,7 @@
 #include "core/serialization.h"
 #include "obs/export.h"
 #include "obs/log.h"
+#include "obs/request_trace.h"
 #include "obs/server.h"
 #include "rel/sql.h"
 #include "rel/table_io.h"
@@ -931,6 +932,11 @@ void AnalysisSession::ExportTelemetry(
   telemetry_.RecordOperation(entry.operation, entry.elapsed_nanos, entry.ok,
                              slow);
   obs::PublishProfile(profile);
+  // When a served request is collecting stages on this thread, hand it
+  // the execution span tree so the request trace ring gets real spans.
+  if (obs::StageCollectionActive()) {
+    obs::ContributeRequestSpans(profile.spans);
+  }
 
   if (!slow) return;
   obs::LogRecord record(obs::LogLevel::kWarn, "slow_query");
@@ -939,6 +945,14 @@ void AnalysisSession::ExportTelemetry(
       .F64("elapsed_ms", static_cast<double>(entry.elapsed_nanos) / 1e6)
       .U64("threshold_ms", *slow_ms)
       .Bool("ok", entry.ok);
+  if (obs::StageCollectionActive()) {
+    // Served request: attribute the slow time — admission backlog vs.
+    // commit stalls — using the request's stage accumulator.
+    record.U64("queue_wait_ns",
+               obs::CollectedStageNanos(obs::RequestStage::kQueue));
+    record.U64("wal_fsync_ns",
+               obs::CollectedStageNanos(obs::RequestStage::kWalFsync));
+  }
   if (!entry.ok) record.Str("error", entry.error);
   if (current_user_.has_value()) record.Str("user", *current_user_);
   if (!profile.counters.empty()) {

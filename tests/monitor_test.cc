@@ -11,10 +11,12 @@
 
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "obs/export.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/server.h"
 #include "obs/trace.h"
 
@@ -150,6 +152,71 @@ TEST(MonitorRoutingTest, TracezReflectsLastPublishedProfile) {
   std::optional<OperationProfile> last = LastPublishedProfile();
   ASSERT_TRUE(last.has_value());
   EXPECT_EQ(last->operation, "populate");
+}
+
+TEST(MonitorRoutingTest, ParseRequestQuery) {
+  EXPECT_EQ(internal::ParseRequestQuery("GET /tracez?n=5 HTTP/1.1\r\n"),
+            "n=5");
+  EXPECT_EQ(internal::ParseRequestQuery(
+                "GET /tracez?format=chrome&n=2 HTTP/1.1\r\n"),
+            "format=chrome&n=2");
+  EXPECT_EQ(internal::ParseRequestQuery("GET /tracez HTTP/1.1\r\n"), "");
+  EXPECT_EQ(internal::ParseRequestQuery("garbage"), "");
+}
+
+TEST(MonitorRoutingTest, TracezRingServesLastN) {
+  for (int i = 0; i < 3; ++i) {
+    OperationProfile profile;
+    profile.operation = "op" + std::to_string(i);
+    profile.elapsed_nanos = 100 + i;
+    PublishProfile(profile);
+  }
+
+  internal::HttpResponse two = internal::HandlePath("/tracez", "n=2");
+  EXPECT_EQ(two.status, 200);
+  std::string error;
+  ASSERT_TRUE(internal::ValidateJson(two.body, &error)) << error;
+  // Newest first, and op0 is beyond the requested window.
+  const size_t newest = two.body.find("\"operation\":\"op2\"");
+  const size_t older = two.body.find("\"operation\":\"op1\"");
+  ASSERT_NE(newest, std::string::npos);
+  ASSERT_NE(older, std::string::npos);
+  EXPECT_LT(newest, older);
+  EXPECT_EQ(two.body.find("\"operation\":\"op0\""), std::string::npos);
+
+  // RecentProfiles mirrors the payload.
+  std::vector<OperationProfile> recent = RecentProfiles(2);
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].operation, "op2");
+  EXPECT_EQ(recent[1].operation, "op1");
+
+  // A bad n is a 400, not a crash or a silent default.
+  EXPECT_EQ(internal::HandlePath("/tracez", "n=bogus").status, 400);
+}
+
+TEST(MonitorRoutingTest, TracezChromeFormatRendersRequestRing) {
+  RequestTraceRing& ring = RequestTraceRing::Global();
+  ring.Clear();
+  RequestTraceRecord record;
+  record.trace_id = 7;
+  record.request_id = 1;
+  record.op = "ping";
+  record.start_nanos = 1000;
+  record.stages[RequestStage::kDecode] = 10;
+  record.stages[RequestStage::kExecute] = 50;
+  record.reader_tid = 1;
+  record.worker_tid = 2;
+  ring.Publish(std::move(record));
+
+  internal::HttpResponse chrome =
+      internal::HandlePath("/tracez", "format=chrome");
+  EXPECT_EQ(chrome.status, 200);
+  EXPECT_EQ(chrome.content_type, "application/json");
+  std::string error;
+  ASSERT_TRUE(internal::ValidateJson(chrome.body, &error)) << error;
+  EXPECT_NE(chrome.body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.body.find("\"name\":\"ping\""), std::string::npos);
+  ring.Clear();
 }
 
 // ---------- End-to-end over a real socket ----------

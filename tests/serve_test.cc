@@ -87,6 +87,151 @@ TEST(ProtocolTest, UnknownWireStatusCodeRejected) {
   EXPECT_EQ(*deadline, StatusCode::kDeadlineExceeded);
 }
 
+// ---------- Trace context & stage timing (protocol v2) ----------
+
+TEST(ProtocolTest, RequestTraceContextRoundTrip) {
+  Request request;
+  request.request_id = 5;
+  request.op = "ping";
+  TraceContext trace;
+  trace.trace_id = 0xdeadbeefcafe;
+  trace.sampled = true;
+  request.trace = trace;
+
+  Result<Request> decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->wire_version, kProtocolVersion);
+  ASSERT_TRUE(decoded->trace.has_value());
+  EXPECT_EQ(decoded->trace->trace_id, 0xdeadbeefcafeu);
+  EXPECT_TRUE(decoded->trace->sampled);
+
+  // Absent context stays absent.
+  request.trace.reset();
+  decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->trace.has_value());
+}
+
+TEST(ProtocolTest, Version1RequestStillDecodes) {
+  // A v1 frame hand-rolled byte by byte: it ends right after the params
+  // block, with no trace flag.
+  std::string payload;
+  store::PutU8(&payload, 1);
+  store::PutU64(&payload, 77);   // request_id
+  store::PutU32(&payload, 125);  // deadline_ms
+  store::PutString(&payload, "aggregate");
+  store::PutU32(&payload, 1);  // nparams
+  store::PutString(&payload, "enum");
+  store::PutString(&payload, "Brain");
+
+  Result<Request> decoded = DecodeRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->wire_version, 1);
+  EXPECT_EQ(decoded->request_id, 77u);
+  EXPECT_EQ(decoded->deadline_ms, 125u);
+  EXPECT_EQ(decoded->op, "aggregate");
+  EXPECT_FALSE(decoded->trace.has_value());
+}
+
+TEST(ProtocolTest, Version1ResponseStillDecodes) {
+  // v1 responses end right after the table block.
+  std::string payload;
+  store::PutU8(&payload, 1);
+  store::PutU64(&payload, 77);  // request_id
+  store::PutU8(&payload, 0);    // status: OK
+  store::PutString(&payload, "");
+  store::PutString(&payload, "pong");
+  store::PutU8(&payload, 0);  // has_table
+
+  Result<Response> decoded = DecodeResponse(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->wire_version, 1);
+  EXPECT_EQ(decoded->text, "pong");
+  EXPECT_EQ(decoded->trace_id, 0u);
+  EXPECT_FALSE(decoded->timing.has_value());
+}
+
+TEST(ProtocolTest, ServerEncodesInRequestersVersion) {
+  Response response;
+  response.request_id = 9;
+  response.text = "pong";
+  response.trace_id = 1234;
+  response.wire_version = 1;
+  // v1 encoding drops the trace/timing tail entirely.
+  std::string payload = EncodeResponse(response);
+  EXPECT_EQ(static_cast<uint8_t>(payload[0]), 1);
+  Result<Response> decoded = DecodeResponse(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->wire_version, 1);
+  EXPECT_EQ(decoded->trace_id, 0u);
+  EXPECT_FALSE(decoded->timing.has_value());
+}
+
+TEST(ProtocolTest, PatchResponseTimingStampsTrailingBlock) {
+  Response response;
+  response.request_id = 3;
+  response.trace_id = 42;
+  response.timing.emplace();  // encoded as zeros, patched below
+
+  std::string payload = EncodeResponse(response);
+  StageBreakdown timing;
+  timing.decode_nanos = 1000;
+  timing.queue_nanos = 2000;
+  timing.execute_nanos = 3000;
+  timing.wal_append_nanos = 400;
+  timing.wal_fsync_nanos = 500;
+  timing.encode_nanos = 6000;
+  ASSERT_TRUE(PatchResponseTiming(&payload, timing));
+
+  Result<Response> decoded = DecodeResponse(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->trace_id, 42u);
+  ASSERT_TRUE(decoded->timing.has_value());
+  EXPECT_EQ(decoded->timing->decode_nanos, 1000u);
+  EXPECT_EQ(decoded->timing->queue_nanos, 2000u);
+  EXPECT_EQ(decoded->timing->execute_nanos, 3000u);
+  EXPECT_EQ(decoded->timing->wal_append_nanos, 400u);
+  EXPECT_EQ(decoded->timing->wal_fsync_nanos, 500u);
+  EXPECT_EQ(decoded->timing->encode_nanos, 6000u);
+  EXPECT_EQ(decoded->timing->TotalNanos(), 1000u + 2000u + 3000u + 6000u);
+}
+
+TEST(ProtocolTest, PatchResponseTimingRefusesNonTimingPayloads) {
+  StageBreakdown timing;
+  // No timing block present.
+  Response bare;
+  bare.request_id = 1;
+  std::string payload = EncodeResponse(bare);
+  std::string before = payload;
+  EXPECT_FALSE(PatchResponseTiming(&payload, timing));
+  EXPECT_EQ(payload, before);
+
+  // v1 payloads never carry one.
+  Response v1;
+  v1.wire_version = 1;
+  v1.timing.emplace();
+  payload = EncodeResponse(v1);
+  before = payload;
+  EXPECT_FALSE(PatchResponseTiming(&payload, timing));
+  EXPECT_EQ(payload, before);
+
+  // Too short to hold the block at all.
+  std::string tiny = "\x02";
+  EXPECT_FALSE(PatchResponseTiming(&tiny, timing));
+}
+
+TEST(ProtocolTest, MalformedTraceFlagsRejected) {
+  Request request;
+  request.op = "ping";
+  TraceContext trace;
+  trace.sampled = true;
+  request.trace = trace;
+  std::string payload = EncodeRequest(request);
+  // Corrupt the trailing sampled flag (must be 0/1).
+  payload[payload.size() - 1] = 7;
+  EXPECT_FALSE(DecodeRequest(payload).ok());
+}
+
 // ---------- Framing over a socketpair ----------
 
 class FramingTest : public testing::Test {

@@ -180,8 +180,8 @@ TEST(StatViewsTest, RegisteredViewsAreLiveAndReadOnly) {
   ScopedMetricsEnable on(true);
   rel::Catalog catalog;
   ASSERT_TRUE(RegisterStatViews(catalog).ok());
-  // Five obs views plus gea_stat_storage registered by gea_store.
-  EXPECT_EQ(catalog.NumTables(), 6u);
+  // Six obs views plus gea_stat_storage registered by gea_store.
+  EXPECT_EQ(catalog.NumTables(), 7u);
   EXPECT_TRUE(catalog.IsComputed("gea_stat_counters"));
   EXPECT_TRUE(catalog.IsComputed("gea_stat_storage"));
   EXPECT_TRUE(catalog.GetMutableTable("gea_stat_operators")
@@ -209,7 +209,47 @@ TEST(StatViewsTest, RegisteredViewsAreLiveAndReadOnly) {
 
 TEST(StatViewsTest, BuildStatViewRejectsUnknownName) {
   EXPECT_TRUE(BuildStatView("gea_stat_nope").status().IsNotFound());
-  EXPECT_EQ(AllStatViews().size(), 6u);
+  EXPECT_EQ(AllStatViews().size(), 7u);
+}
+
+TEST(StatViewsTest, RequestsTableRollsUpTheTraceRing) {
+  std::vector<RequestTraceRecord> records;
+  for (int i = 0; i < 4; ++i) {
+    RequestTraceRecord r;
+    r.op = "sql";
+    r.user = "admin";
+    r.status_code = 0;  // OK
+    r.total_nanos = 2'000'000;  // 2 ms
+    r.slow = (i == 0);
+    records.push_back(std::move(r));
+  }
+  RequestTraceRecord denied;
+  denied.op = "sql";
+  denied.user = "reader";
+  denied.status_code = static_cast<int>(StatusCode::kPermissionDenied);
+  denied.total_nanos = 1'000'000;
+  records.push_back(std::move(denied));
+
+  rel::Table table = StatRequestsTable(records);
+  EXPECT_EQ(table.name(), "gea_stat_requests");
+  ASSERT_EQ(table.NumRows(), 2u);  // (sql, OK, admin) and (sql, denied, reader)
+  ASSERT_EQ(table.schema().NumColumns(), 9u);
+
+  // Rows sort by (op, status, user): "OK" < "PermissionDenied".
+  EXPECT_EQ(table.At(0, 0).AsString(), "sql");
+  EXPECT_EQ(table.At(0, 1).AsString(), "OK");
+  EXPECT_EQ(table.At(0, 2).AsString(), "admin");
+  EXPECT_EQ(table.At(0, 3).AsInt(), 4);  // count
+  EXPECT_EQ(table.At(0, 4).AsInt(), 1);  // slow
+  EXPECT_DOUBLE_EQ(table.At(0, 5).AsDouble(), 2.0);  // mean_ms
+  // Quantiles are power-of-two bucket upper bounds covering 2 ms.
+  EXPECT_GE(table.At(0, 6).AsDouble(), 2.0);  // p50_ms
+  EXPECT_LE(table.At(0, 6).AsDouble(), 4.2);
+  EXPECT_DOUBLE_EQ(table.At(0, 6).AsDouble(), table.At(0, 8).AsDouble());
+
+  EXPECT_EQ(table.At(1, 1).AsString(), "PermissionDenied");
+  EXPECT_EQ(table.At(1, 2).AsString(), "reader");
+  EXPECT_EQ(table.At(1, 3).AsInt(), 1);
 }
 
 // ---------- JSON rendering ----------
