@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sage/cleaning.h"
 #include "sage/generator.h"
 #include "serve/client.h"
@@ -39,6 +40,8 @@ serve::QueryServer& Server() {
     (void)session->Login("admin", "secret",
                          workbench::AccessLevel::kAdministrator);
     (void)session->LoadDataSet(std::move(synth.dataset));
+    // The brain ENUM backs BM_ServeMixed's writers (aggregate replace=1).
+    (void)session->CreateTissueDataSet(sage::TissueType::kBrain);
 
     serve::ServerOptions options;
     options.num_workers = 16;
@@ -121,5 +124,88 @@ void BM_ServeSqlScan(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeSqlScan)->Threads(1)->Threads(4)->Threads(16)
     ->UseRealTime();
+
+/// Bucket-wise difference of one named histogram between two registry
+/// snapshots — the lock-wait distribution for exactly this benchmark run.
+obs::HistogramValue DeltaHistogram(const obs::MetricsSnapshot& before,
+                                   const obs::MetricsSnapshot& after,
+                                   const std::string& name) {
+  obs::HistogramValue delta;
+  delta.name = name;
+  const auto find = [&name](const obs::MetricsSnapshot& snapshot)
+      -> const obs::HistogramValue* {
+    for (const obs::HistogramValue& h : snapshot.histograms) {
+      if (h.name == name) return &h;
+    }
+    return nullptr;
+  };
+  const obs::HistogramValue* b = find(before);
+  const obs::HistogramValue* a = find(after);
+  if (a == nullptr) return delta;
+  delta.count = a->count - (b != nullptr ? b->count : 0);
+  delta.sum = a->sum - (b != nullptr ? b->sum : 0);
+  for (size_t i = 0; i < obs::kHistogramBuckets; ++i) {
+    delta.buckets[i] = a->buckets[i] - (b != nullptr ? b->buckets[i] : 0);
+  }
+  return delta;
+}
+
+// The contention profile: every 4th client thread is a writer
+// (aggregate replace=1, which holds the session lock exclusively), the
+// rest are readers (SQL scans under the shared lock). Reports the
+// session-lock wait count and p50/p99 for the run from the
+// SharedTimedMutex histograms, alongside the usual request latency
+// percentiles. On the small bench panel both ops hold the lock for
+// single-digit microseconds, so near-zero lock_waits is the expected
+// healthy reading — the row exists to catch the day that stops being
+// true. The delta is snapshotted when client thread 0 finishes, so a
+// tail of waits from still-running threads can be missed.
+//
+// Registered last on purpose: the leaked ScopedMetricsEnable below
+// turns metrics on for the remainder of the process, and the earlier
+// benchmarks must keep measuring the metrics-off fast path.
+void BM_ServeMixed(benchmark::State& state) {
+  static obs::ScopedMetricsEnable* metrics =
+      new obs::ScopedMetricsEnable(true);
+  (void)metrics;
+  static obs::MetricsSnapshot before;
+  if (state.thread_index() == 0) {
+    before = obs::MetricsRegistry::Global().Snapshot();
+  }
+
+  const bool writer = state.thread_index() % 4 == 0;
+  RunServeBench(state, [writer](serve::QueryClient& client) {
+    if (writer) {
+      return client
+          .Call("aggregate", {{"enum", "brain"},
+                              {"out", "BenchMixedSumy"},
+                              {"replace", "1"}})
+          .ok();
+    }
+    return client.Sql("SELECT * FROM Libraries").ok();
+  });
+
+  if (state.thread_index() == 0) {
+    const obs::MetricsSnapshot after =
+        obs::MetricsRegistry::Global().Snapshot();
+    obs::HistogramValue reads =
+        DeltaHistogram(before, after, "gea.lock.session.read_wait_nanos");
+    const obs::HistogramValue writes =
+        DeltaHistogram(before, after, "gea.lock.session.write_wait_nanos");
+    // Merge both directions into one wait distribution.
+    reads.count += writes.count;
+    reads.sum += writes.sum;
+    for (size_t i = 0; i < obs::kHistogramBuckets; ++i) {
+      reads.buckets[i] += writes.buckets[i];
+    }
+    state.counters["lock_waits"] =
+        benchmark::Counter(static_cast<double>(reads.count));
+    state.counters["lock_wait_p50_ms"] = benchmark::Counter(
+        static_cast<double>(reads.ApproxQuantile(0.50)) / 1e6);
+    state.counters["lock_wait_p99_ms"] = benchmark::Counter(
+        static_cast<double>(reads.ApproxQuantile(0.99)) / 1e6);
+  }
+}
+BENCHMARK(BM_ServeMixed)->Threads(4)->Threads(16)->UseRealTime();
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace gea {
@@ -267,6 +268,10 @@ void ParallelFor(size_t begin, size_t end, size_t min_grain,
   // the caller's trace binding so they land in the right request trace.
   const uint64_t parent_span = obs::CurrentSpanId();
   const obs::TraceBinding trace_binding = obs::CurrentTraceBinding();
+  // The caller's memory account (if any) follows the same rules as the
+  // trace binding: every chunk finishes before ParallelFor returns, so
+  // the raw pointer never outlives the frame that owns the account.
+  obs::MemoryAccount* const memory_account = obs::CurrentMemoryAccount();
   const bool metrics = obs::MetricsEnabled();
 
   struct State {
@@ -319,11 +324,13 @@ void ParallelFor(size_t begin, size_t end, size_t min_grain,
   const size_t helpers =
       pool == nullptr ? 0 : std::min(chunks - 1, pool->NumThreads());
   for (size_t h = 0; h < helpers; ++h) {
-    pool->Submit([state, run_chunk, chunks, parent_span, trace_binding] {
+    pool->Submit([state, run_chunk, chunks, parent_span, trace_binding,
+                  memory_account] {
       bool was_in_region = t_in_parallel_region;
       t_in_parallel_region = true;
       obs::TraceParentScope parent_scope(parent_span);
       obs::TraceBindingScope binding_scope(trace_binding);
+      obs::MemoryAccountScope account_scope(memory_account);
       for (;;) {
         const size_t c = state->next.fetch_add(1, std::memory_order_relaxed);
         if (c >= chunks) break;

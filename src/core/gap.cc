@@ -7,9 +7,27 @@
 #include "common/thread_pool.h"
 #include "core/kernels.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace gea::core {
+
+namespace {
+
+/// Bytes held by a gap table's columnar arrays (tags + per-column
+/// values/validity), charged to the bound memory account at build time.
+uint64_t GapPayloadBytes(const std::vector<sage::TagId>& tags,
+                         const std::vector<std::vector<double>>& values,
+                         const std::vector<std::vector<uint8_t>>& valid) {
+  uint64_t bytes = tags.size() * sizeof(sage::TagId);
+  for (const std::vector<double>& column : values) {
+    bytes += column.size() * sizeof(double);
+  }
+  for (const std::vector<uint8_t>& column : valid) bytes += column.size();
+  return bytes;
+}
+
+}  // namespace
 
 Result<GapTable> GapTable::Create(std::string name,
                                   std::vector<std::string> gap_columns,
@@ -52,6 +70,8 @@ Result<GapTable> GapTable::Create(std::string name,
       table.valid_[c].push_back(g.has_value() ? 1 : 0);
     }
   }
+  obs::AccountAllocation(
+      GapPayloadBytes(table.tags_, table.values_, table.valid_));
   return table;
 }
 
@@ -79,6 +99,8 @@ GapTable GapTable::FromColumns(std::string name,
   table.tags_ = std::move(tags);
   table.values_ = std::move(values);
   table.valid_ = std::move(valid);
+  obs::AccountAllocation(
+      GapPayloadBytes(table.tags_, table.values_, table.valid_));
   return table;
 }
 

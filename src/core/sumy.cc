@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/resource.h"
+
 namespace gea::core {
 
 Result<SumyTable> SumyTable::Create(std::string name,
@@ -28,6 +30,7 @@ Result<SumyTable> SumyTable::Create(std::string name,
   }
   SumyTable table(std::move(name));
   table.entries_ = std::move(entries);
+  obs::AccountAllocation(table.entries_.size() * sizeof(SumyEntry));
   return table;
 }
 
@@ -41,6 +44,7 @@ SumyTable SumyTable::FromSortedEntries(std::string name,
 #endif
   SumyTable table(std::move(name));
   table.entries_ = std::move(entries);
+  obs::AccountAllocation(table.entries_.size() * sizeof(SumyEntry));
   return table;
 }
 

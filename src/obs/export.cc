@@ -5,9 +5,29 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/clock.h"
+
 namespace gea::obs {
 
 namespace {
+
+/// Steady-clock reading captured at this translation unit's dynamic
+/// initialization — effectively process start, which is all the
+/// gea_uptime_seconds gauge needs (only differences are meaningful).
+const uint64_t kProcessStartNanos = NowNanos();
+
+/// Keep in sync with the project() version in the top-level CMakeLists.
+constexpr const char* kGeaVersion = "1.0.0";
+
+const char* BuildArch() {
+#if defined(__x86_64__)
+  return "x86_64";
+#elif defined(__aarch64__)
+  return "aarch64";
+#else
+  return "unknown";
+#endif
+}
 
 std::string FormatDouble(double v) {
   char buf[64];
@@ -142,6 +162,18 @@ std::string RenderJsonLines(const MetricsSnapshot& snapshot) {
 
 std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
   std::string out;
+  // Build identity and uptime lead the exposition: always present (they
+  // do not depend on GEA_METRICS), so a scrape of an idle process still
+  // yields the node-exporter-style inventory pair.
+  out += "# TYPE gea_build_info gauge\n";
+  out += "gea_build_info{version=\"" + PrometheusLabelValue(kGeaVersion) +
+         "\",compiler=\"" + PrometheusLabelValue(__VERSION__) + "\",arch=\"" +
+         PrometheusLabelValue(BuildArch()) + "\"} 1\n";
+  out += "# TYPE gea_uptime_seconds gauge\n";
+  out += "gea_uptime_seconds " +
+         FormatDouble(static_cast<double>(NowNanos() - kProcessStartNanos) /
+                      1e9) +
+         "\n";
   for (const CounterValue& c : snapshot.counters) {
     const std::string name = PrometheusMetricName(c.name);
     out += "# TYPE " + name + " counter\n";

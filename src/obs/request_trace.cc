@@ -16,7 +16,7 @@ namespace {
 
 const char* const kStageNames[kRequestStageCount] = {
     "decode", "queue_wait", "execute", "wal_append",
-    "wal_fsync", "encode", "write",
+    "wal_fsync", "encode", "write", "lock_wait",
 };
 
 /// Active stage sink for this thread (innermost scope wins).
@@ -153,6 +153,54 @@ void RequestTraceRing::Clear() {
   next_.store(0, std::memory_order_relaxed);
 }
 
+// ---- InflightRegistry ----
+
+InflightRegistry& InflightRegistry::Global() {
+  static InflightRegistry* registry = new InflightRegistry();
+  return *registry;
+}
+
+uint64_t InflightRegistry::Register(InflightRequest info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t token = next_token_++;
+  info.token = token;
+  entries_[token] = std::move(info);
+  return token;
+}
+
+void InflightRegistry::Deregister(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(token);
+}
+
+std::vector<InflightRequest> InflightRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<InflightRequest> out;
+  out.reserve(entries_.size());
+  for (const auto& [_, entry] : entries_) out.push_back(entry);
+  return out;
+}
+
+bool InflightRegistry::Flag(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(token);
+  if (it == entries_.end() || it->second.flagged) return false;
+  it->second.flagged = true;
+  return true;
+}
+
+size_t InflightRegistry::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+ScopedInflightRequest::ScopedInflightRequest(InflightRequest info)
+    : token_(InflightRegistry::Global().Register(std::move(info))) {}
+
+ScopedInflightRequest::~ScopedInflightRequest() {
+  InflightRegistry::Global().Deregister(token_);
+}
+
 namespace {
 
 /// One trace event, pre-rendered except for ordering by timestamp.
@@ -243,6 +291,8 @@ std::string ChromeTraceJson(const std::vector<RequestTraceRecord>& records) {
         Appendf(args, ",\"%s_ns\":%" PRIu64,
                 kStageNames[i], st.nanos[i]);
       }
+      Appendf(args, ",\"alloc_bytes\":%" PRIu64 ",\"peak_bytes\":%" PRIu64,
+              r.alloc_bytes, r.peak_bytes);
       const uint64_t envelope =
           st[RequestStage::kQueue] + st[RequestStage::kExecute] +
           st[RequestStage::kEncode] + st[RequestStage::kWrite];
@@ -270,6 +320,14 @@ std::string ChromeTraceJson(const std::vector<RequestTraceRecord>& records) {
          SliceJson("stage", "execute", r.worker_tid, ToUs(exec_start, base),
                    DurUs(st[RequestStage::kExecute]),
                    StageArgs(r.trace_id, RequestStage::kExecute))});
+    if (st[RequestStage::kLockWait] > 0) {
+      events.push_back(
+          {ToUs(exec_start, base),
+           SliceJson("stage", "lock_wait", r.worker_tid,
+                     ToUs(exec_start, base),
+                     DurUs(st[RequestStage::kLockWait]),
+                     StageArgs(r.trace_id, RequestStage::kLockWait))});
+    }
     if (st[RequestStage::kWalAppend] > 0) {
       events.push_back(
           {ToUs(exec_start, base),

@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -39,11 +40,12 @@ enum class RequestStage : int {
   kWalFsync = 4,   // WAL fsync (subset of execute)
   kEncode = 5,   // Response struct -> payload bytes
   kWrite = 6,    // framed payload -> socket
+  kLockWait = 7,  // session-lock acquisition wait (subset of execute)
 };
-inline constexpr int kRequestStageCount = 7;
+inline constexpr int kRequestStageCount = 8;
 
 /// Lower-case stable stage name ("decode", "queue_wait", "execute",
-/// "wal_append", "wal_fsync", "encode", "write").
+/// "wal_append", "wal_fsync", "encode", "write", "lock_wait").
 const char* RequestStageName(RequestStage stage);
 
 /// Nanoseconds per stage, indexed by RequestStage.
@@ -131,6 +133,8 @@ struct RequestTraceRecord {
   uint64_t start_nanos = 0;  // NowNanos() when decode began
   uint64_t total_nanos = 0;  // decode start -> response written
   StageNanos stages;
+  uint64_t alloc_bytes = 0;  // bytes the execution allocated (accounted)
+  uint64_t peak_bytes = 0;   // high-water mark of live accounted bytes
   uint32_t reader_tid = 0;  // connection reader thread (decode)
   uint32_t worker_tid = 0;  // worker thread (execute/encode/write)
   std::vector<SpanRecord> spans;  // execution span tree; empty when the
@@ -177,6 +181,71 @@ class RequestTraceRing {
   size_t capacity_;
   std::unique_ptr<Slot[]> slots_;
   std::atomic<uint64_t> next_{0};
+};
+
+/// One request currently executing on a worker, as seen by the stalled-
+/// request watchdog (obs/timeseries.h). `mark` is TraceCollector::Mark()
+/// at registration, so the watchdog can snapshot the spans recorded so
+/// far without draining them from the request's own capture.
+struct InflightRequest {
+  uint64_t token = 0;     // registry handle (assigned by Register)
+  uint64_t trace_id = 0;  // 0 when the request is not sampled
+  std::string op;
+  std::string user;
+  uint64_t start_nanos = 0;  // NowNanos() at worker pickup
+  uint64_t mark = 0;         // trace-collector mark at registration
+  uint32_t worker_tid = 0;
+  bool flagged = false;  // the watchdog already logged this request
+};
+
+/// Registry of requests currently executing, so the watchdog can report
+/// a request that is *stuck* — something no after-the-fact ring can do.
+/// Registration is two map operations under one mutex per request; the
+/// watchdog reads a snapshot at its sampling cadence.
+class InflightRegistry {
+ public:
+  InflightRegistry() = default;
+
+  InflightRegistry(const InflightRegistry&) = delete;
+  InflightRegistry& operator=(const InflightRegistry&) = delete;
+
+  /// The process-wide registry (leaked at exit, like RequestTraceRing).
+  static InflightRegistry& Global();
+
+  /// Registers an executing request; returns its token (never 0).
+  uint64_t Register(InflightRequest info);
+  void Deregister(uint64_t token);
+
+  /// Copies the live entries (registration order not guaranteed).
+  std::vector<InflightRequest> Snapshot() const;
+
+  /// Marks `token` as watchdog-flagged. Returns true when this call was
+  /// the first to flag it (the caller should log), false when the entry
+  /// was already flagged or has finished — one log line per request.
+  bool Flag(uint64_t token);
+
+  size_t Size() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t next_token_ = 1;
+  std::map<uint64_t, InflightRequest> entries_;
+};
+
+/// RAII registration with the global registry for one request's
+/// execution window on the worker thread.
+class ScopedInflightRequest {
+ public:
+  explicit ScopedInflightRequest(InflightRequest info);
+  ~ScopedInflightRequest();
+
+  ScopedInflightRequest(const ScopedInflightRequest&) = delete;
+  ScopedInflightRequest& operator=(const ScopedInflightRequest&) = delete;
+
+  uint64_t token() const { return token_; }
+
+ private:
+  uint64_t token_;
 };
 
 /// Renders records as Chrome trace-event JSON ({"traceEvents": [...]}),

@@ -1,0 +1,30 @@
+#include "obs/resource.h"
+
+namespace gea::obs {
+
+namespace {
+
+thread_local MemoryAccount* t_account = nullptr;
+
+}  // namespace
+
+MemoryAccount* CurrentMemoryAccount() { return t_account; }
+
+bool MemoryAccountingActive() { return t_account != nullptr; }
+
+void AccountAllocation(uint64_t bytes) {
+  if (t_account != nullptr && bytes != 0) t_account->OnAlloc(bytes);
+}
+
+void AccountFree(uint64_t bytes) {
+  if (t_account != nullptr && bytes != 0) t_account->OnFree(bytes);
+}
+
+MemoryAccountScope::MemoryAccountScope(MemoryAccount* account)
+    : previous_(t_account) {
+  t_account = account;
+}
+
+MemoryAccountScope::~MemoryAccountScope() { t_account = previous_; }
+
+}  // namespace gea::obs

@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/request_trace.h"
 #include "obs/statviews.h"
+#include "obs/timeseries.h"
 
 namespace gea::obs {
 
@@ -161,6 +162,10 @@ HttpResponse HandlePath(const std::string& path, const std::string& query) {
   }
   if (path == "/statz") {
     response.content_type = "application/json";
+    if (QueryParam(query, "history") == std::optional<std::string>("1")) {
+      response.body = HistoryJson();
+      return response;
+    }
     response.body = StatViewsJson();
     return response;
   }

@@ -18,7 +18,8 @@ namespace gea::obs {
 ///
 ///   /healthz   liveness probe ("ok")
 ///   /metrics   Prometheus text exposition of the global registry
-///   /statz     the stat views as JSON
+///   /statz     the stat views as JSON; ?history=1 for the telemetry
+///              harvester's sample ring (obs/timeseries.h)
 ///   /tracez    the last published OperationProfile as JSON;
 ///              ?n=K for the last K profiles (newest first);
 ///              ?format=chrome for the request trace ring as

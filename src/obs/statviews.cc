@@ -8,6 +8,7 @@
 
 #include "common/thread_pool.h"
 #include "obs/export.h"
+#include "obs/timeseries.h"
 
 namespace gea::obs {
 
@@ -268,6 +269,9 @@ rel::Table StatRequestsTable(const std::vector<RequestTraceRecord>& records) {
     uint64_t count = 0;
     uint64_t slow = 0;
     HistogramValue latency;  // total_nanos, power-of-two buckets
+    uint64_t lock_wait_nanos = 0;  // summed; rendered as the group mean
+    uint64_t alloc_bytes = 0;      // summed
+    uint64_t peak_bytes = 0;       // group max
   };
   // std::map keys sort the output by (op, status, user) for free.
   std::map<std::tuple<std::string, std::string, std::string>, Group> groups;
@@ -280,6 +284,9 @@ rel::Table StatRequestsTable(const std::vector<RequestTraceRecord>& records) {
     g.latency.count += 1;
     g.latency.sum += r.total_nanos;
     g.latency.buckets[Histogram::BucketIndex(r.total_nanos)] += 1;
+    g.lock_wait_nanos += r.stages[RequestStage::kLockWait];
+    g.alloc_bytes += r.alloc_bytes;
+    g.peak_bytes = std::max(g.peak_bytes, r.peak_bytes);
   }
 
   rel::Table table(kStatRequestsView,
@@ -291,8 +298,15 @@ rel::Table StatRequestsTable(const std::vector<RequestTraceRecord>& records) {
                                 {"mean_ms", rel::ValueType::kDouble},
                                 {"p50_ms", rel::ValueType::kDouble},
                                 {"p95_ms", rel::ValueType::kDouble},
-                                {"p99_ms", rel::ValueType::kDouble}}));
+                                {"p99_ms", rel::ValueType::kDouble},
+                                {"lock_wait_ms", rel::ValueType::kDouble},
+                                {"alloc_bytes", rel::ValueType::kInt},
+                                {"peak_bytes", rel::ValueType::kInt}}));
   for (const auto& [key, g] : groups) {
+    const double lock_wait_mean_ms =
+        g.count == 0 ? 0.0
+                     : NanosToMillis(g.lock_wait_nanos) /
+                           static_cast<double>(g.count);
     table.AppendRowUnchecked(
         {rel::Value::String(std::get<0>(key)),
          rel::Value::String(std::get<1>(key)),
@@ -302,7 +316,10 @@ rel::Table StatRequestsTable(const std::vector<RequestTraceRecord>& records) {
          rel::Value::Double(g.latency.Mean() / 1e6),
          rel::Value::Double(NanosToMillis(g.latency.ApproxQuantile(0.50))),
          rel::Value::Double(NanosToMillis(g.latency.ApproxQuantile(0.95))),
-         rel::Value::Double(NanosToMillis(g.latency.ApproxQuantile(0.99)))});
+         rel::Value::Double(NanosToMillis(g.latency.ApproxQuantile(0.99))),
+         rel::Value::Double(lock_wait_mean_ms),
+         rel::Value::Int(SaturateToInt(g.alloc_bytes)),
+         rel::Value::Int(SaturateToInt(g.peak_bytes))});
   }
   return table;
 }
@@ -326,6 +343,9 @@ Result<rel::Table> BuildStatView(const std::string& name) {
   if (name == kStatRequestsView) {
     return StatRequestsTable(RequestTraceRing::Global().Snapshot());
   }
+  if (name == kStatHistoryView) {
+    return StatHistoryTable(TelemetryHistory::Global().Snapshot());
+  }
   std::function<rel::Table()> builder;
   {
     std::lock_guard<std::mutex> lock(ProvidersMutex());
@@ -342,7 +362,8 @@ namespace {
 std::vector<std::string> AllStatViewNames() {
   std::vector<std::string> names = {kStatCountersView, kStatHistogramsView,
                                     kStatOperatorsView, kStatSessionsView,
-                                    kStatThreadsView,   kStatRequestsView};
+                                    kStatThreadsView,   kStatRequestsView,
+                                    kStatHistoryView};
   std::lock_guard<std::mutex> lock(ProvidersMutex());
   for (const auto& [name, builder] : Providers()) names.push_back(name);
   return names;

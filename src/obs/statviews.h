@@ -40,6 +40,10 @@ inline constexpr const char* kStatStorageView = "gea_stat_storage";
 /// Registered by gea_serve: one row per live QueryServer (port, queue
 /// depth, admission rejections, bytes moved).
 inline constexpr const char* kStatServeView = "gea_stat_serve";
+/// Time-series metric samples from the telemetry harvester ring (see
+/// obs/timeseries.h): one row per (sample, metric) with value, delta and
+/// per-second rate.
+inline constexpr const char* kStatHistoryView = "gea_stat_history";
 
 /// Extension point: a higher layer contributes a stat view without obs
 /// linking against it (gea_store registers gea_stat_storage this way at
@@ -145,10 +149,13 @@ rel::Table StatSessionsTable(const std::vector<SessionStat>& stats);
 /// pool_queue_depth, plus the gea.pool.* / gea.parallel_for.* counters
 /// from `snapshot`. Never starts the pool.
 rel::Table StatThreadsTable(const MetricsSnapshot& snapshot);
-/// (op, status, user, count, slow, mean_ms, p50_ms, p95_ms, p99_ms) —
-/// one row per distinct (op, status, user) in the trace ring, sorted by
-/// that key. Quantiles come from a power-of-two latency histogram per
-/// group (bucket upper bounds, like gea_stat_histograms).
+/// (op, status, user, count, slow, mean_ms, p50_ms, p95_ms, p99_ms,
+/// lock_wait_ms, alloc_bytes, peak_bytes) — one row per distinct
+/// (op, status, user) in the trace ring, sorted by that key. Quantiles
+/// come from a power-of-two latency histogram per group (bucket upper
+/// bounds, like gea_stat_histograms); lock_wait_ms is the group mean,
+/// alloc_bytes the group sum, peak_bytes the group max — all exact for
+/// single-request groups, which the e2e agreement test relies on.
 rel::Table StatRequestsTable(const std::vector<RequestTraceRecord>& records);
 
 /// Builds the named stat view from the live global sources (registry,

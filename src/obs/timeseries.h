@@ -1,0 +1,176 @@
+#ifndef GEA_OBS_TIMESERIES_H_
+#define GEA_OBS_TIMESERIES_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "rel/table.h"
+
+namespace gea::obs {
+
+/// Time-series telemetry: a background harvester samples every counter,
+/// gauge and histogram in the global registry at a fixed cadence into a
+/// bounded in-memory ring, so "what changed in the last two minutes" is
+/// answerable from inside the process — via the gea_stat_history SQL
+/// view, /statz?history=1 on the monitor endpoint, or HistorySnapshot()
+/// directly. Counters additionally carry their per-interval delta and
+/// per-second rate; histograms expand to .count / .p50 / .p99 series.
+///
+/// The harvester thread doubles as the stalled-request watchdog: each
+/// tick it sweeps the InflightRegistry and logs one "stalled_request"
+/// record (with the request's span tree so far) for any request that has
+/// been executing past the watchdog threshold.
+///
+/// Enablement follows the GEA_MONITOR_PORT pattern: nothing runs unless
+/// asked, either programmatically (GlobalHarvester().Start(options)) or
+/// via GEA_STATS_INTERVAL_MS / GEA_WATCHDOG_MS (see StartHarvesterFromEnv,
+/// which AnalysisSession calls on construction).
+
+/// One metric's value at one harvest tick. `delta` is the change since
+/// the previous tick of the same series (0 at the series' first
+/// appearance); `rate` is delta per second of harvest interval, computed
+/// only for monotonic series (counters and histogram .count) and 0.0
+/// otherwise — gauges can move both ways, so a "rate" would be noise.
+struct SeriesPoint {
+  std::string name;
+  int64_t value = 0;
+  int64_t delta = 0;
+  double rate = 0.0;
+  bool monotonic = false;
+};
+
+/// All series sampled at one harvest tick. `sample_id` counts ticks from
+/// 1; `nanos` is NowNanos() at the tick (steady clock, like every other
+/// GEA timestamp).
+struct HistorySample {
+  uint64_t sample_id = 0;
+  uint64_t nanos = 0;
+  std::vector<SeriesPoint> points;  // sorted by name
+};
+
+/// The bounded sample ring. All methods are thread-safe (one mutex); a
+/// concurrent scrape always sees whole samples, never a tick mid-write.
+class TelemetryHistory {
+ public:
+  static constexpr size_t kDefaultRetention = 120;
+
+  explicit TelemetryHistory(size_t retention = kDefaultRetention);
+
+  TelemetryHistory(const TelemetryHistory&) = delete;
+  TelemetryHistory& operator=(const TelemetryHistory&) = delete;
+
+  /// The process-wide history ring (leaked at exit, like MetricsRegistry).
+  static TelemetryHistory& Global();
+
+  /// Samples the global metrics registry now: one HistorySample holding
+  /// every counter, every gauge, and .count/.p50/.p99 for every
+  /// histogram, with deltas/rates against the previous tick. Evicts the
+  /// oldest sample beyond the retention cap.
+  void Harvest();
+
+  /// Copies the ring, oldest sample first.
+  std::vector<HistorySample> Snapshot() const;
+
+  /// Total ticks harvested since construction (not capped by retention).
+  uint64_t Harvests() const;
+
+  size_t retention() const { return retention_; }
+
+  /// Drops every sample and all delta baselines. Test-only.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  const size_t retention_;
+  uint64_t harvests_ = 0;
+  uint64_t last_nanos_ = 0;
+  std::deque<HistorySample> samples_;
+  std::map<std::string, int64_t> last_values_;  // delta baselines
+};
+
+/// Options for one harvester run. `interval_ms` is the sampling cadence;
+/// `watchdog_ms`, when set, turns on the stalled-request sweep at the
+/// same cadence with that execution-time threshold.
+struct HarvesterOptions {
+  uint64_t interval_ms = 1000;
+  std::optional<uint64_t> watchdog_ms;
+};
+
+/// The background sampling thread. Start/Stop are idempotent-safe under
+/// one mutex; the destructor stops. The loop harvests into
+/// TelemetryHistory::Global() and (when configured) runs the watchdog
+/// sweep, then sleeps on a condition variable so Stop() never waits out
+/// a full interval.
+class Harvester {
+ public:
+  Harvester() = default;
+  ~Harvester();
+
+  Harvester(const Harvester&) = delete;
+  Harvester& operator=(const Harvester&) = delete;
+
+  /// Starts the loop. FailedPrecondition (as a false return) when
+  /// already running or interval_ms is 0.
+  bool Start(const HarvesterOptions& options);
+
+  /// Signals the loop and joins the thread. Idempotent.
+  void Stop();
+
+  bool Running() const;
+
+  /// The options of the running (or last) harvester.
+  HarvesterOptions options() const;
+
+ private:
+  void Loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable_any cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  HarvesterOptions options_;
+  std::thread thread_;
+};
+
+/// The process-wide harvester instance (leaked at exit).
+Harvester& GlobalHarvester();
+
+/// Starts the global harvester when GEA_STATS_INTERVAL_MS names a
+/// positive interval (milliseconds) and it is not already running;
+/// GEA_WATCHDOG_MS, when also set to a positive value, arms the
+/// stalled-request watchdog. Both variables are read once. Returns true
+/// when a harvester is running after the call. Safe to call often —
+/// AnalysisSession construction routes through here.
+bool StartHarvesterFromEnv();
+
+/// One watchdog sweep (exposed for tests and for the harvester loop):
+/// flags every in-flight request executing for at least `threshold_ms`
+/// and emits one "stalled_request" warn record per request — trace id,
+/// op, user, elapsed, worker thread, and the span tree recorded so far.
+/// Returns how many requests were newly flagged.
+size_t WatchdogSweep(uint64_t threshold_ms);
+
+// ---- Rendering ----
+
+/// (sample, ts_ms, name, value, delta, rate) — one row per series point,
+/// oldest sample first; ts_ms is the tick's steady-clock time in
+/// milliseconds. Backs the gea_stat_history view.
+rel::Table StatHistoryTable(const std::vector<HistorySample>& samples);
+
+/// The /statz?history=1 payload:
+///   {"retention":120,"harvests":N,"samples":[
+///     {"sample":1,"ts_ms":...,"metrics":[
+///       {"name":"...","value":..,"delta":..,"rate":..}, ...]}, ...]}
+std::string HistoryJson();
+
+}  // namespace gea::obs
+
+#endif  // GEA_OBS_TIMESERIES_H_

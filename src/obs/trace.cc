@@ -147,6 +147,32 @@ std::vector<SpanRecord> TraceCollector::DrainSince(uint64_t mark,
   return out;
 }
 
+std::vector<SpanRecord> TraceCollector::SnapshotSince(uint64_t mark,
+                                                      uint64_t trace_id) const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<SpanRecord> out;
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    for (const SpanRecord& record : buffer->records) {
+      if (record.seq >= mark &&
+          (trace_id == 0 || record.trace_id == trace_id)) {
+        out.push_back(record);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_nanos != b.start_nanos
+                         ? a.start_nanos < b.start_nanos
+                         : a.id < b.id;
+            });
+  return out;
+}
+
 uint64_t TraceCollector::DroppedSpans() const {
   return g_dropped_spans.load(std::memory_order_relaxed);
 }

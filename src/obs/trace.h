@@ -110,6 +110,13 @@ class TraceCollector {
   /// buffered for their own captures to drain.
   std::vector<SpanRecord> DrainSince(uint64_t mark, uint64_t trace_id = 0);
 
+  /// Like DrainSince, but non-destructive: copies matching spans and
+  /// leaves every buffer intact. The stalled-request watchdog uses this
+  /// to report an in-flight request's span tree without stealing the
+  /// spans from the capture that owns them.
+  std::vector<SpanRecord> SnapshotSince(uint64_t mark,
+                                        uint64_t trace_id = 0) const;
+
   /// Appends `record` to the calling thread's buffer, assigning its seq.
   void Record(SpanRecord record);
 
@@ -122,7 +129,7 @@ class TraceCollector {
     std::vector<SpanRecord> records;
   };
 
-  std::mutex mu_;  // guards buffers_
+  mutable std::mutex mu_;  // guards buffers_
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
 };
 

@@ -56,12 +56,15 @@ void Column::AppendNull() {
   switch (type_) {
     case ValueType::kInt:
       ints_.push_back(0);
+      obs::AccountAllocation(sizeof(int64_t));
       break;
     case ValueType::kDouble:
       doubles_.push_back(0.0);
+      obs::AccountAllocation(sizeof(double));
       break;
     case ValueType::kString:
       codes_.push_back(0);
+      obs::AccountAllocation(sizeof(uint32_t));
       break;
     case ValueType::kNull:
       break;
@@ -73,18 +76,21 @@ void Column::AppendNull() {
 void Column::AppendInt(int64_t v) {
   GrowBitmap();
   ints_.push_back(v);
+  obs::AccountAllocation(sizeof(int64_t));
   ++size_;
 }
 
 void Column::AppendDouble(double v) {
   GrowBitmap();
   doubles_.push_back(v);
+  obs::AccountAllocation(sizeof(double));
   ++size_;
 }
 
 void Column::AppendString(const std::string& v) {
   GrowBitmap();
   codes_.push_back(Intern(v));
+  obs::AccountAllocation(sizeof(uint32_t));
   ++size_;
 }
 
@@ -94,6 +100,7 @@ uint32_t Column::Intern(const std::string& s) {
   uint32_t code = static_cast<uint32_t>(dict_.size());
   dict_.push_back(s);
   dict_index_.emplace(s, code);
+  obs::AccountAllocation(s.size());
   return code;
 }
 
@@ -103,6 +110,11 @@ void Column::GatherAppend(const Column& src, const uint32_t* rows, size_t n) {
     // Adopt the source dictionary so codes copy without re-interning.
     dict_ = src.dict_;
     dict_index_ = src.dict_index_;
+    if (obs::MemoryAccountingActive()) {
+      uint64_t bytes = n * sizeof(uint32_t);
+      for (const std::string& s : dict_) bytes += s.size();
+      obs::AccountAllocation(bytes);
+    }
     for (size_t i = 0; i < n; ++i) {
       const uint32_t r = rows[i];
       GrowBitmap();
@@ -153,6 +165,7 @@ void Column::Reserve(size_t n) {
 }
 
 void Column::Clear() {
+  if (obs::MemoryAccountingActive()) obs::AccountFree(PayloadBytes());
   size_ = 0;
   null_count_ = 0;
   ints_.clear();
@@ -161,6 +174,15 @@ void Column::Clear() {
   dict_.clear();
   dict_index_.clear();
   null_words_.clear();
+}
+
+uint64_t Column::PayloadBytes() const {
+  uint64_t bytes = ints_.size() * sizeof(int64_t) +
+                   doubles_.size() * sizeof(double) +
+                   codes_.size() * sizeof(uint32_t) +
+                   null_words_.size() * sizeof(uint64_t);
+  for (const std::string& s : dict_) bytes += s.size();
+  return bytes;
 }
 
 int Column::CompareAcross(const Column& a, size_t ra, const Column& b,
@@ -215,6 +237,7 @@ Column Column::FromRawInts(std::vector<int64_t> vals,
   c.size_ = n;
   c.null_count_ = 0;
   for (uint64_t w : c.null_words_) c.null_count_ += __builtin_popcountll(w);
+  if (obs::MemoryAccountingActive()) obs::AccountAllocation(c.PayloadBytes());
   return c;
 }
 
@@ -226,6 +249,7 @@ Column Column::FromRawDoubles(std::vector<double> vals,
   c.size_ = n;
   c.null_count_ = 0;
   for (uint64_t w : c.null_words_) c.null_count_ += __builtin_popcountll(w);
+  if (obs::MemoryAccountingActive()) obs::AccountAllocation(c.PayloadBytes());
   return c;
 }
 
@@ -240,6 +264,7 @@ Column Column::FromRawStrings(std::vector<std::string> dict,
   c.null_count_ = 0;
   for (uint64_t w : c.null_words_) c.null_count_ += __builtin_popcountll(w);
   c.RebuildDictIndex();
+  if (obs::MemoryAccountingActive()) obs::AccountAllocation(c.PayloadBytes());
   return c;
 }
 
@@ -252,6 +277,7 @@ Column Column::FromRawNulls(size_t n) {
   }
   c.size_ = n;
   c.null_count_ = n;
+  if (obs::MemoryAccountingActive()) obs::AccountAllocation(c.PayloadBytes());
   return c;
 }
 

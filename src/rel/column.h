@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/resource.h"
 #include "rel/value.h"
 
 namespace gea::rel {
@@ -25,6 +26,13 @@ namespace gea::rel {
 /// The null bitmap packs one bit per row into uint64 words, bit set = NULL.
 /// Payload slots for NULL rows are zero-filled so kernels can load them
 /// unconditionally and mask afterwards.
+///
+/// Growth paths charge the thread's bound obs::MemoryAccount (per-query
+/// memory accounting on the serve path); when none is bound each charge
+/// is a thread-local load and a branch. Accounted bytes are the logical
+/// payload — typed vectors, dictionary strings and the null bitmap, per
+/// PayloadBytes() — not allocator capacity, so alloc and free stay
+/// symmetric. The dictionary hash index is not counted.
 class Column {
  public:
   explicit Column(ValueType type) : type_(type) {}
@@ -65,6 +73,10 @@ class Column {
   void Reserve(size_t n);
   void Clear();
 
+  /// Bytes of logical payload held: typed vectors, dictionary strings
+  /// and the null bitmap (the dictionary hash index is excluded).
+  uint64_t PayloadBytes() const;
+
   /// Three-way comparison of two rows of this column under Value::Compare
   /// semantics (NULL==NULL, NULL first). Dictionary codes are unordered, so
   /// string rows compare through the dictionary.
@@ -102,7 +114,10 @@ class Column {
  private:
   void MarkNull(size_t row);
   void GrowBitmap() {
-    if (null_words_.size() < NullWordsFor(size_ + 1)) null_words_.push_back(0);
+    if (null_words_.size() < NullWordsFor(size_ + 1)) {
+      null_words_.push_back(0);
+      obs::AccountAllocation(sizeof(uint64_t));
+    }
   }
   void RebuildDictIndex();
 

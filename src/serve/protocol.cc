@@ -29,8 +29,10 @@ bool SupportedVersion(uint8_t version) {
   return version >= kMinProtocolVersion && version <= kProtocolVersion;
 }
 
-/// The fixed-width timing block, in RequestStage order.
-void PutStageBreakdown(std::string* out, const StageBreakdown& timing) {
+/// The fixed-width timing block, in RequestStage order. v3 appends the
+/// lock-wait stage and the memory-accounting pair.
+void PutStageBreakdown(std::string* out, const StageBreakdown& timing,
+                       uint8_t version) {
   store::PutU64(out, timing.decode_nanos);
   store::PutU64(out, timing.queue_nanos);
   store::PutU64(out, timing.execute_nanos);
@@ -38,9 +40,16 @@ void PutStageBreakdown(std::string* out, const StageBreakdown& timing) {
   store::PutU64(out, timing.wal_fsync_nanos);
   store::PutU64(out, timing.encode_nanos);
   store::PutU64(out, timing.write_nanos);
+  if (version >= 3) {
+    store::PutU64(out, timing.lock_wait_nanos);
+    store::PutU64(out, timing.alloc_bytes);
+    store::PutU64(out, timing.peak_bytes);
+  }
 }
 
-constexpr size_t kTimingBlockBytes = kStageBreakdownSlots * 8;
+constexpr size_t TimingBlockBytes(uint8_t version) {
+  return (version >= 3 ? kStageBreakdownSlotsV3 : kStageBreakdownSlots) * 8;
+}
 
 }  // namespace
 
@@ -121,7 +130,7 @@ std::string EncodeResponse(const Response& response) {
     store::PutU64(&out, response.trace_id);
     if (response.timing.has_value()) {
       store::PutU8(&out, 1);
-      PutStageBreakdown(&out, *response.timing);
+      PutStageBreakdown(&out, *response.timing, response.wire_version);
     } else {
       store::PutU8(&out, 0);
     }
@@ -163,6 +172,11 @@ Result<Response> DecodeResponse(std::string_view payload) {
       GEA_ASSIGN_OR_RETURN(timing.wal_fsync_nanos, reader.ReadU64());
       GEA_ASSIGN_OR_RETURN(timing.encode_nanos, reader.ReadU64());
       GEA_ASSIGN_OR_RETURN(timing.write_nanos, reader.ReadU64());
+      if (version >= 3) {
+        GEA_ASSIGN_OR_RETURN(timing.lock_wait_nanos, reader.ReadU64());
+        GEA_ASSIGN_OR_RETURN(timing.alloc_bytes, reader.ReadU64());
+        GEA_ASSIGN_OR_RETURN(timing.peak_bytes, reader.ReadU64());
+      }
       response.timing = timing;
     } else if (has_timing != 0) {
       return Status::InvalidArgument("bad has_timing flag in response");
@@ -175,17 +189,19 @@ Result<Response> DecodeResponse(std::string_view payload) {
 }
 
 bool PatchResponseTiming(std::string* payload, const StageBreakdown& timing) {
-  // v2 payloads with a timing block end in: u8 has_timing=1 | 7 x u64.
-  if (payload == nullptr || payload->size() < kTimingBlockBytes + 1) {
-    return false;
-  }
-  if (static_cast<uint8_t>((*payload)[0]) < 2) return false;
-  const size_t flag_at = payload->size() - kTimingBlockBytes - 1;
+  // v2+ payloads with a timing block end in: u8 has_timing=1 | N x u64,
+  // where N follows the payload's version byte.
+  if (payload == nullptr || payload->empty()) return false;
+  const uint8_t version = static_cast<uint8_t>((*payload)[0]);
+  if (version < 2) return false;
+  const size_t block_bytes = TimingBlockBytes(version);
+  if (payload->size() < block_bytes + 1) return false;
+  const size_t flag_at = payload->size() - block_bytes - 1;
   if (static_cast<uint8_t>((*payload)[flag_at]) != 1) return false;
   std::string block;
-  block.reserve(kTimingBlockBytes);
-  PutStageBreakdown(&block, timing);
-  payload->replace(flag_at + 1, kTimingBlockBytes, block);
+  block.reserve(block_bytes);
+  PutStageBreakdown(&block, timing, version);
+  payload->replace(flag_at + 1, block_bytes, block);
   return true;
 }
 

@@ -48,9 +48,15 @@ namespace gea::serve {
 ///   u8  has_table        1 => store::EncodeTable bytes follow as a str
 ///   u64 trace_id         v2+: the request's effective trace id (0 = none)
 ///   u8  has_timing       v2+: 1 => a stage breakdown follows
-///   7 x u64              stage nanos, fixed width, in RequestStage order:
-///                        decode, queue_wait, execute, wal_append,
+///   7 x u64              v2: stage nanos, fixed width, in RequestStage
+///                        order: decode, queue_wait, execute, wal_append,
 ///                        wal_fsync, encode, write
+///   10 x u64             v3: the 8 RequestStage nanos (the v2 seven plus
+///                        lock_wait) followed by alloc_bytes and
+///                        peak_bytes from per-query memory accounting
+///
+/// Version 3 requests are byte-identical to version 2 — only the version
+/// byte and the response timing block changed.
 ///
 /// The timing block is fixed-width and last on purpose: the server
 /// encodes the response with zeros, measures the encode itself, then
@@ -62,7 +68,7 @@ namespace gea::serve {
 /// Commands, parameters and their semantics are documented on
 /// QueryServer (server.h); the protocol layer is content-agnostic.
 
-inline constexpr uint8_t kProtocolVersion = 2;
+inline constexpr uint8_t kProtocolVersion = 3;
 /// Oldest version the decoders still accept.
 inline constexpr uint8_t kMinProtocolVersion = 1;
 
@@ -76,8 +82,10 @@ struct TraceContext {
   bool sampled = false;   // force-sample server-side (head sampling aside)
 };
 
-/// Server-side stage timing echoed in a v2 response, nanoseconds per
-/// stage in pipeline order. Matches obs::RequestStage.
+/// Server-side stage timing echoed in a v2+ response, nanoseconds per
+/// stage in pipeline order. Matches obs::RequestStage. The v3-only
+/// fields (lock_wait_nanos, alloc_bytes, peak_bytes) decode as zero from
+/// a v2 peer.
 struct StageBreakdown {
   uint64_t decode_nanos = 0;
   uint64_t queue_nanos = 0;
@@ -86,17 +94,21 @@ struct StageBreakdown {
   uint64_t wal_fsync_nanos = 0;   // subset of execute
   uint64_t encode_nanos = 0;
   uint64_t write_nanos = 0;  // always 0 on the wire; see layout note
+  uint64_t lock_wait_nanos = 0;  // v3: session-lock wait, subset of execute
+  uint64_t alloc_bytes = 0;      // v3: bytes allocated during execution
+  uint64_t peak_bytes = 0;       // v3: high-water mark of live bytes
 
-  /// Server-side pipeline total (WAL stages excluded — they are already
-  /// inside execute).
+  /// Server-side pipeline total (WAL and lock-wait stages excluded —
+  /// they are already inside execute).
   uint64_t TotalNanos() const {
     return decode_nanos + queue_nanos + execute_nanos + encode_nanos +
            write_nanos;
   }
 };
 
-/// Number of u64 slots in the fixed-width wire timing block.
-inline constexpr size_t kStageBreakdownSlots = 7;
+/// Number of u64 slots in the fixed-width wire timing block, per version.
+inline constexpr size_t kStageBreakdownSlots = 7;     // v2
+inline constexpr size_t kStageBreakdownSlotsV3 = 10;  // v3
 
 struct Request {
   uint64_t request_id = 0;
@@ -136,11 +148,12 @@ Result<Request> DecodeRequest(std::string_view payload);
 std::string EncodeResponse(const Response& response);
 Result<Response> DecodeResponse(std::string_view payload);
 
-/// Rewrites the trailing fixed-width timing block of a v2 response
-/// payload that was encoded with a timing breakdown present. Returns
-/// false (payload untouched) if the payload is not a v2 response carrying
-/// a timing block. This is how the server stamps the encode stage's own
-/// duration after measuring it.
+/// Rewrites the trailing fixed-width timing block of a v2/v3 response
+/// payload that was encoded with a timing breakdown present (the block
+/// width follows the payload's version byte). Returns false (payload
+/// untouched) if the payload is not a v2+ response carrying a timing
+/// block. This is how the server stamps the encode stage's own duration
+/// after measuring it.
 bool PatchResponseTiming(std::string* payload, const StageBreakdown& timing);
 
 // ---- Framing over a socket ----

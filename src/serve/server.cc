@@ -12,6 +12,7 @@
 #include "obs/clock.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/statviews.h"
 #include "obs/trace.h"
 #include "sage/library.h"
@@ -289,7 +290,7 @@ Status QueryServer::Start() {
   listen_fd_ = listener.fd;
   port_.store(listener.port, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> queue_lock(queue_mu_);
+    std::lock_guard<TimedMutex> queue_lock(queue_mu_);
     draining_ = false;
   }
   running_.store(true, std::memory_order_release);
@@ -340,7 +341,7 @@ void QueryServer::Stop() {
 
   // 3. Drain: workers finish every admitted request, then exit.
   {
-    std::lock_guard<std::mutex> queue_lock(queue_mu_);
+    std::lock_guard<TimedMutex> queue_lock(queue_mu_);
     draining_ = true;
   }
   queue_cv_.notify_all();
@@ -448,7 +449,7 @@ void QueryServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
 
     bool admitted = false;
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      std::lock_guard<TimedMutex> lock(queue_mu_);
       if (queue_.size() < options_.queue_capacity) {
         queue_.push_back(std::move(task));
         stats_->queue_depth.store(static_cast<int64_t>(queue_.size()),
@@ -484,7 +485,7 @@ void QueryServer::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
+      std::unique_lock<TimedMutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
       if (queue_.empty()) {
         if (draining_) return;
@@ -519,6 +520,11 @@ void QueryServer::RunTask(Task task) {
   stages[obs::RequestStage::kDecode] = task.decode_nanos;
   stages[obs::RequestStage::kQueue] = queue_wait_nanos;
 
+  // Per-query memory account: allocation sites in the data containers
+  // charge it while it is bound to the executing threads (ParallelFor
+  // propagates the binding like TraceBinding).
+  obs::MemoryAccount account;
+
   Response response;
   if (task.has_deadline && start >= task.deadline) {
     // Expired while queued: reject before doing any work.
@@ -534,6 +540,16 @@ void QueryServer::RunTask(Task task) {
     // this thread for the execution; ParallelFor propagates it into pool
     // helpers, so the whole span tree lands in this request's trace.
     obs::TraceBindingScope binding({task.trace_id, task.sampled});
+    obs::MemoryAccountScope account_scope(&account);
+    // Visible to the stalled-request watchdog for the execution window.
+    obs::InflightRequest inflight;
+    inflight.trace_id = task.trace_id;
+    inflight.op = task.request.op;
+    inflight.user = task.conn->User();
+    inflight.start_nanos = obs::NowNanos();
+    inflight.mark = obs::TraceCollector::Global().Mark();
+    inflight.worker_tid = obs::CurrentThreadId();
+    obs::ScopedInflightRequest inflight_scope(std::move(inflight));
     const uint64_t execute_start = obs::NowNanos();
     response = Execute(*task.conn, task.request);
     stages[obs::RequestStage::kExecute] = obs::NowNanos() - execute_start;
@@ -556,13 +572,14 @@ void QueryServer::RunTask(Task task) {
     response.trace_id = task.trace_id;
     if (task.request.trace.has_value()) response.timing.emplace();
   }
-  (void)WriteResponse(*task.conn, response, &stages);
+  (void)WriteResponse(*task.conn, response, &stages, &account);
 
-  PublishTrace(task, response, stage_scope);
+  PublishTrace(task, response, stage_scope, account);
 }
 
 void QueryServer::PublishTrace(Task& task, const Response& response,
-                               obs::StageCollectorScope& stage_scope) {
+                               obs::StageCollectorScope& stage_scope,
+                               const obs::MemoryAccount& account) {
   const uint64_t total_nanos = obs::NowNanos() - task.decode_start_nanos;
   // Tail-sampling escape hatch: a request that crossed the slow-query
   // threshold is recorded even when head sampling missed it (its span
@@ -584,6 +601,8 @@ void QueryServer::PublishTrace(Task& task, const Response& response,
   record.start_nanos = task.decode_start_nanos;
   record.total_nanos = total_nanos;
   record.stages = stage_scope.stages();
+  record.alloc_bytes = account.AllocatedBytes();
+  record.peak_bytes = account.PeakBytes();
   record.reader_tid = task.reader_tid;
   record.worker_tid = obs::CurrentThreadId();
   record.spans = std::move(stage_scope.spans());
@@ -591,7 +610,8 @@ void QueryServer::PublishTrace(Task& task, const Response& response,
 }
 
 Status QueryServer::WriteResponse(Connection& conn, const Response& response,
-                                  obs::StageNanos* stages) {
+                                  obs::StageNanos* stages,
+                                  const obs::MemoryAccount* account) {
   const uint64_t encode_start = stages != nullptr ? obs::NowNanos() : 0;
   std::string payload = EncodeResponse(response);
   if (stages != nullptr) {
@@ -607,6 +627,11 @@ Status QueryServer::WriteResponse(Connection& conn, const Response& response,
       timing.wal_append_nanos = (*stages)[obs::RequestStage::kWalAppend];
       timing.wal_fsync_nanos = (*stages)[obs::RequestStage::kWalFsync];
       timing.encode_nanos = (*stages)[obs::RequestStage::kEncode];
+      timing.lock_wait_nanos = (*stages)[obs::RequestStage::kLockWait];
+      if (account != nullptr) {
+        timing.alloc_bytes = account->AllocatedBytes();
+        timing.peak_bytes = account->PeakBytes();
+      }
       PatchResponseTiming(&payload, timing);
     }
   }
@@ -640,10 +665,10 @@ Response QueryServer::Execute(Connection& conn, const Request& request) {
                              request.op + " requires administrator access"));
   }
   if (IsMutating(request.op)) {
-    std::unique_lock<std::shared_mutex> lock(session_mu_);
+    std::unique_lock<SharedTimedMutex> lock(session_mu_);
     return Dispatch(conn, request);
   }
-  std::shared_lock<std::shared_mutex> lock(session_mu_);
+  std::shared_lock<SharedTimedMutex> lock(session_mu_);
   return Dispatch(conn, request);
 }
 

@@ -8,13 +8,14 @@
 #include <deque>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
+#include "common/timed_mutex.h"
 #include "obs/request_trace.h"
+#include "obs/resource.h"
 #include "serve/protocol.h"
 #include "workbench/session.h"
 
@@ -103,8 +104,11 @@ struct ServerOptions {
 /// ## Request tracing
 ///
 /// Every request's pipeline stages (decode, queue wait, execute, WAL
-/// append/fsync, encode, write) are clocked; a v2 request carrying a
-/// trace context gets the breakdown echoed in its response. Sampled
+/// append/fsync, encode, write, session-lock wait) are clocked and the
+/// execution's accounted allocation bytes / peak live bytes are
+/// attributed to the request; a v2+ request carrying a trace context
+/// gets the breakdown echoed in its response (v3 adds lock_wait and the
+/// memory pair). Sampled
 /// requests — client sampled flag, GEA_TRACE_SAMPLE 1-in-N head
 /// sampling, or the slow-query tail escape hatch — are published as
 /// RequestTraceRecords (with the execution span tree when span-sampled)
@@ -169,13 +173,16 @@ class QueryServer {
   Response Dispatch(Connection& conn, const Request& request);
   /// Encodes and writes one response. With `stages`, measures the encode
   /// and write stages into it and patches the response's wire timing
-  /// block (when present) before framing.
+  /// block (when present) before framing; `account` supplies the v3
+  /// memory-accounting fields of that block.
   Status WriteResponse(Connection& conn, const Response& response,
-                       obs::StageNanos* stages = nullptr);
+                       obs::StageNanos* stages = nullptr,
+                       const obs::MemoryAccount* account = nullptr);
   /// Publishes the finished request into the global trace ring when it
   /// was sampled (or crossed the slow-query threshold).
   void PublishTrace(Task& task, const Response& response,
-                    obs::StageCollectorScope& stage_scope);
+                    obs::StageCollectorScope& stage_scope,
+                    const obs::MemoryAccount& account);
 
   workbench::AnalysisSession* session_;
   ServerOptions options_;
@@ -192,14 +199,17 @@ class QueryServer {
   std::vector<std::thread> readers_;
   std::vector<std::weak_ptr<Connection>> conns_;
 
-  // Admission queue.
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
+  // Admission queue. The mutex is lock-wait instrumented
+  // ("gea.lock.queue"); condition_variable_any works with any Lockable.
+  TimedMutex queue_mu_{"gea.lock.queue"};
+  std::condition_variable_any queue_cv_;
   std::deque<Task> queue_;
   bool draining_ = false;  // Stop() in progress: workers drain then exit
 
-  // Single writer / many readers over the shared session.
-  std::shared_mutex session_mu_;
+  // Single writer / many readers over the shared session, lock-wait
+  // instrumented ("gea.lock.session" read/write histograms plus the
+  // per-request lock_wait stage).
+  SharedTimedMutex session_mu_{"gea.lock.session"};
 
   // Live stats (see Stats). Relaxed atomics; mirrored into gea.serve.*
   // registry metrics when metrics are enabled.

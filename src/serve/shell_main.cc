@@ -12,6 +12,8 @@
 //                             aggregate enum=Brain out=Brain_SUMY
 //   \timing [on|off]          print the server's per-stage latency
 //                             breakdown after each command
+//   \stats [view]             fetch a gea_stat_* view (default
+//                             gea_stat_requests) via get_table
 //   help | quit
 //
 // Tables render through rel::Table::ToText; a non-OK response prints
@@ -45,6 +47,8 @@ void PrintHelp() {
                "                          populate, diff, top_gap, mine,\n"
                "                          checkpoint, ...)\n"
                "  \\timing [on|off]       server stage breakdown per command\n"
+               "  \\stats [view]          show a gea_stat_* view (default\n"
+               "                          gea_stat_requests)\n"
                "  help, quit\n";
 }
 
@@ -53,15 +57,24 @@ void PrintTiming(const QueryClient& client) {
       client.LastTiming();
   if (!timing.has_value()) return;
   auto ms = [](uint64_t nanos) { return static_cast<double>(nanos) / 1e6; };
-  char line[256];
+  char line[384];
   std::snprintf(line, sizeof(line),
                 "Time: %.3f ms (decode %.3f, queue %.3f, execute %.3f, "
-                "wal-append %.3f, wal-fsync %.3f, encode %.3f)\n",
+                "lock-wait %.3f, wal-append %.3f, wal-fsync %.3f, "
+                "encode %.3f)\n",
                 ms(timing->TotalNanos()), ms(timing->decode_nanos),
                 ms(timing->queue_nanos), ms(timing->execute_nanos),
-                ms(timing->wal_append_nanos), ms(timing->wal_fsync_nanos),
-                ms(timing->encode_nanos));
+                ms(timing->lock_wait_nanos), ms(timing->wal_append_nanos),
+                ms(timing->wal_fsync_nanos), ms(timing->encode_nanos));
   std::cout << line;
+  // The memory pair rides the v3 timing block; a v2 server leaves both 0.
+  if (timing->alloc_bytes > 0 || timing->peak_bytes > 0) {
+    std::snprintf(line, sizeof(line),
+                  "Memory: %llu bytes allocated, %llu peak\n",
+                  static_cast<unsigned long long>(timing->alloc_bytes),
+                  static_cast<unsigned long long>(timing->peak_bytes));
+    std::cout << line;
+  }
 }
 
 void PrintResponse(const Response& response) {
@@ -146,7 +159,14 @@ int main(int argc, char** argv) {
     }
 
     std::map<std::string, std::string> params;
-    if (op == "sql") {
+    if (op == "\\stats") {
+      // Sugar over get_table: the stat views are ordinary computed
+      // tables, so the server path is identical to any table fetch.
+      std::string view;
+      in >> view;
+      op = "get_table";
+      params["name"] = view.empty() ? "gea_stat_requests" : view;
+    } else if (op == "sql") {
       std::string query;
       std::getline(in, query);
       const size_t start = query.find_first_not_of(' ');

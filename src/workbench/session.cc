@@ -8,7 +8,9 @@
 #include "obs/export.h"
 #include "obs/log.h"
 #include "obs/request_trace.h"
+#include "obs/resource.h"
 #include "obs/server.h"
+#include "obs/timeseries.h"
 #include "rel/sql.h"
 #include "rel/table_io.h"
 #include "sage/io.h"
@@ -23,6 +25,9 @@ AnalysisSession::AnalysisSession(const std::string& admin_name,
   configuration_["library_directory"] = "SageLibrary";
   // Opt-in monitoring: a no-op unless GEA_MONITOR_PORT names a port.
   obs::StartMonitorFromEnv();
+  // Opt-in telemetry harvesting: a no-op unless GEA_STATS_INTERVAL_MS
+  // names a cadence (GEA_WATCHDOG_MS additionally arms the watchdog).
+  obs::StartHarvesterFromEnv();
   // Stat views ride in every session's catalog so SQL can read telemetry:
   //   SELECT name, value FROM gea_stat_counters ORDER BY value DESC
   obs::RegisterStatViews(relations_);
@@ -952,6 +957,13 @@ void AnalysisSession::ExportTelemetry(
                obs::CollectedStageNanos(obs::RequestStage::kQueue));
     record.U64("wal_fsync_ns",
                obs::CollectedStageNanos(obs::RequestStage::kWalFsync));
+    record.U64("lock_wait_ns",
+               obs::CollectedStageNanos(obs::RequestStage::kLockWait));
+  }
+  if (const obs::MemoryAccount* account = obs::CurrentMemoryAccount();
+      account != nullptr) {
+    record.U64("alloc_bytes", account->AllocatedBytes());
+    record.U64("peak_bytes", account->PeakBytes());
   }
   if (!entry.ok) record.Str("error", entry.error);
   if (current_user_.has_value()) record.Str("user", *current_user_);

@@ -387,6 +387,16 @@ TEST(ExportTest, RenderJsonLinesGoldenAndValid) {
 }
 
 TEST(ExportTest, RenderPrometheusGolden) {
+  const std::string out = RenderPrometheus(ExampleSnapshot());
+  // The build-identity pair always leads the exposition, even for an
+  // empty registry; uptime moves between calls so only its shape is
+  // golden.
+  EXPECT_EQ(out.rfind("# TYPE gea_build_info gauge\n", 0), 0u);
+  EXPECT_NE(out.find("gea_build_info{version=\"1.0.0\",compiler=\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\",arch=\""), std::string::npos);
+  EXPECT_NE(out.find("# TYPE gea_uptime_seconds gauge\ngea_uptime_seconds "),
+            std::string::npos);
   const std::string expected =
       "# TYPE gea_test_rows counter\n"
       "gea_test_rows 42\n"
@@ -398,7 +408,10 @@ TEST(ExportTest, RenderPrometheusGolden) {
       "gea_test_nanos_bucket{le=\"+Inf\"} 2\n"
       "gea_test_nanos_sum 1010\n"
       "gea_test_nanos_count 2\n";
-  EXPECT_EQ(RenderPrometheus(ExampleSnapshot()), expected);
+  // The snapshot's metrics render unchanged after the preamble.
+  const size_t preamble_end = out.find("# TYPE gea_test_rows");
+  ASSERT_NE(preamble_end, std::string::npos);
+  EXPECT_EQ(out.substr(preamble_end), expected);
 }
 
 TEST(ExportTest, PrometheusMetricNameSanitizes) {
@@ -442,7 +455,9 @@ TEST(ExportTest, RenderPrometheusSanitizesHostileNames) {
     if (line.rfind("# TYPE ", 0) != 0) {
       const size_t space = line.find(' ');
       ASSERT_NE(space, std::string::npos) << line;
-      const std::string name = line.substr(0, space);
+      // A labeled series (gea_build_info{...} 1) may carry spaces inside
+      // its label values; the name under test ends at the brace.
+      const std::string name = line.substr(0, std::min(space, line.find('{')));
       EXPECT_EQ(PrometheusMetricName(name), name) << line;
     }
     start = nl + 1;

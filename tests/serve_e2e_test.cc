@@ -7,17 +7,20 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/export.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/request_trace.h"
 #include "obs/server.h"
@@ -266,6 +269,128 @@ TEST(ServeE2eTest, TracedRunExportsValidChromeTrace) {
     ASSERT_TRUE(out.good()) << path;
     out << chrome.body;
   }
+}
+
+// The contention/accounting numbers must agree wherever they surface:
+// the v3 wire timing block, the request trace ring (and its Chrome
+// export), the gea_stat_requests rollup, and the slow-query log line —
+// all for the same traced request. A ping sleeping under the shared
+// session lock makes the traced aggregate's exclusive acquisition wait
+// deterministically, so lock_wait is real, not noise.
+TEST(ServeE2eTest, LockWaitAndMemoryAgreeAcrossAllSurfaces) {
+  obs::RequestTraceRing::Global().Clear();
+  obs::ScopedTraceSample sample(1);
+  obs::ScopedSlowQueryMs slow(0);  // log every operation
+  obs::ScopedLogCapture capture(obs::LogLevel::kWarn);
+
+  auto session = AdminSession();
+  ASSERT_TRUE(session->LoadDataSet(CleanSmallData()).ok());
+  ASSERT_TRUE(session->CreateTissueDataSet(sage::TissueType::kBrain).ok());
+
+  ServerOptions options;
+  options.num_workers = 2;  // the sleeper and the waiter need both
+  QueryServer server(session.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  QueryClient client;
+  ASSERT_TRUE(client.Connect(server.Port()).ok());
+  client.SetTracing(true);
+  ASSERT_TRUE(client.Login("admin", "secret", "admin").ok());
+
+  // Park a ping on the shared session lock, then send the aggregate
+  // once the sleeper is executing: its unique lock must wait it out.
+  const uint64_t requests_before = server.GetStats().requests;
+  QueryClient busy;
+  ASSERT_TRUE(busy.Connect(server.Port()).ok());
+  std::thread busy_thread(
+      [&busy] { (void)busy.Call("ping", {{"sleep_ms", "400"}}); });
+  while (server.GetStats().requests <= requests_before) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  Result<Response> agg = client.Call(
+      "aggregate", {{"enum", "brain"}, {"out", "Contention_SUMY"}});
+  busy_thread.join();
+  ASSERT_TRUE(agg.ok());
+  ASSERT_TRUE(agg->ok()) << agg->message;
+
+  // Surface 1: the wire. The v3 timing block carries the lock wait and
+  // both memory-accounting figures.
+  ASSERT_TRUE(client.LastTiming().has_value());
+  const StageBreakdown wire = *client.LastTiming();
+  const uint64_t trace_id = client.LastTraceId();
+  ASSERT_NE(trace_id, 0u);
+  EXPECT_GT(wire.lock_wait_nanos, 0u);
+  EXPECT_LT(wire.lock_wait_nanos, wire.execute_nanos);  // a subset of it
+  EXPECT_GT(wire.alloc_bytes, 0u);
+  EXPECT_GT(wire.peak_bytes, 0u);
+  EXPECT_GE(wire.alloc_bytes, wire.peak_bytes);  // cumulative >= high-water
+
+  // Surface 2: the trace ring record for that trace id, byte-identical.
+  // The record is published after the response hits the wire, so the
+  // client can get here first — wait for it.
+  std::optional<obs::RequestTraceRecord> aggregate_record;
+  const auto ring_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!aggregate_record.has_value()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), ring_deadline);
+    for (const obs::RequestTraceRecord& record :
+         obs::RequestTraceRing::Global().Snapshot()) {
+      if (record.trace_id == trace_id) aggregate_record = record;
+    }
+    if (!aggregate_record.has_value()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  EXPECT_EQ(aggregate_record->stages[obs::RequestStage::kLockWait],
+            wire.lock_wait_nanos);
+  EXPECT_EQ(aggregate_record->alloc_bytes, wire.alloc_bytes);
+  EXPECT_EQ(aggregate_record->peak_bytes, wire.peak_bytes);
+
+  // Surface 3: the gea_stat_requests rollup, queried over the wire. One
+  // aggregate in the cleared ring, so the group figures are exact.
+  Result<rel::Table> rollup = client.Sql(
+      "SELECT op, lock_wait_ms, alloc_bytes, peak_bytes "
+      "FROM gea_stat_requests WHERE op = 'aggregate'");
+  ASSERT_TRUE(rollup.ok()) << rollup.status().ToString();
+  ASSERT_EQ(rollup->NumRows(), 1u);
+  EXPECT_NEAR(rollup->At(0, 1).AsDouble(),
+              static_cast<double>(wire.lock_wait_nanos) / 1e6, 1e-6);
+  EXPECT_EQ(rollup->At(0, 2).AsInt(),
+            static_cast<int64_t>(wire.alloc_bytes));
+  EXPECT_EQ(rollup->At(0, 3).AsInt(),
+            static_cast<int64_t>(wire.peak_bytes));
+
+  server.Stop();
+
+  // Surface 4: the Chrome export renders a lock_wait slice and pins the
+  // exact byte counts on the request's args.
+  obs::internal::HttpResponse chrome =
+      obs::internal::HandlePath("/tracez", "format=chrome");
+  ASSERT_EQ(chrome.status, 200);
+  EXPECT_NE(chrome.body.find("\"lock_wait\""), std::string::npos);
+  EXPECT_NE(chrome.body.find("\"alloc_bytes\":" +
+                             std::to_string(wire.alloc_bytes)),
+            std::string::npos);
+  EXPECT_NE(chrome.body.find("\"peak_bytes\":" +
+                             std::to_string(wire.peak_bytes)),
+            std::string::npos);
+
+  // Surface 5: the slow-query log line carries the same three figures
+  // (the exact lock_wait_ns value identifies the aggregate's record).
+  const std::string log = capture.str();
+  EXPECT_NE(log.find("\"event\":\"slow_query\""), std::string::npos);
+  EXPECT_NE(
+      log.find("\"lock_wait_ns\":" + std::to_string(wire.lock_wait_nanos)),
+      std::string::npos)
+      << log;
+  EXPECT_NE(log.find("\"alloc_bytes\":" + std::to_string(wire.alloc_bytes)),
+            std::string::npos)
+      << log;
+  EXPECT_NE(log.find("\"peak_bytes\":" + std::to_string(wire.peak_bytes)),
+            std::string::npos)
+      << log;
 }
 
 TEST(ServeE2eTest, StatRequestsViewQueryableOverTheWire) {

@@ -50,6 +50,10 @@ TEST(ServeShellTest, ScriptedSessionEndToEnd) {
            << "aggregate enum=brain out=ShellSumy\n"
            << "sql SELECT COUNT(*) AS n FROM Libraries\n"
            << "tables\n"
+           << "\\timing on\n"
+           << "ping\n"
+           << "\\stats\n"
+           << "\\stats gea_stat_counters\n"
            << "bogus_command\n"
            << "quit\n";
   }
@@ -69,6 +73,12 @@ TEST(ServeShellTest, ScriptedSessionEndToEnd) {
   EXPECT_NE(output.find("created ShellSumy"), std::string::npos) << output;
   EXPECT_NE(output.find("rows)"), std::string::npos) << output;
   EXPECT_NE(output.find("ERROR InvalidArgument"), std::string::npos) << output;
+  // \timing renders the v3 stage breakdown, lock-wait slot included.
+  EXPECT_NE(output.find("Timing is on."), std::string::npos) << output;
+  EXPECT_NE(output.find("lock-wait"), std::string::npos) << output;
+  // \stats defaults to gea_stat_requests; a named view works too.
+  EXPECT_NE(output.find("lock_wait_ms"), std::string::npos) << output;
+  EXPECT_NE(output.find("gea_stat_counters ("), std::string::npos) << output;
 
   // The shell's mutation really landed in the shared session.
   EXPECT_TRUE(session.GetSumy("ShellSumy").ok());

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <filesystem>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -13,6 +16,8 @@
 #include "obs/statviews.h"
 #include "rel/catalog.h"
 #include "rel/sql.h"
+#include "sage/cleaning.h"
+#include "sage/generator.h"
 #include "workbench/session.h"
 
 namespace gea::obs {
@@ -180,8 +185,9 @@ TEST(StatViewsTest, RegisteredViewsAreLiveAndReadOnly) {
   ScopedMetricsEnable on(true);
   rel::Catalog catalog;
   ASSERT_TRUE(RegisterStatViews(catalog).ok());
-  // Six obs views plus gea_stat_storage registered by gea_store.
-  EXPECT_EQ(catalog.NumTables(), 7u);
+  // Seven obs views plus gea_stat_storage registered by gea_store.
+  EXPECT_EQ(catalog.NumTables(), 8u);
+  EXPECT_TRUE(catalog.IsComputed("gea_stat_history"));
   EXPECT_TRUE(catalog.IsComputed("gea_stat_counters"));
   EXPECT_TRUE(catalog.IsComputed("gea_stat_storage"));
   EXPECT_TRUE(catalog.GetMutableTable("gea_stat_operators")
@@ -207,9 +213,66 @@ TEST(StatViewsTest, RegisteredViewsAreLiveAndReadOnly) {
   EXPECT_EQ(value_of(), first + 5);
 }
 
+// Database lifecycle operations (initialize-database, load-database)
+// rebuild the session catalog; the stat views must survive them — both
+// for SQL issued afterwards and for a monitoring scraper hitting the
+// global JSON surfaces throughout. The scraper half re-runs under TSan.
+TEST(StatViewsTest, ViewsSurviveDatabaseLifecycleUnderConcurrentScrape) {
+  ScopedMetricsEnable on(true);
+  MetricsRegistry::Global().GetCounter("gea.test.lifecycle_scrape").Add(3);
+
+  workbench::AnalysisSession session("admin", "secret");
+  ASSERT_TRUE(
+      session.Login("admin", "secret", workbench::AccessLevel::kAdministrator)
+          .ok());
+
+  sage::GeneratorConfig config;
+  config.seed = 7;
+  config.panels = sage::SyntheticSageGenerator::SmallPanels();
+  sage::SyntheticSage synth = sage::SyntheticSageGenerator(config).Generate();
+  sage::CleanAndNormalize(synth.dataset);
+  ASSERT_TRUE(session.LoadDataSet(std::move(synth.dataset)).ok());
+
+  const std::string dir = testing::TempDir() + "/gea_statviews_lifecycle";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(session.SaveDatabase(dir).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread scraper([&stop] {
+    while (!stop.load()) {
+      const std::string json = StatViewsJson();
+      EXPECT_NE(json.find("gea_stat_counters"), std::string::npos);
+      (void)BuildStatView(kStatCountersView);
+      (void)BuildStatView(kStatHistoryView);
+    }
+  });
+
+  auto counters_alive = [&session]() {
+    Result<rel::Table> counters = session.Query(
+        "SELECT name, value FROM gea_stat_counters "
+        "WHERE name = 'gea.test.lifecycle_scrape'");
+    ASSERT_TRUE(counters.ok()) << counters.status().ToString();
+    ASSERT_EQ(counters->NumRows(), 1u);
+    EXPECT_GE(counters->At(0, 1).AsInt(), 3);
+  };
+
+  // Wipe the analysis state, then restore it, scraping all the while:
+  // the computed views must be queryable after each transition.
+  counters_alive();
+  ASSERT_TRUE(session.InitializeDatabase().ok());
+  counters_alive();
+  ASSERT_TRUE(session.LoadDatabase(dir).ok());
+  counters_alive();
+  EXPECT_TRUE(session.Query("SELECT COUNT(*) FROM Libraries").ok());
+
+  stop.store(true);
+  scraper.join();
+  std::filesystem::remove_all(dir);
+}
+
 TEST(StatViewsTest, BuildStatViewRejectsUnknownName) {
   EXPECT_TRUE(BuildStatView("gea_stat_nope").status().IsNotFound());
-  EXPECT_EQ(AllStatViews().size(), 7u);
+  EXPECT_EQ(AllStatViews().size(), 8u);
 }
 
 TEST(StatViewsTest, RequestsTableRollsUpTheTraceRing) {
@@ -233,7 +296,7 @@ TEST(StatViewsTest, RequestsTableRollsUpTheTraceRing) {
   rel::Table table = StatRequestsTable(records);
   EXPECT_EQ(table.name(), "gea_stat_requests");
   ASSERT_EQ(table.NumRows(), 2u);  // (sql, OK, admin) and (sql, denied, reader)
-  ASSERT_EQ(table.schema().NumColumns(), 9u);
+  ASSERT_EQ(table.schema().NumColumns(), 12u);
 
   // Rows sort by (op, status, user): "OK" < "PermissionDenied".
   EXPECT_EQ(table.At(0, 0).AsString(), "sql");

@@ -295,9 +295,9 @@ TEST_F(SessionTest, InitializeDatabaseClearsEverything) {
   AnalysisSession session = LoggedInSession();
   ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain).ok());
   ASSERT_TRUE(session.InitializeDatabase().ok());
-  // Only the built-in stat views survive (six from obs plus
+  // Only the built-in stat views survive (seven from obs plus
   // gea_stat_storage); every stored relation is gone.
-  EXPECT_EQ(session.Relations().NumTables(), 7u);
+  EXPECT_EQ(session.Relations().NumTables(), 8u);
   for (const std::string& name : session.Relations().TableNames()) {
     EXPECT_EQ(name.rfind("gea_stat_", 0), 0u) << name;
   }

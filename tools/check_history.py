@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validate a /statz?history=1 export's structural invariants.
+
+The input is the telemetry history JSON emitted by the GEA monitoring
+endpoint (and by the timeseries_test GEA_STATS_EXPORT hook): the
+harvester's ring of registry samples. This checker enforces what a
+dashboard merely tolerates:
+
+  * the document is an object with integer "retention" and "harvests"
+    fields and a "samples" list
+  * the ring never holds more samples than its retention
+  * sample ids increase strictly and timestamps never go backwards
+  * every metric point carries name/value/delta/rate; rates are finite
+    and never negative (rates are only computed for monotonic series)
+  * within one sample, metric names are sorted and unique
+  * a series' delta matches the value change from the previous sample
+    it appeared in (when that sample is still in the ring)
+
+Usage:
+    check_history.py HISTORY_JSON [--min-samples N]
+
+Exits non-zero with a message on the first violated invariant.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def fail(message):
+    print(f"check_history: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("history", help="/statz?history=1 JSON file")
+    parser.add_argument(
+        "--min-samples",
+        type=int,
+        default=1,
+        help="require at least this many samples in the ring",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.history, "rb") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.history}: {e}")
+
+    if not isinstance(doc, dict):
+        fail("document is not an object")
+    retention = doc.get("retention")
+    harvests = doc.get("harvests")
+    samples = doc.get("samples")
+    if not isinstance(retention, int) or retention <= 0:
+        fail(f"bad retention: {retention!r}")
+    if not isinstance(harvests, int) or harvests < 0:
+        fail(f"bad harvests: {harvests!r}")
+    if not isinstance(samples, list):
+        fail("samples is not a list")
+    if len(samples) > retention:
+        fail(f"{len(samples)} samples exceed retention {retention}")
+    if len(samples) > harvests:
+        fail(f"{len(samples)} samples but only {harvests} harvests")
+    if len(samples) < args.min_samples:
+        fail(
+            f"--min-samples: {len(samples)} samples, "
+            f"expected >= {args.min_samples}"
+        )
+
+    last_id = None
+    last_ts = None
+    previous_values = {}  # name -> value in the preceding sample
+    points = 0
+    for i, sample in enumerate(samples):
+        if not isinstance(sample, dict):
+            fail(f"sample {i} is not an object")
+        sample_id = sample.get("sample")
+        ts_ms = sample.get("ts_ms")
+        metrics = sample.get("metrics")
+        if not isinstance(sample_id, int) or sample_id <= 0:
+            fail(f"sample {i} has bad id: {sample_id!r}")
+        if not isinstance(ts_ms, int) or ts_ms < 0:
+            fail(f"sample {i} has bad ts_ms: {ts_ms!r}")
+        if not isinstance(metrics, list):
+            fail(f"sample {i} has no metrics list")
+        if last_id is not None and sample_id <= last_id:
+            fail(f"sample {i} id {sample_id} <= preceding id {last_id}")
+        if last_ts is not None and ts_ms < last_ts:
+            fail(f"sample {i} ts_ms {ts_ms} < preceding ts_ms {last_ts}")
+        last_id, last_ts = sample_id, ts_ms
+
+        last_name = None
+        values = {}
+        for j, point in enumerate(metrics):
+            where = f"sample {i} metric {j}"
+            if not isinstance(point, dict):
+                fail(f"{where} is not an object")
+            name = point.get("name")
+            value = point.get("value")
+            delta = point.get("delta")
+            rate = point.get("rate")
+            if not isinstance(name, str) or not name:
+                fail(f"{where} has bad name: {name!r}")
+            if not isinstance(value, int):
+                fail(f"{where} ({name}) has bad value: {value!r}")
+            if not isinstance(delta, int):
+                fail(f"{where} ({name}) has bad delta: {delta!r}")
+            if not isinstance(rate, (int, float)) or not math.isfinite(rate):
+                fail(f"{where} ({name}) has bad rate: {rate!r}")
+            if rate < 0:
+                fail(f"{where} ({name}) has negative rate: {rate!r}")
+            if last_name is not None and name <= last_name:
+                fail(f"{where} name {name!r} not sorted after {last_name!r}")
+            last_name = name
+            if name in previous_values:
+                expected = value - previous_values[name]
+                if delta != expected:
+                    fail(
+                        f"{where} ({name}) delta {delta} != value change "
+                        f"{expected}"
+                    )
+            values[name] = value
+            points += 1
+        previous_values = values
+
+    print(
+        f"check_history: OK — {len(samples)} samples "
+        f"(retention {retention}, {harvests} harvests), {points} points"
+    )
+
+
+if __name__ == "__main__":
+    main()
