@@ -1,0 +1,297 @@
+// Micro-benchmarks for the distribution layer: replication catch-up
+// throughput (frame shipping and snapshot transfer, in bytes/sec) and
+// the router's scatter-gather tax — the same aggregate write and merged
+// read measured directly against one worker and through a router over
+// 1, 2 and 4 shards, with p50/p99 request latency counters. All traffic
+// crosses real loopback TCP.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/partition.h"
+#include "dist/repl.h"
+#include "dist/router.h"
+#include "sage/cleaning.h"
+#include "sage/generator.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "workbench/session.h"
+
+namespace {
+
+using namespace gea;
+
+sage::SageDataSet BenchData() {
+  sage::GeneratorConfig config;
+  config.seed = 2024;
+  config.panels = sage::SyntheticSageGenerator::SmallPanels();
+  sage::SyntheticSage synth = sage::SyntheticSageGenerator(config).Generate();
+  sage::CleanAndNormalize(synth.dataset);
+  return std::move(synth.dataset);
+}
+
+workbench::AnalysisSession* NewAdminSession() {
+  auto* session = new workbench::AnalysisSession("admin", "secret");
+  (void)session->Login("admin", "secret",
+                       workbench::AccessLevel::kAdministrator);
+  return session;
+}
+
+double PercentileMs(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted.size() - 1, static_cast<size_t>(q * (sorted.size() - 1)));
+  return sorted[index];
+}
+
+// ---- Replication catch-up ----
+
+// One primary for the whole binary: storage-backed (the hub only ships
+// acknowledged, fsynced appends), with kBufferedOps aggregate frames
+// sitting in the hub buffer for followers to drain.
+constexpr int kBufferedOps = 512;
+
+struct Primary {
+  workbench::AnalysisSession* session;
+  serve::QueryServer* server;
+  dist::ReplicationHub* hub;
+  uint64_t floor_lsn;
+};
+
+Primary& SharedPrimary() {
+  static Primary* primary = [] {
+    const std::string dir =
+        std::filesystem::temp_directory_path().string() + "/gea_bench_dist";
+    std::filesystem::remove_all(dir);
+    auto* p = new Primary();
+    p->session = NewAdminSession();
+    (void)p->session->OpenStorage(dir);
+    (void)p->session->LoadDataSet(BenchData());
+    (void)p->session->CreateTissueDataSet(sage::TissueType::kBrain);
+    p->server = new serve::QueryServer(p->session);
+    p->hub = new dist::ReplicationHub(p->session, p->server);
+    p->floor_lsn = p->hub->FloorLsn();
+    (void)p->server->Start();
+    for (int i = 0; i < kBufferedOps; ++i) {
+      (void)p->session->Aggregate("brain", "CatchUpSumy", /*replace=*/true);
+    }
+    return p;
+  }();
+  return *primary;
+}
+
+// A cold follower draining the full buffered history: repeated
+// repl_frames pulls from the floor until the batch says it is caught
+// up. Bytes/sec is the shipping throughput a replica sees during
+// catch-up; items are WAL frames.
+void BM_ReplCatchUpFrames(benchmark::State& state) {
+  Primary& primary = SharedPrimary();
+  serve::QueryClient client;
+  if (!client.Connect(primary.server->Port()).ok() ||
+      !client.Login("admin", "secret", "admin").ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+
+  int64_t bytes = 0;
+  int64_t frames = 0;
+  for (auto _ : state) {
+    uint64_t from = primary.floor_lsn;
+    while (true) {
+      Result<serve::Response> response = client.Call(
+          "repl_frames", {{"from_lsn", std::to_string(from)},
+                          {"wait_ms", "0"}});
+      if (!response.ok() || !response->ok()) {
+        state.SkipWithError("repl_frames failed");
+        return;
+      }
+      bytes += static_cast<int64_t>(response->text.size());
+      Result<dist::FrameBatch> batch = dist::DecodeFrameBatch(response->text);
+      if (!batch.ok()) {
+        state.SkipWithError("bad frame batch");
+        return;
+      }
+      frames += static_cast<int64_t>(batch->frames.size());
+      if (batch->frames.empty()) break;
+      from = batch->frames.back().lsn;
+      if (from >= batch->durable_lsn) break;
+    }
+  }
+  state.SetBytesProcessed(bytes);
+  state.SetItemsProcessed(frames);
+}
+BENCHMARK(BM_ReplCatchUpFrames)->UseRealTime();
+
+// The other catch-up path: a follower too far behind the buffer pulls a
+// full snapshot. Bytes/sec is snapshot-transfer throughput.
+void BM_ReplSnapshot(benchmark::State& state) {
+  Primary& primary = SharedPrimary();
+  serve::QueryClient client;
+  if (!client.Connect(primary.server->Port()).ok() ||
+      !client.Login("admin", "secret", "admin").ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    Result<serve::Response> response = client.Call("repl_snapshot", {});
+    if (!response.ok() || !response->ok()) {
+      state.SkipWithError("repl_snapshot failed");
+      return;
+    }
+    bytes += static_cast<int64_t>(response->text.size());
+  }
+  state.SetBytesProcessed(bytes);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReplSnapshot)->UseRealTime();
+
+// ---- Router fan-out ----
+
+// One cluster per shard count, started lazily and kept for the binary:
+// N workers each loaded with their PartitionDataSet slice (plus the
+// brain ENUM the workload touches), fronted by a router.
+struct Cluster {
+  std::vector<workbench::AnalysisSession*> sessions;
+  std::vector<serve::QueryServer*> servers;
+  dist::RouterServer* router = nullptr;
+};
+
+Cluster& SharedCluster(size_t shards) {
+  static Cluster clusters[5];
+  Cluster& cluster = clusters[shards];
+  if (cluster.router != nullptr) return cluster;
+  const sage::SageDataSet full = BenchData();
+  dist::RouterServer::Options options;
+  options.worker_user = "admin";
+  options.worker_password = "secret";
+  for (size_t shard = 0; shard < shards; ++shard) {
+    auto* session = NewAdminSession();
+    (void)session->LoadDataSet(dist::PartitionDataSet(full, shard, shards));
+    (void)session->CreateTissueDataSet(sage::TissueType::kBrain);
+    auto* server = new serve::QueryServer(session);
+    (void)server->Start();
+    options.worker_ports.push_back(server->Port());
+    cluster.sessions.push_back(session);
+    cluster.servers.push_back(server);
+  }
+  cluster.router = new dist::RouterServer(options);
+  (void)cluster.router->Start();
+  return cluster;
+}
+
+// Shared measurement loop with the p50/p99 idiom from bench_serve.
+template <typename Call>
+void RunLatencyBench(benchmark::State& state, serve::QueryClient& client,
+                     Call call) {
+  std::vector<double> latencies_ms;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    if (!call(client)) {
+      state.SkipWithError("request failed");
+      return;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  state.counters["p50_ms"] =
+      benchmark::Counter(PercentileMs(latencies_ms, 0.50));
+  state.counters["p99_ms"] =
+      benchmark::Counter(PercentileMs(latencies_ms, 0.99));
+  state.SetItemsProcessed(state.iterations());
+}
+
+bool AggregateOnce(serve::QueryClient& client) {
+  Result<serve::Response> response =
+      client.Call("aggregate", {{"enum", "brain"},
+                                {"out", "FanoutSumy"},
+                                {"replace", "1"}});
+  return response.ok() && response->ok();
+}
+
+bool FetchOnce(serve::QueryClient& client) {
+  Result<serve::Response> response =
+      client.Call("get_table", {{"name", "FanoutSumy"}});
+  return response.ok() && response->ok() && response->table.has_value();
+}
+
+// The no-router baseline: the same ops against a single worker,
+// measured over the same loopback hop.
+void BM_DirectAggregate(benchmark::State& state) {
+  Cluster& cluster = SharedCluster(1);
+  serve::QueryClient client;
+  if (!client.Connect(cluster.servers[0]->Port()).ok() ||
+      !client.Login("admin", "secret", "admin").ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  if (!AggregateOnce(client)) {
+    state.SkipWithError("seed aggregate failed");
+    return;
+  }
+  RunLatencyBench(state, client, AggregateOnce);
+}
+BENCHMARK(BM_DirectAggregate)->UseRealTime();
+
+void BM_DirectFetch(benchmark::State& state) {
+  Cluster& cluster = SharedCluster(1);
+  serve::QueryClient client;
+  if (!client.Connect(cluster.servers[0]->Port()).ok() ||
+      !client.Login("admin", "secret", "admin").ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  if (!AggregateOnce(client)) {
+    state.SkipWithError("seed aggregate failed");
+    return;
+  }
+  RunLatencyBench(state, client, FetchOnce);
+}
+BENCHMARK(BM_DirectFetch)->UseRealTime();
+
+// The routed write: one broadcast to every shard per iteration. The
+// arg is the shard count, so the rows read fan-out tax directly.
+void BM_RouterAggregate(benchmark::State& state) {
+  Cluster& cluster = SharedCluster(static_cast<size_t>(state.range(0)));
+  serve::QueryClient client;
+  if (!client.Connect(cluster.router->Port()).ok() ||
+      !client.Login("router", "router-secret", "admin").ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  if (!AggregateOnce(client)) {
+    state.SkipWithError("seed aggregate failed");
+    return;
+  }
+  RunLatencyBench(state, client, AggregateOnce);
+}
+BENCHMARK(BM_RouterAggregate)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// The routed read: scatter to every shard, k-way TagNo merge, one
+// response table per iteration.
+void BM_RouterFetchMerged(benchmark::State& state) {
+  Cluster& cluster = SharedCluster(static_cast<size_t>(state.range(0)));
+  serve::QueryClient client;
+  if (!client.Connect(cluster.router->Port()).ok() ||
+      !client.Login("router", "router-secret", "admin").ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  if (!AggregateOnce(client)) {
+    state.SkipWithError("seed aggregate failed");
+    return;
+  }
+  RunLatencyBench(state, client, FetchOnce);
+}
+BENCHMARK(BM_RouterFetchMerged)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+}  // namespace

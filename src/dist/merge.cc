@@ -1,0 +1,118 @@
+#include "dist/merge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "obs/trace.h"
+
+namespace gea::dist {
+
+Result<rel::Table> MergeByTagNo(const std::string& name,
+                                const std::vector<rel::Table>& parts) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("MergeByTagNo requires at least one part");
+  }
+  obs::TraceSpan span("dist_merge");
+  const rel::Schema& schema = parts[0].schema();
+  GEA_ASSIGN_OR_RETURN(size_t tag_col, schema.ColumnIndex("TagNo"));
+  if (schema.column(tag_col).type != rel::ValueType::kInt) {
+    return Status::InvalidArgument("TagNo column must be int");
+  }
+  for (size_t p = 1; p < parts.size(); ++p) {
+    if (!(parts[p].schema() == schema)) {
+      return Status::InvalidArgument(
+          "shard partial '" + parts[p].name() + "' schema (" +
+          parts[p].schema().ToString() + ") differs from '" +
+          parts[0].name() + "' (" + schema.ToString() + ")");
+    }
+  }
+
+  rel::Table merged(name, schema);
+  size_t total = 0;
+  for (const rel::Table& part : parts) total += part.NumRows();
+  merged.Reserve(total);
+
+  // K-way merge on the TagNo key. Shard counts are small (2-16), so a
+  // linear min scan beats heap bookkeeping.
+  std::vector<size_t> cursor(parts.size(), 0);
+  int64_t last_tag = INT64_MIN;
+  while (true) {
+    size_t best = parts.size();
+    int64_t best_tag = 0;
+    for (size_t p = 0; p < parts.size(); ++p) {
+      if (cursor[p] >= parts[p].NumRows()) continue;
+      const int64_t tag = parts[p].At(cursor[p], tag_col).AsInt();
+      if (best == parts.size() || tag < best_tag) {
+        best = p;
+        best_tag = tag;
+      } else if (tag == best_tag) {
+        return Status::InvalidArgument(
+            "duplicate TagNo " + std::to_string(tag) +
+            " across shard partials — shards are not tag-disjoint");
+      }
+    }
+    if (best == parts.size()) break;
+    if (best_tag <= last_tag) {
+      if (best_tag == last_tag) {
+        return Status::InvalidArgument(
+            "duplicate TagNo " + std::to_string(best_tag) +
+            " across shard partials — shards are not tag-disjoint");
+      }
+      return Status::InvalidArgument(
+          "shard partial '" + parts[best].name() +
+          "' is not TagNo-ascending");
+    }
+    last_tag = best_tag;
+    merged.AppendRowUnchecked(parts[best].GetRow(cursor[best]));
+    ++cursor[best];
+  }
+  return merged;
+}
+
+Result<rel::Table> SelectTopGapRows(const rel::Table& merged, size_t x,
+                                    core::TopGapMode mode,
+                                    const std::string& name) {
+  if (x == 0) {
+    return Status::InvalidArgument("top-x requires x >= 1");
+  }
+  if (merged.NumColumns() < 3) {
+    return Status::InvalidArgument(
+        "top-gap candidates need TagName, TagNo and a gap column");
+  }
+  obs::TraceSpan span("dist_top_gap_select");
+  // Mirror core::TopGap exactly: rank valid rows of the first gap column
+  // (rel column 2) by the mode's key, stable-descending so ties keep tag
+  // order, cut to x, then emit in ascending tag (= row) order.
+  const size_t gap_col = 2;
+  std::vector<size_t> ranked;
+  ranked.reserve(merged.NumRows());
+  for (size_t i = 0; i < merged.NumRows(); ++i) {
+    if (!merged.At(i, gap_col).is_null()) ranked.push_back(i);
+  }
+  auto key = [&merged, mode](size_t i) {
+    const double gap = merged.At(i, gap_col).AsDouble();
+    switch (mode) {
+      case core::TopGapMode::kLargestMagnitude:
+        return std::abs(gap);
+      case core::TopGapMode::kHighest:
+        return gap;
+      case core::TopGapMode::kLowest:
+        return -gap;
+    }
+    return gap;
+  };
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&](size_t a, size_t b) { return key(a) > key(b); });
+  if (ranked.size() > x) ranked.resize(x);
+  std::sort(ranked.begin(), ranked.end());
+
+  rel::Table result(name, merged.schema());
+  result.Reserve(ranked.size());
+  for (size_t i : ranked) {
+    result.AppendRowUnchecked(merged.GetRow(i));
+  }
+  return result;
+}
+
+}  // namespace gea::dist

@@ -1,0 +1,45 @@
+#ifndef GEA_DIST_MERGE_H_
+#define GEA_DIST_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/gap_ops.h"
+#include "rel/table.h"
+
+namespace gea::dist {
+
+/// Gather-side merges for the scatter-gather router. The invariant the
+/// whole dist layer leans on: every tag-keyed relational rendering in GEA
+/// (SUMY / GAP / ENUM rel tables, the TAGS view) stores its rows in
+/// ascending TagNo order, and the router's shards partition the tag
+/// universe disjointly. Merging shard partials back into global tag order
+/// therefore reproduces the single-node row order *exactly* — the
+/// differential battery pins the merged wire bytes to the single-session
+/// bytes.
+
+/// K-way merge of shard partials into ascending TagNo order. All parts
+/// must share `parts[0]`'s schema, which must contain an int column named
+/// `TagNo`; each part must itself be TagNo-ascending, and the parts must
+/// be tag-disjoint (a duplicate TagNo across parts is an error — it means
+/// the shards were not a partition). Empty parts are fine. The result is
+/// named `name` and rebuilt row by row, so string dictionaries come out
+/// in first-appearance order, exactly as a single node would build them.
+Result<rel::Table> MergeByTagNo(const std::string& name,
+                                const std::vector<rel::Table>& parts);
+
+/// Re-runs core::TopGap's selection on a merged candidate table (the
+/// TagNo-merge of per-shard top-x tables): rows whose first gap column
+/// (column index 2 of the GAP rel rendering) is non-null are ranked by
+/// the mode's key with a stable descending sort (ties keep tag order),
+/// truncated to `x`, and emitted back in ascending tag order. Because
+/// every globally-top row is top-x within its own shard, selecting from
+/// the merged candidates provably equals selecting from the full table.
+Result<rel::Table> SelectTopGapRows(const rel::Table& merged, size_t x,
+                                    core::TopGapMode mode,
+                                    const std::string& name);
+
+}  // namespace gea::dist
+
+#endif  // GEA_DIST_MERGE_H_

@@ -1,0 +1,33 @@
+#include "dist/partition.h"
+
+namespace gea::dist {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+size_t ShardOfTag(sage::TagId tag, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  return static_cast<size_t>(SplitMix64(tag) % num_shards);
+}
+
+sage::SageDataSet PartitionDataSet(const sage::SageDataSet& dataset,
+                                   size_t shard, size_t num_shards) {
+  sage::SageDataSet slice;
+  for (const sage::SageLibrary& library : dataset.libraries()) {
+    sage::SageLibrary copy(library.id(), library.name(), library.tissue(),
+                           library.state(), library.source());
+    for (const sage::SageLibrary::Entry& entry : library.entries()) {
+      if (ShardOfTag(entry.tag, num_shards) == shard) {
+        copy.SetCount(entry.tag, entry.count);
+      }
+    }
+    slice.AddLibrary(std::move(copy));
+  }
+  return slice;
+}
+
+}  // namespace gea::dist

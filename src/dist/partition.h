@@ -1,0 +1,36 @@
+#ifndef GEA_DIST_PARTITION_H_
+#define GEA_DIST_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sage/dataset.h"
+#include "sage/tag_codec.h"
+
+namespace gea::dist {
+
+/// Tag placement for the scatter-gather router: the ENUM matrix is
+/// hash-partitioned *by tag* across N worker shards, so every shard holds
+/// every library but only its share of the tag universe. Per-tag operators
+/// (aggregate, diff, top-gap candidates, TAGS scans) then decompose into
+/// independent per-shard runs whose results merge back in tag order.
+
+/// splitmix64 finalizer — a cheap, well-mixed 64-bit hash. Stable across
+/// platforms and releases: shard placement is part of a deployment's
+/// on-disk/contractual state, so this function must never change.
+uint64_t SplitMix64(uint64_t x);
+
+/// The owning shard of `tag` among `num_shards` (num_shards >= 1).
+size_t ShardOfTag(sage::TagId tag, size_t num_shards);
+
+/// The slice of `dataset` owned by `shard`: every library is kept (ids,
+/// names, tissue/state/source metadata — so Typeinfo and library-level
+/// lookups answer identically on every shard), but each library's entries
+/// are restricted to the tags ShardOfTag assigns to `shard`. A library
+/// with no owned tags stays in the slice with zero entries.
+sage::SageDataSet PartitionDataSet(const sage::SageDataSet& dataset,
+                                   size_t shard, size_t num_shards);
+
+}  // namespace gea::dist
+
+#endif  // GEA_DIST_PARTITION_H_

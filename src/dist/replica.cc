@@ -1,0 +1,230 @@
+#include "dist/replica.h"
+
+#include <chrono>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "dist/repl.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "serve/protocol.h"
+#include "workbench/users.h"
+
+namespace gea::dist {
+
+namespace {
+
+obs::Counter& FramesApplied() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "gea.dist.replica.frames_applied");
+  return c;
+}
+obs::Counter& SnapshotsApplied() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "gea.dist.replica.snapshots_applied");
+  return c;
+}
+
+bool IsSnapshotRequired(const Status& status) {
+  return status.code() == StatusCode::kFailedPrecondition &&
+         status.message().find("snapshot catch-up required") !=
+             std::string::npos;
+}
+
+}  // namespace
+
+ReplicaServer::ReplicaServer(Options options)
+    : options_(std::move(options)),
+      session_(options_.admin_user, options_.admin_password),
+      server_(&session_, options_.server) {}
+
+ReplicaServer::~ReplicaServer() { Stop(); }
+
+Status ReplicaServer::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("replica already running");
+  }
+  GEA_RETURN_IF_ERROR(session_.Login(options_.admin_user,
+                                     options_.admin_password,
+                                     workbench::AccessLevel::kAdministrator));
+  session_.SetReadOnly(true);
+  server_.SetRole(serve::ServerRole::kReplica);
+  // Promotion must not take the session lock in the handler: Promote()
+  // joins the puller, which itself acquires the session lock per applied
+  // record — holding it here would deadlock.
+  serve::QueryServer::HandlerSpec promote_spec;
+  promote_spec.mutating = true;
+  promote_spec.admin_only = true;
+  promote_spec.allow_on_replica = true;
+  promote_spec.needs_session_lock = false;
+  server_.RegisterHandler(
+      "promote", promote_spec, [this](const serve::Request& request) {
+        serve::Response response;
+        if (Status status = Promote(); !status.ok()) {
+          return serve::ErrorResponse(request.request_id, status);
+        }
+        response.text = "promoted";
+        return response;
+      });
+  server_.SetRoleInfoProvider([this] {
+    const uint64_t applied = applied_lsn_.load(std::memory_order_acquire);
+    const uint64_t durable =
+        primary_durable_lsn_.load(std::memory_order_acquire);
+    const uint64_t last_apply =
+        last_apply_nanos_.load(std::memory_order_acquire);
+    std::map<std::string, std::string> info;
+    info["applied_lsn"] = std::to_string(applied);
+    info["primary_durable_lsn"] = std::to_string(durable);
+    info["lag_records"] =
+        std::to_string(durable > applied ? durable - applied : 0);
+    info["lag_ms"] = std::to_string(
+        durable > applied && last_apply > 0
+            ? (obs::NowNanos() - last_apply) / 1'000'000
+            : 0);
+    info["snapshots_applied"] =
+        std::to_string(snapshots_applied_.load(std::memory_order_acquire));
+    return info;
+  });
+  RegisterReplicationStatSource(this, [this] {
+    ReplicationStatRow row;
+    row.role = promoted_.load(std::memory_order_acquire) ? "primary"
+                                                         : "replica";
+    row.port = server_.Port();
+    row.applied_lsn = applied_lsn_.load(std::memory_order_acquire);
+    const uint64_t durable =
+        primary_durable_lsn_.load(std::memory_order_acquire);
+    row.lag_records =
+        durable > row.applied_lsn ? durable - row.applied_lsn : 0;
+    row.lag_bytes = unapplied_bytes_.load(std::memory_order_acquire);
+    const uint64_t last_apply =
+        last_apply_nanos_.load(std::memory_order_acquire);
+    row.lag_ms = row.lag_records > 0 && last_apply > 0
+                     ? (obs::NowNanos() - last_apply) / 1'000'000
+                     : 0;
+    return row;
+  });
+  GEA_RETURN_IF_ERROR(server_.Start());
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  puller_ = std::thread([this] { PullLoop(); });
+  return Status::OK();
+}
+
+void ReplicaServer::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (puller_.joinable()) puller_.join();
+  server_.Stop();
+  UnregisterReplicationStatSource(this);
+  running_.store(false, std::memory_order_release);
+}
+
+Status ReplicaServer::Promote() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("replica is not running");
+  }
+  if (promoted_.load(std::memory_order_acquire)) {
+    return Status::OK();
+  }
+  promoted_.store(true, std::memory_order_release);
+  if (puller_.joinable()) puller_.join();
+  {
+    // Flip read-only under the writers' lock so in-flight reads finish
+    // against a consistent flag.
+    std::unique_lock<SharedTimedMutex> session_lock(server_.SessionMutex());
+    session_.SetReadOnly(false);
+  }
+  server_.SetRole(serve::ServerRole::kPrimary);
+  return Status::OK();
+}
+
+void ReplicaServer::PullLoop() {
+  while (!stop_.load(std::memory_order_acquire) &&
+         !promoted_.load(std::memory_order_acquire)) {
+    serve::QueryClient client;
+    Status status = client.Connect(options_.primary_port);
+    if (status.ok()) {
+      status = client.Login(options_.primary_user, options_.primary_password,
+                            "admin");
+    }
+    if (status.ok()) {
+      status = PullOnce(client);
+    }
+    if (stop_.load(std::memory_order_acquire) ||
+        promoted_.load(std::memory_order_acquire)) {
+      break;
+    }
+    // Transport or primary failure: back off, reconnect, resume from the
+    // applied LSN. The primary being gone is the failover scenario — the
+    // replica keeps serving reads while it retries.
+    std::this_thread::sleep_for(std::chrono::milliseconds(options_.retry_ms));
+  }
+}
+
+Status ReplicaServer::PullOnce(serve::QueryClient& client) {
+  while (!stop_.load(std::memory_order_acquire) &&
+         !promoted_.load(std::memory_order_acquire)) {
+    GEA_ASSIGN_OR_RETURN(
+        serve::Response response,
+        client.Call("repl_frames",
+                    {{"from_lsn", std::to_string(AppliedLsn())},
+                     {"wait_ms", std::to_string(options_.poll_wait_ms)}}));
+    if (!response.ok()) {
+      if (IsSnapshotRequired(response.ToStatus())) {
+        GEA_RETURN_IF_ERROR(ApplySnapshotCatchup(client));
+        continue;
+      }
+      return response.ToStatus();
+    }
+    GEA_ASSIGN_OR_RETURN(FrameBatch batch, DecodeFrameBatch(response.text));
+    primary_durable_lsn_.store(batch.durable_lsn, std::memory_order_release);
+    if (batch.frames.empty()) continue;
+    uint64_t pending = 0;
+    for (const ShippedFrame& frame : batch.frames) {
+      pending += frame.record.op.size() + frame.record.payload.size();
+    }
+    unapplied_bytes_.store(pending, std::memory_order_release);
+    for (const ShippedFrame& frame : batch.frames) {
+      Status applied;
+      {
+        std::unique_lock<SharedTimedMutex> session_lock(
+            server_.SessionMutex());
+        applied = session_.ApplyReplicatedRecord(frame.record);
+      }
+      if (!applied.ok()) {
+        // Deterministic replay should never fail; if it does, the local
+        // state has diverged — rebuild it from a fresh snapshot.
+        unapplied_bytes_.store(0, std::memory_order_release);
+        return ApplySnapshotCatchup(client);
+      }
+      applied_lsn_.store(frame.lsn, std::memory_order_release);
+      last_apply_nanos_.store(obs::NowNanos(), std::memory_order_release);
+      FramesApplied().Add(1);
+      pending -= frame.record.op.size() + frame.record.payload.size();
+      unapplied_bytes_.store(pending, std::memory_order_release);
+    }
+  }
+  return Status::OK();
+}
+
+Status ReplicaServer::ApplySnapshotCatchup(serve::QueryClient& client) {
+  GEA_ASSIGN_OR_RETURN(serve::Response response,
+                       client.Call("repl_snapshot"));
+  GEA_RETURN_IF_ERROR(response.ToStatus());
+  GEA_ASSIGN_OR_RETURN(auto decoded, DecodeSnapshotLsnBlob(response.text));
+  {
+    std::unique_lock<SharedTimedMutex> session_lock(server_.SessionMutex());
+    GEA_RETURN_IF_ERROR(session_.ApplySnapshotBlob(decoded.second));
+  }
+  applied_lsn_.store(decoded.first, std::memory_order_release);
+  last_apply_nanos_.store(obs::NowNanos(), std::memory_order_release);
+  snapshots_applied_.fetch_add(1, std::memory_order_acq_rel);
+  SnapshotsApplied().Add(1);
+  return Status::OK();
+}
+
+}  // namespace gea::dist

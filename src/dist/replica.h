@@ -1,0 +1,99 @@
+#ifndef GEA_DIST_REPLICA_H_
+#define GEA_DIST_REPLICA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "workbench/session.h"
+
+namespace gea::dist {
+
+/// A read-serving follower: owns a read-only AnalysisSession fronted by a
+/// QueryServer in the kReplica role, and a puller thread that streams the
+/// primary's acknowledged WAL frames (snapshot catch-up first when cold
+/// or lapped) and replays them into the session under the server's own
+/// exclusive session lock.
+///
+/// Reads (sql, tables, get_table, ...) serve normally; every mutating
+/// command is rejected with FailedPrecondition by the role-aware
+/// admission in QueryServer. Promotion — the wire command `promote`
+/// (admin) or Promote() in-process — stops the puller, clears the
+/// session's read-only flag and flips the role to kPrimary; from then on
+/// the server accepts writes. The promoted state is exactly the
+/// acknowledged prefix of the primary's WAL that reached this replica.
+class ReplicaServer {
+ public:
+  struct Options {
+    /// Local admin bootstrap (the session's own user database).
+    std::string admin_user = "replicator";
+    std::string admin_password = "replicator-secret";
+    /// Primary endpoint + admin credentials there (repl_* are admin-only).
+    int primary_port = 0;
+    std::string primary_user;
+    std::string primary_password;
+    /// Serving options for this replica's own QueryServer.
+    serve::ServerOptions server;
+    /// Long-poll window per repl_frames call.
+    uint32_t poll_wait_ms = 400;
+    /// Backoff between reconnect attempts after a transport error.
+    uint32_t retry_ms = 50;
+  };
+
+  explicit ReplicaServer(Options options);
+  ~ReplicaServer();
+
+  ReplicaServer(const ReplicaServer&) = delete;
+  ReplicaServer& operator=(const ReplicaServer&) = delete;
+
+  /// Starts the local server and the replication puller.
+  Status Start();
+  /// Stops the puller and the server. Idempotent.
+  void Stop();
+
+  /// Ends replication and makes this node a writable primary.
+  Status Promote();
+
+  int Port() const { return server_.Port(); }
+  uint64_t AppliedLsn() const {
+    return applied_lsn_.load(std::memory_order_acquire);
+  }
+  bool Promoted() const {
+    return promoted_.load(std::memory_order_acquire);
+  }
+
+  workbench::AnalysisSession& session() { return session_; }
+  serve::QueryServer& server() { return server_; }
+
+ private:
+  void PullLoop();
+  /// One catch-up + streaming attempt; returns on error (caller backs
+  /// off and retries) or when stopping/promoted.
+  Status PullOnce(serve::QueryClient& client);
+  Status ApplySnapshotCatchup(serve::QueryClient& client);
+
+  Options options_;
+  workbench::AnalysisSession session_;
+  serve::QueryServer server_;
+
+  std::mutex lifecycle_mu_;  // serializes Start/Stop/Promote
+  std::thread puller_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> promoted_{false};
+
+  std::atomic<uint64_t> applied_lsn_{0};
+  std::atomic<uint64_t> primary_durable_lsn_{0};
+  std::atomic<uint64_t> unapplied_bytes_{0};
+  std::atomic<uint64_t> last_apply_nanos_{0};
+  std::atomic<uint64_t> snapshots_applied_{0};
+};
+
+}  // namespace gea::dist
+
+#endif  // GEA_DIST_REPLICA_H_

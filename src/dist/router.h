@@ -1,0 +1,121 @@
+#ifndef GEA_DIST_ROUTER_H_
+#define GEA_DIST_ROUTER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/table.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "workbench/session.h"
+
+namespace gea::dist {
+
+/// Scatter-gather front end over N shard workers (the sharding half of
+/// src/dist). Each worker is an ordinary GEA server whose session loaded
+/// one PartitionDataSet slice — every library, a disjoint share of the
+/// tag universe. The router speaks the same wire protocol as a
+/// single-node server and re-expresses per-tag commands as fan-outs:
+///
+///   broadcast  tissue_dataset, custom_dataset, generate_metadata,
+///              aggregate, diff/create_gap, compare_gaps, gap_query —
+///              per-tag decomposable; run on every shard, results stay
+///              sharded.
+///   top_gap    two-phase: every shard computes its local top-x
+///              candidates, the router merges them in tag order and
+///              re-runs the identical selection — provably equal to the
+///              single-node top-x (a globally-top row is top-x in its
+///              shard).
+///   get_table / sql  fan out and k-way merge by TagNo when the result
+///              carries a TagNo column; if not, the shard results must
+///              agree byte-for-byte (shard-invariant relations such as
+///              Typeinfo) or the command is not routable.
+///   tables     name union across shards plus router-materialized names.
+///   rejected   populate, mine/fascicles, checkpoint — cross-tag
+///              conjunctions or per-store operations that cannot be
+///              decomposed by tag; fail FailedPrecondition.
+///
+/// Every fan-out runs shard calls in parallel with a per-shard deadline;
+/// a shard failure surfaces as that shard's error, tagged with its
+/// index. The merged wire bytes are pinned to single-node execution by
+/// the dist_merge differential battery.
+class RouterServer {
+ public:
+  struct Options {
+    /// Shard worker endpoints, in shard order (ShardOfTag index i =>
+    /// worker_ports[i]).
+    std::vector<int> worker_ports;
+    /// Credentials the router presents to each worker.
+    std::string worker_user;
+    std::string worker_password;
+    std::string worker_level = "admin";
+    /// Local admin bootstrap for the router's stub session.
+    std::string admin_user = "router";
+    std::string admin_password = "router-secret";
+    /// Serving options for the router's own QueryServer.
+    serve::ServerOptions server;
+    /// Deadline applied to every per-shard call of a fan-out.
+    uint32_t shard_deadline_ms = 10'000;
+  };
+
+  explicit RouterServer(Options options);
+  ~RouterServer();
+
+  RouterServer(const RouterServer&) = delete;
+  RouterServer& operator=(const RouterServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  int Port() const { return server_.Port(); }
+  size_t NumShards() const { return workers_.size(); }
+
+  serve::QueryServer& server() { return server_; }
+
+ private:
+  struct Worker {
+    int port = 0;
+    std::mutex mu;  // serializes use of the one synchronous client
+    serve::QueryClient client;
+  };
+
+  /// Calls `op` on every shard in parallel (one thread per shard, joined
+  /// before returning). result[i] is shard i's response or error.
+  std::vector<Result<serve::Response>> FanOut(
+      const std::string& op,
+      const std::map<std::string, std::string>& params);
+  /// Ensures the worker's client is connected and authenticated.
+  Status EnsureConnected(Worker& worker);
+
+  serve::Response HandleBroadcast(const serve::Request& request);
+  serve::Response HandleTopGap(const serve::Request& request);
+  serve::Response HandleTableRead(const serve::Request& request);
+  serve::Response HandleTables(const serve::Request& request);
+  serve::Response HandleShards(const serve::Request& request);
+
+  /// Fetches `name` from every shard and merges (TagNo merge or
+  /// identical-bytes passthrough).
+  Result<rel::Table> FetchMerged(const std::string& op,
+                                 const std::map<std::string, std::string>&
+                                     params);
+
+  Options options_;
+  workbench::AnalysisSession session_;  // stub; never holds data
+  serve::QueryServer server_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool running_ = false;
+
+  /// Tables the router materialized itself (merged top-gap results),
+  /// served by get_table ahead of the shard fan-out.
+  std::mutex cache_mu_;
+  std::map<std::string, rel::Table> cache_;
+};
+
+}  // namespace gea::dist
+
+#endif  // GEA_DIST_ROUTER_H_

@@ -1,5 +1,8 @@
 #include "serve/client.h"
 
+#include <chrono>
+#include <cstdlib>
+#include <thread>
 #include <utility>
 
 #include "common/net.h"
@@ -128,6 +131,42 @@ Result<rel::Table> QueryClient::Sql(const std::string& query) {
     return Status::Internal("sql response carried no table");
   }
   return std::move(*response.table);
+}
+
+Result<std::map<std::string, std::string>> QueryClient::RoleInfo() {
+  GEA_ASSIGN_OR_RETURN(Response response, Call("role"));
+  GEA_RETURN_IF_ERROR(response.ToStatus());
+  if (!response.table.has_value()) {
+    return Status::Internal("role response carried no table");
+  }
+  std::map<std::string, std::string> info;
+  const rel::Table& table = *response.table;
+  for (size_t i = 0; i < table.NumRows(); ++i) {
+    info[table.At(i, 0).AsString()] = table.At(i, 1).AsString();
+  }
+  return info;
+}
+
+Status QueryClient::WaitForLsn(uint64_t lsn, uint32_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    GEA_ASSIGN_OR_RETURN(auto info, RoleInfo());
+    auto it = info.find("applied_lsn");
+    if (it == info.end()) {
+      return Status::FailedPrecondition(
+          "server does not report applied_lsn (not a replica)");
+    }
+    if (std::strtoull(it->second.c_str(), nullptr, 10) >= lsn) {
+      return Status::OK();
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded("replica did not reach lsn " +
+                                      std::to_string(lsn) + " in " +
+                                      std::to_string(timeout_ms) + "ms");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
 }
 
 }  // namespace gea::serve

@@ -62,6 +62,16 @@ class QueryClient {
   /// Runs SQL; returns the result table.
   Result<rel::Table> Sql(const std::string& query);
 
+  /// The `role` command as (name -> value) pairs: "role" plus whatever
+  /// the server's RoleInfoProvider reports (applied_lsn, lag_bytes, ...).
+  Result<std::map<std::string, std::string>> RoleInfo();
+
+  /// Read-your-writes against a replica: polls RoleInfo() until the
+  /// server's `applied_lsn` reaches `lsn` or `timeout_ms` elapses
+  /// (DeadlineExceeded). A server that never reports applied_lsn (a
+  /// primary) fails FailedPrecondition immediately.
+  Status WaitForLsn(uint64_t lsn, uint32_t timeout_ms = 5000);
+
  private:
   int fd_ = -1;
   uint64_t next_request_id_ = 1;

@@ -97,7 +97,9 @@ bool IsMutating(const std::string& op) {
 bool RequiresAdmin(const std::string& op) { return op == "checkpoint"; }
 
 bool NeedsAuth(const std::string& op) {
-  return op != "ping" && op != "login" && op != "logout";
+  // `role` is a health probe: failover tooling must be able to ask who
+  // the primary is before it can log in anywhere.
+  return op != "ping" && op != "login" && op != "logout" && op != "role";
 }
 
 // ---- Param helpers ----
@@ -149,6 +151,23 @@ rel::Table NamesTable(const std::string& column,
 }
 
 }  // namespace
+
+const char* ServerRoleName(ServerRole role) {
+  switch (role) {
+    case ServerRole::kPrimary:
+      return "primary";
+    case ServerRole::kReplica:
+      return "replica";
+    case ServerRole::kRouter:
+      return "router";
+  }
+  return "unknown";
+}
+
+void QueryServer::RegisterHandler(const std::string& op, HandlerSpec spec,
+                                  Handler handler) {
+  handlers_[op] = HandlerEntry{spec, std::move(handler)};
+}
 
 // ---- Live stats + the gea_stat_serve view ----
 
@@ -651,25 +670,65 @@ Status QueryServer::WriteResponse(Connection& conn, const Response& response,
 // ---- Execution ----
 
 Response QueryServer::Execute(Connection& conn, const Request& request) {
-  if (NeedsAuth(request.op) &&
-      !conn.authenticated.load(std::memory_order_acquire)) {
+  // Registered handlers are consulted before the built-ins, so a router
+  // can override e.g. `aggregate` with a scatter-gather implementation
+  // while everything else falls through to the local session.
+  const HandlerEntry* handler = nullptr;
+  if (auto it = handlers_.find(request.op); it != handlers_.end()) {
+    handler = &it->second;
+  }
+  const bool needs_auth =
+      handler != nullptr ? handler->spec.needs_auth : NeedsAuth(request.op);
+  const bool admin_only = handler != nullptr ? handler->spec.admin_only
+                                             : RequiresAdmin(request.op);
+  const bool mutating =
+      handler != nullptr ? handler->spec.mutating : IsMutating(request.op);
+
+  if (needs_auth && !conn.authenticated.load(std::memory_order_acquire)) {
     return ErrorResponse(
         request.request_id,
         Status::PermissionDenied("please authenticate with 'login' first"));
   }
-  if (RequiresAdmin(request.op) &&
-      conn.level.load(std::memory_order_acquire) !=
-          static_cast<int>(workbench::AccessLevel::kAdministrator)) {
+  if (admin_only && conn.level.load(std::memory_order_acquire) !=
+                        static_cast<int>(workbench::AccessLevel::kAdministrator)) {
     return ErrorResponse(request.request_id,
                          Status::PermissionDenied(
                              request.op + " requires administrator access"));
   }
-  if (IsMutating(request.op)) {
-    std::unique_lock<SharedTimedMutex> lock(session_mu_);
+  // Role-aware admission: a replica serves reads and refuses writes, so
+  // a client that mistakes a replica for the primary hears a clean
+  // FailedPrecondition instead of diverging the copies. Promotion ops
+  // opt out via allow_on_replica.
+  if (mutating && Role() == ServerRole::kReplica &&
+      (handler == nullptr || !handler->spec.allow_on_replica)) {
+    return ErrorResponse(
+        request.request_id,
+        Status::FailedPrecondition(
+            request.op +
+            ": this server is a read-only replica; send writes to the "
+            "primary"));
+  }
+
+  auto run = [&]() -> Response {
+    if (handler != nullptr) {
+      Response response = handler->fn(request);
+      response.request_id = request.request_id;
+      return response;
+    }
     return Dispatch(conn, request);
+  };
+  if (handler != nullptr && !handler->spec.needs_session_lock) {
+    // Blocking handlers (the replication long-poll) synchronize on their
+    // own state; holding a session lock here could deadlock against the
+    // very mutation the poll is waiting for.
+    return run();
+  }
+  if (mutating) {
+    std::unique_lock<SharedTimedMutex> lock(session_mu_);
+    return run();
   }
   std::shared_lock<SharedTimedMutex> lock(session_mu_);
-  return Dispatch(conn, request);
+  return run();
 }
 
 Response QueryServer::Dispatch(Connection& conn, const Request& request) {
@@ -691,6 +750,25 @@ Response QueryServer::Dispatch(Connection& conn, const Request& request) {
       if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
     }
     response.text = "pong";
+    return response;
+  }
+
+  if (op == "role") {
+    // Role + dist-layer detail as (name, value) rows — the health probe
+    // behind the shell's \role and QueryClient::WaitForLsn. Auth-free
+    // like ping: failover tooling must see the role before logging in.
+    rel::Table table("role",
+                     rel::Schema({{"name", rel::ValueType::kString},
+                                  {"value", rel::ValueType::kString}}));
+    table.AppendRowUnchecked({rel::Value::String("role"),
+                              rel::Value::String(ServerRoleName(Role()))});
+    if (role_info_) {
+      for (const auto& [name, value] : role_info_()) {
+        table.AppendRowUnchecked(
+            {rel::Value::String(name), rel::Value::String(value)});
+      }
+    }
+    response.table = std::move(table);
     return response;
   }
 

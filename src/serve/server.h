@@ -6,6 +6,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -20,6 +22,16 @@
 #include "workbench/session.h"
 
 namespace gea::serve {
+
+/// What a QueryServer *is* in a replicated/sharded deployment (src/dist).
+/// A plain single-node server is a primary. The role gates admission:
+/// a replica answers every mutating command with FailedPrecondition
+/// (mutations belong on the primary); a router fans commands out to its
+/// shard workers via registered handler overrides. The role is visible
+/// through the `role` wire command and the shell's \role.
+enum class ServerRole { kPrimary = 0, kReplica = 1, kRouter = 2 };
+
+const char* ServerRoleName(ServerRole role);
 
 /// Tuning knobs for QueryServer.
 struct ServerOptions {
@@ -159,6 +171,49 @@ class QueryServer {
   };
   Stats GetStats() const;
 
+  // ---- Roles + extension commands (the src/dist attachment points) ----
+
+  /// Role changes are rare (replica promotion) and take effect for the
+  /// next admitted request. Default kPrimary.
+  void SetRole(ServerRole role) {
+    role_.store(static_cast<int>(role), std::memory_order_release);
+  }
+  ServerRole Role() const {
+    return static_cast<ServerRole>(role_.load(std::memory_order_acquire));
+  }
+
+  /// Extra (name, value) rows for the `role` command — the dist layer
+  /// reports LSNs/lag/shard fan-out here. Set before Start().
+  using RoleInfoProvider =
+      std::function<std::map<std::string, std::string>()>;
+  void SetRoleInfoProvider(RoleInfoProvider provider) {
+    role_info_ = std::move(provider);
+  }
+
+  /// A custom wire command, consulted BEFORE the built-ins (an override
+  /// of a built-in op replaces it wholesale). `mutating` picks the
+  /// exclusive session lock; `needs_session_lock = false` skips the
+  /// session lock entirely — required for handlers that block (the
+  /// replication long-poll must not hold a session lock while waiting
+  /// for a mutation that needs it exclusively); `allow_on_replica`
+  /// exempts a mutating handler from the replica rejection (promotion).
+  /// Register before Start(); the registry is read without a lock.
+  struct HandlerSpec {
+    bool mutating = false;
+    bool needs_auth = true;
+    bool admin_only = false;
+    bool allow_on_replica = false;
+    bool needs_session_lock = true;
+  };
+  using Handler = std::function<Response(const Request& request)>;
+  void RegisterHandler(const std::string& op, HandlerSpec spec,
+                       Handler handler);
+
+  /// The single-writer/many-readers session lock, exposed so replication
+  /// can apply shipped records with the same exclusion the workers use
+  /// (the puller thread takes it exclusively per applied record).
+  SharedTimedMutex& SessionMutex() { return session_mu_; }
+
  private:
   struct Connection;
   struct Task;
@@ -186,6 +241,14 @@ class QueryServer {
 
   workbench::AnalysisSession* session_;
   ServerOptions options_;
+
+  std::atomic<int> role_{0};  // ServerRole
+  RoleInfoProvider role_info_;
+  struct HandlerEntry {
+    HandlerSpec spec;
+    Handler fn;
+  };
+  std::map<std::string, HandlerEntry> handlers_;  // frozen after Start()
 
   std::mutex lifecycle_mu_;  // serializes Start/Stop
   std::atomic<bool> running_{false};

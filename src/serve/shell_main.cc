@@ -14,6 +14,9 @@
 //                             breakdown after each command
 //   \stats [view]             fetch a gea_stat_* view (default
 //                             gea_stat_requests) via get_table
+//   \role                     server role (primary/replica/router) + detail
+//   \lag                      replication lag (the gea_stat_replication view)
+//   \shards                   shard fan-out of a router (the `shards` op)
 //   help | quit
 //
 // Tables render through rel::Table::ToText; a non-OK response prints
@@ -49,6 +52,9 @@ void PrintHelp() {
                "  \\timing [on|off]       server stage breakdown per command\n"
                "  \\stats [view]          show a gea_stat_* view (default\n"
                "                          gea_stat_requests)\n"
+               "  \\role                  server role + replication detail\n"
+               "  \\lag                   the gea_stat_replication view\n"
+               "  \\shards                shard fan-out (routers only)\n"
                "  help, quit\n";
 }
 
@@ -159,7 +165,15 @@ int main(int argc, char** argv) {
     }
 
     std::map<std::string, std::string> params;
-    if (op == "\\stats") {
+    if (op == "\\role") {
+      op = "role";
+    } else if (op == "\\shards") {
+      op = "shards";
+    } else if (op == "\\lag") {
+      // Sugar like \stats: the replication view is an ordinary stat table.
+      op = "get_table";
+      params["name"] = "gea_stat_replication";
+    } else if (op == "\\stats") {
       // Sugar over get_table: the stat views are ordinary computed
       // tables, so the server path is identical to any table fetch.
       std::string view;

@@ -175,6 +175,7 @@ Result<StorageEngine::OpenResult> StorageEngine::Open(
       engine.wal_, WalWriter::Open(env, wal_path, /*truncate=*/false,
                                    options.sync_every_record));
   engine.records_since_checkpoint_ = result.records.size();
+  engine.last_lsn_ = result.records.size();
 
   // Sweep leftovers from interrupted checkpoints (best-effort).
   if (auto names = env->ListDirectory(directory); names.ok()) {
@@ -204,6 +205,7 @@ Status StorageEngine::Append(const WalRecord& record) {
   if (!wal_) return Status::FailedPrecondition("storage engine is closed");
   GEA_RETURN_IF_ERROR(wal_->Append(record));
   records_since_checkpoint_ += 1;
+  last_lsn_ += 1;
   return Status::OK();
 }
 

@@ -90,6 +90,14 @@ class StorageEngine {
   uint64_t records_since_checkpoint() const {
     return records_since_checkpoint_;
   }
+
+  /// Log sequence number of the last durable logical/blob record: a
+  /// monotonic per-attachment append counter, seeded at recovery with the
+  /// number of records replayed and bumped by every successful Append().
+  /// Checkpoint rotation does NOT reset it — the LSN numbers the logical
+  /// history, not the bytes of the current WAL file — which is what lets
+  /// replication identify a position across WAL generations.
+  uint64_t last_lsn() const { return last_lsn_; }
   const std::string& directory() const { return directory_; }
 
   std::string SnapshotPath(uint64_t generation) const;
@@ -109,6 +117,7 @@ class StorageEngine {
   StorageOptions options_;
   uint64_t generation_ = 0;
   uint64_t records_since_checkpoint_ = 0;
+  uint64_t last_lsn_ = 0;
   std::unique_ptr<WalWriter> wal_;
 };
 

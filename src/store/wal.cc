@@ -110,6 +110,58 @@ Result<WalReadResult> ReadWalFile(FileEnv* env, const std::string& path) {
   return result;
 }
 
+Result<std::unique_ptr<WalReader>> WalReader::Open(FileEnv* env,
+                                                   std::string path) {
+  return std::unique_ptr<WalReader>(new WalReader(env, std::move(path)));
+}
+
+Result<WalReader::TailResult> WalReader::Poll() {
+  TailResult result;
+  result.valid_bytes = offset_;
+  if (!env_->FileExists(path_)) {
+    // Not-yet-created log: an empty file, same as ReadWalFile. A log that
+    // existed before and vanished is a rotation; that case falls under
+    // the truncation check below once the file reappears shorter.
+    if (offset_ != 0) {
+      return Status::FailedPrecondition("WAL removed under tail reader: " +
+                                        path_);
+    }
+    return result;
+  }
+  GEA_ASSIGN_OR_RETURN(std::string data, env_->ReadFileToString(path_));
+  if (data.size() < offset_) {
+    // The log was truncated/rotated (checkpoint) past our position. The
+    // consumed prefix can no longer be mapped onto the file, so the
+    // caller must restart from a snapshot rather than keep tailing.
+    return Status::FailedPrecondition("WAL truncated under tail reader: " +
+                                      path_);
+  }
+
+  // Same frame walk as ReadWalFile, resumed at offset_. A frame that does
+  // not check out is left unconsumed — if the writer is mid-append it
+  // completes by a later Poll; if it is a crash artifact it stays pending
+  // forever and the caller decides.
+  size_t pos = offset_;
+  while (pos < data.size()) {
+    ByteReader frame(std::string_view(data).substr(pos));
+    auto len = frame.ReadU32();
+    auto crc = frame.ReadU32();
+    if (!len.ok() || !crc.ok() || frame.remaining() < *len) break;
+    std::string_view body = std::string_view(data).substr(pos + 8, *len);
+    if (Crc32(body) != *crc) break;
+    auto record = DecodeWalRecordBody(body);
+    if (!record.ok()) break;
+    result.records.push_back(std::move(*record));
+    pos += 8 + *len;
+  }
+  offset_ = pos;
+  records_read_ += result.records.size();
+  result.valid_bytes = pos;
+  result.pending_bytes = data.size() - pos;
+  result.torn_tail = result.pending_bytes > 0;
+  return result;
+}
+
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(FileEnv* env,
                                                    const std::string& path,
                                                    bool truncate,

@@ -64,6 +64,57 @@ struct WalReadResult {
 /// any other read failure is.
 Result<WalReadResult> ReadWalFile(FileEnv* env, const std::string& path);
 
+/// Incremental tail-follower over a WAL file — the streaming counterpart
+/// to the one-shot ReadWalFile scan, built for WAL shipping: a caller
+/// polls the file while a writer appends to it and receives every newly
+/// completed record exactly once, in append order.
+///
+/// The subtlety a follower must handle is the *torn final frame*: a poll
+/// that races a writer mid-append sees a partial frame (or one whose CRC
+/// does not yet check out). Unlike crash recovery, that frame is not
+/// garbage — the writer simply has not finished it — so Poll() leaves the
+/// read offset at the start of the incomplete frame and re-examines those
+/// bytes on the next call; once the append completes, the record is
+/// returned as if it had never been torn. Only the caller can know
+/// whether a persistent torn tail is a crash artifact (writer gone) or
+/// work in progress (writer alive).
+///
+/// At any point, `offset() + TailStatus.pending_bytes == file size`, and
+/// (valid, dropped) of a final Poll match ReadWalFile on the same file —
+/// a parity the tests pin down.
+class WalReader {
+ public:
+  /// Opens a tail-follow over `path`. The file may not exist yet (an
+  /// empty log); it appears at whatever Poll() first observes it.
+  static Result<std::unique_ptr<WalReader>> Open(FileEnv* env,
+                                                 std::string path);
+
+  struct TailResult {
+    std::vector<WalRecord> records;  // newly completed since last Poll
+    uint64_t valid_bytes = 0;        // cumulative durable prefix length
+    uint64_t pending_bytes = 0;      // trailing bytes of an incomplete frame
+    bool torn_tail = false;          // true when pending_bytes > 0
+  };
+
+  /// Reads every record completed since the previous Poll. Never fails
+  /// on a torn tail (see class comment); only I/O errors are errors.
+  Result<TailResult> Poll();
+
+  /// Byte offset of the durable prefix consumed so far.
+  uint64_t offset() const { return offset_; }
+  /// Records returned across all Polls.
+  uint64_t records_read() const { return records_read_; }
+
+ private:
+  WalReader(FileEnv* env, std::string path)
+      : env_(env), path_(std::move(path)) {}
+
+  FileEnv* env_;
+  std::string path_;
+  uint64_t offset_ = 0;
+  uint64_t records_read_ = 0;
+};
+
 /// Appender. With sync_every_record (the default) each Append is
 /// fsynced before returning, which is the durability contract the
 /// session relies on: an acknowledged operation survives a crash.

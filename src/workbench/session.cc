@@ -79,6 +79,14 @@ Status AnalysisSession::RequireAdmin() const {
   return Status::OK();
 }
 
+Status AnalysisSession::RequireWritable() const {
+  if (read_only_ && !applying_replication_) {
+    return Status::FailedPrecondition(
+        "session is read-only (replica); mutations must go to the primary");
+  }
+  return Status::OK();
+}
+
 // ---- Administration ----
 
 Status AnalysisSession::AddUser(const std::string& name,
@@ -128,11 +136,23 @@ Status AnalysisSession::InstallDataSet(sage::SageDataSet dataset) {
       sage::BuildTissueTypeTable(*dataset_), /*replace=*/true));
   GEA_RETURN_IF_ERROR(relations_.CreateTable(
       sage::BuildSageInfoTable(*dataset_), /*replace=*/true));
+  // The rotated TAGS view (Section 4.6.1) is registered computed, so it
+  // is rebuilt per query and — like the stat views — skipped by
+  // snapshots, SaveDatabase and the WAL. Its rows are tag-ascending,
+  // which makes it the relation the distribution router can hash-
+  // partition by tag and merge back losslessly (src/dist). The builder
+  // captures its own copy of the data set: the catalog outlives moves of
+  // this session, so it must not dereference `this`.
+  GEA_RETURN_IF_ERROR(relations_.RegisterComputed(
+      "TAGS",
+      [data = *dataset_]() { return sage::BuildTagsTable(data); },
+      /*replace=*/true));
   return Status::OK();
 }
 
 Status AnalysisSession::LoadDataSet(sage::SageDataSet dataset) {
   GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_RETURN_IF_ERROR(RequireWritable());
   GEA_RETURN_IF_ERROR(InstallDataSet(std::move(dataset)));
   RecordLineage("SAGE", lineage::NodeKind::kDataSet, "load",
                 {{"libraries", std::to_string(dataset_->NumLibraries())}},
@@ -142,6 +162,7 @@ Status AnalysisSession::LoadDataSet(sage::SageDataSet dataset) {
 
 Status AnalysisSession::InitializeDatabase() {
   GEA_RETURN_IF_ERROR(RequireAdmin());
+  GEA_RETURN_IF_ERROR(RequireWritable());
   relations_.Initialize();
   obs::RegisterStatViews(relations_);  // Initialize() dropped the views
   enums_.clear();
@@ -280,6 +301,7 @@ Status AnalysisSession::SaveDatabase(const std::string& directory) const {
 
 Status AnalysisSession::LoadDatabase(const std::string& directory) {
   GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_RETURN_IF_ERROR(RequireWritable());
 
   // Stage everything before touching the session so a bad file leaves the
   // current state intact.
@@ -399,9 +421,17 @@ Status AnalysisSession::LoadDatabase(const std::string& directory) {
     GEA_RETURN_IF_ERROR(InstallDataSet(std::move(*dataset)));
   }
   // A bulk load replaces state the WAL knows nothing about, so the
-  // storage directory (when attached) gets a full snapshot right away.
+  // storage directory (when attached) gets a full snapshot right away,
+  // and any WAL shipper is told its followers must re-seed from a
+  // snapshot — no stream of records reproduces this transition.
   if (storage_ != nullptr && !replaying_wal_) {
     GEA_RETURN_IF_ERROR(storage_->Checkpoint(BuildSnapshotImage()));
+    if (wal_observer_) {
+      store::WalRecord reset;
+      reset.type = store::WalRecord::Type::kCheckpoint;
+      reset.op = "state_reset";
+      wal_observer_(storage_->last_lsn(), reset);
+    }
   }
   return Status::OK();
 }
@@ -449,6 +479,7 @@ void AnalysisSession::RecordLineage(
 Status AnalysisSession::CreateTissueDataSet(sage::TissueType tissue,
                                             bool replace) {
   GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_RETURN_IF_ERROR(RequireWritable());
   const std::string name = sage::TissueTypeName(tissue);
   return Logged("tissue_dataset", name, [&]() -> Status {
     GEA_ASSIGN_OR_RETURN(const sage::SageDataSet* data, DataSet());
@@ -470,6 +501,7 @@ Status AnalysisSession::CreateCustomDataSet(const std::string& name,
                                             const std::vector<int>& ids,
                                             bool replace) {
   GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_RETURN_IF_ERROR(RequireWritable());
   return Logged("custom_dataset", name, [&]() -> Status {
     GEA_ASSIGN_OR_RETURN(const sage::SageDataSet* data, DataSet());
     GEA_RETURN_IF_ERROR(CheckNameFree(name, replace));
@@ -522,6 +554,7 @@ Status AnalysisSession::GenerateMetadata(const std::string& dataset_name,
                                          const std::string& meta_name,
                                          bool replace) {
   GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_RETURN_IF_ERROR(RequireWritable());
   return Logged("generate_metadata", dataset_name + " -> " + meta_name,
                 [&]() -> Status {
     if (percent < 0.0 || percent > 100.0) {
@@ -545,6 +578,7 @@ Result<std::vector<std::string>> AnalysisSession::CalculateFascicles(
     const std::string& out_prefix,
     cluster::FascicleParams::Algorithm algorithm) {
   GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_RETURN_IF_ERROR(RequireWritable());
   return Logged("fascicles", dataset_name + " -> " + out_prefix,
                 [&]() -> Result<std::vector<std::string>> {
   GEA_ASSIGN_OR_RETURN(const core::EnumTable* input, GetEnum(dataset_name));
@@ -606,6 +640,7 @@ Result<std::vector<core::PurityProperty>> AnalysisSession::CheckPurity(
 Result<AnalysisSession::ControlGroups> AnalysisSession::FormControlGroups(
     const std::string& dataset_name, const std::string& fascicle_enum) {
   GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_RETURN_IF_ERROR(RequireWritable());
   return Logged("control_groups", dataset_name + " / " + fascicle_enum,
                 [&]() -> Result<ControlGroups> {
   GEA_ASSIGN_OR_RETURN(const core::EnumTable* dataset, GetEnum(dataset_name));
@@ -690,6 +725,7 @@ Result<AnalysisSession::ControlGroups> AnalysisSession::FormControlGroups(
 Status AnalysisSession::Aggregate(const std::string& enum_name,
                                   const std::string& out_name, bool replace) {
   GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_RETURN_IF_ERROR(RequireWritable());
   return Logged("aggregate", enum_name + " -> " + out_name, [&]() -> Status {
     GEA_ASSIGN_OR_RETURN(const core::EnumTable* input, GetEnum(enum_name));
     GEA_RETURN_IF_ERROR(CheckNameFree(out_name, replace));
@@ -708,6 +744,7 @@ Status AnalysisSession::Populate(const std::string& sumy_name,
                                  const std::string& base_enum,
                                  const std::string& out_name, bool replace) {
   GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_RETURN_IF_ERROR(RequireWritable());
   return Logged("populate", sumy_name + " @ " + base_enum + " -> " + out_name,
                 [&]() -> Status {
     GEA_ASSIGN_OR_RETURN(const core::SumyTable* sumy, GetSumy(sumy_name));
@@ -733,6 +770,7 @@ Status AnalysisSession::CreateGap(const std::string& sumy1_name,
                                   const std::string& sumy2_name,
                                   const std::string& gap_name, bool replace) {
   GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_RETURN_IF_ERROR(RequireWritable());
   return Logged("create_gap",
                 sumy1_name + " - " + sumy2_name + " -> " + gap_name,
                 [&]() -> Status {
@@ -755,6 +793,7 @@ Status AnalysisSession::CreateGap(const std::string& sumy1_name,
 Result<std::string> AnalysisSession::CalculateTopGap(
     const std::string& gap_name, size_t x, core::TopGapMode mode) {
   GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_RETURN_IF_ERROR(RequireWritable());
   return Logged("top_gap", gap_name + " top " + std::to_string(x),
                 [&]() -> Result<std::string> {
     GEA_ASSIGN_OR_RETURN(const core::GapTable* gap, GetGap(gap_name));
@@ -780,6 +819,7 @@ Status AnalysisSession::CompareGapTables(const std::string& gap_a,
                                          const std::string& out_name,
                                          bool replace) {
   GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_RETURN_IF_ERROR(RequireWritable());
   return Logged("compare_gaps",
                 gap_a + " " + core::GapCompareKindName(kind) + " " + gap_b,
                 [&]() -> Status {
@@ -805,6 +845,7 @@ Status AnalysisSession::RunGapQuery(const std::string& compared_name,
                                     const std::string& out_name,
                                     bool replace) {
   GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_RETURN_IF_ERROR(RequireWritable());
   return Logged("gap_query", compared_name + " -> " + out_name,
                 [&]() -> Status {
     GEA_ASSIGN_OR_RETURN(const core::GapTable* compared,
@@ -1024,6 +1065,7 @@ Result<std::string> AnalysisSession::ExplainLast() const {
 
 Status AnalysisSession::CommentOn(const std::string& table_name,
                                   const std::string& comment) {
+  GEA_RETURN_IF_ERROR(RequireWritable());
   GEA_ASSIGN_OR_RETURN(lineage::LineageGraph::NodeId id,
                        lineage_.FindByName(table_name));
   GEA_RETURN_IF_ERROR(lineage_.SetComment(id, comment));
@@ -1033,6 +1075,7 @@ Status AnalysisSession::CommentOn(const std::string& table_name,
 Status AnalysisSession::DeleteTable(const std::string& table_name,
                                     bool cascade) {
   GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_RETURN_IF_ERROR(RequireWritable());
   GEA_ASSIGN_OR_RETURN(lineage::LineageGraph::NodeId id,
                        lineage_.FindByName(table_name));
   auto drop = [this](const std::string& name) { DropObject(name); };

@@ -2,11 +2,13 @@
 #define GEA_WORKBENCH_SESSION_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cluster/fascicles.h"
@@ -122,6 +124,45 @@ class AnalysisSession {
 
   /// Final sync, then detaches. The directory remains openable.
   Status CloseStorage();
+
+  // ---- Replication hooks (consumed by src/dist) ----
+
+  /// Marks the session read-only: every catalog-mutating operation fails
+  /// with FailedPrecondition("session is read-only"). The replication
+  /// apply paths (ApplyReplicatedRecord / ApplySnapshotBlob) bypass the
+  /// guard — a replica session is read-only for clients but writable by
+  /// the replication stream. Promotion simply clears the flag.
+  void SetReadOnly(bool read_only) { read_only_ = read_only; }
+  bool ReadOnly() const { return read_only_; }
+
+  /// Re-executes one shipped WAL record through the normal operator
+  /// methods (the same dispatch recovery replay uses), bypassing the
+  /// read-only guard and suppressing local WAL re-append. The caller must
+  /// be logged in, and must apply records in shipped LSN order.
+  Status ApplyReplicatedRecord(const store::WalRecord& record);
+
+  /// The whole catalog as one blob (the in-memory snapshot codec over
+  /// BuildSnapshotImage) — replication's cold-follower catch-up payload.
+  std::string ExportSnapshotBlob() const;
+  /// Replaces the catalog with a blob from ExportSnapshotBlob, bypassing
+  /// the read-only guard. A corrupt blob leaves the session untouched.
+  Status ApplySnapshotBlob(std::string_view blob);
+
+  /// Observes every acknowledged WAL append: fired with the record and
+  /// its LSN (StorageEngine::last_lsn()) right after the fsynced append
+  /// succeeds, before any automatic checkpoint, on the mutating thread.
+  /// A bulk state replacement that bypasses the WAL (LoadDatabase on an
+  /// attached store) instead fires a synthetic kCheckpoint record with op
+  /// "state_reset" — shippers must force followers back to snapshot
+  /// catch-up when they see it. At most one observer; empty clears it.
+  using WalObserver =
+      std::function<void(uint64_t lsn, const store::WalRecord& record)>;
+  void SetWalObserver(WalObserver observer) {
+    wal_observer_ = std::move(observer);
+  }
+
+  /// LSN of the last durable WAL record; 0 while storage is detached.
+  uint64_t DurableLsn() const { return storage_ ? storage_->last_lsn() : 0; }
 
   // ---- Data sets (Figs. 4.4 and 4.15) ----
 
@@ -311,6 +352,9 @@ class AnalysisSession {
  private:
   Status RequireLogin() const;
   Status RequireAdmin() const;
+  /// FailedPrecondition on a read-only session, unless the call is on
+  /// the replication-apply path (applying_replication_).
+  Status RequireWritable() const;
 
   static const Status& StatusOf(const Status& status) { return status; }
   template <typename T>
@@ -396,6 +440,9 @@ class AnalysisSession {
   std::unique_ptr<store::StorageEngine> storage_;
   std::optional<store::RecoverySummary> recovery_;
   bool replaying_wal_ = false;
+  bool read_only_ = false;
+  bool applying_replication_ = false;
+  WalObserver wal_observer_;
 
   std::map<std::string, core::EnumTable> enums_;
   std::map<std::string, core::SumyTable> sumys_;

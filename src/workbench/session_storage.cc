@@ -138,6 +138,7 @@ Status AnalysisSession::OpenStorage(const std::string& directory,
                                     store::StorageOptions options,
                                     store::FileEnv* env) {
   GEA_RETURN_IF_ERROR(RequireAdmin());
+  GEA_RETURN_IF_ERROR(RequireWritable());
   if (storage_) {
     return Status::FailedPrecondition(
         "a storage directory is already attached: " + storage_->directory());
@@ -198,8 +199,12 @@ Status AnalysisSession::CloseStorage() {
 Status AnalysisSession::WalOp(const std::string& op,
                               std::map<std::string, std::string> params) {
   if (!storage_ || replaying_wal_) return Status::OK();
-  GEA_RETURN_IF_ERROR(
-      storage_->Append(store::WalRecord::LogicalOp(op, std::move(params))));
+  const store::WalRecord record =
+      store::WalRecord::LogicalOp(op, std::move(params));
+  GEA_RETURN_IF_ERROR(storage_->Append(record));
+  // Observe only acknowledged (fsynced) appends: replication must never
+  // ship a record a crash could still take back.
+  if (wal_observer_) wal_observer_(storage_->last_lsn(), record);
   if (storage_->CheckpointDue()) {
     return storage_->Checkpoint(BuildSnapshotImage());
   }
@@ -215,12 +220,43 @@ Status AnalysisSession::WalLogDataSet() {
 
 Status AnalysisSession::WalBlob(const std::string& kind, std::string payload) {
   if (!storage_ || replaying_wal_) return Status::OK();
-  GEA_RETURN_IF_ERROR(
-      storage_->Append(store::WalRecord::BlobRecord(kind, std::move(payload))));
+  const store::WalRecord record =
+      store::WalRecord::BlobRecord(kind, std::move(payload));
+  GEA_RETURN_IF_ERROR(storage_->Append(record));
+  if (wal_observer_) wal_observer_(storage_->last_lsn(), record);
   if (storage_->CheckpointDue()) {
     return storage_->Checkpoint(BuildSnapshotImage());
   }
   return Status::OK();
+}
+
+// ---- Replication hooks ----
+
+Status AnalysisSession::ApplyReplicatedRecord(const store::WalRecord& record) {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+  // Same re-execution path as recovery replay. replaying_wal_ keeps the
+  // applied operation from being re-appended to a local WAL (a promoted
+  // replica attaches its own store later); applying_replication_ lets the
+  // operators through the read-only guard.
+  applying_replication_ = true;
+  replaying_wal_ = true;
+  Status applied = ReplayWalRecord(record);
+  replaying_wal_ = false;
+  applying_replication_ = false;
+  return applied;
+}
+
+std::string AnalysisSession::ExportSnapshotBlob() const {
+  return store::EncodeSnapshot(BuildSnapshotImage());
+}
+
+Status AnalysisSession::ApplySnapshotBlob(std::string_view blob) {
+  GEA_RETURN_IF_ERROR(RequireLogin());
+  GEA_ASSIGN_OR_RETURN(store::SnapshotImage image, store::DecodeSnapshot(blob));
+  applying_replication_ = true;
+  Status restored = RestoreFromSnapshotImage(image);
+  applying_replication_ = false;
+  return restored;
 }
 
 Status AnalysisSession::ReplayWalRecord(const store::WalRecord& record) {

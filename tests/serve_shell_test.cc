@@ -8,6 +8,8 @@
 #include <sstream>
 #include <string>
 
+#include "dist/repl.h"
+#include "dist/router.h"
 #include "sage/cleaning.h"
 #include "sage/generator.h"
 #include "serve/server.h"
@@ -38,6 +40,9 @@ TEST(ServeShellTest, ScriptedSessionEndToEnd) {
   ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain).ok());
 
   QueryServer server(&session);
+  // A hub makes the replication surface visible to the shell: \role shows
+  // the role row and \lag reads the gea_stat_replication view.
+  dist::ReplicationHub hub(&session, &server);
   ASSERT_TRUE(server.Start().ok());
 
   const std::string script_path = testing::TempDir() + "/gea_shell_script.txt";
@@ -54,6 +59,8 @@ TEST(ServeShellTest, ScriptedSessionEndToEnd) {
            << "ping\n"
            << "\\stats\n"
            << "\\stats gea_stat_counters\n"
+           << "\\role\n"
+           << "\\lag\n"
            << "bogus_command\n"
            << "quit\n";
   }
@@ -80,8 +87,69 @@ TEST(ServeShellTest, ScriptedSessionEndToEnd) {
   EXPECT_NE(output.find("lock_wait_ms"), std::string::npos) << output;
   EXPECT_NE(output.find("gea_stat_counters ("), std::string::npos) << output;
 
+  // \role prints the role table; \lag reads gea_stat_replication, where
+  // the hub registered its primary row.
+  EXPECT_NE(output.find("primary"), std::string::npos) << output;
+  EXPECT_NE(output.find("gea_stat_replication ("), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("shipped_lsn"), std::string::npos) << output;
+
   // The shell's mutation really landed in the shared session.
   EXPECT_TRUE(session.GetSumy("ShellSumy").ok());
+}
+
+// The same scripted shell against a router front end: \role shows the
+// router role and \shards renders the shard topology.
+TEST(ServeShellTest, ScriptedSessionAgainstARouter) {
+  sage::GeneratorConfig config;
+  config.seed = 42;
+  config.panels = sage::SyntheticSageGenerator::SmallPanels();
+  sage::SyntheticSage synth = sage::SyntheticSageGenerator(config).Generate();
+  sage::CleanAndNormalize(synth.dataset);
+
+  workbench::AnalysisSession worker_session("admin", "secret");
+  ASSERT_TRUE(worker_session
+                  .Login("admin", "secret",
+                         workbench::AccessLevel::kAdministrator)
+                  .ok());
+  ASSERT_TRUE(worker_session.LoadDataSet(std::move(synth.dataset)).ok());
+  QueryServer worker(&worker_session);
+  ASSERT_TRUE(worker.Start().ok());
+
+  dist::RouterServer::Options options;
+  options.worker_ports = {worker.Port()};
+  options.worker_user = "admin";
+  options.worker_password = "secret";
+  dist::RouterServer router(options);
+  ASSERT_TRUE(router.Start().ok());
+
+  const std::string script_path =
+      testing::TempDir() + "/gea_shell_router_script.txt";
+  const std::string out_path =
+      testing::TempDir() + "/gea_shell_router_out.txt";
+  {
+    std::ofstream script(script_path);
+    script << "login router router-secret admin\n"
+           << "\\role\n"
+           << "\\shards\n"
+           << "tissue_dataset tissue=brain\n"
+           << "aggregate enum=brain out=RoutedSumy\n"
+           << "sql SELECT COUNT(*) AS n FROM Libraries\n"
+           << "quit\n";
+  }
+  const std::string command = std::string(GEA_SHELL_PATH) +
+                              " --port=" + std::to_string(router.Port()) +
+                              " < " + script_path + " > " + out_path + " 2>&1";
+  const int rc = std::system(command.c_str());
+  router.Stop();
+  worker.Stop();
+  ASSERT_EQ(rc, 0) << ReadFileOrEmpty(out_path);
+
+  const std::string output = ReadFileOrEmpty(out_path);
+  EXPECT_NE(output.find("router"), std::string::npos) << output;
+  EXPECT_NE(output.find("shards ("), std::string::npos) << output;
+  EXPECT_NE(output.find("created RoutedSumy"), std::string::npos) << output;
+  EXPECT_TRUE(worker_session.GetSumy("RoutedSumy").ok());
 }
 
 }  // namespace
