@@ -10,7 +10,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -18,6 +20,7 @@
 #include "sage/generator.h"
 #include "serve/client.h"
 #include "serve/server.h"
+#include "store/engine.h"
 #include "workbench/session.h"
 
 namespace {
@@ -207,5 +210,123 @@ void BM_ServeMixed(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServeMixed)->Threads(4)->Threads(16)->UseRealTime();
+
+// ---- Group-commit sweep ----
+//
+// Storage-backed servers where every client is a writer (aggregate
+// replace=1, one WAL record per request), so items_per_second is WAL
+// commits per second. Two servers isolate the two durability modes:
+//
+//   BM_ServeCommitNoBatch — deferred commits off: each request fsyncs
+//     its own record while still holding the writer lock, which is the
+//     classic one-fsync-per-commit ceiling (~10k writes/s on most
+//     disks, worse the more writers contend).
+//   BM_ServeCommitBatched — the serving default: the ticket is waited
+//     on after the writer lock drops, so concurrent writers' records
+//     land in one leader-written batch under a single shared fsync.
+//
+// The recs_per_fsync counter (delta of gea.txn.group_commit_records
+// over gea.txn.group_commits) shows the coalescing directly: ~1.0 in
+// the no-batch rows, rising with the client count in the batched rows.
+serve::QueryServer& GroupCommitServer(bool batched) {
+  static serve::QueryServer* servers[2] = {nullptr, nullptr};
+  serve::QueryServer*& slot = servers[batched ? 1 : 0];
+  if (slot == nullptr) {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         (batched ? "gea_bench_gc_batched" : "gea_bench_gc_nobatch"))
+            .string();
+    std::filesystem::remove_all(dir);
+
+    sage::GeneratorConfig config;
+    config.seed = 2024;
+    config.panels = sage::SyntheticSageGenerator::SmallPanels();
+    sage::SyntheticSage synth =
+        sage::SyntheticSageGenerator(config).Generate();
+    sage::CleanAndNormalize(synth.dataset);
+
+    auto* session = new workbench::AnalysisSession("admin", "secret");
+    (void)session->Login("admin", "secret",
+                         workbench::AccessLevel::kAdministrator);
+    (void)session->OpenStorage(dir);
+    (void)session->LoadDataSet(std::move(synth.dataset));
+    (void)session->CreateTissueDataSet(sage::TissueType::kBrain);
+
+    serve::ServerOptions options;
+    options.num_workers = 16;
+    options.queue_capacity = 256;
+    slot = new serve::QueryServer(session, options);
+    (void)slot->Start();
+    // Start() switched the session to deferred commits; the no-batch
+    // server reverts before any traffic so every request syncs inline.
+    if (!batched) session->SetDeferredCommits(false);
+  }
+  return *slot;
+}
+
+void RunCommitBench(benchmark::State& state, bool batched) {
+  static obs::ScopedMetricsEnable* metrics =
+      new obs::ScopedMetricsEnable(true);
+  (void)metrics;
+  serve::QueryServer& server = GroupCommitServer(batched);
+  static obs::MetricsSnapshot before;
+  if (state.thread_index() == 0) {
+    before = obs::MetricsRegistry::Global().Snapshot();
+  }
+
+  serve::QueryClient client;
+  if (!client.Connect(server.Port()).ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  if (!client.Login("admin", "secret", "admin").ok()) {
+    state.SkipWithError("login failed");
+    return;
+  }
+  const std::string out =
+      "BenchGcSumy" + std::to_string(state.thread_index());
+  for (auto _ : state) {
+    if (!client
+             .Call("aggregate",
+                   {{"enum", "brain"}, {"out", out}, {"replace", "1"}})
+             .ok()) {
+      state.SkipWithError("aggregate failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+
+  if (state.thread_index() == 0) {
+    const obs::MetricsSnapshot after =
+        obs::MetricsRegistry::Global().Snapshot();
+    const auto counter = [](const obs::MetricsSnapshot& snapshot,
+                            const std::string& name) -> double {
+      for (const auto& c : snapshot.counters) {
+        if (c.name == name) return static_cast<double>(c.value);
+      }
+      return 0.0;
+    };
+    const double fsyncs =
+        counter(after, "gea.txn.group_commits") -
+        counter(before, "gea.txn.group_commits");
+    const double records =
+        counter(after, "gea.txn.group_commit_records") -
+        counter(before, "gea.txn.group_commit_records");
+    state.counters["recs_per_fsync"] =
+        benchmark::Counter(fsyncs > 0 ? records / fsyncs : 0.0);
+  }
+}
+
+void BM_ServeCommitNoBatch(benchmark::State& state) {
+  RunCommitBench(state, /*batched=*/false);
+}
+BENCHMARK(BM_ServeCommitNoBatch)
+    ->Threads(1)->Threads(4)->Threads(16)->UseRealTime();
+
+void BM_ServeCommitBatched(benchmark::State& state) {
+  RunCommitBench(state, /*batched=*/true);
+}
+BENCHMARK(BM_ServeCommitBatched)
+    ->Threads(1)->Threads(4)->Threads(16)->UseRealTime();
 
 }  // namespace

@@ -44,6 +44,10 @@ inline constexpr const char* kStatServeView = "gea_stat_serve";
 /// obs/timeseries.h): one row per (sample, metric) with value, delta and
 /// per-second rate.
 inline constexpr const char* kStatHistoryView = "gea_stat_history";
+/// Registered by gea_txn: MVCC epoch + group-commit telemetry (live
+/// epoch, pinned readers, retired bytes, batch-size and fsync
+/// amortization histograms).
+inline constexpr const char* kStatTransactionsView = "gea_stat_transactions";
 
 /// Extension point: a higher layer contributes a stat view without obs
 /// linking against it (gea_store registers gea_stat_storage this way at

@@ -112,6 +112,26 @@ void Catalog::Initialize() {
   computed_cache_.clear();
 }
 
+Catalog Catalog::Clone() const {
+  Catalog copy;
+  for (const auto& [name, table] : tables_) {
+    copy.tables_.emplace(name, std::make_unique<Table>(*table));
+  }
+  copy.computed_ = computed_;
+  return copy;
+}
+
+uint64_t Catalog::ApproxBytes() const {
+  // Coarse estimate: 16 bytes per cell covers the typed column storage
+  // plus null bitmap and dictionary overhead without walking every
+  // column. Reclamation accounting wants magnitude, not exactness.
+  uint64_t bytes = 0;
+  for (const auto& [name, table] : tables_) {
+    bytes += 16u * table->NumRows() * std::max<size_t>(1, table->NumColumns());
+  }
+  return bytes;
+}
+
 std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> names;
   names.reserve(tables_.size() + computed_.size());

@@ -79,6 +79,17 @@ class Catalog {
   /// Names of all registered tables (stored + computed), sorted.
   std::vector<std::string> TableNames() const;
 
+  /// A deep copy: stored tables are copied, computed builders are shared
+  /// (std::function copy), the materialization cache starts empty. The
+  /// MVCC layer clones the catalog into each published epoch so frozen
+  /// snapshots can materialize views concurrently with the live catalog.
+  Catalog Clone() const;
+
+  /// Approximate heap footprint of the stored tables (computed views
+  /// materialize on demand and are not counted). Feeds the epoch
+  /// retired-bytes accounting.
+  uint64_t ApproxBytes() const;
+
   size_t NumTables() const { return tables_.size() + computed_.size(); }
 
  private:

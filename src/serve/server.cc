@@ -16,6 +16,7 @@
 #include "obs/statviews.h"
 #include "obs/trace.h"
 #include "sage/library.h"
+#include "txn/group_commit.h"
 
 namespace gea::serve {
 
@@ -95,6 +96,19 @@ bool IsMutating(const std::string& op) {
 }
 
 bool RequiresAdmin(const std::string& op) { return op == "checkpoint"; }
+
+// Built-in reads that execute against a pinned MVCC catalog epoch (or
+// per-connection auth state) and therefore take NO session lock at all —
+// a checkpoint or writer burst can never block them. `ping` is absent on
+// purpose: it is the probe the admission/lock-wait tests park on the
+// shared lock, and it reads no catalog state that would benefit.
+bool LockFreeRead(const std::string& op) {
+  static const std::set<std::string>* const kLockFree =
+      new std::set<std::string>{"sql",       "tables", "get_table",
+                                "explain",   "query_log", "role",
+                                "login",     "logout"};
+  return kLockFree->count(op) > 0;
+}
 
 bool NeedsAuth(const std::string& op) {
   // `role` is a health probe: failover tooling must be able to ask who
@@ -304,6 +318,9 @@ Status QueryServer::Start() {
     return Status::FailedPrecondition(
         "the embedded session must be logged in before serving");
   }
+  // Served writes collect their commit ticket inside the writer lock and
+  // wait for the group-commit fsync outside it (see Execute()).
+  session_->SetDeferredCommits(true);
   GEA_ASSIGN_OR_RETURN(net::ListenSocket listener,
                        net::ListenLoopback(options_.port));
   listen_fd_ = listener.fd;
@@ -374,6 +391,8 @@ void QueryServer::Stop() {
     conns_.clear();  // remaining Connection refs die with their tasks
   }
   port_.store(0, std::memory_order_release);
+  // Back to inline durability for direct (unserved) session use.
+  if (session_ != nullptr) session_->SetDeferredCommits(false);
   obs::LogRecord(obs::LogLevel::kInfo, "serve_stopped").Emit();
 }
 
@@ -723,9 +742,32 @@ Response QueryServer::Execute(Connection& conn, const Request& request) {
     // very mutation the poll is waiting for.
     return run();
   }
-  if (mutating) {
-    std::unique_lock<SharedTimedMutex> lock(session_mu_);
+  if (handler == nullptr && !mutating && LockFreeRead(request.op)) {
+    // MVCC read path: the operator pins the current catalog epoch and
+    // runs against that immutable version, so no lock is needed and no
+    // writer can ever block it.
     return run();
+  }
+  if (mutating) {
+    // The exclusive lock now orders only writer-vs-writer catalog
+    // mutation. Durability is NOT awaited under the lock: the session
+    // runs with deferred commits, we collect the ticket here and wait
+    // after unlocking, so concurrent writers' records coalesce into one
+    // group-commit fsync.
+    Response response;
+    std::shared_ptr<txn::CommitTicket> ticket;
+    {
+      std::unique_lock<SharedTimedMutex> lock(session_mu_);
+      response = run();
+      ticket = session_->TakePendingCommit();
+    }
+    if (ticket != nullptr) {
+      if (Status durable = ticket->Wait();
+          !durable.ok() && response.code == StatusCode::kOk) {
+        return ErrorResponse(request.request_id, durable);
+      }
+    }
+    return response;
   }
   std::shared_lock<SharedTimedMutex> lock(session_mu_);
   return run();
@@ -817,36 +859,18 @@ Response QueryServer::Dispatch(Connection& conn, const Request& request) {
   }
 
   if (op == "tables") {
-    std::vector<std::string> names = session_->TableNames();
-    for (const std::string& name : session_->Relations().TableNames()) {
-      names.push_back(name);
-    }
-    std::sort(names.begin(), names.end());
-    response.table = NamesTable("name", names);
+    // Snapshot-based: runs lock-free against the pinned epoch.
+    response.table = NamesTable("name", session_->SnapshotTableNames());
     return response;
   }
 
   if (op == "get_table") {
     Result<std::string> name = GetParam(request, "name");
     if (!name.ok()) return fail(name.status());
-    Result<rel::Table> stored = session_->Relations().MaterializeTable(*name);
-    if (stored.ok()) {
-      response.table = std::move(*stored);
-      return response;
-    }
-    if (Result<const core::EnumTable*> e = session_->GetEnum(*name); e.ok()) {
-      response.table = (*e)->ToRelTable();
-      return response;
-    }
-    if (Result<const core::SumyTable*> s = session_->GetSumy(*name); s.ok()) {
-      response.table = (*s)->ToRelTable();
-      return response;
-    }
-    if (Result<const core::GapTable*> g = session_->GetGap(*name); g.ok()) {
-      response.table = (*g)->ToRelTable();
-      return response;
-    }
-    return fail(Status::NotFound("no such table: " + *name));
+    Result<rel::Table> table = session_->MaterializeAnyTable(*name);
+    if (!table.ok()) return fail(table.status());
+    response.table = std::move(*table);
+    return response;
   }
 
   if (op == "explain") {

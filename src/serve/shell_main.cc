@@ -13,7 +13,9 @@
 //   \timing [on|off]          print the server's per-stage latency
 //                             breakdown after each command
 //   \stats [view]             fetch a gea_stat_* view (default
-//                             gea_stat_requests) via get_table
+//                             gea_stat_requests) via get_table;
+//                             gea_stat_transactions shows MVCC epochs,
+//                             pinned readers and group-commit batching
 //   \role                     server role (primary/replica/router) + detail
 //   \lag                      replication lag (the gea_stat_replication view)
 //   \shards                   shard fan-out of a router (the `shards` op)
@@ -51,7 +53,9 @@ void PrintHelp() {
                "                          checkpoint, ...)\n"
                "  \\timing [on|off]       server stage breakdown per command\n"
                "  \\stats [view]          show a gea_stat_* view (default\n"
-               "                          gea_stat_requests)\n"
+               "                          gea_stat_requests; try\n"
+               "                          gea_stat_transactions for MVCC\n"
+               "                          epochs + group commit)\n"
                "  \\role                  server role + replication detail\n"
                "  \\lag                   the gea_stat_replication view\n"
                "  \\shards                shard fan-out (routers only)\n"

@@ -209,6 +209,15 @@ Status StorageEngine::Append(const WalRecord& record) {
   return Status::OK();
 }
 
+Status StorageEngine::AppendBatch(const std::vector<WalRecord>& records) {
+  if (!wal_) return Status::FailedPrecondition("storage engine is closed");
+  if (records.empty()) return Status::OK();
+  GEA_RETURN_IF_ERROR(wal_->AppendBatch(records));
+  records_since_checkpoint_ += records.size();
+  last_lsn_ += records.size();
+  return Status::OK();
+}
+
 bool StorageEngine::CheckpointDue() const {
   return options_.checkpoint_every_records > 0 &&
          records_since_checkpoint_ >= options_.checkpoint_every_records;

@@ -1,6 +1,7 @@
 #ifndef GEA_STORE_ENGINE_H_
 #define GEA_STORE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -77,6 +78,12 @@ class StorageEngine {
   /// Appends one record to the live WAL (fsynced per StorageOptions).
   Status Append(const WalRecord& record);
 
+  /// Appends every record and issues a single fsync for the batch (group
+  /// commit). last_lsn() advances by records.size() only on success —
+  /// a batch that fails anywhere is entirely unacknowledged, and recovery
+  /// trims whatever prefix of it reached the file as a torn tail.
+  Status AppendBatch(const std::vector<WalRecord>& records);
+
   /// Writes `image` as the next generation's snapshot, rotates the WAL,
   /// and commits via CURRENT. On success the WAL is empty again.
   Status Checkpoint(const SnapshotImage& image);
@@ -116,8 +123,12 @@ class StorageEngine {
   std::string directory_;
   StorageOptions options_;
   uint64_t generation_ = 0;
-  uint64_t records_since_checkpoint_ = 0;
-  uint64_t last_lsn_ = 0;
+  // Atomic because the group-commit leader bumps them from whichever
+  // waiter thread wins the batch, after the session's writer lock has
+  // already been released; concurrent readers poll last_lsn()/
+  // CheckpointDue() under only the shared lock.
+  std::atomic<uint64_t> records_since_checkpoint_{0};
+  std::atomic<uint64_t> last_lsn_{0};
   std::unique_ptr<WalWriter> wal_;
 };
 

@@ -208,6 +208,43 @@ Status WalWriter::Append(const WalRecord& record) {
   return Status::OK();
 }
 
+Status WalWriter::AppendBatch(const std::vector<WalRecord>& records) {
+  const bool attribute = obs::StageCollectionActive();
+  uint64_t batch_bytes = 0;
+  {
+    obs::TraceSpan append_span("wal_append_batch");
+    const uint64_t append_start = attribute ? obs::NowNanos() : 0;
+    for (const WalRecord& record : records) {
+      const std::string framed = EncodeWalRecord(record);
+      GEA_RETURN_IF_ERROR(file_->Append(framed));
+      batch_bytes += framed.size();
+    }
+    if (attribute) {
+      obs::AddStageNanos(obs::RequestStage::kWalAppend,
+                         obs::NowNanos() - append_start);
+    }
+  }
+  {
+    obs::TraceSpan fsync_span("wal_fsync");
+    const uint64_t fsync_start = attribute ? obs::NowNanos() : 0;
+    GEA_RETURN_IF_ERROR(file_->Sync());
+    if (attribute) {
+      obs::AddStageNanos(obs::RequestStage::kWalFsync,
+                         obs::NowNanos() - fsync_start);
+    }
+  }
+  records_ += records.size();
+  bytes_ += batch_bytes;
+
+  static obs::Counter& wal_records =
+      obs::MetricsRegistry::Global().GetCounter("gea.store.wal_records");
+  static obs::Counter& wal_bytes =
+      obs::MetricsRegistry::Global().GetCounter("gea.store.wal_bytes");
+  wal_records.Add(records.size());
+  wal_bytes.Add(batch_bytes);
+  return Status::OK();
+}
+
 Status WalWriter::Sync() { return file_->Sync(); }
 
 Status WalWriter::Close() {

@@ -126,6 +126,15 @@ class WalWriter {
                                                  bool sync_every_record);
 
   Status Append(const WalRecord& record);
+
+  /// Appends every record, then issues ONE fsync for the whole batch —
+  /// the group-commit primitive. The sync happens regardless of
+  /// sync_every_record: callers batch precisely to amortize the sync, so
+  /// durability-on-return is the point. On failure the batch must be
+  /// treated as entirely unacknowledged (the tail may be torn mid-batch;
+  /// recovery trims it like any other torn tail).
+  Status AppendBatch(const std::vector<WalRecord>& records);
+
   Status Sync();
   Status Close();
 

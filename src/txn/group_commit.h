@@ -1,0 +1,112 @@
+#ifndef GEA_TXN_GROUP_COMMIT_H_
+#define GEA_TXN_GROUP_COMMIT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/status.h"
+#include "store/engine.h"
+#include "store/wal.h"
+
+namespace gea::txn {
+
+class GroupCommitter;
+
+/// One submitted WAL record's handle. Wait() blocks until the record's
+/// whole batch is durable (one shared fsync) and returns the commit
+/// status; it is idempotent and callable from any thread.
+class CommitTicket {
+ public:
+  /// Blocks until durable (or failed). The calling thread may be drafted
+  /// as the batch leader (see GroupCommitter). Charges the wait to the
+  /// active request's wal_fsync stage when one is being collected.
+  Status Wait();
+
+  /// The record's log sequence number, assigned at Submit() time.
+  uint64_t lsn() const { return lsn_; }
+
+ private:
+  friend class GroupCommitter;
+  struct Shared;
+  explicit CommitTicket(std::shared_ptr<Shared> shared)
+      : shared_(std::move(shared)) {}
+
+  std::shared_ptr<Shared> shared_;
+  uint64_t lsn_ = 0;
+  bool done_ = false;   // guarded by Shared::mu
+  Status status_ = Status::OK();  // guarded by Shared::mu
+};
+
+/// Group-commit WAL committer: concurrent Submit()s enqueue encoded
+/// records into one commit batch; the first thread to Wait() (or Drain())
+/// while no leader is active becomes the leader, drains the whole queue
+/// through StorageEngine::AppendBatch — every record appended, ONE fsync —
+/// fires the durable callback per record in LSN order, and wakes all
+/// waiters (leader-follower handoff, no dedicated thread).
+///
+/// Durability contract (identical to per-record sync, just batched):
+///   - a ticket's Wait() returns OK only after the fsync covering its
+///     record succeeded;
+///   - the durable callback (the replication observer) fires only for
+///     fsync-acked records, in LSN order, before their waiters are woken;
+///   - a batch that fails anywhere acknowledges NOTHING: every ticket in
+///     it gets the error, no callback fires, and the committer goes
+///     sticky-failed (subsequent submits fail fast) because the WAL tail
+///     is now indeterminate. Recovery replays exactly the previously
+///     acked prefix; the torn batch suffix is trimmed like any torn tail.
+///
+/// LSNs are assigned at Submit() time by a committer-owned counter seeded
+/// from engine->last_lsn(), so the engine's own counter (which advances
+/// only on durable batches) and the tickets always agree on success.
+///
+/// Threading: Submit() is called under the session's writer exclusivity;
+/// Wait() runs anywhere (typically after the writer lock is released, so
+/// concurrent writers' fsyncs coalesce). Exactly one leader runs at a
+/// time; the engine is never touched concurrently.
+class GroupCommitter {
+ public:
+  using DurableCallback =
+      std::function<void(uint64_t lsn, const store::WalRecord& record)>;
+
+  /// `engine` must outlive every Wait()/Drain() (the session closes the
+  /// committer via Drain() before closing the engine).
+  explicit GroupCommitter(store::StorageEngine* engine);
+  ~GroupCommitter();
+
+  GroupCommitter(const GroupCommitter&) = delete;
+  GroupCommitter& operator=(const GroupCommitter&) = delete;
+
+  /// Observer fired per durable record (replication shipping). Set before
+  /// any Submit; fires on whichever thread leads the batch.
+  void set_durable_callback(DurableCallback callback);
+
+  /// Enqueues `record` and returns its ticket. Does not block and does
+  /// not touch the engine.
+  std::shared_ptr<CommitTicket> Submit(store::WalRecord record);
+
+  /// Commits everything queued (acting as leader if needed) and waits for
+  /// any in-flight batch. Required before checkpoint/close, which rotate
+  /// the WAL under the engine. Returns the sticky error, if any.
+  Status Drain();
+
+  /// Records submitted but not yet durable (diagnostics / stat view).
+  size_t QueueDepth() const;
+
+ private:
+  friend class CommitTicket;
+  static Status WaitOn(const std::shared_ptr<CommitTicket::Shared>& shared,
+                       CommitTicket* ticket);
+  std::shared_ptr<CommitTicket::Shared> shared_;
+};
+
+/// Live committers' aggregate queue depth, for gea_stat_transactions.
+size_t LiveCommitterQueueDepth();
+
+}  // namespace gea::txn
+
+#endif  // GEA_TXN_GROUP_COMMIT_H_

@@ -1,0 +1,60 @@
+#include "txn/snapshot.h"
+
+namespace gea::txn {
+
+uint64_t ApproxTableBytes(const core::EnumTable& table) {
+  // One double per cell plus tag ids and name strings; the cell matrix
+  // dominates for any real library set.
+  return 8u * table.NumLibraries() * table.NumTags() + 16u * table.NumTags();
+}
+
+uint64_t ApproxTableBytes(const core::SumyTable& table) {
+  return sizeof(core::SumyEntry) * table.NumTags();
+}
+
+uint64_t ApproxTableBytes(const core::GapTable& table) {
+  // Per column: a double vector and a validity byte vector over the tags.
+  return table.NumTags() * (8u + table.NumColumns() * 9u);
+}
+
+namespace {
+
+// Sums ApproxTableBytes over entries of `prev` whose pointer is absent
+// from `next` under the same key (replaced or dropped).
+template <typename Map, typename SizeFn>
+uint64_t RetiredInMap(const Map& prev, const Map& next, SizeFn size_of) {
+  uint64_t bytes = 0;
+  for (const auto& [name, table] : prev) {
+    auto it = next.find(name);
+    if (it == next.end() || it->second.get() != table.get()) {
+      bytes += size_of(*table);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+uint64_t RetiredBytes(const CatalogSnapshot& prev,
+                      const CatalogSnapshot& next) {
+  uint64_t bytes = 0;
+  bytes += RetiredInMap(prev.enums, next.enums, [](const core::EnumTable& t) {
+    return ApproxTableBytes(t);
+  });
+  bytes += RetiredInMap(prev.sumys, next.sumys, [](const core::SumyTable& t) {
+    return ApproxTableBytes(t);
+  });
+  bytes += RetiredInMap(prev.gaps, next.gaps, [](const core::GapTable& t) {
+    return ApproxTableBytes(t);
+  });
+  bytes += RetiredInMap(prev.metadata, next.metadata,
+                        [](const std::vector<double>& v) {
+                          return static_cast<uint64_t>(8u * v.size());
+                        });
+  if (prev.relations && prev.relations.get() != next.relations.get()) {
+    bytes += prev.relations->ApproxBytes();
+  }
+  return bytes;
+}
+
+}  // namespace gea::txn

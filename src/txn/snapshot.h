@@ -1,0 +1,57 @@
+#ifndef GEA_TXN_SNAPSHOT_H_
+#define GEA_TXN_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/enum_table.h"
+#include "core/gap.h"
+#include "core/sumy.h"
+#include "rel/catalog.h"
+#include "sage/dataset.h"
+
+namespace gea::txn {
+
+/// One immutable, fully self-contained version of the analysis catalog —
+/// what a reader sees for the entire duration of a pinned operation.
+///
+/// Tables are held by shared_ptr-to-const and SHARED between consecutive
+/// snapshots: publishing epoch N+1 shallow-copies the maps of epoch N and
+/// swaps in fresh pointers only for the tables the writer touched
+/// (copy-on-write at table granularity). A table's memory is reclaimed by
+/// the last shared_ptr release, i.e. once every epoch referencing it has
+/// been retired and every pin on those epochs dropped — epoch-based
+/// reclamation piggybacked on refcounts, with the accounting surfaced as
+/// gea.txn.retired_bytes.
+///
+/// `relations` is a frozen rel::Catalog clone. Computed stat views clone
+/// as builders (std::function copies), so materializing gea_stat_* from a
+/// frozen snapshot still reads LIVE telemetry — only the stored tables
+/// are versioned.
+struct CatalogSnapshot {
+  uint64_t epoch = 0;
+
+  std::map<std::string, std::shared_ptr<const core::EnumTable>> enums;
+  std::map<std::string, std::shared_ptr<const core::SumyTable>> sumys;
+  std::map<std::string, std::shared_ptr<const core::GapTable>> gaps;
+  std::map<std::string, std::shared_ptr<const std::vector<double>>> metadata;
+  std::shared_ptr<const sage::SageDataSet> dataset;
+  std::shared_ptr<const rel::Catalog> relations;
+};
+
+/// Approximate heap footprint of one table, for reclamation accounting.
+uint64_t ApproxTableBytes(const core::EnumTable& table);
+uint64_t ApproxTableBytes(const core::SumyTable& table);
+uint64_t ApproxTableBytes(const core::GapTable& table);
+
+/// Bytes of `prev` no longer reachable from `next` (pointer-identity
+/// diff over the four table maps plus the relations catalog). This is
+/// what an epoch publication schedules for reclamation.
+uint64_t RetiredBytes(const CatalogSnapshot& prev, const CatalogSnapshot& next);
+
+}  // namespace gea::txn
+
+#endif  // GEA_TXN_SNAPSHOT_H_

@@ -31,6 +31,9 @@ AnalysisSession::AnalysisSession(const std::string& admin_name,
   // Stat views ride in every session's catalog so SQL can read telemetry:
   //   SELECT name, value FROM gea_stat_counters ORDER BY value DESC
   obs::RegisterStatViews(relations_);
+  // Epoch 1: the empty catalog, so snapshot readers are valid from birth.
+  RefreshRelationsSnapshot();
+  PublishCatalogEpoch();
 }
 
 // ---- Authentication ----
@@ -129,7 +132,7 @@ Result<std::string> AnalysisSession::GetConfiguration(
 // ---- Data management ----
 
 Status AnalysisSession::InstallDataSet(sage::SageDataSet dataset) {
-  dataset_ = std::move(dataset);
+  dataset_ = std::make_shared<const sage::SageDataSet>(std::move(dataset));
   GEA_RETURN_IF_ERROR(relations_.CreateTable(
       sage::BuildLibraryInfoTable(*dataset_), /*replace=*/true));
   GEA_RETURN_IF_ERROR(relations_.CreateTable(
@@ -141,12 +144,13 @@ Status AnalysisSession::InstallDataSet(sage::SageDataSet dataset) {
   // snapshots, SaveDatabase and the WAL. Its rows are tag-ascending,
   // which makes it the relation the distribution router can hash-
   // partition by tag and merge back losslessly (src/dist). The builder
-  // captures its own copy of the data set: the catalog outlives moves of
-  // this session, so it must not dereference `this`.
+  // shares the immutable data set: the catalog outlives moves of this
+  // session, so it must not dereference `this`.
   GEA_RETURN_IF_ERROR(relations_.RegisterComputed(
       "TAGS",
-      [data = *dataset_]() { return sage::BuildTagsTable(data); },
+      [data = dataset_]() { return sage::BuildTagsTable(*data); },
       /*replace=*/true));
+  RefreshRelationsSnapshot();
   return Status::OK();
 }
 
@@ -171,14 +175,15 @@ Status AnalysisSession::InitializeDatabase() {
   metadata_.clear();
   dataset_.reset();
   lineage_ = lineage::LineageGraph();
+  RefreshRelationsSnapshot();
   return WalOp("initialize", {});
 }
 
 Result<const sage::SageDataSet*> AnalysisSession::DataSet() const {
-  if (!dataset_.has_value()) {
+  if (dataset_ == nullptr) {
     return Status::FailedPrecondition("no SAGE data set is loaded");
   }
-  return &*dataset_;
+  return dataset_.get();
 }
 
 namespace {
@@ -220,7 +225,7 @@ Status AnalysisSession::SaveDatabase(const std::string& directory) const {
   GEA_RETURN_IF_ERROR(RequireLogin());
   GEA_RETURN_IF_ERROR(EnsureDirectory(directory));
 
-  if (dataset_.has_value()) {
+  if (dataset_ != nullptr) {
     GEA_RETURN_IF_ERROR(sage::SaveDataSet(*dataset_, directory + "/sage"));
   }
 
@@ -233,9 +238,9 @@ Status AnalysisSession::SaveDatabase(const std::string& directory) const {
   for (const auto& [name, table] : enums_) {
     GEA_RETURN_IF_ERROR(CheckFileSafe(name));
     GEA_RETURN_IF_ERROR(rel::SaveTable(
-        table.ToRelTable(), directory + "/enums/" + name + ".csv"));
+        table->ToRelTable(), directory + "/enums/" + name + ".csv"));
     GEA_RETURN_IF_ERROR(rel::SaveTable(
-        core::EnumLibrariesToRelTable(table, name + "_libs"),
+        core::EnumLibrariesToRelTable(*table, name + "_libs"),
         directory + "/enums/" + name + ".libs.csv"));
     manifest.AppendRowUnchecked(
         {rel::Value::String(name), rel::Value::String("enum")});
@@ -244,7 +249,7 @@ Status AnalysisSession::SaveDatabase(const std::string& directory) const {
   for (const auto& [name, table] : sumys_) {
     GEA_RETURN_IF_ERROR(CheckFileSafe(name));
     GEA_RETURN_IF_ERROR(rel::SaveTable(
-        table.ToRelTable(), directory + "/sumys/" + name + ".csv"));
+        table->ToRelTable(), directory + "/sumys/" + name + ".csv"));
     manifest.AppendRowUnchecked(
         {rel::Value::String(name), rel::Value::String("sumy")});
   }
@@ -252,7 +257,7 @@ Status AnalysisSession::SaveDatabase(const std::string& directory) const {
   for (const auto& [name, table] : gaps_) {
     GEA_RETURN_IF_ERROR(CheckFileSafe(name));
     GEA_RETURN_IF_ERROR(rel::SaveTable(
-        table.ToRelTable(), directory + "/gaps/" + name + ".csv"));
+        table->ToRelTable(), directory + "/gaps/" + name + ".csv"));
     manifest.AppendRowUnchecked(
         {rel::Value::String(name), rel::Value::String("gap")});
   }
@@ -279,9 +284,9 @@ Status AnalysisSession::SaveDatabase(const std::string& directory) const {
     rel::Table table(name,
                      rel::Schema({{"Index", rel::ValueType::kInt},
                                   {"Tolerance", rel::ValueType::kDouble}}));
-    for (size_t i = 0; i < tolerances.size(); ++i) {
+    for (size_t i = 0; i < tolerances->size(); ++i) {
       table.AppendRowUnchecked({rel::Value::Int(static_cast<int64_t>(i)),
-                                rel::Value::Double(tolerances[i])});
+                                rel::Value::Double((*tolerances)[i])});
     }
     GEA_RETURN_IF_ERROR(
         rel::SaveTable(table, directory + "/metadata/" + name + ".csv"));
@@ -315,9 +320,9 @@ Status AnalysisSession::LoadDatabase(const std::string& directory) {
   GEA_ASSIGN_OR_RETURN(
       rel::Table manifest,
       rel::LoadTable("Manifest", directory + "/manifest.csv"));
-  std::map<std::string, core::EnumTable> enums;
-  std::map<std::string, core::SumyTable> sumys;
-  std::map<std::string, core::GapTable> gaps;
+  std::map<std::string, std::shared_ptr<const core::EnumTable>> enums;
+  std::map<std::string, std::shared_ptr<const core::SumyTable>> sumys;
+  std::map<std::string, std::shared_ptr<const core::GapTable>> gaps;
   std::vector<rel::Table> stored_relations;
   for (size_t r1_ = 0; r1_ < manifest.NumRows(); ++r1_) {
     const rel::Row row = manifest.GetRow(r1_);
@@ -338,21 +343,24 @@ Status AnalysisSession::LoadDatabase(const std::string& directory) {
                          directory + "/enums/" + name + ".libs.csv"));
       GEA_ASSIGN_OR_RETURN(core::EnumTable table,
                            core::EnumFromRelTables(data, libs, name));
-      enums.emplace(name, std::move(table));
+      enums.emplace(name,
+                    std::make_shared<const core::EnumTable>(std::move(table)));
     } else if (kind == "sumy") {
       GEA_ASSIGN_OR_RETURN(
           rel::Table data,
           rel::LoadTable(name, directory + "/sumys/" + name + ".csv"));
       GEA_ASSIGN_OR_RETURN(core::SumyTable table,
                            core::SumyFromRelTable(data, name));
-      sumys.emplace(name, std::move(table));
+      sumys.emplace(name,
+                    std::make_shared<const core::SumyTable>(std::move(table)));
     } else if (kind == "gap") {
       GEA_ASSIGN_OR_RETURN(
           rel::Table data,
           rel::LoadTable(name, directory + "/gaps/" + name + ".csv"));
       GEA_ASSIGN_OR_RETURN(core::GapTable table,
                            core::GapFromRelTable(data, name));
-      gaps.emplace(name, std::move(table));
+      gaps.emplace(name,
+                   std::make_shared<const core::GapTable>(std::move(table)));
     } else if (kind == "relation") {
       GEA_ASSIGN_OR_RETURN(
           rel::Table data,
@@ -363,7 +371,7 @@ Status AnalysisSession::LoadDatabase(const std::string& directory) {
     }
   }
 
-  std::map<std::string, std::vector<double>> metadata;
+  std::map<std::string, std::shared_ptr<const std::vector<double>>> metadata;
   if (fs::exists(directory + "/metadata")) {
     for (const fs::directory_entry& entry :
          fs::directory_iterator(directory + "/metadata")) {
@@ -384,7 +392,8 @@ Status AnalysisSession::LoadDatabase(const std::string& directory) {
         }
         tolerances[index] = row[1].AsDouble();
       }
-      metadata.emplace(std::move(name), std::move(tolerances));
+      metadata.emplace(std::move(name), std::make_shared<const std::vector<double>>(
+                                            std::move(tolerances)));
     }
   }
 
@@ -420,11 +429,16 @@ Status AnalysisSession::LoadDatabase(const std::string& directory) {
     // the file copies with identical fresh ones.
     GEA_RETURN_IF_ERROR(InstallDataSet(std::move(*dataset)));
   }
+  RefreshRelationsSnapshot();
+  PublishCatalogEpoch();
   // A bulk load replaces state the WAL knows nothing about, so the
   // storage directory (when attached) gets a full snapshot right away,
   // and any WAL shipper is told its followers must re-seed from a
   // snapshot — no stream of records reproduces this transition.
   if (storage_ != nullptr && !replaying_wal_) {
+    // Flush any in-flight group commits before the checkpoint rotates
+    // the WAL underneath them.
+    GEA_RETURN_IF_ERROR(DrainCommits());
     GEA_RETURN_IF_ERROR(storage_->Checkpoint(BuildSnapshotImage()));
     if (wal_observer_) {
       store::WalRecord reset;
@@ -489,7 +503,8 @@ Status AnalysisSession::CreateTissueDataSet(sage::TissueType tissue,
       return Status::NotFound(std::string("no libraries of tissue type ") +
                               sage::TissueTypeName(tissue));
     }
-    enums_.emplace(name, core::EnumTable::FromDataSet(name, slice));
+    enums_.emplace(name, std::make_shared<const core::EnumTable>(
+                             core::EnumTable::FromDataSet(name, slice)));
     RecordLineage(name, lineage::NodeKind::kDataSet, "tissue_dataset",
                   {{"tissue", name}}, {"SAGE"});
     return WalOp("tissue_dataset",
@@ -506,7 +521,8 @@ Status AnalysisSession::CreateCustomDataSet(const std::string& name,
     GEA_ASSIGN_OR_RETURN(const sage::SageDataSet* data, DataSet());
     GEA_RETURN_IF_ERROR(CheckNameFree(name, replace));
     GEA_ASSIGN_OR_RETURN(sage::SageDataSet slice, data->SelectByIds(ids));
-    enums_.emplace(name, core::EnumTable::FromDataSet(name, slice));
+    enums_.emplace(name, std::make_shared<const core::EnumTable>(
+                             core::EnumTable::FromDataSet(name, slice)));
     RecordLineage(name, lineage::NodeKind::kDataSet, "custom_dataset",
                   {{"libraries", std::to_string(ids.size())}}, {"SAGE"});
     std::string ids_text;
@@ -526,7 +542,7 @@ Result<const core::EnumTable*> AnalysisSession::GetEnum(
   if (it == enums_.end()) {
     return Status::NotFound("no such ENUM table: " + name);
   }
-  return &it->second;
+  return it->second.get();
 }
 
 Result<const core::SumyTable*> AnalysisSession::GetSumy(
@@ -535,7 +551,7 @@ Result<const core::SumyTable*> AnalysisSession::GetSumy(
   if (it == sumys_.end()) {
     return Status::NotFound("no such SUMY table: " + name);
   }
-  return &it->second;
+  return it->second.get();
 }
 
 Result<const core::GapTable*> AnalysisSession::GetGap(
@@ -544,7 +560,7 @@ Result<const core::GapTable*> AnalysisSession::GetGap(
   if (it == gaps_.end()) {
     return Status::NotFound("no such GAP table: " + name);
   }
-  return &it->second;
+  return it->second.get();
 }
 
 // ---- Metadata + fascicles ----
@@ -564,7 +580,8 @@ Status AnalysisSession::GenerateMetadata(const std::string& dataset_name,
       return Status::AlreadyExists("metadata already exists: " + meta_name);
     }
     GEA_ASSIGN_OR_RETURN(const core::EnumTable* input, GetEnum(dataset_name));
-    metadata_[meta_name] = core::MakeToleranceMetadata(*input, percent);
+    metadata_[meta_name] = std::make_shared<const std::vector<double>>(
+        core::MakeToleranceMetadata(*input, percent));
     return WalOp("generate_metadata", {{"dataset", dataset_name},
                                        {"percent", WalDouble(percent)},
                                        {"meta", meta_name},
@@ -588,7 +605,7 @@ Result<std::vector<std::string>> AnalysisSession::CalculateFascicles(
   }
   cluster::FascicleParams params;
   params.min_compact_tags = min_compact_tags;
-  params.tolerances = meta_it->second;
+  params.tolerances = *meta_it->second;
   params.batch_size = batch_size;
   params.min_size = min_size;
   params.algorithm = algorithm;
@@ -610,8 +627,10 @@ Result<std::vector<std::string>> AnalysisSession::CalculateFascicles(
         {"min_size", std::to_string(min_size)},
         {"members", std::to_string(m.fascicle.members.size())},
     };
-    enums_.emplace(name, std::move(m.members));
-    sumys_.emplace(name + "_SUMY", std::move(m.sumy));
+    enums_.emplace(name, std::make_shared<const core::EnumTable>(
+                             std::move(m.members)));
+    sumys_.emplace(name + "_SUMY", std::make_shared<const core::SumyTable>(
+                                       std::move(m.sumy)));
     RecordLineage(name, lineage::NodeKind::kFascicle, "fascicles",
                   op_params, {dataset_name});
     RecordLineage(name + "_SUMY", lineage::NodeKind::kSumy, "aggregate",
@@ -699,10 +718,15 @@ Result<AnalysisSession::ControlGroups> AnalysisSession::FormControlGroups(
   GEA_ASSIGN_OR_RETURN(core::SumyTable opposite_sumy,
                        core::Aggregate(opposite, names.opposite_sumy));
 
-  enums_.emplace(names.not_in_fas_enum, std::move(not_in_fas));
-  enums_.emplace(names.opposite_enum, std::move(opposite));
-  sumys_.emplace(names.not_in_fas_sumy, std::move(not_in_fas_sumy));
-  sumys_.emplace(names.opposite_sumy, std::move(opposite_sumy));
+  enums_.emplace(names.not_in_fas_enum, std::make_shared<const core::EnumTable>(
+                                            std::move(not_in_fas)));
+  enums_.emplace(names.opposite_enum, std::make_shared<const core::EnumTable>(
+                                          std::move(opposite)));
+  sumys_.emplace(names.not_in_fas_sumy,
+                 std::make_shared<const core::SumyTable>(
+                     std::move(not_in_fas_sumy)));
+  sumys_.emplace(names.opposite_sumy, std::make_shared<const core::SumyTable>(
+                                          std::move(opposite_sumy)));
 
   RecordLineage(names.not_in_fas_enum, lineage::NodeKind::kEnum,
                 "control_group", {{"state", state_tag}},
@@ -731,7 +755,8 @@ Status AnalysisSession::Aggregate(const std::string& enum_name,
     GEA_RETURN_IF_ERROR(CheckNameFree(out_name, replace));
     GEA_ASSIGN_OR_RETURN(core::SumyTable sumy,
                          core::Aggregate(*input, out_name));
-    sumys_.emplace(out_name, std::move(sumy));
+    sumys_.emplace(out_name,
+                   std::make_shared<const core::SumyTable>(std::move(sumy)));
     RecordLineage(out_name, lineage::NodeKind::kSumy, "aggregate", {},
                   {enum_name});
     return WalOp("aggregate", {{"enum", enum_name},
@@ -753,7 +778,8 @@ Status AnalysisSession::Populate(const std::string& sumy_name,
     core::PopulateEngine engine(*base);
     GEA_ASSIGN_OR_RETURN(core::EnumTable populated,
                          engine.Populate(*sumy, out_name));
-    enums_.emplace(out_name, std::move(populated));
+    enums_.emplace(out_name, std::make_shared<const core::EnumTable>(
+                                 std::move(populated)));
     RecordLineage(out_name, lineage::NodeKind::kEnum, "populate",
                   {{"sumy", sumy_name}, {"base", base_enum}},
                   {sumy_name, base_enum});
@@ -779,7 +805,8 @@ Status AnalysisSession::CreateGap(const std::string& sumy1_name,
     GEA_RETURN_IF_ERROR(CheckNameFree(gap_name, replace));
     GEA_ASSIGN_OR_RETURN(core::GapTable gap,
                          core::Diff(*sumy1, *sumy2, gap_name));
-    gaps_.emplace(gap_name, std::move(gap));
+    gaps_.emplace(gap_name,
+                  std::make_shared<const core::GapTable>(std::move(gap)));
     RecordLineage(gap_name, lineage::NodeKind::kGap, "diff",
                   {{"sumy1", sumy1_name}, {"sumy2", sumy2_name}},
                   {sumy1_name, sumy2_name});
@@ -801,7 +828,8 @@ Result<std::string> AnalysisSession::CalculateTopGap(
     GEA_RETURN_IF_ERROR(CheckNameFree(out_name, /*replace=*/true));
     GEA_ASSIGN_OR_RETURN(core::GapTable top,
                          core::TopGap(*gap, x, mode, out_name));
-    gaps_.emplace(out_name, std::move(top));
+    gaps_.emplace(out_name,
+                  std::make_shared<const core::GapTable>(std::move(top)));
     RecordLineage(out_name, lineage::NodeKind::kTopGap, "top_gap",
                   {{"x", std::to_string(x)}, {"mode", TopGapModeName(mode)}},
                   {gap_name});
@@ -828,7 +856,8 @@ Status AnalysisSession::CompareGapTables(const std::string& gap_a,
     GEA_RETURN_IF_ERROR(CheckNameFree(out_name, replace));
     GEA_ASSIGN_OR_RETURN(core::GapTable compared,
                          core::CompareGaps(*a, *b, kind, out_name));
-    gaps_.emplace(out_name, std::move(compared));
+    gaps_.emplace(out_name,
+                  std::make_shared<const core::GapTable>(std::move(compared)));
     RecordLineage(out_name, lineage::NodeKind::kCompareGap,
                   core::GapCompareKindName(kind), {}, {gap_a, gap_b});
     return WalOp("compare_gaps",
@@ -853,7 +882,8 @@ Status AnalysisSession::RunGapQuery(const std::string& compared_name,
     GEA_RETURN_IF_ERROR(CheckNameFree(out_name, replace));
     GEA_ASSIGN_OR_RETURN(core::GapTable result,
                          core::ApplyGapQuery(*compared, query, out_name));
-    gaps_.emplace(out_name, std::move(result));
+    gaps_.emplace(out_name,
+                  std::make_shared<const core::GapTable>(std::move(result)));
     RecordLineage(out_name, lineage::NodeKind::kGap, "gap_query",
                   {{"query", core::GapCompareQueryDescription(query)}},
                   {compared_name});
@@ -942,6 +972,13 @@ Result<std::vector<std::string>> AnalysisSession::SearchLibrariesByTagRange(
 Result<rel::Table> AnalysisSession::Query(const std::string& sql) const {
   GEA_RETURN_IF_ERROR(RequireLogin());
   return Logged("sql_query", sql, [&]() -> Result<rel::Table> {
+    // Execute against the pinned epoch's frozen catalog: concurrent
+    // writers publish new epochs without ever touching this one, so the
+    // query needs no session lock at all.
+    txn::SnapshotPin pin = PinSnapshot();
+    if (pin.valid() && pin->relations != nullptr) {
+      return rel::ExecuteQuery(*pin->relations, sql);
+    }
     return rel::ExecuteQuery(relations_, sql);
   });
 }
@@ -1092,6 +1129,77 @@ std::vector<std::string> AnalysisSession::TableNames() const {
   for (const auto& [name, table] : gaps_) names.push_back(name);
   std::sort(names.begin(), names.end());
   return names;
+}
+
+// ---- MVCC epochs ----
+
+void AnalysisSession::RefreshRelationsSnapshot() {
+  relations_snapshot_ =
+      std::make_shared<const rel::Catalog>(relations_.Clone());
+}
+
+void AnalysisSession::PublishCatalogEpoch() {
+  txn::CatalogSnapshot snap;
+  snap.enums = enums_;
+  snap.sumys = sumys_;
+  snap.gaps = gaps_;
+  snap.metadata = metadata_;
+  snap.dataset = dataset_;
+  snap.relations = relations_snapshot_;
+  epochs_->Publish(std::move(snap));
+}
+
+Result<rel::Table> AnalysisSession::MaterializeAnyTable(
+    const std::string& name) const {
+  txn::SnapshotPin pin = PinSnapshot();
+  if (!pin.valid() || pin->relations == nullptr) {
+    return relations_.MaterializeTable(name);
+  }
+  if (Result<rel::Table> stored = pin->relations->MaterializeTable(name);
+      stored.ok()) {
+    return stored;
+  }
+  if (auto it = pin->enums.find(name); it != pin->enums.end()) {
+    return it->second->ToRelTable();
+  }
+  if (auto it = pin->sumys.find(name); it != pin->sumys.end()) {
+    return it->second->ToRelTable();
+  }
+  if (auto it = pin->gaps.find(name); it != pin->gaps.end()) {
+    return it->second->ToRelTable();
+  }
+  return Status::NotFound("no such table: " + name);
+}
+
+std::vector<std::string> AnalysisSession::SnapshotTableNames() const {
+  txn::SnapshotPin pin = PinSnapshot();
+  std::vector<std::string> names;
+  if (pin.valid() && pin->relations != nullptr) {
+    names = pin->relations->TableNames();
+    for (const auto& [name, table] : pin->enums) names.push_back(name);
+    for (const auto& [name, table] : pin->sumys) names.push_back(name);
+    for (const auto& [name, table] : pin->gaps) names.push_back(name);
+  } else {
+    names = relations_.TableNames();
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// ---- Group commit ----
+
+void AnalysisSession::SetDeferredCommits(bool deferred) {
+  deferred_commits_ = deferred;
+}
+
+std::shared_ptr<txn::CommitTicket> AnalysisSession::TakePendingCommit() {
+  return std::move(pending_commit_);
+}
+
+Status AnalysisSession::DrainCommits() {
+  pending_commit_.reset();
+  if (committer_ == nullptr) return Status::OK();
+  return committer_->Drain();
 }
 
 }  // namespace gea::workbench

@@ -28,6 +28,9 @@
 #include "rel/catalog.h"
 #include "sage/dataset.h"
 #include "store/engine.h"
+#include "txn/epoch.h"
+#include "txn/group_commit.h"
+#include "txn/snapshot.h"
 #include "workbench/users.h"
 
 namespace gea::workbench {
@@ -42,6 +45,30 @@ namespace gea::workbench {
 /// All derived tables (ENUM / SUMY / GAP) live in one shared name space,
 /// like tables in the thesis's DB2 database; creating a name that exists
 /// fails with AlreadyExists unless `replace` is passed.
+///
+/// ## Concurrency model (MVCC epochs + group commit)
+///
+/// The session is single-writer, many-reader. Writers are serialized
+/// externally (the serve layer's exclusive session lock); each mutating
+/// operation applies its change to the live maps — which hold tables by
+/// shared_ptr-to-const, so a change is a fresh pointer, never an in-place
+/// edit — and then publishes the whole catalog as the next immutable
+/// epoch (txn::EpochManager, one atomic pointer swap).
+///
+/// Readers never take the session lock: PinSnapshot() hands out an RAII
+/// pin on the current epoch and Query() / MaterializeAnyTable() /
+/// SnapshotTableNames() run entirely against that frozen state, so a
+/// checkpoint or writer burst cannot block them. Superseded tables are
+/// reclaimed when the last pin referencing them drops.
+///
+/// Durability is batched through a txn::GroupCommitter: WAL records from
+/// concurrent writers coalesce into one fsync. In the default mode every
+/// mutating call still waits for its record's batch before returning
+/// (ack == durable, exactly the old contract). The serve layer switches
+/// on deferred-commit mode, takes the op's CommitTicket via
+/// TakePendingCommit() while still holding the writer lock, and waits
+/// OUTSIDE the lock — which is what lets concurrent writers' fsyncs
+/// actually share a batch.
 class AnalysisSession {
  public:
   /// Bootstraps the session with one administrator account.
@@ -149,12 +176,17 @@ class AnalysisSession {
   Status ApplySnapshotBlob(std::string_view blob);
 
   /// Observes every acknowledged WAL append: fired with the record and
-  /// its LSN (StorageEngine::last_lsn()) right after the fsynced append
-  /// succeeds, before any automatic checkpoint, on the mutating thread.
-  /// A bulk state replacement that bypasses the WAL (LoadDatabase on an
-  /// attached store) instead fires a synthetic kCheckpoint record with op
-  /// "state_reset" — shippers must force followers back to snapshot
-  /// catch-up when they see it. At most one observer; empty clears it.
+  /// its LSN right after the fsync covering the record succeeds, before
+  /// its waiter is acknowledged and before any automatic checkpoint.
+  /// Under group commit the observer runs on whichever thread leads the
+  /// record's batch (not necessarily the mutating thread), strictly in
+  /// LSN order; a record whose batch fsync fails is NEVER observed — the
+  /// dist layer's ships-only-acked contract. A bulk state replacement
+  /// that bypasses the WAL (LoadDatabase on an attached store) instead
+  /// fires a synthetic kCheckpoint record with op "state_reset" —
+  /// shippers must force followers back to snapshot catch-up when they
+  /// see it. At most one observer; empty clears it. Set before
+  /// concurrent writers start.
   using WalObserver =
       std::function<void(uint64_t lsn, const store::WalRecord& record)>;
   void SetWalObserver(WalObserver observer) {
@@ -163,6 +195,41 @@ class AnalysisSession {
 
   /// LSN of the last durable WAL record; 0 while storage is detached.
   uint64_t DurableLsn() const { return storage_ ? storage_->last_lsn() : 0; }
+
+  // ---- MVCC snapshot reads (consumed by the serve layer) ----
+
+  /// Pins the current catalog epoch. Wait-free; never blocks behind
+  /// writers or checkpoints. The pinned snapshot's tables stay valid for
+  /// the pin's whole scope.
+  txn::SnapshotPin PinSnapshot() const { return epochs_->Pin(); }
+  uint64_t CurrentEpoch() const { return epochs_->CurrentEpoch(); }
+
+  /// Materializes any table visible to readers — a frozen relation or
+  /// computed view from the pinned epoch's catalog clone, or a stored
+  /// ENUM/SUMY/GAP rendered via ToRelTable — without touching live
+  /// session state. The serve layer's lock-free get_table path.
+  Result<rel::Table> MaterializeAnyTable(const std::string& name) const;
+
+  /// Sorted union of the pinned epoch's table names (ENUM/SUMY/GAP plus
+  /// relations and computed views). Lock-free.
+  std::vector<std::string> SnapshotTableNames() const;
+
+  // ---- Group-commit control (consumed by the serve layer) ----
+
+  /// In deferred mode a mutating operation submits its WAL record to the
+  /// group committer and returns WITHOUT waiting; the caller must take
+  /// the ticket (TakePendingCommit) and Wait() on it before acking the
+  /// client. Off (the default), operations wait inline — ack == durable,
+  /// the classic contract, for direct library callers.
+  void SetDeferredCommits(bool deferred);
+
+  /// The not-yet-awaited ticket of the last deferred mutating operation,
+  /// or nullptr. Call while still holding the writer lock; Wait() on it
+  /// after releasing, so concurrent writers' fsyncs batch.
+  std::shared_ptr<txn::CommitTicket> TakePendingCommit();
+
+  /// Flushes every queued commit (leads the batch if necessary).
+  Status DrainCommits();
 
   // ---- Data sets (Figs. 4.4 and 4.15) ----
 
@@ -417,6 +484,10 @@ class AnalysisSession {
                std::map<std::string, std::string> params);
   /// Same, for physical payloads that cannot be re-derived (data sets).
   Status WalBlob(const std::string& kind, std::string payload);
+  /// Common WAL tail for WalOp/WalBlob: submits the record to the group
+  /// committer, waits inline (or stashes the ticket when deferred commits
+  /// are on), and applies the automatic checkpoint policy.
+  Status CommitWalRecord(store::WalRecord record);
   /// WAL-logs the currently installed data set as a blob record.
   Status WalLogDataSet();
   /// Re-executes one WAL record through the public operator methods.
@@ -424,6 +495,17 @@ class AnalysisSession {
   /// Maps the whole analysis state onto snapshot sections and back.
   store::SnapshotImage BuildSnapshotImage() const;
   Status RestoreFromSnapshotImage(const store::SnapshotImage& image);
+
+  // ---- MVCC plumbing ----
+
+  /// Publishes the live maps as the next immutable epoch (shallow
+  /// shared_ptr map copies + the cached relations clone). Called at the
+  /// end of every mutating operation, from WalOp/WalBlob.
+  void PublishCatalogEpoch();
+  /// Re-clones relations_ into the snapshot cache. Called after
+  /// operations that change the relations catalog (data-set install,
+  /// restore, initialize) — table-map mutations don't need it.
+  void RefreshRelationsSnapshot();
 
   UserDatabase users_;
   /// Registration with the global TelemetryHub; keeps this session
@@ -433,7 +515,7 @@ class AnalysisSession {
   AccessLevel current_level_ = AccessLevel::kUser;
   std::map<std::string, std::string> configuration_;
 
-  std::optional<sage::SageDataSet> dataset_;
+  std::shared_ptr<const sage::SageDataSet> dataset_;
   rel::Catalog relations_;
   lineage::LineageGraph lineage_;
 
@@ -444,10 +526,26 @@ class AnalysisSession {
   bool applying_replication_ = false;
   WalObserver wal_observer_;
 
-  std::map<std::string, core::EnumTable> enums_;
-  std::map<std::string, core::SumyTable> sumys_;
-  std::map<std::string, core::GapTable> gaps_;
-  std::map<std::string, std::vector<double>> metadata_;  // tolerance vectors
+  /// Group-commit WAL committer; live exactly while storage_ is attached.
+  std::unique_ptr<txn::GroupCommitter> committer_;
+  bool deferred_commits_ = false;
+  std::shared_ptr<txn::CommitTicket> pending_commit_;
+
+  // The working (writer-side) catalog. Values are shared_ptr-to-const so
+  // published epochs share them: replacing a table swaps the pointer,
+  // which is what keeps superseded epochs' views intact (COW).
+  std::map<std::string, std::shared_ptr<const core::EnumTable>> enums_;
+  std::map<std::string, std::shared_ptr<const core::SumyTable>> sumys_;
+  std::map<std::string, std::shared_ptr<const core::GapTable>> gaps_;
+  std::map<std::string, std::shared_ptr<const std::vector<double>>>
+      metadata_;  // tolerance vectors
+
+  /// Epoch publication point (unique_ptr keeps the session movable).
+  std::unique_ptr<txn::EpochManager> epochs_ =
+      std::make_unique<txn::EpochManager>();
+  /// Frozen clone of relations_ shared by snapshots until the next
+  /// relations-changing operation.
+  std::shared_ptr<const rel::Catalog> relations_snapshot_;
 
   // Mutable: logging is bookkeeping, so const queries (e.g. Query())
   // still append to the log. log_mu_ guards the ring and the profile;

@@ -163,6 +163,13 @@ Status AnalysisSession::OpenStorage(const std::string& directory,
   GEA_RETURN_IF_ERROR(replayed);
 
   storage_ = std::move(opened.engine);
+  committer_ = std::make_unique<txn::GroupCommitter>(storage_.get());
+  // The observer is read at fire time (on the batch-leader thread), so a
+  // subscriber attached after OpenStorage still sees every later commit.
+  committer_->set_durable_callback(
+      [this](uint64_t lsn, const store::WalRecord& record) {
+        if (wal_observer_) wal_observer_(lsn, record);
+      });
   recovery_ = opened.summary;
   // One query-log entry so recovery shows up in the session history and
   // the telemetry exports (slow-query log, /statz).
@@ -176,6 +183,9 @@ Status AnalysisSession::Checkpoint() {
     return Status::FailedPrecondition("no storage directory is attached");
   }
   return Logged("checkpoint", storage_->directory(), [&]() -> Status {
+    // The checkpoint rotates the WAL under the engine; an in-flight
+    // commit batch must land (and be acked) first.
+    GEA_RETURN_IF_ERROR(DrainCommits());
     return storage_->Checkpoint(BuildSnapshotImage());
   });
 }
@@ -189,42 +199,60 @@ Result<store::RecoverySummary> AnalysisSession::StorageRecovery() const {
 
 Status AnalysisSession::CloseStorage() {
   if (!storage_) return Status::OK();
+  Status drained = DrainCommits();
+  committer_.reset();
   Status s = storage_->Close();
   storage_.reset();
-  return s;
+  return drained.ok() ? s : drained;
 }
 
 // ---- WAL append + replay ----
 
 Status AnalysisSession::WalOp(const std::string& op,
                               std::map<std::string, std::string> params) {
+  // Every mutating operator funnels through here (or WalBlob), so this is
+  // the single point where the new catalog version becomes visible to
+  // lock-free readers. Published unconditionally — detached sessions,
+  // WAL replay, and replication apply mutate the catalog too, they just
+  // skip the log append below.
+  PublishCatalogEpoch();
   if (!storage_ || replaying_wal_) return Status::OK();
-  const store::WalRecord record =
-      store::WalRecord::LogicalOp(op, std::move(params));
-  GEA_RETURN_IF_ERROR(storage_->Append(record));
-  // Observe only acknowledged (fsynced) appends: replication must never
-  // ship a record a crash could still take back.
-  if (wal_observer_) wal_observer_(storage_->last_lsn(), record);
-  if (storage_->CheckpointDue()) {
-    return storage_->Checkpoint(BuildSnapshotImage());
-  }
-  return Status::OK();
+  return CommitWalRecord(store::WalRecord::LogicalOp(op, std::move(params)));
 }
 
 Status AnalysisSession::WalLogDataSet() {
-  if (!storage_ || replaying_wal_ || !dataset_.has_value()) {
+  if (!storage_ || replaying_wal_ || dataset_ == nullptr) {
+    // Detached and replaying sessions still mutated the catalog, so the
+    // new version must reach snapshot readers even without a log append.
+    PublishCatalogEpoch();
     return Status::OK();
   }
   return WalBlob("load_dataset", EncodeDataSetBlob(*dataset_));
 }
 
 Status AnalysisSession::WalBlob(const std::string& kind, std::string payload) {
+  PublishCatalogEpoch();
   if (!storage_ || replaying_wal_) return Status::OK();
-  const store::WalRecord record =
-      store::WalRecord::BlobRecord(kind, std::move(payload));
-  GEA_RETURN_IF_ERROR(storage_->Append(record));
-  if (wal_observer_) wal_observer_(storage_->last_lsn(), record);
+  return CommitWalRecord(store::WalRecord::BlobRecord(kind,
+                                                      std::move(payload)));
+}
+
+Status AnalysisSession::CommitWalRecord(store::WalRecord record) {
+  std::shared_ptr<txn::CommitTicket> ticket =
+      committer_->Submit(std::move(record));
+  if (deferred_commits_) {
+    // The serving layer collects the ticket (TakePendingCommit) inside
+    // the writer lock and waits on it after releasing the lock, so
+    // concurrent writers' fsyncs coalesce into one batch. The durable
+    // callback — not this path — acks the record to replication.
+    pending_commit_ = std::move(ticket);
+  } else {
+    // Direct callers (shell, tests, replay-less tools) keep the old
+    // contract: when this returns OK the record is fsynced on disk.
+    GEA_RETURN_IF_ERROR(ticket->Wait());
+  }
   if (storage_->CheckpointDue()) {
+    GEA_RETURN_IF_ERROR(DrainCommits());
     return storage_->Checkpoint(BuildSnapshotImage());
   }
   return Status::OK();
@@ -379,29 +407,29 @@ Status AnalysisSession::ReplayWalRecord(const store::WalRecord& record) {
 
 store::SnapshotImage AnalysisSession::BuildSnapshotImage() const {
   store::SnapshotImage image;
-  if (dataset_.has_value()) {
+  if (dataset_ != nullptr) {
     image.sections.push_back(store::SnapshotSection::Blob(
         kKindSage, "dataset", EncodeDataSetBlob(*dataset_)));
   }
   for (const auto& [name, table] : enums_) {
     image.sections.push_back(
-        store::SnapshotSection::Table(kKindEnum, table.ToRelTable()));
+        store::SnapshotSection::Table(kKindEnum, table->ToRelTable()));
     image.sections.push_back(store::SnapshotSection::Table(
-        kKindEnumLibs, core::EnumLibrariesToRelTable(table, name + "_libs")));
+        kKindEnumLibs, core::EnumLibrariesToRelTable(*table, name + "_libs")));
   }
   for (const auto& [name, table] : sumys_) {
     (void)name;
     image.sections.push_back(
-        store::SnapshotSection::Table(kKindSumy, table.ToRelTable()));
+        store::SnapshotSection::Table(kKindSumy, table->ToRelTable()));
   }
   for (const auto& [name, table] : gaps_) {
     (void)name;
     image.sections.push_back(
-        store::SnapshotSection::Table(kKindGap, table.ToRelTable()));
+        store::SnapshotSection::Table(kKindGap, table->ToRelTable()));
   }
   for (const auto& [name, tolerances] : metadata_) {
     image.sections.push_back(store::SnapshotSection::Table(
-        kKindMetadata, ToleranceTable(name, tolerances)));
+        kKindMetadata, ToleranceTable(name, *tolerances)));
   }
   lineage::LineageGraph::RelExport history = lineage_.Export();
   image.sections.push_back(
@@ -427,10 +455,10 @@ Status AnalysisSession::RestoreFromSnapshotImage(
     const store::SnapshotImage& image) {
   // Stage everything first so a corrupt section leaves the session as-is.
   std::optional<sage::SageDataSet> dataset;
-  std::map<std::string, core::EnumTable> enums;
-  std::map<std::string, core::SumyTable> sumys;
-  std::map<std::string, core::GapTable> gaps;
-  std::map<std::string, std::vector<double>> metadata;
+  std::map<std::string, std::shared_ptr<const core::EnumTable>> enums;
+  std::map<std::string, std::shared_ptr<const core::SumyTable>> sumys;
+  std::map<std::string, std::shared_ptr<const core::GapTable>> gaps;
+  std::map<std::string, std::shared_ptr<const std::vector<double>>> metadata;
   std::vector<rel::Table> stored_relations;
   const rel::Table* lineage_nodes = nullptr;
   const rel::Table* lineage_params = nullptr;
@@ -452,19 +480,24 @@ Status AnalysisSession::RestoreFromSnapshotImage(
       GEA_ASSIGN_OR_RETURN(
           core::EnumTable table,
           core::EnumFromRelTables(*section.table, *libs->table, section.name));
-      enums.emplace(section.name, std::move(table));
+      enums.emplace(section.name, std::make_shared<const core::EnumTable>(
+                                      std::move(table)));
     } else if (section.kind == kKindSumy && section.table.has_value()) {
       GEA_ASSIGN_OR_RETURN(core::SumyTable table,
                            core::SumyFromRelTable(*section.table, section.name));
-      sumys.emplace(section.name, std::move(table));
+      sumys.emplace(section.name, std::make_shared<const core::SumyTable>(
+                                      std::move(table)));
     } else if (section.kind == kKindGap && section.table.has_value()) {
       GEA_ASSIGN_OR_RETURN(core::GapTable table,
                            core::GapFromRelTable(*section.table, section.name));
-      gaps.emplace(section.name, std::move(table));
+      gaps.emplace(section.name, std::make_shared<const core::GapTable>(
+                                     std::move(table)));
     } else if (section.kind == kKindMetadata && section.table.has_value()) {
       GEA_ASSIGN_OR_RETURN(std::vector<double> tolerances,
                            TolerancesFromTable(*section.table));
-      metadata.emplace(section.name, std::move(tolerances));
+      metadata.emplace(section.name,
+                       std::make_shared<const std::vector<double>>(
+                           std::move(tolerances)));
     } else if (section.kind == kKindLineageNodes && section.table.has_value()) {
       lineage_nodes = &*section.table;
     } else if (section.kind == kKindLineageParams &&
@@ -508,6 +541,10 @@ Status AnalysisSession::RestoreFromSnapshotImage(
     // snapshot copies with identical dataset-derived ones.
     GEA_RETURN_IF_ERROR(InstallDataSet(std::move(*dataset)));
   }
+  // The restore replaced the whole catalog wholesale; readers flip to it
+  // in one epoch publication.
+  RefreshRelationsSnapshot();
+  PublishCatalogEpoch();
   return Status::OK();
 }
 

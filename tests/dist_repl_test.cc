@@ -18,6 +18,8 @@
 #include "dist/partition.h"
 #include "dist/repl.h"
 #include "dist/replica.h"
+#include "store/engine.h"
+#include "store/fault_env.h"
 #include "sage/cleaning.h"
 #include "sage/generator.h"
 #include "sage/io.h"
@@ -176,6 +178,48 @@ TEST(ReplCodecTest, SnapshotLsnBlobRoundTrips) {
   EXPECT_EQ(decoded->second, snapshot);
   EXPECT_FALSE(
       DecodeSnapshotLsnBlob(EncodeSnapshotLsnBlob(99, snapshot) + "y").ok());
+}
+
+// A commit batch killed between the WAL write and its fsync must be
+// invisible everywhere: the writer is not acked, the hub ships no frame,
+// and recovery replays exactly the previously acked prefix. This is the
+// group-commit edition of the "replication never outruns durability"
+// contract.
+TEST(ReplicationHubTest, TornCommitBatchShipsNoFrames) {
+  const std::string dir = FreshDir("torn_batch");
+  store::FaultInjectionEnv env(store::FileEnv::Default());
+  auto session = AdminSession();
+  ASSERT_TRUE(session->OpenStorage(dir, store::StorageOptions{}, &env).ok());
+  ASSERT_TRUE(session->LoadDataSet(TestDataSet()).ok());
+  ASSERT_TRUE(session->CreateTissueDataSet(sage::TissueType::kBrain).ok());
+  const uint64_t pre_lsn = session->DurableLsn();
+  ASSERT_GT(pre_lsn, 0u);
+
+  {
+    QueryServer server(session.get());
+    ReplicationHub hub(session.get(), &server);
+
+    // A clean mutation commits and ships.
+    ASSERT_TRUE(session->Aggregate("brain", "CleanSumy").ok());
+    EXPECT_EQ(hub.ShippedLsn(), pre_lsn + 1);
+
+    // Kill the batch's shared fsync. ArmFault zeroes the point counter,
+    // so the single append is point 0 and the sync (point 1) takes the
+    // machine down: the record reaches the page cache, not the platter.
+    env.ArmFault(1, store::FaultInjectionEnv::FaultKind::kKill);
+    Status torn = session->Aggregate("brain", "TornSumy");
+    EXPECT_FALSE(torn.ok());                   // the waiter was never acked
+    EXPECT_EQ(hub.ShippedLsn(), pre_lsn + 1);  // no frame left the hub
+    EXPECT_EQ(session->DurableLsn(), pre_lsn + 1);
+  }  // the hub detaches its observer while the session is still alive
+
+  // Reboot: recovery sees exactly the acked prefix.
+  session.reset();
+  auto recovered = AdminSession();
+  ASSERT_TRUE(recovered->OpenStorage(dir).ok());
+  EXPECT_TRUE(recovered->GetSumy("CleanSumy").ok());
+  EXPECT_TRUE(recovered->GetSumy("TornSumy").status().IsNotFound());
+  EXPECT_EQ(recovered->DurableLsn(), pre_lsn + 1);
 }
 
 // ---------- the hub's wire surface ----------

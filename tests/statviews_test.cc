@@ -18,6 +18,7 @@
 #include "rel/sql.h"
 #include "sage/cleaning.h"
 #include "sage/generator.h"
+#include "txn/epoch.h"
 #include "workbench/session.h"
 
 namespace gea::obs {
@@ -271,8 +272,11 @@ TEST(StatViewsTest, ViewsSurviveDatabaseLifecycleUnderConcurrentScrape) {
 }
 
 TEST(StatViewsTest, BuildStatViewRejectsUnknownName) {
+  // gea_stat_transactions registers lazily from the first EpochManager;
+  // anchor it so the count does not depend on test order.
+  txn::RegisterTransactionStatView();
   EXPECT_TRUE(BuildStatView("gea_stat_nope").status().IsNotFound());
-  EXPECT_EQ(AllStatViews().size(), 8u);
+  EXPECT_EQ(AllStatViews().size(), 9u);
 }
 
 TEST(StatViewsTest, RequestsTableRollsUpTheTraceRing) {

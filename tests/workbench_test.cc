@@ -296,8 +296,9 @@ TEST_F(SessionTest, InitializeDatabaseClearsEverything) {
   ASSERT_TRUE(session.CreateTissueDataSet(sage::TissueType::kBrain).ok());
   ASSERT_TRUE(session.InitializeDatabase().ok());
   // Only the built-in stat views survive (seven from obs plus
-  // gea_stat_storage); every stored relation is gone.
-  EXPECT_EQ(session.Relations().NumTables(), 8u);
+  // gea_stat_storage and gea_stat_transactions); every stored relation
+  // is gone.
+  EXPECT_EQ(session.Relations().NumTables(), 9u);
   for (const std::string& name : session.Relations().TableNames()) {
     EXPECT_EQ(name.rfind("gea_stat_", 0), 0u) << name;
   }
